@@ -1,0 +1,25 @@
+-- The paper's §4.4 walkthrough as a plain SQL script:
+--   dune exec bin/softdb.exe -- run examples/sql/late_shipments.sql
+CREATE TABLE purchase (
+  id INT PRIMARY KEY,
+  order_date DATE NOT NULL,
+  ship_date DATE,
+  amount FLOAT);
+CREATE INDEX purchase_order_date ON purchase (order_date);
+INSERT INTO purchase VALUES
+  (1, DATE '1999-11-01', DATE '1999-11-10', 120.0),
+  (2, DATE '1999-11-03', DATE '1999-11-05', 80.0),
+  (3, DATE '1999-11-20', DATE '1999-12-02', 45.5),
+  (4, DATE '1999-12-01', DATE '1999-12-15', 300.0),
+  (5, DATE '1999-10-01', DATE '1999-12-15', 99.0), -- a late shipment
+  (6, DATE '1999-12-10', DATE '1999-12-15', 10.0);
+RUNSTATS purchase;
+-- the business rule: products ship within three weeks (99% true)
+ALTER TABLE purchase ADD CONSTRAINT ship_3w
+  CHECK (ship_date - order_date BETWEEN 0 AND 21) SOFT;
+-- materialize its exceptions (the ASC-as-AST device)
+CREATE EXCEPTION TABLE late_shipments FOR CONSTRAINT ship_3w;
+SELECT * FROM late_shipments;
+-- the optimizer now answers via index + UNION ALL over the exceptions
+EXPLAIN SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15';
+SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15';
