@@ -1,0 +1,1 @@
+bench/bench_util.ml: Core Exec Float List Opt Option Printf String Unix

@@ -1,0 +1,1 @@
+bench/experiments.ml: Bench_util Core Database Date Exec Float Fmt Icdef List Mining Opt Option Printf Rel Stats Table Tuple Value Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bptree Core Hashtbl Instance Int Lazy List Measure Printf Rel Sqlfe Staged Stats String Test Time Toolkit Value Workload

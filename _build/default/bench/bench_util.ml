@@ -1,0 +1,113 @@
+(* Shared machinery for the experiment harness: wall-clock timing with
+   repetition, aligned table rendering, and the standard off/on comparison
+   of a query under two rewrite-flag settings. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* median of [reps] timed runs; the result of the first run is returned *)
+let timed ?(reps = 5) f =
+  let first = ref None in
+  let samples =
+    List.init reps (fun _ ->
+        let r, dt = time f in
+        if !first = None then first := Some r;
+        dt)
+    |> List.sort Float.compare
+  in
+  (Option.get !first, List.nth samples (reps / 2))
+
+let ms dt = dt *. 1000.0
+
+(* ---- table rendering --------------------------------------------------- *)
+
+type cell = S of string | I of int | F of float | F1 of float | B of bool
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.3f" f
+  | F1 f -> Printf.sprintf "%.1f" f
+  | B b -> if b then "yes" else "no"
+
+let print_table ~title ~header rows =
+  let rows = List.map (List.map cell_to_string) rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line c =
+    print_string "+";
+    List.iter
+      (fun w -> print_string (String.make (w + 2) c ^ "+"))
+      widths;
+    print_newline ()
+  in
+  let print_row cells =
+    print_string "|";
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        Printf.printf " %*s |" w c)
+      cells;
+    print_newline ()
+  in
+  Printf.printf "\n%s\n" title;
+  line '-';
+  print_row header;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+(* ---- query comparison --------------------------------------------------- *)
+
+type run = {
+  rows : int;
+  pages : int;
+  scanned : int;
+  probes : int;
+  time_ms : float; (* execution only *)
+  opt_ms : float; (* parse + rewrite + plan *)
+  result : Exec.Executor.result;
+}
+
+let run_query ?flags ?reps sdb sql =
+  let report, opt_dt = timed ?reps (fun () -> Core.Softdb.explain ?flags sdb sql) in
+  let result, dt =
+    timed ?reps (fun () ->
+        Exec.Executor.run (Core.Softdb.db sdb) report.Opt.Explain.plan)
+  in
+  {
+    rows = List.length result.Exec.Executor.rows;
+    pages = result.Exec.Executor.counters.Exec.Operators.Counters.pages_read;
+    scanned =
+      result.Exec.Executor.counters.Exec.Operators.Counters.rows_scanned;
+    probes =
+      result.Exec.Executor.counters.Exec.Operators.Counters.index_probes;
+    time_ms = ms dt;
+    opt_ms = ms opt_dt;
+    result;
+  }
+
+(* baseline (all soft-constraint machinery off) vs. optimized *)
+let compare_query ?reps sdb sql =
+  let off = run_query ~flags:Opt.Rewrite.all_off ?reps sdb sql in
+  let on_ = run_query ?reps sdb sql in
+  let equal = Exec.Executor.same_rows off.result on_.result in
+  (off, on_, equal)
+
+let speedup off on_ = if on_ <= 0.0 then Float.nan else off /. on_
+
+let truncate_sql ?(width = 58) sql =
+  let sql = String.map (fun c -> if c = '\n' then ' ' else c) sql in
+  if String.length sql <= width then sql else String.sub sql 0 (width - 3) ^ "..."
+
+let qerror est truth =
+  let est = max est 1.0 and truth = max truth 1.0 in
+  if est > truth then est /. truth else truth /. est

@@ -1,0 +1,944 @@
+(* The experiment harness: one function per experiment of DESIGN.md §5,
+   each regenerating a paper-shaped results table.  EXPERIMENTS.md records
+   the claims these tables support. *)
+
+open Rel
+open Bench_util
+
+(* ---- fixtures --------------------------------------------------------------- *)
+
+let tpcd_sdb () =
+  let sdb = Core.Softdb.create () in
+  Workload.Tpcd.load (Core.Softdb.db sdb);
+  Workload.Tpcd.create_sales (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let purchase_sdb ?(rows = 20_000) ?(late = 0.01) () =
+  let sdb = Core.Softdb.create () in
+  Workload.Purchase.load
+    ~config:{ Workload.Purchase.default_config with rows; late_fraction = late }
+    (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let project_sdb () =
+  let sdb = Core.Softdb.create () in
+  Workload.Project.load (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let mined_purchase_band sdb =
+  Option.get
+    (Mining.Diff_band.mine
+       (Database.table_exn (Core.Softdb.db sdb) "purchase")
+       ~col_hi:"ship_date" ~col_lo:"order_date")
+
+let install_purchase_band sdb ~name ~confidence =
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "purchase" in
+  let d = mined_purchase_band sdb in
+  let band = Option.get (Mining.Diff_band.band_with d ~confidence) in
+  let kind =
+    if band.Mining.Diff_band.confidence >= 1.0 then Core.Soft_constraint.Absolute
+    else Core.Soft_constraint.Statistical band.Mining.Diff_band.confidence
+  in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name ~table:"purchase" ~kind
+       ~installed_at_mutations:(Table.mutations tbl)
+       (Core.Soft_constraint.Diff_stmt (d, band)))
+
+(* ============================================================================ *)
+(* E1 — join elimination over referential integrity (paper §2, [6])             *)
+(* ============================================================================ *)
+
+let e1 () =
+  let sdb = tpcd_sdb () in
+  let rows =
+    List.map
+      (fun sql ->
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S (truncate_sql sql);
+          I off.scanned;
+          I on_.scanned;
+          F1 off.time_ms;
+          F1 on_.time_ms;
+          F1 (speedup off.time_ms on_.time_ms);
+          B equal;
+        ])
+      (Workload.Queries.join_elimination_suite
+      @ [ Workload.Queries.join_elimination_negative ])
+  in
+  print_table
+    ~title:
+      "E1  Join elimination via RI (last row: negative control, parent \
+       columns used)"
+    ~header:
+      [ "query"; "rows off"; "rows on"; "ms off"; "ms on"; "speedup"; "equal" ]
+    rows
+
+(* ============================================================================ *)
+(* E2 — predicate introduction from a mined linear/band ASC (paper §2, [10])    *)
+(* ============================================================================ *)
+
+let e2 () =
+  let sdb = purchase_sdb ~rows:60_000 () in
+  let d = mined_purchase_band sdb in
+  install_purchase_band sdb ~name:"ship_band_asc" ~confidence:1.0;
+  let queries =
+    List.map
+      (fun day -> Workload.Queries.purchase_ship_eq day)
+      [ Date.of_ymd 1999 3 15; Date.of_ymd 1999 6 15; Date.of_ymd 1999 11 2 ]
+    @ [
+        Workload.Queries.purchase_ship_range (Date.of_ymd 1999 7 1)
+          (Date.of_ymd 1999 7 7);
+      ]
+  in
+  let rows =
+    List.map
+      (fun sql ->
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S (truncate_sql sql);
+          I off.pages;
+          I on_.pages;
+          F1 off.time_ms;
+          F1 on_.time_ms;
+          F1 (speedup off.time_ms on_.time_ms);
+          B equal;
+        ])
+      queries
+  in
+  print_table
+    ~title:
+      "E2  Predicate introduction from a 100%-valid mined band (index on \
+       order_date, none on ship_date)"
+    ~header:
+      [ "query"; "pages off"; "pages on"; "ms off"; "ms on"; "speedup";
+        "equal" ]
+    rows;
+  (* the ε-threshold trade-off: tighter bands at lower confidence *)
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "purchase" in
+  let band_rows =
+    List.map
+      (fun (b : Mining.Diff_band.band) ->
+        [
+          F b.Mining.Diff_band.confidence;
+          F1 b.Mining.Diff_band.d_min;
+          F1 b.Mining.Diff_band.d_max;
+          F1 (b.Mining.Diff_band.d_max -. b.Mining.Diff_band.d_min);
+          F (Mining.Diff_band.coverage tbl d b);
+        ])
+      d.Mining.Diff_band.bands
+  in
+  print_table
+    ~title:
+      "E2b Band width vs. confidence (the paper's \"should the database \
+       also keep eps70 and eps80?\")"
+    ~header:[ "confidence"; "d_min"; "d_max"; "width"; "measured coverage" ]
+    band_rows
+
+(* ============================================================================ *)
+(* E3 — join-hole range trimming (paper §2, [8])                                 *)
+(* ============================================================================ *)
+
+let holes_sdb ?(pairs = 6000) () =
+  let sdb = Core.Softdb.create () in
+  let db = Core.Softdb.db sdb in
+  ignore
+    (Core.Softdb.exec_script sdb
+       "CREATE TABLE hleft (j INT PRIMARY KEY, a INT NOT NULL);
+        CREATE TABLE hright (j INT NOT NULL, b INT NOT NULL);
+        CREATE INDEX hleft_a ON hleft (a);
+        CREATE INDEX hright_b ON hright (b);");
+  let rng = Stats.Rng.create 31 in
+  let k = ref 0 in
+  while !k < pairs do
+    let a = Stats.Rng.int rng 100 and b = Stats.Rng.int rng 100 in
+    (* two planted holes *)
+    if
+      not
+        ((a >= 20 && a < 50 && b >= 30 && b < 70)
+        || (a >= 70 && a < 95 && b >= 0 && b < 25))
+    then begin
+      incr k;
+      ignore
+        (Database.insert db ~table:"hleft"
+           (Tuple.make [ Value.Int !k; Value.Int a ]));
+      ignore
+        (Database.insert db ~table:"hright"
+           (Tuple.make [ Value.Int !k; Value.Int b ]))
+    end
+  done;
+  Core.Softdb.runstats sdb;
+  let left = Database.table_exn db "hleft"
+  and right = Database.table_exn db "hright" in
+  let h =
+    Option.get
+      (Mining.Join_holes.mine ~grid:25 ~left ~right ~join_left:"j"
+         ~join_right:"j" ~left_col:"a" ~right_col:"b" ())
+  in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name:"holes" ~table:"hleft"
+       ~kind:Core.Soft_constraint.Absolute
+       ~installed_at_mutations:(Table.mutations left)
+       (Core.Soft_constraint.Holes_stmt h));
+  (sdb, h)
+
+let e3 () =
+  let sdb, h = holes_sdb () in
+  Printf.printf "\nmined: %s\n" (Fmt.str "%a" Mining.Join_holes.pp h);
+  let queries =
+    [
+      (* A-range inside hole 1: B-range should trim *)
+      "SELECT * FROM hleft l, hright r WHERE l.j = r.j AND l.a BETWEEN 25 \
+       AND 45 AND r.b BETWEEN 10 AND 65";
+      (* fully inside hole 1: empty *)
+      "SELECT * FROM hleft l, hright r WHERE l.j = r.j AND l.a BETWEEN 25 \
+       AND 45 AND r.b BETWEEN 35 AND 60";
+      (* A-range inside hole 2 *)
+      "SELECT * FROM hleft l, hright r WHERE l.j = r.j AND l.a BETWEEN 75 \
+       AND 90 AND r.b BETWEEN 5 AND 60";
+      (* control: outside all holes — no trimming effect *)
+      "SELECT * FROM hleft l, hright r WHERE l.j = r.j AND l.a BETWEEN 0 \
+       AND 15 AND r.b BETWEEN 75 AND 99";
+    ]
+  in
+  let rows =
+    List.map
+      (fun sql ->
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S (truncate_sql ~width:70 sql);
+          I off.rows;
+          I off.scanned;
+          I on_.scanned;
+          I off.pages;
+          I on_.pages;
+          F1 (speedup (float_of_int off.scanned) (float_of_int on_.scanned));
+          B equal;
+        ])
+      queries
+  in
+  print_table
+    ~title:"E3  Join-hole range trimming (last row: control outside holes)"
+    ~header:
+      [ "query"; "out rows"; "scanned off"; "scanned on"; "pages off";
+        "pages on"; "scan ratio"; "equal" ]
+    rows
+
+(* ============================================================================ *)
+(* E4 — SSC twinning for cardinality estimation (paper §5.1)                    *)
+(* ============================================================================ *)
+
+let e4 () =
+  let mk confidence_override =
+    let sdb = project_sdb () in
+    let tbl = Database.table_exn (Core.Softdb.db sdb) "project" in
+    let d =
+      Option.get
+        (Mining.Diff_band.mine tbl ~col_hi:"end_date" ~col_lo:"start_date")
+    in
+    let band = Option.get (Mining.Diff_band.band_with d ~confidence:0.9) in
+    let band =
+      match confidence_override with
+      | None -> band
+      | Some c -> { band with Mining.Diff_band.confidence = c }
+    in
+    Core.Softdb.install_sc sdb
+      (Core.Soft_constraint.make ~name:"proj_band" ~table:"project"
+         ~kind:
+           (Core.Soft_constraint.Statistical band.Mining.Diff_band.confidence)
+         ~installed_at_mutations:(Table.mutations tbl)
+         (Core.Soft_constraint.Diff_stmt (d, band)));
+    sdb
+  in
+  let sdb = mk None in
+  let sdb_noconf = mk (Some 1.0) in
+  (* ablation: twin taken at face value, no confidence blending *)
+  let days =
+    [
+      Date.of_ymd 1998 3 1; Date.of_ymd 1998 6 1; Date.of_ymd 1998 9 1;
+      Date.of_ymd 1999 1 1; Date.of_ymd 1999 6 1; Date.of_ymd 1999 10 1;
+    ]
+  in
+  let gm = ref (1.0, 1.0, 1.0) in
+  let rows =
+    List.map
+      (fun day ->
+        let sql = Workload.Queries.project_active_on day in
+        let truth =
+          float_of_int (Workload.Project.active_on (Core.Softdb.db sdb) day)
+        in
+        let est flags sdb =
+          (Core.Softdb.explain ?flags sdb sql).Opt.Explain.estimated_cardinality
+        in
+        let indep = est (Some Opt.Rewrite.all_off) sdb in
+        let twin_nc = est None sdb_noconf in
+        let twin = est None sdb in
+        let q1 = qerror indep truth
+        and q2 = qerror twin_nc truth
+        and q3 = qerror twin truth in
+        let a, b, c = !gm in
+        gm := (a *. q1, b *. q2, c *. q3);
+        [
+          S (Date.to_string day);
+          F1 truth;
+          F1 indep;
+          F1 twin_nc;
+          F1 twin;
+          F1 q1;
+          F1 q2;
+          F1 q3;
+        ])
+      days
+  in
+  let n = float_of_int (List.length days) in
+  let a, b, c = !gm in
+  let rows =
+    rows
+    @ [
+        [
+          S "geometric mean q-error";
+          S ""; S ""; S ""; S "";
+          F1 (Float.pow a (1.0 /. n));
+          F1 (Float.pow b (1.0 /. n));
+          F1 (Float.pow c (1.0 /. n));
+        ];
+      ]
+  in
+  print_table
+    ~title:
+      "E4  Cardinality estimates for \"projects active on day d\" \
+       (independence vs. twinned vs. twinned+confidence)"
+    ~header:
+      [ "day"; "truth"; "indep"; "twin"; "twin+conf"; "q-indep"; "q-twin";
+        "q-t+c" ]
+    rows
+
+(* ============================================================================ *)
+(* E5 — union-all branch elimination (paper §5)                                  *)
+(* ============================================================================ *)
+
+let e5 () =
+  let sdb = Core.Softdb.create () in
+  Workload.Tpcd.create_sales (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  let spans =
+    [
+      ("one month", Date.of_ymd 1999 5 5, Date.of_ymd 1999 5 25);
+      ("three months", Date.of_ymd 1999 1 10, Date.of_ymd 1999 3 20);
+      ("six months", Date.of_ymd 1999 4 1, Date.of_ymd 1999 9 30);
+      ("full year", Date.of_ymd 1999 1 1, Date.of_ymd 1999 12 31);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, lo, hi) ->
+        let sql = Workload.Tpcd.sales_union_sql ~date_lo:lo ~date_hi:hi in
+        let off, on_, equal = compare_query sdb sql in
+        let branches =
+          match (Core.Softdb.explain sdb sql).Opt.Explain.plan with
+          | Exec.Plan.Union_all l -> List.length l
+          | _ -> 1
+        in
+        [
+          S label;
+          I 12;
+          I branches;
+          I off.scanned;
+          I on_.scanned;
+          F1 (speedup off.time_ms on_.time_ms);
+          B equal;
+        ])
+      spans
+  in
+  print_table
+    ~title:
+      "E5  Union-all branch elimination over 12 monthly partitions with \
+       CHECK month constraints"
+    ~header:
+      [ "query span"; "branches"; "kept"; "scanned off"; "scanned on";
+        "speedup"; "equal" ]
+    rows
+
+(* ============================================================================ *)
+(* E6 — ASC-as-AST: the late_shipments exception plan (paper §4.4)               *)
+(* ============================================================================ *)
+
+let e6 () =
+  let sdb = purchase_sdb ~rows:60_000 () in
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE purchase ADD CONSTRAINT ship_3w CHECK (ship_date - \
+        order_date BETWEEN 0 AND 21) SOFT");
+  ignore
+    (Core.Softdb.exec sdb
+       "CREATE EXCEPTION TABLE late_shipments FOR CONSTRAINT ship_3w");
+  let db = Core.Softdb.db sdb in
+  let exc = Table.cardinality (Database.table_exn db "late_shipments") in
+  let total = Table.cardinality (Database.table_exn db "purchase") in
+  Printf.printf "\nexception table: %d of %d rows (%.2f%%)\n" exc total
+    (100.0 *. float_of_int exc /. float_of_int total);
+  let days =
+    [
+      Date.of_ymd 1999 2 10; Date.of_ymd 1999 6 15; Date.of_ymd 1999 9 3;
+      Date.of_ymd 1999 12 15;
+    ]
+  in
+  let rows =
+    List.map
+      (fun day ->
+        let sql = Workload.Queries.purchase_ship_eq day in
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S (Date.to_string day);
+          I off.rows;
+          I off.pages;
+          I on_.pages;
+          F1 off.time_ms;
+          F1 on_.time_ms;
+          F1 (speedup off.time_ms on_.time_ms);
+          B equal;
+        ])
+      days
+  in
+  print_table
+    ~title:
+      "E6  late_shipments exception-union plan: full scan vs. introduced \
+       predicate + UNION ALL exceptions"
+    ~header:
+      [ "ship_date ="; "out rows"; "pages off"; "pages on"; "ms off";
+        "ms on"; "speedup"; "equal" ]
+    rows
+
+(* ============================================================================ *)
+(* E7 — SSC currency: predicted bound vs. measured confidence (paper §3.3)       *)
+(* ============================================================================ *)
+
+let e7 () =
+  (* the paper's scenario scaled 1:20 — 50k-row table, 50 updates/day of
+     which a third violate the band, for 30 days *)
+  let sdb = purchase_sdb ~rows:50_000 ~late:0.0 () in
+  let db = Core.Softdb.db sdb in
+  install_purchase_band sdb ~name:"ship_band" ~confidence:0.99;
+  let sc =
+    Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "ship_band")
+  in
+  let d, band =
+    match sc.Core.Soft_constraint.statement with
+    | Core.Soft_constraint.Diff_stmt (d, band) -> (d, band)
+    | _ -> assert false
+  in
+  let tbl = Database.table_exn db "purchase" in
+  let rng = Stats.Rng.create 41 in
+  let rows = ref [] in
+  let next_id = ref 2_000_000 in
+  for day = 0 to 30 do
+    if day > 0 then begin
+      Workload.Purchase.insert_batch ~violating:0.33 ~rng ~start_id:!next_id
+        ~count:50 db;
+      next_id := !next_id + 50
+    end;
+    if day mod 5 = 0 then begin
+      let predicted = Core.Sc_catalog.current_confidence db sc in
+      let measured = Mining.Diff_band.coverage tbl d band in
+      rows :=
+        [
+          I day;
+          I (day * 50);
+          F predicted;
+          F measured;
+          B (predicted <= measured +. 1e-9);
+        ]
+        :: !rows
+    end
+  done;
+  print_table
+    ~title:
+      "E7  SSC currency drift: predicted lower bound (c - u/N) vs. measured \
+       coverage over a 30-day update stream"
+    ~header:
+      [ "day"; "updates"; "predicted bound"; "measured"; "bound holds" ]
+    (List.rev !rows)
+
+(* ============================================================================ *)
+(* E8 — FD-based group-by / order-by simplification (paper §2, [29])             *)
+(* ============================================================================ *)
+
+let e8 () =
+  let sdb = tpcd_sdb () in
+  let db = Core.Softdb.db sdb in
+  let nation = Database.table_exn db "nation" in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name:"nation_fd" ~table:"nation"
+       ~kind:Core.Soft_constraint.Absolute
+       ~installed_at_mutations:(Table.mutations nation)
+       (Core.Soft_constraint.Fd_stmt
+          { Mining.Fd_mine.table = "nation"; lhs = [ "n_nationkey" ];
+            rhs = "n_name" }));
+  let count_keys sdb flags sql =
+    let report = Core.Softdb.explain ?flags sdb sql in
+    let rec go plan =
+      match plan with
+      | Exec.Plan.Sort { input; keys } -> List.length keys + go input
+      | Exec.Plan.Group { input; keys; _ } -> List.length keys + go input
+      | Exec.Plan.Project { input; _ }
+      | Exec.Plan.Filter { input; _ }
+      | Exec.Plan.Limit { input; _ } ->
+          go input
+      | Exec.Plan.Distinct i -> go i
+      | Exec.Plan.Hash_join { left; right; _ }
+      | Exec.Plan.Merge_join { left; right; _ }
+      | Exec.Plan.Nested_loop_join { left; right; _ } ->
+          go left + go right
+      | Exec.Plan.Union_all l -> List.fold_left (fun a p -> a + go p) 0 l
+      | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _ -> 0
+    in
+    go report.Opt.Explain.plan
+  in
+  let rows =
+    List.map
+      (fun sql ->
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S (truncate_sql sql);
+          I (count_keys sdb (Some Opt.Rewrite.all_off) sql);
+          I (count_keys sdb None sql);
+          F1 off.time_ms;
+          F1 on_.time_ms;
+          B equal;
+        ])
+      [ Workload.Queries.fd_order_by; Workload.Queries.fd_group_by ]
+  in
+  print_table
+    ~title:
+      "E8  FD simplification: redundant ORDER BY / GROUP BY keys removed \
+       (n_nationkey -> n_name)"
+    ~header:
+      [ "query"; "sort+group keys off"; "keys on"; "ms off"; "ms on";
+        "equal" ]
+    rows
+
+(* ============================================================================ *)
+(* E9 — join-hole discovery is linear in the join size (paper §2, [8])           *)
+(* ============================================================================ *)
+
+let e9 () =
+  let mine_at pairs =
+    let sdb = Core.Softdb.create () in
+    let db = Core.Softdb.db sdb in
+    ignore
+      (Core.Softdb.exec_script sdb
+         "CREATE TABLE sleft (j INT PRIMARY KEY, a INT NOT NULL);
+          CREATE TABLE sright (j INT NOT NULL, b INT NOT NULL);");
+    let rng = Stats.Rng.create 61 in
+    for k = 1 to pairs do
+      ignore
+        (Database.insert db ~table:"sleft"
+           (Tuple.make [ Value.Int k; Value.Int (Stats.Rng.int rng 1000) ]));
+      ignore
+        (Database.insert db ~table:"sright"
+           (Tuple.make [ Value.Int k; Value.Int (Stats.Rng.int rng 1000) ]))
+    done;
+    let left = Database.table_exn db "sleft"
+    and right = Database.table_exn db "sright" in
+    let h, dt =
+      timed ~reps:3 (fun () ->
+          Option.get
+            (Mining.Join_holes.mine ~grid:32 ~left ~right ~join_left:"j"
+               ~join_right:"j" ~left_col:"a" ~right_col:"b" ()))
+    in
+    (h, dt)
+  in
+  let sizes = [ 2_000; 4_000; 8_000; 16_000; 32_000 ] in
+  let base = ref None in
+  let rows =
+    List.map
+      (fun n ->
+        let h, dt = mine_at n in
+        let per_row = ms dt /. float_of_int n *. 1000.0 in
+        (if !base = None then base := Some per_row);
+        [
+          I n;
+          I h.Mining.Join_holes.join_rows;
+          I (List.length h.Mining.Join_holes.rects);
+          F1 (ms dt);
+          F per_row;
+          F1 (per_row /. Option.get !base);
+        ])
+      sizes
+  in
+  print_table
+    ~title:
+      "E9  Join-hole discovery scaling: wall time vs. join-result size \
+       (us/row should stay ~flat)"
+    ~header:
+      [ "join rows"; "scanned"; "rects"; "ms"; "us/row"; "vs smallest" ]
+    rows
+
+(* ============================================================================ *)
+(* E10 — informational constraints avoid checking cost (paper §1)                *)
+(* ============================================================================ *)
+
+let e10 () =
+  let load enforcement =
+    let sdb = Core.Softdb.create () in
+    let (), dt =
+      timed ~reps:3 (fun () ->
+          let db = Database.create () in
+          Workload.Tpcd.create_schema ~fk_enforcement:enforcement db;
+          ignore (Workload.Tpcd.load_rows db))
+    in
+    ignore sdb;
+    dt
+  in
+  let t_enforced = load Icdef.Enforced in
+  let t_informational = load Icdef.Informational in
+  print_table
+    ~title:
+      "E10 Bulk load with referential integrity + checks ENFORCED vs. \
+       INFORMATIONAL (loader-verified)"
+    ~header:[ "mode"; "load ms"; "speedup" ]
+    [
+      [ S "enforced"; F1 (ms t_enforced); F1 1.0 ];
+      [
+        S "informational";
+        F1 (ms t_informational);
+        F1 (speedup t_enforced t_informational);
+      ];
+    ]
+
+(* ============================================================================ *)
+(* E11 — ASC maintenance policies under violating updates (paper §4.1–§4.3)      *)
+(* ============================================================================ *)
+
+let e11 () =
+  let stream_count = 2_000 and violating = 0.01 in
+  let run_policy label policy =
+    let sdb = purchase_sdb ~rows:8_000 ~late:0.0 () in
+    let db = Core.Softdb.db sdb in
+    install_purchase_band sdb ~name:"band" ~confidence:1.0;
+    let sc = Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "band") in
+    (match policy with
+    | `Exception_table ->
+        ignore
+          (Core.Softdb.exec sdb
+             "CREATE EXCEPTION TABLE band_exc FOR CONSTRAINT band")
+    | `Drop | `Sync | `Async ->
+        Core.Maintenance.set_policy (Core.Softdb.maintenance sdb) "band"
+          (match policy with
+          | `Drop -> Core.Maintenance.Drop
+          | `Sync -> Core.Maintenance.Sync_repair
+          | `Async -> Core.Maintenance.Async_repair
+          | `Exception_table -> assert false));
+    let rng = Stats.Rng.create 71 in
+    let available = ref 0 in
+    let (), dt =
+      time (fun () ->
+          for i = 0 to stream_count - 1 do
+            Workload.Purchase.insert_batch ~violating ~rng
+              ~start_id:(3_000_000 + i) ~count:1 db;
+            (* usable for rewrite this instant? exception-backed ASCs stay
+               usable through their union rewrite *)
+            if
+              Core.Soft_constraint.is_usable sc || policy = `Exception_table
+            then incr available
+          done;
+          if policy = `Async then
+            Core.Maintenance.run_repairs (Core.Softdb.maintenance sdb))
+    in
+    let usable_after =
+      Core.Soft_constraint.is_usable sc || policy = `Exception_table
+    in
+    [
+      S label;
+      F1 (ms dt);
+      F (float_of_int !available /. float_of_int stream_count);
+      B usable_after;
+      I sc.Core.Soft_constraint.violation_count;
+    ]
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E11 ASC maintenance policies under a %d-insert stream (%.0f%% \
+          violating)"
+         stream_count (100.0 *. violating))
+    ~header:
+      [ "policy"; "ingest ms"; "availability"; "usable after"; "violations" ]
+    [
+      run_policy "drop on violation" `Drop;
+      run_policy "synchronous repair (widen)" `Sync;
+      run_policy "asynchronous repair (re-mine)" `Async;
+      run_policy "exception table (ASC-as-AST)" `Exception_table;
+    ]
+
+(* ============================================================================ *)
+(* E12 — the advisor end to end: mine, select, exploit (paper §3.2)              *)
+(* ============================================================================ *)
+
+let e12 () =
+  let sdb = Core.Softdb.create () in
+  let db = Core.Softdb.db sdb in
+  Workload.Purchase.load db;
+  Workload.Project.load db;
+  Core.Softdb.runstats sdb;
+  let workload =
+    List.map Workload.Queries.parse Workload.Queries.advisor_workload
+  in
+  let outcome, dt =
+    timed ~reps:1 (fun () ->
+        Core.Advisor.advise ~db ~stats:(Core.Softdb.statistics sdb)
+          ~catalog:(Core.Softdb.catalog sdb) ~workload ())
+  in
+  Printf.printf "\nadvisor: %d candidates mined and assessed in %.0f ms\n"
+    outcome.Core.Advisor.candidates (ms dt);
+  print_table ~title:"E12a Selected soft constraints (estimated utility)"
+    ~header:[ "constraint"; "est. benefit"; "plans changed"; "upkeep"; "net" ]
+    (List.map
+       (fun (a : Core.Selection.assessment) ->
+         [
+           S a.Core.Selection.sc.Core.Soft_constraint.name;
+           F1 a.Core.Selection.benefit;
+           I a.Core.Selection.plans_changed;
+           F1 a.Core.Selection.maintenance_cost;
+           F1 a.Core.Selection.net;
+         ])
+       outcome.Core.Advisor.assessed);
+  let rows =
+    List.map
+      (fun sql ->
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S (truncate_sql sql);
+          I off.pages;
+          I on_.pages;
+          F1 (speedup (float_of_int off.pages) (float_of_int on_.pages));
+          B equal;
+        ])
+      Workload.Queries.advisor_workload
+  in
+  print_table ~title:"E12b Realized workload benefit with the installed SCs"
+    ~header:[ "query"; "pages off"; "pages on"; "page ratio"; "equal" ]
+    rows
+
+(* ============================================================================ *)
+(* E13 — runtime min/max parameterization, Sybase-style (paper §2, §4.2)        *)
+(* ============================================================================ *)
+
+let e13 () =
+  let sdb = purchase_sdb ~rows:40_000 () in
+  ignore
+    (Core.Domain_tracker.track sdb ~table:"purchase"
+       ~columns:[ "order_date"; "quantity" ]);
+  let queries =
+    [
+      (* beyond the maintained max: provably empty, zero rows touched *)
+      ("beyond max", "SELECT * FROM purchase WHERE order_date >= DATE \
+                      '2005-01-01'");
+      ("below min", "SELECT * FROM purchase WHERE quantity < 1");
+      (* open-ended range near the edge: closed at the maintained bound *)
+      ("open range at edge",
+       "SELECT * FROM purchase WHERE order_date >= DATE '1999-12-28'");
+      (* control: mid-domain range — domain knowledge cannot help *)
+      ("mid-domain control",
+       "SELECT * FROM purchase WHERE order_date BETWEEN DATE '1999-06-01' \
+        AND DATE '1999-06-05'");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, sql) ->
+        let off, on_, equal = compare_query sdb sql in
+        [
+          S label;
+          I off.rows;
+          I off.scanned;
+          I on_.scanned;
+          I off.pages;
+          I on_.pages;
+          B equal;
+        ])
+      queries
+  in
+  print_table
+    ~title:
+      "E13 Runtime min/max parameterization (synchronously maintained \
+       domain SCs, Sybase-style)"
+    ~header:
+      [ "query"; "out rows"; "scanned off"; "scanned on"; "pages off";
+        "pages on"; "equal" ]
+    rows;
+  (* maintenance: the domain stays valid under inserts beyond the max *)
+  let rng = Stats.Rng.create 77 in
+  Workload.Purchase.insert_batch ~violating:0.0 ~rng ~start_id:5_000_000
+    ~count:100 (Core.Softdb.db sdb);
+  let sc =
+    Option.get
+      (Core.Sc_catalog.find (Core.Softdb.catalog sdb)
+         (Core.Domain_tracker.sc_name ~table:"purchase" ~column:"order_date"))
+  in
+  Printf.printf
+    "after 100 further inserts: domain SC state = %s (synchronous widening)\n"
+    (Fmt.str "%a" Core.Soft_constraint.pp_state sc.Core.Soft_constraint.state)
+
+(* ============================================================================ *)
+(* E14 — rule-ablation matrix: each rewrite's contribution, no degradation      *)
+(* ============================================================================ *)
+
+let e14 () =
+  (* one database exercising every pathway at once *)
+  let sdb = Core.Softdb.create () in
+  let db = Core.Softdb.db sdb in
+  Workload.Tpcd.load
+    ~config:{ Workload.Tpcd.default_config with customers = 400; orders = 2000 }
+    db;
+  Workload.Tpcd.create_sales db;
+  Workload.Purchase.load
+    ~config:{ Workload.Purchase.default_config with rows = 20_000 }
+    db;
+  Core.Softdb.runstats sdb;
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE purchase ADD CONSTRAINT ship_3w CHECK (ship_date - \
+        order_date BETWEEN 0 AND 21) SOFT");
+  ignore
+    (Core.Softdb.exec sdb
+       "CREATE EXCEPTION TABLE late_shipments FOR CONSTRAINT ship_3w");
+  let nation = Database.table_exn db "nation" in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name:"nation_fd" ~table:"nation"
+       ~kind:Core.Soft_constraint.Absolute
+       ~installed_at_mutations:(Table.mutations nation)
+       (Core.Soft_constraint.Fd_stmt
+          { Mining.Fd_mine.table = "nation"; lhs = [ "n_nationkey" ];
+            rhs = "n_name" }));
+  let suite =
+    [
+      List.hd Workload.Queries.join_elimination_suite;
+      Workload.Queries.purchase_ship_eq (Date.of_ymd 1999 6 15);
+      Workload.Tpcd.sales_union_sql ~date_lo:(Date.of_ymd 1999 1 10)
+        ~date_hi:(Date.of_ymd 1999 3 20);
+      Workload.Queries.fd_group_by;
+    ]
+  in
+  let run_with label flags =
+    let pages = ref 0 and scanned = ref 0 and all_equal = ref true in
+    List.iter
+      (fun sql ->
+        let off = run_query ~flags:Opt.Rewrite.all_off ~reps:1 sdb sql in
+        let on_ = run_query ~flags ~reps:1 sdb sql in
+        pages := !pages + on_.pages;
+        scanned := !scanned + on_.scanned;
+        if not (Exec.Executor.same_rows off.result on_.result) then
+          all_equal := false)
+      suite;
+    [ S label; I !scanned; I !pages; B !all_equal ]
+  in
+  let open Opt.Rewrite in
+  print_table
+    ~title:
+      "E14 Rule-ablation matrix over a 4-query suite (join-elim query, \
+       exception query, union-all query, FD group query)"
+    ~header:[ "configuration"; "rows scanned"; "pages"; "answers equal" ]
+    [
+      run_with "all rules OFF (baseline)" all_off;
+      run_with "all rules ON" all_on;
+      run_with "- join_elimination" { all_on with join_elimination = false };
+      run_with "- predicate_introduction"
+        { all_on with predicate_introduction = false };
+      run_with "- exception_union" { all_on with exception_union = false };
+      run_with "- unionall_pruning" { all_on with unionall_pruning = false };
+      run_with "- fd_simplification" { all_on with fd_simplification = false };
+      run_with "- twinning (estimation only)" { all_on with twinning = false };
+    ]
+
+(* ============================================================================ *)
+(* E15 — prepared plans: ASC invalidation and backup plans (paper §4.1)         *)
+(* ============================================================================ *)
+
+let e15 () =
+  let sdb = purchase_sdb ~rows:20_000 ~late:0.0 () in
+  install_purchase_band sdb ~name:"band" ~confidence:1.0;
+  let cache = Core.Plan_cache.create sdb in
+  let days =
+    List.init 8 (fun i -> Date.of_ymd 1999 (1 + i) 15)
+  in
+  List.iteri
+    (fun i day ->
+      ignore
+        (Core.Plan_cache.prepare cache
+           ~name:(Printf.sprintf "q%d" i)
+           (Workload.Queries.purchase_ship_eq day)))
+    days;
+  let run_all label =
+    let correct = ref true and fast = ref 0 and backup = ref 0 in
+    List.iteri
+      (fun i day ->
+        let name = Printf.sprintf "q%d" i in
+        let before =
+          (Option.get (Core.Plan_cache.find cache name)).Core.Plan_cache
+            .backup_runs
+        in
+        let r = Core.Plan_cache.execute cache name in
+        let base =
+          Core.Softdb.query_baseline sdb (Workload.Queries.purchase_ship_eq day)
+        in
+        if not (Exec.Executor.same_rows base r) then correct := false;
+        let e = Option.get (Core.Plan_cache.find cache name) in
+        if e.Core.Plan_cache.backup_runs > before then incr backup
+        else incr fast)
+      days;
+    [ S label; I !fast; I !backup; B !correct ]
+  in
+  let rows = ref [ run_all "all ASCs valid" ] in
+  (* a violating insert overturns the band (drop policy) *)
+  let rng = Stats.Rng.create 97 in
+  Workload.Purchase.insert_batch ~violating:1.0 ~rng ~start_id:7_000_000
+    ~count:1 (Core.Softdb.db sdb);
+  rows := run_all "after ASC overturned (backup plans)" :: !rows;
+  (* asynchronous repair re-mines; reprepare restores fast plans *)
+  Core.Maintenance.run_repairs (Core.Softdb.maintenance sdb);
+  let sc = Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "band") in
+  (match sc.Core.Soft_constraint.state with
+  | Core.Soft_constraint.Violated ->
+      (* drop policy was in effect; re-mine manually for the final phase *)
+      Core.Maintenance.set_policy (Core.Softdb.maintenance sdb) "band"
+        Core.Maintenance.Async_repair;
+      let tbl = Database.table_exn (Core.Softdb.db sdb) "purchase" in
+      let d =
+        Option.get
+          (Mining.Diff_band.mine tbl ~col_hi:"ship_date" ~col_lo:"order_date")
+      in
+      let b = Option.get (Mining.Diff_band.band_with d ~confidence:1.0) in
+      sc.Core.Soft_constraint.statement <- Core.Soft_constraint.Diff_stmt (d, b);
+      sc.Core.Soft_constraint.state <- Core.Soft_constraint.Active
+  | _ -> ());
+  Core.Plan_cache.reprepare cache;
+  rows := run_all "after re-mine + reprepare" :: !rows;
+  print_table
+    ~title:
+      "E15 Prepared plans under ASC violation: fast plans, backup fallback, \
+       recompilation (paper §4.1)"
+    ~header:[ "phase"; "fast runs"; "backup runs"; "all correct" ]
+    (List.rev !rows)
+
+let all =
+  [
+    ("e1", "join elimination via RI [6]", e1);
+    ("e2", "predicate introduction from mined bands [10]", e2);
+    ("e3", "join-hole range trimming [8]", e3);
+    ("e4", "SSC twinning for cardinality estimation (§5.1)", e4);
+    ("e5", "union-all branch elimination (§5)", e5);
+    ("e6", "late_shipments exception plan (§4.4)", e6);
+    ("e7", "SSC currency drift bound (§3.3)", e7);
+    ("e8", "FD group/order simplification [29]", e8);
+    ("e9", "hole discovery scaling [8]", e9);
+    ("e10", "informational constraints load cost (§1)", e10);
+    ("e11", "ASC maintenance policies (§4.1-4.3)", e11);
+    ("e12", "advisor end to end (§3.2)", e12);
+    ("e13", "runtime min/max parameterization (§4.2)", e13);
+    ("e14", "rule-ablation matrix", e14);
+    ("e15", "prepared plans: ASC invalidation + backup (§4.1)", e15);
+  ]

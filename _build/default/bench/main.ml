@@ -1,0 +1,37 @@
+(* The benchmark harness: regenerates every experiment table of
+   EXPERIMENTS.md, plus Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- e4 e6   # selected experiments
+     dune exec bench/main.exe -- micro   # micro-benchmarks only
+     dune exec bench/main.exe -- list    # what exists
+*)
+
+let list_experiments () =
+  print_endline "experiments:";
+  List.iter
+    (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc)
+    Experiments.all;
+  print_endline "  micro bechamel micro-benchmarks"
+
+let run_one id =
+  match List.find_opt (fun (i, _, _) -> i = id) Experiments.all with
+  | Some (_, desc, f) ->
+      Printf.printf "\n================ %s: %s ================\n" id desc;
+      f ()
+  | None ->
+      if id = "micro" then Micro.run ()
+      else begin
+        Printf.eprintf "unknown experiment %s\n" id;
+        list_experiments ();
+        exit 1
+      end
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      List.iter (fun (id, _, _) -> run_one id) Experiments.all;
+      Micro.run ()
+  | _ :: [ "list" ] -> list_experiments ()
+  | _ :: ids -> List.iter run_one ids
+  | [] -> assert false

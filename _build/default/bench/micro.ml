@@ -1,0 +1,99 @@
+(* Bechamel micro-benchmarks of the hot paths: B+-tree operations,
+   histogram estimation, SQL parsing, the full optimize pipeline, and
+   query execution. *)
+
+open Bechamel
+open Toolkit
+open Rel
+
+module Itree = Bptree.Make (Int)
+
+let prepared_tree =
+  lazy
+    (let t = Itree.create ~b:16 () in
+     for i = 0 to 9_999 do
+       ignore (Itree.insert t ((i * 7919) mod 65_536) i)
+     done;
+     t)
+
+let prepared_histogram =
+  lazy
+    (let rng = Stats.Rng.create 5 in
+     Stats.Histogram.build ~buckets:32
+       (List.init 10_000 (fun _ -> Value.Int (Stats.Rng.int rng 1_000))))
+
+let prepared_sdb =
+  lazy
+    (let sdb = Core.Softdb.create () in
+     Workload.Purchase.load
+       ~config:{ Workload.Purchase.default_config with rows = 2_000 }
+       (Core.Softdb.db sdb);
+     Core.Softdb.runstats sdb;
+     ignore
+       (Core.Softdb.exec sdb
+          "ALTER TABLE purchase ADD CONSTRAINT ship_3w CHECK (ship_date - \
+           order_date BETWEEN 0 AND 21) SOFT");
+     sdb)
+
+let sql = "SELECT * FROM purchase WHERE ship_date = DATE '1999-06-15'"
+
+let tests =
+  [
+    Test.make ~name:"bptree insert+remove"
+      (Staged.stage (fun () ->
+           let t = Lazy.force prepared_tree in
+           ignore (Itree.insert t 999_999 0);
+           ignore (Itree.remove t 999_999)));
+    Test.make ~name:"bptree lookup"
+      (Staged.stage (fun () ->
+           ignore (Itree.find (Lazy.force prepared_tree) 7919)));
+    Test.make ~name:"bptree range-100"
+      (Staged.stage (fun () ->
+           ignore
+             (Itree.range (Lazy.force prepared_tree) ~lo:(Itree.Incl 1_000)
+                ~hi:(Itree.Incl 1_100))));
+    Test.make ~name:"histogram range estimate"
+      (Staged.stage (fun () ->
+           ignore
+             (Stats.Histogram.selectivity_range
+                (Lazy.force prepared_histogram)
+                ~lo:(Value.Int 100, `Incl) ~hi:(Value.Int 300, `Incl) ())));
+    Test.make ~name:"parse select"
+      (Staged.stage (fun () -> ignore (Sqlfe.Parser.parse_statement sql)));
+    Test.make ~name:"optimize (rewrite+plan)"
+      (Staged.stage (fun () ->
+           ignore (Core.Softdb.explain (Lazy.force prepared_sdb) sql)));
+    Test.make ~name:"execute 2k-row query"
+      (Staged.stage (fun () ->
+           ignore (Core.Softdb.query (Lazy.force prepared_sdb) sql)));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\nMicro-benchmarks (ns per run, OLS on monotonic clock)\n";
+  Printf.printf "%-40s %14s %10s\n" "operation" "ns/run" "r^2";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         let est =
+           match Analyze.OLS.estimates ols with
+           | Some [ x ] -> Printf.sprintf "%14.1f" x
+           | _ -> "             -"
+         in
+         let r2 =
+           match Analyze.OLS.r_square ols with
+           | Some r -> Printf.sprintf "%10.4f" r
+           | None -> "         -"
+         in
+         Printf.printf "%-40s %s %s\n" name est r2)

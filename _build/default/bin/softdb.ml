@@ -1,0 +1,162 @@
+(* The softdb command-line shell.
+
+     softdb repl                      interactive SQL with soft constraints
+     softdb run FILE.sql              execute a script
+     softdb demo (purchase|project|tpcd|all)
+                                      preload a workload, then drop to a repl
+
+   Inside the repl, besides SQL:
+     \catalog        show the soft-constraint catalog
+     \constraints    show the (hard/informational) integrity constraints
+     \advise SQL;... mine + select soft constraints for the given workload
+     \off SQL        run one query with all soft-constraint machinery off
+     \quit
+*)
+
+let print_outcome = function
+  | Core.Softdb.Rows r -> Fmt.pr "%a" Exec.Executor.pp_result r
+  | Core.Softdb.Affected n -> Fmt.pr "%d rows affected@." n
+  | Core.Softdb.Report r -> Fmt.pr "%a" Opt.Explain.pp r
+  | Core.Softdb.Done msg -> Fmt.pr "%s@." msg
+
+let handle_error f =
+  try f () with
+  | Sqlfe.Parser.Parse_error m -> Fmt.epr "parse error: %s@." m
+  | Sqlfe.Lexer.Lex_error (m, pos) -> Fmt.epr "lex error at %d: %s@." pos m
+  | Rel.Checker.Constraint_violation v ->
+      Fmt.epr "%a@." Rel.Checker.pp_violation v
+  | Rel.Database.Catalog_error m | Core.Softdb.Error m ->
+      Fmt.epr "error: %s@." m
+  | Rel.Table.Row_error m -> Fmt.epr "row error: %s@." m
+  | Opt.Planner.Unplannable m -> Fmt.epr "cannot plan: %s@." m
+  | Opt.Logical.Unsupported m -> Fmt.epr "unsupported: %s@." m
+
+let rec load_demo sdb = function
+  | "purchase" ->
+      Workload.Purchase.load (Core.Softdb.db sdb);
+      Core.Softdb.runstats sdb;
+      Fmt.pr "loaded purchase (20k rows); try:@.";
+      Fmt.pr
+        "  ALTER TABLE purchase ADD CONSTRAINT ship_3w CHECK (ship_date - \
+         order_date BETWEEN 0 AND 21) SOFT;@.";
+      Fmt.pr "  CREATE EXCEPTION TABLE late_shipments FOR CONSTRAINT ship_3w;@.";
+      Fmt.pr "  EXPLAIN SELECT * FROM purchase WHERE ship_date = DATE \
+              '1999-12-15';@."
+  | "project" ->
+      Workload.Project.load (Core.Softdb.db sdb);
+      Core.Softdb.runstats sdb;
+      Fmt.pr "loaded project (10k rows)@."
+  | "tpcd" ->
+      Workload.Tpcd.load (Core.Softdb.db sdb);
+      Workload.Tpcd.create_sales (Core.Softdb.db sdb);
+      Core.Softdb.runstats sdb;
+      Fmt.pr "loaded the TPC-D-like star schema and 12 monthly sales tables@."
+  | "all" ->
+      List.iter (load_demo sdb) [ "purchase"; "project"; "tpcd" ]
+  | other -> Fmt.epr "unknown demo %S (purchase|project|tpcd|all)@." other
+
+let advise sdb args =
+  let sqls =
+    String.split_on_char ';' args
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match sqls with
+  | [] -> Fmt.epr "usage: \\advise SELECT ...; SELECT ...@."
+  | _ ->
+      let workload = List.map Sqlfe.Parser.parse_query_string sqls in
+      let outcome =
+        Core.Advisor.advise ~db:(Core.Softdb.db sdb)
+          ~stats:(Core.Softdb.statistics sdb)
+          ~catalog:(Core.Softdb.catalog sdb) ~workload ()
+      in
+      Fmt.pr "%d candidates mined@." outcome.Core.Advisor.candidates;
+      List.iter
+        (fun a -> Fmt.pr "  %a@." Core.Selection.pp_assessment a)
+        outcome.Core.Advisor.assessed;
+      Fmt.pr "%d installed@." (List.length outcome.Core.Advisor.installed)
+
+let exec_line sdb line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if String.length line > 0 && line.[0] = '\\' then begin
+    let cmd, rest =
+      match String.index_opt line ' ' with
+      | Some i ->
+          ( String.sub line 0 i,
+            String.sub line (i + 1) (String.length line - i - 1) )
+      | None -> (line, "")
+    in
+    match cmd with
+    | "\\catalog" -> Fmt.pr "%a@." Core.Sc_catalog.pp (Core.Softdb.catalog sdb)
+    | "\\constraints" ->
+        List.iter
+          (fun ic -> Fmt.pr "  %a@." Rel.Icdef.pp ic)
+          (Rel.Database.constraints (Core.Softdb.db sdb))
+    | "\\advise" -> handle_error (fun () -> advise sdb rest)
+    | "\\off" ->
+        handle_error (fun () ->
+            print_outcome
+              (Core.Softdb.Rows (Core.Softdb.query_baseline sdb rest)))
+    | "\\demo" -> load_demo sdb rest
+    | "\\quit" | "\\q" -> exit 0
+    | other -> Fmt.epr "unknown command %s@." other
+  end
+  else handle_error (fun () -> print_outcome (Core.Softdb.exec sdb line))
+
+let repl sdb =
+  Fmt.pr
+    "softdb — soft constraints in a relational optimizer.  SQL statements \
+     end at end of line; \\quit to leave, \\demo purchase to load data.@.";
+  let rec loop () =
+    Fmt.pr "softdb> %!";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        exec_line sdb line;
+        loop ()
+  in
+  loop ()
+
+let run_script sdb path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  handle_error (fun () ->
+      List.iter print_outcome (Core.Softdb.exec_script sdb text))
+
+(* ---- cmdliner wiring --------------------------------------------------- *)
+
+open Cmdliner
+
+let repl_cmd =
+  let doc = "interactive SQL shell" in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const (fun () -> repl (Core.Softdb.create ())) $ const ())
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.sql")
+  in
+  let doc = "execute a SQL script" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const (fun f -> run_script (Core.Softdb.create ()) f) $ file)
+
+let demo_cmd =
+  let which =
+    Arg.(value & pos 0 string "purchase" & info [] ~docv:"WORKLOAD")
+  in
+  let doc = "preload a demo workload (purchase|project|tpcd|all), then repl" in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(
+      const (fun w ->
+          let sdb = Core.Softdb.create () in
+          load_demo sdb w;
+          repl sdb)
+      $ which)
+
+let main =
+  let doc = "soft constraints in a relational query optimizer" in
+  Cmd.group
+    ~default:Term.(const (fun () -> repl (Core.Softdb.create ())) $ const ())
+    (Cmd.info "softdb" ~doc)
+    [ repl_cmd; run_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/advisor_demo.ml: Core Exec Fmt List String Workload

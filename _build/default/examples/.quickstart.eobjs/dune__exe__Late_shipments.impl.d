@@ -1,0 +1,1 @@
+examples/late_shipments.ml: Core Database Exec Fmt List Opt Option Rel Stats Table Workload

@@ -1,0 +1,1 @@
+examples/prepared_plans.ml: Core Database Date Exec Fmt List Mining Option Rel Table Workload

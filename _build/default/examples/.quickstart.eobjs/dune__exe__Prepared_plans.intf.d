@@ -1,0 +1,1 @@
+examples/prepared_plans.mli:

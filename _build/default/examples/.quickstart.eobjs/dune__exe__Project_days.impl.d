@@ -1,0 +1,1 @@
+examples/project_days.ml: Core Database Date Exec Fmt List Mining Opt Option Rel Table Workload

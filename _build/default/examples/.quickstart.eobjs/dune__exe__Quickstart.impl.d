@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Exec Fmt Opt Rel

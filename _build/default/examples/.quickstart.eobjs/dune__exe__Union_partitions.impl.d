@@ -1,0 +1,1 @@
+examples/union_partitions.ml: Core Date Exec Fmt List Opt Rel Workload

@@ -1,0 +1,53 @@
+(* Quickstart: create a database, declare constraints in every mode the
+   paper describes (ENFORCED / NOT ENFORCED / SOFT), run queries, and look
+   at an EXPLAIN.
+
+     dune exec examples/quickstart.exe
+*)
+
+let show title outcome =
+  Fmt.pr "== %s@." title;
+  (match outcome with
+  | Core.Softdb.Rows r -> Fmt.pr "%a" Exec.Executor.pp_result r
+  | Core.Softdb.Affected n -> Fmt.pr "%d rows affected@." n
+  | Core.Softdb.Report r -> Fmt.pr "%a" Opt.Explain.pp r
+  | Core.Softdb.Done msg -> Fmt.pr "%s@." msg);
+  Fmt.pr "@."
+
+let () =
+  let sdb = Core.Softdb.create () in
+  let exec sql = show sql (Core.Softdb.exec sdb sql) in
+
+  exec
+    "CREATE TABLE employee (id INT PRIMARY KEY, dept VARCHAR NOT NULL, \
+     salary INT, hired DATE, CONSTRAINT salary_positive CHECK (salary > 0))";
+  exec "CREATE INDEX employee_salary ON employee (salary)";
+  exec
+    "INSERT INTO employee VALUES (1, 'eng', 120, DATE '2020-01-15'), (2, \
+     'eng', 95, DATE '2021-06-01'), (3, 'sales', 80, DATE '2019-03-20'), \
+     (4, 'sales', 110, DATE '2022-11-05'), (5, 'hr', 70, DATE '2018-07-30')";
+
+  (* a hard constraint rejects bad data *)
+  (try exec "INSERT INTO employee VALUES (6, 'eng', -5, NULL)"
+   with Rel.Checker.Constraint_violation v ->
+     Fmt.pr "rejected as expected: %a@.@." Rel.Checker.pp_violation v);
+
+  exec "RUNSTATS employee";
+  exec "SELECT dept, COUNT(*) AS n, AVG(salary) AS avg_salary FROM employee \
+        GROUP BY dept ORDER BY n DESC";
+
+  (* a SOFT constraint: validated against the data, then available to the
+     optimizer exactly like an integrity constraint — until an update
+     breaks it *)
+  exec
+    "ALTER TABLE employee ADD CONSTRAINT salary_band CHECK (salary BETWEEN \
+     50 AND 200) SOFT";
+  Fmt.pr "%a@." Core.Sc_catalog.pp (Core.Softdb.catalog sdb);
+
+  exec "EXPLAIN SELECT * FROM employee WHERE salary > 100";
+
+  (* an update that violates the soft constraint does NOT fail — the soft
+     constraint is dropped instead (the paper's key semantic difference) *)
+  exec "UPDATE employee SET salary = 500 WHERE id = 1";
+  Fmt.pr "after a violating update:@.%a@." Core.Sc_catalog.pp
+    (Core.Softdb.catalog sdb)

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Database Expr Hashtbl Icdef List Logical Mining Opt Option Printf Rel Sc_catalog Selection Soft_constraint Sqlfe String Table

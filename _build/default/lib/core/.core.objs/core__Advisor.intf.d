@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Database Opt Rel Sc_catalog Selection Soft_constraint Sqlfe Stats

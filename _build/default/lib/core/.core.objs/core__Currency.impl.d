@@ -1,0 +1,1 @@
+lib/core/currency.ml: Float

@@ -1,0 +1,1 @@
+lib/core/domain_tracker.ml: Database Expr Icdef List Maintenance Mining Printf Rel Sc_catalog Schema Soft_constraint Softdb Table Value

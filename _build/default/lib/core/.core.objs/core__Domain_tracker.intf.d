@@ -1,0 +1,1 @@
+lib/core/domain_tracker.mli: Rel Soft_constraint Softdb Value

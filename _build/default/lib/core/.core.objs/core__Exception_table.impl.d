@@ -1,0 +1,1 @@
+lib/core/exception_table.ml: Database Expr List Rel Schema Soft_constraint String Table Tuple

@@ -1,0 +1,1 @@
+lib/core/exception_table.mli: Database Expr Rel Soft_constraint

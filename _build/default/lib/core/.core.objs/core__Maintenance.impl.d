@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Checker Database Expr Float Hashtbl Icdef List Logs Mining Option Printf Rel Sc_catalog Schema Soft_constraint String Table Tuple Value

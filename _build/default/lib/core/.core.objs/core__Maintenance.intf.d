@@ -1,0 +1,1 @@
+lib/core/maintenance.mli: Database Rel Sc_catalog Soft_constraint Tuple

@@ -1,0 +1,1 @@
+lib/core/plan_cache.ml: Database Exec Fmt List Opt Rel Sc_catalog Soft_constraint Softdb Sqlfe String

@@ -1,0 +1,1 @@
+lib/core/sc_catalog.ml: Currency Database Fmt List Mining Opt Rel Soft_constraint String Table

@@ -1,0 +1,1 @@
+lib/core/sc_catalog.mli: Database Format Opt Rel Soft_constraint

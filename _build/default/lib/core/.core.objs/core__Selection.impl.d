@@ -1,0 +1,1 @@
+lib/core/selection.ml: Exec Float Fmt Icdef List Opt Rel Sc_catalog Soft_constraint

@@ -1,0 +1,1 @@
+lib/core/selection.mli: Database Format Opt Rel Sc_catalog Soft_constraint Sqlfe Stats

@@ -1,0 +1,1 @@
+lib/core/soft_constraint.ml: Expr Fmt Icdef Mining Printf Rel

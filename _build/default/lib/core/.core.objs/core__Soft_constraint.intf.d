@@ -1,0 +1,1 @@
+lib/core/soft_constraint.mli: Expr Format Icdef Mining Rel

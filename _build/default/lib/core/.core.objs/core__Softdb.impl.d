@@ -1,0 +1,1 @@
+lib/core/softdb.ml: Array Checker Database Exception_table Exec Expr Fmt Fun Icdef List Maintenance Opt Option Printf Rel Sc_catalog Schema Soft_constraint Sqlfe Stats String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/core/softdb.mli: Database Exec Icdef Maintenance Opt Rel Sc_catalog Soft_constraint Sqlfe Stats

@@ -1,0 +1,1 @@
+lib/core/txn.ml: Database Fun List Rel Sc_catalog Soft_constraint Softdb Tuple

@@ -1,0 +1,90 @@
+(* Sybase-style min/max soft constraints (paper §2 and §4.2): "Sybase will
+   maintain max and min information for a table attribute … available as
+   'constraint' information to the optimizer which can abbreviate range
+   conditions in a query.  The 'SCs' are maintained synchronously — that
+   is, at transaction time — so serve as ASCs."
+
+   A tracked column gets an ASC [CHECK (col BETWEEN lo AND hi)] whose
+   bounds are the column's current extremes, with the synchronous-widening
+   maintenance policy: an insert outside the range widens the statement in
+   O(1) instead of violating it, so the SC is valid at every instant
+   ("the ASC has to be available whenever the query is executed", §4.2).
+   Deletes may leave the range wider than the data — sound, merely
+   sub-optimal — until [retighten] re-mines it. *)
+
+open Rel
+
+let sc_name ~table ~column = Printf.sprintf "%s_%s_domain" table column
+
+let install_column t ~table ~column =
+  let db = Softdb.db t in
+  let tbl = Database.table_exn db table in
+  match Mining.Domain_mine.mine_range tbl ~column with
+  | None -> None
+  | Some range ->
+      let name = sc_name ~table ~column in
+      let sc =
+        Soft_constraint.make ~name ~table ~kind:Soft_constraint.Absolute
+          ~installed_at_mutations:(Table.mutations tbl)
+          (Soft_constraint.Ic_stmt
+             (Icdef.Check (Mining.Domain_mine.range_to_check range)))
+      in
+      Softdb.install_sc t sc;
+      Maintenance.set_policy (Softdb.maintenance t) name
+        Maintenance.Sync_repair;
+      Some sc
+
+(* Track min/max for the given columns (every non-string column when
+   [columns] is omitted).  Returns the installed constraints. *)
+let track ?columns t ~table =
+  let db = Softdb.db t in
+  let tbl = Database.table_exn db table in
+  let columns =
+    match columns with
+    | Some cs -> cs
+    | None ->
+        List.filter_map
+          (fun c ->
+            match c.Schema.dtype with
+            | Value.TInt | Value.TFloat | Value.TDate -> Some c.Schema.name
+            | Value.TString | Value.TBool -> None)
+          (Schema.columns (Table.schema tbl))
+  in
+  List.filter_map (fun column -> install_column t ~table ~column) columns
+
+(* The currently maintained [lo, hi] for a tracked column, if any. *)
+let current_range t ~table ~column =
+  match Sc_catalog.find (Softdb.catalog t) (sc_name ~table ~column) with
+  | Some
+      {
+        Soft_constraint.statement =
+          Soft_constraint.Ic_stmt
+            (Icdef.Check (Expr.Between (_, Expr.Const lo, Expr.Const hi)));
+        state = Soft_constraint.Active;
+        _;
+      } ->
+      Some (lo, hi)
+  | _ -> None
+
+(* Deletes can leave the maintained range loose; re-mine it from the data
+   (the asynchronous "return to optimal characterization" of §4.3). *)
+let retighten t ~table =
+  let db = Softdb.db t in
+  let tbl = Database.table_exn db table in
+  List.iter
+    (fun (sc : Soft_constraint.t) ->
+      match sc.Soft_constraint.statement with
+      | Soft_constraint.Ic_stmt (Icdef.Check (Expr.Between (Expr.Col r, _, _)))
+        when sc.Soft_constraint.name
+             = sc_name ~table ~column:r.Expr.col -> (
+          match Mining.Domain_mine.mine_range tbl ~column:r.Expr.col with
+          | Some range ->
+              sc.Soft_constraint.statement <-
+                Soft_constraint.Ic_stmt
+                  (Icdef.Check (Mining.Domain_mine.range_to_check range));
+              sc.Soft_constraint.state <- Soft_constraint.Active;
+              sc.Soft_constraint.installed_at_mutations <-
+                Table.mutations tbl
+          | None -> ())
+      | _ -> ())
+    (Sc_catalog.on_table (Softdb.catalog t) table)

@@ -1,0 +1,33 @@
+(** Sybase-style min/max soft constraints (paper §2 and §4.2): "Sybase
+    will maintain max and min information for a table attribute …
+    available as 'constraint' information to the optimizer which can
+    abbreviate range conditions in a query.  The 'SCs' are maintained
+    synchronously … so serve as ASCs."
+
+    A tracked column gets an ASC [CHECK (col BETWEEN lo AND hi)] on its
+    current extremes, maintained with the synchronous-widening policy: an
+    insert outside the range widens the statement in O(1) instead of
+    violating it, so the SC is valid at every instant — the §4.2
+    requirement that "the ASC has to be available whenever the query is
+    executed".  The optimizer then abbreviates range conditions: a query
+    range beyond the domain proves emptiness; an open-ended range closes
+    at the maintained bound. *)
+
+open Rel
+
+val sc_name : table:string -> column:string -> string
+
+val track :
+  ?columns:string list -> Softdb.t -> table:string -> Soft_constraint.t list
+(** Install min/max SCs for the given columns (default: every
+    numeric/date column), with the widening policy set.  Columns that are
+    entirely NULL are skipped. *)
+
+val current_range :
+  Softdb.t -> table:string -> column:string -> (Value.t * Value.t) option
+(** The maintained [lo, hi] while the SC is active. *)
+
+val retighten : Softdb.t -> table:string -> unit
+(** Deletes can leave the maintained range looser than the data (sound,
+    sub-optimal); re-mine the exact extremes — the asynchronous "return
+    to optimal characterization" of §4.3. *)

@@ -1,0 +1,124 @@
+(* ASCs as ASTs (paper §4.4): "an IC can be considered as a materialized
+   view that is always empty.  It may not be empty, in which case the
+   materialized view explicitly represents the exceptions to the ASC."
+
+   [install] creates a table with the base table's schema, populates it
+   with the rows currently violating the constraint's check statement,
+   and registers a mutation listener that keeps it incrementally
+   maintained: violating inserts/updates land in it, deletes and repairs
+   leave it.  Updates that violate the ASC are thereby *allowed* — the
+   exceptions are just stored — and the exception-union rewrite stays
+   exactly correct at all times. *)
+
+open Rel
+
+type handle = {
+  constraint_name : string;
+  base_table : string;
+  exception_table : string;
+  check : Expr.pred;
+}
+
+exception Not_check_shaped of string
+
+let exception_rows db handle =
+  match Database.find_table db handle.exception_table with
+  | Some t -> Table.cardinality t
+  | None -> 0
+
+(* find the rid in the exception table holding exactly [row] *)
+let find_exception_rid db handle row =
+  match Database.find_table db handle.exception_table with
+  | None -> None
+  | Some exc ->
+      let found = ref None in
+      Table.iteri exc ~f:(fun rid r ->
+          if !found = None && Tuple.equal r row then found := Some rid);
+      !found
+
+let install db ~(sc : Soft_constraint.t) ~table_name =
+  let check =
+    match Soft_constraint.check_pred sc with
+    | Some p -> p
+    | None -> raise (Not_check_shaped sc.Soft_constraint.name)
+  in
+  let base =
+    Database.table_exn db sc.Soft_constraint.table
+  in
+  let base_schema = Table.schema base in
+  let exc_schema =
+    Schema.make table_name
+      (List.map
+         (fun c -> { c with Schema.nullable = true })
+         (Schema.columns base_schema))
+  in
+  ignore (Database.create_table db exc_schema);
+  let binding = Expr.Binding.of_schema base_schema in
+  let handle =
+    {
+      constraint_name = sc.Soft_constraint.name;
+      base_table = Table.name base;
+      exception_table = table_name;
+      check;
+    }
+  in
+  (* initial population: current violators *)
+  let violators =
+    Table.fold base ~init:[] ~f:(fun acc _ row ->
+        if Expr.check_violated binding check row then row :: acc else acc)
+  in
+  List.iter
+    (fun row ->
+      ignore (Database.insert db ~table:table_name (Tuple.copy row)))
+    (List.rev violators);
+  (* incremental maintenance *)
+  let violates row = Expr.check_violated binding check row in
+  let norm = String.lowercase_ascii in
+  Database.on_mutation db (fun m ->
+      match m with
+      | Database.Inserted { table; row; _ }
+        when norm table = norm handle.base_table ->
+          if violates row then
+            ignore (Database.insert db ~table:table_name (Tuple.copy row))
+      | Database.Deleted { table; row; _ }
+        when norm table = norm handle.base_table -> (
+          if violates row then
+            match find_exception_rid db handle row with
+            | Some rid -> ignore (Database.delete db ~table:table_name rid)
+            | None -> ())
+      | Database.Updated { table; before; after; _ }
+        when norm table = norm handle.base_table ->
+          let was = violates before and is = violates after in
+          if was && not is then (
+            match find_exception_rid db handle before with
+            | Some rid -> ignore (Database.delete db ~table:table_name rid)
+            | None -> ())
+          else if (not was) && is then
+            ignore (Database.insert db ~table:table_name (Tuple.copy after))
+          else if was && is && not (Tuple.equal before after) then (
+            match find_exception_rid db handle before with
+            | Some rid ->
+                Database.update db ~table:table_name rid (Tuple.copy after)
+            | None ->
+                ignore (Database.insert db ~table:table_name (Tuple.copy after)))
+      | Database.Inserted _ | Database.Deleted _ | Database.Updated _ -> ());
+  handle
+
+(* Verification oracle: the exception table holds exactly the violators. *)
+let consistent db handle =
+  match
+    ( Database.find_table db handle.base_table,
+      Database.find_table db handle.exception_table )
+  with
+  | Some base, Some exc ->
+      let binding = Expr.Binding.of_schema (Table.schema base) in
+      let violators =
+        Table.fold base ~init:[] ~f:(fun acc _ row ->
+            if Expr.check_violated binding handle.check row then row :: acc
+            else acc)
+        |> List.sort Tuple.compare
+      in
+      let stored = List.sort Tuple.compare (Table.to_list exc) in
+      List.length violators = List.length stored
+      && List.for_all2 Tuple.equal violators stored
+  | _ -> false

@@ -1,0 +1,34 @@
+(** ASCs as ASTs (paper §4.4): "an IC can be considered as a materialized
+    view that is always empty.  It may not be empty, in which case the
+    materialized view explicitly represents the exceptions to the ASC."
+
+    {!install} creates a table with the base table's schema, populates it
+    with the rows currently violating the constraint's check statement,
+    and registers a mutation listener that keeps it incrementally exact:
+    violating inserts/updates land in it, deletes and repairs leave it.
+    Updates that violate the ASC are thereby {e allowed} — the exceptions
+    are just stored — and the exception-union rewrite
+    ({!Opt.Rewrite.exception_union}) stays exactly correct at all
+    times. *)
+
+open Rel
+
+type handle = {
+  constraint_name : string;
+  base_table : string;
+  exception_table : string;
+  check : Expr.pred;
+}
+
+exception Not_check_shaped of string
+(** The soft constraint has no row-level check statement (FDs, hole
+    sets). *)
+
+val install : Database.t -> sc:Soft_constraint.t -> table_name:string ->
+  handle
+
+val exception_rows : Database.t -> handle -> int
+
+val consistent : Database.t -> handle -> bool
+(** Verification oracle: the exception table holds exactly the current
+    violators. *)

@@ -1,0 +1,120 @@
+(* Prepared plans and ASC invalidation (paper §4.1).
+
+   "A worse expense for ASC violations is that every pre-compiled query
+   plan that employs a violated ASC in its plan must be dropped …  One
+   possible tactic is for a package to incorporate a 'backup' plan which
+   is ASC-free.  If an ASC is overturned, a flag is raised and packages
+   revert to the alternative plans."
+
+   A prepared entry keeps the optimized plan together with the names of
+   the soft constraints its rewrites relied on (from the rewrite log) and
+   a backup plan compiled with the whole soft-constraint machinery off.
+   Execution checks the dependencies against the live catalog: if every
+   *rewrite-critical* dependency is still Active the fast plan runs;
+   otherwise the entry flips to the backup.  Dependencies that are
+   estimation-only (twins) never invalidate — a plan chosen under stale
+   statistics is merely sub-optimal, exactly the paper's reading.
+   [reprepare] re-optimizes invalidated entries against the current
+   catalog, the "recompiled before they can be used again" path. *)
+
+open Rel
+
+type entry = {
+  name : string;
+  sql : string;
+  query : Sqlfe.Ast.query;
+  mutable report : Opt.Explain.report;
+  mutable deps : string list; (* SCs whose validity the plan relies on *)
+  backup : Exec.Plan.t; (* soft-constraint-free alternative *)
+  mutable invalidated : bool;
+  mutable fast_runs : int;
+  mutable backup_runs : int;
+}
+
+type t = { sdb : Softdb.t; mutable entries : entry list }
+
+let create sdb = { sdb; entries = [] }
+
+exception No_such_plan of string
+
+(* Rewrite-critical dependencies: every SC a non-estimation-only rewrite
+   relied on.  Twins (estimation-only) are excluded. *)
+let dependencies_of (report : Opt.Explain.report) =
+  List.filter_map
+    (fun (a : Opt.Rewrite.applied) ->
+      if a.Opt.Rewrite.rule = "twinning" then None else a.Opt.Rewrite.sc)
+    report.Opt.Explain.applied
+  |> List.sort_uniq String.compare
+
+let prepare t ~name sql =
+  let query = Sqlfe.Parser.parse_query_string sql in
+  let report = Softdb.optimize t.sdb query in
+  let backup =
+    (Softdb.optimize ~flags:Opt.Rewrite.all_off t.sdb query).Opt.Explain.plan
+  in
+  let entry =
+    {
+      name;
+      sql;
+      query;
+      report;
+      deps = dependencies_of report;
+      backup;
+      invalidated = false;
+      fast_runs = 0;
+      backup_runs = 0;
+    }
+  in
+  t.entries <- entry :: List.filter (fun e -> e.name <> name) t.entries;
+  entry
+
+let find t name = List.find_opt (fun e -> e.name = name) t.entries
+
+let find_exn t name =
+  match find t name with Some e -> e | None -> raise (No_such_plan name)
+
+(* A dependency invalidates the plan when it exists but is no longer
+   Active.  A dependency that was *dropped from the catalog entirely* also
+   invalidates: the promise is gone.  Hard ICs (never in the SC catalog
+   but named as deps via FK rules) stay valid as long as they are still
+   declared. *)
+let dep_valid t dep =
+  match Sc_catalog.find (Softdb.catalog t.sdb) dep with
+  | Some sc -> Soft_constraint.is_usable sc
+  | None -> Database.find_constraint (Softdb.db t.sdb) dep <> None
+
+let is_valid t entry =
+  (not entry.invalidated) && List.for_all (dep_valid t) entry.deps
+
+(* Execute a prepared plan: the fast plan while its dependencies hold, the
+   ASC-free backup once overturned (the §4.1 flag-and-revert tactic). *)
+let execute t name =
+  let entry = find_exn t name in
+  if is_valid t entry then begin
+    entry.fast_runs <- entry.fast_runs + 1;
+    Exec.Executor.run (Softdb.db t.sdb) entry.report.Opt.Explain.plan
+  end
+  else begin
+    entry.invalidated <- true;
+    entry.backup_runs <- entry.backup_runs + 1;
+    Exec.Executor.run (Softdb.db t.sdb) entry.backup
+  end
+
+(* Re-optimize every invalidated entry against the current catalog. *)
+let reprepare t =
+  List.iter
+    (fun entry ->
+      if entry.invalidated || not (List.for_all (dep_valid t) entry.deps)
+      then begin
+        let report = Softdb.optimize t.sdb entry.query in
+        entry.report <- report;
+        entry.deps <- dependencies_of report;
+        entry.invalidated <- false
+      end)
+    t.entries
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s: deps=[%a] fast=%d backup=%d%s" e.name
+    Fmt.(list ~sep:(any ", ") string)
+    e.deps e.fast_runs e.backup_runs
+    (if e.invalidated then " INVALIDATED" else "")

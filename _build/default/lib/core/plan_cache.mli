@@ -1,0 +1,50 @@
+(** Prepared plans and ASC invalidation (paper §4.1).
+
+    "Every pre-compiled query plan that employs a violated ASC in its plan
+    must be dropped … One possible tactic is for a package to incorporate
+    a 'backup' plan which is ASC-free.  If an ASC is overturned, a flag is
+    raised and packages revert to the alternative plans."
+
+    A prepared entry keeps the optimized plan, the names of the soft
+    constraints its rewrites relied on, and a backup plan compiled with
+    the soft-constraint machinery off.  Execution runs the fast plan while
+    every rewrite-critical dependency is still Active, and the backup
+    afterwards; twins (estimation-only) never invalidate — a plan chosen
+    under stale statistics is merely sub-optimal. *)
+
+type entry = {
+  name : string;
+  sql : string;
+  query : Sqlfe.Ast.query;
+  mutable report : Opt.Explain.report;
+  mutable deps : string list;
+  backup : Exec.Plan.t;
+  mutable invalidated : bool;
+  mutable fast_runs : int;
+  mutable backup_runs : int;
+}
+
+type t
+
+exception No_such_plan of string
+
+val create : Softdb.t -> t
+
+val dependencies_of : Opt.Explain.report -> string list
+(** The rewrite-critical SC names of a report (twins excluded). *)
+
+val prepare : t -> name:string -> string -> entry
+(** Optimize and cache under [name] (replacing an entry of that name). *)
+
+val find : t -> string -> entry option
+
+val is_valid : t -> entry -> bool
+
+val execute : t -> string -> Exec.Executor.result
+(** Fast plan while valid, backup plan once a dependency is overturned. *)
+
+val reprepare : t -> unit
+(** Re-optimize every invalidated entry against the current catalog —
+    the "recompiled before they can be used again" path. *)
+
+val pp_entry : Format.formatter -> entry -> unit

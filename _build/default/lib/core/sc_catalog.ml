@@ -1,0 +1,189 @@
+(* The soft-constraint catalog: the persistent registry the paper argues
+   RDBMSs lack ("there is no mechanism in RDBMSs to represent such
+   characterizations and to maintain them", §3.2).
+
+   Besides storage and lookup it produces the optimizer's view: the
+   rewrite context inputs ({!Opt.Rewrite.ctx}) assembled from every
+   *usable* constraint, with SSC confidences decayed by the currency
+   model. *)
+
+open Rel
+
+type t = {
+  mutable scs : Soft_constraint.t list;
+  mutable exception_tables : (string * string) list;
+      (* constraint name -> exception table name *)
+}
+
+let create () = { scs = []; exception_tables = [] }
+
+let norm = String.lowercase_ascii
+
+exception Duplicate_name of string
+
+let add t sc =
+  if
+    List.exists
+      (fun s -> norm s.Soft_constraint.name = norm sc.Soft_constraint.name)
+      t.scs
+  then raise (Duplicate_name sc.Soft_constraint.name);
+  t.scs <- t.scs @ [ sc ]
+
+let find t name =
+  List.find_opt (fun s -> norm s.Soft_constraint.name = norm name) t.scs
+
+let drop t name =
+  (match find t name with
+  | Some sc -> sc.Soft_constraint.state <- Soft_constraint.Dropped
+  | None -> ());
+  t.scs <-
+    List.filter (fun s -> norm s.Soft_constraint.name <> norm name) t.scs
+
+let all t = t.scs
+
+let on_table t table =
+  List.filter (fun s -> norm s.Soft_constraint.table = norm table) t.scs
+
+let usable t = List.filter Soft_constraint.is_usable t.scs
+
+let register_exception_table t ~constraint_name ~table =
+  t.exception_tables <-
+    (constraint_name, table)
+    :: List.remove_assoc constraint_name t.exception_tables
+
+let exception_table_for t constraint_name =
+  List.assoc_opt constraint_name t.exception_tables
+
+(* ---- optimizer view ----------------------------------------------------- *)
+
+let mutations_of db table =
+  match Database.find_table db table with
+  | Some tbl -> Table.mutations tbl
+  | None -> 0
+
+let rows_of db table =
+  match Database.find_table db table with
+  | Some tbl -> Table.cardinality tbl
+  | None -> 0
+
+(* Confidence usable now, after currency decay (§3.3). *)
+let current_confidence db (sc : Soft_constraint.t) =
+  let base = Soft_constraint.confidence sc in
+  let updates_since =
+    mutations_of db sc.Soft_constraint.table
+    - sc.Soft_constraint.installed_at_mutations
+  in
+  Currency.usable_confidence ~base ~updates_since
+    ~table_rows:(rows_of db sc.Soft_constraint.table)
+
+let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
+  let usable = usable t in
+  let has_exceptions (sc : Soft_constraint.t) =
+    List.mem_assoc sc.Soft_constraint.name t.exception_tables
+  in
+  (* an exception-backed ASC may have stored violations, so it must only
+     be exploited through the exception-union rule, never as a plain
+     always-true statement *)
+  let ascs =
+    List.filter_map
+      (fun sc ->
+        if Soft_constraint.is_absolute sc && not (has_exceptions sc) then
+          Soft_constraint.to_icdef sc
+        else None)
+      usable
+  in
+  (* typed shapes of the valid ASCs enable range propagation *)
+  let asc_shapes =
+    List.filter_map
+      (fun (sc : Soft_constraint.t) ->
+        if not (Soft_constraint.is_absolute sc && not (has_exceptions sc))
+        then None
+        else
+          match sc.Soft_constraint.statement with
+          | Soft_constraint.Diff_stmt (d, band) ->
+              Some
+                {
+                  Opt.Rewrite.ssc_name = sc.Soft_constraint.name;
+                  shape = Opt.Rewrite.Diff_band (d, band);
+                }
+          | Soft_constraint.Corr_stmt (c, band) ->
+              Some
+                {
+                  Opt.Rewrite.ssc_name = sc.Soft_constraint.name;
+                  shape = Opt.Rewrite.Corr_band (c, band);
+                }
+          | _ -> None)
+      usable
+  in
+  let sscs =
+    List.filter_map
+      (fun (sc : Soft_constraint.t) ->
+        if Soft_constraint.is_absolute sc then None
+        else
+          let conf = current_confidence db sc in
+          if conf <= 0.0 then None
+          else
+            match sc.Soft_constraint.statement with
+            | Soft_constraint.Diff_stmt (d, band) ->
+                Some
+                  {
+                    Opt.Rewrite.ssc_name = sc.Soft_constraint.name;
+                    shape =
+                      Opt.Rewrite.Diff_band
+                        (d, { band with Mining.Diff_band.confidence = conf });
+                  }
+            | Soft_constraint.Corr_stmt (c, band) ->
+                Some
+                  {
+                    Opt.Rewrite.ssc_name = sc.Soft_constraint.name;
+                    shape =
+                      Opt.Rewrite.Corr_band
+                        (c, { band with Mining.Correlation.confidence = conf });
+                  }
+            | Soft_constraint.Ic_stmt _ | Soft_constraint.Fd_stmt _
+            | Soft_constraint.Holes_stmt _ ->
+                None)
+      usable
+  in
+  let fds =
+    List.filter_map
+      (fun (sc : Soft_constraint.t) ->
+        match sc.Soft_constraint.statement with
+        | Soft_constraint.Fd_stmt fd when Soft_constraint.is_absolute sc ->
+            Some fd
+        | _ -> None)
+      usable
+  in
+  let holes =
+    List.filter_map
+      (fun (sc : Soft_constraint.t) ->
+        match sc.Soft_constraint.statement with
+        | Soft_constraint.Holes_stmt h when Soft_constraint.is_absolute sc ->
+            Some h
+        | _ -> None)
+      usable
+  in
+  let exceptions =
+    List.filter_map
+      (fun (name, table) ->
+        match find t name with
+        | Some sc -> (
+            match Soft_constraint.check_pred sc with
+            | Some check ->
+                Some
+                  {
+                    Opt.Rewrite.exc_constraint = name;
+                    exc_base_table = sc.Soft_constraint.table;
+                    exc_table = table;
+                    exc_check = check;
+                  }
+            | None -> None)
+        | None -> None)
+      t.exception_tables
+  in
+  Opt.Rewrite.make_ctx ~flags ~ascs ~asc_shapes ~sscs ~fds ~holes ~exceptions
+    db
+
+let pp ppf t =
+  Fmt.pf ppf "soft-constraint catalog (%d entries):@." (List.length t.scs);
+  List.iter (fun sc -> Fmt.pf ppf "  %a@." Soft_constraint.pp sc) t.scs

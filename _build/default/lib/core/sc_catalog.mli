@@ -1,0 +1,49 @@
+(** The soft-constraint catalog — the registry the paper argues RDBMSs
+    lack ("there is no mechanism in RDBMSs to represent such
+    characterizations and to maintain them", §3.2).
+
+    Besides storage and lookup it produces the optimizer's view: a
+    {!Opt.Rewrite.ctx} assembled from every {e usable} constraint, with
+    SSC confidences decayed by the currency model and exception-backed
+    ASCs routed exclusively through the exception-union rule. *)
+
+open Rel
+
+type t = {
+  mutable scs : Soft_constraint.t list;
+  mutable exception_tables : (string * string) list;
+      (** constraint name → exception table name *)
+}
+
+val create : unit -> t
+
+exception Duplicate_name of string
+
+val add : t -> Soft_constraint.t -> unit
+val find : t -> string -> Soft_constraint.t option
+
+val drop : t -> string -> unit
+(** Marks the constraint [Dropped] and removes it. *)
+
+val all : t -> Soft_constraint.t list
+val on_table : t -> string -> Soft_constraint.t list
+
+val usable : t -> Soft_constraint.t list
+(** The [Active] entries. *)
+
+val register_exception_table : t -> constraint_name:string -> table:string ->
+  unit
+
+val exception_table_for : t -> string -> string option
+
+val mutations_of : Database.t -> string -> int
+val rows_of : Database.t -> string -> int
+
+val current_confidence : Database.t -> Soft_constraint.t -> float
+(** Confidence usable {e now}: the base confidence decayed by
+    {!Currency.usable_confidence} over the mutations since the anchor. *)
+
+val rewrite_ctx : ?flags:Opt.Rewrite.flags -> t -> Database.t ->
+  Opt.Rewrite.ctx
+
+val pp : Format.formatter -> t -> unit

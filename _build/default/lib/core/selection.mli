@@ -1,0 +1,39 @@
+(** The selection stage of the SC process (paper §3.2): "the selection
+    stage chooses the most promising of the discovered SCs to keep …
+    based on the estimated utility of each for the optimizer with respect
+    to the optimizer's capabilities, the database's statistics, and the
+    workload", weighed against predicted maintenance cost.
+
+    Benefit is measured with the optimizer itself: each workload query is
+    optimized with and without the candidate installed; the estimated
+    cost saved — plus credit when the candidate changed the chosen plan
+    at all (an SSC can improve a plan while {e raising} its estimate) —
+    is the utility. *)
+
+open Rel
+
+type assessment = {
+  sc : Soft_constraint.t;
+  benefit : float;  (** estimated cost saved across the workload *)
+  plans_changed : int;  (** queries whose physical plan differed *)
+  maintenance_cost : float;
+  net : float;
+}
+
+val maintenance_cost : ?mutations_per_workload:float -> Soft_constraint.t ->
+  float
+(** Class-based upkeep estimate; SSCs (asynchronous) are an order of
+    magnitude cheaper than ASCs (§3.3). *)
+
+val assess :
+  ?flags:Opt.Rewrite.flags -> ?mutations_per_workload:float ->
+  db:Database.t -> stats:Stats.Runstats.t -> catalog:Sc_catalog.t ->
+  workload:Sqlfe.Ast.query list -> Soft_constraint.t list -> assessment list
+
+val select :
+  ?flags:Opt.Rewrite.flags -> ?mutations_per_workload:float -> ?k:int ->
+  db:Database.t -> stats:Stats.Runstats.t -> catalog:Sc_catalog.t ->
+  workload:Sqlfe.Ast.query list -> Soft_constraint.t list -> assessment list
+(** The [k] best candidates with positive net utility, best first. *)
+
+val pp_assessment : Format.formatter -> assessment -> unit

@@ -1,0 +1,110 @@
+(* Soft constraints: IC-shaped statements that are *not* enforced but are
+   exploitable by the optimizer (the paper's central construct).
+
+   A soft constraint couples
+   - a [statement] (any IC body, or one of the typed mined artifacts —
+     difference bands, linear correlations, FDs, join-hole sets);
+   - a [kind]: [Absolute] (no violations in the current state; usable in
+     rewrite) or [Statistical conf] (holds for a [conf] fraction; usable
+     in cardinality estimation only);
+   - a [state] in the lifecycle the paper sketches in §3.2/§4.1:
+     [Probation] (installed but not yet trusted), [Active],
+     [Violated] (an update broke an ASC; unusable until repaired),
+     [Dropped]. *)
+
+open Rel
+
+type statement =
+  | Ic_stmt of Icdef.body
+  | Fd_stmt of Mining.Fd_mine.fd
+  | Corr_stmt of Mining.Correlation.t * Mining.Correlation.band
+  | Diff_stmt of Mining.Diff_band.t * Mining.Diff_band.band
+  | Holes_stmt of Mining.Join_holes.t
+
+type kind = Absolute | Statistical of float
+
+type state = Probation | Active | Violated | Dropped
+
+type t = {
+  name : string;
+  table : string; (* primary table (left table for hole sets) *)
+  mutable statement : statement; (* sync repair widens it in place *)
+  mutable kind : kind;
+  mutable state : state;
+  mutable installed_at_mutations : int;
+      (* the table's mutation counter when (re)validated: the currency
+         anchor of §3.3 *)
+  mutable violation_count : int; (* observed since installation *)
+}
+
+let make ~name ~table ?(kind = Absolute) ?(state = Active)
+    ~installed_at_mutations statement =
+  {
+    name;
+    table;
+    statement;
+    kind;
+    state;
+    installed_at_mutations;
+    violation_count = 0;
+  }
+
+let is_usable t = t.state = Active
+
+let is_absolute t = match t.kind with Absolute -> true | Statistical _ -> false
+
+let confidence t =
+  match t.kind with Absolute -> 1.0 | Statistical c -> c
+
+(* The statement as a CHECK-style predicate over one row of [table], when
+   it has one (FDs and hole sets are not row-local). *)
+let check_pred t =
+  match t.statement with
+  | Ic_stmt (Icdef.Check p) -> Some p
+  | Ic_stmt (Icdef.Not_null c) -> Some (Expr.Is_not_null (Expr.column c))
+  | Ic_stmt (Icdef.Primary_key _ | Icdef.Unique _ | Icdef.Foreign_key _) ->
+      None
+  | Fd_stmt _ | Holes_stmt _ -> None
+  | Corr_stmt (c, band) ->
+      Some (Mining.Correlation.to_check_pred c ~eps:band.Mining.Correlation.eps)
+  | Diff_stmt (d, band) -> Some (Mining.Diff_band.to_check_pred d band)
+
+(* As an IC declaration (for feeding the rewrite context's ASC set). *)
+let to_icdef t =
+  match t.statement with
+  | Ic_stmt body ->
+      Some (Icdef.make ~enforcement:Icdef.Informational ~name:t.name
+              ~table:t.table body)
+  | _ -> (
+      match check_pred t with
+      | Some p ->
+          Some
+            (Icdef.make ~enforcement:Icdef.Informational ~name:t.name
+               ~table:t.table (Icdef.Check p))
+      | None -> None)
+
+let pp_statement ppf = function
+  | Ic_stmt body -> Icdef.pp_body ppf body
+  | Fd_stmt fd -> Mining.Fd_mine.pp_fd ppf fd
+  | Corr_stmt (c, band) ->
+      Fmt.pf ppf "%s = %g*%s%+g ± %g" c.Mining.Correlation.col_a
+        c.Mining.Correlation.k c.Mining.Correlation.col_b
+        c.Mining.Correlation.b band.Mining.Correlation.eps
+  | Diff_stmt (d, band) ->
+      Fmt.pf ppf "%s - %s IN [%g, %g]" d.Mining.Diff_band.col_hi
+        d.Mining.Diff_band.col_lo band.Mining.Diff_band.d_min
+        band.Mining.Diff_band.d_max
+  | Holes_stmt h -> Mining.Join_holes.pp ppf h
+
+let pp_state ppf = function
+  | Probation -> Fmt.string ppf "probation"
+  | Active -> Fmt.string ppf "active"
+  | Violated -> Fmt.string ppf "violated"
+  | Dropped -> Fmt.string ppf "dropped"
+
+let pp ppf t =
+  Fmt.pf ppf "%s on %s: %a [%s, %a]" t.name t.table pp_statement t.statement
+    (match t.kind with
+    | Absolute -> "ASC"
+    | Statistical c -> Printf.sprintf "SSC %.1f%%" (100.0 *. c))
+    pp_state t.state

@@ -1,0 +1,287 @@
+(* The system façade: a database with a soft-constraint catalog wired into
+   its optimizer.  SQL goes in; statements execute against the catalog and
+   storage; queries run through rewrite → plan → execute with every
+   soft-constraint pathway available (and individually toggleable, for
+   the ablation experiments). *)
+
+open Rel
+
+type t = {
+  db : Database.t;
+  stats : Stats.Runstats.t;
+  catalog : Sc_catalog.t;
+  maintenance : Maintenance.t;
+  mutable flags : Opt.Rewrite.flags;
+  mutable cost_params : Opt.Cost.params;
+}
+
+let create ?(flags = Opt.Rewrite.all_on) () =
+  let db = Database.create () in
+  let catalog = Sc_catalog.create () in
+  let maintenance = Maintenance.attach db catalog in
+  {
+    db;
+    stats = Stats.Runstats.create ();
+    catalog;
+    maintenance;
+    flags;
+    cost_params = Opt.Cost.default_params;
+  }
+
+let db t = t.db
+let catalog t = t.catalog
+let maintenance t = t.maintenance
+let statistics t = t.stats
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let rewrite_ctx ?flags t =
+  Sc_catalog.rewrite_ctx
+    ~flags:(Option.value flags ~default:t.flags)
+    t.catalog t.db
+
+let planner_env t =
+  Opt.Planner.make_env ~params:t.cost_params t.db t.stats
+
+let runstats ?table t =
+  match table with
+  | None -> Stats.Runstats.runstats_all t.stats t.db
+  | Some name ->
+      ignore (Stats.Runstats.runstats t.stats (Database.table_exn t.db name))
+
+(* ---- soft constraint installation ---------------------------------------- *)
+
+let install_sc t sc =
+  Sc_catalog.add t.catalog sc;
+  Maintenance.track_fd t.maintenance sc
+
+(* Install a SOFT-mode declaration from SQL: validate a would-be ASC
+   against the data; declared confidences make SSCs directly. *)
+let install_soft_declaration t ~name ~table ~(body : Icdef.body)
+    ~(declared_confidence : float option) =
+  let muts = Sc_catalog.mutations_of t.db table in
+  match declared_confidence with
+  | Some c when c < 1.0 ->
+      install_sc t
+        (Soft_constraint.make ~name ~table
+           ~kind:(Soft_constraint.Statistical c) ~installed_at_mutations:muts
+           (Soft_constraint.Ic_stmt body))
+  | _ -> (
+      (* candidate ASC: verify against the current state *)
+      let ic = Icdef.make ~name ~table body in
+      let env = Database.checker_env t.db in
+      match Checker.verify env ic with
+      | [] ->
+          install_sc t
+            (Soft_constraint.make ~name ~table ~kind:Soft_constraint.Absolute
+               ~installed_at_mutations:muts (Soft_constraint.Ic_stmt body))
+      | violations -> (
+          (* not absolute: keep as an SSC with the measured confidence
+             when the statement is check-shaped *)
+          match body with
+          | Icdef.Check _ | Icdef.Not_null _ ->
+              let rows =
+                max 1 (Table.cardinality (Database.table_exn t.db table))
+              in
+              let c =
+                1.0
+                -. (float_of_int (List.length violations) /. float_of_int rows)
+              in
+              install_sc t
+                (Soft_constraint.make ~name ~table
+                   ~kind:(Soft_constraint.Statistical c)
+                   ~installed_at_mutations:muts (Soft_constraint.Ic_stmt body))
+          | _ ->
+              error
+                "constraint %s does not hold (%d violations) and its class \
+                 cannot be statistical"
+                name (List.length violations)))
+
+(* ---- statement execution --------------------------------------------------- *)
+
+type outcome =
+  | Rows of Exec.Executor.result
+  | Affected of int
+  | Report of Opt.Explain.report
+  | Done of string
+
+let fresh_constraint_name =
+  let counter = ref 0 in
+  fun table ->
+    incr counter;
+    Printf.sprintf "%s_con%d" table !counter
+
+let eval_const_expr (e : Expr.t) : Value.t =
+  try Expr.eval [||] e [||]
+  with Expr.Binding.Unresolved r ->
+    error "non-constant expression references column %s"
+      (Fmt.str "%a" Expr.pp_col_ref r)
+
+let add_table_constraint t ~table (con : Sqlfe.Ast.table_constraint) =
+  let name =
+    Option.value con.Sqlfe.Ast.con_name ~default:(fresh_constraint_name table)
+  in
+  match con.Sqlfe.Ast.con_mode with
+  | Sqlfe.Ast.Mode_enforced ->
+      Database.add_constraint t.db
+        (Icdef.make ~enforcement:Icdef.Enforced ~name ~table
+           con.Sqlfe.Ast.con_body)
+  | Sqlfe.Ast.Mode_informational ->
+      Database.add_constraint t.db
+        (Icdef.make ~enforcement:Icdef.Informational ~name ~table
+           con.Sqlfe.Ast.con_body)
+  | Sqlfe.Ast.Mode_soft declared_confidence ->
+      install_soft_declaration t ~name ~table ~body:con.Sqlfe.Ast.con_body
+        ~declared_confidence
+
+(* auto-create a unique index backing a PRIMARY KEY / UNIQUE declaration *)
+let back_key_with_index t ~table (con : Sqlfe.Ast.table_constraint) =
+  match (con.Sqlfe.Ast.con_mode, con.Sqlfe.Ast.con_body) with
+  | ( (Sqlfe.Ast.Mode_enforced | Sqlfe.Ast.Mode_informational),
+      (Icdef.Primary_key cols | Icdef.Unique cols) ) ->
+      let index_name = Printf.sprintf "%s_key_%s" table (String.concat "_" cols) in
+      if Database.find_index_by_name t.db index_name = None then
+        ignore
+          (Database.create_index t.db ~name:index_name ~table ~columns:cols
+             ~unique:(con.Sqlfe.Ast.con_mode = Sqlfe.Ast.Mode_enforced) ())
+  | _ -> ()
+
+let matching_rids t ~table pred =
+  let tbl = Database.table_exn t.db table in
+  let binding = Expr.Binding.of_schema (Table.schema tbl) in
+  let keep = Expr.compile_filter binding pred in
+  List.rev
+    (Table.fold tbl ~init:[] ~f:(fun acc rid row ->
+         if keep row then rid :: acc else acc))
+
+let optimize ?flags t (q : Sqlfe.Ast.query) =
+  Opt.Explain.optimize (rewrite_ctx ?flags t) (planner_env t) q
+
+let run_query ?flags t (q : Sqlfe.Ast.query) =
+  let report = optimize ?flags t q in
+  Exec.Executor.run t.db report.Opt.Explain.plan
+
+let exec_statement t (stmt : Sqlfe.Ast.statement) : outcome =
+  match stmt with
+  | Sqlfe.Ast.Query q -> Rows (run_query t q)
+  | Sqlfe.Ast.Explain q -> Report (optimize t q)
+  | Sqlfe.Ast.Create_table { name; cols; constraints } ->
+      let schema =
+        Schema.make name
+          (List.map
+             (fun (c : Sqlfe.Ast.col_def) ->
+               Schema.column ~nullable:(not c.Sqlfe.Ast.col_not_null)
+                 c.Sqlfe.Ast.col_name c.Sqlfe.Ast.col_type)
+             cols)
+      in
+      ignore (Database.create_table t.db schema);
+      List.iter
+        (fun con ->
+          back_key_with_index t ~table:name con;
+          add_table_constraint t ~table:name con)
+        constraints;
+      Done (Printf.sprintf "created table %s" name)
+  | Sqlfe.Ast.Drop_table name ->
+      Database.drop_table t.db name;
+      Done (Printf.sprintf "dropped table %s" name)
+  | Sqlfe.Ast.Drop_index name ->
+      Database.drop_index t.db name;
+      Done (Printf.sprintf "dropped index %s" name)
+  | Sqlfe.Ast.Create_index { index_name; table; columns; unique } ->
+      ignore
+        (Database.create_index t.db ~name:index_name ~table ~columns ~unique ());
+      Done (Printf.sprintf "created index %s" index_name)
+  | Sqlfe.Ast.Alter_add_constraint { table; con } ->
+      back_key_with_index t ~table con;
+      add_table_constraint t ~table con;
+      Done "constraint added"
+  | Sqlfe.Ast.Drop_constraint { table = _; name } -> (
+      match Database.find_constraint t.db name with
+      | Some _ ->
+          Database.drop_constraint t.db name;
+          Done (Printf.sprintf "dropped constraint %s" name)
+      | None -> (
+          match Sc_catalog.find t.catalog name with
+          | Some _ ->
+              Sc_catalog.drop t.catalog name;
+              Done (Printf.sprintf "dropped soft constraint %s" name)
+          | None -> error "no such constraint: %s" name))
+  | Sqlfe.Ast.Create_exception_table { name; constraint_name } -> (
+      match Sc_catalog.find t.catalog constraint_name with
+      | None -> error "no such soft constraint: %s" constraint_name
+      | Some sc ->
+          let handle =
+            Exception_table.install t.db ~sc ~table_name:name
+          in
+          Sc_catalog.register_exception_table t.catalog ~constraint_name
+            ~table:handle.Exception_table.exception_table;
+          Done (Printf.sprintf "exception table %s tracks %s" name
+                  constraint_name))
+  | Sqlfe.Ast.Insert { table; columns; rows } ->
+      let tbl = Database.table_exn t.db table in
+      let schema = Table.schema tbl in
+      let positions =
+        match columns with
+        | None -> List.init (Schema.arity schema) Fun.id
+        | Some cols -> List.map (Schema.index_exn schema) cols
+      in
+      let count = ref 0 in
+      List.iter
+        (fun exprs ->
+          if List.length exprs <> List.length positions then
+            error "INSERT arity mismatch for table %s" table;
+          let row = Array.make (Schema.arity schema) Value.Null in
+          List.iter2
+            (fun pos e -> row.(pos) <- eval_const_expr e)
+            positions exprs;
+          ignore (Database.insert t.db ~table (Tuple.of_array row));
+          incr count)
+        rows;
+      Affected !count
+  | Sqlfe.Ast.Delete { table; where } ->
+      let rids = matching_rids t ~table where in
+      List.iter (fun rid -> ignore (Database.delete t.db ~table rid)) rids;
+      Affected (List.length rids)
+  | Sqlfe.Ast.Update { table; assignments; where } ->
+      let tbl = Database.table_exn t.db table in
+      let schema = Table.schema tbl in
+      let binding = Expr.Binding.of_schema schema in
+      let compiled =
+        List.map
+          (fun (c, e) -> (Schema.index_exn schema c, Expr.compile binding e))
+          assignments
+      in
+      let rids = matching_rids t ~table where in
+      List.iter
+        (fun rid ->
+          let before = Table.get_exn tbl rid in
+          let after = Tuple.copy before in
+          List.iter (fun (pos, f) -> after.(pos) <- f before) compiled;
+          Database.update t.db ~table rid after)
+        rids;
+      Affected (List.length rids)
+  | Sqlfe.Ast.Runstats table ->
+      runstats ?table t;
+      Done "statistics collected"
+
+let exec t sql = exec_statement t (Sqlfe.Parser.parse_statement sql)
+
+let exec_script t sql =
+  List.map (exec_statement t) (Sqlfe.Parser.parse_script sql)
+
+(* Run a query string and return the rows. *)
+let query ?flags t sql =
+  match Sqlfe.Parser.parse_statement sql with
+  | Sqlfe.Ast.Query q -> run_query ?flags t q
+  | _ -> error "expected a SELECT statement"
+
+let explain ?flags t sql =
+  match Sqlfe.Parser.parse_statement sql with
+  | Sqlfe.Ast.Query q | Sqlfe.Ast.Explain q -> optimize ?flags t q
+  | _ -> error "expected a SELECT statement"
+
+(* Convenience oracle used everywhere in tests and benches: the same
+   query with the whole soft-constraint machinery off. *)
+let query_baseline t sql = query ~flags:Opt.Rewrite.all_off t sql

@@ -1,0 +1,66 @@
+(** The system façade: a database with a soft-constraint catalog wired
+    into its optimizer.
+
+    SQL goes in; DDL/DML execute against catalog and storage (including
+    the [SOFT] / [NOT ENFORCED] declaration modes and
+    [CREATE EXCEPTION TABLE]); queries run through rewrite → plan →
+    execute with every soft-constraint pathway available — and
+    individually toggleable via {!Opt.Rewrite.flags}, which the ablation
+    experiments use. *)
+
+open Rel
+
+type t
+
+val create : ?flags:Opt.Rewrite.flags -> unit -> t
+(** A fresh empty database with maintenance attached ([Drop] default
+    policy). *)
+
+val db : t -> Database.t
+val catalog : t -> Sc_catalog.t
+val maintenance : t -> Maintenance.t
+val statistics : t -> Stats.Runstats.t
+
+exception Error of string
+
+val rewrite_ctx : ?flags:Opt.Rewrite.flags -> t -> Opt.Rewrite.ctx
+val planner_env : t -> Opt.Planner.env
+
+val runstats : ?table:string -> t -> unit
+(** Collect statistics for one table, or all. *)
+
+val install_sc : t -> Soft_constraint.t -> unit
+(** Add to the catalog (and start FD tracking when applicable). *)
+
+val install_soft_declaration :
+  t -> name:string -> table:string -> body:Icdef.body ->
+  declared_confidence:float option -> unit
+(** The [SOFT] DDL semantics: with a declared confidence < 1, install as
+    an SSC; otherwise verify against the data — an ASC if it holds, an
+    SSC at the measured confidence for check-shaped statements, an
+    {!Error} otherwise. *)
+
+type outcome =
+  | Rows of Exec.Executor.result
+  | Affected of int
+  | Report of Opt.Explain.report
+  | Done of string
+
+val exec_statement : t -> Sqlfe.Ast.statement -> outcome
+val exec : t -> string -> outcome
+val exec_script : t -> string -> outcome list
+
+val optimize : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
+  Opt.Explain.report
+
+val run_query : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
+  Exec.Executor.result
+
+val query : ?flags:Opt.Rewrite.flags -> t -> string -> Exec.Executor.result
+(** Parse, optimize and execute a SELECT. *)
+
+val explain : ?flags:Opt.Rewrite.flags -> t -> string -> Opt.Explain.report
+
+val query_baseline : t -> string -> Exec.Executor.result
+(** The same query with the whole soft-constraint machinery off — the
+    oracle used throughout the tests and benches. *)

@@ -1,0 +1,137 @@
+(* A simple transaction layer: an undo log over catalog mutations plus a
+   snapshot of the soft-constraint catalog.
+
+   Paper §4.1 asks: a transaction violates (and so overturns) an ASC —
+   "what then if transaction A aborts in the end anyway?  Is the ASC then
+   re-instated?"  Here the answer is yes by construction: [rollback]
+   undoes the data mutations in reverse order and restores every soft
+   constraint's statement, kind, state and currency anchor to their
+   values at [begin_], so an ASC dropped (or widened) only by the aborted
+   transaction comes back exactly as it was.  Exception tables stay
+   consistent throughout because the compensating operations flow through
+   the same mutation listeners. *)
+
+open Rel
+
+type sc_snapshot = {
+  snap_name : string;
+  snap_statement : Soft_constraint.statement;
+  snap_kind : Soft_constraint.kind;
+  snap_state : Soft_constraint.state;
+  snap_installed : int;
+  snap_violations : int;
+}
+
+type t = {
+  sdb : Softdb.t;
+  mutable log : Database.mutation list; (* newest first *)
+  snapshots : sc_snapshot list;
+  mutable active : bool;
+  mutable recording : bool;
+}
+
+exception Transaction_error of string
+
+let current : t option ref = ref None
+
+let snapshot_catalog catalog =
+  List.map
+    (fun (sc : Soft_constraint.t) ->
+      {
+        snap_name = sc.Soft_constraint.name;
+        snap_statement = sc.Soft_constraint.statement;
+        snap_kind = sc.Soft_constraint.kind;
+        snap_state = sc.Soft_constraint.state;
+        snap_installed = sc.Soft_constraint.installed_at_mutations;
+        snap_violations = sc.Soft_constraint.violation_count;
+      })
+    (Sc_catalog.all catalog)
+
+(* one recording listener per database, routed through [current], so
+   repeated transactions do not accumulate listeners *)
+let registered : Database.t list ref = ref []
+
+let ensure_listener sdb =
+  let db = Softdb.db sdb in
+  if not (List.exists (fun d -> d == db) !registered) then begin
+    registered := db :: !registered;
+    Database.on_mutation db (fun m ->
+        match !current with
+        | Some t when t.active && t.recording && Softdb.db t.sdb == db ->
+            t.log <- m :: t.log
+        | _ -> ())
+  end
+
+let begin_ sdb =
+  (match !current with
+  | Some t when t.active ->
+      raise (Transaction_error "a transaction is already active")
+  | _ -> ());
+  ensure_listener sdb;
+  let t =
+    {
+      sdb;
+      log = [];
+      snapshots = snapshot_catalog (Softdb.catalog sdb);
+      active = true;
+      recording = true;
+    }
+  in
+  current := Some t;
+  t
+
+let commit t =
+  if not t.active then raise (Transaction_error "transaction is not active");
+  t.active <- false;
+  current := None
+
+let rollback t =
+  if not t.active then raise (Transaction_error "transaction is not active");
+  let db = Softdb.db t.sdb in
+  (* stop recording, then compensate newest-first; deleted rows come back
+     under their original rid so older undo records still apply.  However
+     the compensation ends, the transaction is over — a failure mid-undo
+     must not leave a phantom active transaction. *)
+  Fun.protect ~finally:(fun () ->
+      t.active <- false;
+      current := None)
+  @@ fun () ->
+  t.recording <- false;
+  List.iter
+    (fun m ->
+      match m with
+      | Database.Inserted { table; rid; _ } ->
+          ignore (Database.delete db ~table rid)
+      | Database.Deleted { table; rid; row } ->
+          Database.restore db ~table rid (Tuple.copy row)
+      | Database.Updated { table; rid; before; _ } ->
+          Database.update db ~table rid (Tuple.copy before))
+    t.log;
+  (* restore the soft-constraint catalog: statements widened or states
+     overturned by this transaction come back (§4.1) *)
+  List.iter
+    (fun snap ->
+      match Sc_catalog.find (Softdb.catalog t.sdb) snap.snap_name with
+      | Some sc ->
+          sc.Soft_constraint.statement <- snap.snap_statement;
+          sc.Soft_constraint.kind <- snap.snap_kind;
+          sc.Soft_constraint.state <- snap.snap_state;
+          sc.Soft_constraint.installed_at_mutations <- snap.snap_installed;
+          sc.Soft_constraint.violation_count <- snap.snap_violations
+      | None -> ())
+    t.snapshots;
+  t.active <- false;
+  current := None
+
+let mutation_count t = List.length t.log
+
+(* Run [f] atomically: commit on success, roll back on exception. *)
+let atomically sdb f =
+  let t = begin_ sdb in
+  match f () with
+  | result ->
+      commit t;
+      Ok result
+  | exception e ->
+      rollback t;
+      Error e

@@ -1,0 +1,34 @@
+(** A simple transaction layer: an undo log over catalog mutations plus a
+    snapshot of the soft-constraint catalog.
+
+    Paper §4.1 raises the interaction between ASC maintenance and
+    transactions: a transaction that violates (and so overturns) an ASC
+    may later abort — "is the ASC then re-instated?"  Here yes, by
+    construction: {!rollback} compensates the data mutations in reverse
+    order and restores every soft constraint's statement, kind, state and
+    currency anchor to their values at {!begin_}.  Exception tables stay
+    consistent throughout because the compensating operations flow
+    through the same mutation listeners.
+
+    One transaction at a time; row identifiers of rows deleted and
+    restored by a rollback are not preserved. *)
+
+exception Transaction_error of string
+
+type t
+
+val begin_ : Softdb.t -> t
+(** Start recording; raises {!Transaction_error} if one is active. *)
+
+val commit : t -> unit
+(** Discard the undo log. *)
+
+val rollback : t -> unit
+(** Undo the recorded mutations (newest first) and restore the
+    soft-constraint catalog snapshot. *)
+
+val mutation_count : t -> int
+
+val atomically : Softdb.t -> (unit -> 'a) -> ('a, exn) result
+(** Run a thunk in a transaction: [Ok] commits, an exception rolls back
+    and is returned as [Error]. *)

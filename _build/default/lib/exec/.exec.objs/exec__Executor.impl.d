@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Expr Fmt List Operators Plan Rel Tuple

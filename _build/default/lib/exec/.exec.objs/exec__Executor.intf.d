@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Database Format Operators Plan Rel Tuple

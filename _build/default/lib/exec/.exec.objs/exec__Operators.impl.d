@@ -1,0 +1,1 @@
+lib/exec/operators.ml: Array Database Expr Fmt Hashtbl Index List Option Plan Printf Rel Table Tuple Value

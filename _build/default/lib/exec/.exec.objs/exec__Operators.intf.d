@@ -1,0 +1,1 @@
+lib/exec/operators.mli: Database Format Plan Rel Tuple

@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Array Database Expr Fmt Index List Rel String Table Value

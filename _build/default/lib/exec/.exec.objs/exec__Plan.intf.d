@@ -1,0 +1,1 @@
+lib/exec/plan.mli: Database Expr Format Index Rel

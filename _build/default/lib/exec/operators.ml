@@ -1,0 +1,428 @@
+(* Plan interpretation: each node opens as a pull cursor.
+
+   [Counters] records the physical work done — rows fetched from storage,
+   page reads (by the same fixed-width page model the cost model uses),
+   and index probes — so experiments can report I/O-shaped numbers rather
+   than wall time alone (paper §2 [8]: "reduce the number of pages that
+   need to be scanned"). *)
+
+open Rel
+
+module Counters = struct
+  type t = {
+    mutable rows_scanned : int; (* rows fetched from base tables *)
+    mutable pages_read : int;
+    mutable index_probes : int;
+    mutable rows_output : int; (* rows produced at the plan root *)
+  }
+
+  let create () =
+    { rows_scanned = 0; pages_read = 0; index_probes = 0; rows_output = 0 }
+
+  let reset t =
+    t.rows_scanned <- 0;
+    t.pages_read <- 0;
+    t.index_probes <- 0;
+    t.rows_output <- 0
+
+  let pp ppf t =
+    Fmt.pf ppf "scanned=%d pages=%d probes=%d out=%d" t.rows_scanned
+      t.pages_read t.index_probes t.rows_output
+end
+
+type cursor = unit -> Tuple.t option
+
+exception Exec_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+let cursor_of_list rows =
+  let rest = ref rows in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | r :: tl ->
+        rest := tl;
+        Some r
+
+let drain (c : cursor) =
+  let rec go acc = match c () with None -> List.rev acc | Some r -> go (r :: acc) in
+  go []
+
+(* ---- aggregation accumulators ----------------------------------------- *)
+
+type acc = {
+  mutable count : int; (* non-null inputs; all rows for a bare COUNT *)
+  mutable sum : float;
+  mutable sum_is_int : bool;
+  mutable min_v : Value.t;
+  mutable max_v : Value.t;
+}
+
+let fresh_acc () =
+  { count = 0; sum = 0.0; sum_is_int = true; min_v = Value.Null;
+    max_v = Value.Null }
+
+let feed_acc acc (v : Value.t) =
+  match v with
+  | Value.Null -> ()
+  | v ->
+      acc.count <- acc.count + 1;
+      (match v with
+      | Value.Int i -> acc.sum <- acc.sum +. float_of_int i
+      | Value.Float f ->
+          acc.sum <- acc.sum +. f;
+          acc.sum_is_int <- false
+      | _ -> ());
+      if Value.is_null acc.min_v || Value.compare_total v acc.min_v < 0 then
+        acc.min_v <- v;
+      if Value.is_null acc.max_v || Value.compare_total v acc.max_v > 0 then
+        acc.max_v <- v
+
+let finish_acc (fn : Plan.agg_fn) acc ~rows_in_group =
+  match fn with
+  | Plan.Count -> Value.Int (match acc with None -> rows_in_group | Some a -> a.count)
+  | Plan.Sum -> (
+      match acc with
+      | None | Some { count = 0; _ } -> Value.Null
+      | Some a ->
+          if a.sum_is_int then Value.Int (int_of_float a.sum)
+          else Value.Float a.sum)
+  | Plan.Avg -> (
+      match acc with
+      | None | Some { count = 0; _ } -> Value.Null
+      | Some a -> Value.Float (a.sum /. float_of_int a.count))
+  | Plan.Min -> ( match acc with None -> Value.Null | Some a -> a.min_v)
+  | Plan.Max -> ( match acc with None -> Value.Null | Some a -> a.max_v)
+
+(* ---- opening plans ------------------------------------------------------ *)
+
+let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
+  match plan with
+  | Plan.Seq_scan { table; alias = _; filter } ->
+      let tbl = Database.table_exn db table in
+      let binding = Plan.binding db plan in
+      let keep = Expr.compile_filter binding filter in
+      counters.Counters.pages_read <-
+        counters.Counters.pages_read + Table.pages tbl;
+      let rows = ref (Table.to_list tbl) in
+      let rec next () =
+        match !rows with
+        | [] -> None
+        | r :: tl ->
+            rows := tl;
+            counters.Counters.rows_scanned <- counters.Counters.rows_scanned + 1;
+            if keep r then Some r else next ()
+      in
+      next
+  | Plan.Index_scan { table; alias = _; index; lo; hi; filter } ->
+      let tbl = Database.table_exn db table in
+      let idx =
+        match Database.find_index_by_name db index with
+        | Some i -> i
+        | None -> error "no such index: %s" index
+      in
+      counters.Counters.index_probes <- counters.Counters.index_probes + 1;
+      let rids = Index.range idx ~lo ~hi in
+      let binding = Plan.binding db plan in
+      let keep = Expr.compile_filter binding filter in
+      (* page model: each fetched rid costs a page read amortized by
+         clustering factor ~ rows_per_page *)
+      let rpp = Table.rows_per_page tbl in
+      counters.Counters.pages_read <-
+        counters.Counters.pages_read
+        + ((List.length rids + rpp - 1) / max 1 rpp);
+      let rows = ref rids in
+      let rec next () =
+        match !rows with
+        | [] -> None
+        | rid :: tl -> (
+            rows := tl;
+            match Table.get tbl rid with
+            | None -> next ()
+            | Some r ->
+                counters.Counters.rows_scanned <-
+                  counters.Counters.rows_scanned + 1;
+                if keep r then Some r else next ())
+      in
+      next
+  | Plan.Filter { input; pred } ->
+      let binding = Plan.binding db input in
+      let keep = Expr.compile_filter binding pred in
+      let c = open_plan db counters input in
+      let rec next () =
+        match c () with
+        | None -> None
+        | Some r -> if keep r then Some r else next ()
+      in
+      next
+  | Plan.Project { input; exprs } ->
+      let binding = Plan.binding db input in
+      let fns = List.map (fun (e, _) -> Expr.compile binding e) exprs in
+      let fns = Array.of_list fns in
+      let c = open_plan db counters input in
+      fun () ->
+        Option.map (fun r -> Array.map (fun f -> f r) fns) (c ())
+  | Plan.Nested_loop_join { left; right; pred } ->
+      let out_binding = Plan.binding db plan in
+      let keep = Expr.compile_filter out_binding pred in
+      let lcur = open_plan db counters left in
+      (* materialize the inner side once; re-scanning real storage would
+         double-count I/O that a block-nested-loop would cache *)
+      let inner = drain (open_plan db counters right) in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | r :: tl ->
+            pending := tl;
+            Some r
+        | [] -> (
+            match lcur () with
+            | None -> None
+            | Some l ->
+                pending :=
+                  List.filter_map
+                    (fun r ->
+                      let joined = Tuple.concat l r in
+                      if keep joined then Some joined else None)
+                    inner;
+                next ())
+      in
+      next
+  | Plan.Hash_join { left; right; left_keys; right_keys; residual } ->
+      if List.length left_keys <> List.length right_keys then
+        error "hash join key arity mismatch";
+      let lbind = Plan.binding db left and rbind = Plan.binding db right in
+      let lkey = List.map (Expr.compile lbind) left_keys in
+      let rkey = List.map (Expr.compile rbind) right_keys in
+      let out_binding = Plan.binding db plan in
+      let keep = Expr.compile_filter out_binding residual in
+      let key_of fns row =
+        List.map (fun f -> f row) fns
+      in
+      (* build on the right input *)
+      let table = Hashtbl.create 1024 in
+      List.iter
+        (fun r ->
+          let k = key_of rkey r in
+          if not (List.exists Value.is_null k) then
+            Hashtbl.add table k r)
+        (drain (open_plan db counters right));
+      let lcur = open_plan db counters left in
+      let pending = ref [] in
+      let rec next () =
+        match !pending with
+        | r :: tl ->
+            pending := tl;
+            Some r
+        | [] -> (
+            match lcur () with
+            | None -> None
+            | Some l ->
+                let k = key_of lkey l in
+                if List.exists Value.is_null k then next ()
+                else begin
+                  pending :=
+                    List.filter_map
+                      (fun r ->
+                        let joined = Tuple.concat l r in
+                        if keep joined then Some joined else None)
+                      (Hashtbl.find_all table k);
+                  next ()
+                end)
+      in
+      next
+  | Plan.Merge_join { left; right; left_keys; right_keys; residual } ->
+      (* materialized merge join over inputs sorted on their keys *)
+      let lbind = Plan.binding db left and rbind = Plan.binding db right in
+      let lkey = Array.of_list (List.map (Expr.compile lbind) left_keys) in
+      let rkey = Array.of_list (List.map (Expr.compile rbind) right_keys) in
+      let out_binding = Plan.binding db plan in
+      let keep = Expr.compile_filter out_binding residual in
+      let key_of fns row = Array.map (fun f -> f row) fns in
+      let cmp_keys a b =
+        let n = Array.length a in
+        let rec go i =
+          if i >= n then 0
+          else
+            match Value.compare_total a.(i) b.(i) with
+            | 0 -> go (i + 1)
+            | c -> c
+        in
+        go 0
+      in
+      let lrows =
+        drain (open_plan db counters left)
+        |> List.map (fun r -> (key_of lkey r, r))
+        |> List.sort (fun (a, _) (b, _) -> cmp_keys a b)
+        |> Array.of_list
+      in
+      let rrows =
+        drain (open_plan db counters right)
+        |> List.map (fun r -> (key_of rkey r, r))
+        |> List.sort (fun (a, _) (b, _) -> cmp_keys a b)
+        |> Array.of_list
+      in
+      let out = ref [] in
+      let i = ref 0 and j = ref 0 in
+      let nl = Array.length lrows and nr = Array.length rrows in
+      while !i < nl && !j < nr do
+        let lk, _ = lrows.(!i) and rk, _ = rrows.(!j) in
+        if Array.exists Value.is_null lk then incr i
+        else if Array.exists Value.is_null rk then incr j
+        else
+          let c = cmp_keys lk rk in
+          if c < 0 then incr i
+          else if c > 0 then incr j
+          else begin
+            (* emit the cross product of the equal-key runs *)
+            let jstart = !j in
+            let rec run_end k =
+              if k < nr && cmp_keys (fst rrows.(k)) lk = 0 then run_end (k + 1)
+              else k
+            in
+            let jend = run_end jstart in
+            let rec lrun i =
+              if i < nl && cmp_keys (fst lrows.(i)) lk = 0 then begin
+                for k = jstart to jend - 1 do
+                  let joined = Tuple.concat (snd lrows.(i)) (snd rrows.(k)) in
+                  if keep joined then out := joined :: !out
+                done;
+                lrun (i + 1)
+              end
+              else i
+            in
+            i := lrun !i;
+            j := jend
+          end
+      done;
+      cursor_of_list (List.rev !out)
+  | Plan.Sort { input; keys } ->
+      let binding = Plan.binding db input in
+      let compiled =
+        List.map (fun k -> (Expr.compile binding k.Plan.key, k.Plan.asc)) keys
+      in
+      let rows = drain (open_plan db counters input) in
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (f, asc) :: tl -> (
+              match Value.compare_total (f a) (f b) with
+              | 0 -> go tl
+              | c -> if asc then c else -c)
+        in
+        go compiled
+      in
+      cursor_of_list (List.stable_sort cmp rows)
+  | Plan.Group { input; keys; aggs } ->
+      let binding = Plan.binding db input in
+      let key_fns = List.map (fun (e, _) -> Expr.compile binding e) keys in
+      let agg_fns =
+        List.map
+          (fun a -> (a, Option.map (Expr.compile binding) a.Plan.arg))
+          aggs
+      in
+      let groups : (Value.t list, (int ref * acc option array)) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      let order = ref [] in
+      let rows = drain (open_plan db counters input) in
+      List.iter
+        (fun r ->
+          let k = List.map (fun f -> f r) key_fns in
+          let nrows, accs =
+            match Hashtbl.find_opt groups k with
+            | Some entry -> entry
+            | None ->
+                let entry =
+                  ( ref 0,
+                    Array.of_list
+                      (List.map
+                         (fun (_, arg) ->
+                           match arg with
+                           | None -> None
+                           | Some _ -> Some (fresh_acc ()))
+                         agg_fns) )
+                in
+                Hashtbl.add groups k entry;
+                order := k :: !order;
+                entry
+          in
+          incr nrows;
+          List.iteri
+            (fun i (_, arg) ->
+              match (arg, accs.(i)) with
+              | Some f, Some acc -> feed_acc acc (f r)
+              | None, _ -> ()
+              | Some _, None -> assert false)
+            agg_fns)
+        rows;
+      let emit k =
+        let nrows, accs = Hashtbl.find groups k in
+        let agg_values =
+          List.mapi
+            (fun i (a, _) ->
+              finish_acc a.Plan.fn accs.(i) ~rows_in_group:!nrows)
+            agg_fns
+        in
+        Tuple.make (k @ agg_values)
+      in
+      (* a global aggregate over an empty input still yields one row *)
+      if keys = [] && Hashtbl.length groups = 0 then
+        let agg_values =
+          List.map
+            (fun (a, _) -> finish_acc a.Plan.fn None ~rows_in_group:0)
+            agg_fns
+        in
+        cursor_of_list [ Tuple.make agg_values ]
+      else cursor_of_list (List.rev_map emit !order)
+  | Plan.Distinct input ->
+      let rows = drain (open_plan db counters input) in
+      let seen = Hashtbl.create 256 in
+      let out =
+        List.filter
+          (fun r ->
+            let key = Tuple.to_list r in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          rows
+      in
+      cursor_of_list out
+  | Plan.Union_all inputs ->
+      let remaining = ref inputs in
+      let current = ref (fun () -> None) in
+      let rec next () =
+        match !current () with
+        | Some r -> Some r
+        | None -> (
+            match !remaining with
+            | [] -> None
+            | p :: tl ->
+                remaining := tl;
+                current := open_plan db counters p;
+                next ())
+      in
+      next
+  | Plan.Limit { input; n } ->
+      let c = open_plan db counters input in
+      let emitted = ref 0 in
+      fun () ->
+        if !emitted >= n then None
+        else
+          match c () with
+          | None -> None
+          | Some r ->
+              incr emitted;
+              Some r
+
+let run db ?counters plan =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
+  let rows = drain (open_plan db counters plan) in
+  counters.Counters.rows_output <-
+    counters.Counters.rows_output + List.length rows;
+  rows

@@ -1,0 +1,35 @@
+(** Plan interpretation: each node opens as a pull cursor.
+
+    {!Counters} records the physical work done — rows fetched from
+    storage, page reads (under the same fixed-width page model the cost
+    model uses), index probes — so experiments can report I/O-shaped
+    numbers rather than wall time alone (paper §2 [8]: "reduce the number
+    of pages that need to be scanned"). *)
+
+open Rel
+
+module Counters : sig
+  type t = {
+    mutable rows_scanned : int;  (** rows fetched from base tables *)
+    mutable pages_read : int;
+    mutable index_probes : int;
+    mutable rows_output : int;  (** rows produced at the plan root *)
+  }
+
+  val create : unit -> t
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+type cursor = unit -> Tuple.t option
+
+exception Exec_error of string
+
+val open_plan : Database.t -> Counters.t -> Plan.t -> cursor
+(** Open a plan as a cursor; work counters accumulate into the given
+    record as the cursor is pulled. *)
+
+val drain : cursor -> Tuple.t list
+
+val run : Database.t -> ?counters:Counters.t -> Plan.t -> Tuple.t list
+(** Open, drain, and count the output rows. *)

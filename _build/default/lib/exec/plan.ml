@@ -1,0 +1,168 @@
+(* Physical query plans.
+
+   A plan node is self-describing: [binding] computes the tuple layout it
+   produces, which downstream nodes compile their expressions against.
+   Plans are built by the optimizer ({!Opt.Planner}) and interpreted by
+   {!Operators}. *)
+
+open Rel
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type agg = {
+  fn : agg_fn;
+  arg : Expr.t option; (* None only for Count *)
+  out_name : string;
+}
+
+type sort_key = { key : Expr.t; asc : bool }
+
+type t =
+  | Seq_scan of { table : string; alias : string; filter : Expr.pred }
+  | Index_scan of {
+      table : string;
+      alias : string;
+      index : string;
+      lo : Index.bound;
+      hi : Index.bound;
+      filter : Expr.pred; (* residual, applied after the probe *)
+    }
+  | Filter of { input : t; pred : Expr.pred }
+  | Project of { input : t; exprs : (Expr.t * string) list }
+  | Nested_loop_join of { left : t; right : t; pred : Expr.pred }
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+      residual : Expr.pred;
+    }
+  | Merge_join of {
+      left : t; (* both inputs are sorted on their keys by construction *)
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+      residual : Expr.pred;
+    }
+  | Sort of { input : t; keys : sort_key list }
+  | Group of { input : t; keys : (Expr.t * string) list; aggs : agg list }
+  | Distinct of t
+  | Union_all of t list
+  | Limit of { input : t; n : int }
+
+let agg_fn_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+(* The output layout of each node. [db] supplies table schemas. *)
+let rec binding (db : Database.t) plan : Expr.Binding.t =
+  match plan with
+  | Seq_scan { table; alias; _ } | Index_scan { table; alias; _ } ->
+      Expr.Binding.of_schema ~alias (Table.schema (Database.table_exn db table))
+  | Filter { input; _ } | Limit { input; _ } | Sort { input; _ }
+  | Distinct input ->
+      binding db input
+  | Project { input = _; exprs } ->
+      Array.of_list
+        (List.map
+           (fun (_, name) ->
+             { Expr.Binding.qualifier = None; name; dtype = None })
+           exprs)
+  | Nested_loop_join { left; right; _ }
+  | Hash_join { left; right; _ }
+  | Merge_join { left; right; _ } ->
+      Expr.Binding.concat (binding db left) (binding db right)
+  | Group { keys; aggs; _ } ->
+      Array.of_list
+        (List.map
+           (fun (_, name) ->
+             { Expr.Binding.qualifier = None; name; dtype = None })
+           keys
+        @ List.map
+            (fun a ->
+              { Expr.Binding.qualifier = None; name = a.out_name; dtype = None })
+            aggs)
+  | Union_all [] -> [||]
+  | Union_all (p :: _) -> binding db p
+
+(* Structural pretty-printer (EXPLAIN-style). *)
+let rec pp ?(indent = 0) ppf plan =
+  let pad = String.make indent ' ' in
+  let child = indent + 2 in
+  match plan with
+  | Seq_scan { table; alias; filter } ->
+      Fmt.pf ppf "%sSeqScan %s%s%a@." pad table
+        (if alias = table then "" else " as " ^ alias)
+        pp_filter filter
+  | Index_scan { table; alias; index; lo; hi; filter } ->
+      Fmt.pf ppf "%sIndexScan %s%s using %s [%a, %a]%a@." pad table
+        (if alias = table then "" else " as " ^ alias)
+        index pp_bound lo pp_bound hi pp_filter filter
+  | Filter { input; pred } ->
+      Fmt.pf ppf "%sFilter %a@." pad Expr.pp_pred pred;
+      pp ~indent:child ppf input
+  | Project { input; exprs } ->
+      Fmt.pf ppf "%sProject %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, n) ->
+             Fmt.pf ppf "%a as %s" Expr.pp e n))
+        exprs;
+      pp ~indent:child ppf input
+  | Nested_loop_join { left; right; pred } ->
+      Fmt.pf ppf "%sNestedLoopJoin on %a@." pad Expr.pp_pred pred;
+      pp ~indent:child ppf left;
+      pp ~indent:child ppf right
+  | Hash_join { left; right; left_keys; right_keys; residual } ->
+      Fmt.pf ppf "%sHashJoin %a = %a%a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        left_keys
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        right_keys pp_filter residual;
+      pp ~indent:child ppf left;
+      pp ~indent:child ppf right
+  | Merge_join { left; right; left_keys; right_keys; residual } ->
+      Fmt.pf ppf "%sMergeJoin %a = %a%a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        left_keys
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        right_keys pp_filter residual;
+      pp ~indent:child ppf left;
+      pp ~indent:child ppf right
+  | Sort { input; keys } ->
+      Fmt.pf ppf "%sSort %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf k ->
+             Fmt.pf ppf "%a%s" Expr.pp k.key (if k.asc then "" else " desc")))
+        keys;
+      pp ~indent:child ppf input
+  | Group { input; keys; aggs } ->
+      Fmt.pf ppf "%sGroup by %a aggs %a@." pad
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, _) -> Expr.pp ppf e))
+        keys
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf a ->
+             Fmt.pf ppf "%s(%a)" (agg_fn_name a.fn)
+               Fmt.(option ~none:(any "*") Expr.pp)
+               a.arg))
+        aggs;
+      pp ~indent:child ppf input
+  | Distinct input ->
+      Fmt.pf ppf "%sDistinct@." pad;
+      pp ~indent:child ppf input
+  | Union_all inputs ->
+      Fmt.pf ppf "%sUnionAll (%d branches)@." pad (List.length inputs);
+      List.iter (pp ~indent:child ppf) inputs
+  | Limit { input; n } ->
+      Fmt.pf ppf "%sLimit %d@." pad n;
+      pp ~indent:child ppf input
+
+and pp_filter ppf = function
+  | Expr.Ptrue -> ()
+  | p -> Fmt.pf ppf " filter (%a)" Expr.pp_pred p
+
+and pp_bound ppf = function
+  | Index.Unbounded -> Fmt.string ppf "-inf"
+  | Index.Incl v -> Fmt.pf ppf "%a incl" Value.pp v
+  | Index.Excl v -> Fmt.pf ppf "%a excl" Value.pp v
+
+let to_string plan = Fmt.str "%a" (pp ~indent:0) plan

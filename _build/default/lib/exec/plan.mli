@@ -1,0 +1,61 @@
+(** Physical query plans.
+
+    A plan node is self-describing: {!binding} computes the tuple layout
+    it produces, which downstream nodes compile their expressions against.
+    Plans are built by the optimizer ({!Opt.Planner}) and interpreted by
+    {!Operators}. *)
+
+open Rel
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type agg = {
+  fn : agg_fn;
+  arg : Expr.t option;  (** [None] only for [Count] (count every row) *)
+  out_name : string;
+}
+
+type sort_key = { key : Expr.t; asc : bool }
+
+type t =
+  | Seq_scan of { table : string; alias : string; filter : Expr.pred }
+  | Index_scan of {
+      table : string;
+      alias : string;
+      index : string;
+      lo : Index.bound;
+      hi : Index.bound;
+      filter : Expr.pred;  (** residual, applied after the probe *)
+    }
+  | Filter of { input : t; pred : Expr.pred }
+  | Project of { input : t; exprs : (Expr.t * string) list }
+  | Nested_loop_join of { left : t; right : t; pred : Expr.pred }
+  | Hash_join of {
+      left : t;  (** probe side *)
+      right : t;  (** build side *)
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+      residual : Expr.pred;
+    }
+  | Merge_join of {
+      left : t;
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+      residual : Expr.pred;
+    }
+  | Sort of { input : t; keys : sort_key list }
+  | Group of { input : t; keys : (Expr.t * string) list; aggs : agg list }
+  | Distinct of t
+  | Union_all of t list
+  | Limit of { input : t; n : int }
+
+val agg_fn_name : agg_fn -> string
+
+val binding : Database.t -> t -> Expr.Binding.t
+(** Output layout of a node ([db] supplies table schemas). *)
+
+val pp : ?indent:int -> Format.formatter -> t -> unit
+(** EXPLAIN-style tree rendering. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/mining/correlation.ml: Array Expr Float Fmt Linreg List Rel Schema String Table Tuple Value

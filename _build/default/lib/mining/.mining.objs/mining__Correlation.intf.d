@@ -1,0 +1,1 @@
+lib/mining/correlation.mli: Expr Format Rel Table

@@ -1,0 +1,1 @@
+lib/mining/diff_band.ml: Array Expr Float Fmt List Rel Schema Table Tuple Value

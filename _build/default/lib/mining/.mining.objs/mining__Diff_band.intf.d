@@ -1,0 +1,1 @@
+lib/mining/diff_band.mli: Expr Format Rel Table Value

@@ -1,0 +1,1 @@
+lib/mining/domain_mine.ml: Expr Hashtbl List Rel Schema Table Tuple Value

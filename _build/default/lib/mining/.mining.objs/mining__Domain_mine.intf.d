@@ -1,0 +1,1 @@
+lib/mining/domain_mine.mli: Expr Rel Table Value

@@ -1,0 +1,1 @@
+lib/mining/fd_mine.ml: Fmt Hashtbl List Option Partition Rel Schema String Table Tuple Value

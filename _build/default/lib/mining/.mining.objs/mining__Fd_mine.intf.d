@@ -1,0 +1,1 @@
+lib/mining/fd_mine.mli: Format Rel Table

@@ -1,0 +1,1 @@
+lib/mining/join_holes.ml: Array Float Fmt Hashtbl List Rel Schema Table Tuple Value

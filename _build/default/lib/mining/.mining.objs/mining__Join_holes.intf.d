@@ -1,0 +1,1 @@
+lib/mining/join_holes.mli: Format Rel Table

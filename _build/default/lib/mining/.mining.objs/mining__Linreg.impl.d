@@ -1,0 +1,1 @@
+lib/mining/linreg.ml: Array Float

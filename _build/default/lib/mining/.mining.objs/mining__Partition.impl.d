@@ -1,0 +1,1 @@
+lib/mining/partition.ml: Array Hashtbl List Rel Table Tuple Value

@@ -1,0 +1,1 @@
+lib/mining/partition.mli: Rel Table

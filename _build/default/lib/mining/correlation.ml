@@ -1,0 +1,183 @@
+(* Mining linear correlations between column pairs, after [10]
+   (paper §2): find k, b, and the smallest ε such that
+   A BETWEEN k·B + b − ε AND k·B + b + ε holds for a target fraction of
+   rows, and accept the correlation only when the band is *selective* —
+   2ε small relative to A's active range.
+
+   Each accepted correlation carries several bands: the 100% band makes an
+   absolute soft constraint (usable in rewrite), the lower-confidence
+   bands make statistical soft constraints (cardinality estimation only,
+   paper §3.3's "should the database also keep ε₇₀ and ε₈₀?"). *)
+
+open Rel
+
+type band = { confidence : float; eps : float }
+
+type t = {
+  table : string;
+  col_a : string; (* the predicted column: A = k·B + b ± ε *)
+  col_b : string;
+  k : float;
+  b : float;
+  r2 : float;
+  rows : int;
+  bands : band list; (* descending confidence, 1.0 first when present *)
+  selectivity : float; (* 2ε₁₀₀ / range(A); smaller = more useful *)
+}
+
+let numeric_position v =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Date d -> Some (float_of_int d)
+  | Value.Null | Value.String _ | Value.Bool _ -> None
+
+let points_of_table table ~col_a ~col_b =
+  let schema = Table.schema table in
+  let ia = Schema.index_exn schema col_a
+  and ib = Schema.index_exn schema col_b in
+  let acc = ref [] in
+  Table.iter table ~f:(fun row ->
+      match
+        ( numeric_position (Tuple.get row ib),
+          numeric_position (Tuple.get row ia) )
+      with
+      | Some x, Some y -> acc := (x, y) :: !acc
+      | _ -> ());
+  Array.of_list !acc
+
+(* Mine the pair (col_a, col_b) of [table].  [confidences] selects which
+   bands to compute (1.0 = absolute).  Returns [None] when there are too
+   few rows or the 100%% band is not selective enough per [max_selectivity]
+   (the paper's "threshold used as a bound for acceptable values for ε"). *)
+let mine ?(confidences = [ 1.0; 0.99; 0.95; 0.9 ]) ?(max_selectivity = 0.25)
+    ?(min_rows = 32) table ~col_a ~col_b =
+  (* a linear form k·B + b is only well-typed over numeric columns; date
+     pairs belong to difference bands instead *)
+  let schema = Table.schema table in
+  let numeric_col c =
+    match (Schema.column_at schema (Schema.index_exn schema c)).Schema.dtype
+    with
+    | Value.TInt | Value.TFloat -> true
+    | Value.TDate | Value.TString | Value.TBool -> false
+  in
+  if not (numeric_col col_a && numeric_col col_b) then None
+  else
+  let points = points_of_table table ~col_a ~col_b in
+  if Array.length points < min_rows then None
+  else
+    let fit = Linreg.fit points in
+    let ys = Array.map snd points in
+    let y_min = Array.fold_left min ys.(0) ys
+    and y_max = Array.fold_left max ys.(0) ys in
+    let range = y_max -. y_min in
+    let eps100 = Linreg.band fit ~q:1.0 in
+    let selectivity =
+      if range <= 0.0 then 1.0 else 2.0 *. eps100 /. range
+    in
+    if selectivity > max_selectivity then None
+    else
+      let bands =
+        confidences
+        |> List.sort_uniq (fun a b -> Float.compare b a)
+        |> List.map (fun confidence ->
+               { confidence; eps = Linreg.band fit ~q:confidence })
+      in
+      Some
+        {
+          table = Table.name table;
+          col_a;
+          col_b;
+          k = fit.Linreg.k;
+          b = fit.Linreg.b;
+          r2 = fit.Linreg.r2;
+          rows = Array.length points;
+          bands;
+          selectivity;
+        }
+
+(* The tightest band whose confidence meets the request. *)
+let band_with t ~confidence =
+  List.filter (fun b -> b.confidence >= confidence) t.bands
+  |> List.fold_left
+       (fun best b ->
+         match best with
+         | None -> Some b
+         | Some x -> if b.eps < x.eps then Some b else best)
+       None
+
+(* Express a band as the check-constraint predicate
+   A BETWEEN k·B + b − ε AND k·B + b + ε (paper §2). *)
+let to_check_pred t ~eps =
+  let a = Expr.column t.col_a in
+  let line =
+    Expr.Binop
+      ( Expr.Add,
+        Expr.Binop (Expr.Mul, Expr.Const (Value.Float t.k), Expr.column t.col_b),
+        Expr.Const (Value.Float t.b) )
+  in
+  Expr.Between
+    ( a,
+      Expr.Binop (Expr.Sub, line, Expr.Const (Value.Float eps)),
+      Expr.Binop (Expr.Add, line, Expr.Const (Value.Float eps)) )
+
+(* The fraction of the table currently inside the ε-band: used to
+   revalidate a stored correlation after updates. *)
+let coverage table t ~eps =
+  let points = points_of_table table ~col_a:t.col_a ~col_b:t.col_b in
+  if Array.length points = 0 then 1.0
+  else
+    let hits =
+      Array.fold_left
+        (fun acc (x, y) ->
+          if Float.abs (y -. ((t.k *. x) +. t.b)) <= eps then acc + 1 else acc)
+        0 points
+    in
+    float_of_int hits /. float_of_int (Array.length points)
+
+(* Search all candidate numeric pairs of a table, returning accepted
+   correlations ranked by selectivity.  [workload_pairs], when given,
+   restricts the search to pairs the workload actually touches
+   (paper §3.2: discovery directed by the workload). *)
+let mine_table ?confidences ?max_selectivity ?min_rows ?workload_pairs table =
+  let schema = Table.schema table in
+  let numeric_cols =
+    List.filter_map
+      (fun c ->
+        match c.Schema.dtype with
+        | Value.TInt | Value.TFloat -> Some c.Schema.name
+        | Value.TDate | Value.TString | Value.TBool -> None)
+      (Schema.columns schema)
+  in
+  let wanted a b =
+    match workload_pairs with
+    | None -> true
+    | Some pairs ->
+        List.exists
+          (fun (x, y) ->
+            let eq p q = String.lowercase_ascii p = String.lowercase_ascii q in
+            (eq x a && eq y b) || (eq x b && eq y a))
+          pairs
+  in
+  let out = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b && wanted a b then
+            match
+              mine ?confidences ?max_selectivity ?min_rows table ~col_a:a
+                ~col_b:b
+            with
+            | Some c -> out := c :: !out
+            | None -> ())
+        numeric_cols)
+    numeric_cols;
+  List.sort (fun x y -> Float.compare x.selectivity y.selectivity) !out
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %s = %.4g*%s %+.4g (r2=%.3f, sel=%.3f)%a" t.table t.col_a
+    t.k t.col_b t.b t.r2 t.selectivity
+    (Fmt.list ~sep:Fmt.nop (fun ppf b ->
+         Fmt.pf ppf " [%.0f%%: ±%.3g]" (100.0 *. b.confidence) b.eps))
+    t.bands

@@ -1,0 +1,54 @@
+(** Mining linear correlations between column pairs, after [10]
+    (paper §2): find [k], [b], and the smallest ε such that
+    [A BETWEEN k·B + b − ε AND k·B + b + ε] holds for a target fraction of
+    rows, accepting the correlation only when the band is {e selective}
+    (2ε small relative to A's active range).
+
+    Each accepted correlation carries several bands: the 100% band makes
+    an absolute soft constraint (usable in rewrite), lower-confidence
+    bands make statistical soft constraints (estimation only — the
+    paper's "should the database also keep ε70 and ε80?"). *)
+
+open Rel
+
+type band = { confidence : float; eps : float }
+
+type t = {
+  table : string;
+  col_a : string;  (** the predicted column: [A = k·B + b ± ε] *)
+  col_b : string;
+  k : float;
+  b : float;
+  r2 : float;
+  rows : int;
+  bands : band list;  (** descending confidence *)
+  selectivity : float;  (** [2ε₁₀₀ / range A]; smaller = more useful *)
+}
+
+val mine :
+  ?confidences:float list -> ?max_selectivity:float -> ?min_rows:int ->
+  Table.t -> col_a:string -> col_b:string -> t option
+(** [None] when either column is non-numeric (dates belong to
+    {!Diff_band}), there are too few rows, or the 100% band fails the
+    selectivity threshold (the paper's "threshold used as a bound for
+    acceptable values for ε"). *)
+
+val band_with : t -> confidence:float -> band option
+(** The tightest band whose confidence meets the request. *)
+
+val to_check_pred : t -> eps:float -> Expr.pred
+(** The band as the check statement
+    [A BETWEEN k·B + b − ε AND k·B + b + ε]. *)
+
+val coverage : Table.t -> t -> eps:float -> float
+(** Fraction of the table currently inside the ε-band (revalidation
+    oracle). *)
+
+val mine_table :
+  ?confidences:float list -> ?max_selectivity:float -> ?min_rows:int ->
+  ?workload_pairs:(string * string) list -> Table.t -> t list
+(** Search candidate numeric pairs, ranked by selectivity;
+    [workload_pairs] restricts to pairs the workload touches (paper §3.2:
+    workload-directed discovery). *)
+
+val pp : Format.formatter -> t -> unit

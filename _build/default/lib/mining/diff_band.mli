@@ -1,0 +1,39 @@
+(** Column-difference bands: the paper's running example (§4.4) is
+    "ship_date is between order_date and three weeks later", i.e.
+    [0 ≤ ship_date − order_date ≤ 21] for ~99% of rows.  For a column pair
+    this miner finds the tightest [d_min, d_max] interval on
+    [col_hi − col_lo] at each requested confidence (a sliding-window
+    narrowest-interval search over the sorted differences). *)
+
+open Rel
+
+type band = { confidence : float; d_min : float; d_max : float }
+
+type t = {
+  table : string;
+  col_hi : string;  (** the constrained expression is [col_hi − col_lo] *)
+  col_lo : string;
+  rows : int;
+  bands : band list;  (** descending confidence *)
+}
+
+val compatible_dtypes : Value.dtype -> Value.dtype -> bool
+(** A difference is only meaningful between two dates or two numerics. *)
+
+val mine :
+  ?confidences:float list -> ?min_rows:int -> Table.t -> col_hi:string ->
+  col_lo:string -> t option
+(** [None] on incompatible column types or too few rows. *)
+
+val to_check_pred : t -> band -> Expr.pred
+(** [CHECK (col_hi − col_lo BETWEEN d_min AND d_max)], with exact bounds
+    (integral differences print as integers; rounding would break a 100%
+    band's validity). *)
+
+val band_with : t -> confidence:float -> band option
+(** The narrowest band whose confidence meets the request. *)
+
+val coverage : Table.t -> t -> band -> float
+(** Fraction of rows currently inside the band (revalidation oracle). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+(* Functional-dependency discovery (paper §2: "with a good FD mining tool,
+   FD information could be made available as SCs").
+
+   A bounded levelwise search in the style of TANE: candidate left-hand
+   sides grow up to [max_lhs] attributes; X → a is tested by partition
+   refinement; only *minimal* FDs are returned (no proper subset of X
+   already determines a).  Keys are excluded when [exclude_keys] names
+   them, since key FDs are already known to the optimizer. *)
+
+open Rel
+
+type fd = { table : string; lhs : string list; rhs : string }
+
+let pp_fd ppf f =
+  Fmt.pf ppf "%s: %a -> %s" f.table
+    Fmt.(list ~sep:(any ", ") string)
+    f.lhs f.rhs
+
+(* sorted-list subset test *)
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let mine ?(max_lhs = 2) ?(exclude_keys = []) table =
+  let schema = Table.schema table in
+  let cols =
+    List.filter
+      (fun c ->
+        not
+          (List.exists
+             (fun k -> String.lowercase_ascii k
+                       = String.lowercase_ascii c)
+             exclude_keys))
+      (Schema.column_names schema)
+  in
+  let pos = List.map (fun c -> (c, Schema.index_exn schema c)) cols in
+  let part1 = List.map (fun (c, p) -> (c, Partition.of_column table p)) pos in
+  let partition_of cols_sorted =
+    Partition.of_columns table
+      (List.map (fun c -> List.assoc c pos) cols_sorted)
+  in
+  let found = ref [] in
+  (* level 1: single-attribute lhs *)
+  List.iter
+    (fun (x, px) ->
+      List.iter
+        (fun (a, _) ->
+          if a <> x then
+            let pxa = partition_of [ x; a ] in
+            if Partition.refines ~lhs:px ~lhs_with_rhs:pxa then
+              found := { table = Table.name table; lhs = [ x ]; rhs = a }
+                       :: !found)
+        part1)
+    part1;
+  (* higher levels, minimality-pruned *)
+  let rec combos k from =
+    if k = 0 then [ [] ]
+    else
+      match from with
+      | [] -> []
+      | c :: rest ->
+          List.map (fun tl -> c :: tl) (combos (k - 1) rest) @ combos k rest
+  in
+  for size = 2 to max_lhs do
+    List.iter
+      (fun lhs ->
+        let p_lhs = partition_of lhs in
+        List.iter
+          (fun (a, _) ->
+            if
+              (not (List.mem a lhs))
+              && not
+                   (List.exists
+                      (fun f ->
+                        f.rhs = a && subset f.lhs lhs)
+                      !found)
+            then
+              let p_all = partition_of (lhs @ [ a ]) in
+              if Partition.refines ~lhs:p_lhs ~lhs_with_rhs:p_all then
+                found := { table = Table.name table; lhs; rhs = a } :: !found)
+          part1)
+      (combos size cols)
+  done;
+  List.rev !found
+
+(* Does [fd] hold exactly on the current data?  Revalidation oracle. *)
+let holds table fd =
+  let schema = Table.schema table in
+  let lhs_pos = List.map (Schema.index_exn schema) fd.lhs in
+  let rhs_pos = Schema.index_exn schema fd.rhs in
+  let seen : (Tuple.t, Value.t) Hashtbl.t = Hashtbl.create 256 in
+  let ok = ref true in
+  Table.iter table ~f:(fun row ->
+      if !ok then begin
+        let key = Tuple.make (List.map (Tuple.get row) lhs_pos) in
+        let v = Tuple.get row rhs_pos in
+        match Hashtbl.find_opt seen key with
+        | None -> Hashtbl.add seen key v
+        | Some v0 -> if not (Value.equal_total v0 v) then ok := false
+      end);
+  !ok
+
+(* Fraction of rows consistent with [fd] (rows in groups whose rhs agrees
+   with the group's majority value): the confidence of a statistical FD. *)
+let confidence table fd =
+  let schema = Table.schema table in
+  let lhs_pos = List.map (Schema.index_exn schema) fd.lhs in
+  let rhs_pos = Schema.index_exn schema fd.rhs in
+  let groups : (Tuple.t, (Value.t, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let total = ref 0 in
+  Table.iter table ~f:(fun row ->
+      incr total;
+      let key = Tuple.make (List.map (Tuple.get row) lhs_pos) in
+      let v = Tuple.get row rhs_pos in
+      let counts =
+        match Hashtbl.find_opt groups key with
+        | Some c -> c
+        | None ->
+            let c = Hashtbl.create 4 in
+            Hashtbl.add groups key c;
+            c
+      in
+      Hashtbl.replace counts v
+        (1 + Option.value (Hashtbl.find_opt counts v) ~default:0));
+  if !total = 0 then 1.0
+  else begin
+    let consistent = ref 0 in
+    Hashtbl.iter
+      (fun _ counts ->
+        let best = Hashtbl.fold (fun _ n acc -> max n acc) counts 0 in
+        consistent := !consistent + best)
+      groups;
+    float_of_int !consistent /. float_of_int !total
+  end

@@ -1,0 +1,23 @@
+(** Functional-dependency discovery (paper §2: "with a good FD mining
+    tool, FD information could be made available as SCs").
+
+    A bounded levelwise search in the style of TANE: left-hand sides grow
+    up to [max_lhs] attributes, [X → a] is tested by partition refinement,
+    and only {e minimal} FDs are returned. *)
+
+open Rel
+
+type fd = { table : string; lhs : string list; rhs : string }
+
+val pp_fd : Format.formatter -> fd -> unit
+
+val mine : ?max_lhs:int -> ?exclude_keys:string list -> Table.t -> fd list
+(** [exclude_keys] removes columns (typically declared keys) whose FDs
+    the optimizer already knows. *)
+
+val holds : Table.t -> fd -> bool
+(** Does the FD hold exactly on the current data?  Revalidation oracle. *)
+
+val confidence : Table.t -> fd -> float
+(** Fraction of rows consistent with the FD (rows agreeing with their
+    group's majority value) — the confidence of a statistical FD. *)

@@ -1,0 +1,228 @@
+(* Mining "holes" in two-dimensional join space, after [8] (paper §2):
+   given a join path one ⋈ two and attributes A of [one] and B of [two],
+   find maximal rectangular ranges (of A × B) over which the join returns
+   no tuples.  Queries that select within a hole's A-range can then trim
+   their B-range (and vice versa).
+
+   We bucketize both axes into a g × g grid over the active domains — the
+   paper's holes are likewise ranges, not points — mark cells that contain
+   at least one join-result point, and enumerate all maximal empty
+   rectangles of the grid.  The scan and bucketing passes are linear in
+   the join-result size, which experiment E9 verifies. *)
+
+open Rel
+
+type rect = {
+  a_lo : float;
+  a_hi : float; (* half-open in value space: [a_lo, a_hi) *)
+  b_lo : float;
+  b_hi : float;
+}
+
+type t = {
+  left_table : string;
+  left_col : string; (* A *)
+  right_table : string;
+  right_col : string; (* B *)
+  join_left : string; (* join key column of left table *)
+  join_right : string;
+  grid : int;
+  a_min : float;
+  a_max : float;
+  b_min : float;
+  b_max : float;
+  rects : rect list; (* maximal empty rectangles, in value space *)
+  join_rows : int; (* size of the join result that was scanned *)
+}
+
+let numeric v =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Date d -> Some (float_of_int d)
+  | Value.Null | Value.String _ | Value.Bool _ -> None
+
+(* All (A, B) pairs of the join result, via a hash join on the key. *)
+let join_points ~left ~right ~join_left ~join_right ~left_col ~right_col =
+  let ls = Table.schema left and rs = Table.schema right in
+  let l_key = Schema.index_exn ls join_left
+  and r_key = Schema.index_exn rs join_right in
+  let l_a = Schema.index_exn ls left_col
+  and r_b = Schema.index_exn rs right_col in
+  let build : (Value.t, float) Hashtbl.t = Hashtbl.create 1024 in
+  Table.iter right ~f:(fun row ->
+      let k = Tuple.get row r_key in
+      if not (Value.is_null k) then
+        match numeric (Tuple.get row r_b) with
+        | Some b -> Hashtbl.add build k b
+        | None -> ());
+  let acc = ref [] in
+  Table.iter left ~f:(fun row ->
+      let k = Tuple.get row l_key in
+      if not (Value.is_null k) then
+        match numeric (Tuple.get row l_a) with
+        | Some a ->
+            List.iter
+              (fun b -> acc := (a, b) :: !acc)
+              (Hashtbl.find_all build k)
+        | None -> ());
+  !acc
+
+(* --- maximal empty rectangles of a boolean grid ------------------------ *)
+
+(* occupied.(y).(x) — enumerate all maximal rectangles of unoccupied
+   cells.  For each row taken as the bottom of a histogram of empty-cell
+   heights, the monotone-stack pass yields every rectangle that cannot be
+   widened or grown upward; a rectangle is kept only if it also cannot be
+   grown downward (its bottom row is the last, or some cell below is
+   occupied / of smaller height). *)
+let maximal_empty_rects (occupied : bool array array) =
+  let g_y = Array.length occupied in
+  if g_y = 0 then []
+  else begin
+    let g_x = Array.length occupied.(0) in
+    let height = Array.make g_x 0 in
+    let rects = ref [] in
+    for y = 0 to g_y - 1 do
+      for x = 0 to g_x - 1 do
+        height.(x) <- (if occupied.(y).(x) then 0 else height.(x) + 1)
+      done;
+      (* monotone stack of (start_x, h); emit on pop *)
+      let stack = ref [] in
+      let emit start_x width h =
+        if h > 0 then begin
+          (* grown maximally up (h is the full run height) and wide (popped
+             because neighbours are shorter); keep if not extendable down *)
+          let extendable_down =
+            y + 1 < g_y
+            &&
+            let rec all_empty x =
+              x >= start_x + width || ((not occupied.(y + 1).(x)) && all_empty (x + 1))
+            in
+            all_empty start_x
+          in
+          if not extendable_down then
+            rects := (start_x, y - h + 1, start_x + width - 1, y) :: !rects
+        end
+      in
+      for x = 0 to g_x do
+        let h = if x = g_x then -1 else height.(x) in
+        let start = ref x in
+        let continue = ref true in
+        while !continue do
+          match !stack with
+          | (sx, sh) :: tl when sh > h ->
+              emit sx (x - sx) sh;
+              start := sx;
+              stack := tl
+          | _ -> continue := false
+        done;
+        if x < g_x then
+          match !stack with
+          | (_, sh) :: _ when sh = h -> ()
+          | _ -> if h > 0 then stack := (!start, h) :: !stack
+      done
+    done;
+    (* drop rectangles contained in others (the stack pass can emit
+       horizontally-nested candidates from different bottom rows) *)
+    let all = !rects in
+    List.filter
+      (fun (x0, y0, x1, y1) ->
+        not
+          (List.exists
+             (fun (a0, b0, a1, b1) ->
+               (a0, b0, a1, b1) <> (x0, y0, x1, y1)
+               && a0 <= x0 && b0 <= y0 && a1 >= x1 && b1 >= y1)
+             all))
+      all
+  end
+
+(* Mine holes for (left.left_col, right.right_col) across the equi-join
+   [join_left = join_right].  [grid] buckets per axis; [min_area] discards
+   slivers (fraction of total grid area). *)
+let mine ?(grid = 64) ?(min_area = 0.005) ~left ~right ~join_left ~join_right
+    ~left_col ~right_col () =
+  let points =
+    join_points ~left ~right ~join_left ~join_right ~left_col ~right_col
+  in
+  match points with
+  | [] -> None
+  | (a0, b0) :: _ ->
+      let a_min = ref a0 and a_max = ref a0 in
+      let b_min = ref b0 and b_max = ref b0 in
+      List.iter
+        (fun (a, b) ->
+          if a < !a_min then a_min := a;
+          if a > !a_max then a_max := a;
+          if b < !b_min then b_min := b;
+          if b > !b_max then b_max := b)
+        points;
+      let a_span = max (!a_max -. !a_min) 1e-9
+      and b_span = max (!b_max -. !b_min) 1e-9 in
+      let cell_of v lo span =
+        let c = int_of_float (float_of_int grid *. ((v -. lo) /. span)) in
+        max 0 (min (grid - 1) c)
+      in
+      let occupied = Array.make_matrix grid grid false in
+      List.iter
+        (fun (a, b) ->
+          (* rows indexed by B (y), columns by A (x) *)
+          occupied.(cell_of b !b_min b_span).(cell_of a !a_min a_span) <- true)
+        points;
+      let grid_rects = maximal_empty_rects occupied in
+      let a_at i = !a_min +. (a_span *. float_of_int i /. float_of_int grid) in
+      let b_at i = !b_min +. (b_span *. float_of_int i /. float_of_int grid) in
+      let min_cells =
+        int_of_float (min_area *. float_of_int (grid * grid))
+      in
+      let rects =
+        grid_rects
+        |> List.filter (fun (x0, y0, x1, y1) ->
+               (x1 - x0 + 1) * (y1 - y0 + 1) >= max 1 min_cells)
+        |> List.map (fun (x0, y0, x1, y1) ->
+               {
+                 a_lo = a_at x0;
+                 a_hi = a_at (x1 + 1);
+                 b_lo = b_at y0;
+                 b_hi = b_at (y1 + 1);
+               })
+        |> List.sort (fun r1 r2 ->
+               Float.compare
+                 ((r2.a_hi -. r2.a_lo) *. (r2.b_hi -. r2.b_lo))
+                 ((r1.a_hi -. r1.a_lo) *. (r1.b_hi -. r1.b_lo)))
+      in
+      Some
+        {
+          left_table = Table.name left;
+          left_col;
+          right_table = Table.name right;
+          right_col;
+          join_left;
+          join_right;
+          grid;
+          a_min = !a_min;
+          a_max = !a_max;
+          b_min = !b_min;
+          b_max = !b_max;
+          rects;
+          join_rows = List.length points;
+        }
+
+(* Exact verification oracle used in tests: does any join-result point
+   fall strictly inside [r]?  (Boundary cells may contain points because
+   bucketization is conservative only cell-wise.) *)
+let rect_is_empty t ~left ~right r =
+  let points =
+    join_points ~left ~right ~join_left:t.join_left ~join_right:t.join_right
+      ~left_col:t.left_col ~right_col:t.right_col
+  in
+  not
+    (List.exists
+       (fun (a, b) ->
+         a >= r.a_lo && a < r.a_hi && b >= r.b_lo && b < r.b_hi)
+       points)
+
+let pp ppf t =
+  Fmt.pf ppf "holes %s.%s x %s.%s (join %s=%s): %d rects over %d join rows"
+    t.left_table t.left_col t.right_table t.right_col t.join_left
+    t.join_right (List.length t.rects) t.join_rows

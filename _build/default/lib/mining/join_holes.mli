@@ -1,0 +1,55 @@
+(** Mining "holes" in two-dimensional join space, after [8] (paper §2):
+    given a join path [one ⋈ two] and attributes A of [one] and B of
+    [two], find maximal rectangular ranges of A × B over which the join
+    returns no tuples.  Queries selecting within a hole's A-range can then
+    trim their B-range (and vice versa) — see
+    {!Opt.Rewrite.hole_trimming}.
+
+    Both axes are bucketized into a [grid × grid] raster over the active
+    domains; cells containing a join-result point are marked; maximal
+    empty rectangles of the raster are enumerated.  The scan and
+    bucketing passes are linear in the join-result size (experiment
+    E9). *)
+
+open Rel
+
+type rect = {
+  a_lo : float;
+  a_hi : float;  (** half-open in value space: [[a_lo, a_hi)] *)
+  b_lo : float;
+  b_hi : float;
+}
+
+type t = {
+  left_table : string;
+  left_col : string;  (** A *)
+  right_table : string;
+  right_col : string;  (** B *)
+  join_left : string;  (** join key column of the left table *)
+  join_right : string;
+  grid : int;
+  a_min : float;
+  a_max : float;
+  b_min : float;
+  b_max : float;
+  rects : rect list;  (** maximal empty rectangles, largest first *)
+  join_rows : int;  (** size of the join result scanned *)
+}
+
+val maximal_empty_rects : bool array array -> (int * int * int * int) list
+(** Enumerate all maximal all-[false] rectangles [(x0, y0, x1, y1)]
+    (inclusive) of a raster — exposed for the property tests, which check
+    emptiness, maximality, and completeness against brute force. *)
+
+val mine :
+  ?grid:int -> ?min_area:float -> left:Table.t -> right:Table.t ->
+  join_left:string -> join_right:string -> left_col:string ->
+  right_col:string -> unit -> t option
+(** [None] when the join result is empty.  [min_area] (fraction of the
+    raster) discards slivers. *)
+
+val rect_is_empty : t -> left:Table.t -> right:Table.t -> rect -> bool
+(** Exact verification oracle: no join-result point inside the
+    rectangle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(* Ordinary least squares on one predictor: fit y = k*x + b and expose the
+   residual distribution, which the correlation miner turns into
+   absolute (max-residual) and statistical (quantile-residual) bands. *)
+
+type fit = {
+  k : float;
+  b : float;
+  n : int;
+  r2 : float; (* coefficient of determination *)
+  residuals : float array; (* y_i - (k*x_i + b), same order as input *)
+}
+
+let fit (points : (float * float) array) =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Linreg.fit: need at least two points";
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    points;
+  let mean_x = !sx /. float_of_int n and mean_y = !sy /. float_of_int n in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mean_x and dy = y -. mean_y in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  let k = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let b = mean_y -. (k *. mean_x) in
+  let residuals = Array.map (fun (x, y) -> y -. ((k *. x) +. b)) points in
+  let ss_res = Array.fold_left (fun a r -> a +. (r *. r)) 0.0 residuals in
+  let r2 = if !syy = 0.0 then 1.0 else 1.0 -. (ss_res /. !syy) in
+  { k; b; n; r2; residuals }
+
+(* Smallest epsilon such that a [q] fraction of points satisfy
+   |residual| <= epsilon.  [q = 1.0] gives the absolute band. *)
+let band fit ~q =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Linreg.band: q must be in (0, 1]";
+  let abs = Array.map Float.abs fit.residuals in
+  Array.sort Float.compare abs;
+  let n = Array.length abs in
+  let idx = min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+  abs.(idx)
+
+(* Fraction of points within [eps] of the fitted line. *)
+let coverage fit ~eps =
+  let hits =
+    Array.fold_left
+      (fun acc r -> if Float.abs r <= eps then acc + 1 else acc)
+      0 fit.residuals
+  in
+  float_of_int hits /. float_of_int (max 1 fit.n)

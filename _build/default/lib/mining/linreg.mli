@@ -1,0 +1,21 @@
+(** Ordinary least squares on one predictor: fit [y = k·x + b] and expose
+    the residual distribution, which the correlation miner turns into
+    absolute (max-residual) and statistical (quantile-residual) bands. *)
+
+type fit = {
+  k : float;
+  b : float;
+  n : int;
+  r2 : float;  (** coefficient of determination *)
+  residuals : float array;  (** [y_i − (k·x_i + b)], in input order *)
+}
+
+val fit : (float * float) array -> fit
+(** Raises [Invalid_argument] with fewer than two points. *)
+
+val band : fit -> q:float -> float
+(** Smallest ε such that a [q] fraction of points satisfy
+    [|residual| ≤ ε]; [q = 1.0] gives the absolute band. *)
+
+val coverage : fit -> eps:float -> float
+(** Fraction of points within [eps] of the fitted line. *)

@@ -1,0 +1,77 @@
+(* Stripped partitions (TANE): the rows of a table grouped by equal values
+   under an attribute set, with singleton groups removed.  Functional
+   dependency X → a holds exactly when refining the partition of X by [a]
+   removes no rows from non-singleton groups, i.e. error(X) = error(X∪a). *)
+
+open Rel
+
+type t = {
+  classes : int array list; (* row positions; every class has >= 2 rows *)
+  nrows : int;
+}
+
+let error t =
+  List.fold_left (fun acc c -> acc + Array.length c - 1) 0 t.classes
+
+let class_count t = List.length t.classes
+
+(* Partition of a single column. *)
+let of_column table pos =
+  let groups : (Value.t, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let n = ref 0 in
+  Table.iter table ~f:(fun row ->
+      let v = Tuple.get row pos in
+      (match Hashtbl.find_opt groups v with
+      | Some l -> l := !n :: !l
+      | None -> Hashtbl.add groups v (ref [ !n ]));
+      incr n);
+  let classes =
+    Hashtbl.fold
+      (fun _ l acc ->
+        match !l with
+        | [] | [ _ ] -> acc
+        | rows -> Array.of_list (List.rev rows) :: acc)
+      groups []
+  in
+  { classes; nrows = !n }
+
+(* Product of two partitions (the partition of the union attribute set),
+   in O(n) with the classic two-pass marking scheme. *)
+let product a b =
+  let nrows = a.nrows in
+  let class_of = Array.make nrows (-1) in
+  List.iteri
+    (fun ci rows -> Array.iter (fun r -> class_of.(r) <- ci) rows)
+    a.classes;
+  let out = ref [] in
+  List.iter
+    (fun rows ->
+      (* group this b-class by the a-class of each row *)
+      let sub : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun r ->
+          let ci = class_of.(r) in
+          if ci >= 0 then
+            match Hashtbl.find_opt sub ci with
+            | Some l -> l := r :: !l
+            | None -> Hashtbl.add sub ci (ref [ r ]))
+        rows;
+      Hashtbl.iter
+        (fun _ l ->
+          match !l with
+          | [] | [ _ ] -> ()
+          | rs -> out := Array.of_list (List.rev rs) :: !out)
+        sub)
+    b.classes;
+  { classes = !out; nrows }
+
+let of_columns table positions =
+  match positions with
+  | [] -> invalid_arg "Partition.of_columns: empty attribute set"
+  | p :: rest ->
+      List.fold_left
+        (fun acc q -> product acc (of_column table q))
+        (of_column table p) rest
+
+(* X → a, given the partition of X and of X∪{a}. *)
+let refines ~lhs ~lhs_with_rhs = error lhs = error lhs_with_rhs

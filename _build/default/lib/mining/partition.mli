@@ -1,0 +1,30 @@
+(** Stripped partitions (TANE): the rows of a table grouped by equal
+    values under an attribute set, with singleton groups removed.
+
+    Functional dependency [X → a] holds exactly when refining the
+    partition of [X] by [a] removes no rows from non-singleton groups,
+    i.e. [error X = error (X ∪ a)]. *)
+
+open Rel
+
+type t = {
+  classes : int array list;  (** row positions; every class has ≥ 2 rows *)
+  nrows : int;
+}
+
+val error : t -> int
+(** Σ(|class| − 1): rows that would have to change for the attribute set
+    to be a key. *)
+
+val class_count : t -> int
+
+val of_column : Table.t -> int -> t
+(** Partition by one column (by position). *)
+
+val product : t -> t -> t
+(** Partition of the union attribute set, O(n). *)
+
+val of_columns : Table.t -> int list -> t
+
+val refines : lhs:t -> lhs_with_rhs:t -> bool
+(** The FD test: [X → a] given the partitions of [X] and [X ∪ {a}]. *)

@@ -1,0 +1,1 @@
+lib/opt/cost.ml: Float Fmt

@@ -1,0 +1,1 @@
+lib/opt/cost.mli: Format

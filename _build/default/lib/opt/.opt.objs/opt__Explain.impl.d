@@ -1,0 +1,1 @@
+lib/opt/explain.ml: Exec Fmt List Logical Plan Planner Rewrite Selectivity Sqlfe

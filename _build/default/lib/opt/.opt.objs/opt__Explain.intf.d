@@ -1,0 +1,1 @@
+lib/opt/explain.mli: Exec Format Logical Planner Rewrite Sqlfe

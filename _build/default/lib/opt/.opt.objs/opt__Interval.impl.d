@@ -1,0 +1,1 @@
+lib/opt/interval.ml: Expr Fmt Hashtbl List Rel String Value

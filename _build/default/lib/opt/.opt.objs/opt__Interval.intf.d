@@ -1,0 +1,1 @@
+lib/opt/interval.mli: Expr Format Rel Value

@@ -1,0 +1,1 @@
+lib/opt/logical.ml: Database Expr Fmt Hashtbl List Option Printf Rel Schema Sqlfe String Table

@@ -1,0 +1,1 @@
+lib/opt/logical.mli: Database Expr Format Rel Sqlfe

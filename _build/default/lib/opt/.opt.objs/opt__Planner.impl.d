@@ -1,0 +1,1 @@
+lib/opt/planner.ml: Cost Database Exec Expr Fmt Hashtbl Index Interval List Logical Option Plan Printf Rel Runstats Selectivity Sqlfe Stats String Table

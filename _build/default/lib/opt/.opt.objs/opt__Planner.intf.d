@@ -1,0 +1,1 @@
+lib/opt/planner.mli: Cost Database Exec Logical Plan Rel Runstats Selectivity Stats

@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Database Expr Float Fmt Hashtbl Icdef Interval List Logical Mining Option Printf Rel Schema Sqlfe String Table Value

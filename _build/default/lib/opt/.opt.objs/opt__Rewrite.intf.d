@@ -1,0 +1,1 @@
+lib/opt/rewrite.mli: Database Expr Format Icdef Logical Mining Rel

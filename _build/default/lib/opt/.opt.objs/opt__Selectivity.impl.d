@@ -1,0 +1,1 @@
+lib/opt/selectivity.ml: Col_stats Database Expr Hashtbl Interval List Logical Option Rel Runstats Sqlfe Stats String Table Value

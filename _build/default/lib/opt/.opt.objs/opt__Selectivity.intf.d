@@ -1,0 +1,1 @@
+lib/opt/selectivity.mli: Database Expr Interval Logical Rel Runstats Stats

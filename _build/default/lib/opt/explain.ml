@@ -1,0 +1,56 @@
+open Exec
+(* EXPLAIN: end-to-end optimization of a parsed query with a readable
+   trace — the rewritten statement, the rules that fired, the twin
+   predicates the cardinality model saw, estimates, and the physical
+   plan. *)
+
+type report = {
+  original : Sqlfe.Ast.query;
+  logical : Logical.t;
+  rewritten : Logical.t;
+  applied : Rewrite.applied list;
+  estimated_cardinality : float;
+  plan : Plan.t;
+  estimated_cost : float;
+}
+
+let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
+    report =
+  let logical = Logical.of_query q in
+  let rewritten, applied = Rewrite.rewrite ctx logical in
+  let plan, cost = Planner.plan_query penv rewritten in
+  {
+    original = q;
+    logical;
+    rewritten;
+    applied;
+    estimated_cardinality =
+      Selectivity.query_cardinality (Planner.sel_env penv) rewritten;
+    plan;
+    estimated_cost = cost;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "original : %s@." (Sqlfe.Printer.query_to_string r.original);
+  Fmt.pf ppf "rewritten: %s@."
+    (Sqlfe.Printer.query_to_string (Logical.to_query r.rewritten));
+  (match r.applied with
+  | [] -> Fmt.pf ppf "rewrites : (none)@."
+  | rules ->
+      Fmt.pf ppf "rewrites :@.";
+      List.iter (fun a -> Fmt.pf ppf "  - %a@." Rewrite.pp_applied a) rules);
+  let rec twins ppf = function
+    | Logical.Block b ->
+        List.iter
+          (fun (p : Logical.pred_item) ->
+            if p.Logical.estimation_only then
+              Fmt.pf ppf "  ~ %a@." Logical.pp_pred_item p)
+          b.Logical.preds
+    | Logical.Union ts -> List.iter (twins ppf) ts
+  in
+  twins ppf r.rewritten;
+  Fmt.pf ppf "est. rows: %.1f  est. cost: %.1f@." r.estimated_cardinality
+    r.estimated_cost;
+  Fmt.pf ppf "plan:@.%a" (Plan.pp ~indent:2) r.plan
+
+let to_string r = Fmt.str "%a" pp r

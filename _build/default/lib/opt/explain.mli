@@ -1,0 +1,19 @@
+(** EXPLAIN: end-to-end optimization of a parsed query with a readable
+    trace — the rewritten statement, the rules that fired, the twin
+    predicates the cardinality model saw, estimates, and the physical
+    plan. *)
+
+type report = {
+  original : Sqlfe.Ast.query;
+  logical : Logical.t;
+  rewritten : Logical.t;
+  applied : Rewrite.applied list;
+  estimated_cardinality : float;
+  plan : Exec.Plan.t;
+  estimated_cost : float;
+}
+
+val optimize : Rewrite.ctx -> Planner.env -> Sqlfe.Ast.query -> report
+
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

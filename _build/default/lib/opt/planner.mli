@@ -1,0 +1,27 @@
+(** Lowering logical queries to physical plans: access-path selection
+    (sequential vs. index range scan), greedy join ordering on estimated
+    cardinalities (twin-blended, so SSCs influence join order exactly as
+    the paper intends), join method choice, then grouping, projection,
+    ordering and limits.  Estimation-only predicates never reach the
+    physical plan. *)
+
+open Rel
+open Stats
+open Exec
+
+type env = { db : Database.t; stats : Runstats.t; params : Cost.params }
+
+val make_env : ?params:Cost.params -> Database.t -> Runstats.t -> env
+
+val sel_env : env -> Selectivity.env
+
+exception Unplannable of string
+(** Raised on shapes the lowering does not support (e.g. a select item
+    that is neither grouped nor aggregated). *)
+
+val plan_block : env -> Logical.block -> Plan.t * float
+(** The plan and its estimated cost. *)
+
+val plan_query : env -> Logical.t -> Plan.t * float
+
+val plan : env -> Logical.t -> Plan.t

@@ -1,0 +1,1277 @@
+(* The semantic rewrite engine: every constraint-exploiting transformation
+   the paper describes, each gated by a flag so experiments can ablate.
+
+   Semantics-preserving rules (require enforced / informational ICs or
+   *valid absolute* soft constraints):
+   - join elimination over referential integrity        (paper §2, [6])
+   - predicate introduction from check-shaped statements (paper §2, [10])
+   - join-hole range trimming                            (paper §2, [8])
+   - union-all branch pruning by branch constraints      (paper §5)
+   - group-by / order-by simplification via FDs          (paper §2, [29])
+   - exception-table union plans (ASC-as-AST)            (paper §4.4)
+
+   Estimation-only rule (statistical soft constraints):
+   - predicate twinning with confidence                  (paper §5.1) *)
+
+open Rel
+
+type flags = {
+  join_elimination : bool;
+  predicate_introduction : bool;
+  hole_trimming : bool;
+  unionall_pruning : bool;
+  fd_simplification : bool;
+  exception_union : bool;
+  twinning : bool;
+}
+
+let all_on =
+  {
+    join_elimination = true;
+    predicate_introduction = true;
+    hole_trimming = true;
+    unionall_pruning = true;
+    fd_simplification = true;
+    exception_union = true;
+    twinning = true;
+  }
+
+let all_off =
+  {
+    join_elimination = false;
+    predicate_introduction = false;
+    hole_trimming = false;
+    unionall_pruning = false;
+    fd_simplification = false;
+    exception_union = false;
+    twinning = false;
+  }
+
+(* Statistical soft constraints usable for twinning come in the shapes our
+   miners produce. *)
+type ssc_shape =
+  | Diff_band of Mining.Diff_band.t * Mining.Diff_band.band
+  | Corr_band of Mining.Correlation.t * Mining.Correlation.band
+
+type ssc = { ssc_name : string; shape : ssc_shape }
+
+(* An ASC maintained as an exception table (AST): [exc_check] holds for
+   every base-table row that is NOT recorded in [exc_table]. *)
+type exception_info = {
+  exc_constraint : string;
+  exc_base_table : string;
+  exc_table : string;
+  exc_check : Expr.pred;
+}
+
+type ctx = {
+  db : Database.t;
+  flags : flags;
+  ascs : Icdef.t list; (* valid absolute soft constraints *)
+  asc_shapes : ssc list;
+    (* the same ASCs in typed mined form (bands valid at 100%), enabling
+       *range* propagation where generic check folding needs an equality *)
+  sscs : ssc list;
+  fds : Mining.Fd_mine.fd list; (* valid (ASC-class) FDs *)
+  holes : Mining.Join_holes.t list; (* valid hole sets *)
+  exceptions : exception_info list;
+}
+
+let make_ctx ?(flags = all_on) ?(ascs = []) ?(asc_shapes = []) ?(sscs = [])
+    ?(fds = []) ?(holes = []) ?(exceptions = []) db =
+  { db; flags; ascs; asc_shapes; sscs; fds; holes; exceptions }
+
+type applied = {
+  rule : string;
+  detail : string;
+  sc : string option;
+      (* the soft constraint (or IC) this rewrite relied on, for
+         plan-cache dependency tracking (paper §4.1) *)
+}
+
+let log ?sc applied rule fmt =
+  Printf.ksprintf
+    (fun detail -> applied := { rule; detail; sc } :: !applied)
+    fmt
+
+(* ---- constraint lookup helpers ----------------------------------------- *)
+
+let norm = String.lowercase_ascii
+
+(* ICs the optimizer may rely on: enforced and informational alike, plus
+   the valid ASCs (the paper's point: a valid ASC is as good as an IC). *)
+let usable_constraints ctx table =
+  Database.constraints_on ctx.db table
+  @ List.filter (fun ic -> norm ic.Icdef.table = norm table) ctx.ascs
+
+let usable_checks ctx table =
+  List.filter_map
+    (fun ic ->
+      match ic.Icdef.body with
+      | Icdef.Check p -> Some (ic.Icdef.name, p)
+      | _ -> None)
+    (usable_constraints ctx table)
+
+let usable_fks ctx =
+  List.filter_map
+    (fun ic ->
+      match ic.Icdef.body with
+      | Icdef.Foreign_key { columns; ref_table; ref_columns } ->
+          Some (ic, columns, ref_table, ref_columns)
+      | _ -> None)
+    (Database.constraints ctx.db @ ctx.ascs)
+
+let key_like ctx table cols =
+  let want = List.sort String.compare (List.map norm cols) in
+  List.exists
+    (fun ic ->
+      match ic.Icdef.body with
+      | Icdef.Primary_key ks | Icdef.Unique ks ->
+          List.sort String.compare (List.map norm ks) = want
+      | _ -> false)
+    (usable_constraints ctx table)
+
+let column_not_nullable ctx table col =
+  (match Database.find_table ctx.db table with
+  | Some tbl -> (
+      match Schema.find_index (Table.schema tbl) col with
+      | Some i ->
+          not (Schema.column_at (Table.schema tbl) i).Schema.nullable
+      | None -> false)
+  | None -> false)
+  || List.exists
+       (fun ic ->
+         match ic.Icdef.body with
+         | Icdef.Not_null c -> norm c = norm col
+         | _ -> false)
+       (usable_constraints ctx table)
+
+(* Requalify an unqualified table-local predicate onto a block alias. *)
+let requalify alias p =
+  Expr.map_cols_pred
+    (fun r ->
+      match r.Expr.rel with
+      | None -> { r with Expr.rel = Some alias }
+      | Some _ -> r)
+    p
+
+(* Canonical key for a column reference within a block: "alias.col", or
+   None when the reference is ambiguous/unresolvable. *)
+let key_of ctx block (r : Expr.col_ref) =
+  match Logical.sources_of_col ctx.db block r with
+  | [ s ] -> Some (norm s.Logical.alias ^ "." ^ norm r.Expr.col)
+  | _ -> None
+
+let resolve_source ctx block r =
+  match Logical.sources_of_col ctx.db block r with
+  | [ s ] -> Some s
+  | _ -> None
+
+let exec_pred_list block =
+  List.map (fun (p : Logical.pred_item) -> p.Logical.pred)
+    (Logical.executable_preds block)
+
+(* interval currently imposed on alias.col by the executable conjuncts *)
+let interval_on ctx block ~alias ~col =
+  let key = norm alias ^ "." ^ norm col in
+  let entries, _ =
+    Interval.summarize ~key_of:(key_of ctx block) (exec_pred_list block)
+  in
+  match List.assoc_opt key entries with
+  | Some (_, iv) -> iv
+  | None -> Interval.full
+
+(* equality bindings alias.col = const among executable conjuncts *)
+let bindings_of ctx block =
+  Interval.const_bindings (exec_pred_list block)
+  |> List.filter_map (fun (r, v) ->
+         match key_of ctx block r with
+         | Some key -> Some (key, v)
+         | None -> None)
+
+let subst_with_bindings ctx block bindings p =
+  Interval.subst_pred
+    (fun r ->
+      match key_of ctx block r with
+      | Some key -> (
+          match List.assoc_opt key bindings with
+          | Some v -> Some (Expr.Const v)
+          | None -> None)
+      | None -> None)
+    p
+
+(* Every column a predicate references must be declared NOT NULL for the
+   predicate to be safely *introduced* into WHERE: a CHECK constraint is
+   satisfied when it evaluates to UNKNOWN on a row, but a WHERE conjunct
+   would filter that row out. *)
+let cols_all_not_nullable ctx block p =
+  List.for_all
+    (fun (r : Expr.col_ref) ->
+      match resolve_source ctx block r with
+      | Some s -> column_not_nullable ctx s.Logical.table r.Expr.col
+      | None -> false)
+    (Expr.cols_of_pred p)
+
+(* ---- rule: unsatisfiability / union-all branch pruning ------------------ *)
+
+(* All check statements that hold for a block's sources, requalified. *)
+let implied_checks ctx (block : Logical.block) =
+  List.concat_map
+    (fun (s : Logical.source) ->
+      List.map
+        (fun (_, p) -> requalify s.Logical.alias p)
+        (usable_checks ctx s.Logical.table))
+    block.Logical.from
+
+(* Prune only on contradictions anchored by a *query* predicate: a row can
+   satisfy two contradictory CHECKs when their columns are NULL, but it
+   cannot satisfy a query range predicate with a NULL column — so a
+   query-bounded column whose combined interval is empty proves the block
+   returns nothing. *)
+let block_unsatisfiable ctx block =
+  let kf = key_of ctx block in
+  let query_preds = exec_pred_list block in
+  if List.exists (fun p -> Interval.simplify_pred p = Expr.Pfalse) query_preds
+  then true
+  else begin
+    let checks = implied_checks ctx block in
+    let q_entries, _ = Interval.summarize ~key_of:kf query_preds in
+    let all_entries, _ =
+      Interval.summarize ~key_of:kf (query_preds @ checks)
+    in
+    let interval_contradiction =
+      List.exists
+        (fun (key, (_, iv_all)) ->
+          Interval.is_empty iv_all && List.mem_assoc key q_entries)
+        all_entries
+    in
+    (* value-set contradiction: a query equality on a column whose implied
+       IN-list check excludes the constant (query equality ⇒ the column is
+       non-null on qualifying rows, so the check cannot be UNKNOWN) *)
+    let bindings = Interval.const_bindings query_preds in
+    let value_set_contradiction =
+      List.exists
+        (fun check ->
+          match check with
+          | Expr.In_list (Expr.Col r, vs) -> (
+              match kf r with
+              | Some key ->
+                  List.exists
+                    (fun (rb, v) ->
+                      kf rb = Some key
+                      && not
+                           (List.exists (fun v' -> Value.equal_total v v') vs))
+                    bindings
+              | None -> false)
+          | _ -> false)
+        checks
+    in
+    interval_contradiction || value_set_contradiction
+  end
+
+(* ---- rule: join elimination --------------------------------------------- *)
+
+(* one pass; caller iterates to fixpoint *)
+let join_elimination_step ctx applied (block : Logical.block) :
+    Logical.block option =
+  let exec = Logical.executable_preds block in
+  (* equality predicates between two distinct aliases *)
+  let eq_items =
+    List.filter_map
+      (fun (p : Logical.pred_item) ->
+        if p.Logical.estimation_only then None
+        else
+          match p.Logical.pred with
+          | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) -> (
+              match (resolve_source ctx block a, resolve_source ctx block b)
+              with
+              | Some sa, Some sb when sa.Logical.alias <> sb.Logical.alias ->
+                  Some (p, (sa, a.Expr.col), (sb, b.Expr.col))
+              | _ -> None)
+          | _ -> None)
+      exec
+  in
+  let try_fk (fk_ic, fk_cols, ref_table, ref_cols) =
+    (* all (child alias, parent alias) pairs instantiating this FK *)
+    let candidates =
+      List.filter
+        (fun (s : Logical.source) -> norm s.Logical.table = norm fk_ic.Icdef.table)
+        block.Logical.from
+      |> List.concat_map (fun child ->
+             List.filter_map
+               (fun (s : Logical.source) ->
+                 if
+                   norm s.Logical.table = norm ref_table
+                   && s.Logical.alias <> child.Logical.alias
+                 then Some (child, s)
+                 else None)
+               block.Logical.from)
+    in
+    let try_pair (child, parent) =
+      (* join predicates between exactly this pair *)
+      let pair_items =
+        List.filter
+          (fun (_, (sa, _), (sb, _)) ->
+            (sa.Logical.alias = child.Logical.alias
+            && sb.Logical.alias = parent.Logical.alias)
+            || (sa.Logical.alias = parent.Logical.alias
+               && sb.Logical.alias = child.Logical.alias))
+          eq_items
+      in
+      let col_pairs =
+        List.map
+          (fun (_, (sa, ca), (_, cb)) ->
+            if sa.Logical.alias = child.Logical.alias then (norm ca, norm cb)
+            else (norm cb, norm ca))
+          pair_items
+      in
+      let fk_pairs = List.combine (List.map norm fk_cols) (List.map norm ref_cols) in
+      let same_pairs =
+        List.sort compare col_pairs = List.sort compare fk_pairs
+      in
+      if
+        same_pairs
+        && key_like ctx ref_table ref_cols
+        && not
+             (Logical.alias_used_outside ctx.db block parent.Logical.alias
+                ~except:(List.map (fun (p, _, _) -> p) pair_items))
+      then begin
+        let keep =
+          List.filter
+            (fun (p : Logical.pred_item) ->
+              not (List.exists (fun (q, _, _) -> q == p) pair_items))
+            block.Logical.preds
+        in
+        let not_nulls =
+          List.filter_map
+            (fun c ->
+              if column_not_nullable ctx child.Logical.table c then None
+              else
+                Some
+                  (Logical.introduced_pred ~rule:"join_elimination"
+                     (Expr.Is_not_null
+                        (Expr.Col
+                           { Expr.rel = Some child.Logical.alias; col = c }))))
+            fk_cols
+        in
+        log ~sc:fk_ic.Icdef.name applied "join_elimination"
+          "eliminated %s (%s) via FK %s" parent.Logical.alias
+          parent.Logical.table fk_ic.Icdef.name;
+        Some
+          {
+            block with
+            Logical.from =
+              List.filter
+                (fun (s : Logical.source) ->
+                  s.Logical.alias <> parent.Logical.alias)
+                block.Logical.from;
+            preds = keep @ not_nulls;
+          }
+      end
+      else None
+    in
+    List.find_map try_pair candidates
+  in
+  List.find_map try_fk (usable_fks ctx)
+
+let join_elimination ctx applied block =
+  let rec fixpoint block =
+    match join_elimination_step ctx applied block with
+    | Some block' -> fixpoint block'
+    | None -> block
+  in
+  fixpoint block
+
+(* ---- rule: equality transitivity ------------------------------------------ *)
+
+(* Pure-logic constant propagation: [a.x = b.y ∧ b.y = v ⊢ a.x = v].
+   Rows surviving the conjunction have both predicates TRUE (so both
+   columns non-null), making the derived equality sound unconditionally.
+   This feeds the constraint-folding rules across joins — a binding on one
+   side of an equi-join becomes visible to the other side's check
+   statements. *)
+let equality_transitivity ctx applied (block : Logical.block) =
+  let result = ref block in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let block = !result in
+    let exec = exec_pred_list block in
+    let bindings = bindings_of ctx block in
+    let additions = ref [] in
+    List.iter
+      (fun p ->
+        match p with
+        | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+            let try_prop src dst dst_ref =
+              match (src, dst) with
+              | Some ks, Some kd when not (List.mem_assoc kd bindings) -> (
+                  match List.assoc_opt ks bindings with
+                  | Some v ->
+                      let pred =
+                        Expr.Cmp (Expr.Eq, Expr.Col dst_ref, Expr.Const v)
+                      in
+                      if
+                        (not (List.mem pred exec))
+                        && not
+                             (List.exists
+                                (fun (it : Logical.pred_item) ->
+                                  it.Logical.pred = pred)
+                                !additions)
+                      then begin
+                        log applied "equality_transitivity"
+                          "derived %s" (Expr.to_string_pred pred);
+                        additions :=
+                          Logical.introduced_pred
+                            ~rule:"equality_transitivity" pred
+                          :: !additions
+                      end
+                  | None -> ())
+              | _ -> ()
+            in
+            try_prop (key_of ctx block a) (key_of ctx block b) b;
+            try_prop (key_of ctx block b) (key_of ctx block a) a
+        | _ -> ())
+      exec;
+    if !additions <> [] then begin
+      changed := true;
+      result :=
+        { block with Logical.preds = block.Logical.preds @ List.rev !additions }
+    end
+  done;
+  !result
+
+(* ---- rule: predicate introduction ---------------------------------------- *)
+
+(* A candidate conjunct is worth introducing when it is a sargable range
+   on an indexed column not already usefully bounded — the safety
+   heuristic of [6]: only rewrites that open an access path. *)
+let introduction_gain ctx block (c : Expr.pred) =
+  match Interval.of_pred c with
+  | None -> None
+  | Some (r, iv) -> (
+      if Interval.is_full iv then None
+      else
+        match resolve_source ctx block r with
+        | None -> None
+        | Some s -> (
+            match
+              Database.find_index_on_column ctx.db s.Logical.table r.Expr.col
+            with
+            | None -> None
+            | Some _ ->
+                let current =
+                  interval_on ctx block ~alias:s.Logical.alias ~col:r.Expr.col
+                in
+                (* new interval must actually tighten the current one *)
+                if Interval.contains iv current then None else Some (s, r)))
+
+let predicate_introduction ctx applied (block : Logical.block) =
+  let bindings = bindings_of ctx block in
+  let existing = exec_pred_list block in
+  let new_items = ref [] in
+  List.iter
+    (fun (s : Logical.source) ->
+      List.iter
+        (fun (name, check) ->
+          let q = requalify s.Logical.alias check in
+          let folded =
+            Interval.simplify_pred (subst_with_bindings ctx block bindings q)
+          in
+          List.iter
+            (fun c ->
+              let c = Interval.normalize c in
+              if
+                (not (List.mem c existing))
+                && cols_all_not_nullable ctx block c
+                && introduction_gain ctx block c <> None
+              then begin
+                log ~sc:name applied "predicate_introduction"
+                  "from %s on %s: %s" name s.Logical.alias
+                  (Expr.to_string_pred c);
+                new_items :=
+                  Logical.introduced_pred ~rule:("check:" ^ name) c
+                  :: !new_items
+              end)
+            (Expr.conjuncts folded))
+        (usable_checks ctx s.Logical.table))
+    block.Logical.from;
+  { block with Logical.preds = block.Logical.preds @ List.rev !new_items }
+
+(* ---- rule: exception-table union (ASC-as-AST, paper §4.4) ---------------- *)
+
+(* Preconditions: plain SPJ block (no aggregates / grouping / distinct /
+   ordering / limit), an exception table for a source's check statement,
+   and equality bindings that fold the check into a gainful sargable
+   predicate.  The rewrite produces
+       (block ∧ folded-check)  UNION ALL  (block with source ↦ exceptions)
+   which is answer-equal for *any* data: under the bindings the folded
+   check is equivalent to the check itself, so branch 1 selects exactly
+   the base rows satisfying the check and branch 2 exactly the violators
+   (the exception table's contents). *)
+let exception_union ctx applied (block : Logical.block) : Logical.t option =
+  let plain =
+    (not block.Logical.distinct)
+    && block.Logical.group_by = []
+    && block.Logical.having = Expr.Ptrue
+    && block.Logical.order_by = []
+    && block.Logical.limit = None
+    && List.for_all
+         (function
+           | Sqlfe.Ast.Aggregate _ -> false
+           | Sqlfe.Ast.Star | Sqlfe.Ast.Scalar _ -> true)
+         block.Logical.items
+  in
+  if not (plain && ctx.flags.exception_union) then None
+  else
+    let bindings = bindings_of ctx block in
+    let try_source (s : Logical.source) =
+      let infos =
+        List.filter
+          (fun e -> norm e.exc_base_table = norm s.Logical.table)
+          ctx.exceptions
+      in
+      List.find_map
+        (fun info ->
+          let q = requalify s.Logical.alias info.exc_check in
+          let folded =
+            Interval.simplify_pred (subst_with_bindings ctx block bindings q)
+            |> Expr.conjuncts
+            |> List.map Interval.normalize
+            |> Expr.conjoin
+          in
+          (* only worthwhile if some folded conjunct opens an index path;
+             only sound if the folded statement cannot evaluate to UNKNOWN
+             on a qualifying row (all remaining columns NOT NULL) *)
+          let gainful =
+            List.exists
+              (fun c -> introduction_gain ctx block c <> None)
+              (Expr.conjuncts folded)
+          in
+          if not (gainful && cols_all_not_nullable ctx block folded) then None
+          else begin
+            log ~sc:info.exc_constraint applied "exception_union"
+              "split %s via exception table %s (constraint %s)"
+              s.Logical.alias info.exc_table info.exc_constraint;
+            let branch1 =
+              {
+                block with
+                Logical.preds =
+                  block.Logical.preds
+                  @ [
+                      Logical.introduced_pred
+                        ~rule:("exception_union:" ^ info.exc_constraint)
+                        folded;
+                    ];
+              }
+            in
+            let branch2 =
+              {
+                block with
+                Logical.from =
+                  List.map
+                    (fun (f : Logical.source) ->
+                      if f.Logical.alias = s.Logical.alias then
+                        { f with Logical.table = info.exc_table }
+                      else f)
+                    block.Logical.from;
+              }
+            in
+            Some (Logical.Union [ Logical.Block branch1; Logical.Block branch2 ])
+          end)
+        infos
+    in
+    List.find_map try_source block.Logical.from
+
+(* ---- rule: join-hole range trimming -------------------------------------- *)
+
+let float_of_value v =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Date d -> Some (float_of_int d)
+  | Value.Null | Value.String _ | Value.Bool _ -> None
+
+let value_of_float ~like x =
+  match like with
+  | Value.TInt -> Value.Int (int_of_float (Float.round x))
+  | Value.TDate -> Value.Date (int_of_float (Float.round x))
+  | _ -> Value.Float x
+
+let column_dtype ctx table col =
+  match Database.find_table ctx.db table with
+  | None -> Value.TFloat
+  | Some tbl -> (
+      let schema = Table.schema tbl in
+      match Schema.find_index schema col with
+      | Some i -> (Schema.column_at schema i).Schema.dtype
+      | None -> Value.TFloat)
+
+(* position of interval endpoints in float space; None when unbounded or
+   non-numeric *)
+let endpoint_pos (e : Interval.endpoint option) =
+  match e with
+  | None -> None
+  | Some { Interval.v; _ } -> float_of_value v
+
+(* query interval [iv] lies within the hole's [lo, hi) span *)
+let covered_by iv ~lo ~hi =
+  match (endpoint_pos iv.Interval.lo, endpoint_pos iv.Interval.hi) with
+  | Some l, Some h -> l >= lo && h < hi
+  | _ -> false
+
+(* Trim [iv] on the other axis by removing the hole span [lo, hi).
+   Returns the tightened interval if it is strictly tighter. *)
+let trim_interval ~dtype iv ~lo ~hi =
+  let lo_pos = endpoint_pos iv.Interval.lo in
+  let hi_pos = endpoint_pos iv.Interval.hi in
+  match (lo_pos, hi_pos) with
+  | Some l, Some h when l >= lo && h < hi ->
+      (* entire interval inside the hole: empty result *)
+      Some `Empty
+  | _ ->
+      let tightened_lo =
+        match lo_pos with
+        | Some l when l >= lo && l < hi ->
+            (* raise the lower bound to the hole's upper edge *)
+            let v =
+              match dtype with
+              | Value.TInt | Value.TDate ->
+                  value_of_float ~like:dtype (Float.ceil hi)
+              | _ -> value_of_float ~like:dtype hi
+            in
+            Some { Interval.v; incl = true }
+        | _ -> None
+      in
+      let tightened_hi =
+        match hi_pos with
+        | Some h when h > lo && h < hi ->
+            (* lower the upper bound below the hole's lower edge *)
+            let v, incl =
+              match dtype with
+              | Value.TInt | Value.TDate ->
+                  let x =
+                    if Float.is_integer lo then lo -. 1.0
+                    else Float.of_int (int_of_float (Float.floor lo))
+                  in
+                  (value_of_float ~like:dtype x, true)
+              | _ -> (value_of_float ~like:dtype lo, false)
+            in
+            Some { Interval.v; incl }
+        | _ -> None
+      in
+      if tightened_lo = None && tightened_hi = None then None
+      else
+        Some
+          (`Tightened
+            {
+              Interval.lo =
+                (match tightened_lo with
+                | Some e -> Some e
+                | None -> iv.Interval.lo);
+              hi =
+                (match tightened_hi with
+                | Some e -> Some e
+                | None -> iv.Interval.hi);
+            })
+
+let hole_trimming ctx applied (block : Logical.block) =
+  let result = ref block in
+  let falsified = ref false in
+  List.iter
+    (fun (h : Mining.Join_holes.t) ->
+      if not !falsified then begin
+        let block = !result in
+        let find_src table =
+          List.find_opt
+            (fun (s : Logical.source) -> norm s.Logical.table = norm table)
+            block.Logical.from
+        in
+        match (find_src h.Mining.Join_holes.left_table,
+               find_src h.Mining.Join_holes.right_table) with
+        | Some sl, Some sr
+          when column_not_nullable ctx sl.Logical.table
+                 h.Mining.Join_holes.left_col
+               && column_not_nullable ctx sr.Logical.table
+                    h.Mining.Join_holes.right_col ->
+            (* the hole's join path must be present; NULL-able hole columns
+               are unsafe to trim (a joined row with a NULL coordinate is
+               not a mined point, yet a range filter would drop it) *)
+            let joined =
+              List.exists
+                (fun (p : Logical.pred_item) ->
+                  match p.Logical.pred with
+                  | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+                      let is_pair x y =
+                        (match resolve_source ctx block x with
+                        | Some s -> s.Logical.alias = sl.Logical.alias
+                        | None -> false)
+                        && norm x.Expr.col = norm h.Mining.Join_holes.join_left
+                        && (match resolve_source ctx block y with
+                           | Some s -> s.Logical.alias = sr.Logical.alias
+                           | None -> false)
+                        && norm y.Expr.col = norm h.Mining.Join_holes.join_right
+                      in
+                      is_pair a b || is_pair b a
+                  | _ -> false)
+                (Logical.executable_preds block)
+            in
+            if joined then begin
+              let ia =
+                interval_on ctx block ~alias:sl.Logical.alias
+                  ~col:h.Mining.Join_holes.left_col
+              and ib =
+                interval_on ctx block ~alias:sr.Logical.alias
+                  ~col:h.Mining.Join_holes.right_col
+              in
+              List.iter
+                (fun (r : Mining.Join_holes.rect) ->
+                  if not !falsified then begin
+                    (* A-covered: trim B *)
+                    (if covered_by ia ~lo:r.Mining.Join_holes.a_lo
+                          ~hi:r.Mining.Join_holes.a_hi then
+                       let dtype =
+                         column_dtype ctx sr.Logical.table
+                           h.Mining.Join_holes.right_col
+                       in
+                       match
+                         trim_interval ~dtype ib ~lo:r.Mining.Join_holes.b_lo
+                           ~hi:r.Mining.Join_holes.b_hi
+                       with
+                       | Some `Empty ->
+                           log applied "hole_trimming"
+                             "query range falls entirely in a hole: empty";
+                           falsified := true
+                       | Some (`Tightened iv') ->
+                           let ref_ =
+                             {
+                               Expr.rel = Some sr.Logical.alias;
+                               col = h.Mining.Join_holes.right_col;
+                             }
+                           in
+                           log applied "hole_trimming" "tightened %s.%s"
+                             sr.Logical.alias h.Mining.Join_holes.right_col;
+                           result :=
+                             {
+                               !result with
+                               Logical.preds =
+                                 !result.Logical.preds
+                                 @ [
+                                     Logical.introduced_pred
+                                       ~rule:"hole_trimming"
+                                       (Interval.to_pred ref_ iv');
+                                   ];
+                             }
+                       | None -> ());
+                    (* B-covered: trim A *)
+                    if
+                      (not !falsified)
+                      && covered_by ib ~lo:r.Mining.Join_holes.b_lo
+                           ~hi:r.Mining.Join_holes.b_hi
+                    then
+                      let dtype =
+                        column_dtype ctx sl.Logical.table
+                          h.Mining.Join_holes.left_col
+                      in
+                      match
+                        trim_interval ~dtype ia ~lo:r.Mining.Join_holes.a_lo
+                          ~hi:r.Mining.Join_holes.a_hi
+                      with
+                      | Some `Empty ->
+                          log applied "hole_trimming"
+                            "query range falls entirely in a hole: empty";
+                          falsified := true
+                      | Some (`Tightened iv') ->
+                          let ref_ =
+                            {
+                              Expr.rel = Some sl.Logical.alias;
+                              col = h.Mining.Join_holes.left_col;
+                            }
+                          in
+                          log applied "hole_trimming" "tightened %s.%s"
+                            sl.Logical.alias h.Mining.Join_holes.left_col;
+                          result :=
+                            {
+                              !result with
+                              Logical.preds =
+                                !result.Logical.preds
+                                @ [
+                                    Logical.introduced_pred
+                                      ~rule:"hole_trimming"
+                                      (Interval.to_pred ref_ iv');
+                                  ];
+                            }
+                      | None -> ()
+                  end)
+                h.Mining.Join_holes.rects
+            end
+        | _ -> ()
+      end)
+    ctx.holes;
+  if !falsified then
+    {
+      !result with
+      Logical.preds =
+        !result.Logical.preds @ [ Logical.introduced_pred ~rule:"hole_trimming" Expr.Pfalse ];
+    }
+  else !result
+
+(* ---- rule: FD-based group-by / order-by simplification ------------------- *)
+
+(* FDs usable for a table: mined FDs plus key constraints (a key determines
+   every column). *)
+let fds_for ctx table =
+  let mined =
+    List.filter
+      (fun (f : Mining.Fd_mine.fd) -> norm f.Mining.Fd_mine.table = norm table)
+      ctx.fds
+    |> List.map (fun f ->
+           (List.map norm f.Mining.Fd_mine.lhs, norm f.Mining.Fd_mine.rhs))
+  in
+  let from_keys =
+    match Database.find_table ctx.db table with
+    | None -> []
+    | Some tbl ->
+        let all = List.map norm (Schema.column_names (Table.schema tbl)) in
+        List.concat_map
+          (fun ic ->
+            match ic.Icdef.body with
+            | Icdef.Primary_key ks | Icdef.Unique ks ->
+                let ks = List.map norm ks in
+                List.filter_map
+                  (fun c -> if List.mem c ks then None else Some (ks, c))
+                  all
+            | _ -> [])
+          (usable_constraints ctx table)
+  in
+  mined @ from_keys
+
+let fd_closure fds start =
+  let closure = ref start in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (lhs, rhs) ->
+        if
+          (not (List.mem rhs !closure))
+          && List.for_all (fun c -> List.mem c !closure) lhs
+        then begin
+          closure := rhs :: !closure;
+          changed := true
+        end)
+      fds
+  done;
+  !closure
+
+(* columns of [alias] bound to constants by equality predicates *)
+let const_cols ctx block alias =
+  Interval.const_bindings (exec_pred_list block)
+  |> List.filter_map (fun (r, _) ->
+         match resolve_source ctx block r with
+         | Some s when norm s.Logical.alias = norm alias ->
+             Some (norm r.Expr.col)
+         | _ -> None)
+
+let fd_simplification ctx applied (block : Logical.block) =
+  (* ORDER BY: drop keys functionally determined by earlier keys (or by
+     constants) *)
+  let determined : (string, string list) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Logical.source) ->
+      Hashtbl.replace determined (norm s.Logical.alias)
+        (const_cols ctx block s.Logical.alias))
+    block.Logical.from;
+  let keep_order =
+    List.filter
+      (fun (o : Sqlfe.Ast.order_item) ->
+        match o.Sqlfe.Ast.key with
+        | Expr.Col r -> (
+            match resolve_source ctx block r with
+            | Some s ->
+                let a = norm s.Logical.alias in
+                let known = Option.value (Hashtbl.find_opt determined a) ~default:[] in
+                let closure =
+                  fd_closure (fds_for ctx s.Logical.table) known
+                in
+                if List.mem (norm r.Expr.col) closure then begin
+                  log applied "fd_simplification"
+                    "dropped redundant ORDER BY key %s.%s" s.Logical.alias
+                    r.Expr.col;
+                  false
+                end
+                else begin
+                  Hashtbl.replace determined a (norm r.Expr.col :: known);
+                  true
+                end
+            | None -> true)
+        | _ -> true)
+      block.Logical.order_by
+  in
+  (* GROUP BY: drop keys determined by the remaining keys + constants *)
+  let group = ref block.Logical.group_by in
+  let items = ref block.Logical.items in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let try_drop k =
+      (* never drop the last key: an empty GROUP BY turns a grouped query
+         into a global aggregate, which yields a row even on empty input *)
+      List.length !group > 1
+      &&
+      match k with
+      | Expr.Col r -> (
+          match resolve_source ctx block r with
+          | Some s ->
+              let others =
+                List.filter_map
+                  (fun k' ->
+                    if k' == k then None
+                    else
+                      match k' with
+                      | Expr.Col r' -> (
+                          match resolve_source ctx block r' with
+                          | Some s' when s'.Logical.alias = s.Logical.alias ->
+                              Some (norm r'.Expr.col)
+                          | _ -> None)
+                      | _ -> None)
+                  !group
+              in
+              let known = others @ const_cols ctx block s.Logical.alias in
+              let closure = fd_closure (fds_for ctx s.Logical.table) known in
+              List.mem (norm r.Expr.col) closure
+          | None -> false)
+      | _ -> false
+    in
+    match List.find_opt try_drop !group with
+    | Some k ->
+        changed := true;
+        group := List.filter (fun k' -> not (k' == k)) !group;
+        (* a select item equal to the dropped key becomes MIN(key): the FD
+           guarantees a single value per group, so MIN is value-preserving *)
+        items :=
+          List.map
+            (fun item ->
+              match item with
+              | Sqlfe.Ast.Scalar (e, alias) when e = k ->
+                  let name =
+                    match alias with
+                    | Some a -> Some a
+                    | None -> (
+                        match e with
+                        | Expr.Col r -> Some r.Expr.col
+                        | _ -> None)
+                  in
+                  log applied "fd_simplification"
+                    "GROUP BY key %s dropped; select item rewritten as MIN"
+                    (Fmt.str "%a" Expr.pp e);
+                  Sqlfe.Ast.Aggregate (Sqlfe.Ast.Min, Some e, name)
+              | item -> item)
+            !items
+    | None -> ()
+  done;
+  if
+    List.length keep_order <> List.length block.Logical.order_by
+    || List.length !group <> List.length block.Logical.group_by
+  then
+    { block with Logical.order_by = keep_order; group_by = !group;
+      items = !items }
+  else block
+
+(* ---- rule: twinning from SSCs (estimation only) --------------------------- *)
+
+(* With [outward] the endpoints round away from the interval (floor the
+   lower, ceil the upper) so the image is a superset — mandatory when the
+   derived predicate will actually execute; estimation-only twins round to
+   nearest. *)
+let typed_endpoint ~dtype ~outward side x =
+  let x =
+    if not outward then x
+    else
+      match dtype with
+      | Value.TInt | Value.TDate -> (
+          match side with `Lo -> Float.floor x | `Hi -> Float.ceil x)
+      | _ -> x
+  in
+  Some { Interval.v = value_of_float ~like:dtype x; incl = true }
+
+let shift_interval ?(outward = false) iv ~flo ~fhi ~dtype =
+  (* map interval [iv] through x ↦ [x + flo, x + fhi] (monotone band) *)
+  let map_ep side delta (e : Interval.endpoint option) =
+    match e with
+    | None -> None
+    | Some { Interval.v; _ } -> (
+        match float_of_value v with
+        | None -> None
+        | Some x -> typed_endpoint ~dtype ~outward side (x +. delta))
+  in
+  {
+    Interval.lo = map_ep `Lo flo iv.Interval.lo;
+    hi = map_ep `Hi fhi iv.Interval.hi;
+  }
+
+let linear_interval ?(outward = false) iv ~k ~b ~eps ~dtype =
+  (* image of interval under x ↦ k·x + b ± eps *)
+  let pos e =
+    match e with
+    | None -> None
+    | Some { Interval.v; _ } -> float_of_value v
+  in
+  let lo = pos iv.Interval.lo and hi = pos iv.Interval.hi in
+  let ends =
+    List.filter_map
+      (fun x -> Option.map (fun x -> (k *. x) +. b) x)
+      [ lo; hi ]
+  in
+  match ends with
+  | [] -> Interval.full
+  | _ ->
+      let lo_img = List.fold_left min (List.hd ends) ends -. eps in
+      let hi_img = List.fold_left max (List.hd ends) ends +. eps in
+      let bounded_lo = (if k >= 0.0 then lo else hi) <> None in
+      let bounded_hi = (if k >= 0.0 then hi else lo) <> None in
+      {
+        Interval.lo =
+          (if bounded_lo then typed_endpoint ~dtype ~outward `Lo lo_img
+           else None);
+        hi =
+          (if bounded_hi then typed_endpoint ~dtype ~outward `Hi hi_img
+           else None);
+      }
+
+let twinning ctx applied (block : Logical.block) =
+  let twins = ref [] in
+  let add_twin ~sc ~confidence ~alias ~target_col ~source_col iv =
+    if not (Interval.is_full iv || Interval.is_empty iv) then begin
+      let r = { Expr.rel = Some alias; col = target_col } in
+      let pred = Interval.to_pred r iv in
+      log ~sc applied "twinning" "%s: twinned %s.%s from %s.%s (conf %.2f)"
+        sc alias target_col alias source_col confidence;
+      twins :=
+        Logical.twin_pred ~sc ~confidence
+          ~replaces:{ Expr.rel = Some alias; col = source_col }
+          pred
+        :: !twins
+    end
+  in
+  List.iter
+    (fun (ssc : ssc) ->
+      match ssc.shape with
+      | Diff_band (d, band) ->
+          List.iter
+            (fun (s : Logical.source) ->
+              if norm s.Logical.table = norm d.Mining.Diff_band.table then begin
+                let alias = s.Logical.alias in
+                let col_hi = d.Mining.Diff_band.col_hi
+                and col_lo = d.Mining.Diff_band.col_lo in
+                let ih = interval_on ctx block ~alias ~col:col_hi
+                and il = interval_on ctx block ~alias ~col:col_lo in
+                let dmin = band.Mining.Diff_band.d_min
+                and dmax = band.Mining.Diff_band.d_max in
+                (* a twin only helps when predicates exist on BOTH columns
+                   (the paper's case: reduce "range predicates on two
+                   columns to a pair of range predicates on one column") *)
+                if not (Interval.is_full ih || Interval.is_full il) then
+                  (* hi ∈ Ih  ⇒  lo = hi − diff ∈ [Ih.lo − dmax, Ih.hi − dmin] *)
+                  add_twin ~sc:ssc.ssc_name
+                    ~confidence:band.Mining.Diff_band.confidence ~alias
+                    ~target_col:col_lo ~source_col:col_hi
+                    (shift_interval ih ~flo:(-.dmax) ~fhi:(-.dmin)
+                       ~dtype:(column_dtype ctx s.Logical.table col_lo))
+              end)
+            block.Logical.from
+      | Corr_band (c, band) ->
+          List.iter
+            (fun (s : Logical.source) ->
+              if norm s.Logical.table = norm c.Mining.Correlation.table then begin
+                let alias = s.Logical.alias in
+                let col_a = c.Mining.Correlation.col_a
+                and col_b = c.Mining.Correlation.col_b in
+                let ib = interval_on ctx block ~alias ~col:col_b in
+                let ia = interval_on ctx block ~alias ~col:col_a in
+                let k = c.Mining.Correlation.k and b0 = c.Mining.Correlation.b in
+                let eps = band.Mining.Correlation.eps in
+                (* both columns must carry predicates (see diff bands) *)
+                if not (Interval.is_full ib || Interval.is_full ia) then
+                  (* B ∈ Ib  ⇒  A ∈ k·Ib + b ± ε *)
+                  add_twin ~sc:ssc.ssc_name
+                    ~confidence:band.Mining.Correlation.confidence ~alias
+                    ~target_col:col_a ~source_col:col_b
+                    (linear_interval ib ~k ~b:b0 ~eps
+                       ~dtype:(column_dtype ctx s.Logical.table col_a))
+              end)
+            block.Logical.from)
+    ctx.sscs;
+  { block with Logical.preds = block.Logical.preds @ List.rev !twins }
+
+(* ---- rule: executable range propagation through valid bands -------------- *)
+
+(* The generic predicate-introduction rule folds a check statement against
+   *equality* bindings.  When the valid statement is a typed band
+   (difference or linear), a plain *range* predicate on one column also
+   implies a range on the other: propagate it, with outward rounding so
+   the executable predicate is a superset of the implied image. *)
+let shape_introduction ctx applied (block : Logical.block) =
+  let existing = exec_pred_list block in
+  let new_items = ref [] in
+  let try_add ~sc ~rule ~alias ~target_table ~target_col iv =
+    if not (Interval.is_full iv || Interval.is_empty iv) then begin
+      let r = { Expr.rel = Some alias; col = target_col } in
+      let pred = Interval.to_pred r iv in
+      if
+        (not (List.mem pred existing))
+        && column_not_nullable ctx target_table target_col
+        && introduction_gain ctx block pred <> None
+        && not
+             (List.exists
+                (fun (it : Logical.pred_item) -> it.Logical.pred = pred)
+                !new_items)
+      then begin
+        log ~sc applied "predicate_introduction"
+          "range propagation via %s: %s" rule (Expr.to_string_pred pred);
+        new_items := Logical.introduced_pred ~rule pred :: !new_items
+      end
+    end
+  in
+  List.iter
+    (fun (ssc : ssc) ->
+      match ssc.shape with
+      | Diff_band (d, band) ->
+          List.iter
+            (fun (s : Logical.source) ->
+              if norm s.Logical.table = norm d.Mining.Diff_band.table then begin
+                let alias = s.Logical.alias in
+                let col_hi = d.Mining.Diff_band.col_hi
+                and col_lo = d.Mining.Diff_band.col_lo in
+                let ih = interval_on ctx block ~alias ~col:col_hi
+                and il = interval_on ctx block ~alias ~col:col_lo in
+                let dmin = band.Mining.Diff_band.d_min
+                and dmax = band.Mining.Diff_band.d_max in
+                if not (Interval.is_full ih) then
+                  try_add ~sc:ssc.ssc_name ~rule:("band:" ^ ssc.ssc_name)
+                    ~alias
+                    ~target_table:s.Logical.table ~target_col:col_lo
+                    (shift_interval ~outward:true ih ~flo:(-.dmax)
+                       ~fhi:(-.dmin)
+                       ~dtype:(column_dtype ctx s.Logical.table col_lo));
+                if not (Interval.is_full il) then
+                  try_add ~sc:ssc.ssc_name ~rule:("band:" ^ ssc.ssc_name)
+                    ~alias
+                    ~target_table:s.Logical.table ~target_col:col_hi
+                    (shift_interval ~outward:true il ~flo:dmin ~fhi:dmax
+                       ~dtype:(column_dtype ctx s.Logical.table col_hi))
+              end)
+            block.Logical.from
+      | Corr_band (c, band) ->
+          List.iter
+            (fun (s : Logical.source) ->
+              if norm s.Logical.table = norm c.Mining.Correlation.table
+              then begin
+                let alias = s.Logical.alias in
+                let col_a = c.Mining.Correlation.col_a
+                and col_b = c.Mining.Correlation.col_b in
+                let ia = interval_on ctx block ~alias ~col:col_a
+                and ib = interval_on ctx block ~alias ~col:col_b in
+                let k = c.Mining.Correlation.k
+                and b0 = c.Mining.Correlation.b in
+                let eps = band.Mining.Correlation.eps in
+                if not (Interval.is_full ib) then
+                  try_add ~sc:ssc.ssc_name ~rule:("corr:" ^ ssc.ssc_name)
+                    ~alias
+                    ~target_table:s.Logical.table ~target_col:col_a
+                    (linear_interval ~outward:true ib ~k ~b:b0 ~eps
+                       ~dtype:(column_dtype ctx s.Logical.table col_a));
+                if (not (Interval.is_full ia)) && Float.abs k > 1e-12 then
+                  try_add ~sc:ssc.ssc_name ~rule:("corr:" ^ ssc.ssc_name)
+                    ~alias
+                    ~target_table:s.Logical.table ~target_col:col_b
+                    (linear_interval ~outward:true ia ~k:(1.0 /. k)
+                       ~b:(-.b0 /. k) ~eps:(eps /. Float.abs k)
+                       ~dtype:(column_dtype ctx s.Logical.table col_b))
+              end)
+            block.Logical.from)
+    ctx.asc_shapes;
+  { block with Logical.preds = block.Logical.preds @ List.rev !new_items }
+
+(* ---- driver ---------------------------------------------------------------- *)
+
+let falsify block =
+  {
+    block with
+    Logical.preds =
+      block.Logical.preds
+      @ [ Logical.introduced_pred ~rule:"unsatisfiable" Expr.Pfalse ];
+  }
+
+let rewrite_block_phase1 ctx applied block =
+  let block =
+    if ctx.flags.unionall_pruning && block_unsatisfiable ctx block then begin
+      log applied "unsatisfiable" "block contradicts its constraints";
+      falsify block
+    end
+    else block
+  in
+  let block =
+    if ctx.flags.join_elimination then join_elimination ctx applied block
+    else block
+  in
+  let block =
+    if ctx.flags.predicate_introduction then
+      block
+      |> equality_transitivity ctx applied
+      |> predicate_introduction ctx applied
+      |> shape_introduction ctx applied
+    else block
+  in
+  block
+
+let rewrite_block_phase3 ctx applied block =
+  let block =
+    if ctx.flags.hole_trimming then hole_trimming ctx applied block else block
+  in
+  let block =
+    if ctx.flags.fd_simplification then fd_simplification ctx applied block
+    else block
+  in
+  let block = if ctx.flags.twinning then twinning ctx applied block else block in
+  block
+
+let rec rewrite_query ctx applied (q : Logical.t) : Logical.t =
+  match q with
+  | Logical.Union branches ->
+      let kept =
+        List.filter
+          (fun b ->
+            match b with
+            | Logical.Block blk ->
+                if ctx.flags.unionall_pruning && block_unsatisfiable ctx blk
+                then begin
+                  log applied "unionall_pruning" "pruned a branch";
+                  false
+                end
+                else true
+            | Logical.Union _ -> true)
+          branches
+      in
+      let kept = match kept with [] -> [ List.hd branches ] | l -> l in
+      Logical.Union (List.map (rewrite_query ctx applied) kept)
+  | Logical.Block block -> (
+      let block = rewrite_block_phase1 ctx applied block in
+      match exception_union ctx applied block with
+      | Some (Logical.Union branches) ->
+          Logical.Union
+            (List.map
+               (function
+                 | Logical.Block b ->
+                     Logical.Block (rewrite_block_phase3 ctx applied b)
+                 | q -> q)
+               branches)
+      | Some q -> q
+      | None -> Logical.Block (rewrite_block_phase3 ctx applied block))
+
+let rewrite ctx (q : Logical.t) : Logical.t * applied list =
+  let applied = ref [] in
+  let q' = rewrite_query ctx applied q in
+  (q', List.rev !applied)
+
+let pp_applied ppf a = Fmt.pf ppf "%s: %s" a.rule a.detail

@@ -1,0 +1,96 @@
+(** The semantic rewrite engine: every constraint-exploiting
+    transformation the paper describes, each gated by a flag so the
+    experiments can ablate.
+
+    Semantics-preserving rules — require enforced / informational ICs or
+    {e valid absolute} soft constraints:
+    - join elimination over referential integrity (paper §2, [6]);
+    - predicate introduction from check-shaped statements (§2, [10]) —
+      both equality folding ({!predicate_introduction}) and range
+      propagation through typed bands ({!shape_introduction});
+    - join-hole range trimming (§2, [8]);
+    - union-all branch pruning by branch constraints (§5);
+    - group-by / order-by simplification via FDs (§2, [29]);
+    - exception-table union plans (ASC-as-AST, §4.4).
+
+    Estimation-only rule (statistical soft constraints):
+    - predicate twinning with confidence (§5.1).
+
+    Soundness notes enforced here and exercised by the property tests:
+    a check constraint passes on UNKNOWN while a WHERE conjunct filters
+    it, so every introduced predicate requires its unbound columns to be
+    declared NOT NULL; unsatisfiability pruning only fires on
+    contradictions anchored by a query predicate; the exception-union
+    fast branch carries the fully folded check so the two branches
+    partition qualifying rows exactly. *)
+
+open Rel
+
+type flags = {
+  join_elimination : bool;
+  predicate_introduction : bool;
+  hole_trimming : bool;
+  unionall_pruning : bool;
+  fd_simplification : bool;
+  exception_union : bool;
+  twinning : bool;
+}
+
+val all_on : flags
+val all_off : flags
+
+(** Statistical soft constraints usable for twinning come in the shapes
+    the miners produce. *)
+type ssc_shape =
+  | Diff_band of Mining.Diff_band.t * Mining.Diff_band.band
+  | Corr_band of Mining.Correlation.t * Mining.Correlation.band
+
+type ssc = { ssc_name : string; shape : ssc_shape }
+
+(** An ASC maintained as an exception table: [exc_check] holds for every
+    base-table row NOT recorded in [exc_table]. *)
+type exception_info = {
+  exc_constraint : string;
+  exc_base_table : string;
+  exc_table : string;
+  exc_check : Expr.pred;
+}
+
+type ctx = {
+  db : Database.t;
+  flags : flags;
+  ascs : Icdef.t list;  (** valid absolute soft constraints *)
+  asc_shapes : ssc list;
+      (** the same ASCs in typed mined form (bands valid at 100%),
+          enabling range propagation where generic folding needs an
+          equality *)
+  sscs : ssc list;
+  fds : Mining.Fd_mine.fd list;  (** valid (ASC-class) FDs *)
+  holes : Mining.Join_holes.t list;
+  exceptions : exception_info list;
+}
+
+val make_ctx :
+  ?flags:flags -> ?ascs:Icdef.t list -> ?asc_shapes:ssc list ->
+  ?sscs:ssc list -> ?fds:Mining.Fd_mine.fd list ->
+  ?holes:Mining.Join_holes.t list -> ?exceptions:exception_info list ->
+  Database.t -> ctx
+
+type applied = {
+  rule : string;
+  detail : string;
+  sc : string option;
+      (** the soft constraint (or IC) the rewrite relied on, for
+          plan-cache dependency tracking (paper §4.1) *)
+}
+(** One fired rewrite, for EXPLAIN, the experiment logs, and plan-cache
+    dependencies. *)
+
+val rewrite : ctx -> Logical.t -> Logical.t * applied list
+(** Run the full pipeline: pruning and join elimination and predicate
+    introduction, then exception-union splitting, then hole trimming, FD
+    simplification and twinning on each resulting block. *)
+
+val block_unsatisfiable : ctx -> Logical.block -> bool
+
+val pp_applied : Format.formatter -> applied -> unit

@@ -1,0 +1,1 @@
+lib/rel/bptree.ml: Array List Option Printf

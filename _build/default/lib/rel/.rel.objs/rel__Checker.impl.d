@@ -1,0 +1,1 @@
+lib/rel/checker.ml: Expr Fmt Hashtbl Icdef Index List Printf Schema String Table Tuple Value

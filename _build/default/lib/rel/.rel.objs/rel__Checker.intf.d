@@ -1,0 +1,1 @@
+lib/rel/checker.mli: Format Icdef Index Table Tuple

@@ -1,0 +1,1 @@
+lib/rel/csvio.ml: Array Buffer Database Date Fun In_channel List Printf Schema String Table Tuple Value

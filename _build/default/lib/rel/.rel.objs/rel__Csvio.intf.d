@@ -1,0 +1,1 @@
+lib/rel/csvio.mli: Database Table

@@ -1,0 +1,1 @@
+lib/rel/database.ml: Checker Fmt Hashtbl Icdef Index List Printf Schema String Table Tuple Value

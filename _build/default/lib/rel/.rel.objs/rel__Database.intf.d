@@ -1,0 +1,1 @@
+lib/rel/database.mli: Checker Format Icdef Index Schema Table Tuple

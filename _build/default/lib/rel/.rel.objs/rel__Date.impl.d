@@ -1,0 +1,1 @@
+lib/rel/date.ml: Fmt Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/rel/date.mli: Format

@@ -1,0 +1,1 @@
+lib/rel/expr.ml: Array Fmt List Option Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/rel/expr.mli: Date Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/rel/icdef.ml: Expr Fmt List String

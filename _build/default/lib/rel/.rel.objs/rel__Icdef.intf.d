@@ -1,0 +1,1 @@
+lib/rel/icdef.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/rel/index.ml: Array Bptree Fmt List Option Printf Schema Stdlib Table Tuple Value

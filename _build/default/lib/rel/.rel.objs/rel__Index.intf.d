@@ -1,0 +1,1 @@
+lib/rel/index.mli: Table Tuple Value

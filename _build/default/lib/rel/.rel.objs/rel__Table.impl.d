@@ -1,0 +1,1 @@
+lib/rel/table.ml: Array List Printf Schema Tuple

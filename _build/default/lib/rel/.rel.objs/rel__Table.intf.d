@@ -1,0 +1,1 @@
+lib/rel/table.mli: Schema Tuple

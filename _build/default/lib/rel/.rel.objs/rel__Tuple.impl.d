@@ -1,0 +1,1 @@
+lib/rel/tuple.ml: Array Fmt Printf Schema Stdlib Value

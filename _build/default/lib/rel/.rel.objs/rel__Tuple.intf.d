@@ -1,0 +1,1 @@
+lib/rel/tuple.mli: Format Schema Value

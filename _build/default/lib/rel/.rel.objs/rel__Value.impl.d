@@ -1,0 +1,1 @@
+lib/rel/value.ml: Date Float Fmt Hashtbl Printf Stdlib String

@@ -1,0 +1,381 @@
+(* A B+-tree with unique keys, path-copying node updates under a mutable
+   root.  Interior nodes hold separator keys; all bindings live in leaves.
+   Branching factor [b] bounds node width: leaves and internals carry at
+   most [2b - 1] keys and split at [2b]; deletion rebalances by borrowing
+   from or merging with an adjacent sibling, so every node except the root
+   keeps at least [b - 1] keys.
+
+   Invariants (checked by [validate], exercised by the property tests):
+   - all leaves are at the same depth;
+   - keys within every node are strictly increasing;
+   - for internal node with separators s_0..s_{k-1} and children c_0..c_k,
+     every key in c_i is >= s_{i-1} (i > 0) and < s_i (i < k);
+   - node occupancy bounds as above. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type key = Ord.t
+
+  type 'a node =
+    | Leaf of key array * 'a array
+    | Internal of key array * 'a node array
+
+  type 'a t = { mutable root : 'a node; mutable size : int; b : int }
+
+  let create ?(b = 16) () =
+    if b < 2 then invalid_arg "Bptree.create: branching factor must be >= 2";
+    { root = Leaf ([||], [||]); size = 0; b }
+
+  let length t = t.size
+
+  (* Position of the first index whose key is >= [k]; [len] if none. *)
+  let lower_bound keys k =
+    let lo = ref 0 and hi = ref (Array.length keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Ord.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* Child index to descend into for key [k]: first separator > k decides. *)
+  let child_slot seps k =
+    let lo = ref 0 and hi = ref (Array.length seps) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Ord.compare seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let array_insert a i x =
+    let n = Array.length a in
+    let out = Array.make (n + 1) x in
+    Array.blit a 0 out 0 i;
+    Array.blit a i out (i + 1) (n - i);
+    out
+
+  let array_remove a i =
+    let n = Array.length a in
+    let out = Array.sub a 0 (n - 1) in
+    Array.blit a (i + 1) out i (n - 1 - i);
+    out
+
+  let array_set a i x =
+    let out = Array.copy a in
+    out.(i) <- x;
+    out
+
+  let find t k =
+    let rec go = function
+      | Leaf (keys, vals) ->
+          let i = lower_bound keys k in
+          if i < Array.length keys && Ord.compare keys.(i) k = 0 then
+            Some vals.(i)
+          else None
+      | Internal (seps, children) -> go children.(child_slot seps k)
+    in
+    go t.root
+
+  let mem t k = find t k <> None
+
+  type 'a ins = Ok_node of 'a node | Split of 'a node * key * 'a node
+
+  let insert t k v =
+    let max_keys = (2 * t.b) - 1 in
+    let replaced = ref false in
+    let rec go = function
+      | Leaf (keys, vals) ->
+          let i = lower_bound keys k in
+          if i < Array.length keys && Ord.compare keys.(i) k = 0 then begin
+            replaced := true;
+            Ok_node (Leaf (keys, array_set vals i v))
+          end
+          else
+            let keys = array_insert keys i k in
+            let vals = array_insert vals i v in
+            if Array.length keys <= max_keys then Ok_node (Leaf (keys, vals))
+            else
+              let mid = Array.length keys / 2 in
+              let lk = Array.sub keys 0 mid
+              and rk = Array.sub keys mid (Array.length keys - mid) in
+              let lv = Array.sub vals 0 mid
+              and rv = Array.sub vals mid (Array.length vals - mid) in
+              Split (Leaf (lk, lv), rk.(0), Leaf (rk, rv))
+      | Internal (seps, children) -> (
+          let slot = child_slot seps k in
+          match go children.(slot) with
+          | Ok_node c -> Ok_node (Internal (seps, array_set children slot c))
+          | Split (l, sep, r) ->
+              let seps = array_insert seps slot sep in
+              let children = array_set children slot l in
+              let children = array_insert children (slot + 1) r in
+              if Array.length seps <= max_keys then
+                Ok_node (Internal (seps, children))
+              else
+                let mid = Array.length seps / 2 in
+                let up = seps.(mid) in
+                let lseps = Array.sub seps 0 mid in
+                let rseps =
+                  Array.sub seps (mid + 1) (Array.length seps - mid - 1)
+                in
+                let lch = Array.sub children 0 (mid + 1) in
+                let rch =
+                  Array.sub children (mid + 1)
+                    (Array.length children - mid - 1)
+                in
+                Split (Internal (lseps, lch), up, Internal (rseps, rch)))
+    in
+    (match go t.root with
+    | Ok_node n -> t.root <- n
+    | Split (l, sep, r) -> t.root <- Internal ([| sep |], [| l; r |]));
+    if not !replaced then t.size <- t.size + 1;
+    !replaced
+
+  (* Deletion.  [go] returns the updated child; the parent repairs
+     underflow (fewer than [b - 1] keys) by borrowing or merging. *)
+
+  let node_nkeys = function
+    | Leaf (keys, _) -> Array.length keys
+    | Internal (seps, _) -> Array.length seps
+
+  let remove t k =
+    let min_keys = t.b - 1 in
+    let removed = ref false in
+    (* merge or borrow child [slot] of an internal node; assumes >= 2
+       children. Returns repaired (seps, children). *)
+    let fix_underflow seps children slot =
+      let pick_left = slot > 0 in
+      let li = if pick_left then slot - 1 else slot in
+      (* merge/borrow between children li and li+1 around separator li *)
+      let left = children.(li) and right = children.(li + 1) in
+      match (left, right) with
+      | Leaf (lk, lv), Leaf (rk, rv) ->
+          if Array.length lk + Array.length rk <= (2 * t.b) - 1 then
+            (* merge *)
+            let merged = Leaf (Array.append lk rk, Array.append lv rv) in
+            let seps = array_remove seps li in
+            let children = array_set children li merged in
+            let children = array_remove children (li + 1) in
+            (seps, children)
+          else if Array.length lk > Array.length rk then
+            (* borrow last of left into right *)
+            let n = Array.length lk in
+            let bk = lk.(n - 1) and bv = lv.(n - 1) in
+            let left' = Leaf (Array.sub lk 0 (n - 1), Array.sub lv 0 (n - 1)) in
+            let right' = Leaf (array_insert rk 0 bk, array_insert rv 0 bv) in
+            let seps = array_set seps li bk in
+            let children = array_set children li left' in
+            let children = array_set children (li + 1) right' in
+            (seps, children)
+          else
+            (* borrow first of right into left *)
+            let bk = rk.(0) and bv = rv.(0) in
+            let left' = Leaf (array_insert lk (Array.length lk) bk,
+                              array_insert lv (Array.length lv) bv) in
+            let right' = Leaf (array_remove rk 0, array_remove rv 0) in
+            let seps = array_set seps li rk.(1) in
+            let children = array_set children li left' in
+            let children = array_set children (li + 1) right' in
+            (seps, children)
+      | Internal (lseps, lch), Internal (rseps, rch) ->
+          let sep = seps.(li) in
+          if Array.length lseps + 1 + Array.length rseps <= (2 * t.b) - 1 then
+            let merged =
+              Internal
+                ( Array.concat [ lseps; [| sep |]; rseps ],
+                  Array.append lch rch )
+            in
+            let seps = array_remove seps li in
+            let children = array_set children li merged in
+            let children = array_remove children (li + 1) in
+            (seps, children)
+          else if Array.length lseps > Array.length rseps then
+            let n = Array.length lseps in
+            let up = lseps.(n - 1) in
+            let moved = lch.(Array.length lch - 1) in
+            let left' =
+              Internal (Array.sub lseps 0 (n - 1),
+                        Array.sub lch 0 (Array.length lch - 1))
+            in
+            let right' =
+              Internal (array_insert rseps 0 sep, array_insert rch 0 moved)
+            in
+            let seps = array_set seps li up in
+            let children = array_set children li left' in
+            let children = array_set children (li + 1) right' in
+            (seps, children)
+          else
+            let up = rseps.(0) in
+            let moved = rch.(0) in
+            let left' =
+              Internal
+                ( array_insert lseps (Array.length lseps) sep,
+                  array_insert lch (Array.length lch) moved )
+            in
+            let right' = Internal (array_remove rseps 0, array_remove rch 0) in
+            let seps = array_set seps li up in
+            let children = array_set children li left' in
+            let children = array_set children (li + 1) right' in
+            (seps, children)
+      | _ -> assert false (* siblings are always at the same level *)
+    in
+    let rec go = function
+      | Leaf (keys, vals) ->
+          let i = lower_bound keys k in
+          if i < Array.length keys && Ord.compare keys.(i) k = 0 then begin
+            removed := true;
+            Leaf (array_remove keys i, array_remove vals i)
+          end
+          else Leaf (keys, vals)
+      | Internal (seps, children) ->
+          let slot = child_slot seps k in
+          let child = go children.(slot) in
+          let children = array_set children slot child in
+          if node_nkeys child >= min_keys then Internal (seps, children)
+          else
+            let seps, children = fix_underflow seps children slot in
+            Internal (seps, children)
+    in
+    let root = go t.root in
+    (* collapse a root that lost all separators *)
+    let root =
+      match root with
+      | Internal ([||], children) -> children.(0)
+      | other -> other
+    in
+    t.root <- root;
+    if !removed then t.size <- t.size - 1;
+    !removed
+
+  (* In-order fold over bindings with key in [lo, hi] per the bound
+     specifications. [None] bound = unbounded. *)
+  type bound = Unbounded | Incl of key | Excl of key
+
+  let above lo k =
+    match lo with
+    | Unbounded -> true
+    | Incl b -> Ord.compare k b >= 0
+    | Excl b -> Ord.compare k b > 0
+
+  let below hi k =
+    match hi with
+    | Unbounded -> true
+    | Incl b -> Ord.compare k b <= 0
+    | Excl b -> Ord.compare k b < 0
+
+  let fold_range t ~lo ~hi ~init ~f =
+    let rec go acc = function
+      | Leaf (keys, vals) ->
+          let acc = ref acc in
+          for i = 0 to Array.length keys - 1 do
+            let k = keys.(i) in
+            if above lo k && below hi k then acc := f !acc k vals.(i)
+          done;
+          !acc
+      | Internal (seps, children) ->
+          (* children [i] covers keys < seps.(i) (i < nseps) and
+             >= seps.(i-1); skip children entirely out of range. *)
+          let n = Array.length children in
+          let acc = ref acc in
+          for i = 0 to n - 1 do
+            let child_min_ok =
+              i = 0 || below hi seps.(i - 1)
+              (* child i holds keys >= seps.(i-1); if that already exceeds
+                 hi we can skip *)
+            in
+            let child_max_ok =
+              i = n - 1 || above lo seps.(i)
+              ||
+              (* child i holds keys < seps.(i); if all below lo, skip *)
+              match lo with
+              | Unbounded -> true
+              | Incl b | Excl b -> Ord.compare seps.(i) b > 0
+            in
+            if child_min_ok && child_max_ok then acc := go !acc children.(i)
+          done;
+          !acc
+    in
+    go init t.root
+
+  let fold t ~init ~f = fold_range t ~lo:Unbounded ~hi:Unbounded ~init ~f
+
+  let iter t ~f = fold t ~init:() ~f:(fun () k v -> f k v)
+
+  let to_list t =
+    List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let range t ~lo ~hi =
+    List.rev (fold_range t ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let min_binding t =
+    let rec go = function
+      | Leaf ([||], _) -> None
+      | Leaf (keys, vals) -> Some (keys.(0), vals.(0))
+      | Internal (_, children) -> go children.(0)
+    in
+    go t.root
+
+  let max_binding t =
+    let rec go = function
+      | Leaf ([||], _) -> None
+      | Leaf (keys, vals) ->
+          let n = Array.length keys in
+          Some (keys.(n - 1), vals.(n - 1))
+      | Internal (_, children) -> go children.(Array.length children - 1)
+    in
+    go t.root
+
+  (* Structural checker used in tests. Raises [Failure] on violation. *)
+  let validate t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let check_sorted keys =
+      for i = 0 to Array.length keys - 2 do
+        if Ord.compare keys.(i) keys.(i + 1) >= 0 then
+          fail "keys not strictly increasing within node"
+      done
+    in
+    let rec go ~is_root ~lo ~hi node =
+      match node with
+      | Leaf (keys, vals) ->
+          if Array.length keys <> Array.length vals then
+            fail "leaf keys/vals length mismatch";
+          check_sorted keys;
+          if (not is_root) && Array.length keys < t.b - 1 then
+            fail "leaf underfull";
+          if Array.length keys > (2 * t.b) - 1 then fail "leaf overfull";
+          Array.iter
+            (fun k ->
+              if not (above lo k) then fail "leaf key below lower bound";
+              if not (below hi k) then fail "leaf key above upper bound")
+            keys;
+          (1, Array.length keys)
+      | Internal (seps, children) ->
+          if Array.length children <> Array.length seps + 1 then
+            fail "internal arity mismatch";
+          check_sorted seps;
+          if (not is_root) && Array.length seps < t.b - 1 then
+            fail "internal underfull";
+          if Array.length seps > (2 * t.b) - 1 then fail "internal overfull";
+          let depth = ref None and count = ref 0 in
+          Array.iteri
+            (fun i child ->
+              let clo = if i = 0 then lo else Incl seps.(i - 1) in
+              let chi =
+                if i = Array.length seps then hi else Excl seps.(i)
+              in
+              let d, c = go ~is_root:false ~lo:clo ~hi:chi child in
+              count := !count + c;
+              match !depth with
+              | None -> depth := Some d
+              | Some d0 -> if d0 <> d then fail "leaves at unequal depth")
+            children;
+          (1 + Option.get !depth, !count)
+    in
+    let _, count = go ~is_root:true ~lo:Unbounded ~hi:Unbounded t.root in
+    if count <> t.size then
+      fail "size field (%d) disagrees with binding count (%d)" t.size count
+end

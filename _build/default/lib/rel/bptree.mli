@@ -1,0 +1,55 @@
+(** A B+-tree with unique keys.
+
+    Nodes are path-copied under a mutable root; branching factor [b]
+    bounds node width (at most [2b − 1] keys per node, at least [b − 1]
+    except at the root).  Deletion rebalances by borrowing from or merging
+    with an adjacent sibling.  {!Make.validate} checks every structural
+    invariant and is exercised by the property tests. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type key = Ord.t
+
+  type 'a t
+
+  val create : ?b:int -> unit -> 'a t
+  (** [b] defaults to 16; raises [Invalid_argument] when [b < 2]. *)
+
+  val length : 'a t -> int
+  (** Number of bindings, O(1). *)
+
+  val find : 'a t -> key -> 'a option
+  val mem : 'a t -> key -> bool
+
+  val insert : 'a t -> key -> 'a -> bool
+  (** Insert or replace; returns [true] when an existing binding was
+      replaced. *)
+
+  val remove : 'a t -> key -> bool
+  (** Returns [true] when the key was present. *)
+
+  type bound = Unbounded | Incl of key | Excl of key
+  (** Range endpoints for scans. *)
+
+  val fold_range :
+    'a t -> lo:bound -> hi:bound -> init:'b -> f:('b -> key -> 'a -> 'b) -> 'b
+  (** In-order fold over bindings within the bounds; subtrees entirely
+      outside the range are skipped (O(log n + matches)). *)
+
+  val fold : 'a t -> init:'b -> f:('b -> key -> 'a -> 'b) -> 'b
+  val iter : 'a t -> f:(key -> 'a -> unit) -> unit
+  val to_list : 'a t -> (key * 'a) list
+  val range : 'a t -> lo:bound -> hi:bound -> (key * 'a) list
+  val min_binding : 'a t -> (key * 'a) option
+  val max_binding : 'a t -> (key * 'a) option
+
+  val validate : 'a t -> unit
+  (** Check every invariant (sortedness, occupancy bounds, uniform leaf
+      depth, separator consistency, size field); raises [Failure] with a
+      description on violation. *)
+end

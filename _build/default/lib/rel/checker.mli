@@ -1,0 +1,46 @@
+(** Enforcement of integrity constraints on mutations.
+
+    Decoupled from the catalog: the checker receives an {!env} of lookup
+    callbacks, so {!Database} can wire it to live tables and indexes while
+    tests can drive it with stubs.  Informational constraints (paper §1)
+    are skipped by callers filtering on {!Icdef.is_enforced}; {!verify}
+    ignores enforcement so the soft-constraint facility can validate any
+    statement against the data. *)
+
+type env = {
+  find_table : string -> Table.t option;
+  find_index : string -> string list -> Index.t option;
+      (** a unique/PK lookup accelerator: given table and columns *)
+}
+
+type violation = { constraint_name : string; reason : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+exception Constraint_violation of violation
+(** Raised by {!Database}'s mutation API when an enforced constraint would
+    be broken. *)
+
+val check_row :
+  env -> Icdef.t -> Table.t -> Tuple.t -> ?exclude:Table.rid -> unit ->
+  violation option
+(** Would inserting (or, with [exclude], updating) this row violate the
+    constraint?  Key constraints use an index when {!env.find_index}
+    provides one, a scan otherwise.  SQL semantics: UNIQUE ignores rows
+    with NULL key parts; a NULL foreign key passes; CHECK passes on
+    UNKNOWN. *)
+
+val check_no_dangling_children :
+  env -> all_constraints:Icdef.t list -> parent:Table.t -> Tuple.t ->
+  violation option
+(** Would deleting this parent row (or moving its key) strand child rows
+    of some enforced FK?  RESTRICT semantics. *)
+
+val verify : env -> Icdef.t -> (Table.rid * violation) list
+(** Every violating row of the constraint over the current state,
+    regardless of enforcement mode — the validation oracle for declaring
+    soft constraints and building exception tables.  For key constraints
+    this reports each member of a duplicate group beyond the first. *)
+
+val holds : env -> Icdef.t -> bool
+val violation_count : env -> Icdef.t -> int

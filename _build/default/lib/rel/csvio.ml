@@ -1,0 +1,150 @@
+(* Minimal CSV import/export for tables: comma-separated, double-quote
+   escaping, header row of column names.  NULL is encoded as the empty
+   unquoted field.  Values parse according to the column's declared type. *)
+
+let escape s =
+  let needs =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let field_of_value = function
+  | Value.Null -> ""
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.String s -> if s = "" then "\"\"" else escape s
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Date d -> Date.to_string d
+
+let write_row out row =
+  output_string out
+    (String.concat "," (List.map field_of_value (Tuple.to_list row)));
+  output_char out '\n'
+
+let export table path =
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () ->
+      let schema = Table.schema table in
+      output_string out
+        (String.concat "," (List.map escape (Schema.column_names schema)));
+      output_char out '\n';
+      Table.iter table ~f:(fun row -> write_row out row))
+
+(* Split one CSV record (no embedded newlines across records supported
+   beyond quoted fields read by [read_record]). *)
+let split_record line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted_field = ref false in
+  let rec go i in_quotes =
+    if i >= n then begin
+      fields := (Buffer.contents buf, !quoted_field) :: !fields
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' then begin
+        quoted_field := true;
+        go (i + 1) true
+      end
+      else if c = ',' then begin
+        fields := (Buffer.contents buf, !quoted_field) :: !fields;
+        Buffer.clear buf;
+        quoted_field := false;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !fields
+
+exception Parse_error of string
+
+let value_of_field dtype (text, quoted) =
+  if text = "" && not quoted then Value.Null
+  else
+    match dtype with
+    | Value.TInt -> (
+        match int_of_string_opt (String.trim text) with
+        | Some i -> Value.Int i
+        | None -> raise (Parse_error (Printf.sprintf "bad INT: %S" text)))
+    | Value.TFloat -> (
+        match float_of_string_opt (String.trim text) with
+        | Some f -> Value.Float f
+        | None -> raise (Parse_error (Printf.sprintf "bad FLOAT: %S" text)))
+    | Value.TString -> Value.String text
+    | Value.TBool -> (
+        match String.lowercase_ascii (String.trim text) with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> raise (Parse_error (Printf.sprintf "bad BOOLEAN: %S" text)))
+    | Value.TDate -> (
+        match Date.of_string_opt (String.trim text) with
+        | Some d -> Value.Date d
+        | None -> raise (Parse_error (Printf.sprintf "bad DATE: %S" text)))
+
+(* Import rows from [path] into [table] via [db] (so constraints and
+   indexes apply).  The header row must name a subset ordering of the
+   table's columns; missing columns become NULL. *)
+let import db ~table path =
+  let tbl = Database.table_exn db table in
+  let schema = Table.schema tbl in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | None -> raise (Parse_error "empty file")
+        | Some line -> List.map (fun (t, _) -> String.trim t) (split_record line)
+      in
+      let positions = List.map (Schema.index_exn schema) header in
+      let count = ref 0 in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+            let fields = split_record line in
+            if List.length fields <> List.length positions then
+              raise
+                (Parse_error
+                   (Printf.sprintf "row %d: %d fields for %d columns"
+                      (!count + 1) (List.length fields) (List.length positions)));
+            let row = Array.make (Schema.arity schema) Value.Null in
+            List.iter2
+              (fun pos field ->
+                let dtype = (Schema.column_at schema pos).Schema.dtype in
+                row.(pos) <- value_of_field dtype field)
+              positions fields;
+            ignore (Database.insert db ~table (Tuple.of_array row));
+            incr count;
+            loop ()
+      in
+      loop ();
+      !count)

@@ -1,0 +1,15 @@
+(** CSV import/export for tables: comma-separated, double-quote escaping,
+    header row of column names.  NULL is the empty unquoted field; an
+    empty string is [""]. *)
+
+exception Parse_error of string
+
+val export : Table.t -> string -> unit
+(** Write the table (header + rows) to a file. *)
+
+val import : Database.t -> table:string -> string -> int
+(** Load a CSV file into an existing table via the catalog (so enforced
+    constraints and index maintenance apply).  The header must name a
+    subset of the table's columns; missing columns become NULL.  Values
+    parse according to the column's declared type.  Returns the number of
+    rows inserted; raises {!Parse_error} on malformed input. *)

@@ -1,0 +1,270 @@
+(* The database catalog: tables, secondary indexes, integrity constraints,
+   and a mutation log hook.
+
+   All data modification goes through this module so that (a) enforced
+   constraints are checked, (b) indexes stay consistent, and (c) mutation
+   listeners — the soft-constraint maintenance machinery of {!Core} — see
+   every change.  Informational constraints are stored but never checked,
+   exactly as in the paper (§1). *)
+
+type mutation =
+  | Inserted of { table : string; rid : Table.rid; row : Tuple.t }
+  | Deleted of { table : string; rid : Table.rid; row : Tuple.t }
+  | Updated of {
+      table : string;
+      rid : Table.rid;
+      before : Tuple.t;
+      after : Tuple.t;
+    }
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  indexes : (string, Index.t) Hashtbl.t; (* by index name *)
+  mutable constraints : Icdef.t list;
+  mutable listeners : (mutation -> unit) list;
+}
+
+exception Catalog_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Catalog_error s)) fmt
+
+let create () =
+  {
+    tables = Hashtbl.create 16;
+    indexes = Hashtbl.create 16;
+    constraints = [];
+    listeners = [];
+  }
+
+let norm = String.lowercase_ascii
+
+(* ---- tables ---------------------------------------------------------- *)
+
+let create_table t schema =
+  let key = norm schema.Schema.table in
+  if Hashtbl.mem t.tables key then
+    error "table %s already exists" schema.Schema.table;
+  let table = Table.create schema in
+  Hashtbl.replace t.tables key table;
+  table
+
+let find_table t name = Hashtbl.find_opt t.tables (norm name)
+
+let table_exn t name =
+  match find_table t name with
+  | Some table -> table
+  | None -> error "no such table: %s" name
+
+let table_names t =
+  Hashtbl.fold (fun _ table acc -> Table.name table :: acc) t.tables []
+  |> List.sort String.compare
+
+let drop_table t name =
+  let key = norm name in
+  if not (Hashtbl.mem t.tables key) then error "no such table: %s" name;
+  Hashtbl.remove t.tables key;
+  let stale =
+    Hashtbl.fold
+      (fun iname idx acc ->
+        if norm (Index.table_name idx) = key then iname :: acc else acc)
+      t.indexes []
+  in
+  List.iter (Hashtbl.remove t.indexes) stale;
+  t.constraints <-
+    List.filter (fun ic -> norm ic.Icdef.table <> key) t.constraints
+
+(* ---- indexes ---------------------------------------------------------- *)
+
+let create_index t ~name ~table ~columns ?(unique = false) () =
+  let key = norm name in
+  if Hashtbl.mem t.indexes key then error "index %s already exists" name;
+  let tbl = table_exn t table in
+  let idx = Index.create ~name ~table:tbl ~columns ~unique () in
+  Hashtbl.replace t.indexes key idx;
+  idx
+
+let find_index_by_name t name = Hashtbl.find_opt t.indexes (norm name)
+
+let drop_index t name =
+  let key = norm name in
+  if not (Hashtbl.mem t.indexes key) then error "no such index: %s" name;
+  Hashtbl.remove t.indexes key
+
+let indexes_on t table =
+  let key = norm table in
+  Hashtbl.fold
+    (fun _ idx acc ->
+      if norm (Index.table_name idx) = key then idx :: acc else acc)
+    t.indexes []
+
+(* an index whose key columns are exactly [columns] (order-insensitive for
+   uniqueness purposes, order-sensitive otherwise) *)
+let find_index_on t table columns =
+  let want = List.map norm columns in
+  List.find_opt
+    (fun idx -> List.map norm (Index.columns idx) = want)
+    (indexes_on t table)
+
+(* a single-column index on [column], for access-path selection *)
+let find_index_on_column t table column =
+  List.find_opt
+    (fun idx ->
+      match Index.columns idx with
+      | [ c ] -> norm c = norm column
+      | _ -> false)
+    (indexes_on t table)
+
+(* ---- constraints ------------------------------------------------------ *)
+
+let checker_env t =
+  {
+    Checker.find_table = (fun name -> find_table t name);
+    Checker.find_index =
+      (fun table columns -> find_index_on t table columns);
+  }
+
+let add_constraint t ic =
+  if List.exists (fun c -> norm c.Icdef.name = norm ic.Icdef.name)
+       t.constraints
+  then error "constraint %s already exists" ic.Icdef.name;
+  ignore (table_exn t ic.Icdef.table);
+  (* adding an *enforced* constraint requires the current data to satisfy
+     it; informational constraints are taken on faith (the paper's
+     external promise) *)
+  if Icdef.is_enforced ic then begin
+    match Checker.verify (checker_env t) ic with
+    | [] -> ()
+    | (_, v) :: _ ->
+        error "cannot add constraint %s: existing data violates it (%s)"
+          ic.Icdef.name v.Checker.reason
+  end;
+  t.constraints <- t.constraints @ [ ic ]
+
+let drop_constraint t name =
+  let before = List.length t.constraints in
+  t.constraints <-
+    List.filter (fun c -> norm c.Icdef.name <> norm name) t.constraints;
+  if List.length t.constraints = before then
+    error "no such constraint: %s" name
+
+let constraints t = t.constraints
+
+let constraints_on t table =
+  List.filter (fun c -> norm c.Icdef.table = norm table) t.constraints
+
+let find_constraint t name =
+  List.find_opt (fun c -> norm c.Icdef.name = norm name) t.constraints
+
+(* ---- mutation listeners ----------------------------------------------- *)
+
+let on_mutation t f = t.listeners <- f :: t.listeners
+
+let notify t m = List.iter (fun f -> f m) t.listeners
+
+(* ---- data modification ------------------------------------------------ *)
+
+let enforced_on t table =
+  List.filter Icdef.is_enforced (constraints_on t table)
+
+let check_insert_ok t table row =
+  let env = checker_env t in
+  List.iter
+    (fun ic ->
+      match Checker.check_row env ic table row () with
+      | Some v -> raise (Checker.Constraint_violation v)
+      | None -> ())
+    (enforced_on t (Table.name table))
+
+let insert t ~table row =
+  let tbl = table_exn t table in
+  (match Tuple.conform (Table.schema tbl) row with
+  | Error msg -> raise (Table.Row_error msg)
+  | Ok _ -> ());
+  check_insert_ok t tbl row;
+  let rid = Table.insert tbl row in
+  let row = Table.get_exn tbl rid in
+  (try List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table)
+   with Index.Unique_violation _ as e ->
+     (* roll the heap insert back so storage and indexes agree *)
+     ignore (Table.delete tbl rid);
+     raise e);
+  notify t (Inserted { table = Table.name tbl; rid; row });
+  rid
+
+let delete t ~table rid =
+  let tbl = table_exn t table in
+  match Table.get tbl rid with
+  | None -> false
+  | Some row ->
+      (match
+         Checker.check_no_dangling_children (checker_env t)
+           ~all_constraints:t.constraints ~parent:tbl row
+       with
+      | Some v -> raise (Checker.Constraint_violation v)
+      | None -> ());
+      ignore (Table.delete tbl rid);
+      List.iter (fun idx -> Index.on_delete idx rid row) (indexes_on t table);
+      notify t (Deleted { table = Table.name tbl; rid; row });
+      true
+
+let update t ~table rid row =
+  let tbl = table_exn t table in
+  let before = Table.get_exn tbl rid in
+  let after =
+    match Tuple.conform (Table.schema tbl) row with
+    | Error msg -> raise (Table.Row_error msg)
+    | Ok r -> r
+  in
+  let env = checker_env t in
+  List.iter
+    (fun ic ->
+      match Checker.check_row env ic tbl after ~exclude:rid () with
+      | Some v -> raise (Checker.Constraint_violation v)
+      | None -> ())
+    (enforced_on t (Table.name tbl));
+  (match
+     Checker.check_no_dangling_children env ~all_constraints:t.constraints
+       ~parent:tbl before
+   with
+  | Some v ->
+      (* only a problem if the referenced key actually changed *)
+      let changed =
+        not (Tuple.equal before after)
+        &&
+        match find_constraint t v.Checker.constraint_name with
+        | Some { Icdef.body = Icdef.Foreign_key { ref_columns; _ }; _ } ->
+            let schema = Table.schema tbl in
+            List.exists
+              (fun c ->
+                let i = Schema.index_exn schema c in
+                not (Value.equal_total (Tuple.get before i) (Tuple.get after i)))
+              ref_columns
+        | _ -> false
+      in
+      if changed then raise (Checker.Constraint_violation v)
+  | None -> ());
+  Table.update tbl rid after;
+  List.iter
+    (fun idx -> Index.on_update idx rid ~before ~after)
+    (indexes_on t table);
+  notify t (Updated { table = Table.name tbl; rid; before; after })
+
+(* Bulk load: validates rows against the schema and enforced constraints
+   like [insert], but amortizes listener calls; returns rids. *)
+let insert_many t ~table rows = List.map (fun r -> insert t ~table r) rows
+
+(* Compensating re-insert for transaction rollback: restores a deleted
+   row under its original rid, maintains indexes and notifies listeners,
+   but skips constraint checking (the pre-transaction state was already
+   consistent, and intermediate undo states may not be). *)
+let restore t ~table rid row =
+  let tbl = table_exn t table in
+  Table.restore tbl rid row;
+  let row = Table.get_exn tbl rid in
+  List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table);
+  notify t (Inserted { table = Table.name tbl; rid; row })
+
+let pp ppf t =
+  Fmt.pf ppf "database: %d tables, %d indexes, %d constraints"
+    (Hashtbl.length t.tables) (Hashtbl.length t.indexes)
+    (List.length t.constraints)

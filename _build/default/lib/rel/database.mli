@@ -1,0 +1,89 @@
+(** The database catalog: tables, secondary indexes, integrity
+    constraints, and a mutation-log hook.
+
+    All data modification goes through this module so that (a) enforced
+    constraints are checked, (b) indexes stay consistent, and (c)
+    mutation listeners — the soft-constraint maintenance machinery of
+    {!Core} — see every change.  Informational constraints are stored but
+    never checked, exactly as in the paper (§1). *)
+
+type mutation =
+  | Inserted of { table : string; rid : Table.rid; row : Tuple.t }
+  | Deleted of { table : string; rid : Table.rid; row : Tuple.t }
+  | Updated of {
+      table : string;
+      rid : Table.rid;
+      before : Tuple.t;
+      after : Tuple.t;
+    }
+
+type t
+
+exception Catalog_error of string
+
+val create : unit -> t
+
+(** {1 Tables} *)
+
+val create_table : t -> Schema.t -> Table.t
+val find_table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+val table_names : t -> string list
+
+val drop_table : t -> string -> unit
+(** Also drops the table's indexes and constraints. *)
+
+(** {1 Indexes} *)
+
+val create_index :
+  t -> name:string -> table:string -> columns:string list -> ?unique:bool ->
+  unit -> Index.t
+
+val find_index_by_name : t -> string -> Index.t option
+
+val drop_index : t -> string -> unit
+val indexes_on : t -> string -> Index.t list
+
+val find_index_on : t -> string -> string list -> Index.t option
+(** An index whose key columns are exactly these, in order. *)
+
+val find_index_on_column : t -> string -> string -> Index.t option
+(** A single-column index on this column (access-path selection). *)
+
+(** {1 Constraints} *)
+
+val checker_env : t -> Checker.env
+
+val add_constraint : t -> Icdef.t -> unit
+(** Adding an {e enforced} constraint validates the current data first
+    (raises {!Catalog_error} on violation); informational constraints are
+    taken on faith — the paper's external promise. *)
+
+val drop_constraint : t -> string -> unit
+val constraints : t -> Icdef.t list
+val constraints_on : t -> string -> Icdef.t list
+val find_constraint : t -> string -> Icdef.t option
+
+(** {1 Mutation listeners} *)
+
+val on_mutation : t -> (mutation -> unit) -> unit
+(** Register a listener invoked after every successful mutation. *)
+
+(** {1 Data modification}
+
+    Each operation checks the enforced constraints (raising
+    {!Checker.Constraint_violation}), maintains every index, and notifies
+    the listeners. *)
+
+val insert : t -> table:string -> Tuple.t -> Table.rid
+val delete : t -> table:string -> Table.rid -> bool
+val update : t -> table:string -> Table.rid -> Tuple.t -> unit
+val insert_many : t -> table:string -> Tuple.t list -> Table.rid list
+
+val restore : t -> table:string -> Table.rid -> Tuple.t -> unit
+(** Compensating re-insert for transaction rollback: the original rid is
+    re-occupied, indexes are maintained and listeners notified, but
+    constraint checking is skipped (intermediate undo states may be
+    transiently inconsistent). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+(* Secondary indexes over heap tables: a B+-tree keyed on the projected
+   column values, mapping each distinct key to the sorted list of rids
+   holding it.  Composite keys compare lexicographically via
+   {!Tuple.compare}. *)
+
+module Key_tree = Bptree.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = {
+  name : string;
+  table : string;
+  columns : string list; (* indexed column names, in key order *)
+  positions : int array; (* their positions in the table schema *)
+  unique : bool;
+  tree : Table.rid list Key_tree.t;
+}
+
+exception Unique_violation of string
+
+let key_of t row = Tuple.project row t.positions
+
+let create ~name ~table ~columns ?(unique = false) () =
+  let schema = Table.schema table in
+  let positions =
+    Array.of_list (List.map (Schema.index_exn schema) columns)
+  in
+  let t =
+    {
+      name;
+      table = Table.name table;
+      columns;
+      positions;
+      unique;
+      tree = Key_tree.create ~b:32 ();
+    }
+  in
+  (* bulk-build from existing rows *)
+  Table.iteri table ~f:(fun rid row ->
+      let key = key_of t row in
+      let existing =
+        Option.value (Key_tree.find t.tree key) ~default:[]
+      in
+      if unique && existing <> [] then
+        raise
+          (Unique_violation
+             (Printf.sprintf "unique index %s: duplicate key %s" name
+                (Fmt.str "%a" Tuple.pp key)));
+      ignore (Key_tree.insert t.tree key (rid :: existing)));
+  t
+
+let name t = t.name
+let table_name t = t.table
+let columns t = t.columns
+let is_unique t = t.unique
+let distinct_keys t = Key_tree.length t.tree
+
+(* Maintenance hooks called by {!Database} on every table mutation. *)
+
+let on_insert t rid row =
+  let key = key_of t row in
+  let existing = Option.value (Key_tree.find t.tree key) ~default:[] in
+  if t.unique && existing <> [] then
+    raise
+      (Unique_violation
+         (Printf.sprintf "unique index %s: duplicate key %s" t.name
+            (Fmt.str "%a" Tuple.pp key)));
+  ignore (Key_tree.insert t.tree key (rid :: existing))
+
+let on_delete t rid row =
+  let key = key_of t row in
+  match Key_tree.find t.tree key with
+  | None -> ()
+  | Some rids -> (
+      match List.filter (fun r -> r <> rid) rids with
+      | [] -> ignore (Key_tree.remove t.tree key)
+      | remaining -> ignore (Key_tree.insert t.tree key remaining))
+
+let on_update t rid ~before ~after =
+  if not (Tuple.equal (key_of t before) (key_of t after)) then begin
+    on_delete t rid before;
+    on_insert t rid after
+  end
+
+(* Probes. *)
+
+let lookup t key = Option.value (Key_tree.find t.tree key) ~default:[]
+
+let lookup_value t v = lookup t (Tuple.of_array [| v |])
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+let to_tree_bound = function
+  | Unbounded -> Key_tree.Unbounded
+  | Incl v -> Key_tree.Incl (Tuple.of_array [| v |])
+  | Excl v -> Key_tree.Excl (Tuple.of_array [| v |])
+
+(* Range scan over a single-column index (or the leading column of a
+   composite one — in which case callers must treat results as a superset
+   only when the index is single-column; we restrict to single-column). *)
+let range t ~lo ~hi =
+  if Array.length t.positions <> 1 then
+    invalid_arg "Index.range: range probes require a single-column index";
+  Key_tree.fold_range t.tree ~lo:(to_tree_bound lo) ~hi:(to_tree_bound hi)
+    ~init:[]
+    ~f:(fun acc _ rids -> List.rev_append rids acc)
+  |> List.sort_uniq Stdlib.compare
+
+let fold_range t ~lo ~hi ~init ~f =
+  if Array.length t.positions <> 1 then
+    invalid_arg "Index.fold_range: requires a single-column index";
+  Key_tree.fold_range t.tree ~lo:(to_tree_bound lo) ~hi:(to_tree_bound hi)
+    ~init
+    ~f:(fun acc key rids -> f acc (Tuple.get key 0) rids)
+
+let min_key t = Option.map fst (Key_tree.min_binding t.tree)
+let max_key t = Option.map fst (Key_tree.max_binding t.tree)

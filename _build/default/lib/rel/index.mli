@@ -1,0 +1,51 @@
+(** Secondary indexes over heap tables: a B+-tree keyed on the projected
+    column values, mapping each distinct key to the rids holding it.
+    Composite keys compare lexicographically. *)
+
+type t
+
+exception Unique_violation of string
+
+val create :
+  name:string -> table:Table.t -> columns:string list -> ?unique:bool ->
+  unit -> t
+(** Bulk-build from the table's current rows.  Raises {!Unique_violation}
+    when [unique] and a duplicate key exists. *)
+
+val name : t -> string
+val table_name : t -> string
+val columns : t -> string list
+val is_unique : t -> bool
+
+val distinct_keys : t -> int
+(** Number of distinct key values currently indexed. *)
+
+val key_of : t -> Tuple.t -> Tuple.t
+(** The index key of a table row (projection onto the key columns). *)
+
+(** {1 Maintenance} — called by {!Database} on every table mutation. *)
+
+val on_insert : t -> Table.rid -> Tuple.t -> unit
+val on_delete : t -> Table.rid -> Tuple.t -> unit
+val on_update : t -> Table.rid -> before:Tuple.t -> after:Tuple.t -> unit
+
+(** {1 Probes} *)
+
+val lookup : t -> Tuple.t -> Table.rid list
+(** Rids with exactly this (composite) key. *)
+
+val lookup_value : t -> Value.t -> Table.rid list
+(** Single-column convenience. *)
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+val range : t -> lo:bound -> hi:bound -> Table.rid list
+(** Sorted rids whose key is within the bounds.  Only valid on
+    single-column indexes (raises [Invalid_argument] otherwise). *)
+
+val fold_range :
+  t -> lo:bound -> hi:bound -> init:'a ->
+  f:('a -> Value.t -> Table.rid list -> 'a) -> 'a
+
+val min_key : t -> Tuple.t option
+val max_key : t -> Tuple.t option

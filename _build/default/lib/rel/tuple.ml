@@ -1,0 +1,68 @@
+(* Rows are immutable-by-convention arrays of values.  Most of the engine
+   treats tuples as opaque; only storage mutates them in place (updates). *)
+
+type t = Value.t array
+
+let make = Array.of_list
+let arity = Array.length
+let get (t : t) i = t.(i)
+let to_list = Array.to_list
+let of_array (a : Value.t array) : t = a
+let copy = Array.copy
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && (let n = Array.length a in
+      let rec loop i = i >= n || (Value.equal_total a.(i) b.(i) && loop (i + 1)) in
+      loop 0)
+
+let compare (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i >= n then Stdlib.compare (Array.length a) (Array.length b)
+    else
+      match Value.compare_total a.(i) b.(i) with 0 -> loop (i + 1) | c -> c
+  in
+  loop 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let project (t : t) idxs = Array.map (fun i -> t.(i)) idxs
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+(* Validate a tuple against a schema: arity, types (with int→float
+   widening applied in place of the original value), and NOT NULL. *)
+let conform (schema : Schema.t) (t : t) : (t, string) result =
+  if arity t <> Schema.arity schema then
+    Error
+      (Printf.sprintf "arity mismatch: %d values for %d columns (table %s)"
+         (arity t) (Schema.arity schema) schema.Schema.table)
+  else
+    let n = arity t in
+    let out = Array.copy t in
+    let rec loop i =
+      if i >= n then Ok out
+      else
+        let c = Schema.column_at schema i in
+        let v = t.(i) in
+        if Value.is_null v && not c.Schema.nullable then
+          Error
+            (Printf.sprintf "null value for NOT NULL column %s.%s"
+               schema.Schema.table c.Schema.name)
+        else if not (Value.conforms c.Schema.dtype v) then
+          Error
+            (Printf.sprintf "type mismatch for column %s.%s: expected %s, got %s"
+               schema.Schema.table c.Schema.name
+               (Value.dtype_name c.Schema.dtype)
+               (Value.to_debug v))
+        else begin
+          out.(i) <- Value.coerce c.Schema.dtype v;
+          loop (i + 1)
+        end
+    in
+    loop 0
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") Value.pp) (to_list t)

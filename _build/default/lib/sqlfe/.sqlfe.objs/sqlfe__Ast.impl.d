@@ -1,0 +1,1 @@
+lib/sqlfe/ast.ml: Expr Icdef List Rel Value

@@ -1,0 +1,1 @@
+lib/sqlfe/ast.mli: Expr Icdef Rel Value

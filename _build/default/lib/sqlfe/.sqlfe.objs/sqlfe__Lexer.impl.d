@@ -1,0 +1,1 @@
+lib/sqlfe/lexer.ml: Buffer Hashtbl List Printf String

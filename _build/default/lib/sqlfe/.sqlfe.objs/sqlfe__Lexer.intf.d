@@ -1,0 +1,1 @@
+lib/sqlfe/lexer.mli:

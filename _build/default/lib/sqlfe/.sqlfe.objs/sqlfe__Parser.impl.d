@@ -1,0 +1,1 @@
+lib/sqlfe/parser.ml: Array Ast Date Expr Icdef Lexer List Option Printf Rel String Value

@@ -1,0 +1,1 @@
+lib/sqlfe/parser.mli: Ast Rel

@@ -1,0 +1,1 @@
+lib/sqlfe/printer.ml: Ast Expr Fmt Icdef Rel Value

@@ -1,0 +1,1 @@
+lib/sqlfe/printer.mli: Ast Format

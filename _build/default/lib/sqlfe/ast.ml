@@ -1,0 +1,107 @@
+(* Abstract syntax for the supported SQL subset.
+
+   Scalar expressions and predicates reuse {!Rel.Expr} so that parsed
+   queries, constraint statements, and optimizer rewrites share one
+   representation. *)
+
+open Rel
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Scalar of Expr.t * string option (* expr AS alias *)
+  | Aggregate of agg_fn * Expr.t option * string option
+    (* a COUNT over all rows is [Aggregate (Count, None, alias)] *)
+
+type table_ref = { table : string; alias : string option }
+
+type order_item = { key : Expr.t; asc : bool }
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref list; (* joins are expressed in [where] *)
+  where : Expr.pred;
+  group_by : Expr.t list;
+  having : Expr.pred;
+    (* applies to the grouped output; references select-item output names
+       (aliases, or the column name of a plain column item) *)
+  order_by : order_item list;
+  limit : int option;
+}
+
+type query = Select of select | Union_all of query list
+
+(* --- DDL / DML ---------------------------------------------------------- *)
+
+type col_def = {
+  col_name : string;
+  col_type : Value.dtype;
+  col_not_null : bool;
+}
+
+(* Constraint clauses in CREATE TABLE / ALTER TABLE.  [mode] extends the
+   paper's declaration surface: ENFORCED (default), INFORMATIONAL (NOT
+   ENFORCED, optimizer-visible), or SOFT with an optional confidence —
+   SOFT 1.0 is an absolute soft constraint, SOFT c (<1) a statistical one. *)
+type constraint_mode =
+  | Mode_enforced
+  | Mode_informational
+  | Mode_soft of float option (* CONFIDENCE c *)
+
+type table_constraint = {
+  con_name : string option;
+  con_body : Icdef.body;
+  con_mode : constraint_mode;
+}
+
+type statement =
+  | Query of query
+  | Explain of query
+  | Create_table of {
+      name : string;
+      cols : col_def list;
+      constraints : table_constraint list;
+    }
+  | Drop_table of string
+  | Drop_index of string
+  | Create_index of {
+      index_name : string;
+      table : string;
+      columns : string list;
+      unique : bool;
+    }
+  | Alter_add_constraint of { table : string; con : table_constraint }
+  | Drop_constraint of { table : string; name : string }
+  | Create_exception_table of { name : string; constraint_name : string }
+  | Insert of { table : string; columns : string list option;
+                rows : Expr.t list list }
+  | Delete of { table : string; where : Expr.pred }
+  | Update of { table : string; assignments : (string * Expr.t) list;
+                where : Expr.pred }
+  | Runstats of string option (* table, or all *)
+
+let select_defaults =
+  {
+    distinct = false;
+    items = [ Star ];
+    from = [];
+    where = Expr.Ptrue;
+    group_by = [];
+    having = Expr.Ptrue;
+    order_by = [];
+    limit = None;
+  }
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+(* All base tables a query mentions. *)
+let rec tables_of_query = function
+  | Select s -> List.map (fun r -> r.table) s.from
+  | Union_all qs -> List.concat_map tables_of_query qs

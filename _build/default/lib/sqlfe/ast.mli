@@ -1,0 +1,97 @@
+(** Abstract syntax for the supported SQL subset.
+
+    Scalar expressions and predicates reuse {!Rel.Expr} so that parsed
+    queries, constraint statements, and optimizer rewrites share one
+    representation.  Explicit [JOIN … ON] folds into [from] + [where] at
+    parse time. *)
+
+open Rel
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Star
+  | Scalar of Expr.t * string option  (** expr [AS alias] *)
+  | Aggregate of agg_fn * Expr.t option * string option
+      (** a COUNT over all rows is [Aggregate (Count, None, alias)] *)
+
+type table_ref = { table : string; alias : string option }
+
+type order_item = { key : Expr.t; asc : bool }
+
+type select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref list;
+  where : Expr.pred;
+  group_by : Expr.t list;
+  having : Expr.pred;
+      (** applies to the grouped output; references select-item output
+          names (aliases, or the column name of a plain column item) *)
+  order_by : order_item list;
+  limit : int option;
+}
+
+type query = Select of select | Union_all of query list
+
+(** {1 DDL / DML} *)
+
+type col_def = {
+  col_name : string;
+  col_type : Value.dtype;
+  col_not_null : bool;
+}
+
+(** Constraint-clause modes (paper §1/§3): [Mode_enforced] (default),
+    [Mode_informational] ([NOT ENFORCED]), or [Mode_soft c]
+    ([SOFT [CONFIDENCE c]] — [None] means validate against the data). *)
+type constraint_mode =
+  | Mode_enforced
+  | Mode_informational
+  | Mode_soft of float option
+
+type table_constraint = {
+  con_name : string option;
+  con_body : Icdef.body;
+  con_mode : constraint_mode;
+}
+
+type statement =
+  | Query of query
+  | Explain of query
+  | Create_table of {
+      name : string;
+      cols : col_def list;
+      constraints : table_constraint list;
+    }
+  | Drop_table of string
+  | Drop_index of string
+  | Create_index of {
+      index_name : string;
+      table : string;
+      columns : string list;
+      unique : bool;
+    }
+  | Alter_add_constraint of { table : string; con : table_constraint }
+  | Drop_constraint of { table : string; name : string }
+  | Create_exception_table of { name : string; constraint_name : string }
+      (** the ASC-as-AST declaration of §4.4 *)
+  | Insert of {
+      table : string;
+      columns : string list option;
+      rows : Expr.t list list;
+    }
+  | Delete of { table : string; where : Expr.pred }
+  | Update of {
+      table : string;
+      assignments : (string * Expr.t) list;
+      where : Expr.pred;
+    }
+  | Runstats of string option  (** a table, or all *)
+
+val select_defaults : select
+(** [SELECT * FROM] nothing: fill in the fields you need. *)
+
+val agg_name : agg_fn -> string
+
+val tables_of_query : query -> string list

@@ -1,0 +1,37 @@
+(** Hand-written SQL lexer.
+
+    Keywords are case-insensitive (exposed uppercase); identifiers keep
+    their spelling.  String literals use single quotes with [''] escaping;
+    [--] starts a line comment. *)
+
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  | KW of string  (** uppercase keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ  (** [<>] or [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte position. *)
+
+val tokenize : string -> token list
+(** The full token stream, ending with [EOF]. *)
+
+val string_of_token : token -> string
+(** For error messages. *)

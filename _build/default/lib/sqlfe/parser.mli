@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast} for what is
+    representable).
+
+    Notable syntax beyond vanilla SQL-92 queries/DDL/DML:
+    - constraint modes: [NOT ENFORCED] (informational),
+      [SOFT [CONFIDENCE c]] (soft constraints, paper §3);
+    - [CREATE EXCEPTION TABLE t FOR CONSTRAINT c] (ASC-as-AST, §4.4);
+    - [RUNSTATS [table]];
+    - [EXPLAIN query];
+    - [DATE 'YYYY-MM-DD'] literals and a tolerated [n DAYS] unit noise. *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+(** One statement, optionally [;]-terminated; raises {!Parse_error} (or
+    {!Lexer.Lex_error}) on bad input, including trailing garbage. *)
+
+val parse_query_string : string -> Ast.query
+(** Like {!parse_statement} but requires a SELECT / UNION ALL query. *)
+
+val parse_script : string -> Ast.statement list
+(** A [;]-separated sequence of statements. *)
+
+val parse_pred_string : string -> Rel.Expr.pred
+(** A bare predicate, for tests and tools. *)

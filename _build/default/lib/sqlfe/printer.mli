@@ -1,0 +1,8 @@
+(** SQL pretty-printer: renders ASTs back to parseable text.  The property
+    test [print ∘ parse ∘ print = print] keeps it honest. *)
+
+val pp_query : Format.formatter -> Ast.query -> unit
+val query_to_string : Ast.query -> string
+
+val pp_statement : Format.formatter -> Ast.statement -> unit
+val statement_to_string : Ast.statement -> string

@@ -1,0 +1,1 @@
+lib/stats/col_stats.ml: Fmt Hashtbl Histogram List Option Rel Value

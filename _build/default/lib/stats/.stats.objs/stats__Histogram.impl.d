@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Array Char Fmt List Rel String Value

@@ -1,0 +1,1 @@
+lib/stats/runstats.ml: Array Col_stats Database Fmt Hashtbl List Rel Sample Schema String Table Tuple

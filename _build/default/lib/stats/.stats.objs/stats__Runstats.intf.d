@@ -1,0 +1,1 @@
+lib/stats/runstats.mli: Col_stats Database Format Rel Table

@@ -1,0 +1,88 @@
+(* Per-column catalog statistics, matching the classes the paper lists in
+   §5: "number of distinct values, high and low values, frequency and
+   histogram statistics". *)
+
+open Rel
+
+type frequent = { value : Value.t; count : int }
+
+type t = {
+  column : string;
+  row_count : int; (* rows inspected *)
+  null_count : int;
+  distinct : int; (* among non-null *)
+  low : Value.t option;
+  high : Value.t option;
+  frequent : frequent list; (* top-k most frequent non-null values *)
+  histogram : Histogram.t;
+}
+
+let null_fraction t =
+  if t.row_count = 0 then 0.0
+  else float_of_int t.null_count /. float_of_int t.row_count
+
+let build ?(histogram_buckets = 32) ?(frequent_k = 10) ~column values =
+  let non_null = List.filter (fun v -> not (Value.is_null v)) values in
+  let row_count = List.length values in
+  let null_count = row_count - List.length non_null in
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun v ->
+      let c = Option.value (Hashtbl.find_opt counts v) ~default:0 in
+      Hashtbl.replace counts v (c + 1))
+    non_null;
+  let distinct = Hashtbl.length counts in
+  let sorted = List.sort Value.compare_total non_null in
+  let low = match sorted with [] -> None | v :: _ -> Some v in
+  let high =
+    match List.rev sorted with [] -> None | v :: _ -> Some v
+  in
+  let frequent =
+    Hashtbl.fold (fun value count acc -> { value; count } :: acc) counts []
+    |> List.sort (fun a b ->
+           match compare b.count a.count with
+           | 0 -> Value.compare_total a.value b.value
+           | c -> c)
+    |> fun l ->
+    List.filteri (fun i _ -> i < frequent_k) l
+  in
+  {
+    column;
+    row_count;
+    null_count;
+    distinct;
+    low;
+    high;
+    frequent;
+    histogram = Histogram.build ~buckets:histogram_buckets non_null;
+  }
+
+(* -- selectivity primitives (fractions of *all* rows, nulls excluded
+      from qualifying mass as in SQL) -- *)
+
+let sel_eq t v =
+  if t.row_count = 0 then 0.0
+  else
+    match List.find_opt (fun f -> Value.equal_total f.value v) t.frequent with
+    | Some f -> float_of_int f.count /. float_of_int t.row_count
+    | None ->
+        let hist_sel = Histogram.selectivity_eq t.histogram v in
+        let non_null_frac = 1.0 -. null_fraction t in
+        (* fall back to 1/ndv when the histogram is silent *)
+        if hist_sel > 0.0 then hist_sel *. non_null_frac
+        else if t.distinct = 0 then 0.0
+        else non_null_frac /. float_of_int t.distinct
+
+let sel_range t ?lo ?hi () =
+  let non_null_frac = 1.0 -. null_fraction t in
+  Histogram.selectivity_range t.histogram ?lo ?hi () *. non_null_frac
+
+let sel_is_null t = null_fraction t
+
+let pp ppf t =
+  Fmt.pf ppf "%s: rows=%d nulls=%d ndv=%d low=%a high=%a" t.column t.row_count
+    t.null_count t.distinct
+    Fmt.(option ~none:(any "-") Value.pp)
+    t.low
+    Fmt.(option ~none:(any "-") Value.pp)
+    t.high

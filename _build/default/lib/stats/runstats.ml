@@ -1,0 +1,92 @@
+(* RUNSTATS: build and cache per-table statistics, as DB2's utility of the
+   same name does.  Each snapshot remembers the table's mutation counter at
+   collection time, which is what the soft-constraint currency model
+   (paper §3.3) compares against to bound drift. *)
+
+open Rel
+
+type table_stats = {
+  table : string;
+  cardinality : int;
+  collected_at_mutations : int;
+  columns : (string * Col_stats.t) list;
+}
+
+type t = { snapshots : (string, table_stats) Hashtbl.t }
+
+let create () = { snapshots = Hashtbl.create 16 }
+
+let norm = String.lowercase_ascii
+
+(* Collect statistics for [table]; [sample] bounds the rows inspected for
+   histograms (the full scan still counts cardinality exactly). *)
+let collect ?(histogram_buckets = 32) ?sample table =
+  let schema = Table.schema table in
+  let arity = Schema.arity schema in
+  let columns_values =
+    match sample with
+    | None ->
+        let acc = Array.make arity [] in
+        Table.iter table ~f:(fun row ->
+            for i = 0 to arity - 1 do
+              acc.(i) <- Tuple.get row i :: acc.(i)
+            done);
+        acc
+    | Some capacity ->
+        let s = Sample.create capacity in
+        Table.iter table ~f:(fun row -> Sample.offer s row);
+        let rows = Sample.to_list s in
+        let acc = Array.make arity [] in
+        List.iter
+          (fun row ->
+            for i = 0 to arity - 1 do
+              acc.(i) <- Tuple.get row i :: acc.(i)
+            done)
+          rows;
+        acc
+  in
+  let columns =
+    List.mapi
+      (fun i c ->
+        ( c.Schema.name,
+          Col_stats.build ~histogram_buckets ~column:c.Schema.name
+            columns_values.(i) ))
+      (Schema.columns schema)
+  in
+  {
+    table = Table.name table;
+    cardinality = Table.cardinality table;
+    collected_at_mutations = Table.mutations table;
+    columns;
+  }
+
+let runstats ?histogram_buckets ?sample t table =
+  let stats = collect ?histogram_buckets ?sample table in
+  Hashtbl.replace t.snapshots (norm stats.table) stats;
+  stats
+
+let runstats_all ?histogram_buckets ?sample t db =
+  List.iter
+    (fun name ->
+      ignore
+        (runstats ?histogram_buckets ?sample t (Database.table_exn db name)))
+    (Database.table_names db)
+
+let find t table = Hashtbl.find_opt t.snapshots (norm table)
+
+let column_stats t ~table ~column =
+  match find t table with
+  | None -> None
+  | Some ts ->
+      List.assoc_opt (norm column)
+        (List.map (fun (n, s) -> (norm n, s)) ts.columns)
+
+(* How many mutations has [table] absorbed since its stats were taken? *)
+let staleness t table =
+  match find t (Table.name table) with
+  | None -> Table.mutations table
+  | Some ts -> max 0 (Table.mutations table - ts.collected_at_mutations)
+
+let pp_table_stats ppf ts =
+  Fmt.pf ppf "table %s: card=%d@." ts.table ts.cardinality;
+  List.iter (fun (_, cs) -> Fmt.pf ppf "  %a@." Col_stats.pp cs) ts.columns

@@ -1,0 +1,1 @@
+lib/workload/apb.ml: Database Date Icdef List Printf Rel Schema Stats Tuple Value

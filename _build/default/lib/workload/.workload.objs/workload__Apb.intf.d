@@ -1,0 +1,1 @@
+lib/workload/apb.mli: Database Date Rel

@@ -1,0 +1,1 @@
+lib/workload/project.ml: Database Date Icdef Rel Schema Stats Table Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/project.mli: Database Date Rel Schema

@@ -1,0 +1,1 @@
+lib/workload/purchase.ml: Database Date Icdef Rel Schema Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/purchase.mli: Database Date Rel Schema Stats

@@ -1,0 +1,1 @@
+lib/workload/tpcd.ml: Array Database Date Expr Icdef List Printf Rel Schema Stats String Tuple Value

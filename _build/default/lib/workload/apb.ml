@@ -1,0 +1,148 @@
+(* An APB-1-like OLAP star schema — the other benchmark family the paper's
+   companion work [6] evaluated on.  Dimensions carry the hierarchies
+   APB-1 is known for, and hierarchies are exactly functional
+   dependencies (sku → class → group → family; day → month → quarter →
+   year), which makes this the natural stress workload for FD mining and
+   FD-based group-by/order-by simplification. *)
+
+open Rel
+
+type config = {
+  skus : int;
+  classes : int;
+  groups : int;
+  days : int;
+  customers : int;
+  facts : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    skus = 1_000;
+    classes = 100;
+    groups = 20;
+    days = 365;
+    customers = 200;
+    facts = 20_000;
+    seed = 51;
+  }
+
+let base_day = Date.of_ymd 1999 1 1
+
+let create_schema db =
+  ignore
+    (Database.create_table db
+       (Schema.make "product"
+          [
+            Schema.column ~nullable:false "sku" Value.TInt;
+            Schema.column ~nullable:false "class" Value.TInt;
+            Schema.column ~nullable:false "pgroup" Value.TInt;
+            Schema.column ~nullable:false "family" Value.TInt;
+            Schema.column ~nullable:false "pname" Value.TString;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "timedim"
+          [
+            Schema.column ~nullable:false "day" Value.TDate;
+            Schema.column ~nullable:false "month" Value.TInt;
+            Schema.column ~nullable:false "quarter" Value.TInt;
+            Schema.column ~nullable:false "year" Value.TInt;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "sales"
+          [
+            Schema.column ~nullable:false "sku" Value.TInt;
+            Schema.column ~nullable:false "day" Value.TDate;
+            Schema.column ~nullable:false "customer" Value.TInt;
+            Schema.column ~nullable:false "units" Value.TInt;
+            Schema.column ~nullable:false "dollars" Value.TFloat;
+          ]));
+  List.iter
+    (fun (name, table, cols) ->
+      Database.add_constraint db
+        (Icdef.make ~name ~table (Icdef.Primary_key cols));
+      ignore
+        (Database.create_index db ~name:(name ^ "_idx") ~table ~columns:cols
+           ~unique:true ()))
+    [ ("product_pk", "product", [ "sku" ]); ("timedim_pk", "timedim", [ "day" ]) ];
+  List.iter
+    (fun (name, table, cols, ref_table, ref_cols) ->
+      Database.add_constraint db
+        (Icdef.make ~enforcement:Icdef.Informational ~name ~table
+           (Icdef.Foreign_key
+              { columns = cols; ref_table; ref_columns = ref_cols })))
+    [
+      ("sales_product_fk", "sales", [ "sku" ], "product", [ "sku" ]);
+      ("sales_time_fk", "sales", [ "day" ], "timedim", [ "day" ]);
+    ];
+  ignore
+    (Database.create_index db ~name:"sales_day_idx" ~table:"sales"
+       ~columns:[ "day" ] ())
+
+let load ?(config = default_config) db =
+  create_schema db;
+  let rng = Stats.Rng.create config.seed in
+  (* the product hierarchy: sku -> class -> group -> family, deterministic
+     so the FDs hold exactly *)
+  for sku = 1 to config.skus do
+    let cls = sku mod config.classes in
+    let grp = cls mod config.groups in
+    let fam = grp mod 5 in
+    ignore
+      (Database.insert db ~table:"product"
+         (Tuple.make
+            [
+              Value.Int sku;
+              Value.Int cls;
+              Value.Int grp;
+              Value.Int fam;
+              Value.String (Printf.sprintf "product%04d" sku);
+            ]))
+  done;
+  for d = 0 to config.days - 1 do
+    let day = Date.add_days base_day d in
+    let _, m, _ = Date.to_ymd day in
+    ignore
+      (Database.insert db ~table:"timedim"
+         (Tuple.make
+            [
+              Value.Date day;
+              Value.Int m;
+              Value.Int (((m - 1) / 3) + 1);
+              Value.Int (Date.year day);
+            ]))
+  done;
+  for _ = 1 to config.facts do
+    let units = 1 + Stats.Rng.int rng 20 in
+    ignore
+      (Database.insert db ~table:"sales"
+         (Tuple.make
+            [
+              Value.Int (1 + Stats.Rng.int rng config.skus);
+              Value.Date (Date.add_days base_day (Stats.Rng.int rng config.days));
+              Value.Int (1 + Stats.Rng.int rng config.customers);
+              Value.Int units;
+              Value.Float (float_of_int units *. Stats.Rng.float_range rng 5.0 50.0);
+            ]))
+  done
+
+(* OLAP queries whose GROUP BY / ORDER BY lists carry hierarchy-redundant
+   columns — the FD-simplification targets. *)
+let rollup_by_class_and_group =
+  "SELECT p.class, p.pgroup, COUNT(*) AS n, SUM(s.units) AS units FROM \
+   sales s, product p WHERE s.sku = p.sku GROUP BY p.class, p.pgroup ORDER \
+   BY p.class"
+
+let order_by_day_and_month =
+  "SELECT t.day, t.month, t.quarter FROM timedim t ORDER BY t.day, t.month, \
+   t.quarter"
+
+let monthly_revenue =
+  "SELECT t.month, SUM(s.dollars) AS revenue FROM sales s, timedim t WHERE \
+   s.day = t.day GROUP BY t.month ORDER BY t.month"
+
+let queries =
+  [ rollup_by_class_and_group; order_by_day_and_month; monthly_revenue ]

@@ -1,0 +1,33 @@
+(** An APB-1-like OLAP star schema — the other benchmark family the
+    paper's companion work [6] evaluated on.  Dimension tables carry the
+    hierarchies APB-1 is known for, and hierarchies are exactly
+    functional dependencies (sku → class → group → family; day → month →
+    quarter → year), making this the natural stress workload for FD
+    mining and FD-based group-by/order-by simplification. *)
+
+open Rel
+
+type config = {
+  skus : int;
+  classes : int;
+  groups : int;
+  days : int;
+  customers : int;
+  facts : int;
+  seed : int;
+}
+
+val default_config : config
+
+val base_day : Date.t
+
+val load : ?config:config -> Database.t -> unit
+(** Create and populate [product], [timedim] and [sales] with exact
+    hierarchy FDs. *)
+
+(** {1 Queries with hierarchy-redundant GROUP BY / ORDER BY lists} *)
+
+val rollup_by_class_and_group : string
+val order_by_day_and_month : string
+val monthly_revenue : string
+val queries : string list

@@ -1,0 +1,76 @@
+(* Query suites for the experiments: each returns SQL text so benches,
+   tests and examples share exactly the same statements. *)
+
+open Rel
+
+(* E1: FK joins where the parent contributes nothing but its key —
+   join-eliminable under referential integrity. *)
+let join_elimination_suite =
+  [
+    (* orders ⋈ customer, customer unused beyond the key *)
+    "SELECT o.o_orderkey, o.o_totalprice FROM orders o, customer c WHERE \
+     o.o_custkey = c.c_custkey AND o.o_totalprice > 100000";
+    (* lineitem ⋈ orders, orders unused *)
+    "SELECT l.l_orderkey, l.l_quantity FROM lineitem l, orders o WHERE \
+     l.l_orderkey = o.o_orderkey AND l.l_quantity >= 49";
+    (* three-way chain: both parents eliminable *)
+    "SELECT l.l_extendedprice FROM lineitem l, orders o, customer c WHERE \
+     l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND \
+     l.l_quantity = 50";
+  ]
+
+(* a control: the parent's columns ARE used, so elimination must not fire *)
+let join_elimination_negative =
+  "SELECT o.o_orderkey, c.c_name FROM orders o, customer c WHERE \
+   o.o_custkey = c.c_custkey AND o.o_totalprice > 100000"
+
+(* E2: the [10] pattern — predicate on the un-indexed column of a
+   correlated pair (amount has no index; quantity neither, but amount is
+   predicted by quantity... the exploitable direction is a predicate on
+   quantity introducing a range on an indexed amount).  For the purchase
+   table the indexed column is order_date and the correlated pair is
+   (order_date, ship_date) via the diff band. *)
+let purchase_ship_eq day =
+  Printf.sprintf "SELECT * FROM purchase WHERE ship_date = DATE '%s'"
+    (Date.to_string day)
+
+let purchase_ship_range lo hi =
+  Printf.sprintf
+    "SELECT * FROM purchase WHERE ship_date BETWEEN DATE '%s' AND DATE '%s'"
+    (Date.to_string lo) (Date.to_string hi)
+
+(* E4: the paper's cardinality example — projects active on a day *)
+let project_active_on day =
+  Printf.sprintf
+    "SELECT * FROM project WHERE start_date <= DATE '%s' AND end_date >= \
+     DATE '%s'"
+    (Date.to_string day) (Date.to_string day)
+
+let project_completed_within days =
+  Printf.sprintf
+    "SELECT * FROM project WHERE end_date - start_date <= %d" days
+
+(* E8: group/order with FD-redundant columns; in purchase, region is
+   functionally determined by customer iff each customer buys in one
+   region — we mine the real FDs instead of assuming.  The classic case
+   uses the TPC-D nation table: n_nationkey -> n_name. *)
+let fd_order_by =
+  "SELECT n.n_nationkey, n.n_name FROM nation n ORDER BY n.n_nationkey, \
+   n.n_name"
+
+let fd_group_by =
+  "SELECT n.n_nationkey, n.n_name, COUNT(*) AS cnt FROM customer c, nation \
+   n WHERE c.c_nationkey = n.n_nationkey GROUP BY n.n_nationkey, n.n_name"
+
+(* E12: a mixed advisor workload over purchase + project *)
+let advisor_workload =
+  [
+    "SELECT * FROM purchase WHERE ship_date = DATE '1999-06-15'";
+    "SELECT * FROM purchase WHERE ship_date BETWEEN DATE '1999-03-01' AND \
+     DATE '1999-03-07'";
+    "SELECT * FROM project WHERE start_date <= DATE '1998-09-01' AND \
+     end_date >= DATE '1998-09-01'";
+    "SELECT * FROM purchase WHERE amount > 480 AND quantity >= 48";
+  ]
+
+let parse sql = Sqlfe.Parser.parse_query_string sql

@@ -1,0 +1,25 @@
+(** Query suites for the experiments: SQL text shared by benches, tests
+    and examples. *)
+
+open Rel
+
+val join_elimination_suite : string list
+(** E1: FK joins whose parent contributes nothing but its key. *)
+
+val join_elimination_negative : string
+(** Control: the parent's columns {e are} used. *)
+
+val purchase_ship_eq : Date.t -> string
+val purchase_ship_range : Date.t -> Date.t -> string
+
+val project_active_on : Date.t -> string
+(** The paper's "projects active on a given day" (E4). *)
+
+val project_completed_within : int -> string
+
+val fd_order_by : string
+val fd_group_by : string
+
+val advisor_workload : string list
+
+val parse : string -> Sqlfe.Ast.query

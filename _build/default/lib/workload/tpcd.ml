@@ -1,0 +1,270 @@
+(* A scaled-down TPC-D-like star schema — the workload family of the
+   experiments in [6] (paper §2): region → nation → customer → orders →
+   lineitem with declared referential integrity and check constraints, so
+   join elimination and predicate introduction have the same raw material
+   the original evaluation used.
+
+   Also builds the §5 union-all scenario: twelve monthly [sales_<mm>]
+   tables, each carrying a CHECK constraint confining sale_date to its
+   month, queried through a 12-branch UNION ALL. *)
+
+open Rel
+
+type config = {
+  customers : int;
+  orders : int;
+  lineitems_per_order : int; (* average; actual 1..2x *)
+  sales_rows : int; (* per monthly sales table *)
+  seed : int;
+}
+
+let default_config =
+  {
+    customers = 1_000;
+    orders = 5_000;
+    lineitems_per_order = 3;
+    sales_rows = 400;
+    seed = 23;
+  }
+
+let region_names = [| "africa"; "america"; "asia"; "europe"; "mideast" |]
+
+let order_base = Date.of_ymd 1998 1 1
+let order_days = 730
+
+let statuses = [| "O"; "F"; "P" |]
+
+(* [fk_enforcement] selects whether referential integrity and check
+   constraints are checked on load or merely declared — experiment E10
+   compares the two (paper §1's data-warehouse loader scenario). *)
+let create_schema ?(fk_enforcement = Icdef.Informational) db =
+  ignore
+    (Database.create_table db
+       (Schema.make "region"
+          [
+            Schema.column ~nullable:false "r_regionkey" Value.TInt;
+            Schema.column ~nullable:false "r_name" Value.TString;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "nation"
+          [
+            Schema.column ~nullable:false "n_nationkey" Value.TInt;
+            Schema.column ~nullable:false "n_name" Value.TString;
+            Schema.column ~nullable:false "n_regionkey" Value.TInt;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "customer"
+          [
+            Schema.column ~nullable:false "c_custkey" Value.TInt;
+            Schema.column ~nullable:false "c_name" Value.TString;
+            Schema.column ~nullable:false "c_nationkey" Value.TInt;
+            Schema.column ~nullable:false "c_acctbal" Value.TFloat;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "orders"
+          [
+            Schema.column ~nullable:false "o_orderkey" Value.TInt;
+            Schema.column ~nullable:false "o_custkey" Value.TInt;
+            Schema.column ~nullable:false "o_orderdate" Value.TDate;
+            Schema.column ~nullable:false "o_totalprice" Value.TFloat;
+            Schema.column ~nullable:false "o_orderstatus" Value.TString;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "lineitem"
+          [
+            Schema.column ~nullable:false "l_orderkey" Value.TInt;
+            Schema.column ~nullable:false "l_linenumber" Value.TInt;
+            Schema.column ~nullable:false "l_quantity" Value.TInt;
+            Schema.column ~nullable:false "l_extendedprice" Value.TFloat;
+            Schema.column ~nullable:false "l_shipdate" Value.TDate;
+            Schema.column ~nullable:false "l_receiptdate" Value.TDate;
+          ]));
+  (* keys *)
+  List.iter
+    (fun (name, table, cols) ->
+      Database.add_constraint db
+        (Icdef.make ~name ~table (Icdef.Primary_key cols));
+      ignore
+        (Database.create_index db
+           ~name:(table ^ "_pk_idx_" ^ String.concat "_" cols)
+           ~table ~columns:cols ~unique:true ()))
+    [
+      ("region_pk", "region", [ "r_regionkey" ]);
+      ("nation_pk", "nation", [ "n_nationkey" ]);
+      ("customer_pk", "customer", [ "c_custkey" ]);
+      ("orders_pk", "orders", [ "o_orderkey" ]);
+    ];
+  Database.add_constraint db
+    (Icdef.make ~name:"lineitem_pk" ~table:"lineitem"
+       (Icdef.Primary_key [ "l_orderkey"; "l_linenumber" ]));
+  ignore
+    (Database.create_index db ~name:"lineitem_pk_idx" ~table:"lineitem"
+       ~columns:[ "l_orderkey"; "l_linenumber" ] ~unique:true ());
+  (* referential integrity — informational by default: loader-verified, as
+     in the paper's data-warehouse scenario (§1) *)
+  List.iter
+    (fun (name, table, cols, ref_table, ref_cols) ->
+      Database.add_constraint db
+        (Icdef.make ~enforcement:fk_enforcement ~name ~table
+           (Icdef.Foreign_key
+              { columns = cols; ref_table; ref_columns = ref_cols })))
+    [
+      ("nation_region_fk", "nation", [ "n_regionkey" ], "region",
+       [ "r_regionkey" ]);
+      ("customer_nation_fk", "customer", [ "c_nationkey" ], "nation",
+       [ "n_nationkey" ]);
+      ("orders_customer_fk", "orders", [ "o_custkey" ], "customer",
+       [ "c_custkey" ]);
+      ("lineitem_orders_fk", "lineitem", [ "l_orderkey" ], "orders",
+       [ "o_orderkey" ]);
+    ];
+  (* benchmark-style check constraints *)
+  Database.add_constraint db
+    (Icdef.make ~enforcement:fk_enforcement ~name:"lineitem_qty_check"
+       ~table:"lineitem"
+       (Icdef.Check
+          (Expr.Between
+             (Expr.column "l_quantity", Expr.int 1, Expr.int 50))));
+  (* secondary indexes *)
+  ignore
+    (Database.create_index db ~name:"orders_custkey_idx" ~table:"orders"
+       ~columns:[ "o_custkey" ] ());
+  ignore
+    (Database.create_index db ~name:"orders_orderdate_idx" ~table:"orders"
+       ~columns:[ "o_orderdate" ] ());
+  ignore
+    (Database.create_index db ~name:"lineitem_orderkey_idx" ~table:"lineitem"
+       ~columns:[ "l_orderkey" ] ());
+  ignore
+    (Database.create_index db ~name:"lineitem_receipt_idx" ~table:"lineitem"
+       ~columns:[ "l_receiptdate" ] ())
+
+let load_rows ?(config = default_config) db =
+  let rng = Stats.Rng.create config.seed in
+  Array.iteri
+    (fun i name ->
+      ignore
+        (Database.insert db ~table:"region"
+           (Tuple.make [ Value.Int i; Value.String name ])))
+    region_names;
+  for n = 0 to 24 do
+    ignore
+      (Database.insert db ~table:"nation"
+         (Tuple.make
+            [
+              Value.Int n;
+              Value.String (Printf.sprintf "nation%02d" n);
+              Value.Int (n mod 5);
+            ]))
+  done;
+  for c = 1 to config.customers do
+    ignore
+      (Database.insert db ~table:"customer"
+         (Tuple.make
+            [
+              Value.Int c;
+              Value.String (Printf.sprintf "customer%05d" c);
+              Value.Int (Stats.Rng.int rng 25);
+              Value.Float (Stats.Rng.float_range rng (-999.0) 9999.0);
+            ]))
+  done;
+  let lineitem_count = ref 0 in
+  for o = 1 to config.orders do
+    let odate = Date.add_days order_base (Stats.Rng.int rng order_days) in
+    let nlines = 1 + Stats.Rng.int rng (2 * config.lineitems_per_order) in
+    let total = ref 0.0 in
+    let lines =
+      List.init nlines (fun ln ->
+          let qty = 1 + Stats.Rng.int rng 50 in
+          let price = float_of_int qty *. Stats.Rng.float_range rng 900. 1100. in
+          total := !total +. price;
+          let ship = Date.add_days odate (1 + Stats.Rng.int rng 60) in
+          let receipt = Date.add_days ship (1 + Stats.Rng.int rng 30) in
+          Tuple.make
+            [
+              Value.Int o;
+              Value.Int (ln + 1);
+              Value.Int qty;
+              Value.Float price;
+              Value.Date ship;
+              Value.Date receipt;
+            ])
+    in
+    ignore
+      (Database.insert db ~table:"orders"
+         (Tuple.make
+            [
+              Value.Int o;
+              Value.Int (1 + Stats.Rng.int rng config.customers);
+              Value.Date odate;
+              Value.Float !total;
+              Value.String (Stats.Rng.pick rng statuses);
+            ]));
+    List.iter
+      (fun row ->
+        incr lineitem_count;
+        ignore (Database.insert db ~table:"lineitem" row))
+      lines
+  done;
+  !lineitem_count
+
+let load ?config db =
+  create_schema db;
+  ignore (load_rows ?config db)
+
+(* ---- the union-all monthly partition scenario (paper §5) ----------------- *)
+
+let month_table m = Printf.sprintf "sales_%02d" m
+
+let sales_year = 1999
+
+let create_sales ?(config = default_config) db =
+  let rng = Stats.Rng.create (config.seed + 1) in
+  for m = 1 to 12 do
+    let name = month_table m in
+    ignore
+      (Database.create_table db
+         (Schema.make name
+            [
+              Schema.column ~nullable:false "sale_id" Value.TInt;
+              Schema.column ~nullable:false "sale_date" Value.TDate;
+              Schema.column ~nullable:false "amount" Value.TFloat;
+              Schema.column ~nullable:false "store" Value.TInt;
+            ]));
+    (* the branch constraint: this month's range *)
+    Database.add_constraint db
+      (Icdef.make ~enforcement:Icdef.Informational
+         ~name:(name ^ "_month_check") ~table:name
+         (Icdef.Check
+            (Expr.Between
+               ( Expr.column "sale_date",
+                 Expr.date (Date.first_of_month ~year:sales_year ~month:m),
+                 Expr.date (Date.last_of_month ~year:sales_year ~month:m) ))));
+    let first = Date.first_of_month ~year:sales_year ~month:m in
+    let ndays = Date.days_in_month ~year:sales_year ~month:m in
+    for i = 1 to config.sales_rows do
+      ignore
+        (Database.insert db ~table:name
+           (Tuple.make
+              [
+                Value.Int ((m * 1_000_000) + i);
+                Value.Date (Date.add_days first (Stats.Rng.int rng ndays));
+                Value.Float (Stats.Rng.float_range rng 1.0 500.0);
+                Value.Int (1 + Stats.Rng.int rng 20);
+              ]))
+    done
+  done
+
+(* the 12-branch UNION ALL view text over a date range *)
+let sales_union_sql ~date_lo ~date_hi =
+  let branch m =
+    Printf.sprintf
+      "(SELECT sale_id, sale_date, amount, store FROM %s WHERE sale_date \
+       BETWEEN DATE '%s' AND DATE '%s')"
+      (month_table m) (Date.to_string date_lo) (Date.to_string date_hi)
+  in
+  String.concat " UNION ALL " (List.init 12 (fun i -> branch (i + 1)))

@@ -1,0 +1,43 @@
+(** A scaled-down TPC-D-like star schema — the workload family of the
+    experiments in [6] (paper §2): region → nation → customer → orders →
+    lineitem with declared referential integrity and check constraints,
+    so join elimination and predicate introduction have the same raw
+    material the original evaluation used.
+
+    Also builds the §5 union-all scenario: twelve monthly [sales_mm]
+    tables, each carrying a CHECK constraint confining sale_date to its
+    month, queried through a 12-branch UNION ALL. *)
+
+open Rel
+
+type config = {
+  customers : int;
+  orders : int;
+  lineitems_per_order : int;  (** average; actual 1..2× *)
+  sales_rows : int;  (** per monthly sales table *)
+  seed : int;
+}
+
+val default_config : config
+
+val create_schema : ?fk_enforcement:Icdef.enforcement -> Database.t -> unit
+(** Tables, keys (index-backed), RI and check constraints.
+    [fk_enforcement] defaults to [Informational] — the paper's
+    data-warehouse loader scenario (§1); experiment E10 compares it with
+    [Enforced]. *)
+
+val load_rows : ?config:config -> Database.t -> int
+(** Populate deterministically; returns the lineitem count. *)
+
+val load : ?config:config -> Database.t -> unit
+(** {!create_schema} + {!load_rows}. *)
+
+val month_table : int -> string
+(** ["sales_01"] … ["sales_12"]. *)
+
+val sales_year : int
+
+val create_sales : ?config:config -> Database.t -> unit
+
+val sales_union_sql : date_lo:Date.t -> date_hi:Date.t -> string
+(** The 12-branch UNION ALL query over a date range. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Database Date Exec Expr Icdef List Mining Opt Option QCheck QCheck_alcotest Rel Schema Stats Table Tuple Value Workload

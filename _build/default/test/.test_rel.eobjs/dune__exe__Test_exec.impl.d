@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Database Exec Executor Expr Gen Index List Operators Plan QCheck QCheck_alcotest Rel Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Checker Core Database Date Exec Expr Float Icdef List Mining Opt Option Printf Rel Result Stats String Table Tuple Value Workload

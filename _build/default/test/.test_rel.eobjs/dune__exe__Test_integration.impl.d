@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Checker Core Exec Float List Opt Option Rel Stats String Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Array Gen List Mining Option QCheck QCheck_alcotest Rel Schema Stats Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Core Database Date Exec Explain Expr Fun Interval List Mining Opt Option Printf QCheck QCheck_alcotest Rel Rewrite Selectivity Sqlfe Stats String Table Tuple Value Workload

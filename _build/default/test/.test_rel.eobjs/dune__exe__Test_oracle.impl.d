@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Core Database Exec Expr Fun Hashtbl Lazy List Opt Option Printf QCheck QCheck_alcotest Rel Sqlfe Stats String Table Tuple Value

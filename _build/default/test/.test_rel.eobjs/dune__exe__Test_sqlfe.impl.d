@@ -1,0 +1,1 @@
+test/test_sqlfe.ml: Alcotest Date Expr Float Icdef List QCheck QCheck_alcotest Rel Sqlfe Value

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Database Float Fun List Option QCheck QCheck_alcotest Rel Schema Stats Tuple Value

@@ -1,0 +1,640 @@
+(* Unit and property tests for the storage substrate: dates, values,
+   three-valued logic, schemas, tuples, the B+-tree, heap tables,
+   indexes, the constraint checker, the catalog, and CSV round trips. *)
+
+open Rel
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstring = Alcotest.string
+
+(* ---- dates ---------------------------------------------------------------- *)
+
+let test_date_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+      let t = Date.of_ymd y m d in
+      check (Alcotest.triple tint tint tint) "ymd" (y, m, d) (Date.to_ymd t))
+    [
+      (1970, 1, 1); (2000, 2, 29); (1999, 12, 31); (2001, 1, 1);
+      (1900, 3, 1); (2024, 2, 29); (1, 1, 1); (9999, 12, 31);
+    ]
+
+let test_date_epoch () =
+  check tint "epoch day" 0 (Date.of_ymd 1970 1 1);
+  check tint "day after epoch" 1 (Date.of_ymd 1970 1 2);
+  check tint "day before epoch" (-1) (Date.of_ymd 1969 12 31)
+
+let test_date_arithmetic () =
+  let d = Date.of_ymd 1999 12 15 in
+  check tstring "21 days later" "2000-01-05"
+    (Date.to_string (Date.add_days d 21));
+  check tint "diff" 21 (Date.diff_days (Date.add_days d 21) d)
+
+let test_date_parse () =
+  check tstring "roundtrip" "1999-11-15"
+    (Date.to_string (Date.of_string "1999-11-15"));
+  check (Alcotest.option tint) "bad month" None
+    (Option.map (fun x -> x) (Date.of_string_opt "1999-13-01"));
+  check (Alcotest.option tint) "bad day" None
+    (Option.map (fun x -> x) (Date.of_string_opt "1999-02-30"))
+
+let test_date_leap () =
+  check tbool "2000 leap" true (Date.is_leap_year 2000);
+  check tbool "1900 not leap" false (Date.is_leap_year 1900);
+  check tbool "2024 leap" true (Date.is_leap_year 2024);
+  check tint "feb 2024" 29 (Date.days_in_month ~year:2024 ~month:2)
+
+let date_qcheck =
+  QCheck.Test.make ~name:"date civil<->days roundtrip" ~count:1000
+    (QCheck.int_range (-700_000) 2_900_000)
+    (fun days ->
+      let y, m, d = Date.to_ymd days in
+      Date.of_ymd y m d = days)
+
+(* ---- values --------------------------------------------------------------- *)
+
+let test_value_compare_total () =
+  check tbool "int < int" true (Value.compare_total (Value.Int 1) (Value.Int 2) < 0);
+  check tbool "int vs float equal" true
+    (Value.compare_total (Value.Int 3) (Value.Float 3.0) = 0);
+  check tbool "null first" true
+    (Value.compare_total Value.Null (Value.Int min_int) < 0);
+  check tbool "strings" true
+    (Value.compare_total (Value.String "a") (Value.String "b") < 0)
+
+let test_value_sql_compare () =
+  check tbool "null incomparable" true
+    (Value.compare_sql Value.Null (Value.Int 1) = None);
+  check tbool "comparable" true
+    (Value.compare_sql (Value.Int 1) (Value.Int 1) = Some 0)
+
+let test_three_valued_logic () =
+  let open Value in
+  check tbool "T and U = U" true (truth_and True Unknown = Unknown);
+  check tbool "F and U = F" true (truth_and False Unknown = False);
+  check tbool "T or U = T" true (truth_or True Unknown = True);
+  check tbool "F or U = U" true (truth_or False Unknown = Unknown);
+  check tbool "not U = U" true (truth_not Unknown = Unknown)
+
+let truth_gen = QCheck.oneofl [ Value.True; Value.False; Value.Unknown ]
+
+let tvl_de_morgan =
+  QCheck.Test.make ~name:"3VL De Morgan" ~count:200
+    (QCheck.pair truth_gen truth_gen)
+    (fun (a, b) ->
+      Value.truth_not (Value.truth_and a b)
+      = Value.truth_or (Value.truth_not a) (Value.truth_not b))
+
+let test_value_arithmetic () =
+  check tbool "date minus date" true
+    (Value.sub (Value.Date 10) (Value.Date 3) = Value.Int 7);
+  check tbool "date plus int" true
+    (Value.add (Value.Date 10) (Value.Int 5) = Value.Date 15);
+  check tbool "null propagates" true (Value.add Value.Null (Value.Int 1) = Value.Null);
+  check tbool "div by zero is null" true
+    (Value.div (Value.Int 10) (Value.Int 0) = Value.Null);
+  check tbool "int widen" true (Value.mul (Value.Int 2) (Value.Float 1.5) = Value.Float 3.0)
+
+let test_value_conforms () =
+  check tbool "null ok anywhere" true (Value.conforms Value.TInt Value.Null);
+  check tbool "int for float" true (Value.conforms Value.TFloat (Value.Int 3));
+  check tbool "string not int" false
+    (Value.conforms Value.TInt (Value.String "x"))
+
+(* ---- expressions ----------------------------------------------------------- *)
+
+let row_binding =
+  Expr.Binding.of_schema
+    (Schema.make "t"
+       [
+         Schema.column "a" Value.TInt;
+         Schema.column "b" Value.TInt;
+         Schema.column "c" Value.TString;
+       ])
+
+let row a b c = Tuple.make [ a; b; c ]
+
+let test_expr_eval () =
+  let e =
+    Expr.Binop (Expr.Add, Expr.column "a", Expr.Binop (Expr.Mul, Expr.int 2, Expr.column "b"))
+  in
+  check tbool "a + 2b" true
+    (Expr.eval row_binding e (row (Value.Int 1) (Value.Int 3) Value.Null)
+    = Value.Int 7)
+
+let test_pred_eval () =
+  let p = Expr.Cmp (Expr.Gt, Expr.column "a", Expr.column "b") in
+  let sat a b =
+    Expr.satisfies row_binding p (row a b Value.Null)
+  in
+  check tbool "3 > 2" true (sat (Value.Int 3) (Value.Int 2));
+  check tbool "2 > 3 false" false (sat (Value.Int 2) (Value.Int 3));
+  check tbool "null unknown filters" false (sat Value.Null (Value.Int 3))
+
+let test_check_semantics () =
+  (* CHECK passes on UNKNOWN *)
+  let p = Expr.Cmp (Expr.Gt, Expr.column "a", Expr.int 0) in
+  check tbool "null passes check" false
+    (Expr.check_violated row_binding p (row Value.Null (Value.Int 1) Value.Null));
+  check tbool "violating row" true
+    (Expr.check_violated row_binding p (row (Value.Int (-1)) (Value.Int 1) Value.Null))
+
+let test_compile_agrees_with_eval () =
+  let preds =
+    [
+      Expr.Cmp (Expr.Le, Expr.column "a", Expr.column "b");
+      Expr.Between (Expr.column "a", Expr.int 0, Expr.int 10);
+      Expr.In_list (Expr.column "c", [ Value.String "x"; Value.Null ]);
+      Expr.Or
+        ( Expr.Is_null (Expr.column "a"),
+          Expr.Not (Expr.Cmp (Expr.Eq, Expr.column "b", Expr.int 5)) );
+    ]
+  in
+  let rows =
+    [
+      row (Value.Int 1) (Value.Int 5) (Value.String "x");
+      row Value.Null (Value.Int 5) (Value.String "y");
+      row (Value.Int 11) Value.Null Value.Null;
+    ]
+  in
+  List.iter
+    (fun p ->
+      let compiled = Expr.compile_pred row_binding p in
+      List.iter
+        (fun r ->
+          check tbool "compiled = eval" true
+            (compiled r = Expr.eval_pred row_binding p r))
+        rows)
+    preds
+
+(* ---- B+-tree ---------------------------------------------------------------- *)
+
+module Itree = Bptree.Make (Int)
+
+let test_bptree_basic () =
+  let t = Itree.create ~b:2 () in
+  for i = 1 to 100 do
+    ignore (Itree.insert t i (i * 10))
+  done;
+  Itree.validate t;
+  check tint "length" 100 (Itree.length t);
+  check (Alcotest.option tint) "find 42" (Some 420) (Itree.find t 42);
+  check (Alcotest.option tint) "find 0" None (Itree.find t 0);
+  check tbool "replace" true (Itree.insert t 42 0);
+  check (Alcotest.option tint) "replaced" (Some 0) (Itree.find t 42);
+  check tint "same length" 100 (Itree.length t)
+
+let test_bptree_delete () =
+  let t = Itree.create ~b:2 () in
+  for i = 1 to 50 do
+    ignore (Itree.insert t i i)
+  done;
+  for i = 1 to 50 do
+    if i mod 2 = 0 then check tbool "removed" true (Itree.remove t i)
+  done;
+  Itree.validate t;
+  check tint "half left" 25 (Itree.length t);
+  check tbool "remove missing" false (Itree.remove t 2);
+  for i = 1 to 50 do
+    check tbool "parity" (i mod 2 = 1) (Itree.find t i <> None)
+  done
+
+let test_bptree_range () =
+  let t = Itree.create ~b:3 () in
+  List.iter (fun i -> ignore (Itree.insert t i i)) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let keys lo hi =
+    List.map fst (Itree.range t ~lo ~hi)
+  in
+  check (Alcotest.list tint) "incl range" [ 3; 5; 7 ]
+    (keys (Itree.Incl 3) (Itree.Incl 7));
+  check (Alcotest.list tint) "excl range" [ 5 ]
+    (keys (Itree.Excl 3) (Itree.Excl 7));
+  check (Alcotest.list tint) "unbounded" [ 1; 2; 3; 5; 7; 8; 9 ]
+    (keys Itree.Unbounded Itree.Unbounded);
+  check (Alcotest.option (Alcotest.pair tint tint)) "min" (Some (1, 1))
+    (Itree.min_binding t);
+  check (Alcotest.option (Alcotest.pair tint tint)) "max" (Some (9, 9))
+    (Itree.max_binding t)
+
+module IntMap = Map.Make (Int)
+
+(* the central property: against a reference map, under random
+   insert/remove/replace traffic, with invariants checked throughout *)
+let bptree_vs_map =
+  QCheck.Test.make ~name:"bptree agrees with Map under random ops" ~count:100
+    QCheck.(list (pair (int_range 0 2) (int_range 0 200)))
+    (fun ops ->
+      let t = Itree.create ~b:2 () in
+      let m = ref IntMap.empty in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 | 1 ->
+              ignore (Itree.insert t k (k * 7));
+              m := IntMap.add k (k * 7) !m
+          | _ ->
+              ignore (Itree.remove t k);
+              m := IntMap.remove k !m)
+        ops;
+      Itree.validate t;
+      let from_tree = Itree.to_list t in
+      let from_map = IntMap.bindings !m in
+      from_tree = from_map)
+
+let bptree_range_vs_map =
+  QCheck.Test.make ~name:"bptree range agrees with Map filter" ~count:100
+    QCheck.(triple (list (int_range 0 300)) (int_range 0 300) (int_range 0 300))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Itree.create ~b:4 () in
+      let m = ref IntMap.empty in
+      List.iter
+        (fun k ->
+          ignore (Itree.insert t k k);
+          m := IntMap.add k k !m)
+        keys;
+      let got = Itree.range t ~lo:(Itree.Incl lo) ~hi:(Itree.Excl hi) in
+      let expected =
+        IntMap.bindings !m |> List.filter (fun (k, _) -> k >= lo && k < hi)
+      in
+      got = expected)
+
+(* ---- tables / indexes -------------------------------------------------------- *)
+
+let people_schema =
+  Schema.make "people"
+    [
+      Schema.column ~nullable:false "id" Value.TInt;
+      Schema.column "name" Value.TString;
+      Schema.column "age" Value.TInt;
+    ]
+
+let test_table_crud () =
+  let t = Table.create people_schema in
+  let r1 = Table.insert t (Tuple.make [ Value.Int 1; Value.String "ann"; Value.Int 31 ]) in
+  let r2 = Table.insert t (Tuple.make [ Value.Int 2; Value.String "bob"; Value.Int 25 ]) in
+  check tint "cardinality" 2 (Table.cardinality t);
+  check tbool "get" true
+    (Tuple.get (Table.get_exn t r1) 1 = Value.String "ann");
+  Table.update t r2 (Tuple.make [ Value.Int 2; Value.String "rob"; Value.Int 26 ]);
+  check tbool "updated" true
+    (Tuple.get (Table.get_exn t r2) 1 = Value.String "rob");
+  check tbool "delete" true (Table.delete t r1);
+  check tbool "gone" true (Table.get t r1 = None);
+  check tint "one left" 1 (Table.cardinality t);
+  check tint "mutations counted" 4 (Table.mutations t)
+
+let test_table_schema_enforcement () =
+  let t = Table.create people_schema in
+  Alcotest.check_raises "null pk" (Table.Row_error
+    "null value for NOT NULL column people.id")
+    (fun () ->
+      ignore (Table.insert t (Tuple.make [ Value.Null; Value.Null; Value.Null ])));
+  Alcotest.check_raises "arity"
+    (Table.Row_error "arity mismatch: 2 values for 3 columns (table people)")
+    (fun () -> ignore (Table.insert t (Tuple.make [ Value.Int 1; Value.Null ])))
+
+let test_index_maintenance () =
+  let t = Table.create people_schema in
+  let rids =
+    List.map
+      (fun (i, n, a) ->
+        Table.insert t
+          (Tuple.make [ Value.Int i; Value.String n; Value.Int a ]))
+      [ (1, "ann", 30); (2, "bob", 30); (3, "cid", 40) ]
+  in
+  let idx = Index.create ~name:"people_age" ~table:t ~columns:[ "age" ] () in
+  check tint "two distinct ages" 2 (Index.distinct_keys idx);
+  check tint "age 30 rids" 2
+    (List.length (Index.lookup_value idx (Value.Int 30)));
+  (* delete and re-check *)
+  let r1 = List.hd rids in
+  let row = Table.get_exn t r1 in
+  ignore (Table.delete t r1);
+  Index.on_delete idx r1 row;
+  check tint "age 30 now 1" 1
+    (List.length (Index.lookup_value idx (Value.Int 30)));
+  (* range *)
+  check tint "range 30..40" 2
+    (List.length
+       (Index.range idx ~lo:(Index.Incl (Value.Int 30))
+          ~hi:(Index.Incl (Value.Int 40))))
+
+let test_unique_index () =
+  let t = Table.create people_schema in
+  ignore (Table.insert t (Tuple.make [ Value.Int 1; Value.Null; Value.Null ]));
+  ignore (Table.insert t (Tuple.make [ Value.Int 1; Value.Null; Value.Null ]));
+  check tbool "duplicate detected" true
+    (try
+       ignore (Index.create ~name:"u" ~table:t ~columns:[ "id" ] ~unique:true ());
+       false
+     with Index.Unique_violation _ -> true)
+
+(* ---- database + constraints --------------------------------------------------- *)
+
+let setup_db () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "dept"
+          [
+            Schema.column ~nullable:false "dept_id" Value.TInt;
+            Schema.column "dname" Value.TString;
+          ]));
+  ignore
+    (Database.create_table db
+       (Schema.make "emp"
+          [
+            Schema.column ~nullable:false "emp_id" Value.TInt;
+            Schema.column "dept_id" Value.TInt;
+            Schema.column "salary" Value.TInt;
+          ]));
+  Database.add_constraint db
+    (Icdef.make ~name:"dept_pk" ~table:"dept" (Icdef.Primary_key [ "dept_id" ]));
+  Database.add_constraint db
+    (Icdef.make ~name:"emp_pk" ~table:"emp" (Icdef.Primary_key [ "emp_id" ]));
+  Database.add_constraint db
+    (Icdef.make ~name:"emp_dept_fk" ~table:"emp"
+       (Icdef.Foreign_key
+          { columns = [ "dept_id" ]; ref_table = "dept";
+            ref_columns = [ "dept_id" ] }));
+  Database.add_constraint db
+    (Icdef.make ~name:"salary_pos" ~table:"emp"
+       (Icdef.Check (Expr.Cmp (Expr.Gt, Expr.column "salary", Expr.int 0))));
+  ignore
+    (Database.insert db ~table:"dept"
+       (Tuple.make [ Value.Int 1; Value.String "eng" ]));
+  db
+
+let expect_violation name f =
+  match f () with
+  | exception Checker.Constraint_violation v ->
+      check tstring "violated constraint" name v.Checker.constraint_name
+  | _ -> Alcotest.fail "expected a constraint violation"
+
+let test_pk_enforced () =
+  let db = setup_db () in
+  ignore
+    (Database.insert db ~table:"emp"
+       (Tuple.make [ Value.Int 1; Value.Int 1; Value.Int 100 ]));
+  expect_violation "emp_pk" (fun () ->
+      Database.insert db ~table:"emp"
+        (Tuple.make [ Value.Int 1; Value.Int 1; Value.Int 200 ]))
+
+let test_fk_enforced () =
+  let db = setup_db () in
+  expect_violation "emp_dept_fk" (fun () ->
+      Database.insert db ~table:"emp"
+        (Tuple.make [ Value.Int 1; Value.Int 99; Value.Int 100 ]));
+  (* null FK passes *)
+  ignore
+    (Database.insert db ~table:"emp"
+       (Tuple.make [ Value.Int 2; Value.Null; Value.Int 100 ]))
+
+let test_fk_restricts_parent_delete () =
+  let db = setup_db () in
+  ignore
+    (Database.insert db ~table:"emp"
+       (Tuple.make [ Value.Int 1; Value.Int 1; Value.Int 100 ]));
+  expect_violation "emp_dept_fk" (fun () ->
+      ignore (Database.delete db ~table:"dept" 0);
+      ())
+
+let test_check_enforced () =
+  let db = setup_db () in
+  expect_violation "salary_pos" (fun () ->
+      Database.insert db ~table:"emp"
+        (Tuple.make [ Value.Int 1; Value.Int 1; Value.Int (-5) ]))
+
+let test_informational_not_checked () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "t" [ Schema.column "a" Value.TInt ]));
+  Database.add_constraint db
+    (Icdef.make ~enforcement:Icdef.Informational ~name:"a_pos" ~table:"t"
+       (Icdef.Check (Expr.Cmp (Expr.Gt, Expr.column "a", Expr.int 0))));
+  (* a violating insert is accepted *)
+  ignore (Database.insert db ~table:"t" (Tuple.make [ Value.Int (-1) ]));
+  check tint "row in" 1 (Table.cardinality (Database.table_exn db "t"));
+  (* but verify sees the violation *)
+  let ic = Option.get (Database.find_constraint db "a_pos") in
+  check tint "one violation" 1
+    (Checker.violation_count (Database.checker_env db) ic)
+
+let test_add_enforced_constraint_validates () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "t" [ Schema.column "a" Value.TInt ]));
+  ignore (Database.insert db ~table:"t" (Tuple.make [ Value.Int (-1) ]));
+  check tbool "rejected" true
+    (try
+       Database.add_constraint db
+         (Icdef.make ~name:"a_pos" ~table:"t"
+            (Icdef.Check (Expr.Cmp (Expr.Gt, Expr.column "a", Expr.int 0))));
+       false
+     with Database.Catalog_error _ -> true)
+
+let test_mutation_listener () =
+  let db = setup_db () in
+  let seen = ref [] in
+  Database.on_mutation db (fun m ->
+      let tag =
+        match m with
+        | Database.Inserted _ -> "ins"
+        | Database.Deleted _ -> "del"
+        | Database.Updated _ -> "upd"
+      in
+      seen := tag :: !seen);
+  let rid =
+    Database.insert db ~table:"emp"
+      (Tuple.make [ Value.Int 1; Value.Int 1; Value.Int 10 ])
+  in
+  Database.update db ~table:"emp" rid
+    (Tuple.make [ Value.Int 1; Value.Int 1; Value.Int 20 ]);
+  ignore (Database.delete db ~table:"emp" rid);
+  check (Alcotest.list tstring) "events" [ "ins"; "upd"; "del" ]
+    (List.rev !seen)
+
+(* ---- CSV --------------------------------------------------------------------- *)
+
+let test_csv_roundtrip () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "csvt"
+          [
+            Schema.column "i" Value.TInt;
+            Schema.column "s" Value.TString;
+            Schema.column "d" Value.TDate;
+            Schema.column "f" Value.TFloat;
+            Schema.column "b" Value.TBool;
+          ]));
+  let rows =
+    [
+      [ Value.Int 1; Value.String "plain"; Value.Date (Date.of_ymd 1999 1 2);
+        Value.Float 1.5; Value.Bool true ];
+      [ Value.Int 2; Value.String "with,comma and \"quotes\""; Value.Null;
+        Value.Null; Value.Bool false ];
+      [ Value.Null; Value.String ""; Value.Date 0; Value.Float (-3.25);
+        Value.Null ];
+    ]
+  in
+  List.iter
+    (fun r -> ignore (Database.insert db ~table:"csvt" (Tuple.make r)))
+    rows;
+  let path = Filename.temp_file "softdb" ".csv" in
+  Csvio.export (Database.table_exn db "csvt") path;
+  ignore
+    (Database.create_table db
+       (Schema.make "csvt2"
+          [
+            Schema.column "i" Value.TInt;
+            Schema.column "s" Value.TString;
+            Schema.column "d" Value.TDate;
+            Schema.column "f" Value.TFloat;
+            Schema.column "b" Value.TBool;
+          ]));
+  (* import expects the header names to exist in the target *)
+  let n =
+    Csvio.import db ~table:"csvt2"
+      (let tmp2 = Filename.temp_file "softdb" ".csv" in
+       let contents = In_channel.with_open_text path In_channel.input_all in
+       let fixed = contents in
+       Out_channel.with_open_text tmp2 (fun oc ->
+           Out_channel.output_string oc fixed);
+       tmp2)
+  in
+  check tint "imported" 3 n;
+  let a = Table.to_list (Database.table_exn db "csvt") in
+  let b = Table.to_list (Database.table_exn db "csvt2") in
+  check tbool "identical" true (List.for_all2 Tuple.equal a b);
+  Sys.remove path
+
+(* random tables survive an export/import cycle exactly *)
+let csv_roundtrip_prop =
+  let gen_value =
+    QCheck.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun i -> Value.Int i) (int_range (-1000) 1000);
+          map (fun f -> Value.Float (Float.of_int f /. 8.0)) (int_range (-800) 800);
+          map (fun s -> Value.String s)
+            (oneofl [ ""; "plain"; "with,comma"; "with\"quote"; "a'b";
+                      "multi word" ]);
+          map (fun b -> Value.Bool b) bool;
+          map (fun d -> Value.Date d) (int_range (-3000) 3000);
+        ])
+  in
+  let gen_rows =
+    QCheck.Gen.(list_size (int_range 0 40)
+      (map (fun (a, b, c, d, e) -> [ a; b; c; d; e ])
+         (tup5 gen_value gen_value gen_value gen_value gen_value)))
+  in
+  QCheck.Test.make ~name:"csv export/import roundtrip" ~count:60
+    (QCheck.make gen_rows)
+    (fun rows ->
+      (* coerce each column to a fixed type: null or the matching value *)
+      let coerce ty v = if Value.conforms ty v then v else Value.Null in
+      let tys =
+        [ Value.TInt; Value.TFloat; Value.TString; Value.TBool; Value.TDate ]
+      in
+      let rows =
+        List.map (fun r -> List.map2 coerce tys r) rows
+      in
+      let db = Database.create () in
+      let cols =
+        List.mapi
+          (fun i ty -> Schema.column (Printf.sprintf "c%d" i) ty)
+          tys
+      in
+      ignore (Database.create_table db (Schema.make "src" cols));
+      ignore (Database.create_table db (Schema.make "dst" cols));
+      List.iter
+        (fun r -> ignore (Database.insert db ~table:"src" (Tuple.make r)))
+        rows;
+      let path = Filename.temp_file "softdb_prop" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Csvio.export (Database.table_exn db "src") path;
+          let n = Csvio.import db ~table:"dst" path in
+          n = List.length rows
+          && List.for_all2 Tuple.equal
+               (Table.to_list (Database.table_exn db "src"))
+               (Table.to_list (Database.table_exn db "dst"))))
+
+let date_shift_prop =
+  QCheck.Test.make ~name:"add_days/diff_days inverse" ~count:500
+    QCheck.(pair (int_range (-500000) 2000000) (int_range (-10000) 10000))
+    (fun (d, n) ->
+      Date.diff_days (Date.add_days d n) d = n
+      && Date.add_days (Date.add_days d n) (-n) = d)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "rel"
+    [
+      ( "date",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_date_roundtrip;
+          Alcotest.test_case "epoch" `Quick test_date_epoch;
+          Alcotest.test_case "arithmetic" `Quick test_date_arithmetic;
+          Alcotest.test_case "parse" `Quick test_date_parse;
+          Alcotest.test_case "leap" `Quick test_date_leap;
+        ]
+        @ qsuite [ date_qcheck ] );
+      ( "value",
+        [
+          Alcotest.test_case "compare_total" `Quick test_value_compare_total;
+          Alcotest.test_case "compare_sql" `Quick test_value_sql_compare;
+          Alcotest.test_case "three-valued logic" `Quick test_three_valued_logic;
+          Alcotest.test_case "arithmetic" `Quick test_value_arithmetic;
+          Alcotest.test_case "conforms" `Quick test_value_conforms;
+        ]
+        @ qsuite [ tvl_de_morgan ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "pred eval" `Quick test_pred_eval;
+          Alcotest.test_case "check semantics" `Quick test_check_semantics;
+          Alcotest.test_case "compiled agrees" `Quick
+            test_compile_agrees_with_eval;
+        ] );
+      ( "bptree",
+        [
+          Alcotest.test_case "basic" `Quick test_bptree_basic;
+          Alcotest.test_case "delete" `Quick test_bptree_delete;
+          Alcotest.test_case "range" `Quick test_bptree_range;
+        ]
+        @ qsuite [ bptree_vs_map; bptree_range_vs_map ] );
+      ( "table",
+        [
+          Alcotest.test_case "crud" `Quick test_table_crud;
+          Alcotest.test_case "schema enforcement" `Quick
+            test_table_schema_enforcement;
+          Alcotest.test_case "index maintenance" `Quick test_index_maintenance;
+          Alcotest.test_case "unique index" `Quick test_unique_index;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "pk enforced" `Quick test_pk_enforced;
+          Alcotest.test_case "fk enforced" `Quick test_fk_enforced;
+          Alcotest.test_case "fk restrict delete" `Quick
+            test_fk_restricts_parent_delete;
+          Alcotest.test_case "check enforced" `Quick test_check_enforced;
+          Alcotest.test_case "informational unchecked" `Quick
+            test_informational_not_checked;
+          Alcotest.test_case "add constraint validates" `Quick
+            test_add_enforced_constraint_validates;
+          Alcotest.test_case "mutation listener" `Quick test_mutation_listener;
+        ] );
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip ]
+        @ qsuite [ csv_roundtrip_prop; date_shift_prop ] );
+    ]

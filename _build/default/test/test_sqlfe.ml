@@ -1,0 +1,359 @@
+(* Tests for the SQL frontend: lexing, parsing of every supported
+   statement form, error reporting, and the print→parse round-trip
+   property over generated queries. *)
+
+open Rel
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tstring = Alcotest.string
+
+let parse = Sqlfe.Parser.parse_statement
+let parse_q = Sqlfe.Parser.parse_query_string
+
+(* ---- lexer ------------------------------------------------------------- *)
+
+let test_lexer_basics () =
+  let toks = Sqlfe.Lexer.tokenize "SELECT a, b FROM t WHERE a <= 1.5e2 -- cmt" in
+  check tint "token count" 11 (List.length toks);
+  check tbool "float lexed" true
+    (List.exists (fun t -> t = Sqlfe.Lexer.FLOAT_LIT 150.0) toks)
+
+let test_lexer_strings () =
+  match Sqlfe.Lexer.tokenize "'it''s'" with
+  | [ Sqlfe.Lexer.STRING_LIT s; Sqlfe.Lexer.EOF ] ->
+      check tstring "escaped quote" "it's" s
+  | _ -> Alcotest.fail "bad string lexing"
+
+let test_lexer_operators () =
+  let toks = Sqlfe.Lexer.tokenize "<> != <= >= < > =" in
+  check tint "ops" 8 (List.length toks);
+  check tbool "neq twice" true
+    (List.filter (fun t -> t = Sqlfe.Lexer.NEQ) toks |> List.length = 2)
+
+let test_lexer_error () =
+  check tbool "bad char" true
+    (try
+       ignore (Sqlfe.Lexer.tokenize "select @ from t");
+       false
+     with Sqlfe.Lexer.Lex_error _ -> true)
+
+(* ---- parser: queries ------------------------------------------------------ *)
+
+let test_parse_select_shape () =
+  match parse_q "SELECT a, b AS bee FROM t u WHERE a > 1 ORDER BY a LIMIT 3" with
+  | Sqlfe.Ast.Select s ->
+      check tint "items" 2 (List.length s.Sqlfe.Ast.items);
+      check tbool "alias" true
+        (match s.Sqlfe.Ast.from with
+        | [ { Sqlfe.Ast.table = "t"; alias = Some "u" } ] -> true
+        | _ -> false);
+      check tbool "limit" true (s.Sqlfe.Ast.limit = Some 3);
+      check tint "order" 1 (List.length s.Sqlfe.Ast.order_by)
+  | _ -> Alcotest.fail "expected select"
+
+let test_parse_join_folds_to_where () =
+  match parse_q "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z = 1" with
+  | Sqlfe.Ast.Select s ->
+      check tint "two tables" 2 (List.length s.Sqlfe.Ast.from);
+      check tint "two conjuncts" 2
+        (List.length (Expr.conjuncts s.Sqlfe.Ast.where))
+  | _ -> Alcotest.fail "expected select"
+
+let test_parse_union_all () =
+  match parse_q "(SELECT * FROM a) UNION ALL (SELECT * FROM b) UNION ALL \
+                 (SELECT * FROM c)" with
+  | Sqlfe.Ast.Union_all qs -> check tint "branches" 3 (List.length qs)
+  | _ -> Alcotest.fail "expected union all"
+
+let test_parse_aggregates () =
+  match parse_q "SELECT dept, COUNT(*) AS n, SUM(salary), MIN(age) FROM emp \
+                 GROUP BY dept" with
+  | Sqlfe.Ast.Select s ->
+      check tint "items" 4 (List.length s.Sqlfe.Ast.items);
+      check tbool "count star" true
+        (List.exists
+           (function
+             | Sqlfe.Ast.Aggregate (Sqlfe.Ast.Count, None, Some "n") -> true
+             | _ -> false)
+           s.Sqlfe.Ast.items);
+      check tint "group" 1 (List.length s.Sqlfe.Ast.group_by)
+  | _ -> Alcotest.fail "expected select"
+
+let test_parse_predicates () =
+  let p = Sqlfe.Parser.parse_pred_string
+      "a BETWEEN 1 AND 10 AND b IN (1, 2, 3) OR NOT c IS NULL" in
+  (* OR binds loosest: (between AND in) OR (NOT is-null) *)
+  match p with
+  | Expr.Or (Expr.And _, Expr.Not (Expr.Is_null _)) -> ()
+  | _ -> Alcotest.failf "bad precedence: %s" (Expr.to_string_pred p)
+
+let test_parse_not_between () =
+  match Sqlfe.Parser.parse_pred_string "a NOT BETWEEN 1 AND 2" with
+  | Expr.Not (Expr.Between _) -> ()
+  | _ -> Alcotest.fail "NOT BETWEEN"
+
+let test_parse_paren_ambiguity () =
+  (* parenthesized predicate vs parenthesized expression *)
+  (match Sqlfe.Parser.parse_pred_string "(a = 1 AND b = 2) OR c = 3" with
+  | Expr.Or (Expr.And _, Expr.Cmp _) -> ()
+  | p -> Alcotest.failf "nested pred: %s" (Expr.to_string_pred p));
+  match Sqlfe.Parser.parse_pred_string "(a + b) * 2 > 6" with
+  | Expr.Cmp (Expr.Gt, Expr.Binop (Expr.Mul, _, _), _) -> ()
+  | p -> Alcotest.failf "paren expr: %s" (Expr.to_string_pred p)
+
+let test_parse_date_literal () =
+  match Sqlfe.Parser.parse_pred_string "d >= DATE '1999-11-15'" with
+  | Expr.Cmp (Expr.Ge, _, Expr.Const (Value.Date d)) ->
+      check tstring "date" "1999-11-15" (Date.to_string d)
+  | _ -> Alcotest.fail "date literal"
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      check tbool sql true
+        (try
+           ignore (parse sql);
+           false
+         with Sqlfe.Parser.Parse_error _ -> true))
+    [
+      "SELECT FROM t";
+      "SELECT * FROM";
+      "SELECT * FROM t WHERE";
+      "SELECT * FROM t GROUP a";
+      "INSERT INTO t VALUES";
+      "CREATE TABLE t (a BADTYPE)";
+      "SELECT * FROM t extra garbage +";
+    ]
+
+(* ---- parser: DDL / DML ----------------------------------------------------- *)
+
+let test_parse_create_table_modes () =
+  match
+    parse
+      "CREATE TABLE p (id INT PRIMARY KEY, a INT NOT NULL, CONSTRAINT c1 \
+       CHECK (a > 0) NOT ENFORCED, CONSTRAINT c2 CHECK (a < 100) SOFT \
+       CONFIDENCE 0.95, CONSTRAINT c3 UNIQUE (a) SOFT)"
+  with
+  | Sqlfe.Ast.Create_table { cols; constraints; _ } ->
+      check tint "cols" 2 (List.length cols);
+      check tint "constraints (incl inline pk)" 4 (List.length constraints);
+      let modes = List.map (fun c -> c.Sqlfe.Ast.con_mode) constraints in
+      check tbool "informational present" true
+        (List.mem Sqlfe.Ast.Mode_informational modes);
+      check tbool "ssc present" true
+        (List.mem (Sqlfe.Ast.Mode_soft (Some 0.95)) modes);
+      check tbool "asc present" true
+        (List.mem (Sqlfe.Ast.Mode_soft None) modes)
+  | _ -> Alcotest.fail "expected create table"
+
+let test_parse_fk_clause () =
+  match
+    parse
+      "ALTER TABLE emp ADD CONSTRAINT fk FOREIGN KEY (dept_id) REFERENCES \
+       dept (dept_id) NOT ENFORCED"
+  with
+  | Sqlfe.Ast.Alter_add_constraint
+      {
+        con =
+          {
+            Sqlfe.Ast.con_body = Icdef.Foreign_key { ref_table; _ };
+            con_mode;
+            _;
+          };
+        _;
+      } ->
+      check tstring "ref table" "dept" ref_table;
+      check tbool "informational" true (con_mode = Sqlfe.Ast.Mode_informational)
+  | _ -> Alcotest.fail "expected alter add fk"
+
+let test_parse_dml () =
+  (match parse "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Sqlfe.Ast.Insert { rows; columns = Some cols; _ } ->
+      check tint "rows" 2 (List.length rows);
+      check tint "cols" 2 (List.length cols)
+  | _ -> Alcotest.fail "insert");
+  (match parse "DELETE FROM t WHERE a = 1" with
+  | Sqlfe.Ast.Delete _ -> ()
+  | _ -> Alcotest.fail "delete");
+  match parse "UPDATE t SET a = a + 1, b = 'z' WHERE a < 5" with
+  | Sqlfe.Ast.Update { assignments; _ } ->
+      check tint "assignments" 2 (List.length assignments)
+  | _ -> Alcotest.fail "update"
+
+let test_parse_exception_table () =
+  match parse "CREATE EXCEPTION TABLE late FOR CONSTRAINT ship_ok" with
+  | Sqlfe.Ast.Create_exception_table
+      { name = "late"; constraint_name = "ship_ok" } ->
+      ()
+  | _ -> Alcotest.fail "exception table"
+
+let test_parse_having () =
+  match parse_q "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING \
+                 n > 2 ORDER BY n DESC" with
+  | Sqlfe.Ast.Select s -> (
+      match s.Sqlfe.Ast.having with
+      | Expr.Cmp (Expr.Gt, Expr.Col { Expr.col = "n"; _ }, _) -> ()
+      | p -> Alcotest.failf "bad having: %s" (Expr.to_string_pred p))
+  | _ -> Alcotest.fail "expected select"
+
+let test_parse_drop_index () =
+  match parse "DROP INDEX emp_salary" with
+  | Sqlfe.Ast.Drop_index "emp_salary" -> ()
+  | _ -> Alcotest.fail "drop index"
+
+let test_parse_script () =
+  let stmts =
+    Sqlfe.Parser.parse_script
+      "CREATE TABLE a (x INT); INSERT INTO a VALUES (1); SELECT * FROM a;"
+  in
+  check tint "three statements" 3 (List.length stmts)
+
+(* ---- printer round-trip ----------------------------------------------------- *)
+
+let roundtrip_cases =
+  [
+    "SELECT * FROM t";
+    "SELECT DISTINCT a FROM t";
+    "SELECT a, b AS bee FROM t, u WHERE t.a = u.a AND b > 3 ORDER BY a DESC \
+     LIMIT 10";
+    "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY n DESC";
+    "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING n > 2 ORDER \
+     BY n DESC";
+    "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2) AND c IS NOT \
+     NULL";
+    "(SELECT * FROM a) UNION ALL (SELECT * FROM b)";
+    "SELECT * FROM purchase WHERE ship_date = DATE '1999-12-15'";
+  ]
+
+let test_print_parse_roundtrip () =
+  List.iter
+    (fun sql ->
+      let q1 = parse_q sql in
+      let printed = Sqlfe.Printer.query_to_string q1 in
+      let q2 =
+        try parse_q printed
+        with Sqlfe.Parser.Parse_error m ->
+          Alcotest.failf "reparse of %S failed: %s" printed m
+      in
+      let p1 = Sqlfe.Printer.query_to_string q1
+      and p2 = Sqlfe.Printer.query_to_string q2 in
+      check tstring ("stable print: " ^ sql) p1 p2)
+    roundtrip_cases
+
+(* generated round-trip: random single-table selects *)
+let gen_query =
+  let open QCheck.Gen in
+  let col = oneofl [ "a"; "b"; "c"; "d" ] in
+  let value =
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-50) 50);
+        map (fun f -> Value.Float (Float.of_int f /. 4.0)) (int_range 0 100);
+        map (fun s -> Value.String s) (oneofl [ "x"; "y z"; "q'uote" ]);
+      ]
+  in
+  let cmp = oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] in
+  let simple_pred =
+    oneof
+      [
+        map3
+          (fun c col v -> Expr.Cmp (c, Expr.column col, Expr.Const v))
+          cmp col value;
+        map (fun col -> Expr.Is_null (Expr.column col)) col;
+        map3
+          (fun col a b ->
+            Expr.Between
+              ( Expr.column col,
+                Expr.Const (Value.Int (min a b)),
+                Expr.Const (Value.Int (max a b)) ))
+          col (int_range 0 20) (int_range 0 20);
+      ]
+  in
+  let pred =
+    frequency
+      [
+        (3, simple_pred);
+        (1, map2 (fun a b -> Expr.And (a, b)) simple_pred simple_pred);
+        (1, map2 (fun a b -> Expr.Or (a, b)) simple_pred simple_pred);
+        (1, map (fun a -> Expr.Not a) simple_pred);
+      ]
+  in
+  let items =
+    oneof
+      [
+        return [ Sqlfe.Ast.Star ];
+        map
+          (fun cols ->
+            List.map (fun c -> Sqlfe.Ast.Scalar (Expr.column c, None)) cols)
+          (map2 (fun a b -> List.sort_uniq compare [ a; b ]) col col);
+      ]
+  in
+  map3
+    (fun items pred limit ->
+      Sqlfe.Ast.Select
+        {
+          Sqlfe.Ast.select_defaults with
+          items;
+          from = [ { Sqlfe.Ast.table = "t"; alias = None } ];
+          where = pred;
+          limit;
+        })
+    items pred
+    (oneof [ return None; map (fun n -> Some n) (int_range 1 100) ])
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"print/parse fixpoint on generated queries"
+    ~count:300
+    (QCheck.make gen_query ~print:Sqlfe.Printer.query_to_string)
+    (fun q ->
+      let p1 = Sqlfe.Printer.query_to_string q in
+      let q2 = Sqlfe.Parser.parse_query_string p1 in
+      let p2 = Sqlfe.Printer.query_to_string q2 in
+      p1 = p2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sqlfe"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "strings" `Quick test_lexer_strings;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "select shape" `Quick test_parse_select_shape;
+          Alcotest.test_case "join folds" `Quick test_parse_join_folds_to_where;
+          Alcotest.test_case "union all" `Quick test_parse_union_all;
+          Alcotest.test_case "aggregates" `Quick test_parse_aggregates;
+          Alcotest.test_case "predicate precedence" `Quick
+            test_parse_predicates;
+          Alcotest.test_case "not between" `Quick test_parse_not_between;
+          Alcotest.test_case "paren ambiguity" `Quick test_parse_paren_ambiguity;
+          Alcotest.test_case "date literal" `Quick test_parse_date_literal;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "ddl-dml",
+        [
+          Alcotest.test_case "create table modes" `Quick
+            test_parse_create_table_modes;
+          Alcotest.test_case "fk clause" `Quick test_parse_fk_clause;
+          Alcotest.test_case "dml" `Quick test_parse_dml;
+          Alcotest.test_case "exception table" `Quick
+            test_parse_exception_table;
+          Alcotest.test_case "having" `Quick test_parse_having;
+          Alcotest.test_case "drop index" `Quick test_parse_drop_index;
+          Alcotest.test_case "script" `Quick test_parse_script;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "roundtrip cases" `Quick
+            test_print_parse_roundtrip;
+        ]
+        @ qsuite [ roundtrip_prop ] );
+    ]

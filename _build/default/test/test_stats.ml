@@ -1,0 +1,255 @@
+(* Tests for statistics: RNG determinism and distribution sanity,
+   reservoir sampling, histograms (mass conservation, selectivity
+   monotonicity, accuracy against ground truth), column stats, RUNSTATS. *)
+
+open Rel
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tfloat = Alcotest.float
+
+(* ---- rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Stats.Rng.create 42 and b = Stats.Rng.create 42 in
+  for _ = 1 to 100 do
+    check tint "same stream" (Stats.Rng.int a 1000) (Stats.Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Stats.Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Stats.Rng.int r 7 in
+    check tbool "in [0,7)" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1000 do
+    let v = Stats.Rng.float r in
+    check tbool "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let r = Stats.Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Stats.Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check tbool "within 5% of uniform" true
+        (Float.abs (float_of_int c -. 10_000.0) < 500.0))
+    buckets
+
+let test_rng_gaussian_moments () =
+  let r = Stats.Rng.create 9 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Stats.Rng.gaussian r in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check (tfloat 0.05) "mean 0" 0.0 mean;
+  check (tfloat 0.05) "var 1" 1.0 var
+
+let test_zipf () =
+  let r = Stats.Rng.create 3 in
+  let cum = Stats.Rng.zipf_table 10 1.0 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 20_000 do
+    let k = Stats.Rng.zipf r cum in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check tbool "rank 1 most frequent" true (counts.(1) > counts.(2));
+  check tbool "rank 2 above rank 5" true (counts.(2) > counts.(5))
+
+(* ---- sampling ---------------------------------------------------------------- *)
+
+let test_reservoir_size () =
+  let s = Stats.Sample.create 50 in
+  for i = 1 to 1000 do
+    Stats.Sample.offer s i
+  done;
+  check tint "size capped" 50 (Stats.Sample.size s);
+  check tint "seen all" 1000 (Stats.Sample.seen s);
+  List.iter
+    (fun x -> check tbool "element from stream" true (x >= 1 && x <= 1000))
+    (Stats.Sample.to_list s)
+
+let test_reservoir_unbiased () =
+  (* offer 0..99 into capacity-10 reservoirs many times; each element
+     should appear ~10% of the time *)
+  let hits = Array.make 100 0 in
+  for seed = 0 to 999 do
+    let s = Stats.Sample.create ~seed 10 in
+    for i = 0 to 99 do
+      Stats.Sample.offer s i
+    done;
+    List.iter (fun i -> hits.(i) <- hits.(i) + 1) (Stats.Sample.to_list s)
+  done;
+  Array.iter
+    (fun h -> check tbool "within 3x of expectation" true (h > 30 && h < 300))
+    hits
+
+(* ---- histograms ---------------------------------------------------------------- *)
+
+let ints l = List.map (fun i -> Value.Int i) l
+
+let test_histogram_mass () =
+  let values = List.init 1000 (fun i -> i mod 97) in
+  let h = Stats.Histogram.build ~buckets:16 (ints values) in
+  check tint "total" 1000 (Stats.Histogram.total h);
+  let bucket_sum =
+    List.fold_left
+      (fun acc b -> acc + b.Stats.Histogram.count)
+      0 (Stats.Histogram.buckets h)
+  in
+  check tint "mass conserved" 1000 bucket_sum
+
+let test_histogram_range_estimates () =
+  (* uniform 0..999, estimate ranges *)
+  let values = List.init 10_000 (fun i -> i mod 1000) in
+  let h = Stats.Histogram.build ~buckets:32 (ints values) in
+  let sel lo hi =
+    Stats.Histogram.selectivity_range h
+      ~lo:(Value.Int lo, `Incl) ~hi:(Value.Int hi, `Incl) ()
+  in
+  check (tfloat 0.03) "10% range" 0.10 (sel 100 199);
+  check (tfloat 0.03) "50% range" 0.50 (sel 0 499);
+  check (tfloat 0.02) "tiny range" 0.001 (sel 500 500)
+
+let test_histogram_eq_estimates () =
+  let values = List.concat_map (fun i -> List.init 10 (fun _ -> i)) (List.init 100 Fun.id) in
+  let h = Stats.Histogram.build ~buckets:10 (ints values) in
+  check (tfloat 0.005) "eq sel ~1/100" 0.01
+    (Stats.Histogram.selectivity_eq h (Value.Int 42))
+
+let test_histogram_skew () =
+  (* heavy hitter: value 0 is half the data; equal-value runs must not
+     straddle buckets *)
+  let values = List.init 1000 (fun i -> if i < 500 then 0 else i) in
+  let h = Stats.Histogram.build ~buckets:8 (ints values) in
+  check (tfloat 0.08) "hitter eq" 0.5
+    (Stats.Histogram.selectivity_eq h (Value.Int 0))
+
+let test_histogram_empty_and_null () =
+  let h = Stats.Histogram.build [] in
+  check tint "empty" 0 (Stats.Histogram.total h);
+  let h2 = Stats.Histogram.build [ Value.Null; Value.Null ] in
+  check tint "nulls excluded" 0 (Stats.Histogram.total h2)
+
+let histogram_mass_prop =
+  QCheck.Test.make ~name:"histogram conserves mass" ~count:200
+    QCheck.(pair (list (int_range (-50) 50)) (int_range 1 20))
+    (fun (values, buckets) ->
+      let h = Stats.Histogram.build ~buckets (ints values) in
+      Stats.Histogram.total h = List.length values
+      && List.fold_left
+           (fun acc b -> acc + b.Stats.Histogram.count)
+           0 (Stats.Histogram.buckets h)
+         = List.length values)
+
+let histogram_monotone_prop =
+  QCheck.Test.make ~name:"rows_le monotone in v" ~count:200
+    QCheck.(pair (list (int_range 0 100)) (pair (int_range 0 100) (int_range 0 100)))
+    (fun (values, (a, b)) ->
+      QCheck.assume (values <> []);
+      let h = Stats.Histogram.build ~buckets:8 (ints values) in
+      let lo = min a b and hi = max a b in
+      Stats.Histogram.rows_le h (Value.Int lo)
+      <= Stats.Histogram.rows_le h (Value.Int hi) +. 1e-9)
+
+(* ---- column stats + runstats ----------------------------------------------------- *)
+
+let test_col_stats () =
+  let values =
+    ints [ 5; 5; 5; 1; 2; 3 ] @ [ Value.Null; Value.Null ]
+  in
+  let cs = Stats.Col_stats.build ~column:"c" values in
+  check tint "rows" 8 cs.Stats.Col_stats.row_count;
+  check tint "nulls" 2 cs.Stats.Col_stats.null_count;
+  check tint "ndv" 4 cs.Stats.Col_stats.distinct;
+  check tbool "low" true (cs.Stats.Col_stats.low = Some (Value.Int 1));
+  check tbool "high" true (cs.Stats.Col_stats.high = Some (Value.Int 5));
+  check (tfloat 1e-9) "eq from frequents" (3.0 /. 8.0)
+    (Stats.Col_stats.sel_eq cs (Value.Int 5));
+  check (tfloat 1e-9) "null fraction" 0.25 (Stats.Col_stats.sel_is_null cs)
+
+let test_runstats_staleness () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "t" [ Schema.column "a" Value.TInt ]));
+  for i = 1 to 10 do
+    ignore (Database.insert db ~table:"t" (Tuple.make [ Value.Int i ]))
+  done;
+  let stats = Stats.Runstats.create () in
+  ignore (Stats.Runstats.runstats stats (Database.table_exn db "t"));
+  check tint "fresh" 0
+    (Stats.Runstats.staleness stats (Database.table_exn db "t"));
+  for i = 11 to 15 do
+    ignore (Database.insert db ~table:"t" (Tuple.make [ Value.Int i ]))
+  done;
+  check tint "five stale" 5
+    (Stats.Runstats.staleness stats (Database.table_exn db "t"));
+  let ts = Option.get (Stats.Runstats.find stats "t") in
+  check tint "cardinality at snapshot" 10 ts.Stats.Runstats.cardinality;
+  check tbool "column stats reachable" true
+    (Stats.Runstats.column_stats stats ~table:"t" ~column:"a" <> None)
+
+let test_runstats_sampled () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "t" [ Schema.column "a" Value.TInt ]));
+  for i = 1 to 1000 do
+    ignore (Database.insert db ~table:"t" (Tuple.make [ Value.Int (i mod 10) ]))
+  done;
+  let stats = Stats.Runstats.create () in
+  let ts = Stats.Runstats.runstats ~sample:100 stats (Database.table_exn db "t") in
+  check tint "exact cardinality despite sampling" 1000
+    ts.Stats.Runstats.cardinality;
+  let cs = Option.get (Stats.Runstats.column_stats stats ~table:"t" ~column:"a") in
+  check tbool "ndv from sample close" true
+    (cs.Stats.Col_stats.distinct <= 10 && cs.Stats.Col_stats.distinct >= 8)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Slow test_rng_uniformity;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "zipf" `Slow test_zipf;
+        ] );
+      ( "sample",
+        [
+          Alcotest.test_case "size" `Quick test_reservoir_size;
+          Alcotest.test_case "unbiased" `Slow test_reservoir_unbiased;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "mass" `Quick test_histogram_mass;
+          Alcotest.test_case "range estimates" `Quick
+            test_histogram_range_estimates;
+          Alcotest.test_case "eq estimates" `Quick test_histogram_eq_estimates;
+          Alcotest.test_case "skew" `Quick test_histogram_skew;
+          Alcotest.test_case "empty/null" `Quick test_histogram_empty_and_null;
+        ]
+        @ qsuite [ histogram_mass_prop; histogram_monotone_prop ] );
+      ( "col_stats",
+        [
+          Alcotest.test_case "basic" `Quick test_col_stats;
+          Alcotest.test_case "runstats staleness" `Quick
+            test_runstats_staleness;
+          Alcotest.test_case "runstats sampled" `Quick test_runstats_sampled;
+        ] );
+    ]
