@@ -1,0 +1,21 @@
+.PHONY: all build test check bench fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# the CI gate: everything compiles and every suite passes
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+fmt:
+	dune fmt
+
+clean:
+	dune clean

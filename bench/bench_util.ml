@@ -111,3 +111,26 @@ let truncate_sql ?(width = 58) sql =
 let qerror est truth =
   let est = max est 1.0 and truth = max truth 1.0 in
   if est > truth then est /. truth else truth /. est
+
+(* ---- observability dump -------------------------------------------------
+
+   Print the facade's metrics registry and query-log summary after an
+   experiment, so a bench run doubles as a smoke test of the feedback
+   loop (sys.metrics / sys.query_log carry the same values). *)
+
+let print_observability sdb =
+  let m = Core.Softdb.metrics sdb in
+  let log = Core.Softdb.query_log sdb in
+  let rows =
+    Obs.Metrics.snapshot m
+    |> List.map (fun (name, kind, v) -> [ S name; S kind; F v ])
+  in
+  if rows <> [] then
+    print_table ~title:"observability: metrics snapshot"
+      ~header:[ "metric"; "kind"; "value" ]
+      rows;
+  Printf.printf
+    "observability: %d queries logged, mean q-error %.2f, worst %.2f\n"
+    (Obs.Query_log.length log)
+    (Obs.Query_log.mean_q_error log)
+    (Obs.Query_log.worst_q_error log)

@@ -136,7 +136,11 @@ let e2 () =
       "E2b Band width vs. confidence (the paper's \"should the database \
        also keep eps70 and eps80?\")"
     ~header:[ "confidence"; "d_min"; "d_max"; "width"; "measured coverage" ]
-    band_rows
+    band_rows;
+  (* run the workload once through the facade so the metrics registry and
+     query log fill, then dump them — the cardinality-feedback view *)
+  List.iter (fun sql -> ignore (Core.Softdb.query sdb sql)) queries;
+  print_observability sdb
 
 (* ============================================================================ *)
 (* E3 — join-hole range trimming (paper §2, [8])                                 *)

@@ -10,14 +10,29 @@
      \constraints    show the (hard/informational) integrity constraints
      \advise SQL;... mine + select soft constraints for the given workload
      \off SQL        run one query with all soft-constraint machinery off
+     \stats          dump the metrics registry and query-log summary
      \quit
+
+   EXPLAIN ANALYZE SELECT ... executes the query instrumented and prints
+   the plan annotated with estimated vs actual rows and per-node q-error.
 *)
 
 let print_outcome = function
   | Core.Softdb.Rows r -> Fmt.pr "%a" Exec.Executor.pp_result r
   | Core.Softdb.Affected n -> Fmt.pr "%d rows affected@." n
   | Core.Softdb.Report r -> Fmt.pr "%a" Opt.Explain.pp r
+  | Core.Softdb.Analyzed a -> Fmt.pr "%a" Opt.Explain.pp_analysis a
   | Core.Softdb.Done msg -> Fmt.pr "%s@." msg
+
+let print_stats sdb =
+  let m = Core.Softdb.metrics sdb in
+  let log = Core.Softdb.query_log sdb in
+  Fmt.pr "-- metrics ----------------------------------------------------@.";
+  Fmt.pr "%a@." Obs.Metrics.pp m;
+  Fmt.pr "-- query log --------------------------------------------------@.";
+  Fmt.pr "queries logged : %d@." (Obs.Query_log.length log);
+  Fmt.pr "mean q-error   : %.2f@." (Obs.Query_log.mean_q_error log);
+  Fmt.pr "worst q-error  : %.2f@." (Obs.Query_log.worst_q_error log)
 
 let handle_error f =
   try f () with
@@ -99,6 +114,7 @@ let exec_line sdb line =
             print_outcome
               (Core.Softdb.Rows (Core.Softdb.query_baseline sdb rest)))
     | "\\demo" -> load_demo sdb rest
+    | "\\stats" -> print_stats sdb
     | "\\quit" | "\\q" -> exit 0
     | other -> Fmt.epr "unknown command %s@." other
   end
@@ -118,10 +134,11 @@ let repl sdb =
   in
   loop ()
 
-let run_script sdb path =
+let run_script sdb ~stats path =
   let text = In_channel.with_open_text path In_channel.input_all in
   handle_error (fun () ->
-      List.iter print_outcome (Core.Softdb.exec_script sdb text))
+      List.iter print_outcome (Core.Softdb.exec_script sdb text));
+  if stats then print_stats sdb
 
 (* ---- cmdliner wiring --------------------------------------------------- *)
 
@@ -135,9 +152,15 @@ let run_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.sql")
   in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"dump metrics and query-log after the run")
+  in
   let doc = "execute a SQL script" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const (fun f -> run_script (Core.Softdb.create ()) f) $ file)
+    Term.(
+      const (fun stats f -> run_script (Core.Softdb.create ()) ~stats f)
+      $ stats $ file)
 
 let demo_cmd =
   let which =

@@ -11,6 +11,7 @@ let show title outcome =
   | Core.Softdb.Rows r -> Fmt.pr "%a" Exec.Executor.pp_result r
   | Core.Softdb.Affected n -> Fmt.pr "%d rows affected@." n
   | Core.Softdb.Report r -> Fmt.pr "%a" Opt.Explain.pp r
+  | Core.Softdb.Analyzed a -> Fmt.pr "%a" Opt.Explain.pp_analysis a
   | Core.Softdb.Done msg -> Fmt.pr "%s@." msg);
   Fmt.pr "@."
 
@@ -45,6 +46,10 @@ let () =
   Fmt.pr "%a@." Core.Sc_catalog.pp (Core.Softdb.catalog sdb);
 
   exec "EXPLAIN SELECT * FROM employee WHERE salary > 100";
+
+  (* EXPLAIN ANALYZE executes the plan instrumented: estimated vs actual
+     rows and the q-error at every node *)
+  exec "EXPLAIN ANALYZE SELECT * FROM employee WHERE salary > 100";
 
   (* an update that violates the soft constraint does NOT fail — the soft
      constraint is dropped instead (the paper's key semantic difference) *)

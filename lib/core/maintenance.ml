@@ -460,40 +460,57 @@ let promote_survivors ?(after = 100) t =
 
 (* ---- SSC statistics refresh (the periodic "bring up to date" of §1) ------- *)
 
+(* Measured confidence of a statement against the current data — band
+   coverage, FD agreement, check satisfaction.  [None] when the statement
+   class has no scalar measure (or the table is gone).  Also the
+   "observed selectivity" the cardinality-feedback loop compares against
+   the stored confidence. *)
+let measured_confidence db (sc : Soft_constraint.t) =
+  match Database.find_table db sc.Soft_constraint.table with
+  | None -> None
+  | Some tbl -> (
+      match sc.Soft_constraint.statement with
+      | Soft_constraint.Diff_stmt (d, band) ->
+          Some (Mining.Diff_band.coverage tbl d band)
+      | Soft_constraint.Corr_stmt (c, band) ->
+          Some
+            (Mining.Correlation.coverage tbl c
+               ~eps:band.Mining.Correlation.eps)
+      | Soft_constraint.Fd_stmt fd -> Some (Mining.Fd_mine.confidence tbl fd)
+      | Soft_constraint.Ic_stmt (Icdef.Check p) ->
+          let binding = Expr.Binding.of_schema (Table.schema tbl) in
+          let total = ref 0 and ok = ref 0 in
+          Table.iter tbl ~f:(fun row ->
+              incr total;
+              if not (Expr.check_violated binding p row) then incr ok);
+          if !total = 0 then Some 1.0
+          else Some (float_of_int !ok /. float_of_int !total)
+      | _ -> None)
+
 let refresh_statistics t =
   List.iter
     (fun (sc : Soft_constraint.t) ->
       if not (Soft_constraint.is_absolute sc) then begin
-        match Database.find_table t.db sc.Soft_constraint.table with
+        match measured_confidence t.db sc with
+        | Some c ->
+            sc.Soft_constraint.kind <- Soft_constraint.Statistical c;
+            sc.Soft_constraint.installed_at_mutations <-
+              Sc_catalog.mutations_of t.db sc.Soft_constraint.table;
+            record t sc.Soft_constraint.name
+              (Printf.sprintf "statistics refreshed: confidence %.4f" c)
         | None -> ()
-        | Some tbl ->
-            let measured =
-              match sc.Soft_constraint.statement with
-              | Soft_constraint.Diff_stmt (d, band) ->
-                  Some (Mining.Diff_band.coverage tbl d band)
-              | Soft_constraint.Corr_stmt (c, band) ->
-                  Some
-                    (Mining.Correlation.coverage tbl c
-                       ~eps:band.Mining.Correlation.eps)
-              | Soft_constraint.Fd_stmt fd ->
-                  Some (Mining.Fd_mine.confidence tbl fd)
-              | Soft_constraint.Ic_stmt (Icdef.Check p) ->
-                  let binding = Expr.Binding.of_schema (Table.schema tbl) in
-                  let total = ref 0 and ok = ref 0 in
-                  Table.iter tbl ~f:(fun row ->
-                      incr total;
-                      if not (Expr.check_violated binding p row) then incr ok);
-                  if !total = 0 then Some 1.0
-                  else Some (float_of_int !ok /. float_of_int !total)
-              | _ -> None
-            in
-            (match measured with
-            | Some c ->
-                sc.Soft_constraint.kind <- Soft_constraint.Statistical c;
-                sc.Soft_constraint.installed_at_mutations <-
-                  Table.mutations tbl;
-                record t sc.Soft_constraint.name
-                  (Printf.sprintf "statistics refreshed: confidence %.4f" c)
-            | None -> ())
       end)
     (Sc_catalog.all t.catalog)
+
+(* ---- feedback hooks -------------------------------------------------------- *)
+
+(* Flag [name] for a statistics-style refresh through the existing repair
+   queue (deduplicated).  Used by the cardinality-feedback loop when an
+   observed selectivity contradicts the stored confidence badly. *)
+let queue_refresh t name =
+  if not (List.exists (fun n -> norm n = norm name) t.repair_queue) then begin
+    t.repair_queue <- t.repair_queue @ [ name ];
+    record t name "queued for refresh (cardinality feedback)"
+  end
+
+let repair_queue t = t.repair_queue

@@ -33,6 +33,10 @@ val set_policy : t -> string -> policy -> unit
 val events : t -> event list
 (** The maintenance log, oldest first. *)
 
+val record : t -> string -> string -> unit
+(** [record t sc_name action] appends to the maintenance log — also used
+    by the cardinality-feedback loop in {!Softdb}. *)
+
 val track_fd : t -> Soft_constraint.t -> unit
 (** Build the incremental lhs→rhs map for an FD soft constraint so
     violations are detected in O(1) per insert; flips the SC to
@@ -56,3 +60,18 @@ val refresh_statistics : t -> unit
     bands, FD agreement, check satisfaction) and reset its currency
     anchor — the periodic "brought up to date, just as other catalog
     statistics" of §1. *)
+
+val measured_confidence : Database.t -> Soft_constraint.t -> float option
+(** The measure {!refresh_statistics} applies, exposed on its own: band
+    coverage / FD agreement / check satisfaction against current data,
+    [None] when the statement class has no scalar measure.  This is the
+    "observed selectivity" the cardinality-feedback loop compares with
+    the stored confidence. *)
+
+val queue_refresh : t -> string -> unit
+(** Flag a soft constraint for refresh through the existing repair queue
+    (deduplicated) — the feedback loop's escalation when observation and
+    stored confidence diverge badly. *)
+
+val repair_queue : t -> string list
+(** The pending repair/refresh queue, oldest first. *)

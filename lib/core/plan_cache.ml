@@ -33,8 +33,6 @@ type entry = {
 
 type t = { sdb : Softdb.t; mutable entries : entry list }
 
-let create sdb = { sdb; entries = [] }
-
 exception No_such_plan of string
 
 (* Rewrite-critical dependencies: every SC a non-estimation-only rewrite
@@ -85,6 +83,38 @@ let dep_valid t dep =
 
 let is_valid t entry =
   (not entry.invalidated) && List.for_all (dep_valid t) entry.deps
+
+(* Creating the cache also binds the sys.plan_cache virtual table to it,
+   so the cache's state is SQL-queryable through the facade. *)
+let create sdb =
+  let t = { sdb; entries = [] } in
+  Softdb.set_plan_cache_source sdb (fun () ->
+      List.rev_map
+        (fun e ->
+          Obs.Sys_tables.plan_cache_row ~name:e.name ~sql:e.sql
+            ~valid:(is_valid t e) ~dependencies:e.deps ~fast_runs:e.fast_runs
+            ~backup_runs:e.backup_runs)
+        t.entries);
+  t
+
+type cache_stats = {
+  entries : int;
+  valid : int;
+  fast_runs : int;
+  backup_runs : int;
+}
+
+let stats t =
+  List.fold_left
+    (fun acc e ->
+      {
+        entries = acc.entries + 1;
+        valid = (acc.valid + if is_valid t e then 1 else 0);
+        fast_runs = acc.fast_runs + e.fast_runs;
+        backup_runs = acc.backup_runs + e.backup_runs;
+      })
+    { entries = 0; valid = 0; fast_runs = 0; backup_runs = 0 }
+    t.entries
 
 (* Execute a prepared plan: the fast plan while its dependencies hold, the
    ASC-free backup once overturned (the §4.1 flag-and-revert tactic). *)

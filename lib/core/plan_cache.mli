@@ -29,6 +29,8 @@ type t
 exception No_such_plan of string
 
 val create : Softdb.t -> t
+(** Also binds the facade's sys.plan_cache virtual table to this cache
+    (via {!Softdb.set_plan_cache_source}). *)
 
 val dependencies_of : Opt.Explain.report -> string list
 (** The rewrite-critical SC names of a report (twins excluded). *)
@@ -39,6 +41,16 @@ val prepare : t -> name:string -> string -> entry
 val find : t -> string -> entry option
 
 val is_valid : t -> entry -> bool
+
+type cache_stats = {
+  entries : int;
+  valid : int;
+  fast_runs : int;
+  backup_runs : int;
+}
+
+val stats : t -> cache_stats
+(** Aggregate fast-vs-backup run counts across all entries. *)
 
 val execute : t -> string -> Exec.Executor.result
 (** Fast plan while valid, backup plan once a dependency is overturned. *)

@@ -11,27 +11,84 @@ type t = {
   stats : Stats.Runstats.t;
   catalog : Sc_catalog.t;
   maintenance : Maintenance.t;
+  metrics : Obs.Metrics.t;
+  query_log : Obs.Query_log.t;
   mutable flags : Opt.Rewrite.flags;
   mutable cost_params : Opt.Cost.params;
+  mutable feedback : bool; (* recalibrate SSC confidence from execution *)
+  mutable feedback_tolerance : float;
+  mutable plan_cache_rows : unit -> Tuple.t list;
+      (* sys.plan_cache generator, bound by Plan_cache.create (the cache
+         depends on this module, not vice versa) *)
 }
+
+(* The sys.* views: read-only virtual tables over the live registries, so
+   the repl can SELECT against its own observability state. *)
+let register_sys_tables t =
+  Database.register_virtual t.db ~name:"sys.metrics"
+    ~schema:Obs.Sys_tables.metrics_schema (fun () ->
+      Obs.Sys_tables.metrics_rows t.metrics);
+  Database.register_virtual t.db ~name:"sys.query_log"
+    ~schema:Obs.Sys_tables.query_log_schema (fun () ->
+      Obs.Sys_tables.query_log_rows t.query_log);
+  Database.register_virtual t.db ~name:"sys.soft_constraints"
+    ~schema:Obs.Sys_tables.soft_constraints_schema (fun () ->
+      List.map
+        (fun (sc : Soft_constraint.t) ->
+          Obs.Sys_tables.soft_constraint_row ~name:sc.Soft_constraint.name
+            ~table_name:sc.Soft_constraint.table
+            ~kind:
+              (match sc.Soft_constraint.kind with
+              | Soft_constraint.Absolute -> "ASC"
+              | Soft_constraint.Statistical _ -> "SSC")
+            ~state:(Fmt.str "%a" Soft_constraint.pp_state sc.Soft_constraint.state)
+            ~confidence:
+              (match sc.Soft_constraint.kind with
+              | Soft_constraint.Absolute -> None
+              | Soft_constraint.Statistical c -> Some c)
+            ~current_confidence:
+              (Some (Sc_catalog.current_confidence t.db sc))
+            ~violations:sc.Soft_constraint.violation_count
+            ~statement:
+              (Fmt.str "%a" Soft_constraint.pp_statement
+                 sc.Soft_constraint.statement))
+        (Sc_catalog.all t.catalog));
+  Database.register_virtual t.db ~name:"sys.plan_cache"
+    ~schema:Obs.Sys_tables.plan_cache_schema (fun () -> t.plan_cache_rows ())
 
 let create ?(flags = Opt.Rewrite.all_on) () =
   let db = Database.create () in
   let catalog = Sc_catalog.create () in
   let maintenance = Maintenance.attach db catalog in
-  {
-    db;
-    stats = Stats.Runstats.create ();
-    catalog;
-    maintenance;
-    flags;
-    cost_params = Opt.Cost.default_params;
-  }
+  let t =
+    {
+      db;
+      stats = Stats.Runstats.create ();
+      catalog;
+      maintenance;
+      metrics = Obs.Metrics.create ();
+      query_log = Obs.Query_log.create ();
+      flags;
+      cost_params = Opt.Cost.default_params;
+      feedback = true;
+      feedback_tolerance = Obs.Feedback.default_tolerance;
+      plan_cache_rows = (fun () -> []);
+    }
+  in
+  register_sys_tables t;
+  t
 
 let db t = t.db
 let catalog t = t.catalog
 let maintenance t = t.maintenance
 let statistics t = t.stats
+let metrics t = t.metrics
+let query_log t = t.query_log
+let set_feedback ?tolerance t on =
+  t.feedback <- on;
+  Option.iter (fun tol -> t.feedback_tolerance <- tol) tolerance
+
+let set_plan_cache_source t rows = t.plan_cache_rows <- rows
 
 exception Error of string
 
@@ -105,6 +162,7 @@ type outcome =
   | Rows of Exec.Executor.result
   | Affected of int
   | Report of Opt.Explain.report
+  | Analyzed of Opt.Explain.analysis
   | Done of string
 
 let fresh_constraint_name =
@@ -159,14 +217,115 @@ let matching_rids t ~table pred =
 let optimize ?flags t (q : Sqlfe.Ast.query) =
   Opt.Explain.optimize (rewrite_ctx ?flags t) (planner_env t) q
 
+(* ---- cardinality feedback -------------------------------------------------- *)
+
+let rec twin_names acc (l : Opt.Logical.t) =
+  match l with
+  | Opt.Logical.Block b ->
+      List.fold_left
+        (fun acc (p : Opt.Logical.pred_item) ->
+          match p.Opt.Logical.origin with
+          | Opt.Logical.Twin sc -> if List.mem sc acc then acc else sc :: acc
+          | _ -> acc)
+        acc b.Opt.Logical.preds
+  | Opt.Logical.Union ts -> List.fold_left twin_names acc ts
+
+(* Per-twin observation: the measured coverage of the SSC's statement
+   against current data is the observed selectivity of the twinned
+   predicate class.  Recalibration (when enabled) pulls the catalog
+   confidence toward it and may escalate to the repair queue. *)
+let observe_twin t sc_name =
+  match Sc_catalog.find t.catalog sc_name with
+  | None -> None
+  | Some sc -> (
+      let stored =
+        match sc.Soft_constraint.kind with
+        | Soft_constraint.Statistical c -> c
+        | Soft_constraint.Absolute -> 1.0
+      in
+      match Maintenance.measured_confidence t.db sc with
+      | None -> None
+      | Some observed ->
+          let adjusted =
+            if not t.feedback then None
+            else
+              match
+                Obs.Feedback.recalibrate ~tolerance:t.feedback_tolerance
+                  ~stored ~observed ()
+              with
+              | Obs.Feedback.Keep -> None
+              | Obs.Feedback.Adjust { confidence; refresh } ->
+                  sc.Soft_constraint.kind <-
+                    Soft_constraint.Statistical confidence;
+                  sc.Soft_constraint.installed_at_mutations <-
+                    Sc_catalog.mutations_of t.db sc.Soft_constraint.table;
+                  Maintenance.record t.maintenance sc_name
+                    (Printf.sprintf
+                       "confidence recalibrated %.4f -> %.4f (observed %.4f)"
+                       stored confidence observed);
+                  Obs.Metrics.incr t.metrics "feedback.recalibrations";
+                  if refresh then Maintenance.queue_refresh t.maintenance sc_name;
+                  Some confidence
+          in
+          Some { Obs.Query_log.sc = sc_name; stored; observed; adjusted })
+
+let record_feedback t (report : Opt.Explain.report)
+    (result : Exec.Executor.result) =
+  let m = t.metrics in
+  let c = result.Exec.Executor.counters in
+  Obs.Metrics.incr m "queries.executed";
+  Obs.Metrics.incr ~by:c.Exec.Operators.Counters.rows_scanned m
+    "exec.rows_scanned";
+  Obs.Metrics.incr ~by:c.Exec.Operators.Counters.pages_read m
+    "exec.pages_read";
+  Obs.Metrics.incr ~by:c.Exec.Operators.Counters.index_probes m
+    "exec.index_probes";
+  Obs.Metrics.incr ~by:c.Exec.Operators.Counters.rows_output m
+    "exec.rows_output";
+  let rewrites =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (a : Opt.Rewrite.applied) -> a.Opt.Rewrite.rule)
+         report.Opt.Explain.applied)
+  in
+  List.iter (fun r -> Obs.Metrics.incr m ("rewrite." ^ r)) rewrites;
+  let actual = List.length result.Exec.Executor.rows in
+  let estimated = report.Opt.Explain.estimated_cardinality in
+  Obs.Metrics.observe m "query.q_error"
+    (Obs.Feedback.q_error ~estimated ~actual);
+  let twins =
+    List.filter_map (observe_twin t)
+      (List.rev (twin_names [] report.Opt.Explain.rewritten))
+  in
+  ignore
+    (Obs.Query_log.add t.query_log
+       ~sql:(Sqlfe.Printer.query_to_string report.Opt.Explain.original)
+       ~estimated_rows:estimated ~actual_rows:actual ~rewrites ~twins)
+
 let run_query ?flags t (q : Sqlfe.Ast.query) =
   let report = optimize ?flags t q in
-  Exec.Executor.run t.db report.Opt.Explain.plan
+  let result =
+    Obs.Metrics.time t.metrics "time.query_execution" (fun () ->
+        Exec.Executor.run t.db report.Opt.Explain.plan)
+  in
+  record_feedback t report result;
+  result
+
+(* EXPLAIN ANALYZE: instrumented execution with per-node annotation; the
+   run also feeds the metrics/feedback loop like any other query. *)
+let analyze ?flags t (q : Sqlfe.Ast.query) =
+  let analysis =
+    Obs.Metrics.time t.metrics "time.query_execution" (fun () ->
+        Opt.Explain.analyze (rewrite_ctx ?flags t) (planner_env t) q)
+  in
+  record_feedback t analysis.Opt.Explain.a_report analysis.Opt.Explain.result;
+  analysis
 
 let exec_statement t (stmt : Sqlfe.Ast.statement) : outcome =
   match stmt with
   | Sqlfe.Ast.Query q -> Rows (run_query t q)
   | Sqlfe.Ast.Explain q -> Report (optimize t q)
+  | Sqlfe.Ast.Explain_analyze q -> Analyzed (analyze t q)
   | Sqlfe.Ast.Create_table { name; cols; constraints } ->
       let schema =
         Schema.make name

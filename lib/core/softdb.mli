@@ -21,6 +21,29 @@ val catalog : t -> Sc_catalog.t
 val maintenance : t -> Maintenance.t
 val statistics : t -> Stats.Runstats.t
 
+(** {1 Observability}
+
+    Every executed query feeds the metrics registry and the query log,
+    and — when feedback is on (the default) — recalibrates the catalog
+    confidence of any SSC whose twinned predicate's observed selectivity
+    contradicts it (divergence beyond the tolerance pulls the confidence
+    toward the observation; beyond twice the tolerance additionally
+    queues the SC for refresh).  The registries back the sys.metrics,
+    sys.query_log, sys.soft_constraints and sys.plan_cache virtual
+    tables, readable with plain SELECTs. *)
+
+val metrics : t -> Obs.Metrics.t
+val query_log : t -> Obs.Query_log.t
+
+val set_feedback : ?tolerance:float -> t -> bool -> unit
+(** Toggle confidence recalibration; [tolerance] defaults to
+    {!Obs.Feedback.default_tolerance}. *)
+
+val set_plan_cache_source : t -> (unit -> Tuple.t list) -> unit
+(** Bind the sys.plan_cache row generator — called by
+    {!Plan_cache.create}; rows must match
+    {!Obs.Sys_tables.plan_cache_schema}. *)
+
 exception Error of string
 
 val rewrite_ctx : ?flags:Opt.Rewrite.flags -> t -> Opt.Rewrite.ctx
@@ -44,6 +67,7 @@ type outcome =
   | Rows of Exec.Executor.result
   | Affected of int
   | Report of Opt.Explain.report
+  | Analyzed of Opt.Explain.analysis
   | Done of string
 
 val exec_statement : t -> Sqlfe.Ast.statement -> outcome
@@ -55,6 +79,11 @@ val optimize : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
 
 val run_query : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
   Exec.Executor.result
+
+val analyze : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
+  Opt.Explain.analysis
+(** EXPLAIN ANALYZE: optimize, execute instrumented, annotate per node;
+    feeds the metrics/feedback loop like any other executed query. *)
 
 val query : ?flags:Opt.Rewrite.flags -> t -> string -> Exec.Executor.result
 (** Parse, optimize and execute a SELECT. *)

@@ -97,7 +97,13 @@ let finish_acc (fn : Plan.agg_fn) acc ~rows_in_group =
 
 (* ---- opening plans ------------------------------------------------------ *)
 
-let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
+(* [wrap] sees every (node, cursor) pair as the tree is opened, outermost
+   last — the hook the instrumented runner uses to observe per-node
+   output cardinality and time without the operators knowing. *)
+let rec open_node wrap db (counters : Counters.t) (plan : Plan.t) : cursor =
+  wrap plan (open_raw wrap db counters plan)
+
+and open_raw wrap db (counters : Counters.t) (plan : Plan.t) : cursor =
   match plan with
   | Plan.Seq_scan { table; alias = _; filter } ->
       let tbl = Database.table_exn db table in
@@ -149,7 +155,7 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
   | Plan.Filter { input; pred } ->
       let binding = Plan.binding db input in
       let keep = Expr.compile_filter binding pred in
-      let c = open_plan db counters input in
+      let c = open_node wrap db counters input in
       let rec next () =
         match c () with
         | None -> None
@@ -160,16 +166,16 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
       let binding = Plan.binding db input in
       let fns = List.map (fun (e, _) -> Expr.compile binding e) exprs in
       let fns = Array.of_list fns in
-      let c = open_plan db counters input in
+      let c = open_node wrap db counters input in
       fun () ->
         Option.map (fun r -> Array.map (fun f -> f r) fns) (c ())
   | Plan.Nested_loop_join { left; right; pred } ->
       let out_binding = Plan.binding db plan in
       let keep = Expr.compile_filter out_binding pred in
-      let lcur = open_plan db counters left in
+      let lcur = open_node wrap db counters left in
       (* materialize the inner side once; re-scanning real storage would
          double-count I/O that a block-nested-loop would cache *)
-      let inner = drain (open_plan db counters right) in
+      let inner = drain (open_node wrap db counters right) in
       let pending = ref [] in
       let rec next () =
         match !pending with
@@ -207,8 +213,8 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
           let k = key_of rkey r in
           if not (List.exists Value.is_null k) then
             Hashtbl.add table k r)
-        (drain (open_plan db counters right));
-      let lcur = open_plan db counters left in
+        (drain (open_node wrap db counters right));
+      let lcur = open_node wrap db counters left in
       let pending = ref [] in
       let rec next () =
         match !pending with
@@ -252,13 +258,13 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
         go 0
       in
       let lrows =
-        drain (open_plan db counters left)
+        drain (open_node wrap db counters left)
         |> List.map (fun r -> (key_of lkey r, r))
         |> List.sort (fun (a, _) (b, _) -> cmp_keys a b)
         |> Array.of_list
       in
       let rrows =
-        drain (open_plan db counters right)
+        drain (open_node wrap db counters right)
         |> List.map (fun r -> (key_of rkey r, r))
         |> List.sort (fun (a, _) (b, _) -> cmp_keys a b)
         |> Array.of_list
@@ -302,7 +308,7 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
       let compiled =
         List.map (fun k -> (Expr.compile binding k.Plan.key, k.Plan.asc)) keys
       in
-      let rows = drain (open_plan db counters input) in
+      let rows = drain (open_node wrap db counters input) in
       let cmp a b =
         let rec go = function
           | [] -> 0
@@ -326,7 +332,7 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
         Hashtbl.create 256
       in
       let order = ref [] in
-      let rows = drain (open_plan db counters input) in
+      let rows = drain (open_node wrap db counters input) in
       List.iter
         (fun r ->
           let k = List.map (fun f -> f r) key_fns in
@@ -377,7 +383,7 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
         cursor_of_list [ Tuple.make agg_values ]
       else cursor_of_list (List.rev_map emit !order)
   | Plan.Distinct input ->
-      let rows = drain (open_plan db counters input) in
+      let rows = drain (open_node wrap db counters input) in
       let seen = Hashtbl.create 256 in
       let out =
         List.filter
@@ -402,12 +408,12 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
             | [] -> None
             | p :: tl ->
                 remaining := tl;
-                current := open_plan db counters p;
+                current := open_node wrap db counters p;
                 next ())
       in
       next
   | Plan.Limit { input; n } ->
-      let c = open_plan db counters input in
+      let c = open_node wrap db counters input in
       let emitted = ref 0 in
       fun () ->
         if !emitted >= n then None
@@ -418,6 +424,10 @@ let rec open_plan db (counters : Counters.t) (plan : Plan.t) : cursor =
               incr emitted;
               Some r
 
+let no_wrap _plan cursor = cursor
+
+let open_plan db counters plan = open_node no_wrap db counters plan
+
 let run db ?counters plan =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
@@ -426,3 +436,48 @@ let run db ?counters plan =
   counters.Counters.rows_output <-
     counters.Counters.rows_output + List.length rows;
   rows
+
+(* ---- per-node instrumentation ------------------------------------------- *)
+
+(* Runtime statistics of one plan node.  [produced] (the node's actual
+   output cardinality) is deterministic; [elapsed_s] is wall clock spent
+   inside the node's cursor *including* its children — informational only,
+   and kept out of any test-visible comparison. *)
+module Node = struct
+  type t = { mutable produced : int; mutable elapsed_s : float }
+
+  let create () = { produced = 0; elapsed_s = 0.0 }
+end
+
+(* Run [plan] with every node's cursor wrapped in a probe.  Returns the
+   result rows plus one [Node.t] per distinct plan node, keyed by physical
+   identity: plans are immutable trees, so [==] on subtrees is exactly
+   node identity.  (A subtree that opens twice — e.g. the inner of a
+   nested-loop re-opened — accumulates into the same record.) *)
+let run_instrumented db ?counters plan =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
+  let stats : (Plan.t * Node.t) list ref = ref [] in
+  let stat_of node =
+    match List.find_opt (fun (p, _) -> p == node) !stats with
+    | Some (_, s) -> s
+    | None ->
+        let s = Node.create () in
+        stats := (node, s) :: !stats;
+        s
+  in
+  let wrap node cursor =
+    let s = stat_of node in
+    fun () ->
+      let t0 = Sys.time () in
+      let r = cursor () in
+      s.Node.elapsed_s <- s.Node.elapsed_s +. (Sys.time () -. t0);
+      (match r with Some _ -> s.Node.produced <- s.Node.produced + 1
+      | None -> ());
+      r
+  in
+  let rows = drain (open_node wrap db counters plan) in
+  counters.Counters.rows_output <-
+    counters.Counters.rows_output + List.length rows;
+  (rows, !stats)

@@ -33,3 +33,26 @@ val drain : cursor -> Tuple.t list
 
 val run : Database.t -> ?counters:Counters.t -> Plan.t -> Tuple.t list
 (** Open, drain, and count the output rows. *)
+
+(** {1 Per-node instrumentation (EXPLAIN ANALYZE)} *)
+
+(** Runtime statistics of one plan node.  [produced] — the node's actual
+    output cardinality — is deterministic; [elapsed_s] is wall clock
+    spent inside the node's cursor {e including} its children, and is
+    informational only. *)
+module Node : sig
+  type t = { mutable produced : int; mutable elapsed_s : float }
+
+  val create : unit -> t
+end
+
+val open_node :
+  (Plan.t -> cursor -> cursor) -> Database.t -> Counters.t -> Plan.t -> cursor
+(** [open_node wrap db counters plan] opens the plan with every node's
+    cursor passed through [wrap] (children first). *)
+
+val run_instrumented :
+  Database.t -> ?counters:Counters.t -> Plan.t ->
+  Tuple.t list * (Plan.t * Node.t) list
+(** Like {!run}, additionally returning one {!Node.t} per plan node,
+    keyed by physical identity ([==]) of the immutable plan subtrees. *)

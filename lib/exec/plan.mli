@@ -56,6 +56,12 @@ val binding : Database.t -> t -> Expr.Binding.t
 (** Output layout of a node ([db] supplies table schemas). *)
 
 val pp : ?indent:int -> Format.formatter -> t -> unit
+
+val pp_filter : Format.formatter -> Expr.pred -> unit
+(** " filter (...)", or nothing for [Ptrue] — shared by the node labels
+    of EXPLAIN ANALYZE. *)
+
+val pp_bound : Format.formatter -> Index.bound -> unit
 (** EXPLAIN-style tree rendering. *)
 
 val to_string : t -> string

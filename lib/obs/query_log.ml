@@ -1,0 +1,74 @@
+(* A bounded in-memory log of executed queries: estimated vs. actual
+   cardinality, q-error, which rewrite rules fired, and what each twinned
+   SSC predicted vs. what the scan actually observed.  Feeds the
+   sys.query_log virtual table and the recalibration loop. *)
+
+type twin_observation = {
+  sc : string;
+  stored : float; (* confidence used during optimization *)
+  observed : float; (* measured coverage after execution *)
+  adjusted : float option; (* new confidence, when recalibrated *)
+}
+
+type entry = {
+  seq : int;
+  sql : string;
+  estimated_rows : float;
+  actual_rows : int;
+  q_error : float;
+  rewrites : string list; (* rule names that fired *)
+  twins : twin_observation list;
+}
+
+type t = {
+  capacity : int;
+  mutable next_seq : int;
+  mutable entries : entry list; (* newest first *)
+}
+
+let create ?(capacity = 256) () = { capacity; next_seq = 1; entries = [] }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let add t ~sql ~estimated_rows ~actual_rows ~rewrites ~twins =
+  let entry =
+    {
+      seq = t.next_seq;
+      sql;
+      estimated_rows;
+      actual_rows;
+      q_error = Feedback.q_error ~estimated:estimated_rows ~actual:actual_rows;
+      rewrites;
+      twins;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.entries <- take t.capacity (entry :: t.entries);
+  entry
+
+(* oldest-first *)
+let entries t = List.rev t.entries
+let length t = List.length t.entries
+let last t = match t.entries with [] -> None | e :: _ -> Some e
+let clear t = t.entries <- []
+
+let mean_q_error t =
+  match t.entries with
+  | [] -> 1.0
+  | es ->
+      List.fold_left (fun acc e -> acc +. e.q_error) 0.0 es
+      /. float_of_int (List.length es)
+
+let worst_q_error t =
+  List.fold_left (fun acc e -> Float.max acc e.q_error) 1.0 t.entries
+
+let pp_entry ppf e =
+  Fmt.pf ppf "#%d est=%.1f actual=%d q=%.2f%s %s" e.seq e.estimated_rows
+    e.actual_rows e.q_error
+    (match e.rewrites with
+    | [] -> ""
+    | rs -> Fmt.str " [%s]" (String.concat "," rs))
+    e.sql

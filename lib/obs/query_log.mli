@@ -1,0 +1,40 @@
+(** A bounded in-memory log of executed queries: estimated vs. actual
+    cardinality, q-error, which rewrite rules fired, and what each
+    twinned SSC predicted vs. what execution observed.  Feeds the
+    sys.query_log virtual table and the recalibration loop. *)
+
+type twin_observation = {
+  sc : string;
+  stored : float;  (** confidence used during optimization *)
+  observed : float;  (** measured coverage after execution *)
+  adjusted : float option;  (** new confidence, when recalibrated *)
+}
+
+type entry = {
+  seq : int;
+  sql : string;
+  estimated_rows : float;
+  actual_rows : int;
+  q_error : float;
+  rewrites : string list;  (** rule names that fired *)
+  twins : twin_observation list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256; the oldest entries fall off. *)
+
+val add :
+  t -> sql:string -> estimated_rows:float -> actual_rows:int ->
+  rewrites:string list -> twins:twin_observation list -> entry
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+val last : t -> entry option
+val clear : t -> unit
+val mean_q_error : t -> float
+val worst_q_error : t -> float
+val pp_entry : Format.formatter -> entry -> unit

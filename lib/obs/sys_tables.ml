@@ -1,0 +1,115 @@
+(* Schemas and row builders for the sys.* virtual tables.
+
+   The actual registration happens in {!Core.Softdb} (which owns the
+   metrics registry, query log, catalog, and plan cache); this module only
+   fixes the layouts so every producer and every test agree on them.
+   Column named [table_name] rather than [table]: TABLE is a keyword. *)
+
+open Rel
+
+let str s = Value.String s
+let int i = Value.Int i
+let flt f = Value.Float f
+let opt_flt = function Some f -> Value.Float f | None -> Value.Null
+let boolean b = Value.Bool b
+
+(* ---- sys.metrics -------------------------------------------------------- *)
+
+let metrics_schema =
+  Schema.make "sys.metrics"
+    [
+      Schema.column ~nullable:false "name" Value.TString;
+      Schema.column ~nullable:false "kind" Value.TString;
+      Schema.column ~nullable:false "value" Value.TFloat;
+    ]
+
+let metrics_rows (m : Metrics.t) =
+  List.map
+    (fun (name, kind, v) -> Tuple.make [ str name; str kind; flt v ])
+    (Metrics.snapshot m)
+
+(* ---- sys.query_log ------------------------------------------------------- *)
+
+let query_log_schema =
+  Schema.make "sys.query_log"
+    [
+      Schema.column ~nullable:false "seq" Value.TInt;
+      Schema.column ~nullable:false "sql" Value.TString;
+      Schema.column ~nullable:false "estimated_rows" Value.TFloat;
+      Schema.column ~nullable:false "actual_rows" Value.TInt;
+      Schema.column ~nullable:false "q_error" Value.TFloat;
+      Schema.column ~nullable:false "rewrites" Value.TString;
+      Schema.column ~nullable:false "twins" Value.TString;
+    ]
+
+let query_log_rows (l : Query_log.t) =
+  List.map
+    (fun (e : Query_log.entry) ->
+      Tuple.make
+        [
+          int e.Query_log.seq;
+          str e.Query_log.sql;
+          flt e.Query_log.estimated_rows;
+          int e.Query_log.actual_rows;
+          flt e.Query_log.q_error;
+          str (String.concat "," e.Query_log.rewrites);
+          str
+            (String.concat ","
+               (List.map
+                  (fun (t : Query_log.twin_observation) -> t.Query_log.sc)
+                  e.Query_log.twins));
+        ])
+    (Query_log.entries l)
+
+(* ---- sys.soft_constraints ------------------------------------------------ *)
+
+let soft_constraints_schema =
+  Schema.make "sys.soft_constraints"
+    [
+      Schema.column ~nullable:false "name" Value.TString;
+      Schema.column ~nullable:false "table_name" Value.TString;
+      Schema.column ~nullable:false "kind" Value.TString;
+      Schema.column ~nullable:false "state" Value.TString;
+      Schema.column "confidence" Value.TFloat;
+      Schema.column "current_confidence" Value.TFloat;
+      Schema.column ~nullable:false "violations" Value.TInt;
+      Schema.column ~nullable:false "statement" Value.TString;
+    ]
+
+let soft_constraint_row ~name ~table_name ~kind ~state ~confidence
+    ~current_confidence ~violations ~statement =
+  Tuple.make
+    [
+      str name;
+      str table_name;
+      str kind;
+      str state;
+      opt_flt confidence;
+      opt_flt current_confidence;
+      int violations;
+      str statement;
+    ]
+
+(* ---- sys.plan_cache ------------------------------------------------------ *)
+
+let plan_cache_schema =
+  Schema.make "sys.plan_cache"
+    [
+      Schema.column ~nullable:false "name" Value.TString;
+      Schema.column ~nullable:false "sql" Value.TString;
+      Schema.column ~nullable:false "valid" Value.TBool;
+      Schema.column ~nullable:false "dependencies" Value.TString;
+      Schema.column ~nullable:false "fast_runs" Value.TInt;
+      Schema.column ~nullable:false "backup_runs" Value.TInt;
+    ]
+
+let plan_cache_row ~name ~sql ~valid ~dependencies ~fast_runs ~backup_runs =
+  Tuple.make
+    [
+      str name;
+      str sql;
+      boolean valid;
+      str (String.concat "," dependencies);
+      int fast_runs;
+      int backup_runs;
+    ]

@@ -1,0 +1,36 @@
+(** Schemas and row builders for the sys.* virtual tables.
+
+    Registration happens in {!Core.Softdb}, which owns the metrics
+    registry, query log, catalog, and plan cache; this module only fixes
+    the layouts so producers and tests agree.  The soft-constraint view
+    uses [table_name] rather than [table]: TABLE is a keyword. *)
+
+open Rel
+
+val metrics_schema : Schema.t
+(** sys.metrics(name, kind, value) *)
+
+val metrics_rows : Metrics.t -> Tuple.t list
+
+val query_log_schema : Schema.t
+(** sys.query_log(seq, sql, estimated_rows, actual_rows, q_error,
+    rewrites, twins) *)
+
+val query_log_rows : Query_log.t -> Tuple.t list
+
+val soft_constraints_schema : Schema.t
+(** sys.soft_constraints(name, table_name, kind, state, confidence,
+    current_confidence, violations, statement) *)
+
+val soft_constraint_row :
+  name:string -> table_name:string -> kind:string -> state:string ->
+  confidence:float option -> current_confidence:float option ->
+  violations:int -> statement:string -> Tuple.t
+
+val plan_cache_schema : Schema.t
+(** sys.plan_cache(name, sql, valid, dependencies, fast_runs,
+    backup_runs) *)
+
+val plan_cache_row :
+  name:string -> sql:string -> valid:bool -> dependencies:string list ->
+  fast_runs:int -> backup_runs:int -> Tuple.t

@@ -30,7 +30,9 @@ let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
     estimated_cost = cost;
   }
 
-let pp ppf r =
+(* Everything shown by EXPLAIN except the plan tree itself; shared with
+   EXPLAIN ANALYZE, which renders its own annotated tree. *)
+let pp_header ppf r =
   Fmt.pf ppf "original : %s@." (Sqlfe.Printer.query_to_string r.original);
   Fmt.pf ppf "rewritten: %s@."
     (Sqlfe.Printer.query_to_string (Logical.to_query r.rewritten));
@@ -48,9 +50,315 @@ let pp ppf r =
           b.Logical.preds
     | Logical.Union ts -> List.iter (twins ppf) ts
   in
-  twins ppf r.rewritten;
+  twins ppf r.rewritten
+
+let pp ppf r =
+  pp_header ppf r;
   Fmt.pf ppf "est. rows: %.1f  est. cost: %.1f@." r.estimated_cardinality
     r.estimated_cost;
   Fmt.pf ppf "plan:@.%a" (Plan.pp ~indent:2) r.plan
 
 let to_string r = Fmt.str "%a" pp r
+
+(* ---- EXPLAIN ANALYZE ------------------------------------------------------ *)
+
+(* Per-node cardinality estimation over the *physical* plan, so the
+   annotated tree can show estimated vs. actual rows at every operator.
+   Scan nodes reuse the blended (twin-aware) per-table estimates computed
+   on the rewritten logical query; everything above applies the same
+   default filter factors the block estimator uses.  This is a display
+   model — the cost-based choices were already made by the planner. *)
+
+let norm = String.lowercase_ascii
+
+(* per-alias blended output estimate, from the rewritten logical query *)
+let rec alias_estimates senv (l : Logical.t) acc =
+  match l with
+  | Logical.Block b ->
+      let e = Selectivity.estimate_block senv b in
+      List.fold_left
+        (fun acc (alias, base, sel) -> (norm alias, base *. sel) :: acc)
+        acc e.Selectivity.per_table
+  | Logical.Union ts ->
+      List.fold_left (fun acc t -> alias_estimates senv t acc) acc ts
+
+(* the scans visible below a node: alias -> table *)
+let rec scans_below plan acc =
+  match plan with
+  | Plan.Seq_scan { table; alias; _ } | Plan.Index_scan { table; alias; _ } ->
+      (norm alias, table) :: acc
+  | Plan.Filter { input; _ }
+  | Plan.Project { input; _ }
+  | Plan.Sort { input; _ }
+  | Plan.Group { input; _ }
+  | Plan.Limit { input; _ } ->
+      scans_below input acc
+  | Plan.Distinct input -> scans_below input acc
+  | Plan.Nested_loop_join { left; right; _ }
+  | Plan.Hash_join { left; right; _ }
+  | Plan.Merge_join { left; right; _ } ->
+      scans_below left (scans_below right acc)
+  | Plan.Union_all inputs ->
+      List.fold_left (fun acc p -> scans_below p acc) acc inputs
+
+let table_of_col senv scans (r : Rel.Expr.col_ref) =
+  match r.Rel.Expr.rel with
+  | Some q -> List.assoc_opt (norm q) scans
+  | None ->
+      List.find_map
+        (fun (_, table) ->
+          match Rel.Database.find_table senv.Selectivity.db table with
+          | Some tbl
+            when Rel.Schema.find_index (Rel.Table.schema tbl) r.Rel.Expr.col
+                 <> None ->
+              Some table
+          | _ -> None)
+        scans
+
+let ndv_of senv scans (r : Rel.Expr.col_ref) =
+  match table_of_col senv scans r with
+  | Some table -> Selectivity.ndv senv ~table ~column:r.Rel.Expr.col
+  | None -> 25
+
+let rec pred_sel senv scans (p : Rel.Expr.pred) =
+  let open Rel in
+  match p with
+  | Expr.Ptrue -> 1.0
+  | Expr.Pfalse -> 0.0
+  | Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+      1.0
+      /. float_of_int (max (ndv_of senv scans a) (ndv_of senv scans b))
+  | Expr.Cmp (Expr.Ne, _, _) -> 1.0 -. Selectivity.default_eq
+  | Expr.Cmp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) ->
+      Selectivity.default_range
+  | Expr.Cmp (Expr.Eq, _, _) -> Selectivity.default_eq
+  | Expr.Between _ -> Selectivity.default_range /. 2.0
+  | Expr.In_list (_, vs) ->
+      Float.min 1.0 (Selectivity.default_eq *. float_of_int (List.length vs))
+  | Expr.Is_null _ -> Selectivity.default_eq
+  | Expr.Is_not_null _ -> 1.0 -. Selectivity.default_eq
+  | Expr.And (a, b) -> pred_sel senv scans a *. pred_sel senv scans b
+  | Expr.Or (a, b) ->
+      let sa = pred_sel senv scans a and sb = pred_sel senv scans b in
+      Float.min 1.0 (sa +. sb -. (sa *. sb))
+  | Expr.Not a -> Float.max 0.0 (1.0 -. pred_sel senv scans a)
+
+(* The planner hands both scan shapes the full conjoined local filter
+   (the index probe range is also kept as residual), so rows × filter
+   selectivity is the right estimate for either; the blended per-alias
+   estimate additionally folds in estimation-only twins. *)
+let scan_estimate senv alias_est ~table ~alias ~filter =
+  match List.assoc_opt (norm alias) alias_est with
+  | Some e -> e
+  | None ->
+      let rows = Selectivity.table_cardinality senv table in
+      let preds = List.map Selectivity.localize (Rel.Expr.conjuncts filter) in
+      rows *. Selectivity.conjunct_selectivity senv ~table preds
+
+let rec estimate senv alias_est (plan : Plan.t) =
+  match plan with
+  | Plan.Seq_scan { table; alias; filter } ->
+      scan_estimate senv alias_est ~table ~alias ~filter
+  | Plan.Index_scan { table; alias; filter; _ } ->
+      scan_estimate senv alias_est ~table ~alias ~filter
+  | Plan.Filter { input; pred } ->
+      estimate senv alias_est input
+      *. pred_sel senv (scans_below input []) pred
+  | Plan.Project { input; _ } | Plan.Sort { input; _ } ->
+      estimate senv alias_est input
+  | Plan.Distinct input ->
+      (* approximation: no reduction, matching the block estimator *)
+      estimate senv alias_est input
+  | Plan.Nested_loop_join { left; right; pred } ->
+      estimate senv alias_est left
+      *. estimate senv alias_est right
+      *. pred_sel senv (scans_below plan []) pred
+  | Plan.Hash_join { left; right; left_keys; right_keys; residual }
+  | Plan.Merge_join { left; right; left_keys; right_keys; residual } ->
+      let scans = scans_below plan [] in
+      let key_sel l r =
+        match (l, r) with
+        | Rel.Expr.Col a, Rel.Expr.Col b ->
+            1.0
+            /. float_of_int (max (ndv_of senv scans a) (ndv_of senv scans b))
+        | _ -> Selectivity.default_eq
+      in
+      let rec keys_sel ls rs =
+        match (ls, rs) with
+        | l :: ltl, r :: rtl -> key_sel l r *. keys_sel ltl rtl
+        | _ -> 1.0
+      in
+      estimate senv alias_est left
+      *. estimate senv alias_est right
+      *. keys_sel left_keys right_keys
+      *. pred_sel senv scans residual
+  | Plan.Group { input; keys; _ } ->
+      let inp = estimate senv alias_est input in
+      if keys = [] then 1.0
+      else
+        let scans = scans_below input [] in
+        let groups =
+          List.fold_left
+            (fun acc (e, _) ->
+              acc
+              *.
+              match e with
+              | Rel.Expr.Col r -> float_of_int (ndv_of senv scans r)
+              | _ -> 25.0)
+            1.0 keys
+        in
+        Float.min inp groups
+  | Plan.Union_all inputs ->
+      List.fold_left (fun acc p -> acc +. estimate senv alias_est p) 0.0 inputs
+  | Plan.Limit { input; n } ->
+      Float.min (estimate senv alias_est input) (float_of_int n)
+
+(* single-line operator labels for the annotated tree *)
+let node_label (plan : Plan.t) =
+  let open Rel in
+  match plan with
+  | Plan.Seq_scan { table; alias; filter } ->
+      Fmt.str "SeqScan %s%s%a" table
+        (if alias = table then "" else " as " ^ alias)
+        Plan.pp_filter filter
+  | Plan.Index_scan { table; alias; index; lo; hi; filter } ->
+      Fmt.str "IndexScan %s%s using %s [%a, %a]%a" table
+        (if alias = table then "" else " as " ^ alias)
+        index Plan.pp_bound lo Plan.pp_bound hi Plan.pp_filter filter
+  | Plan.Filter { pred; _ } -> Fmt.str "Filter %a" Expr.pp_pred pred
+  | Plan.Project { exprs; _ } ->
+      Fmt.str "Project %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, n) ->
+             Fmt.pf ppf "%a as %s" Expr.pp e n))
+        exprs
+  | Plan.Nested_loop_join { pred; _ } ->
+      Fmt.str "NestedLoopJoin on %a" Expr.pp_pred pred
+  | Plan.Hash_join { left_keys; right_keys; residual; _ } ->
+      Fmt.str "HashJoin %a = %a%a"
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        left_keys
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        right_keys Plan.pp_filter residual
+  | Plan.Merge_join { left_keys; right_keys; residual; _ } ->
+      Fmt.str "MergeJoin %a = %a%a"
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        left_keys
+        (Fmt.list ~sep:(Fmt.any ", ") Expr.pp)
+        right_keys Plan.pp_filter residual
+  | Plan.Sort { keys; _ } ->
+      Fmt.str "Sort %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k : Plan.sort_key) ->
+             Fmt.pf ppf "%a%s" Expr.pp k.Plan.key
+               (if k.Plan.asc then "" else " desc")))
+        keys
+  | Plan.Group { keys; aggs; _ } ->
+      Fmt.str "Group by %a aggs %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (e, _) -> Expr.pp ppf e))
+        keys
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a : Plan.agg) ->
+             Fmt.pf ppf "%s(%a)"
+               (Plan.agg_fn_name a.Plan.fn)
+               Fmt.(option ~none:(any "*") Expr.pp)
+               a.Plan.arg))
+        aggs
+  | Plan.Distinct _ -> "Distinct"
+  | Plan.Union_all inputs ->
+      Fmt.str "UnionAll (%d branches)" (List.length inputs)
+  | Plan.Limit { n; _ } -> Fmt.str "Limit %d" n
+
+let children (plan : Plan.t) =
+  match plan with
+  | Plan.Seq_scan _ | Plan.Index_scan _ -> []
+  | Plan.Filter { input; _ }
+  | Plan.Project { input; _ }
+  | Plan.Sort { input; _ }
+  | Plan.Group { input; _ }
+  | Plan.Limit { input; _ } ->
+      [ input ]
+  | Plan.Distinct input -> [ input ]
+  | Plan.Nested_loop_join { left; right; _ }
+  | Plan.Hash_join { left; right; _ }
+  | Plan.Merge_join { left; right; _ } ->
+      [ left; right ]
+  | Plan.Union_all inputs -> inputs
+
+type node_stat = {
+  depth : int;
+  label : string;
+  est_rows : float;
+  actual_rows : int;
+  node_q_error : float;
+  elapsed_s : float; (* wall clock, children included; informational *)
+}
+
+type analysis = {
+  a_report : report;
+  result : Executor.result;
+  nodes : node_stat list; (* preorder *)
+  total_q_error : float; (* root estimate vs. root actual *)
+}
+
+let analyze (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
+    analysis =
+  let report = optimize ctx penv q in
+  let db = penv.Planner.db in
+  let senv = Planner.sel_env penv in
+  let alias_est = alias_estimates senv report.rewritten [] in
+  let counters = Operators.Counters.create () in
+  let rows, node_stats =
+    Operators.run_instrumented db ~counters report.plan
+  in
+  let result =
+    { Executor.columns = Executor.column_names db report.plan; rows; counters }
+  in
+  let stat_of node =
+    Option.map snd (List.find_opt (fun (p, _) -> p == node) node_stats)
+  in
+  let rec walk depth plan acc =
+    let est = estimate senv alias_est plan in
+    let actual, elapsed =
+      match stat_of plan with
+      | Some s -> (s.Operators.Node.produced, s.Operators.Node.elapsed_s)
+      | None -> (0, 0.0) (* node never opened *)
+    in
+    let node =
+      {
+        depth;
+        label = node_label plan;
+        est_rows = est;
+        actual_rows = actual;
+        node_q_error = Obs.Feedback.q_error ~estimated:est ~actual;
+        elapsed_s = elapsed;
+      }
+    in
+    List.fold_left
+      (fun acc child -> walk (depth + 1) child acc)
+      (node :: acc) (children plan)
+  in
+  let nodes = List.rev (walk 0 report.plan []) in
+  {
+    a_report = report;
+    result;
+    nodes;
+    total_q_error =
+      Obs.Feedback.q_error ~estimated:report.estimated_cardinality
+        ~actual:(List.length rows);
+  }
+
+let pp_analysis ppf a =
+  pp_header ppf a.a_report;
+  Fmt.pf ppf "est. rows: %.1f  actual rows: %d  q-error: %.2f@."
+    a.a_report.estimated_cardinality
+    (List.length a.result.Executor.rows)
+    a.total_q_error;
+  Fmt.pf ppf "plan:@.";
+  List.iter
+    (fun n ->
+      Fmt.pf ppf "%s%s (est=%.1f actual=%d q=%.2f time=%.3fms)@."
+        (String.make (2 + (2 * n.depth)) ' ')
+        n.label n.est_rows n.actual_rows n.node_q_error (n.elapsed_s *. 1000.0))
+    a.nodes;
+  Fmt.pf ppf "exec     : %a@." Operators.Counters.pp
+    a.result.Executor.counters
+
+let analysis_to_string a = Fmt.str "%a" pp_analysis a

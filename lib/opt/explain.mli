@@ -17,3 +17,31 @@ val optimize : Rewrite.ctx -> Planner.env -> Sqlfe.Ast.query -> report
 
 val pp : Format.formatter -> report -> unit
 val to_string : report -> string
+
+(** {1 EXPLAIN ANALYZE}
+
+    Optimize {e and execute} the query with per-node instrumentation,
+    then annotate every operator with its estimated rows, actual rows,
+    and q-error.  Estimates come from the same blended (twin-aware)
+    model the planner used; actuals from {!Exec.Operators.run_instrumented}. *)
+
+type node_stat = {
+  depth : int;
+  label : string;
+  est_rows : float;
+  actual_rows : int;
+  node_q_error : float;
+  elapsed_s : float;  (** wall clock, children included; informational *)
+}
+
+type analysis = {
+  a_report : report;
+  result : Exec.Executor.result;
+  nodes : node_stat list;  (** preorder *)
+  total_q_error : float;  (** root estimate vs. root actual *)
+}
+
+val analyze : Rewrite.ctx -> Planner.env -> Sqlfe.Ast.query -> analysis
+
+val pp_analysis : Format.formatter -> analysis -> unit
+val analysis_to_string : analysis -> string

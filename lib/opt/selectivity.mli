@@ -17,6 +17,16 @@ open Stats
 
 type env = { db : Database.t; stats : Runstats.t }
 
+(** {1 Default filter factors}
+
+    System-R-style defaults, applied when no statistics fit; exported so
+    display models (EXPLAIN ANALYZE's per-node estimator) agree with the
+    planner. *)
+
+val default_eq : float
+val default_range : float
+val default_other : float
+
 val table_cardinality : env -> string -> float
 
 val ndv : env -> table:string -> column:string -> int

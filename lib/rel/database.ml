@@ -17,9 +17,14 @@ type mutation =
       after : Tuple.t;
     }
 
+(* A virtual table materializes on demand from a generator; nothing is
+   stored.  Used for the sys.* observability views. *)
+type virtual_def = { vschema : Schema.t; generate : unit -> Tuple.t list }
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   indexes : (string, Index.t) Hashtbl.t; (* by index name *)
+  virtuals : (string, virtual_def) Hashtbl.t;
   mutable constraints : Icdef.t list;
   mutable listeners : (mutation -> unit) list;
 }
@@ -32,6 +37,7 @@ let create () =
   {
     tables = Hashtbl.create 16;
     indexes = Hashtbl.create 16;
+    virtuals = Hashtbl.create 8;
     constraints = [];
     listeners = [];
   }
@@ -42,13 +48,34 @@ let norm = String.lowercase_ascii
 
 let create_table t schema =
   let key = norm schema.Schema.table in
-  if Hashtbl.mem t.tables key then
+  if Hashtbl.mem t.tables key || Hashtbl.mem t.virtuals key then
     error "table %s already exists" schema.Schema.table;
   let table = Table.create schema in
   Hashtbl.replace t.tables key table;
   table
 
-let find_table t name = Hashtbl.find_opt t.tables (norm name)
+(* Registering under an existing name replaces the previous generator, so
+   a fresh facade over the same database can rebind its views. *)
+let register_virtual t ~name ~schema generate =
+  let key = norm name in
+  if Hashtbl.mem t.tables key then
+    error "cannot register virtual table %s: a base table exists" name;
+  Hashtbl.replace t.virtuals key { vschema = schema; generate }
+
+let virtual_names t =
+  Hashtbl.fold (fun _ v acc -> v.vschema.Schema.table :: acc) t.virtuals []
+  |> List.sort String.compare
+
+let materialize_virtual (v : virtual_def) =
+  let tbl = Table.create v.vschema in
+  List.iter (fun row -> ignore (Table.insert tbl row)) (v.generate ());
+  tbl
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables (norm name) with
+  | Some _ as found -> found
+  | None ->
+      Option.map materialize_virtual (Hashtbl.find_opt t.virtuals (norm name))
 
 let table_exn t name =
   match find_table t name with
@@ -175,8 +202,13 @@ let check_insert_ok t table row =
       | None -> ())
     (enforced_on t (Table.name table))
 
+let writable_exn t table =
+  if Hashtbl.mem t.virtuals (norm table) then
+    error "table %s is a read-only virtual table" table;
+  table_exn t table
+
 let insert t ~table row =
-  let tbl = table_exn t table in
+  let tbl = writable_exn t table in
   (match Tuple.conform (Table.schema tbl) row with
   | Error msg -> raise (Table.Row_error msg)
   | Ok _ -> ());
@@ -192,7 +224,7 @@ let insert t ~table row =
   rid
 
 let delete t ~table rid =
-  let tbl = table_exn t table in
+  let tbl = writable_exn t table in
   match Table.get tbl rid with
   | None -> false
   | Some row ->
@@ -208,7 +240,7 @@ let delete t ~table rid =
       true
 
 let update t ~table rid row =
-  let tbl = table_exn t table in
+  let tbl = writable_exn t table in
   let before = Table.get_exn tbl rid in
   let after =
     match Tuple.conform (Table.schema tbl) row with

@@ -26,9 +26,29 @@ val create : unit -> t
 (** {1 Tables} *)
 
 val create_table : t -> Schema.t -> Table.t
+
 val find_table : t -> string -> Table.t option
+(** Base tables are returned as stored; a registered virtual table is
+    materialized afresh from its generator on every lookup. *)
+
 val table_exn : t -> string -> Table.t
+
 val table_names : t -> string list
+(** Base tables only; see {!virtual_names}. *)
+
+(** {1 Virtual tables}
+
+    A virtual table is a (schema, row generator) pair — nothing is
+    stored.  [find_table] materializes it on demand, which makes the
+    sys.* observability views plain SQL citizens.  Virtual tables are
+    read-only: mutations through this module raise {!Catalog_error}. *)
+
+val register_virtual :
+  t -> name:string -> schema:Schema.t -> (unit -> Tuple.t list) -> unit
+(** Registering under an existing virtual name replaces its generator;
+    registering over a base table raises {!Catalog_error}. *)
+
+val virtual_names : t -> string list
 
 val drop_table : t -> string -> unit
 (** Also drops the table's indexes and constraints. *)

@@ -59,6 +59,7 @@ type table_constraint = {
 type statement =
   | Query of query
   | Explain of query
+  | Explain_analyze of query (* EXPLAIN ANALYZE: execute and annotate *)
   | Create_table of {
       name : string;
       cols : col_def list;

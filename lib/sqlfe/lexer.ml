@@ -38,6 +38,7 @@ let keywords =
     "TEXT"; "BOOLEAN"; "BOOL"; "DATE"; "TRUE"; "FALSE";
     "ENFORCED"; "INFORMATIONAL"; "SOFT"; "CONFIDENCE"; "EXCEPTION"; "FOR";
     "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "VIEW"; "DAYS"; "EXPLAIN"; "RUNSTATS";
+    "ANALYZE";
   ]
 
 let keyword_set =

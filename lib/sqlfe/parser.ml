@@ -287,8 +287,14 @@ let parse_select_item st : Ast.select_item =
       let alias = parse_alias st in
       Ast.Scalar (e, alias)
 
-let parse_table_ref st : Ast.table_ref =
+(* qualified names (sys.metrics) are stored dotted; the catalog treats
+   the dotted string as the table name *)
+let table_name st =
   let table = ident st in
+  if accept st DOT then table ^ "." ^ ident st else table
+
+let parse_table_ref st : Ast.table_ref =
+  let table = table_name st in
   let alias =
     match peek st with
     | IDENT _ -> Some (ident st)
@@ -523,7 +529,7 @@ let parse_create_table st : Ast.statement =
 
 let parse_insert st : Ast.statement =
   eat_kw st "INTO";
-  let table = ident st in
+  let table = table_name st in
   let columns =
     if peek st = LPAREN && peek2 st <> RPAREN then
       (* lookahead: "(" followed by VALUES keyword never happens; a column
@@ -555,7 +561,8 @@ let parse_statement_inner st : Ast.statement =
   | KW "SELECT" | LPAREN -> Ast.Query (parse_query st)
   | KW "EXPLAIN" ->
       advance st;
-      Ast.Explain (parse_query st)
+      if accept_kw st "ANALYZE" then Ast.Explain_analyze (parse_query st)
+      else Ast.Explain (parse_query st)
   | KW "CREATE" -> (
       advance st;
       if accept_kw st "TABLE" then parse_create_table st
@@ -607,14 +614,14 @@ let parse_statement_inner st : Ast.statement =
   | KW "DELETE" ->
       advance st;
       eat_kw st "FROM";
-      let table = ident st in
+      let table = table_name st in
       let where =
         if accept_kw st "WHERE" then parse_pred st else Expr.Ptrue
       in
       Ast.Delete { table; where }
   | KW "UPDATE" ->
       advance st;
-      let table = ident st in
+      let table = table_name st in
       eat_kw st "SET";
       let rec assigns acc =
         let c = ident st in

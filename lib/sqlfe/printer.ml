@@ -74,6 +74,7 @@ let pp_table_constraint ppf (c : Ast.table_constraint) =
 let pp_statement ppf = function
   | Ast.Query q -> pp_query ppf q
   | Ast.Explain q -> Fmt.pf ppf "EXPLAIN %a" pp_query q
+  | Ast.Explain_analyze q -> Fmt.pf ppf "EXPLAIN ANALYZE %a" pp_query q
   | Ast.Create_table { name; cols; constraints } ->
       Fmt.pf ppf "CREATE TABLE %s (%a%s%a)" name
         (Fmt.list ~sep:(Fmt.any ", ") (fun ppf c ->

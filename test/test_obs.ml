@@ -1,0 +1,367 @@
+(* Tests for the observability & cardinality-feedback subsystem: the
+   metrics registry, q-error and confidence recalibration, the query log,
+   EXPLAIN ANALYZE (estimated vs. actual rows per plan node), the
+   sys.* virtual tables, and the end-to-end loop where a contradicted
+   SSC's catalog confidence is pulled toward the observed selectivity. *)
+
+open Rel
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tfloat = Alcotest.float
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---- metrics registry ------------------------------------------------------ *)
+
+let test_metrics_counters_gauges () =
+  let m = Obs.Metrics.create () in
+  check tint "unknown counter is 0" 0 (Obs.Metrics.counter m "nope");
+  Obs.Metrics.incr m "a";
+  Obs.Metrics.incr ~by:4 m "a";
+  check tint "counter accumulates" 5 (Obs.Metrics.counter m "a");
+  check tbool "unknown gauge" true (Obs.Metrics.gauge m "g" = None);
+  Obs.Metrics.set_gauge m "g" 2.5;
+  Obs.Metrics.set_gauge m "g" 3.5;
+  check (tfloat 1e-9) "gauge keeps last" 3.5
+    (Option.get (Obs.Metrics.gauge m "g"));
+  Obs.Metrics.reset m;
+  check tint "reset clears" 0 (Obs.Metrics.counter m "a")
+
+let test_metrics_samples_summary () =
+  let m = Obs.Metrics.create () in
+  check tbool "no samples -> no summary" true
+    (Obs.Metrics.summary m "s" = None);
+  List.iter (Obs.Metrics.observe m "s") [ 4.0; 1.0; 3.0; 2.0 ];
+  check tbool "oldest first" true
+    (Obs.Metrics.samples m "s" = [ 4.0; 1.0; 3.0; 2.0 ]);
+  let s = Option.get (Obs.Metrics.summary m "s") in
+  check tint "count" 4 s.Obs.Metrics.count;
+  check (tfloat 1e-9) "mean" 2.5 s.Obs.Metrics.mean;
+  check (tfloat 1e-9) "min" 1.0 s.Obs.Metrics.min_v;
+  check (tfloat 1e-9) "max" 4.0 s.Obs.Metrics.max_v
+
+let test_snapshot_deterministic_no_timings () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr ~by:7 m "c";
+  Obs.Metrics.set_gauge m "g" 1.5;
+  Obs.Metrics.observe m "s" 2.0;
+  (* timings must never surface in the snapshot: they are wall clock *)
+  let x = Obs.Metrics.time m "t.wall" (fun () -> 41 + 1) in
+  check tint "time returns result" 42 x;
+  check tbool "timing recorded" true
+    (List.exists (fun (n, _, _) -> n = "t.wall") (Obs.Metrics.timings m));
+  let snap = Obs.Metrics.snapshot m in
+  check tbool "snapshot excludes timings" false
+    (List.exists (fun (n, _, _) -> n = "t.wall") snap);
+  check tbool "snapshot stable" true (snap = Obs.Metrics.snapshot m);
+  check tbool "counter row" true (List.mem ("c", "counter", 7.0) snap);
+  check tbool "gauge row" true (List.mem ("g", "gauge", 1.5) snap);
+  check tbool "sample expands" true (List.mem ("s.count", "sample", 1.0) snap)
+
+(* ---- q-error and recalibration -------------------------------------------- *)
+
+let test_q_error () =
+  check (tfloat 1e-9) "exact" 1.0
+    (Obs.Feedback.q_error ~estimated:10.0 ~actual:10);
+  check (tfloat 1e-9) "overestimate" 10.0
+    (Obs.Feedback.q_error ~estimated:100.0 ~actual:10);
+  check (tfloat 1e-9) "underestimate" 10.0
+    (Obs.Feedback.q_error ~estimated:10.0 ~actual:100);
+  (* both sides floored at one row: empty results don't divide by zero *)
+  check (tfloat 1e-9) "empty vs empty" 1.0
+    (Obs.Feedback.q_error ~estimated:0.0 ~actual:0);
+  check (tfloat 1e-9) "estimate below a row" 5.0
+    (Obs.Feedback.q_error ~estimated:0.2 ~actual:5)
+
+let test_recalibrate () =
+  (* within tolerance: noise, keep the stored confidence *)
+  check tbool "keep" true
+    (Obs.Feedback.recalibrate ~stored:0.9 ~observed:0.85 ()
+     = Obs.Feedback.Keep);
+  (* moderate divergence: move toward the observation, no refresh *)
+  (match Obs.Feedback.recalibrate ~stored:0.5 ~observed:0.65 () with
+  | Obs.Feedback.Adjust { confidence; refresh } ->
+      check (tfloat 1e-9) "half-step toward observed" 0.575 confidence;
+      check tbool "no refresh" false refresh
+  | Obs.Feedback.Keep -> Alcotest.fail "expected Adjust");
+  (* divergence beyond twice the tolerance also queues a refresh *)
+  (match Obs.Feedback.recalibrate ~stored:0.4 ~observed:0.9 () with
+  | Obs.Feedback.Adjust { confidence; refresh } ->
+      check (tfloat 1e-9) "moved toward observed" 0.65 confidence;
+      check tbool "refresh queued" true refresh
+  | Obs.Feedback.Keep -> Alcotest.fail "expected Adjust");
+  (* a full-rate step lands exactly on the observation *)
+  (match Obs.Feedback.recalibrate ~rate:1.0 ~stored:0.2 ~observed:0.8 () with
+  | Obs.Feedback.Adjust { confidence; _ } ->
+      check (tfloat 1e-9) "rate 1 jumps" 0.8 confidence
+  | Obs.Feedback.Keep -> Alcotest.fail "expected Adjust")
+
+let test_query_log () =
+  let log = Obs.Query_log.create ~capacity:3 () in
+  check (tfloat 1e-9) "empty mean" 1.0 (Obs.Query_log.mean_q_error log);
+  for i = 1 to 5 do
+    ignore
+      (Obs.Query_log.add log
+         ~sql:(Printf.sprintf "q%d" i)
+         ~estimated_rows:(float_of_int (10 * i))
+         ~actual_rows:10 ~rewrites:[] ~twins:[])
+  done;
+  check tint "bounded" 3 (Obs.Query_log.length log);
+  (match Obs.Query_log.entries log with
+  | first :: _ -> check tbool "oldest kept is q3" true (first.Obs.Query_log.sql = "q3")
+  | [] -> Alcotest.fail "log empty");
+  check (tfloat 1e-9) "worst q-error" 5.0 (Obs.Query_log.worst_q_error log);
+  let last = Option.get (Obs.Query_log.last log) in
+  check (tfloat 1e-9) "last entry q-error" 5.0 last.Obs.Query_log.q_error;
+  Obs.Query_log.clear log;
+  check tint "cleared" 0 (Obs.Query_log.length log)
+
+(* ---- fixture: a table with a minable difference band ----------------------- *)
+
+(* 100 rows; 90 have hi - lo in [0, 9], 10 outliers at hi - lo = 100, so
+   the 0.9-confidence band is [0, 9] and its measured coverage is 0.9. *)
+let band_sdb () =
+  let sdb = Core.Softdb.create () in
+  ignore (Core.Softdb.exec sdb "CREATE TABLE ev (lo INT, hi INT)");
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "INSERT INTO ev VALUES ";
+  for i = 0 to 99 do
+    let lo = i in
+    let d = if i mod 10 = 9 then 100 else i mod 10 in
+    if i > 0 then Buffer.add_string b ", ";
+    Buffer.add_string b (Printf.sprintf "(%d, %d)" lo (lo + d))
+  done;
+  ignore (Core.Softdb.exec sdb (Buffer.contents b));
+  Core.Softdb.runstats sdb;
+  sdb
+
+let install_band_ssc sdb ~name ~confidence =
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "ev" in
+  let d = Option.get (Mining.Diff_band.mine tbl ~col_hi:"hi" ~col_lo:"lo") in
+  let band = Option.get (Mining.Diff_band.band_with d ~confidence:0.9) in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name ~table:"ev"
+       ~kind:(Core.Soft_constraint.Statistical confidence)
+       ~installed_at_mutations:
+         (Core.Sc_catalog.mutations_of (Core.Softdb.db sdb) "ev")
+       (Core.Soft_constraint.Diff_stmt (d, band)))
+
+(* a range on hi plus any predicate on lo makes the diff-band twin fire *)
+let twin_sql = "SELECT * FROM ev WHERE hi >= 50 AND hi <= 60 AND lo >= 0"
+
+(* ---- EXPLAIN ANALYZE ------------------------------------------------------- *)
+
+let test_explain_analyze () =
+  let sdb = band_sdb () in
+  let baseline = Core.Softdb.query_baseline sdb twin_sql in
+  let expected = List.length baseline.Exec.Executor.rows in
+  match Core.Softdb.exec sdb ("EXPLAIN ANALYZE " ^ twin_sql) with
+  | Core.Softdb.Analyzed a ->
+      check tint "result rows" expected
+        (List.length a.Opt.Explain.result.Exec.Executor.rows);
+      (match a.Opt.Explain.nodes with
+      | root :: _ ->
+          check tint "root actual rows" expected
+            root.Opt.Explain.actual_rows;
+          check tbool "root q-error consistent" true
+            (Float.abs
+               (root.Opt.Explain.node_q_error
+               -. Obs.Feedback.q_error
+                    ~estimated:root.Opt.Explain.est_rows ~actual:expected)
+            < 1e-9)
+      | [] -> Alcotest.fail "no annotated nodes");
+      check tbool "every node executed or idle" true
+        (List.for_all
+           (fun n -> n.Opt.Explain.actual_rows >= 0)
+           a.Opt.Explain.nodes);
+      let rendered = Opt.Explain.analysis_to_string a in
+      check tbool "renders actual rows" true (contains rendered "actual=");
+      check tbool "renders q-error" true (contains rendered "q=")
+  | _ -> Alcotest.fail "expected Analyzed outcome"
+
+(* ---- SSC confidence recalibration end to end -------------------------------- *)
+
+let test_ssc_recalibration () =
+  let sdb = band_sdb () in
+  (* stored confidence 0.4 contradicts the measured coverage 0.9 *)
+  install_band_ssc sdb ~name:"ev_band" ~confidence:0.4;
+  (* the baseline runs first: it logs its own (twin-free) entry, and the
+     twin query must be the log's last for the inspection below *)
+  let baseline = Core.Softdb.query_baseline sdb twin_sql in
+  let result = Core.Softdb.query sdb twin_sql in
+  check tbool "twin preserved the result" true
+    (Exec.Executor.same_rows baseline result);
+  let sc =
+    Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "ev_band")
+  in
+  (match sc.Core.Soft_constraint.kind with
+  | Core.Soft_constraint.Statistical c ->
+      check (tfloat 1e-6) "confidence pulled toward observed 0.9" 0.65 c
+  | Core.Soft_constraint.Absolute -> Alcotest.fail "SSC became absolute");
+  check tint "one recalibration counted" 1
+    (Obs.Metrics.counter (Core.Softdb.metrics sdb) "feedback.recalibrations");
+  check tbool "queued for refresh" true
+    (List.mem "ev_band"
+       (Core.Maintenance.repair_queue (Core.Softdb.maintenance sdb)));
+  (* the query log carries the observation *)
+  let last = Option.get (Obs.Query_log.last (Core.Softdb.query_log sdb)) in
+  (match last.Obs.Query_log.twins with
+  | [ tw ] ->
+      check tbool "twin names the SSC" true (tw.Obs.Query_log.sc = "ev_band");
+      check (tfloat 1e-6) "stored" 0.4 tw.Obs.Query_log.stored;
+      check (tfloat 1e-6) "observed" 0.9 tw.Obs.Query_log.observed;
+      check (tfloat 1e-6) "adjusted" 0.65
+        (Option.get tw.Obs.Query_log.adjusted)
+  | _ -> Alcotest.fail "expected exactly one twin observation");
+  (* a second run starts from the recalibrated 0.65: still diverging from
+     0.9, so it moves again — toward, never past, the observation *)
+  ignore (Core.Softdb.query sdb twin_sql);
+  (match sc.Core.Soft_constraint.kind with
+  | Core.Soft_constraint.Statistical c ->
+      check tbool "monotone approach" true (c > 0.65 && c <= 0.9)
+  | Core.Soft_constraint.Absolute -> Alcotest.fail "SSC became absolute")
+
+let test_feedback_off_keeps_confidence () =
+  let sdb = band_sdb () in
+  install_band_ssc sdb ~name:"ev_band" ~confidence:0.4;
+  Core.Softdb.set_feedback sdb false;
+  ignore (Core.Softdb.query sdb twin_sql);
+  let sc =
+    Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "ev_band")
+  in
+  (match sc.Core.Soft_constraint.kind with
+  | Core.Soft_constraint.Statistical c ->
+      check (tfloat 1e-9) "confidence untouched" 0.4 c
+  | Core.Soft_constraint.Absolute -> Alcotest.fail "SSC became absolute");
+  (* the observation is still logged, just not applied *)
+  let last = Option.get (Obs.Query_log.last (Core.Softdb.query_log sdb)) in
+  (match last.Obs.Query_log.twins with
+  | [ tw ] -> check tbool "not adjusted" true (tw.Obs.Query_log.adjusted = None)
+  | _ -> Alcotest.fail "expected one twin observation")
+
+(* ---- sys.* virtual tables --------------------------------------------------- *)
+
+let col result name =
+  let rec idx i = function
+    | [] -> Alcotest.fail ("no column " ^ name)
+    | c :: _ when c = name -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  let i = idx 0 result.Exec.Executor.columns in
+  List.map (fun row -> Tuple.get row i) result.Exec.Executor.rows
+
+let test_sys_metrics_sql () =
+  let sdb = band_sdb () in
+  ignore (Core.Softdb.query sdb twin_sql);
+  let r =
+    Core.Softdb.query sdb
+      "SELECT name, kind, value FROM sys.metrics WHERE name = \
+       'queries.executed'"
+  in
+  (match (col r "name", col r "value") with
+  | [ Value.String "queries.executed" ], [ Value.Float v ] ->
+      check tbool "at least one query counted" true (v >= 1.0)
+  | _ -> Alcotest.fail "expected one queries.executed row");
+  (* virtual tables are read-only *)
+  check tbool "insert rejected" true
+    (try
+       ignore
+         (Core.Softdb.exec sdb "INSERT INTO sys.metrics VALUES ('x', 'c', 1)");
+       false
+     with Database.Catalog_error _ -> true);
+  (* and their names are reserved against CREATE TABLE *)
+  check tbool "create collision rejected" true
+    (try
+       ignore
+         (Database.create_table (Core.Softdb.db sdb)
+            (Schema.make "sys.metrics" [ Schema.column "a" Value.TInt ]));
+       false
+     with Database.Catalog_error _ -> true)
+
+let test_sys_soft_constraints_sql () =
+  let sdb = band_sdb () in
+  install_band_ssc sdb ~name:"ev_band" ~confidence:0.8;
+  let r =
+    Core.Softdb.query sdb
+      "SELECT name, kind, confidence FROM sys.soft_constraints"
+  in
+  (match (col r "name", col r "kind", col r "confidence") with
+  | [ Value.String "ev_band" ], [ Value.String "SSC" ], [ Value.Float c ] ->
+      check (tfloat 1e-9) "declared confidence surfaced" 0.8 c
+  | _ -> Alcotest.fail "expected the one installed SSC")
+
+let test_sys_query_log_sql () =
+  let sdb = band_sdb () in
+  ignore (Core.Softdb.query sdb twin_sql);
+  let r =
+    Core.Softdb.query sdb "SELECT sql, actual_rows, q_error FROM sys.query_log"
+  in
+  check tbool "at least the twin query logged" true
+    (List.length r.Exec.Executor.rows >= 1);
+  check tbool "q_error at least 1" true
+    (List.for_all
+       (function Value.Float q -> q >= 1.0 | _ -> false)
+       (col r "q_error"))
+
+let test_sys_plan_cache_sql () =
+  let sdb = band_sdb () in
+  let cache = Core.Plan_cache.create sdb in
+  ignore (Core.Plan_cache.prepare cache ~name:"q1" twin_sql);
+  ignore (Core.Plan_cache.execute cache "q1");
+  ignore (Core.Plan_cache.execute cache "q1");
+  let r =
+    Core.Softdb.query sdb
+      "SELECT name, valid, fast_runs, backup_runs FROM sys.plan_cache"
+  in
+  (match (col r "name", col r "valid", col r "fast_runs") with
+  | [ Value.String "q1" ], [ Value.Bool true ], [ Value.Int 2 ] -> ()
+  | _ -> Alcotest.fail "expected q1 with two fast runs");
+  let s = Core.Plan_cache.stats cache in
+  check tint "stats entries" 1 s.Core.Plan_cache.entries;
+  check tint "stats valid" 1 s.Core.Plan_cache.valid;
+  check tint "stats fast" 2 s.Core.Plan_cache.fast_runs;
+  check tint "stats backup" 0 s.Core.Plan_cache.backup_runs
+
+(* ---------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_metrics_counters_gauges;
+          Alcotest.test_case "samples and summary" `Quick
+            test_metrics_samples_summary;
+          Alcotest.test_case "snapshot deterministic, no timings" `Quick
+            test_snapshot_deterministic_no_timings;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "q-error" `Quick test_q_error;
+          Alcotest.test_case "recalibrate verdicts" `Quick test_recalibrate;
+          Alcotest.test_case "query log" `Quick test_query_log;
+        ] );
+      ( "explain_analyze",
+        [ Alcotest.test_case "annotated plan" `Quick test_explain_analyze ] );
+      ( "recalibration",
+        [
+          Alcotest.test_case "ssc confidence converges" `Quick
+            test_ssc_recalibration;
+          Alcotest.test_case "feedback off keeps confidence" `Quick
+            test_feedback_off_keeps_confidence;
+        ] );
+      ( "sys_tables",
+        [
+          Alcotest.test_case "sys.metrics" `Quick test_sys_metrics_sql;
+          Alcotest.test_case "sys.soft_constraints" `Quick
+            test_sys_soft_constraints_sql;
+          Alcotest.test_case "sys.query_log" `Quick test_sys_query_log_sql;
+          Alcotest.test_case "sys.plan_cache" `Quick test_sys_plan_cache_sql;
+        ] );
+    ]
