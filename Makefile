@@ -1,4 +1,4 @@
-.PHONY: all build test check bench fmt clean
+.PHONY: all build test check faultcheck bench fmt clean
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 # the CI gate: everything compiles and every suite passes
 check: build test
+
+# the crash matrix: a simulated crash at every registered fault point,
+# recovery must land on exactly the pre- or post-transaction state
+faultcheck:
+	dune exec test/test_recovery.exe
 
 bench:
 	dune exec bench/main.exe

@@ -5,12 +5,17 @@
      softdb demo (purchase|project|tpcd|all)
                                       preload a workload, then drop to a repl
 
+   Every command takes --wal FILE: state is recovered from the log at
+   startup and every statement is logged, so a crash (or plain exit)
+   loses nothing that committed.
+
    Inside the repl, besides SQL:
      \catalog        show the soft-constraint catalog
      \constraints    show the (hard/informational) integrity constraints
      \advise SQL;... mine + select soft constraints for the given workload
      \off SQL        run one query with all soft-constraint machinery off
      \stats          dump the metrics registry and query-log summary
+     \checkpoint     compact the WAL to a snapshot of the current state
      \quit
 
    EXPLAIN ANALYZE SELECT ... executes the query instrumented and prints
@@ -91,7 +96,7 @@ let advise sdb args =
         outcome.Core.Advisor.assessed;
       Fmt.pr "%d installed@." (List.length outcome.Core.Advisor.installed)
 
-let exec_line sdb line =
+let exec_line ?link sdb line =
   let line = String.trim line in
   if line = "" then ()
   else if String.length line > 0 && line.[0] = '\\' then begin
@@ -115,21 +120,30 @@ let exec_line sdb line =
               (Core.Softdb.Rows (Core.Softdb.query_baseline sdb rest)))
     | "\\demo" -> load_demo sdb rest
     | "\\stats" -> print_stats sdb
-    | "\\quit" | "\\q" -> exit 0
+    | "\\checkpoint" -> (
+        match link with
+        | Some l ->
+            handle_error (fun () ->
+                Core.Recovery.checkpoint l;
+                Fmt.pr "checkpointed@.")
+        | None -> Fmt.epr "no WAL attached (start with --wal FILE)@.")
+    | "\\quit" | "\\q" ->
+        Option.iter Core.Recovery.detach link;
+        exit 0
     | other -> Fmt.epr "unknown command %s@." other
   end
   else handle_error (fun () -> print_outcome (Core.Softdb.exec sdb line))
 
-let repl sdb =
+let repl ?link sdb =
   Fmt.pr
     "softdb — soft constraints in a relational optimizer.  SQL statements \
      end at end of line; \\quit to leave, \\demo purchase to load data.@.";
   let rec loop () =
     Fmt.pr "softdb> %!";
     match In_channel.input_line stdin with
-    | None -> ()
+    | None -> Option.iter Core.Recovery.detach link
     | Some line ->
-        exec_line sdb line;
+        exec_line ?link sdb line;
         loop ()
   in
   loop ()
@@ -140,13 +154,35 @@ let run_script sdb ~stats path =
       List.iter print_outcome (Core.Softdb.exec_script sdb text));
   if stats then print_stats sdb
 
+(* --wal FILE: recover state from the log, then keep logging into it.
+   Demo loads bulk-insert through the storage layer directly, so a
+   checkpoint right after the load compacts the log into a coherent
+   snapshot (schema + rows) the next startup can replay. *)
+let with_wal wal_path f =
+  match wal_path with
+  | None -> f (Core.Softdb.create ()) None
+  | Some path ->
+      let sdb, link = Core.Recovery.resume path in
+      Fmt.pr "recovered state from %s@." path;
+      f sdb (Some link)
+
 (* ---- cmdliner wiring --------------------------------------------------- *)
 
 open Cmdliner
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead log: recover state from $(docv) at startup (absent or \
+           empty is fine), then log every statement into it.")
+
 let repl_cmd =
   let doc = "interactive SQL shell" in
-  Cmd.v (Cmd.info "repl" ~doc) Term.(const (fun () -> repl (Core.Softdb.create ())) $ const ())
+  Cmd.v (Cmd.info "repl" ~doc)
+    Term.(const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb)) $ wal_arg)
 
 let run_cmd =
   let file =
@@ -159,8 +195,11 @@ let run_cmd =
   let doc = "execute a SQL script" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun stats f -> run_script (Core.Softdb.create ()) ~stats f)
-      $ stats $ file)
+      const (fun wal stats f ->
+          with_wal wal (fun sdb link ->
+              run_script sdb ~stats f;
+              Option.iter Core.Recovery.detach link))
+      $ wal_arg $ stats $ file)
 
 let demo_cmd =
   let which =
@@ -169,16 +208,20 @@ let demo_cmd =
   let doc = "preload a demo workload (purchase|project|tpcd|all), then repl" in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun w ->
-          let sdb = Core.Softdb.create () in
-          load_demo sdb w;
-          repl sdb)
-      $ which)
+      const (fun wal w ->
+          with_wal wal (fun sdb link ->
+              load_demo sdb w;
+              Option.iter Core.Recovery.checkpoint link;
+              repl ?link sdb))
+      $ wal_arg $ which)
 
 let main =
   let doc = "soft constraints in a relational query optimizer" in
   Cmd.group
-    ~default:Term.(const (fun () -> repl (Core.Softdb.create ())) $ const ())
+    ~default:
+      Term.(
+        const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb))
+        $ wal_arg)
     (Cmd.info "softdb" ~doc)
     [ repl_cmd; run_cmd; demo_cmd ]
 

@@ -79,12 +79,12 @@ let retighten t ~table =
              = sc_name ~table ~column:r.Expr.col -> (
           match Mining.Domain_mine.mine_range tbl ~column:r.Expr.col with
           | Some range ->
-              sc.Soft_constraint.statement <-
-                Soft_constraint.Ic_stmt
-                  (Icdef.Check (Mining.Domain_mine.range_to_check range));
-              sc.Soft_constraint.state <- Soft_constraint.Active;
-              sc.Soft_constraint.installed_at_mutations <-
-                Table.mutations tbl
+              let catalog = Softdb.catalog t in
+              Sc_catalog.set_statement catalog sc
+                (Soft_constraint.Ic_stmt
+                   (Icdef.Check (Mining.Domain_mine.range_to_check range)));
+              Sc_catalog.set_state catalog sc Soft_constraint.Active;
+              Sc_catalog.set_anchor catalog sc (Table.mutations tbl)
           | None -> ())
       | _ -> ())
     (Sc_catalog.on_table (Softdb.catalog t) table)

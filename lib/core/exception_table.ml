@@ -36,43 +36,26 @@ let find_exception_rid db handle row =
           if !found = None && Tuple.equal r row then found := Some rid);
       !found
 
-let install db ~(sc : Soft_constraint.t) ~table_name =
+let handle_of db ~(sc : Soft_constraint.t) ~table_name =
   let check =
     match Soft_constraint.check_pred sc with
     | Some p -> p
     | None -> raise (Not_check_shaped sc.Soft_constraint.name)
   in
-  let base =
-    Database.table_exn db sc.Soft_constraint.table
-  in
-  let base_schema = Table.schema base in
-  let exc_schema =
-    Schema.make table_name
-      (List.map
-         (fun c -> { c with Schema.nullable = true })
-         (Schema.columns base_schema))
-  in
-  ignore (Database.create_table db exc_schema);
-  let binding = Expr.Binding.of_schema base_schema in
-  let handle =
-    {
-      constraint_name = sc.Soft_constraint.name;
-      base_table = Table.name base;
-      exception_table = table_name;
-      check;
-    }
-  in
-  (* initial population: current violators *)
-  let violators =
-    Table.fold base ~init:[] ~f:(fun acc _ row ->
-        if Expr.check_violated binding check row then row :: acc else acc)
-  in
-  List.iter
-    (fun row ->
-      ignore (Database.insert db ~table:table_name (Tuple.copy row)))
-    (List.rev violators);
-  (* incremental maintenance *)
-  let violates row = Expr.check_violated binding check row in
+  let base = Database.table_exn db sc.Soft_constraint.table in
+  {
+    constraint_name = sc.Soft_constraint.name;
+    base_table = Table.name base;
+    exception_table = table_name;
+    check;
+  }
+
+(* incremental maintenance listener shared by [install] and [reattach] *)
+let listen db handle =
+  let table_name = handle.exception_table in
+  let base = Database.table_exn db handle.base_table in
+  let binding = Expr.Binding.of_schema (Table.schema base) in
+  let violates row = Expr.check_violated binding handle.check row in
   let norm = String.lowercase_ascii in
   Database.on_mutation db (fun m ->
       match m with
@@ -101,7 +84,38 @@ let install db ~(sc : Soft_constraint.t) ~table_name =
                 Database.update db ~table:table_name rid (Tuple.copy after)
             | None ->
                 ignore (Database.insert db ~table:table_name (Tuple.copy after)))
-      | Database.Inserted _ | Database.Deleted _ | Database.Updated _ -> ());
+      | Database.Inserted _ | Database.Deleted _ | Database.Updated _ -> ())
+
+let install db ~(sc : Soft_constraint.t) ~table_name =
+  let handle = handle_of db ~sc ~table_name in
+  let base = Database.table_exn db handle.base_table in
+  let base_schema = Table.schema base in
+  let exc_schema =
+    Schema.make table_name
+      (List.map
+         (fun c -> { c with Schema.nullable = true })
+         (Schema.columns base_schema))
+  in
+  ignore (Database.create_table db exc_schema);
+  (* initial population: current violators *)
+  let binding = Expr.Binding.of_schema base_schema in
+  let violators =
+    Table.fold base ~init:[] ~f:(fun acc _ row ->
+        if Expr.check_violated binding handle.check row then row :: acc else acc)
+  in
+  List.iter
+    (fun row ->
+      ignore (Database.insert db ~table:table_name (Tuple.copy row)))
+    (List.rev violators);
+  listen db handle;
+  handle
+
+(* Recovery path: the exception table and its contents were already
+   replayed from the log — only the handle and the maintenance listener
+   must be re-established (re-populating would duplicate rows). *)
+let reattach db ~(sc : Soft_constraint.t) ~table_name =
+  let handle = handle_of db ~sc ~table_name in
+  listen db handle;
   handle
 
 (* Verification oracle: the exception table holds exactly the violators. *)

@@ -27,6 +27,13 @@ exception Not_check_shaped of string
 val install : Database.t -> sc:Soft_constraint.t -> table_name:string ->
   handle
 
+val reattach : Database.t -> sc:Soft_constraint.t -> table_name:string ->
+  handle
+(** Recovery path: the exception table and its rows already exist (they
+    were replayed from the log); re-establish only the handle and the
+    incremental-maintenance listener, without creating or re-populating
+    the table. *)
+
 val exception_rows : Database.t -> handle -> int
 
 val consistent : Database.t -> handle -> bool

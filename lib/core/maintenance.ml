@@ -49,6 +49,11 @@ type t = {
 
 let norm = String.lowercase_ascii
 
+(* Named crash/IO-error sites for the fault harness; {!Recovery.attach}
+   declares them so the crash-matrix test can iterate the full set. *)
+let fault_points =
+  [ "maintenance.violation"; "maintenance.repair"; "maintenance.refresh" ]
+
 let policy_of t name =
   Option.value (List.assoc_opt (norm name) t.policies)
     ~default:t.default_policy
@@ -118,7 +123,8 @@ let numeric v =
 
 (* Try to repair [sc] in place so the new [row] no longer violates it.
    Returns false when this statement class cannot be widened. *)
-let sync_repair db (sc : Soft_constraint.t) row =
+let sync_repair t (sc : Soft_constraint.t) row =
+  let db = t.db in
   match Database.find_table db sc.Soft_constraint.table with
   | None -> false
   | Some tbl -> (
@@ -131,8 +137,8 @@ let sync_repair db (sc : Soft_constraint.t) row =
               numeric (value d.Mining.Diff_band.col_lo) )
           with
           | Some h, Some l ->
-              sc.Soft_constraint.statement <-
-                Soft_constraint.Diff_stmt (d, widen_diff band (h -. l));
+              Sc_catalog.set_statement t.catalog sc
+                (Soft_constraint.Diff_stmt (d, widen_diff band (h -. l)));
               true
           | _ -> false)
       | Soft_constraint.Corr_stmt (c, band) -> (
@@ -145,14 +151,14 @@ let sync_repair db (sc : Soft_constraint.t) row =
                 Float.abs
                   (a -. ((c.Mining.Correlation.k *. b) +. c.Mining.Correlation.b))
               in
-              sc.Soft_constraint.statement <-
-                Soft_constraint.Corr_stmt
-                  ( c,
-                    {
-                      band with
-                      Mining.Correlation.eps =
-                        max band.Mining.Correlation.eps resid;
-                    } );
+              Sc_catalog.set_statement t.catalog sc
+                (Soft_constraint.Corr_stmt
+                   ( c,
+                     {
+                       band with
+                       Mining.Correlation.eps =
+                         max band.Mining.Correlation.eps resid;
+                     } ));
               true
           | _ -> false)
       | Soft_constraint.Ic_stmt (Icdef.Check p) -> (
@@ -167,11 +173,11 @@ let sync_repair db (sc : Soft_constraint.t) row =
                 and hi' =
                   if Value.compare_total v hi > 0 then v else hi
                 in
-                sc.Soft_constraint.statement <-
-                  Soft_constraint.Ic_stmt
-                    (Icdef.Check
-                       (Expr.Between
-                          (Expr.Col r, Expr.Const lo', Expr.Const hi')));
+                Sc_catalog.set_statement t.catalog sc
+                  (Soft_constraint.Ic_stmt
+                     (Icdef.Check
+                        (Expr.Between
+                           (Expr.Col r, Expr.Const lo', Expr.Const hi'))));
                 true
               end
           | _ -> false)
@@ -190,24 +196,26 @@ let shrink_holes (h : Mining.Join_holes.t) ~axis ~at =
   { h with Mining.Join_holes.rects = List.filter keep h.Mining.Join_holes.rects }
 
 let handle_violation t (sc : Soft_constraint.t) row =
-  sc.Soft_constraint.violation_count <- sc.Soft_constraint.violation_count + 1;
+  Obs.Fault.point "maintenance.violation";
+  Sc_catalog.set_violations t.catalog sc
+    (sc.Soft_constraint.violation_count + 1);
   match policy_of t sc.Soft_constraint.name with
   | Drop ->
-      sc.Soft_constraint.state <- Soft_constraint.Violated;
+      Sc_catalog.set_state t.catalog sc Soft_constraint.Violated;
       record t sc.Soft_constraint.name "dropped on violation"
   | Sync_repair ->
-      if sync_repair t.db sc row then begin
-        sc.Soft_constraint.installed_at_mutations <-
-          Sc_catalog.mutations_of t.db sc.Soft_constraint.table;
+      if sync_repair t sc row then begin
+        Sc_catalog.set_anchor t.catalog sc
+          (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
         record t sc.Soft_constraint.name "repaired synchronously (widened)"
       end
       else begin
-        sc.Soft_constraint.state <- Soft_constraint.Violated;
+        Sc_catalog.set_state t.catalog sc Soft_constraint.Violated;
         record t sc.Soft_constraint.name
           "sync repair impossible; dropped on violation"
       end
   | Async_repair ->
-      sc.Soft_constraint.state <- Soft_constraint.Violated;
+      Sc_catalog.set_state t.catalog sc Soft_constraint.Violated;
       t.repair_queue <- t.repair_queue @ [ sc.Soft_constraint.name ];
       record t sc.Soft_constraint.name "queued for asynchronous repair"
 
@@ -225,8 +233,8 @@ let on_row_arrival t table row =
         match Soft_constraint.check_pred sc with
         | Some _ ->
             if row_violates t.db sc row then begin
-              sc.Soft_constraint.violation_count <-
-                sc.Soft_constraint.violation_count + 1;
+              Sc_catalog.set_violations t.catalog sc
+                (sc.Soft_constraint.violation_count + 1);
               record t sc.Soft_constraint.name "violation during probation"
             end
         | None -> ()
@@ -269,8 +277,8 @@ let on_row_arrival t table row =
                             List.length h'.Mining.Join_holes.rects
                             <> List.length h.Mining.Join_holes.rects
                           then begin
-                            sc.Soft_constraint.statement <-
-                              Soft_constraint.Holes_stmt h';
+                            Sc_catalog.set_statement t.catalog sc
+                              (Soft_constraint.Holes_stmt h');
                             record t sc.Soft_constraint.name
                               "holes conservatively shrunk on insert"
                           end
@@ -328,7 +336,7 @@ let track_fd t (sc : Soft_constraint.t) =
       match build_fd_state t.db sc fd with
       | Some st -> Hashtbl.replace t.fd_states (norm sc.Soft_constraint.name) st
       | None ->
-          sc.Soft_constraint.state <- Soft_constraint.Violated;
+          Sc_catalog.set_state t.catalog sc Soft_constraint.Violated;
           record t sc.Soft_constraint.name "FD does not hold at install time")
   | _ -> ()
 
@@ -352,8 +360,8 @@ let remine t (sc : Soft_constraint.t) =
                   ~confidence:band.Mining.Diff_band.confidence
               with
               | Some band' ->
-                  sc.Soft_constraint.statement <-
-                    Soft_constraint.Diff_stmt (d', band');
+                  Sc_catalog.set_statement t.catalog sc
+                    (Soft_constraint.Diff_stmt (d', band'));
                   true
               | None -> false)
           | None -> false)
@@ -370,8 +378,8 @@ let remine t (sc : Soft_constraint.t) =
                   ~confidence:band.Mining.Correlation.confidence
               with
               | Some band' ->
-                  sc.Soft_constraint.statement <-
-                    Soft_constraint.Corr_stmt (c', band');
+                  Sc_catalog.set_statement t.catalog sc
+                    (Soft_constraint.Corr_stmt (c', band'));
                   true
               | None -> false)
           | None -> false)
@@ -401,7 +409,8 @@ let remine t (sc : Soft_constraint.t) =
                   ~right_col:h.Mining.Join_holes.right_col ()
               with
               | Some h' ->
-                  sc.Soft_constraint.statement <- Soft_constraint.Holes_stmt h';
+                  Sc_catalog.set_statement t.catalog sc
+                    (Soft_constraint.Holes_stmt h');
                   true
               | None -> false)
           | _ -> false))
@@ -414,14 +423,15 @@ let run_repairs t =
       match Sc_catalog.find t.catalog name with
       | None -> ()
       | Some sc ->
+          Obs.Fault.point "maintenance.repair";
           if remine t sc then begin
-            sc.Soft_constraint.state <- Soft_constraint.Active;
-            sc.Soft_constraint.installed_at_mutations <-
-              Sc_catalog.mutations_of t.db sc.Soft_constraint.table;
+            Sc_catalog.set_state t.catalog sc Soft_constraint.Active;
+            Sc_catalog.set_anchor t.catalog sc
+              (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
             record t name "asynchronously repaired (re-mined)"
           end
           else begin
-            sc.Soft_constraint.state <- Soft_constraint.Dropped;
+            Sc_catalog.set_state t.catalog sc Soft_constraint.Dropped;
             record t name "asynchronous repair failed; dropped"
           end)
     queue
@@ -444,13 +454,13 @@ let promote_survivors ?(after = 100) t =
           - sc.Soft_constraint.installed_at_mutations
         in
         if sc.Soft_constraint.violation_count > 0 then begin
-          sc.Soft_constraint.state <- Soft_constraint.Dropped;
+          Sc_catalog.set_state t.catalog sc Soft_constraint.Dropped;
           record t sc.Soft_constraint.name
             "dropped at end of probation (violations observed)";
           rejected := sc :: !rejected
         end
         else if observed >= after then begin
-          sc.Soft_constraint.state <- Soft_constraint.Active;
+          Sc_catalog.set_state t.catalog sc Soft_constraint.Active;
           record t sc.Soft_constraint.name "promoted from probation";
           promoted := sc :: !promoted
         end
@@ -488,14 +498,15 @@ let measured_confidence db (sc : Soft_constraint.t) =
       | _ -> None)
 
 let refresh_statistics t =
+  Obs.Fault.point "maintenance.refresh";
   List.iter
     (fun (sc : Soft_constraint.t) ->
       if not (Soft_constraint.is_absolute sc) then begin
         match measured_confidence t.db sc with
         | Some c ->
-            sc.Soft_constraint.kind <- Soft_constraint.Statistical c;
-            sc.Soft_constraint.installed_at_mutations <-
-              Sc_catalog.mutations_of t.db sc.Soft_constraint.table;
+            Sc_catalog.set_kind t.catalog sc (Soft_constraint.Statistical c);
+            Sc_catalog.set_anchor t.catalog sc
+              (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
             record t sc.Soft_constraint.name
               (Printf.sprintf "statistics refreshed: confidence %.4f" c)
         | None -> ()

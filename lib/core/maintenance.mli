@@ -24,6 +24,11 @@ type event = { sc_name : string; action : string; at_mutations : int }
 
 type t
 
+val fault_points : string list
+(** The named fault sites this module fires ([maintenance.violation],
+    [maintenance.repair], [maintenance.refresh]); declared with
+    {!Obs.Fault} by {!Recovery.attach}. *)
+
 val attach : ?default_policy:policy -> Database.t -> Sc_catalog.t -> t
 (** Register the mutation listener; [default_policy] defaults to
     [Drop]. *)

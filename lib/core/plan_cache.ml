@@ -17,8 +17,6 @@
    [reprepare] re-optimizes invalidated entries against the current
    catalog, the "recompiled before they can be used again" path. *)
 
-open Rel
-
 type entry = {
   name : string;
   sql : string;
@@ -36,13 +34,10 @@ type t = { sdb : Softdb.t; mutable entries : entry list }
 exception No_such_plan of string
 
 (* Rewrite-critical dependencies: every SC a non-estimation-only rewrite
-   relied on.  Twins (estimation-only) are excluded. *)
-let dependencies_of (report : Opt.Explain.report) =
-  List.filter_map
-    (fun (a : Opt.Rewrite.applied) ->
-      if a.Opt.Rewrite.rule = "twinning" then None else a.Opt.Rewrite.sc)
-    report.Opt.Explain.applied
-  |> List.sort_uniq String.compare
+   relied on.  Twins (estimation-only) are excluded.  The report's guard
+   set is exactly this (with class-level attribution for rules that log
+   no constraint name), computed by {!Softdb.optimize}. *)
+let dependencies_of (report : Opt.Explain.report) = report.Opt.Explain.guards
 
 let prepare t ~name sql =
   let query = Sqlfe.Parser.parse_query_string sql in
@@ -71,15 +66,13 @@ let find t name = List.find_opt (fun e -> e.name = name) t.entries
 let find_exn t name =
   match find t name with Some e -> e | None -> raise (No_such_plan name)
 
-(* A dependency invalidates the plan when it exists but is no longer
-   Active.  A dependency that was *dropped from the catalog entirely* also
-   invalidates: the promise is gone.  Hard ICs (never in the SC catalog
-   but named as deps via FK rules) stay valid as long as they are still
-   declared. *)
-let dep_valid t dep =
-  match Sc_catalog.find (Softdb.catalog t.sdb) dep with
-  | Some sc -> Soft_constraint.is_usable sc
-  | None -> Database.find_constraint (Softdb.db t.sdb) dep <> None
+(* A dependency invalidates the plan when it exists but is no longer a
+   valid basis for the compiled rewrites.  A dependency that was *dropped
+   from the catalog entirely* also invalidates: the promise is gone.
+   Hard ICs (never in the SC catalog but named as deps via FK rules) and
+   exception-backed ASCs stay valid while still declared — the same
+   check the guarded executor applies ({!Softdb.guard_ok}). *)
+let dep_valid t dep = Softdb.guard_ok t.sdb dep
 
 let is_valid t entry =
   (not entry.invalidated) && List.for_all (dep_valid t) entry.deps
@@ -127,6 +120,7 @@ let execute t name =
   else begin
     entry.invalidated <- true;
     entry.backup_runs <- entry.backup_runs + 1;
+    Obs.Metrics.incr (Softdb.metrics t.sdb) "sc_guard_fallbacks";
     Exec.Executor.run (Softdb.db t.sdb) entry.backup
   end
 

@@ -1,0 +1,407 @@
+(* Crash-safe durability: the link between a live {!Softdb.t} and a
+   write-ahead log, plus checkpointing and replay.
+
+   The engine is in-memory, so durability is entirely log-shaped: every
+   data mutation and every soft-constraint catalog transition is appended
+   to the WAL inside a begin/commit/abort frame, and [recover] replays
+   the committed frames into a fresh database.  Framing:
+
+   - an explicit {!Txn} maps to one WAL transaction — paper §4.1's
+     question ("what then if transaction A aborts in the end anyway?  Is
+     the ASC then re-instated?") is answered across crashes too: an ASC
+     overturned by a transaction whose commit record never made it to the
+     log comes back on recovery, because the whole frame is skipped;
+   - outside explicit transactions each statement autocommits: its frame
+     commits at statement end (partial effects of a failed DML statement
+     are real in memory, so the frame commits on failure as well);
+   - DDL is logged as its printed SQL and re-executed at replay; the data
+     and catalog side effects of executing it (index backfills,
+     exception-table population, SOFT installs) are suppressed from the
+     log while the statement runs, since the replayed statement
+     regenerates them deterministically.
+
+   Replay applies data records through the listener-free
+   {!Database.replay_insert}/[replay_delete]/[replay_update] primitives —
+   listener side effects (exception-table maintenance, SC overturns) are
+   themselves in the log, so re-firing listeners would double-apply
+   them.  Inserts are rid-faithful, which keeps later records (and
+   exception-table row identities) aligned.
+
+   Every handler no-ops once {!Obs.Fault.crash_pending} is set: after a
+   simulated crash the process is presumed dead, and nothing it would
+   have done after the crash instant may reach the log. *)
+
+open Rel
+
+exception Recovery_error of string
+
+type frame = Closed | Open of { txn : int; explicit_ : bool }
+
+type t = {
+  sdb : Softdb.t;
+  wal : Wal.t;
+  mutable frame : frame;
+  mutable suppress : bool; (* a DDL statement is executing *)
+  mutable dead : bool;
+}
+
+let softdb link = link.sdb
+let wal link = link.wal
+
+let alive link = (not link.dead) && not (Obs.Fault.crash_pending ())
+
+(* ---- record emission ----------------------------------------------------- *)
+
+let ensure_frame link =
+  match link.frame with
+  | Open { txn; _ } -> txn
+  | Closed ->
+      let txn = Wal.fresh_txn link.wal in
+      Wal.append link.wal (Wal.Begin { txn });
+      link.frame <- Open { txn; explicit_ = false };
+      txn
+
+let commit_frame link =
+  match link.frame with
+  | Closed -> ()
+  | Open { txn; _ } ->
+      link.frame <- Closed;
+      Wal.commit link.wal txn
+
+let abort_frame link =
+  match link.frame with
+  | Closed -> ()
+  | Open { txn; _ } ->
+      link.frame <- Closed;
+      Wal.abort link.wal txn
+
+let snapshot_of (sc : Soft_constraint.t) =
+  {
+    Wal.sc_name = sc.Soft_constraint.name;
+    sc_table = sc.Soft_constraint.table;
+    sc_absolute = Soft_constraint.is_absolute sc;
+    sc_confidence = Soft_constraint.confidence sc;
+    sc_state = Soft_constraint.state_to_string sc.Soft_constraint.state;
+    sc_anchor = sc.Soft_constraint.installed_at_mutations;
+    sc_violations = sc.Soft_constraint.violation_count;
+    sc_repr = Sc_codec.statement_repr sc.Soft_constraint.statement;
+  }
+
+let on_mutation link m =
+  if alive link && not link.suppress then begin
+    let txn = ensure_frame link in
+    let record =
+      match m with
+      | Database.Inserted { table; rid; row } ->
+          Wal.Insert { txn; table; rid; row = Tuple.copy row }
+      | Database.Deleted { table; rid; row } ->
+          Wal.Delete { txn; table; rid; row = Tuple.copy row }
+      | Database.Updated { table; rid; before; after } ->
+          Wal.Update
+            {
+              txn;
+              table;
+              rid;
+              before = Tuple.copy before;
+              after = Tuple.copy after;
+            }
+    in
+    Wal.append link.wal record
+  end
+
+let on_sc_change link c =
+  if alive link && not link.suppress then begin
+    let txn = ensure_frame link in
+    let name (sc : Soft_constraint.t) = sc.Soft_constraint.name in
+    let change =
+      match c with
+      | Sc_catalog.Installed sc -> Wal.Sc_installed (snapshot_of sc)
+      | Sc_catalog.Removed sc -> Wal.Sc_dropped { name = name sc }
+      | Sc_catalog.State_changed sc ->
+          Wal.Sc_state
+            {
+              name = name sc;
+              state = Soft_constraint.state_to_string sc.Soft_constraint.state;
+            }
+      | Sc_catalog.Kind_changed sc ->
+          Wal.Sc_kind
+            {
+              name = name sc;
+              absolute = Soft_constraint.is_absolute sc;
+              confidence = Soft_constraint.confidence sc;
+            }
+      | Sc_catalog.Anchor_changed sc ->
+          Wal.Sc_anchor
+            {
+              name = name sc;
+              anchor = sc.Soft_constraint.installed_at_mutations;
+            }
+      | Sc_catalog.Violations_changed sc ->
+          Wal.Sc_violations
+            { name = name sc; count = sc.Soft_constraint.violation_count }
+      | Sc_catalog.Statement_changed sc ->
+          Wal.Sc_statement
+            {
+              name = name sc;
+              repr = Sc_codec.statement_repr sc.Soft_constraint.statement;
+            }
+      | Sc_catalog.Exception_registered { constraint_name; table } ->
+          Wal.Sc_exception { name = constraint_name; table }
+    in
+    Wal.append link.wal (Wal.Sc { txn; change })
+  end
+
+let on_txn link ev =
+  if alive link then
+    match ev with
+    | Txn.Began t when Txn.softdb t == link.sdb ->
+        (* close any dangling autocommit frame, then open the explicit one *)
+        commit_frame link;
+        let txn = Wal.fresh_txn link.wal in
+        Wal.append link.wal (Wal.Begin { txn });
+        link.frame <- Open { txn; explicit_ = true }
+    | Txn.Committed t when Txn.softdb t == link.sdb -> commit_frame link
+    | Txn.Rolled_back t when Txn.softdb t == link.sdb -> abort_frame link
+    | Txn.Began _ | Txn.Committed _ | Txn.Rolled_back _ -> ()
+
+let is_ddl (stmt : Sqlfe.Ast.statement) =
+  match stmt with
+  | Sqlfe.Ast.Create_table _ | Sqlfe.Ast.Drop_table _ | Sqlfe.Ast.Drop_index _
+  | Sqlfe.Ast.Create_index _ | Sqlfe.Ast.Alter_add_constraint _
+  | Sqlfe.Ast.Drop_constraint _ | Sqlfe.Ast.Create_exception_table _ ->
+      true
+  | Sqlfe.Ast.Query _ | Sqlfe.Ast.Explain _ | Sqlfe.Ast.Explain_analyze _
+  | Sqlfe.Ast.Insert _ | Sqlfe.Ast.Delete _ | Sqlfe.Ast.Update _
+  | Sqlfe.Ast.Runstats _ ->
+      false
+
+let autocommit link =
+  match link.frame with
+  | Open { explicit_ = false; _ } -> commit_frame link
+  | Open { explicit_ = true; _ } | Closed -> ()
+
+let on_statement link ev =
+  if alive link then
+    match ev with
+    | Softdb.Stmt_started stmt -> if is_ddl stmt then link.suppress <- true
+    | Softdb.Stmt_finished (stmt, ok) ->
+        if is_ddl stmt then begin
+          link.suppress <- false;
+          if ok then begin
+            let txn = ensure_frame link in
+            Wal.append link.wal
+              (Wal.Ddl { txn; sql = Sqlfe.Printer.statement_to_string stmt });
+            autocommit link
+          end
+        end
+        else
+          (* a failed DML statement still commits its frame: the partial
+             effects are real in memory and must survive recovery *)
+          autocommit link
+
+(* ---- wiring -------------------------------------------------------------- *)
+
+let attach sdb wal =
+  Obs.Fault.install ();
+  List.iter Obs.Fault.declare Txn.fault_points;
+  List.iter Obs.Fault.declare Maintenance.fault_points;
+  let link = { sdb; wal; frame = Closed; suppress = false; dead = false } in
+  Database.on_mutation (Softdb.db sdb) (on_mutation link);
+  Sc_catalog.on_change (Softdb.catalog sdb) (on_sc_change link);
+  Txn.on_event (on_txn link);
+  Softdb.on_statement sdb (on_statement link);
+  link
+
+let flush link =
+  if alive link then begin
+    autocommit link;
+    Wal.flush link.wal
+  end
+
+let detach link =
+  flush link;
+  link.dead <- true
+
+let kill link = link.dead <- true
+
+(* ---- checkpoint ---------------------------------------------------------- *)
+
+(* Rewrite the log as one committed frame reproducing the current state:
+   schema DDL, raw rows (rid-faithful), and soft-constraint images.
+   Auto-created key indexes are omitted — replaying the ALTER statements
+   recreates them under the same names. *)
+let checkpoint link =
+  (match link.frame with
+  | Open { explicit_ = true; _ } ->
+      raise (Recovery_error "checkpoint during an active transaction")
+  | Open { explicit_ = false; _ } | Closed -> commit_frame link);
+  let db = Softdb.db link.sdb in
+  let catalog = Softdb.catalog link.sdb in
+  let txn = 1 in
+  let buf = ref [] in
+  let emit r = buf := r :: !buf in
+  let ddl stmt =
+    emit (Wal.Ddl { txn; sql = Sqlfe.Printer.statement_to_string stmt })
+  in
+  emit (Wal.Begin { txn });
+  let tables = List.sort String.compare (Database.table_names db) in
+  List.iter
+    (fun name ->
+      let schema = Table.schema (Database.table_exn db name) in
+      let cols =
+        List.map
+          (fun (c : Schema.column) ->
+            {
+              Sqlfe.Ast.col_name = c.Schema.name;
+              col_type = c.Schema.dtype;
+              col_not_null = not c.Schema.nullable;
+            })
+          (Schema.columns schema)
+      in
+      ddl (Sqlfe.Ast.Create_table { name; cols; constraints = [] }))
+    tables;
+  List.iter
+    (fun (ic : Icdef.t) ->
+      ddl
+        (Sqlfe.Ast.Alter_add_constraint
+           {
+             table = ic.Icdef.table;
+             con =
+               {
+                 Sqlfe.Ast.con_name = Some ic.Icdef.name;
+                 con_body = ic.Icdef.body;
+                 con_mode =
+                   (if Icdef.is_enforced ic then Sqlfe.Ast.Mode_enforced
+                    else Sqlfe.Ast.Mode_informational);
+               };
+           }))
+    (Database.constraints db);
+  let auto_key_indexes =
+    List.filter_map
+      (fun (ic : Icdef.t) ->
+        match ic.Icdef.body with
+        | Icdef.Primary_key cols | Icdef.Unique cols ->
+            Some
+              (Printf.sprintf "%s_key_%s" ic.Icdef.table
+                 (String.concat "_" cols))
+        | _ -> None)
+      (Database.constraints db)
+  in
+  List.iter
+    (fun tname ->
+      List.iter
+        (fun idx ->
+          let iname = Index.name idx in
+          if not (List.mem iname auto_key_indexes) then
+            ddl
+              (Sqlfe.Ast.Create_index
+                 {
+                   index_name = iname;
+                   table = tname;
+                   columns = Index.columns idx;
+                   unique = Index.is_unique idx;
+                 }))
+        (Database.indexes_on db tname))
+    tables;
+  List.iter
+    (fun tname ->
+      let tbl = Database.table_exn db tname in
+      Table.iteri tbl ~f:(fun rid row ->
+          emit (Wal.Insert { txn; table = tname; rid; row = Tuple.copy row })))
+    tables;
+  List.iter
+    (fun sc -> emit (Wal.Sc { txn; change = Wal.Sc_installed (snapshot_of sc) }))
+    (Sc_catalog.all catalog);
+  List.iter
+    (fun (cname, table) ->
+      emit (Wal.Sc { txn; change = Wal.Sc_exception { name = cname; table } }))
+    (Sc_catalog.exception_tables catalog);
+  emit (Wal.Commit { txn });
+  Wal.truncate_with link.wal (List.rev !buf)
+
+(* ---- replay -------------------------------------------------------------- *)
+
+let apply_sc_change sdb change =
+  let catalog = Softdb.catalog sdb in
+  let with_sc name f =
+    match Sc_catalog.find catalog name with Some sc -> f sc | None -> ()
+  in
+  match change with
+  | Wal.Sc_installed snap ->
+      (* idempotent: a SOFT declaration replayed as DDL already installed
+         the constraint under this name *)
+      if Sc_catalog.find catalog snap.Wal.sc_name = None then begin
+        let statement = Sc_codec.statement_of_repr snap.Wal.sc_repr in
+        let kind =
+          if snap.Wal.sc_absolute then Soft_constraint.Absolute
+          else Soft_constraint.Statistical snap.Wal.sc_confidence
+        in
+        let state =
+          match Soft_constraint.state_of_string snap.Wal.sc_state with
+          | Some s -> s
+          | None -> Soft_constraint.Active
+        in
+        let sc =
+          Soft_constraint.make ~name:snap.Wal.sc_name ~table:snap.Wal.sc_table
+            ~kind ~state ~installed_at_mutations:snap.Wal.sc_anchor statement
+        in
+        sc.Soft_constraint.violation_count <- snap.Wal.sc_violations;
+        Softdb.install_sc sdb sc
+      end
+  | Wal.Sc_state { name; state } ->
+      with_sc name (fun sc ->
+          match Soft_constraint.state_of_string state with
+          | Some s -> Sc_catalog.set_state catalog sc s
+          | None -> ())
+  | Wal.Sc_kind { name; absolute; confidence } ->
+      with_sc name (fun sc ->
+          Sc_catalog.set_kind catalog sc
+            (if absolute then Soft_constraint.Absolute
+             else Soft_constraint.Statistical confidence))
+  | Wal.Sc_anchor { name; anchor } ->
+      with_sc name (fun sc -> Sc_catalog.set_anchor catalog sc anchor)
+  | Wal.Sc_violations { name; count } ->
+      with_sc name (fun sc -> Sc_catalog.set_violations catalog sc count)
+  | Wal.Sc_statement { name; repr } ->
+      with_sc name (fun sc ->
+          Sc_catalog.set_statement catalog sc (Sc_codec.statement_of_repr repr))
+  | Wal.Sc_dropped { name } -> Sc_catalog.drop catalog name
+  | Wal.Sc_exception { name; table } ->
+      with_sc name (fun sc ->
+          ignore (Exception_table.reattach (Softdb.db sdb) ~sc ~table_name:table);
+          Sc_catalog.register_exception_table catalog ~constraint_name:name
+            ~table)
+
+let recover records =
+  let sdb = Softdb.create () in
+  let db = Softdb.db sdb in
+  List.iter
+    (fun r ->
+      if Wal.committed_txns records (Wal.txn_of r) then
+        match r with
+        | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ()
+        | Wal.Insert { table; rid; row; _ } ->
+            Database.replay_insert db ~table rid (Tuple.copy row)
+        | Wal.Delete { table; rid; _ } -> Database.replay_delete db ~table rid
+        | Wal.Update { table; rid; after; _ } ->
+            Database.replay_update db ~table rid (Tuple.copy after)
+        | Wal.Ddl { sql; _ } -> (
+            (* only successful statements were logged; a replay failure
+               means the log and the engine disagree — surface it *)
+            try ignore (Softdb.exec sdb sql)
+            with e ->
+              raise
+                (Recovery_error
+                   (Printf.sprintf "replaying %S failed: %s" sql
+                      (Printexc.to_string e))))
+        | Wal.Sc { change; _ } -> apply_sc_change sdb change)
+    records;
+  sdb
+
+(* Recover from a log file and reopen it for appending — the CLI's
+   [--wal] startup path. *)
+let resume path =
+  let sdb = recover (Wal.load_file path) in
+  let wal = Wal.open_file path in
+  let link = attach sdb wal in
+  (sdb, link)

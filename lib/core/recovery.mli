@@ -1,0 +1,56 @@
+(** Crash-safe durability: checkpointing and log replay over {!Rel.Wal}.
+
+    {!attach} links a live {!Softdb.t} to a write-ahead log: data
+    mutations, soft-constraint catalog transitions, DDL (as printed SQL)
+    and transaction boundaries are appended as framed records.  Outside
+    explicit {!Txn} transactions each statement autocommits its own
+    frame.
+
+    {!recover} replays the committed frames of a log into a fresh
+    database: a crash at any point yields exactly the pre- or
+    post-transaction state.  In particular (paper §4.1), an ASC
+    overturned by a transaction whose commit record never reached the log
+    is re-instated, because the whole frame is skipped.
+
+    Fault points from {!Rel.Wal}, {!Txn} and {!Maintenance} are declared
+    with {!Obs.Fault} on attach; after a simulated crash
+    ({!Obs.Fault.crash_pending}) every handler freezes, so nothing the
+    doomed process "did" after the crash instant reaches the log. *)
+
+open Rel
+
+exception Recovery_error of string
+
+type t
+(** A live link between a database and its WAL. *)
+
+val attach : Softdb.t -> Wal.t -> t
+(** Register the mutation / catalog / transaction / statement listeners
+    and declare the fault points. *)
+
+val softdb : t -> Softdb.t
+val wal : t -> Wal.t
+
+val flush : t -> unit
+(** Commit any open autocommit frame and flush the sink. *)
+
+val detach : t -> unit
+(** {!flush}, then stop logging permanently. *)
+
+val kill : t -> unit
+(** Stop logging {e without} flushing — the simulated-crash path. *)
+
+val checkpoint : t -> unit
+(** Atomically rewrite the log as one committed frame reproducing the
+    current state: schema DDL, raw rows (rid-faithful), soft-constraint
+    images and exception-table registrations.  Raises {!Recovery_error}
+    during an active explicit transaction. *)
+
+val recover : Wal.record list -> Softdb.t
+(** Replay the committed frames into a fresh database.  Raises
+    {!Recovery_error} if a logged DDL statement fails to re-execute. *)
+
+val resume : string -> Softdb.t * t
+(** [resume path] recovers from the log file at [path] (empty or absent
+    is fine), reopens it for appending, and attaches — the CLI's
+    [--wal] startup path. *)

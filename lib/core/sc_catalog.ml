@@ -9,17 +9,34 @@
 
 open Rel
 
+(* Catalog transitions fire change events so the durability layer
+   ({!Recovery}) can log them; every field write therefore goes through
+   the setters below rather than mutating {!Soft_constraint.t} directly. *)
+type change =
+  | Installed of Soft_constraint.t
+  | Removed of Soft_constraint.t
+  | State_changed of Soft_constraint.t
+  | Kind_changed of Soft_constraint.t
+  | Anchor_changed of Soft_constraint.t
+  | Violations_changed of Soft_constraint.t
+  | Statement_changed of Soft_constraint.t
+  | Exception_registered of { constraint_name : string; table : string }
+
 type t = {
   mutable scs : Soft_constraint.t list;
   mutable exception_tables : (string * string) list;
       (* constraint name -> exception table name *)
+  mutable listeners : (change -> unit) list;
 }
 
-let create () = { scs = []; exception_tables = [] }
+let create () = { scs = []; exception_tables = []; listeners = [] }
 
 let norm = String.lowercase_ascii
 
 exception Duplicate_name of string
+
+let on_change t f = t.listeners <- f :: t.listeners
+let notify t c = List.iter (fun f -> f c) t.listeners
 
 let add t sc =
   if
@@ -27,17 +44,50 @@ let add t sc =
       (fun s -> norm s.Soft_constraint.name = norm sc.Soft_constraint.name)
       t.scs
   then raise (Duplicate_name sc.Soft_constraint.name);
-  t.scs <- t.scs @ [ sc ]
+  t.scs <- t.scs @ [ sc ];
+  notify t (Installed sc)
 
 let find t name =
   List.find_opt (fun s -> norm s.Soft_constraint.name = norm name) t.scs
 
 let drop t name =
-  (match find t name with
-  | Some sc -> sc.Soft_constraint.state <- Soft_constraint.Dropped
-  | None -> ());
-  t.scs <-
-    List.filter (fun s -> norm s.Soft_constraint.name <> norm name) t.scs
+  match find t name with
+  | None -> ()
+  | Some sc ->
+      sc.Soft_constraint.state <- Soft_constraint.Dropped;
+      t.scs <-
+        List.filter (fun s -> norm s.Soft_constraint.name <> norm name) t.scs;
+      notify t (Removed sc)
+
+(* ---- field setters (fire change events) --------------------------------- *)
+
+let set_state t (sc : Soft_constraint.t) state =
+  if sc.Soft_constraint.state <> state then begin
+    sc.Soft_constraint.state <- state;
+    notify t (State_changed sc)
+  end
+
+let set_kind t (sc : Soft_constraint.t) kind =
+  if sc.Soft_constraint.kind <> kind then begin
+    sc.Soft_constraint.kind <- kind;
+    notify t (Kind_changed sc)
+  end
+
+let set_anchor t (sc : Soft_constraint.t) anchor =
+  if sc.Soft_constraint.installed_at_mutations <> anchor then begin
+    sc.Soft_constraint.installed_at_mutations <- anchor;
+    notify t (Anchor_changed sc)
+  end
+
+let set_violations t (sc : Soft_constraint.t) count =
+  if sc.Soft_constraint.violation_count <> count then begin
+    sc.Soft_constraint.violation_count <- count;
+    notify t (Violations_changed sc)
+  end
+
+let set_statement t (sc : Soft_constraint.t) statement =
+  sc.Soft_constraint.statement <- statement;
+  notify t (Statement_changed sc)
 
 let all t = t.scs
 
@@ -49,10 +99,13 @@ let usable t = List.filter Soft_constraint.is_usable t.scs
 let register_exception_table t ~constraint_name ~table =
   t.exception_tables <-
     (constraint_name, table)
-    :: List.remove_assoc constraint_name t.exception_tables
+    :: List.remove_assoc constraint_name t.exception_tables;
+  notify t (Exception_registered { constraint_name; table })
 
 let exception_table_for t constraint_name =
   List.assoc_opt constraint_name t.exception_tables
+
+let exception_tables t = List.rev t.exception_tables
 
 (* ---- optimizer view ----------------------------------------------------- *)
 

@@ -9,21 +9,52 @@
 
 open Rel
 
+(** A catalog transition, published to {!on_change} listeners — the
+    durability layer ({!Recovery}) logs these into the WAL.  Every field
+    write must therefore go through the setters below rather than
+    mutating {!Soft_constraint.t} directly. *)
+type change =
+  | Installed of Soft_constraint.t
+  | Removed of Soft_constraint.t
+  | State_changed of Soft_constraint.t
+  | Kind_changed of Soft_constraint.t
+  | Anchor_changed of Soft_constraint.t
+  | Violations_changed of Soft_constraint.t
+  | Statement_changed of Soft_constraint.t
+  | Exception_registered of { constraint_name : string; table : string }
+
 type t = {
   mutable scs : Soft_constraint.t list;
   mutable exception_tables : (string * string) list;
       (** constraint name → exception table name *)
+  mutable listeners : (change -> unit) list;
 }
 
 val create : unit -> t
 
 exception Duplicate_name of string
 
+val on_change : t -> (change -> unit) -> unit
+(** Register a listener invoked after every catalog transition. *)
+
 val add : t -> Soft_constraint.t -> unit
 val find : t -> string -> Soft_constraint.t option
 
 val drop : t -> string -> unit
 (** Marks the constraint [Dropped] and removes it. *)
+
+(** {1 Field setters}
+
+    In-place soft-constraint updates (state flips, repairs widening the
+    statement, confidence recalibration, currency re-anchoring) fire the
+    corresponding {!change} event; no-op writes are suppressed except for
+    statements, which are always treated as changed. *)
+
+val set_state : t -> Soft_constraint.t -> Soft_constraint.state -> unit
+val set_kind : t -> Soft_constraint.t -> Soft_constraint.kind -> unit
+val set_anchor : t -> Soft_constraint.t -> int -> unit
+val set_violations : t -> Soft_constraint.t -> int -> unit
+val set_statement : t -> Soft_constraint.t -> Soft_constraint.statement -> unit
 
 val all : t -> Soft_constraint.t list
 val on_table : t -> string -> Soft_constraint.t list
@@ -35,6 +66,10 @@ val register_exception_table : t -> constraint_name:string -> table:string ->
   unit
 
 val exception_table_for : t -> string -> string option
+
+val exception_tables : t -> (string * string) list
+(** All (constraint name, exception table) registrations, oldest
+    first — the checkpoint dump reads this. *)
 
 val mutations_of : Database.t -> string -> int
 val rows_of : Database.t -> string -> int

@@ -1,0 +1,16 @@
+(** Text codec for soft-constraint statements, used by the WAL
+    ({!Recovery}): catalog transitions log [statement_repr]; replay
+    parses it back with [statement_of_repr].
+
+    IC-shaped statements round-trip through the SQL printer/parser; the
+    typed mined artifacts (FDs, difference bands, correlations, join
+    holes) use positional field encodings with hexadecimal float
+    literals, so every bound round-trips bit-exactly. *)
+
+exception Codec_error of string
+
+val statement_repr : Soft_constraint.statement -> string
+
+val statement_of_repr : string -> Soft_constraint.statement
+(** Inverse of {!statement_repr}; raises {!Codec_error} on malformed
+    input. *)

@@ -96,11 +96,20 @@ let pp_statement ppf = function
         band.Mining.Diff_band.d_max
   | Holes_stmt h -> Mining.Join_holes.pp ppf h
 
-let pp_state ppf = function
-  | Probation -> Fmt.string ppf "probation"
-  | Active -> Fmt.string ppf "active"
-  | Violated -> Fmt.string ppf "violated"
-  | Dropped -> Fmt.string ppf "dropped"
+let state_to_string = function
+  | Probation -> "probation"
+  | Active -> "active"
+  | Violated -> "violated"
+  | Dropped -> "dropped"
+
+let state_of_string = function
+  | "probation" -> Some Probation
+  | "active" -> Some Active
+  | "violated" -> Some Violated
+  | "dropped" -> Some Dropped
+  | _ -> None
+
+let pp_state ppf s = Fmt.string ppf (state_to_string s)
 
 let pp ppf t =
   Fmt.pf ppf "%s on %s: %a [%s, %a]" t.name t.table pp_statement t.statement

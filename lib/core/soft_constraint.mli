@@ -54,6 +54,11 @@ val to_icdef : t -> Icdef.t option
 (** As an informational IC declaration, for the rewrite context's ASC
     set. *)
 
+val state_to_string : state -> string
+(** The lowercase names used by displays and the WAL codec. *)
+
+val state_of_string : string -> state option
+
 val pp_statement : Format.formatter -> statement -> unit
 val pp_state : Format.formatter -> state -> unit
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,10 @@
 
 open Rel
 
+type stmt_event =
+  | Stmt_started of Sqlfe.Ast.statement
+  | Stmt_finished of Sqlfe.Ast.statement * bool  (** success? *)
+
 type t = {
   db : Database.t;
   stats : Stats.Runstats.t;
@@ -20,6 +24,9 @@ type t = {
   mutable plan_cache_rows : unit -> Tuple.t list;
       (* sys.plan_cache generator, bound by Plan_cache.create (the cache
          depends on this module, not vice versa) *)
+  mutable stmt_listeners : (stmt_event -> unit) list;
+      (* statement framing hooks: the WAL link ({!Recovery}) uses them
+         for autocommit boundaries and DDL capture *)
 }
 
 (* The sys.* views: read-only virtual tables over the live registries, so
@@ -73,6 +80,7 @@ let create ?(flags = Opt.Rewrite.all_on) () =
       feedback = true;
       feedback_tolerance = Obs.Feedback.default_tolerance;
       plan_cache_rows = (fun () -> []);
+      stmt_listeners = [];
     }
   in
   register_sys_tables t;
@@ -89,6 +97,9 @@ let set_feedback ?tolerance t on =
   Option.iter (fun tol -> t.feedback_tolerance <- tol) tolerance
 
 let set_plan_cache_source t rows = t.plan_cache_rows <- rows
+
+let on_statement t f = t.stmt_listeners <- f :: t.stmt_listeners
+let notify_stmt t ev = List.iter (fun f -> f ev) t.stmt_listeners
 
 exception Error of string
 
@@ -214,8 +225,46 @@ let matching_rids t ~table pred =
     (Table.fold tbl ~init:[] ~f:(fun acc rid row ->
          if keep row then rid :: acc else acc))
 
+(* Some rewrite rules log no constraint attribution (FD simplification,
+   hole trimming, unsatisfiability detection): their rewrite context was
+   assembled from whole classes of usable absolute SCs.  Guard such plans
+   conservatively on every usable absolute SC of the class — an
+   over-approximate guard can only cause a spurious fallback, never a
+   wrong result. *)
+let class_guards t (applied : Opt.Rewrite.applied list) =
+  let fired rule =
+    List.exists
+      (fun (a : Opt.Rewrite.applied) ->
+        a.Opt.Rewrite.rule = rule && a.Opt.Rewrite.sc = None)
+      applied
+  in
+  let of_class keep =
+    List.filter_map
+      (fun (sc : Soft_constraint.t) ->
+        if Soft_constraint.is_absolute sc && keep sc.Soft_constraint.statement
+        then Some sc.Soft_constraint.name
+        else None)
+      (Sc_catalog.usable t.catalog)
+  in
+  let fd = function Soft_constraint.Fd_stmt _ -> true | _ -> false in
+  let holes = function Soft_constraint.Holes_stmt _ -> true | _ -> false in
+  (if fired "fd_simplification" then of_class fd else [])
+  @ (if fired "hole_trimming" then of_class holes else [])
+  @
+  if fired "unsatisfiable" || fired "unionall_pruning" then
+    of_class (fun _ -> true)
+  else []
+
 let optimize ?flags t (q : Sqlfe.Ast.query) =
-  Opt.Explain.optimize (rewrite_ctx ?flags t) (planner_env t) q
+  let report = Opt.Explain.optimize (rewrite_ctx ?flags t) (planner_env t) q in
+  match class_guards t report.Opt.Explain.applied with
+  | [] -> report
+  | extra ->
+      {
+        report with
+        Opt.Explain.guards =
+          List.sort_uniq String.compare (report.Opt.Explain.guards @ extra);
+      }
 
 (* ---- cardinality feedback -------------------------------------------------- *)
 
@@ -255,10 +304,10 @@ let observe_twin t sc_name =
               with
               | Obs.Feedback.Keep -> None
               | Obs.Feedback.Adjust { confidence; refresh } ->
-                  sc.Soft_constraint.kind <-
-                    Soft_constraint.Statistical confidence;
-                  sc.Soft_constraint.installed_at_mutations <-
-                    Sc_catalog.mutations_of t.db sc.Soft_constraint.table;
+                  Sc_catalog.set_kind t.catalog sc
+                    (Soft_constraint.Statistical confidence);
+                  Sc_catalog.set_anchor t.catalog sc
+                    (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
                   Maintenance.record t.maintenance sc_name
                     (Printf.sprintf
                        "confidence recalibrated %.4f -> %.4f (observed %.4f)"
@@ -269,7 +318,7 @@ let observe_twin t sc_name =
           in
           Some { Obs.Query_log.sc = sc_name; stored; observed; adjusted })
 
-let record_feedback t (report : Opt.Explain.report)
+let record_feedback ?(fell_back = false) t (report : Opt.Explain.report)
     (result : Exec.Executor.result) =
   let m = t.metrics in
   let c = result.Exec.Executor.counters in
@@ -298,17 +347,44 @@ let record_feedback t (report : Opt.Explain.report)
       (List.rev (twin_names [] report.Opt.Explain.rewritten))
   in
   ignore
-    (Obs.Query_log.add t.query_log
+    (Obs.Query_log.add ~fell_back t.query_log
        ~sql:(Sqlfe.Printer.query_to_string report.Opt.Explain.original)
        ~estimated_rows:estimated ~actual_rows:actual ~rewrites ~twins)
 
+(* A guard holds at execution time if the constraint it names is still a
+   declared hard/informational IC, or a usable soft constraint, or an
+   exception-backed ASC whose exception table still exists (violations
+   are stored there, so the exception-union rewrite stays exact). *)
+let guard_ok t name =
+  match Database.find_constraint t.db name with
+  | Some _ -> true
+  | None -> (
+      match Sc_catalog.find t.catalog name with
+      | None -> false
+      | Some sc -> (
+          Soft_constraint.is_usable sc
+          ||
+          match Sc_catalog.exception_table_for t.catalog name with
+          | Some table -> Database.find_table t.db table <> None
+          | None -> false))
+
+(* Execute an optimized report with its guards checked at open: if an SC
+   a rewrite relied on was overturned since planning, degrade to the
+   rewrite-free backup plan (§4.1's flag-and-revert). *)
+let execute_report t (report : Opt.Explain.report) =
+  let result, fell_back =
+    Obs.Metrics.time t.metrics "time.query_execution" (fun () ->
+        Exec.Executor.run_guarded t.db ~guards:report.Opt.Explain.guards
+          ~guard_ok:(guard_ok t) ~backup:report.Opt.Explain.backup_plan
+          report.Opt.Explain.plan)
+  in
+  if fell_back then Obs.Metrics.incr t.metrics "sc_guard_fallbacks";
+  (result, fell_back)
+
 let run_query ?flags t (q : Sqlfe.Ast.query) =
   let report = optimize ?flags t q in
-  let result =
-    Obs.Metrics.time t.metrics "time.query_execution" (fun () ->
-        Exec.Executor.run t.db report.Opt.Explain.plan)
-  in
-  record_feedback t report result;
+  let result, fell_back = execute_report t report in
+  record_feedback ~fell_back t report result;
   result
 
 (* EXPLAIN ANALYZE: instrumented execution with per-node annotation; the
@@ -321,7 +397,7 @@ let analyze ?flags t (q : Sqlfe.Ast.query) =
   record_feedback t analysis.Opt.Explain.a_report analysis.Opt.Explain.result;
   analysis
 
-let exec_statement t (stmt : Sqlfe.Ast.statement) : outcome =
+let exec_statement_inner t (stmt : Sqlfe.Ast.statement) : outcome =
   match stmt with
   | Sqlfe.Ast.Query q -> Rows (run_query t q)
   | Sqlfe.Ast.Explain q -> Report (optimize t q)
@@ -424,6 +500,18 @@ let exec_statement t (stmt : Sqlfe.Ast.statement) : outcome =
   | Sqlfe.Ast.Runstats table ->
       runstats ?table t;
       Done "statistics collected"
+
+(* Statement execution framed by the [Stmt_started]/[Stmt_finished]
+   hooks, which the WAL link uses for autocommit boundaries. *)
+let exec_statement t (stmt : Sqlfe.Ast.statement) : outcome =
+  notify_stmt t (Stmt_started stmt);
+  match exec_statement_inner t stmt with
+  | outcome ->
+      notify_stmt t (Stmt_finished (stmt, true));
+      outcome
+  | exception e ->
+      notify_stmt t (Stmt_finished (stmt, false));
+      raise e
 
 let exec t sql = exec_statement t (Sqlfe.Parser.parse_statement sql)
 

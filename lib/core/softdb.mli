@@ -44,6 +44,16 @@ val set_plan_cache_source : t -> (unit -> Tuple.t list) -> unit
     {!Plan_cache.create}; rows must match
     {!Obs.Sys_tables.plan_cache_schema}. *)
 
+type stmt_event =
+  | Stmt_started of Sqlfe.Ast.statement
+  | Stmt_finished of Sqlfe.Ast.statement * bool  (** success? *)
+
+val on_statement : t -> (stmt_event -> unit) -> unit
+(** Statement framing hooks around {!exec_statement} — the WAL link
+    ({!Recovery}) uses them for autocommit boundaries and DDL capture.
+    [Stmt_finished] fires on both success ([true]) and exception
+    ([false], then re-raised). *)
+
 exception Error of string
 
 val rewrite_ctx : ?flags:Opt.Rewrite.flags -> t -> Opt.Rewrite.ctx
@@ -79,6 +89,18 @@ val optimize : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
 
 val run_query : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
   Exec.Executor.result
+
+val guard_ok : t -> string -> bool
+(** Is the named constraint still a valid basis for a compiled plan?
+    True for declared hard/informational ICs, usable soft constraints,
+    and exception-backed ASCs whose exception table still exists. *)
+
+val execute_report : t -> Opt.Explain.report ->
+  Exec.Executor.result * bool
+(** Execute with SC-guard checking at open (paper §4.1's
+    flag-and-revert): if a guard fails, run the rewrite-free backup plan
+    instead, increment the [sc_guard_fallbacks] metric, and return
+    [true] as the second component. *)
 
 val analyze : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
   Opt.Explain.analysis

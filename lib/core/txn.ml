@@ -9,7 +9,11 @@
    values at [begin_], so an ASC dropped (or widened) only by the aborted
    transaction comes back exactly as it was.  Exception tables stay
    consistent throughout because the compensating operations flow through
-   the same mutation listeners. *)
+   the same mutation listeners.
+
+   Lifecycle events ([Began]/[Committed]/[Rolled_back]) let the
+   durability layer ({!Recovery}) frame WAL records; the catalog restore
+   goes through the {!Sc_catalog} setters for the same reason. *)
 
 open Rel
 
@@ -23,6 +27,7 @@ type sc_snapshot = {
 }
 
 type t = {
+  id : int;
   sdb : Softdb.t;
   mutable log : Database.mutation list; (* newest first *)
   snapshots : sc_snapshot list;
@@ -30,9 +35,22 @@ type t = {
   mutable recording : bool;
 }
 
+type event = Began of t | Committed of t | Rolled_back of t
+
 exception Transaction_error of string
+exception Rollback_incomplete of exn list
+
+let fault_points = [ "txn.begin"; "txn.pre_commit"; "txn.rollback" ]
 
 let current : t option ref = ref None
+let next_id = ref 0
+let listeners : (event -> unit) list ref = ref []
+
+let on_event f = listeners := f :: !listeners
+let notify ev = List.iter (fun f -> f ev) !listeners
+
+let id t = t.id
+let softdb t = t.sdb
 
 let snapshot_catalog catalog =
   List.map
@@ -68,8 +86,11 @@ let begin_ sdb =
       raise (Transaction_error "a transaction is already active")
   | _ -> ());
   ensure_listener sdb;
+  Obs.Fault.point "txn.begin";
+  incr next_id;
   let t =
     {
+      id = !next_id;
       sdb;
       log = [];
       snapshots = snapshot_catalog (Softdb.catalog sdb);
@@ -78,12 +99,15 @@ let begin_ sdb =
     }
   in
   current := Some t;
+  notify (Began t);
   t
 
 let commit t =
   if not t.active then raise (Transaction_error "transaction is not active");
+  Obs.Fault.point "txn.pre_commit";
   t.active <- false;
-  current := None
+  current := None;
+  notify (Committed t)
 
 let rollback t =
   if not t.active then raise (Transaction_error "transaction is not active");
@@ -91,39 +115,62 @@ let rollback t =
   (* stop recording, then compensate newest-first; deleted rows come back
      under their original rid so older undo records still apply.  However
      the compensation ends, the transaction is over — a failure mid-undo
-     must not leave a phantom active transaction. *)
+     must not leave a phantom active transaction — and the abort is
+     published so the WAL frames it. *)
   Fun.protect ~finally:(fun () ->
       t.active <- false;
-      current := None)
+      current := None;
+      notify (Rolled_back t))
   @@ fun () ->
   t.recording <- false;
+  Obs.Fault.point "txn.rollback";
+  (* a listener blowing up on one compensating operation must not strand
+     the rest of the undo log: collect, keep compensating, re-raise *)
+  let errors = ref [] in
+  let guarded f = try f () with e -> errors := e :: !errors in
   List.iter
     (fun m ->
-      match m with
-      | Database.Inserted { table; rid; _ } ->
-          ignore (Database.delete db ~table rid)
-      | Database.Deleted { table; rid; row } ->
-          Database.restore db ~table rid (Tuple.copy row)
-      | Database.Updated { table; rid; before; _ } ->
-          Database.update db ~table rid (Tuple.copy before))
+      guarded (fun () ->
+          match m with
+          | Database.Inserted { table; rid; _ } ->
+              ignore (Database.delete db ~table rid)
+          | Database.Deleted { table; rid; row } ->
+              Database.restore db ~table rid (Tuple.copy row)
+          | Database.Updated { table; rid; before; _ } ->
+              Database.update db ~table rid (Tuple.copy before)))
     t.log;
   (* restore the soft-constraint catalog: statements widened or states
      overturned by this transaction come back (§4.1) *)
+  let catalog = Softdb.catalog t.sdb in
   List.iter
     (fun snap ->
-      match Sc_catalog.find (Softdb.catalog t.sdb) snap.snap_name with
+      match Sc_catalog.find catalog snap.snap_name with
       | Some sc ->
-          sc.Soft_constraint.statement <- snap.snap_statement;
-          sc.Soft_constraint.kind <- snap.snap_kind;
-          sc.Soft_constraint.state <- snap.snap_state;
-          sc.Soft_constraint.installed_at_mutations <- snap.snap_installed;
-          sc.Soft_constraint.violation_count <- snap.snap_violations
+          guarded (fun () ->
+              if sc.Soft_constraint.statement <> snap.snap_statement then
+                Sc_catalog.set_statement catalog sc snap.snap_statement;
+              Sc_catalog.set_kind catalog sc snap.snap_kind;
+              Sc_catalog.set_state catalog sc snap.snap_state;
+              Sc_catalog.set_anchor catalog sc snap.snap_installed;
+              Sc_catalog.set_violations catalog sc snap.snap_violations)
       | None -> ())
     t.snapshots;
-  t.active <- false;
-  current := None
+  match List.rev !errors with
+  | [] -> ()
+  | errs -> raise (Rollback_incomplete errs)
 
 let mutation_count t = List.length t.log
+
+(* After a simulated crash the in-flight transaction is dead, not rolled
+   back: the crash matrix clears it without compensating (recovery is
+   what re-establishes the invariants). *)
+let abandon_current () =
+  (match !current with
+  | Some t ->
+      t.active <- false;
+      t.recording <- false
+  | None -> ());
+  current := None
 
 (* Run [f] atomically: commit on success, roll back on exception. *)
 let atomically sdb f =

@@ -15,7 +15,29 @@
 
 exception Transaction_error of string
 
+exception Rollback_incomplete of exn list
+(** Raised by {!rollback} when one or more compensating operations (or
+    catalog restores) themselves failed: the rollback ran to completion
+    over everything it {e could} undo, and the collected exceptions are
+    reported oldest first. *)
+
 type t
+
+type event = Began of t | Committed of t | Rolled_back of t
+(** Lifecycle notifications, published after the state change took
+    effect — {!Recovery} frames WAL records with these. *)
+
+val fault_points : string list
+(** The named fault sites this module fires ([txn.begin],
+    [txn.pre_commit], [txn.rollback]). *)
+
+val on_event : (event -> unit) -> unit
+(** Register a global lifecycle listener. *)
+
+val id : t -> int
+(** Monotonic transaction id (session-local, not the WAL txn id). *)
+
+val softdb : t -> Softdb.t
 
 val begin_ : Softdb.t -> t
 (** Start recording; raises {!Transaction_error} if one is active. *)
@@ -25,9 +47,16 @@ val commit : t -> unit
 
 val rollback : t -> unit
 (** Undo the recorded mutations (newest first) and restore the
-    soft-constraint catalog snapshot. *)
+    soft-constraint catalog snapshot.  A failure on one compensating
+    entry does not stop the rest: all entries are attempted and the
+    failures re-raised together as {!Rollback_incomplete}. *)
 
 val mutation_count : t -> int
+
+val abandon_current : unit -> unit
+(** Forget an in-flight transaction {e without} compensating — the
+    simulated-crash escape hatch: after a crash the process is presumed
+    dead, and recovery (not rollback) re-establishes the invariants. *)
 
 val atomically : Softdb.t -> (unit -> 'a) -> ('a, exn) result
 (** Run a thunk in a transaction: [Ok] commits, an exception rolls back

@@ -1,0 +1,79 @@
+(* Deterministic fault injection: named points, armed failure modes.
+
+   The registry is global — the faults it simulates (process death, disk
+   errors) are global too, and threading a harness value through every
+   layer would infect interfaces that otherwise know nothing about
+   testing.  [reset] restores a clean slate between test cases. *)
+
+type mode = Crash | Io_error | Latency of float
+
+exception Injected_crash of string
+exception Injected_io_error of string
+
+type armed = { mode : mode; mutable remaining : int }
+
+let declared : (string, unit) Hashtbl.t = Hashtbl.create 32
+let armed : (string, armed) Hashtbl.t = Hashtbl.create 8
+let hit_counts : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let crashed = ref false
+
+let declare name =
+  if not (Hashtbl.mem declared name) then Hashtbl.add declared name ()
+
+let registered () =
+  Hashtbl.fold (fun name () acc -> name :: acc) declared []
+  |> List.sort String.compare
+
+let arm ?(after = 0) name mode =
+  declare name;
+  Hashtbl.replace armed name { mode; remaining = after }
+
+let disarm name = Hashtbl.remove armed name
+
+let reset () =
+  Hashtbl.reset armed;
+  Hashtbl.reset hit_counts;
+  crashed := false
+
+let hits name =
+  match Hashtbl.find_opt hit_counts name with Some r -> !r | None -> 0
+
+let crash_pending () = !crashed
+
+(* Busy-wait rather than Unix.sleepf: [rel]/[obs] do not link unix, and
+   injected latencies are fractions of a second in tests. *)
+let busy_wait seconds =
+  let until = Sys.time () +. seconds in
+  while Sys.time () < until do
+    ignore (Sys.opaque_identity ())
+  done
+
+let point name =
+  declare name;
+  (match Hashtbl.find_opt hit_counts name with
+  | Some r -> incr r
+  | None -> Hashtbl.add hit_counts name (ref 1));
+  match Hashtbl.find_opt armed name with
+  | None -> ()
+  | Some a ->
+      if a.remaining > 0 then a.remaining <- a.remaining - 1
+      else begin
+        match a.mode with
+        | Crash ->
+            Hashtbl.remove armed name;
+            crashed := true;
+            raise (Injected_crash name)
+        | Io_error ->
+            Hashtbl.remove armed name;
+            raise (Injected_io_error name)
+        | Latency s -> busy_wait s
+      end
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    List.iter declare Rel.Wal.fault_points;
+    Rel.Wal.set_fault_hook point
+  end

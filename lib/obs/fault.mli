@@ -1,0 +1,62 @@
+(** Deterministic fault injection.
+
+    Resilience code paths (WAL writes, transaction commit, maintenance
+    reactions, checkpointing) call {!point} at named sites — e.g.
+    [Fault.point "wal.pre_commit"] — which is a no-op until a test {e arms}
+    the point with a failure mode:
+
+    - [Crash] simulates process death: {!Injected_crash} is raised and,
+      until {!reset}, the {!crash_pending} flag stays up, which the
+      durability link ({!Core.Recovery}) uses to freeze the log exactly
+      at the crash instant (a dead process appends nothing, so neither
+      may the unwinding exception handlers);
+    - [Io_error] raises {!Injected_io_error} once, simulating a failed
+      write without stopping the world;
+    - [Latency s] busy-waits [s] seconds on every pass, for timeout
+      testing.
+
+    Points self-register on first execution and can also be declared up
+    front, so the crash-matrix test can iterate {!registered} without
+    hard-coding the list.  The harness is global (like the faults it
+    simulates); {!reset} restores a clean slate between test cases. *)
+
+type mode = Crash | Io_error | Latency of float
+
+exception Injected_crash of string
+(** Carries the point name.  Treat as process death: the WAL link stops
+    logging the moment it is raised. *)
+
+exception Injected_io_error of string
+
+val declare : string -> unit
+(** Register a point name without executing it (idempotent). *)
+
+val registered : unit -> string list
+(** Every declared or executed point name, sorted. *)
+
+val arm : ?after:int -> string -> mode -> unit
+(** Arm [point] with a failure mode, implicitly declaring it.  [after]
+    skips that many passes first (default 0: fire on the next pass).
+    [Crash] and [Io_error] disarm themselves after firing once;
+    [Latency] persists until {!disarm}. *)
+
+val disarm : string -> unit
+
+val reset : unit -> unit
+(** Disarm everything, clear hit counters and the {!crash_pending} flag.
+    Declared names survive. *)
+
+val point : string -> unit
+(** The instrumentation site: count a hit and fire the armed mode, if
+    any.  Also installed as {!Rel.Wal}'s fault hook by {!install}. *)
+
+val hits : string -> int
+(** Times [point] ran for this name since the last {!reset}. *)
+
+val crash_pending : unit -> bool
+(** True from the moment a [Crash] fires until {!reset} — the simulated
+    process is dead and must not produce further durable writes. *)
+
+val install : unit -> unit
+(** Wire {!point} into {!Rel.Wal.set_fault_hook} and declare the WAL's
+    points (idempotent; called by {!arm} and by {!Core.Recovery.attach}). *)

@@ -18,6 +18,7 @@ type entry = {
   q_error : float;
   rewrites : string list; (* rule names that fired *)
   twins : twin_observation list;
+  fell_back : bool; (* executed the guard-fallback (rewrite-free) plan *)
 }
 
 type t = {
@@ -33,7 +34,8 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take (n - 1) tl
 
-let add t ~sql ~estimated_rows ~actual_rows ~rewrites ~twins =
+let add ?(fell_back = false) t ~sql ~estimated_rows ~actual_rows ~rewrites
+    ~twins =
   let entry =
     {
       seq = t.next_seq;
@@ -43,6 +45,7 @@ let add t ~sql ~estimated_rows ~actual_rows ~rewrites ~twins =
       q_error = Feedback.q_error ~estimated:estimated_rows ~actual:actual_rows;
       rewrites;
       twins;
+      fell_back;
     }
   in
   t.next_seq <- t.next_seq + 1;
@@ -71,4 +74,4 @@ let pp_entry ppf e =
     (match e.rewrites with
     | [] -> ""
     | rs -> Fmt.str " [%s]" (String.concat "," rs))
-    e.sql
+    (if e.fell_back then "(fallback) " ^ e.sql else e.sql)

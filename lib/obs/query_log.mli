@@ -18,6 +18,9 @@ type entry = {
   q_error : float;
   rewrites : string list;  (** rule names that fired *)
   twins : twin_observation list;
+  fell_back : bool;
+      (** the SC-guard check failed at execution and the rewrite-free
+          backup plan ran instead *)
 }
 
 type t
@@ -26,8 +29,10 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity 256; the oldest entries fall off. *)
 
 val add :
-  t -> sql:string -> estimated_rows:float -> actual_rows:int ->
-  rewrites:string list -> twins:twin_observation list -> entry
+  ?fell_back:bool -> t -> sql:string -> estimated_rows:float ->
+  actual_rows:int -> rewrites:string list ->
+  twins:twin_observation list -> entry
+(** [fell_back] defaults to [false]. *)
 
 val entries : t -> entry list
 (** Oldest first. *)

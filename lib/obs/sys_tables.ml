@@ -40,6 +40,7 @@ let query_log_schema =
       Schema.column ~nullable:false "q_error" Value.TFloat;
       Schema.column ~nullable:false "rewrites" Value.TString;
       Schema.column ~nullable:false "twins" Value.TString;
+      Schema.column ~nullable:false "fell_back" Value.TBool;
     ]
 
 let query_log_rows (l : Query_log.t) =
@@ -58,6 +59,7 @@ let query_log_rows (l : Query_log.t) =
                (List.map
                   (fun (t : Query_log.twin_observation) -> t.Query_log.sc)
                   e.Query_log.twins));
+          boolean e.Query_log.fell_back;
         ])
     (Query_log.entries l)
 

@@ -12,13 +12,34 @@ type report = {
   estimated_cardinality : float;
   plan : Plan.t;
   estimated_cost : float;
+  guards : string list;
+  backup_plan : Plan.t option;
 }
+
+(* Estimation-only rewrites (twins) never change results, so they need no
+   guard; every other fired rule did change the plan's semantics on the
+   strength of some constraint. *)
+let result_changing applied =
+  List.filter (fun (a : Rewrite.applied) -> a.Rewrite.rule <> "twinning")
+    applied
 
 let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
     report =
   let logical = Logical.of_query q in
   let rewritten, applied = Rewrite.rewrite ctx logical in
   let plan, cost = Planner.plan_query penv rewritten in
+  let changing = result_changing applied in
+  let guards =
+    List.sort_uniq String.compare
+      (List.filter_map (fun (a : Rewrite.applied) -> a.Rewrite.sc) changing)
+  in
+  let backup_plan =
+    (* only needed when a rewrite actually changed the query: the backup
+       is the plan of the unrewritten logical form (§4.1's "'backup' plan
+       which is ASC-free") *)
+    if changing = [] then None
+    else Some (fst (Planner.plan_query penv logical))
+  in
   {
     original = q;
     logical;
@@ -28,6 +49,8 @@ let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
       Selectivity.query_cardinality (Planner.sel_env penv) rewritten;
     plan;
     estimated_cost = cost;
+    guards;
+    backup_plan;
   }
 
 (* Everything shown by EXPLAIN except the plan tree itself; shared with

@@ -11,6 +11,13 @@ type report = {
   estimated_cardinality : float;
   plan : Exec.Plan.t;
   estimated_cost : float;
+  guards : string list;
+      (** names of the constraints the result-changing rewrites relied
+          on (estimation-only twins excluded) — execution re-checks
+          their validity at open (paper §4.1) *)
+  backup_plan : Exec.Plan.t option;
+      (** the rewrite-free plan, present whenever a result-changing
+          rewrite fired; execution degrades to it if a guard fails *)
 }
 
 val optimize : Rewrite.ctx -> Planner.env -> Sqlfe.Ast.query -> report

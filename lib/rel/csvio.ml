@@ -108,10 +108,21 @@ let value_of_field dtype (text, quoted) =
         | Some d -> Value.Date d
         | None -> raise (Parse_error (Printf.sprintf "bad DATE: %S" text)))
 
-(* Import rows from [path] into [table] via [db] (so constraints and
+type load_report = {
+  loaded : int;
+  row_errors : (int * string) list; (* physical line number, reason *)
+}
+
+(* Load rows from [path] into [table] via [db] (so constraints and
    indexes apply).  The header row must name a subset ordering of the
-   table's columns; missing columns become NULL. *)
-let import db ~table path =
+   table's columns; missing columns become NULL.
+
+   Loading is *degraded*, not all-or-nothing: a malformed or rejected
+   row is recorded with its line number and skipped, and the remaining
+   rows still load.  Only a bad header or a file where every attempted
+   row fails raises — a single stray line must not abort (and, before
+   this was fixed, half-apply) a bulk load. *)
+let load db ~table path =
   let tbl = Database.table_exn db table in
   let schema = Table.schema tbl in
   let ic = open_in path in
@@ -123,28 +134,63 @@ let import db ~table path =
         | None -> raise (Parse_error "empty file")
         | Some line -> List.map (fun (t, _) -> String.trim t) (split_record line)
       in
-      let positions = List.map (Schema.index_exn schema) header in
-      let count = ref 0 in
+      let positions =
+        List.map
+          (fun name ->
+            match Schema.find_index schema name with
+            | Some i -> i
+            | None ->
+                raise
+                  (Parse_error
+                     (Printf.sprintf "header names unknown column %S" name)))
+          header
+      in
+      let loaded = ref 0 in
+      let errors = ref [] in
+      let attempted = ref 0 in
+      let lineno = ref 1 in
+      let fail fmt =
+        Printf.ksprintf (fun m -> errors := (!lineno, m) :: !errors) fmt
+      in
       let rec loop () =
         match In_channel.input_line ic with
         | None -> ()
-        | Some "" -> loop ()
         | Some line ->
-            let fields = split_record line in
-            if List.length fields <> List.length positions then
-              raise
-                (Parse_error
-                   (Printf.sprintf "row %d: %d fields for %d columns"
-                      (!count + 1) (List.length fields) (List.length positions)));
-            let row = Array.make (Schema.arity schema) Value.Null in
-            List.iter2
-              (fun pos field ->
-                let dtype = (Schema.column_at schema pos).Schema.dtype in
-                row.(pos) <- value_of_field dtype field)
-              positions fields;
-            ignore (Database.insert db ~table (Tuple.of_array row));
-            incr count;
+            incr lineno;
+            if line <> "" then begin
+              incr attempted;
+              let fields = split_record line in
+              if List.length fields <> List.length positions then
+                fail "%d fields for %d columns" (List.length fields)
+                  (List.length positions)
+              else begin
+                match
+                  let row = Array.make (Schema.arity schema) Value.Null in
+                  List.iter2
+                    (fun pos field ->
+                      let dtype = (Schema.column_at schema pos).Schema.dtype in
+                      row.(pos) <- value_of_field dtype field)
+                    positions fields;
+                  Database.insert db ~table (Tuple.of_array row)
+                with
+                | _rid -> incr loaded
+                | exception Parse_error m -> fail "%s" m
+                | exception Checker.Constraint_violation v ->
+                    fail "violates %s: %s" v.Checker.constraint_name
+                      v.Checker.reason
+                | exception Database.Catalog_error m -> fail "%s" m
+              end
+            end;
             loop ()
       in
       loop ();
-      !count)
+      if !loaded = 0 && !errors <> [] then begin
+        let line, m = List.hd (List.rev !errors) in
+        raise
+          (Parse_error
+             (Printf.sprintf "all %d rows failed; first: line %d: %s"
+                !attempted line m))
+      end;
+      { loaded = !loaded; row_errors = List.rev !errors })
+
+let import db ~table path = (load db ~table path).loaded

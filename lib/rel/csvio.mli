@@ -7,9 +7,24 @@ exception Parse_error of string
 val export : Table.t -> string -> unit
 (** Write the table (header + rows) to a file. *)
 
-val import : Database.t -> table:string -> string -> int
+type load_report = {
+  loaded : int;
+  row_errors : (int * string) list;
+      (** physical line number (the header is line 1) and reason, for
+          every row that failed to load *)
+}
+
+val load : Database.t -> table:string -> string -> load_report
 (** Load a CSV file into an existing table via the catalog (so enforced
     constraints and index maintenance apply).  The header must name a
     subset of the table's columns; missing columns become NULL.  Values
-    parse according to the column's declared type.  Returns the number of
-    rows inserted; raises {!Parse_error} on malformed input. *)
+    parse according to the column's declared type.
+
+    Loading is {e degraded}, not all-or-nothing: a malformed or
+    constraint-rejected row is reported in [row_errors] with its line
+    number and skipped; the remaining rows still load.  Raises
+    {!Parse_error} only for an empty file, a header naming an unknown
+    column, or when {e every} attempted row failed. *)
+
+val import : Database.t -> table:string -> string -> int
+(** [load] returning just the loaded-row count. *)

@@ -296,6 +296,38 @@ let restore t ~table rid row =
   List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table);
   notify t (Inserted { table = Table.name tbl; rid; row })
 
+(* ---- log replay ------------------------------------------------------- *)
+
+(* Recovery applies committed log records to a fresh database.  The
+   records describe mutations that already passed constraint checking
+   when first executed, and the listeners' side effects (maintenance
+   reactions, exception-table upkeep) are themselves in the log — so
+   replay bypasses both checks and listeners, maintaining only storage
+   and indexes.  Inserts are rid-faithful via {!Table.place}. *)
+
+let replay_insert t ~table rid row =
+  let tbl = table_exn t table in
+  Table.place tbl rid row;
+  let row = Table.get_exn tbl rid in
+  List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table)
+
+let replay_delete t ~table rid =
+  let tbl = table_exn t table in
+  match Table.get tbl rid with
+  | None -> ()
+  | Some row ->
+      ignore (Table.delete tbl rid);
+      List.iter (fun idx -> Index.on_delete idx rid row) (indexes_on t table)
+
+let replay_update t ~table rid row =
+  let tbl = table_exn t table in
+  let before = Table.get_exn tbl rid in
+  Table.update tbl rid row;
+  let after = Table.get_exn tbl rid in
+  List.iter
+    (fun idx -> Index.on_update idx rid ~before ~after)
+    (indexes_on t table)
+
 let pp ppf t =
   Fmt.pf ppf "database: %d tables, %d indexes, %d constraints"
     (Hashtbl.length t.tables) (Hashtbl.length t.indexes)

@@ -106,4 +106,16 @@ val restore : t -> table:string -> Table.rid -> Tuple.t -> unit
     constraint checking is skipped (intermediate undo states may be
     transiently inconsistent). *)
 
+(** {1 Log replay}
+
+    Used by {!Core.Recovery} to apply committed WAL records to a fresh
+    database.  The mutations already passed constraint checking when
+    first executed, and listener side effects are themselves in the log,
+    so these bypass both checks and listeners — only storage and indexes
+    are maintained.  Inserts are rid-faithful ({!Table.place}). *)
+
+val replay_insert : t -> table:string -> Table.rid -> Tuple.t -> unit
+val replay_delete : t -> table:string -> Table.rid -> unit
+val replay_update : t -> table:string -> Table.rid -> Tuple.t -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -70,6 +70,31 @@ let restore t rid row =
       t.live <- t.live + 1;
       t.mutations <- t.mutations + 1
 
+(* Place a row at an exact rid, extending the slot array as needed —
+   recovery replays inserts rid-faithfully so later log records (and the
+   indexes rebuilt from them) keep referring to the right slots. *)
+let place t rid row =
+  if rid < 0 then
+    raise (Row_error (Printf.sprintf "cannot place rid %d" rid));
+  (if rid < t.next_slot then
+     match t.slots.(rid) with
+     | Some _ ->
+         raise
+           (Row_error (Printf.sprintf "cannot place rid %d: slot occupied" rid))
+     | None -> ());
+  match Tuple.conform t.schema row with
+  | Error msg -> raise (Row_error msg)
+  | Ok row ->
+      while rid >= Array.length t.slots do
+        let slots = Array.make (2 * Array.length t.slots) None in
+        Array.blit t.slots 0 slots 0 (Array.length t.slots);
+        t.slots <- slots
+      done;
+      t.slots.(rid) <- Some row;
+      t.next_slot <- max t.next_slot (rid + 1);
+      t.live <- t.live + 1;
+      t.mutations <- t.mutations + 1
+
 let delete t rid =
   match get t rid with
   | None -> false

@@ -43,6 +43,12 @@ val restore : t -> rid -> Tuple.t -> unit
     original rid — transaction rollback relies on rid stability.  Raises
     {!Row_error} if the slot was never allocated or is occupied. *)
 
+val place : t -> rid -> Tuple.t -> unit
+(** Put a row at an exact rid, allocating slots as needed — the
+    rid-faithful insert used by log replay ({!Core.Recovery}), so later
+    log records keep referring to the right slots.  Raises {!Row_error}
+    if the slot is occupied or the row does not conform. *)
+
 val iteri : t -> f:(rid -> Tuple.t -> unit) -> unit
 val iter : t -> f:(Tuple.t -> unit) -> unit
 val fold : t -> init:'a -> f:('a -> rid -> Tuple.t -> 'a) -> 'a

@@ -1,0 +1,486 @@
+(* Write-ahead logging: redo-only records over data mutations and
+   soft-constraint catalog transitions, framed by begin/commit/abort.
+   Memory sink for tests (durable-at-append), file sink for the CLI.
+
+   The file format is line-oriented text: tab-separated fields, strings
+   backslash-escaped, floats printed in hex ("%h") so the round-trip is
+   exact.  Text rather than binary keeps crashed logs inspectable with
+   standard tools, which matters more here than write amplification. *)
+
+type sc_snapshot = {
+  sc_name : string;
+  sc_table : string;
+  sc_absolute : bool;
+  sc_confidence : float;
+  sc_state : string;
+  sc_anchor : int;
+  sc_violations : int;
+  sc_repr : string;
+}
+
+type sc_change =
+  | Sc_installed of sc_snapshot
+  | Sc_state of { name : string; state : string }
+  | Sc_kind of { name : string; absolute : bool; confidence : float }
+  | Sc_anchor of { name : string; anchor : int }
+  | Sc_violations of { name : string; count : int }
+  | Sc_statement of { name : string; repr : string }
+  | Sc_dropped of { name : string }
+  | Sc_exception of { name : string; table : string }
+
+type record =
+  | Begin of { txn : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | Insert of {
+      txn : int;
+      table : string;
+      rid : Table.rid;
+      row : Value.t array;
+    }
+  | Delete of {
+      txn : int;
+      table : string;
+      rid : Table.rid;
+      row : Value.t array;
+    }
+  | Update of {
+      txn : int;
+      table : string;
+      rid : Table.rid;
+      before : Value.t array;
+      after : Value.t array;
+    }
+  | Ddl of { txn : int; sql : string }
+  | Sc of { txn : int; change : sc_change }
+
+exception Wal_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Wal_error s)) fmt
+
+(* ---- fault hook --------------------------------------------------------- *)
+
+(* [rel] sits below [obs], so the fault harness installs itself here. *)
+let fault_hook : (string -> unit) ref = ref (fun _ -> ())
+let set_fault_hook f = fault_hook := f
+let point name = !fault_hook name
+
+let fault_points =
+  [ "wal.append"; "wal.io"; "wal.pre_commit"; "wal.post_commit";
+    "wal.checkpoint" ]
+
+(* ---- text codec --------------------------------------------------------- *)
+
+(* Strings are backslash-escaped so a field never contains a literal tab
+   or newline; fields join with tabs, records with newlines. *)
+let escape s =
+  if
+    not
+      (String.exists
+         (fun c -> c = '\\' || c = '\t' || c = '\n' || c = '\r')
+         s)
+  then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let unescape s =
+  if not (String.contains s '\\') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '\\' && !i + 1 < n then begin
+         (match s.[!i + 1] with
+         | '\\' -> Buffer.add_char buf '\\'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | c -> error "bad escape '\\%c'" c);
+         i := !i + 2
+       end
+       else begin
+         Buffer.add_char buf s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+  end
+
+(* Values carry a one-character type tag; floats use "%h" for an exact
+   round-trip, dates their integer epoch-day representation. *)
+let value_to_field = function
+  | Value.Null -> "N"
+  | Value.Int i -> "I" ^ string_of_int i
+  | Value.Float f -> "F" ^ Printf.sprintf "%h" f
+  | Value.String s -> "S" ^ escape s
+  | Value.Bool b -> if b then "B1" else "B0"
+  | Value.Date d -> "D" ^ string_of_int d
+
+let value_of_field s =
+  if s = "" then error "empty value field";
+  let body () = String.sub s 1 (String.length s - 1) in
+  match s.[0] with
+  | 'N' -> Value.Null
+  | 'I' -> (
+      match int_of_string_opt (body ()) with
+      | Some i -> Value.Int i
+      | None -> error "bad int field %S" s)
+  | 'F' -> (
+      match float_of_string_opt (body ()) with
+      | Some f -> Value.Float f
+      | None -> error "bad float field %S" s)
+  | 'S' -> Value.String (unescape (body ()))
+  | 'B' -> (
+      match body () with
+      | "1" -> Value.Bool true
+      | "0" -> Value.Bool false
+      | _ -> error "bad bool field %S" s)
+  | 'D' -> (
+      match int_of_string_opt (body ()) with
+      | Some d -> Value.Date d
+      | None -> error "bad date field %S" s)
+  | _ -> error "bad value field %S" s
+
+let row_fields row =
+  string_of_int (Array.length row)
+  :: List.map value_to_field (Array.to_list row)
+
+let int_field s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> error "expected integer, got %S" s
+
+let float_field s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> error "expected float, got %S" s
+
+let bool_field s =
+  match s with
+  | "1" -> true
+  | "0" -> false
+  | _ -> error "expected 0/1, got %S" s
+
+(* consume a count-prefixed row from a field list *)
+let take_row fields =
+  match fields with
+  | [] -> error "truncated row"
+  | n :: rest ->
+      let n = int_field n in
+      let row = Array.make n Value.Null in
+      let rest = ref rest in
+      for i = 0 to n - 1 do
+        match !rest with
+        | [] -> error "truncated row (want %d values)" n
+        | f :: tl ->
+            row.(i) <- value_of_field f;
+            rest := tl
+      done;
+      (row, !rest)
+
+let sc_change_fields = function
+  | Sc_installed s ->
+      [
+        "install"; escape s.sc_name; escape s.sc_table;
+        (if s.sc_absolute then "1" else "0");
+        Printf.sprintf "%h" s.sc_confidence; escape s.sc_state;
+        string_of_int s.sc_anchor; string_of_int s.sc_violations;
+        escape s.sc_repr;
+      ]
+  | Sc_state { name; state } -> [ "state"; escape name; escape state ]
+  | Sc_kind { name; absolute; confidence } ->
+      [
+        "kind"; escape name;
+        (if absolute then "1" else "0");
+        Printf.sprintf "%h" confidence;
+      ]
+  | Sc_anchor { name; anchor } ->
+      [ "anchor"; escape name; string_of_int anchor ]
+  | Sc_violations { name; count } ->
+      [ "viol"; escape name; string_of_int count ]
+  | Sc_statement { name; repr } -> [ "stmt"; escape name; escape repr ]
+  | Sc_dropped { name } -> [ "drop"; escape name ]
+  | Sc_exception { name; table } -> [ "exc"; escape name; escape table ]
+
+let sc_change_of_fields = function
+  | [ "install"; name; table; abs; conf; state; anchor; viol; repr ] ->
+      Sc_installed
+        {
+          sc_name = unescape name;
+          sc_table = unescape table;
+          sc_absolute = bool_field abs;
+          sc_confidence = float_field conf;
+          sc_state = unescape state;
+          sc_anchor = int_field anchor;
+          sc_violations = int_field viol;
+          sc_repr = unescape repr;
+        }
+  | [ "state"; name; state ] ->
+      Sc_state { name = unescape name; state = unescape state }
+  | [ "kind"; name; abs; conf ] ->
+      Sc_kind
+        {
+          name = unescape name;
+          absolute = bool_field abs;
+          confidence = float_field conf;
+        }
+  | [ "anchor"; name; anchor ] ->
+      Sc_anchor { name = unescape name; anchor = int_field anchor }
+  | [ "viol"; name; count ] ->
+      Sc_violations { name = unescape name; count = int_field count }
+  | [ "stmt"; name; repr ] ->
+      Sc_statement { name = unescape name; repr = unescape repr }
+  | [ "drop"; name ] -> Sc_dropped { name = unescape name }
+  | [ "exc"; name; table ] ->
+      Sc_exception { name = unescape name; table = unescape table }
+  | fields -> error "bad sc record: %s" (String.concat " " fields)
+
+let record_to_line r =
+  let fields =
+    match r with
+    | Begin { txn } -> [ "B"; string_of_int txn ]
+    | Commit { txn } -> [ "C"; string_of_int txn ]
+    | Abort { txn } -> [ "A"; string_of_int txn ]
+    | Insert { txn; table; rid; row } ->
+        [ "I"; string_of_int txn; escape table; string_of_int rid ]
+        @ row_fields row
+    | Delete { txn; table; rid; row } ->
+        [ "D"; string_of_int txn; escape table; string_of_int rid ]
+        @ row_fields row
+    | Update { txn; table; rid; before; after } ->
+        [ "U"; string_of_int txn; escape table; string_of_int rid ]
+        @ row_fields before @ row_fields after
+    | Ddl { txn; sql } -> [ "Q"; string_of_int txn; escape sql ]
+    | Sc { txn; change } ->
+        "S" :: string_of_int txn :: sc_change_fields change
+  in
+  String.concat "\t" fields
+
+let record_of_line line =
+  match String.split_on_char '\t' line with
+  | [ "B"; txn ] -> Begin { txn = int_field txn }
+  | [ "C"; txn ] -> Commit { txn = int_field txn }
+  | [ "A"; txn ] -> Abort { txn = int_field txn }
+  | "I" :: txn :: table :: rid :: rest ->
+      let row, extra = take_row rest in
+      if extra <> [] then error "trailing fields on insert record";
+      Insert
+        {
+          txn = int_field txn;
+          table = unescape table;
+          rid = int_field rid;
+          row;
+        }
+  | "D" :: txn :: table :: rid :: rest ->
+      let row, extra = take_row rest in
+      if extra <> [] then error "trailing fields on delete record";
+      Delete
+        {
+          txn = int_field txn;
+          table = unescape table;
+          rid = int_field rid;
+          row;
+        }
+  | "U" :: txn :: table :: rid :: rest ->
+      let before, rest = take_row rest in
+      let after, extra = take_row rest in
+      if extra <> [] then error "trailing fields on update record";
+      Update
+        {
+          txn = int_field txn;
+          table = unescape table;
+          rid = int_field rid;
+          before;
+          after;
+        }
+  | [ "Q"; txn; sql ] -> Ddl { txn = int_field txn; sql = unescape sql }
+  | "S" :: txn :: rest ->
+      Sc { txn = int_field txn; change = sc_change_of_fields rest }
+  | _ -> error "corrupt log line: %S" line
+
+let txn_of = function
+  | Begin { txn }
+  | Commit { txn }
+  | Abort { txn }
+  | Insert { txn; _ }
+  | Delete { txn; _ }
+  | Update { txn; _ }
+  | Ddl { txn; _ }
+  | Sc { txn; _ } ->
+      txn
+
+let committed_txns records =
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Commit { txn } -> Hashtbl.replace committed txn ()
+      | _ -> ())
+    records;
+  fun txn -> Hashtbl.mem committed txn
+
+(* ---- sinks -------------------------------------------------------------- *)
+
+type sink =
+  | Memory of record list ref (* newest first *)
+  | File of { fpath : string; mutable oc : out_channel option }
+
+type t = { sink : sink; mutable next_txn : int; mutable closed : bool }
+
+let load_file fpath =
+  if not (Sys.file_exists fpath) then []
+  else
+    In_channel.with_open_text fpath (fun ic ->
+        let rec loop acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some "" -> loop acc
+          | Some line -> loop (record_of_line line :: acc)
+        in
+        loop [])
+
+let max_txn records =
+  List.fold_left (fun acc r -> max acc (txn_of r)) 0 records
+
+let create_memory () = { sink = Memory (ref []); next_txn = 1; closed = false }
+
+let open_file fpath =
+  let existing = load_file fpath in
+  let oc =
+    try Some (open_out_gen [ Open_append; Open_creat ] 0o644 fpath)
+    with Sys_error m -> error "cannot open log %s: %s" fpath m
+  in
+  {
+    sink = File { fpath; oc };
+    next_txn = max_txn existing + 1;
+    closed = false;
+  }
+
+let path t = match t.sink with Memory _ -> None | File f -> Some f.fpath
+
+let check_open t = if t.closed then error "write-ahead log is closed"
+
+let fresh_txn t =
+  check_open t;
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  id
+
+let file_oc fpath = function
+  | Some oc -> oc
+  | None -> error "log %s is closed" fpath
+
+let append t r =
+  check_open t;
+  point "wal.append";
+  match t.sink with
+  | Memory records -> records := r :: !records
+  | File f -> (
+      point "wal.io";
+      let oc = file_oc f.fpath f.oc in
+      try
+        output_string oc (record_to_line r);
+        output_char oc '\n'
+      with Sys_error m -> error "write to %s failed: %s" f.fpath m)
+
+let flush t =
+  match t.sink with
+  | Memory _ -> ()
+  | File f -> (
+      match f.oc with
+      | None -> ()
+      | Some oc -> ( try Stdlib.flush oc with Sys_error _ -> ()))
+
+let commit t txn =
+  check_open t;
+  point "wal.pre_commit";
+  append t (Commit { txn });
+  flush t;
+  point "wal.post_commit"
+
+let abort t txn =
+  check_open t;
+  append t (Abort { txn });
+  flush t
+
+let records t =
+  match t.sink with
+  | Memory records -> List.rev !records
+  | File f ->
+      flush t;
+      load_file f.fpath
+
+(* Checkpoint primitive: atomically replace the log's contents.  The file
+   sink writes a sibling file and renames it over the log, so a crash
+   mid-checkpoint leaves the original intact. *)
+let truncate_with t new_records =
+  check_open t;
+  (match t.sink with
+  | Memory records ->
+      point "wal.checkpoint";
+      records := List.rev new_records
+  | File f ->
+      let tmp = f.fpath ^ ".ckpt" in
+      Out_channel.with_open_text tmp (fun oc ->
+          List.iter
+            (fun r ->
+              output_string oc (record_to_line r);
+              output_char oc '\n')
+            new_records);
+      point "wal.checkpoint";
+      (match f.oc with
+      | Some oc ->
+          close_out_noerr oc;
+          f.oc <- None
+      | None -> ());
+      Sys.rename tmp f.fpath;
+      f.oc <- Some (open_out_gen [ Open_append; Open_creat ] 0o644 f.fpath));
+  t.next_txn <- max t.next_txn (max_txn new_records + 1)
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    (match t.sink with
+    | Memory _ -> ()
+    | File f -> (
+        match f.oc with
+        | Some oc ->
+            close_out_noerr oc;
+            f.oc <- None
+        | None -> ()));
+    t.closed <- true
+  end
+
+(* ---- display ------------------------------------------------------------ *)
+
+let pp_row ppf row =
+  Fmt.pf ppf "(%a)"
+    Fmt.(array ~sep:(any ", ") (fun ppf v -> Value.pp ppf v))
+    row
+
+let pp_record ppf = function
+  | Begin { txn } -> Fmt.pf ppf "BEGIN %d" txn
+  | Commit { txn } -> Fmt.pf ppf "COMMIT %d" txn
+  | Abort { txn } -> Fmt.pf ppf "ABORT %d" txn
+  | Insert { txn; table; rid; row } ->
+      Fmt.pf ppf "[%d] INSERT %s #%d %a" txn table rid pp_row row
+  | Delete { txn; table; rid; row } ->
+      Fmt.pf ppf "[%d] DELETE %s #%d %a" txn table rid pp_row row
+  | Update { txn; table; rid; before; after } ->
+      Fmt.pf ppf "[%d] UPDATE %s #%d %a -> %a" txn table rid pp_row before
+        pp_row after
+  | Ddl { txn; sql } -> Fmt.pf ppf "[%d] DDL %s" txn sql
+  | Sc { txn; change } ->
+      Fmt.pf ppf "[%d] SC %s" txn
+        (String.concat " " (sc_change_fields change))

@@ -1,0 +1,144 @@
+(** Write-ahead logging for durability.
+
+    The engine is in-memory; durability comes from logging every data
+    mutation and every soft-constraint catalog transition, framed by
+    begin/commit/abort records, and replaying the committed frames into a
+    fresh database after a crash ({!Core.Recovery}).  Two sinks:
+
+    - a {e memory} sink (fsync-free, for tests and the fault matrix),
+      where a record is durable the moment it is appended;
+    - a {e file} sink (for the CLI's [--wal]), line-oriented text,
+      buffered between commits and flushed by {!commit} / {!abort} /
+      {!flush}.
+
+    The log is {e redo-only}: uncommitted frames are simply skipped at
+    replay, so no undo information beyond the update before-image (kept
+    for debugging and consistency checks) is required.
+
+    This module knows nothing about fault injection, but named fault
+    points ({!fault_points}) are threaded through its hot paths via a
+    hook that {!Obs.Fault} installs — [rel] sits below [obs] in the
+    library stack, so the dependency is inverted through
+    {!set_fault_hook}. *)
+
+type sc_snapshot = {
+  sc_name : string;
+  sc_table : string;
+  sc_absolute : bool;  (** ASC vs. SSC *)
+  sc_confidence : float;  (** 1.0 for ASCs *)
+  sc_state : string;  (** probation / active / violated / dropped *)
+  sc_anchor : int;  (** installed_at_mutations, the currency anchor *)
+  sc_violations : int;
+  sc_repr : string;  (** serialized statement, see {!Core.Sc_codec} *)
+}
+(** A full image of one soft constraint, as installed programmatically or
+    dumped by a checkpoint.  The statement representation is an opaque
+    string at this layer; {!Core.Sc_codec} owns the round-trip. *)
+
+(** A soft-constraint catalog transition.  Field-level deltas reference
+    the constraint by name; {!Sc_installed} carries the full image. *)
+type sc_change =
+  | Sc_installed of sc_snapshot
+  | Sc_state of { name : string; state : string }
+  | Sc_kind of { name : string; absolute : bool; confidence : float }
+  | Sc_anchor of { name : string; anchor : int }
+  | Sc_violations of { name : string; count : int }
+  | Sc_statement of { name : string; repr : string }
+  | Sc_dropped of { name : string }
+  | Sc_exception of { name : string; table : string }
+
+type record =
+  | Begin of { txn : int }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | Insert of {
+      txn : int;
+      table : string;
+      rid : Table.rid;
+      row : Value.t array;
+    }
+  | Delete of {
+      txn : int;
+      table : string;
+      rid : Table.rid;
+      row : Value.t array;
+    }
+  | Update of {
+      txn : int;
+      table : string;
+      rid : Table.rid;
+      before : Value.t array;
+      after : Value.t array;
+    }
+  | Ddl of { txn : int; sql : string }
+      (** A schema statement, logged as its printed SQL and re-executed
+          deterministically at replay. *)
+  | Sc of { txn : int; change : sc_change }
+
+type t
+
+exception Wal_error of string
+(** Corrupt log lines, closed-log appends, and file-sink I/O errors. *)
+
+val create_memory : unit -> t
+
+val open_file : string -> t
+(** Open (creating if absent) a file-sink log in append mode.  Existing
+    records are scanned to continue the transaction numbering. *)
+
+val path : t -> string option
+(** [None] for the memory sink. *)
+
+val close : t -> unit
+
+val fresh_txn : t -> int
+(** Allocate the next transaction id. *)
+
+val append : t -> record -> unit
+(** Fault points: [wal.append] (both sinks), [wal.io] (file sink, before
+    the physical write). *)
+
+val commit : t -> int -> unit
+(** Append the commit record and flush.  Fault points: [wal.pre_commit]
+    (before the record — the frame is lost on crash) and
+    [wal.post_commit] (after the flush — the frame is durable). *)
+
+val abort : t -> int -> unit
+(** Append the abort record and flush. *)
+
+val flush : t -> unit
+
+val records : t -> record list
+(** Every record, oldest first (file sinks are flushed and re-read). *)
+
+val load_file : string -> record list
+(** Read a log file without opening it as a sink; [[]] if absent. *)
+
+val truncate_with : t -> record list -> unit
+(** Atomically replace the log's contents — the checkpoint primitive.
+    The file sink writes a sibling [.ckpt] file and renames it over the
+    log, so a crash during checkpoint ([wal.checkpoint] fires before the
+    rename) leaves the original log intact.  Transaction numbering
+    restarts above the ids present in [records]. *)
+
+val committed_txns : record list -> int -> bool
+(** Membership test of the transactions with a {!Commit} record. *)
+
+val txn_of : record -> int
+
+val record_to_line : record -> string
+(** One line, no trailing newline; the file-sink format. *)
+
+val record_of_line : string -> record
+(** Raises {!Wal_error} on corrupt input. *)
+
+val set_fault_hook : (string -> unit) -> unit
+(** Install the fault-injection callback invoked at each named point
+    (see {!Obs.Fault}); the default is a no-op. *)
+
+val fault_points : string list
+(** The named fault points this module fires, for harness registration:
+    [wal.append], [wal.io], [wal.pre_commit], [wal.post_commit],
+    [wal.checkpoint]. *)
+
+val pp_record : Format.formatter -> record -> unit

@@ -7,6 +7,11 @@ open Rel
 let check = Alcotest.check
 let tbool = Alcotest.bool
 let tint = Alcotest.int
+
+let check_raises_any msg f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected an exception" msg
+  | exception _ -> ()
 let tstring = Alcotest.string
 
 (* ---- dates ---------------------------------------------------------------- *)
@@ -514,6 +519,49 @@ let test_csv_roundtrip () =
   check tbool "identical" true (List.for_all2 Tuple.equal a b);
   Sys.remove path
 
+(* A stray bad row must not abort the load: good rows land, each bad one
+   is reported with its line number; only an all-bad file raises. *)
+let test_csv_degraded_load () =
+  let db = Database.create () in
+  ignore
+    (Database.create_table db
+       (Schema.make "deg"
+          [ Schema.column "i" Value.TInt; Schema.column "s" Value.TString ]));
+  let write contents =
+    let path = Filename.temp_file "softdb_deg" ".csv" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc contents);
+    path
+  in
+  let path = write "i,s\n1,one\nnotanint,two\n3,three\n4\n5,five\n" in
+  let report = Csvio.load db ~table:"deg" path in
+  Sys.remove path;
+  check tint "good rows loaded" 3 report.Csvio.loaded;
+  check tint "stored" 3 (Table.cardinality (Database.table_exn db "deg"));
+  check (Alcotest.list tint) "error line numbers" [ 3; 5 ]
+    (List.map fst report.Csvio.row_errors);
+  (* enforced-constraint rejections degrade the same way *)
+  ignore
+    (Database.create_table db
+       (Schema.make "degk" [ Schema.column "k" Value.TInt ]));
+  Database.add_constraint db
+    (Icdef.make ~name:"degk_pk" ~table:"degk" (Icdef.Primary_key [ "k" ]));
+  let path = write "k\n1\n2\n1\n3\n" in
+  let report = Csvio.load db ~table:"degk" path in
+  Sys.remove path;
+  check tint "dup rejected, rest loaded" 3 report.Csvio.loaded;
+  check tint "one violation" 1 (List.length report.Csvio.row_errors);
+  (* all rows failing is a hard error *)
+  let path = write "i,s\nx,a\ny,b\n" in
+  check_raises_any "all rows bad" (fun () ->
+      ignore (Csvio.load db ~table:"deg" path));
+  Sys.remove path;
+  (* a header naming an unknown column is a hard error *)
+  let path = write "nosuch\n1\n" in
+  check_raises_any "bad header" (fun () ->
+      ignore (Csvio.load db ~table:"deg" path));
+  Sys.remove path
+
 (* random tables survive an export/import cycle exactly *)
 let csv_roundtrip_prop =
   let gen_value =
@@ -635,6 +683,9 @@ let () =
           Alcotest.test_case "mutation listener" `Quick test_mutation_listener;
         ] );
       ( "csv",
-        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip ]
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "degraded load" `Quick test_csv_degraded_load;
+        ]
         @ qsuite [ csv_roundtrip_prop; date_shift_prop ] );
     ]
