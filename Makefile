@@ -1,4 +1,4 @@
-.PHONY: all build test check faultcheck bench fmt clean
+.PHONY: all build test check faultcheck servecheck bench fmt clean
 
 all: build
 
@@ -15,6 +15,13 @@ check: build test
 # recovery must land on exactly the pre- or post-transaction state
 faultcheck:
 	dune exec test/test_recovery.exe
+
+# the concurrency gate: protocol round-trips, the single-writer lock,
+# scheduler admission control, and 8 concurrent sessions through the
+# in-memory transport — under a watchdog so a deadlock fails instead of
+# hanging the build
+servecheck:
+	timeout 300 dune exec test/test_srv.exe
 
 bench:
 	dune exec bench/main.exe

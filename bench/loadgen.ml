@@ -1,0 +1,224 @@
+(* Load generator: drive a softdb server through the real wire protocol.
+
+     loadgen                       in-process server, ephemeral port
+     loadgen --port 5433           attack an already-running softdb serve
+     loadgen --clients 8 --requests 200
+
+   Each client is a thread with its own TCP connection and session: it
+   says hello, prepares one hot query, then issues a mix of point
+   selects, range selects, prepared executes, and (every 16th request)
+   a small insert+rollback transaction.  Rejected requests (admission
+   control) honor the server's retry-after hint and retry, so the run
+   measures sustained throughput under backpressure rather than error
+   rate.
+
+   At the end: per-client and aggregate throughput, the response-kind
+   histogram, and — when the server is in-process — the server's own
+   metrics and its sys.sessions view fetched over the wire. *)
+
+let ( let* ) = Option.bind
+
+type stats = {
+  mutable ok : int;
+  mutable rows : int; (* result-set responses *)
+  mutable affected : int;
+  mutable errors : int;
+  mutable rejected : int; (* admission rejections, before retry *)
+}
+
+let new_stats () = { ok = 0; rows = 0; affected = 0; errors = 0; rejected = 0 }
+
+(* One synchronous request/response exchange.  Responses can interleave
+   across a session's pipelined requests, but this client awaits each
+   answer before the next question, so ids must match. *)
+let roundtrip conn (req : Srv.Proto.request) =
+  conn.Srv.Transport.send (Srv.Proto.request_to_line req);
+  let* line = conn.Srv.Transport.recv () in
+  let resp = Srv.Proto.response_of_line line in
+  if resp.Srv.Proto.id <> req.Srv.Proto.id then
+    failwith
+      (Printf.sprintf "response #%d for request #%d" resp.Srv.Proto.id
+         req.Srv.Proto.id);
+  Some resp.Srv.Proto.payload
+
+(* Submit with retry: honor the retry-after hint on admission rejects. *)
+let rec submit stats conn req =
+  match roundtrip conn req with
+  | None -> None
+  | Some (Srv.Proto.Rejected { retry_after_ms }) ->
+      stats.rejected <- stats.rejected + 1;
+      Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
+      submit stats conn req
+  | Some payload -> Some payload
+
+let count stats = function
+  | Srv.Proto.Result_set _ -> stats.rows <- stats.rows + 1
+  | Srv.Proto.Affected _ -> stats.affected <- stats.affected + 1
+  | Srv.Proto.Failed _ -> stats.errors <- stats.errors + 1
+  | _ -> stats.ok <- stats.ok + 1
+
+(* The request mix, deterministic per (client, sequence number). *)
+let nth_date n =
+  Rel.Date.of_ymd 1999 (1 + (n mod 12)) (1 + (n * 7 mod 28))
+
+let nth_request client n : Srv.Proto.request_payload list =
+  match n mod 16 with
+  | 15 ->
+      (* a small write transaction: insert one row, roll it back *)
+      let cid = 900_000 + (client * 1000) + n in
+      [
+        Srv.Proto.Begin_txn;
+        Srv.Proto.Statement
+          (Printf.sprintf
+             "INSERT INTO purchase VALUES (%d, 1, DATE '1999-01-05', DATE \
+              '1999-01-15', 42.0, 1, 'north')"
+             cid);
+        Srv.Proto.Rollback_txn;
+      ]
+  | 7 -> [ Srv.Proto.Execute { handle = "hot" } ]
+  | k when k mod 3 = 0 ->
+      [
+        Srv.Proto.Statement
+          (Workload.Queries.purchase_ship_range (nth_date n)
+             (nth_date (n + 2)));
+      ]
+  | _ -> [ Srv.Proto.Statement (Workload.Queries.purchase_ship_eq (nth_date n)) ]
+
+let client_loop ~port ~requests client =
+  let conn = Srv.Transport.connect ~port () in
+  let stats = new_stats () in
+  let next_id = ref 0 in
+  let send payload =
+    incr next_id;
+    submit stats conn { Srv.Proto.id = !next_id; payload }
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (send (Srv.Proto.Hello { client = Printf.sprintf "loadgen-%d" client }));
+  ignore
+    (send
+       (Srv.Proto.Prepare
+          {
+            handle = "hot";
+            sql = Workload.Queries.purchase_ship_eq (nth_date client);
+          }));
+  let n = ref 0 in
+  (try
+     while !n < requests do
+       List.iter
+         (fun payload ->
+           match send payload with
+           | Some p -> count stats p
+           | None -> raise Exit)
+         (nth_request client !n);
+       incr n
+     done
+   with Exit -> ());
+  ignore (send Srv.Proto.Quit);
+  conn.Srv.Transport.close ();
+  (stats, !n, Unix.gettimeofday () -. t0)
+
+(* Ask the server about itself over its own protocol. *)
+let print_sessions_view ~port =
+  let conn = Srv.Transport.connect ~port () in
+  (match
+     roundtrip conn
+       {
+         Srv.Proto.id = 1;
+         payload =
+           Srv.Proto.Statement
+             "SELECT session_id, name, state, queries, writes, errors FROM \
+              sys.sessions";
+       }
+   with
+  | Some (Srv.Proto.Result_set { columns; rows }) ->
+      Fmt.pr "sys.sessions (over the wire):@.";
+      Fmt.pr "  %s@." (String.concat " | " columns);
+      List.iter
+        (fun row ->
+          Fmt.pr "  %s@."
+            (String.concat " | "
+               (List.map (Fmt.str "%a" Rel.Value.pp) (Array.to_list row))))
+        rows
+  | _ -> Fmt.pr "could not fetch sys.sessions@.");
+  ignore (roundtrip conn { Srv.Proto.id = 2; payload = Srv.Proto.Quit });
+  conn.Srv.Transport.close ()
+
+let run ~port ~clients ~requests =
+  (* in-process server when no port is given: load the purchase
+     workload and listen on an ephemeral port *)
+  let server =
+    match port with
+    | Some _ -> None
+    | None ->
+        let sdb = Core.Softdb.create () in
+        Workload.Purchase.load (Core.Softdb.db sdb);
+        Core.Softdb.runstats sdb;
+        let server = Srv.Server.create sdb in
+        Some server
+  in
+  let port =
+    match (port, server) with
+    | Some p, _ -> p
+    | None, Some server ->
+        let p, accept_loop = Srv.Server.listen_tcp server ~port:0 in
+        ignore (Thread.create accept_loop ());
+        Fmt.pr "in-process server on 127.0.0.1:%d (%d worker domains)@." p
+          (Srv.Scheduler.workers (Srv.Server.scheduler server));
+        p
+    | None, None -> assert false
+  in
+  let t0 = Unix.gettimeofday () in
+  let slots = Array.make clients (new_stats (), 0, 0.0) in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create (fun () -> slots.(c) <- client_loop ~port ~requests c) ())
+  in
+  List.iter Thread.join threads;
+  let results = Array.to_list slots in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = new_stats () in
+  let completed = ref 0 in
+  List.iteri
+    (fun c ((s : stats), n, dt) ->
+      completed := !completed + n;
+      total.ok <- total.ok + s.ok;
+      total.rows <- total.rows + s.rows;
+      total.affected <- total.affected + s.affected;
+      total.errors <- total.errors + s.errors;
+      total.rejected <- total.rejected + s.rejected;
+      Fmt.pr "client %2d: %4d requests in %6.2fs (%7.1f req/s)%s@." c n dt
+        (float_of_int n /. dt)
+        (if s.rejected > 0 then Printf.sprintf "  [%d retries]" s.rejected
+         else ""))
+    results;
+  Fmt.pr "---@.";
+  Fmt.pr
+    "total: %d requests, %d result sets, %d affected, %d errors, %d \
+     admission retries in %.2fs (%.1f req/s)@."
+    !completed total.rows total.affected total.errors total.rejected elapsed
+    (float_of_int !completed /. elapsed);
+  print_sessions_view ~port;
+  match server with
+  | None -> ()
+  | Some server ->
+      let sdb = Srv.Server.softdb server in
+      Fmt.pr "---@.server metrics:@.%a@." Obs.Metrics.pp
+        (Core.Softdb.metrics sdb);
+      Srv.Server.shutdown server
+
+let () =
+  let port = ref None and clients = ref 8 and requests = ref 64 in
+  let spec =
+    [
+      ( "--port",
+        Arg.Int (fun p -> port := Some p),
+        "PORT attack a running server instead of an in-process one" );
+      ("--clients", Arg.Set_int clients, "N concurrent client threads (8)");
+      ("--requests", Arg.Set_int requests, "N requests per client (64)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "loadgen [--port PORT] [--clients N] [--requests N]";
+  run ~port:!port ~clients:!clients ~requests:!requests

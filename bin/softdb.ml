@@ -166,6 +166,32 @@ let with_wal wal_path f =
       Fmt.pr "recovered state from %s@." path;
       f sdb (Some link)
 
+(* softdb serve --port PORT: the multi-session TCP server.  The accept
+   loop runs on the main thread until SIGINT/SIGTERM, which flips to a
+   clean shutdown: listener closed, scheduler drained, domains joined,
+   WAL detached. *)
+let serve ?wal_link sdb ~port ~workers ~queue ~demo =
+  Option.iter
+    (fun w -> if w <> "" then load_demo sdb w)
+    demo;
+  let server = Srv.Server.create ?workers ~queue_capacity:queue sdb in
+  let actual_port, accept_loop = Srv.Server.listen_tcp server ~port in
+  let stop () =
+    Fmt.pr "@.shutting down...@.";
+    Srv.Server.shutdown server;
+    Option.iter Core.Recovery.detach wal_link;
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop ()));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop ()));
+  Fmt.pr "softdb serving on 127.0.0.1:%d (%d worker domains, queue %d)@."
+    actual_port
+    (Srv.Scheduler.workers (Srv.Server.scheduler server))
+    queue;
+  accept_loop ();
+  Srv.Server.shutdown server;
+  Option.iter Core.Recovery.detach wal_link
+
 (* ---- cmdliner wiring --------------------------------------------------- *)
 
 open Cmdliner
@@ -215,6 +241,44 @@ let demo_cmd =
               repl ?link sdb))
       $ wal_arg $ which)
 
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 5433
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains (default: scaled to available cores).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity; requests beyond it are rejected with a \
+             retry-after hint.")
+  in
+  let demo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "demo" ] ~docv:"WORKLOAD"
+          ~doc:"Preload a demo workload (purchase|project|tpcd|all) before \
+                serving.")
+  in
+  let doc = "serve SQL over TCP to concurrent sessions" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun wal port workers queue demo ->
+          with_wal wal (fun sdb link ->
+              serve ?wal_link:link sdb ~port ~workers ~queue ~demo))
+      $ wal_arg $ port $ workers $ queue $ demo)
+
 let main =
   let doc = "soft constraints in a relational query optimizer" in
   Cmd.group
@@ -223,6 +287,6 @@ let main =
         const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb))
         $ wal_arg)
     (Cmd.info "softdb" ~doc)
-    [ repl_cmd; run_cmd; demo_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -15,7 +15,14 @@
    estimation-only (twins) never invalidate — a plan chosen under stale
    statistics is merely sub-optimal, exactly the paper's reading.
    [reprepare] re-optimizes invalidated entries against the current
-   catalog, the "recompiled before they can be used again" path. *)
+   catalog, the "recompiled before they can be used again" path.
+
+   The cache is bounded: past [capacity] entries the least-recently-used
+   one is evicted (prepare-or-execute counts as use), the eviction tallied
+   in [stats] and in the plan_cache.evictions metric.  Entry-list and
+   recency bookkeeping are mutex-guarded because one cache is shared by
+   every server session (lib/srv); optimization itself runs outside the
+   lock so a slow prepare never blocks another session's execute. *)
 
 type entry = {
   name : string;
@@ -27,11 +34,25 @@ type entry = {
   mutable invalidated : bool;
   mutable fast_runs : int;
   mutable backup_runs : int;
+  mutable last_used : int; (* recency stamp for LRU eviction *)
 }
 
-type t = { sdb : Softdb.t; mutable entries : entry list }
+type t = {
+  sdb : Softdb.t;
+  capacity : int;
+  lock : Mutex.t;
+  mutable use_seq : int;
+  mutable evictions : int;
+  mutable entries : entry list;
+}
 
 exception No_such_plan of string
+
+let default_capacity = 64
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Rewrite-critical dependencies: every SC a non-estimation-only rewrite
    relied on.  Twins (estimation-only) are excluded.  The report's guard
@@ -39,29 +60,58 @@ exception No_such_plan of string
    no constraint name), computed by {!Softdb.optimize}. *)
 let dependencies_of (report : Opt.Explain.report) = report.Opt.Explain.guards
 
+let touch t entry =
+  t.use_seq <- t.use_seq + 1;
+  entry.last_used <- t.use_seq
+
+(* Evict least-recently-used entries until the count fits the capacity;
+   caller holds the lock. *)
+let enforce_capacity t =
+  while List.length t.entries > t.capacity do
+    let victim =
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | None -> Some e
+          | Some v -> if e.last_used < v.last_used then Some e else acc)
+        None t.entries
+    in
+    match victim with
+    | None -> ()
+    | Some v ->
+        t.entries <- List.filter (fun e -> e != v) t.entries;
+        t.evictions <- t.evictions + 1;
+        Obs.Metrics.incr (Softdb.metrics t.sdb) "plan_cache.evictions"
+  done
+
 let prepare t ~name sql =
   let query = Sqlfe.Parser.parse_query_string sql in
   let report = Softdb.optimize t.sdb query in
   let backup =
     (Softdb.optimize ~flags:Opt.Rewrite.all_off t.sdb query).Opt.Explain.plan
   in
-  let entry =
-    {
-      name;
-      sql;
-      query;
-      report;
-      deps = dependencies_of report;
-      backup;
-      invalidated = false;
-      fast_runs = 0;
-      backup_runs = 0;
-    }
-  in
-  t.entries <- entry :: List.filter (fun e -> e.name <> name) t.entries;
-  entry
+  locked t (fun () ->
+      let entry =
+        {
+          name;
+          sql;
+          query;
+          report;
+          deps = dependencies_of report;
+          backup;
+          invalidated = false;
+          fast_runs = 0;
+          backup_runs = 0;
+          last_used = 0;
+        }
+      in
+      touch t entry;
+      t.entries <- entry :: List.filter (fun e -> e.name <> name) t.entries;
+      enforce_capacity t;
+      entry)
 
-let find t name = List.find_opt (fun e -> e.name = name) t.entries
+let find t name =
+  locked t (fun () -> List.find_opt (fun e -> e.name = name) t.entries)
 
 let find_exn t name =
   match find t name with Some e -> e | None -> raise (No_such_plan name)
@@ -79,15 +129,26 @@ let is_valid t entry =
 
 (* Creating the cache also binds the sys.plan_cache virtual table to it,
    so the cache's state is SQL-queryable through the facade. *)
-let create sdb =
-  let t = { sdb; entries = [] } in
+let create ?(capacity = default_capacity) sdb =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  let t =
+    {
+      sdb;
+      capacity;
+      lock = Mutex.create ();
+      use_seq = 0;
+      evictions = 0;
+      entries = [];
+    }
+  in
   Softdb.set_plan_cache_source sdb (fun () ->
+      let entries = locked t (fun () -> t.entries) in
       List.rev_map
         (fun e ->
           Obs.Sys_tables.plan_cache_row ~name:e.name ~sql:e.sql
             ~valid:(is_valid t e) ~dependencies:e.deps ~fast_runs:e.fast_runs
-            ~backup_runs:e.backup_runs)
-        t.entries);
+            ~backup_runs:e.backup_runs ~last_used:e.last_used)
+        entries);
   t
 
 type cache_stats = {
@@ -95,37 +156,56 @@ type cache_stats = {
   valid : int;
   fast_runs : int;
   backup_runs : int;
+  capacity : int;
+  evictions : int;
 }
 
 let stats t =
+  let entries, evictions = locked t (fun () -> (t.entries, t.evictions)) in
   List.fold_left
     (fun acc e ->
       {
+        acc with
         entries = acc.entries + 1;
         valid = (acc.valid + if is_valid t e then 1 else 0);
         fast_runs = acc.fast_runs + e.fast_runs;
         backup_runs = acc.backup_runs + e.backup_runs;
       })
-    { entries = 0; valid = 0; fast_runs = 0; backup_runs = 0 }
-    t.entries
+    {
+      entries = 0;
+      valid = 0;
+      fast_runs = 0;
+      backup_runs = 0;
+      capacity = t.capacity;
+      evictions;
+    }
+    entries
 
 (* Execute a prepared plan: the fast plan while its dependencies hold, the
-   ASC-free backup once overturned (the §4.1 flag-and-revert tactic). *)
+   ASC-free backup once overturned (the §4.1 flag-and-revert tactic).
+   Validity is checked and counters stamped under the lock; the plan
+   itself runs outside it. *)
 let execute t name =
   let entry = find_exn t name in
-  if is_valid t entry then begin
-    entry.fast_runs <- entry.fast_runs + 1;
-    Exec.Executor.run (Softdb.db t.sdb) entry.report.Opt.Explain.plan
-  end
-  else begin
-    entry.invalidated <- true;
-    entry.backup_runs <- entry.backup_runs + 1;
-    Obs.Metrics.incr (Softdb.metrics t.sdb) "sc_guard_fallbacks";
-    Exec.Executor.run (Softdb.db t.sdb) entry.backup
-  end
+  let plan =
+    locked t (fun () ->
+        touch t entry;
+        if is_valid t entry then begin
+          entry.fast_runs <- entry.fast_runs + 1;
+          entry.report.Opt.Explain.plan
+        end
+        else begin
+          entry.invalidated <- true;
+          entry.backup_runs <- entry.backup_runs + 1;
+          Obs.Metrics.incr (Softdb.metrics t.sdb) "sc_guard_fallbacks";
+          entry.backup
+        end)
+  in
+  Exec.Executor.run (Softdb.db t.sdb) plan
 
 (* Re-optimize every invalidated entry against the current catalog. *)
 let reprepare t =
+  let entries = locked t (fun () -> t.entries) in
   List.iter
     (fun entry ->
       if entry.invalidated || not (List.for_all (dep_valid t) entry.deps)
@@ -135,7 +215,7 @@ let reprepare t =
         entry.deps <- dependencies_of report;
         entry.invalidated <- false
       end)
-    t.entries
+    entries
 
 let pp_entry ppf e =
   Fmt.pf ppf "%s: deps=[%a] fast=%d backup=%d%s" e.name

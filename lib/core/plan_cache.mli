@@ -10,7 +10,13 @@
     the soft-constraint machinery off.  Execution runs the fast plan while
     every rewrite-critical dependency is still Active, and the backup
     afterwards; twins (estimation-only) never invalidate — a plan chosen
-    under stale statistics is merely sub-optimal. *)
+    under stale statistics is merely sub-optimal.
+
+    The cache is bounded and LRU-evicting (prepare and execute both count
+    as use; evictions surface in {!stats}, the sys.plan_cache [last_used]
+    column, and the [plan_cache.evictions] metric), and thread-safe, so
+    one cache can be shared by every session of the server
+    ({!Srv.Server}). *)
 
 type entry = {
   name : string;
@@ -22,21 +28,28 @@ type entry = {
   mutable invalidated : bool;
   mutable fast_runs : int;
   mutable backup_runs : int;
+  mutable last_used : int;  (** recency stamp for LRU eviction *)
 }
 
 type t
 
 exception No_such_plan of string
 
-val create : Softdb.t -> t
+val default_capacity : int
+(** 64. *)
+
+val create : ?capacity:int -> Softdb.t -> t
 (** Also binds the facade's sys.plan_cache virtual table to this cache
-    (via {!Softdb.set_plan_cache_source}). *)
+    (via {!Softdb.set_plan_cache_source}).  [capacity] bounds the entry
+    count (default {!default_capacity}); raises [Invalid_argument] when
+    < 1. *)
 
 val dependencies_of : Opt.Explain.report -> string list
 (** The rewrite-critical SC names of a report (twins excluded). *)
 
 val prepare : t -> name:string -> string -> entry
-(** Optimize and cache under [name] (replacing an entry of that name). *)
+(** Optimize and cache under [name] (replacing an entry of that name).
+    Past capacity, the least-recently-used entry is evicted. *)
 
 val find : t -> string -> entry option
 
@@ -47,10 +60,13 @@ type cache_stats = {
   valid : int;
   fast_runs : int;
   backup_runs : int;
+  capacity : int;
+  evictions : int;  (** LRU evictions since creation *)
 }
 
 val stats : t -> cache_stats
-(** Aggregate fast-vs-backup run counts across all entries. *)
+(** Aggregate fast-vs-backup run counts across all entries, plus the
+    capacity bound and total evictions. *)
 
 val execute : t -> string -> Exec.Executor.result
 (** Fast plan while valid, backup plan once a dependency is overturned. *)

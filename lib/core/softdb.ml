@@ -279,6 +279,14 @@ let rec twin_names acc (l : Opt.Logical.t) =
         acc b.Opt.Logical.preds
   | Opt.Logical.Union ts -> List.fold_left twin_names acc ts
 
+(* Confidence recalibration mutates the SC catalog and the maintenance
+   queue *from the read path*: it runs when a query finishes.  Under the
+   server's worker pool many read queries finish concurrently, so the
+   adjust branch is serialized behind one mutex — data and catalog
+   structure mutations proper stay on the single-writer path (lib/srv),
+   and field-level confidence updates from readers are funnelled here. *)
+let recalibration_lock = Mutex.create ()
+
 (* Per-twin observation: the measured coverage of the SSC's statement
    against current data is the observed selectivity of the twinned
    predicate class.  Recalibration (when enabled) pulls the catalog
@@ -304,17 +312,24 @@ let observe_twin t sc_name =
               with
               | Obs.Feedback.Keep -> None
               | Obs.Feedback.Adjust { confidence; refresh } ->
-                  Sc_catalog.set_kind t.catalog sc
-                    (Soft_constraint.Statistical confidence);
-                  Sc_catalog.set_anchor t.catalog sc
-                    (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
-                  Maintenance.record t.maintenance sc_name
-                    (Printf.sprintf
-                       "confidence recalibrated %.4f -> %.4f (observed %.4f)"
-                       stored confidence observed);
-                  Obs.Metrics.incr t.metrics "feedback.recalibrations";
-                  if refresh then Maintenance.queue_refresh t.maintenance sc_name;
-                  Some confidence
+                  Mutex.lock recalibration_lock;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock recalibration_lock)
+                    (fun () ->
+                      Sc_catalog.set_kind t.catalog sc
+                        (Soft_constraint.Statistical confidence);
+                      Sc_catalog.set_anchor t.catalog sc
+                        (Sc_catalog.mutations_of t.db
+                           sc.Soft_constraint.table);
+                      Maintenance.record t.maintenance sc_name
+                        (Printf.sprintf
+                           "confidence recalibrated %.4f -> %.4f (observed \
+                            %.4f)"
+                           stored confidence observed);
+                      Obs.Metrics.incr t.metrics "feedback.recalibrations";
+                      if refresh then
+                        Maintenance.queue_refresh t.maintenance sc_name;
+                      Some confidence)
           in
           Some { Obs.Query_log.sc = sc_name; stored; observed; adjusted })
 

@@ -8,12 +8,20 @@
    gauge, a sample, or a sys.metrics row.  Timings are informational
    only and surface through [pp_timings] / [timings].
 
+   Every mutation and every read goes through one mutex, because the
+   registry is shared by the server's worker domains (lib/srv): a read
+   query finishing on one domain and a write statement on another both
+   feed the same counters.  The lock is per-registry and held only for
+   the table operation itself, so contention stays negligible next to
+   query execution.
+
    Metric names are dotted paths ("exec.rows.scanned",
    "feedback.recalibrations"); the registry imposes no schema on them. *)
 
 type timing = { mutable calls : int; mutable elapsed_s : float }
 
 type t = {
+  lock : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   samples : (string, float list ref) Hashtbl.t; (* newest first *)
@@ -22,50 +30,71 @@ type t = {
 
 let create () =
   {
+    lock = Mutex.create ();
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     samples = Hashtbl.create 16;
     times = Hashtbl.create 16;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges;
-  Hashtbl.reset t.samples;
-  Hashtbl.reset t.times
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.gauges;
+      Hashtbl.reset t.samples;
+      Hashtbl.reset t.times)
 
 (* ---- counters ---------------------------------------------------------- *)
 
 let incr ?(by = 1) t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.replace t.counters name (ref by)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.counters name (ref by))
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
 (* ---- gauges ------------------------------------------------------------ *)
 
 let set_gauge t name v =
-  match Hashtbl.find_opt t.gauges name with
-  | Some r -> r := v
-  | None -> Hashtbl.replace t.gauges name (ref v)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+let add_gauge t name by =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := !r +. by
+      | None -> Hashtbl.replace t.gauges name (ref by))
 
 let gauge t name =
-  match Hashtbl.find_opt t.gauges name with Some r -> Some !r | None -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> Some !r
+      | None -> None)
 
 (* ---- sample series ----------------------------------------------------- *)
 
 let observe t name v =
-  match Hashtbl.find_opt t.samples name with
-  | Some r -> r := v :: !r
-  | None -> Hashtbl.replace t.samples name (ref [ v ])
+  locked t (fun () ->
+      match Hashtbl.find_opt t.samples name with
+      | Some r -> r := v :: !r
+      | None -> Hashtbl.replace t.samples name (ref [ v ]))
 
 (* oldest-first *)
-let samples t name =
+let samples_unlocked t name =
   match Hashtbl.find_opt t.samples name with
   | Some r -> List.rev !r
   | None -> []
+
+let samples t name = locked t (fun () -> samples_unlocked t name)
 
 (* Equi-depth histogram over a sample series, reusing the engine's own
    statistics machinery. *)
@@ -83,8 +112,8 @@ type summary = {
   p95 : float;
 }
 
-let summary t name =
-  match samples t name with
+let summary_unlocked t name =
+  match samples_unlocked t name with
   | [] -> None
   | vs ->
       let arr = Array.of_list vs in
@@ -105,22 +134,27 @@ let summary t name =
           p95 = quantile 0.95;
         }
 
+let summary t name = locked t (fun () -> summary_unlocked t name)
+
 (* ---- timings (wall clock; never part of the snapshot) ------------------- *)
 
 let record_time t name elapsed_s =
-  match Hashtbl.find_opt t.times name with
-  | Some tm ->
-      tm.calls <- tm.calls + 1;
-      tm.elapsed_s <- tm.elapsed_s +. elapsed_s
-  | None -> Hashtbl.replace t.times name { calls = 1; elapsed_s }
+  locked t (fun () ->
+      match Hashtbl.find_opt t.times name with
+      | Some tm ->
+          tm.calls <- tm.calls + 1;
+          tm.elapsed_s <- tm.elapsed_s +. elapsed_s
+      | None -> Hashtbl.replace t.times name { calls = 1; elapsed_s })
 
 let time t name f =
   let t0 = Sys.time () in
   Fun.protect ~finally:(fun () -> record_time t name (Sys.time () -. t0)) f
 
 let timings t =
-  Hashtbl.fold (fun name tm acc -> (name, tm.calls, tm.elapsed_s) :: acc)
-    t.times []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name tm acc -> (name, tm.calls, tm.elapsed_s) :: acc)
+        t.times [])
   |> List.sort compare
 
 (* ---- snapshot ----------------------------------------------------------- *)
@@ -129,24 +163,27 @@ let timings t =
    sorted by name.  Sample series are expanded into .count/.mean/.min/.max
    scalar rows so the snapshot stays flat and SQL-friendly. *)
 let snapshot t : (string * string * float) list =
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name r -> rows := (name, "counter", float_of_int !r) :: !rows)
-    t.counters;
-  Hashtbl.iter (fun name r -> rows := (name, "gauge", !r) :: !rows) t.gauges;
-  Hashtbl.iter
-    (fun name _ ->
-      match summary t name with
-      | None -> ()
-      | Some s ->
-          rows :=
-            (name ^ ".count", "sample", float_of_int s.count)
-            :: (name ^ ".mean", "sample", s.mean)
-            :: (name ^ ".min", "sample", s.min_v)
-            :: (name ^ ".max", "sample", s.max_v)
-            :: !rows)
-    t.samples;
-  List.sort compare !rows
+  locked t (fun () ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name r -> rows := (name, "counter", float_of_int !r) :: !rows)
+        t.counters;
+      Hashtbl.iter
+        (fun name r -> rows := (name, "gauge", !r) :: !rows)
+        t.gauges;
+      Hashtbl.iter
+        (fun name _ ->
+          match summary_unlocked t name with
+          | None -> ()
+          | Some s ->
+              rows :=
+                (name ^ ".count", "sample", float_of_int s.count)
+                :: (name ^ ".mean", "sample", s.mean)
+                :: (name ^ ".min", "sample", s.min_v)
+                :: (name ^ ".max", "sample", s.max_v)
+                :: !rows)
+        t.samples;
+      List.sort compare !rows)
 
 let pp_timings ppf t =
   List.iter
@@ -159,7 +196,7 @@ let pp ppf t =
   List.iter
     (fun (name, kind, v) -> Fmt.pf ppf "@.  %-32s %-8s %g" name kind v)
     (snapshot t);
-  if Hashtbl.length t.times > 0 then begin
+  if timings t <> [] then begin
     Fmt.pf ppf "@.timings (wall clock):";
     pp_timings ppf t
   end

@@ -4,7 +4,11 @@
     {!snapshot} (and the sys.metrics virtual table); wall-clock timings
     live in a separate store that never reaches the snapshot, so every
     test-visible value is reproducible run-to-run.  Metric names are
-    dotted paths ("exec.rows.scanned"); no schema is imposed. *)
+    dotted paths ("exec.rows.scanned"); no schema is imposed.
+
+    Every operation is thread-safe: the registry is shared by the
+    server's worker domains ({!Srv}), so mutation and snapshotting are
+    serialized behind a per-registry mutex. *)
 
 type t
 
@@ -20,6 +24,11 @@ val counter : t -> string -> int
 (** {1 Gauges} *)
 
 val set_gauge : t -> string -> float -> unit
+
+val add_gauge : t -> string -> float -> unit
+(** Atomic increment (negative to decrement) — a level instrument like a
+    queue depth, adjusted concurrently from many workers. *)
+
 val gauge : t -> string -> float option
 
 (** {1 Sample series} *)

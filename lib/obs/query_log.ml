@@ -21,13 +21,22 @@ type entry = {
   fell_back : bool; (* executed the guard-fallback (rewrite-free) plan *)
 }
 
+(* Sequence allocation and the entry list are guarded by one mutex: the
+   log is shared across the server's worker domains, and two queries
+   finishing simultaneously must still get distinct, dense seq numbers. *)
 type t = {
   capacity : int;
+  lock : Mutex.t;
   mutable next_seq : int;
   mutable entries : entry list; (* newest first *)
 }
 
-let create ?(capacity = 256) () = { capacity; next_seq = 1; entries = [] }
+let create ?(capacity = 256) () =
+  { capacity; lock = Mutex.create (); next_seq = 1; entries = [] }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let rec take n = function
   | [] -> []
@@ -36,37 +45,44 @@ let rec take n = function
 
 let add ?(fell_back = false) t ~sql ~estimated_rows ~actual_rows ~rewrites
     ~twins =
-  let entry =
-    {
-      seq = t.next_seq;
-      sql;
-      estimated_rows;
-      actual_rows;
-      q_error = Feedback.q_error ~estimated:estimated_rows ~actual:actual_rows;
-      rewrites;
-      twins;
-      fell_back;
-    }
-  in
-  t.next_seq <- t.next_seq + 1;
-  t.entries <- take t.capacity (entry :: t.entries);
-  entry
+  locked t (fun () ->
+      let entry =
+        {
+          seq = t.next_seq;
+          sql;
+          estimated_rows;
+          actual_rows;
+          q_error =
+            Feedback.q_error ~estimated:estimated_rows ~actual:actual_rows;
+          rewrites;
+          twins;
+          fell_back;
+        }
+      in
+      t.next_seq <- t.next_seq + 1;
+      t.entries <- take t.capacity (entry :: t.entries);
+      entry)
 
 (* oldest-first *)
-let entries t = List.rev t.entries
-let length t = List.length t.entries
-let last t = match t.entries with [] -> None | e :: _ -> Some e
-let clear t = t.entries <- []
+let entries t = locked t (fun () -> List.rev t.entries)
+let length t = locked t (fun () -> List.length t.entries)
+
+let last t =
+  locked t (fun () -> match t.entries with [] -> None | e :: _ -> Some e)
+
+let clear t = locked t (fun () -> t.entries <- [])
 
 let mean_q_error t =
-  match t.entries with
-  | [] -> 1.0
-  | es ->
-      List.fold_left (fun acc e -> acc +. e.q_error) 0.0 es
-      /. float_of_int (List.length es)
+  locked t (fun () ->
+      match t.entries with
+      | [] -> 1.0
+      | es ->
+          List.fold_left (fun acc e -> acc +. e.q_error) 0.0 es
+          /. float_of_int (List.length es))
 
 let worst_q_error t =
-  List.fold_left (fun acc e -> Float.max acc e.q_error) 1.0 t.entries
+  locked t (fun () ->
+      List.fold_left (fun acc e -> Float.max acc e.q_error) 1.0 t.entries)
 
 let pp_entry ppf e =
   Fmt.pf ppf "#%d est=%.1f actual=%d q=%.2f%s %s" e.seq e.estimated_rows

@@ -1,7 +1,11 @@
 (** A bounded in-memory log of executed queries: estimated vs. actual
     cardinality, q-error, which rewrite rules fired, and what each
     twinned SSC predicted vs. what execution observed.  Feeds the
-    sys.query_log virtual table and the recalibration loop. *)
+    sys.query_log virtual table and the recalibration loop.
+
+    Thread-safe: appends and reads are serialized behind a per-log
+    mutex, so the server's worker domains can share one log while seq
+    numbers stay distinct and dense. *)
 
 type twin_observation = {
   sc : string;

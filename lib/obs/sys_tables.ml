@@ -103,9 +103,11 @@ let plan_cache_schema =
       Schema.column ~nullable:false "dependencies" Value.TString;
       Schema.column ~nullable:false "fast_runs" Value.TInt;
       Schema.column ~nullable:false "backup_runs" Value.TInt;
+      Schema.column ~nullable:false "last_used" Value.TInt;
     ]
 
-let plan_cache_row ~name ~sql ~valid ~dependencies ~fast_runs ~backup_runs =
+let plan_cache_row ~name ~sql ~valid ~dependencies ~fast_runs ~backup_runs
+    ~last_used =
   Tuple.make
     [
       str name;
@@ -114,4 +116,34 @@ let plan_cache_row ~name ~sql ~valid ~dependencies ~fast_runs ~backup_runs =
       str (String.concat "," dependencies);
       int fast_runs;
       int backup_runs;
+      int last_used;
+    ]
+
+(* ---- sys.sessions -------------------------------------------------------- *)
+
+let sessions_schema =
+  Schema.make "sys.sessions"
+    [
+      Schema.column ~nullable:false "session_id" Value.TInt;
+      Schema.column ~nullable:false "name" Value.TString;
+      Schema.column ~nullable:false "state" Value.TString;
+      Schema.column ~nullable:false "in_txn" Value.TBool;
+      Schema.column ~nullable:false "queries" Value.TInt;
+      Schema.column ~nullable:false "writes" Value.TInt;
+      Schema.column ~nullable:false "errors" Value.TInt;
+      Schema.column ~nullable:false "prepared" Value.TInt;
+    ]
+
+let session_row ~session_id ~name ~state ~in_txn ~queries ~writes ~errors
+    ~prepared =
+  Tuple.make
+    [
+      int session_id;
+      str name;
+      str state;
+      boolean in_txn;
+      int queries;
+      int writes;
+      int errors;
+      int prepared;
     ]

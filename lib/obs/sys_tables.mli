@@ -29,8 +29,18 @@ val soft_constraint_row :
 
 val plan_cache_schema : Schema.t
 (** sys.plan_cache(name, sql, valid, dependencies, fast_runs,
-    backup_runs) *)
+    backup_runs, last_used) — [last_used] is the cache's LRU recency
+    stamp. *)
 
 val plan_cache_row :
   name:string -> sql:string -> valid:bool -> dependencies:string list ->
-  fast_runs:int -> backup_runs:int -> Tuple.t
+  fast_runs:int -> backup_runs:int -> last_used:int -> Tuple.t
+
+val sessions_schema : Schema.t
+(** sys.sessions(session_id, name, state, in_txn, queries, writes,
+    errors, prepared) — one row per server session, registered by
+    {!Srv.Server}. *)
+
+val session_row :
+  session_id:int -> name:string -> state:string -> in_txn:bool ->
+  queries:int -> writes:int -> errors:int -> prepared:int -> Tuple.t

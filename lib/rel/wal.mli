@@ -132,6 +132,22 @@ val record_to_line : record -> string
 val record_of_line : string -> record
 (** Raises {!Wal_error} on corrupt input. *)
 
+(** {1 Text codec}
+
+    The log's field-level codec, exported for other line-oriented framed
+    formats that need the same exact round-trip guarantees (the server
+    wire protocol, {!Srv.Proto}): strings backslash-escaped so a field
+    never contains a literal tab or newline, floats printed in hex. *)
+
+val escape : string -> string
+val unescape : string -> string
+(** [unescape] raises {!Wal_error} on a malformed escape. *)
+
+val value_to_field : Value.t -> string
+
+val value_of_field : string -> Value.t
+(** Raises {!Wal_error} on corrupt input. *)
+
 val set_fault_hook : (string -> unit) -> unit
 (** Install the fault-injection callback invoked at each named point
     (see {!Obs.Fault}); the default is a no-op. *)

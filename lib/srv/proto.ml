@@ -1,0 +1,259 @@
+(* The softdb wire protocol: framed text, one message per line.
+
+   The codec mirrors the WAL's file format (lib/rel/wal) on purpose, and
+   reuses its field-level primitives: tab-separated fields, strings
+   backslash-escaped so a field can never contain a literal tab or
+   newline, floats in hex ("%h") so every value round-trips exactly.
+   Like the WAL, a text format keeps captured traffic inspectable with
+   standard tools — and lets the round-trip property be tested exactly
+   ([request_of_line (request_to_line r) = r], same for responses).
+
+   Every request carries a client-chosen correlation id; the response
+   echoes it.  Responses to one connection may arrive out of request
+   order (the server executes admitted requests on a worker pool), so
+   the id — not arrival order — is the correlation.  Cancel and Ping are
+   handled inline by the connection handler and never queue. *)
+
+open Rel
+
+type request_payload =
+  | Hello of { client : string }
+  | Statement of string (* any SQL statement, including EXPLAIN *)
+  | Prepare of { handle : string; sql : string }
+  | Execute of { handle : string }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Set of { key : string; value : string }
+  | Cancel of { target : int }
+  | Ping
+  | Quit
+
+type request = { id : int; payload : request_payload }
+
+type error_code =
+  | Parse_error
+  | Exec_error
+  | Txn_error
+  | Deadline_exceeded
+  | Cancelled
+  | Session_closed
+  | Shutting_down
+
+type response_payload =
+  | Hello_ok of { session : int }
+  | Ok_msg of string
+  | Result_set of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Explained of string (* a rendered plan report / analysis *)
+  | Failed of { code : error_code; message : string }
+  | Rejected of { retry_after_ms : int }
+  | Pong
+  | Bye
+
+type response = { id : int; payload : response_payload }
+
+exception Protocol_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+(* ---- field primitives (shared with the WAL codec) ------------------------ *)
+
+let escape = Wal.escape
+
+let unescape s =
+  try Wal.unescape s with Wal.Wal_error m -> raise (Protocol_error m)
+
+let value_to_field = Wal.value_to_field
+
+let value_of_field s =
+  try Wal.value_of_field s with Wal.Wal_error m -> raise (Protocol_error m)
+
+let int_field s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> error "expected integer, got %S" s
+
+let join = String.concat "\t"
+let split line = String.split_on_char '\t' line
+
+(* ---- requests ------------------------------------------------------------ *)
+
+let request_to_line ({ id; payload } : request) =
+  let fields =
+    match payload with
+    | Hello { client } -> [ "hello"; escape client ]
+    | Statement sql -> [ "stmt"; escape sql ]
+    | Prepare { handle; sql } -> [ "prepare"; escape handle; escape sql ]
+    | Execute { handle } -> [ "execute"; escape handle ]
+    | Begin_txn -> [ "begin" ]
+    | Commit_txn -> [ "commit" ]
+    | Rollback_txn -> [ "rollback" ]
+    | Set { key; value } -> [ "set"; escape key; escape value ]
+    | Cancel { target } -> [ "cancel"; string_of_int target ]
+    | Ping -> [ "ping" ]
+    | Quit -> [ "quit" ]
+  in
+  join (("Q" ^ string_of_int id) :: fields)
+
+let request_of_line line : request =
+  match split line with
+  | head :: fields when String.length head > 1 && head.[0] = 'Q' ->
+      let id = int_field (String.sub head 1 (String.length head - 1)) in
+      let payload =
+        match fields with
+        | [ "hello"; client ] -> Hello { client = unescape client }
+        | [ "stmt"; sql ] -> Statement (unescape sql)
+        | [ "prepare"; handle; sql ] ->
+            Prepare { handle = unescape handle; sql = unescape sql }
+        | [ "execute"; handle ] -> Execute { handle = unescape handle }
+        | [ "begin" ] -> Begin_txn
+        | [ "commit" ] -> Commit_txn
+        | [ "rollback" ] -> Rollback_txn
+        | [ "set"; key; value ] ->
+            Set { key = unescape key; value = unescape value }
+        | [ "cancel"; target ] -> Cancel { target = int_field target }
+        | [ "ping" ] -> Ping
+        | [ "quit" ] -> Quit
+        | _ -> error "bad request %S" line
+      in
+      { id; payload }
+  | _ -> error "bad request frame %S" line
+
+(* ---- responses ----------------------------------------------------------- *)
+
+let code_to_field = function
+  | Parse_error -> "parse"
+  | Exec_error -> "exec"
+  | Txn_error -> "txn"
+  | Deadline_exceeded -> "deadline"
+  | Cancelled -> "cancelled"
+  | Session_closed -> "closed"
+  | Shutting_down -> "shutdown"
+
+let code_of_field = function
+  | "parse" -> Parse_error
+  | "exec" -> Exec_error
+  | "txn" -> Txn_error
+  | "deadline" -> Deadline_exceeded
+  | "cancelled" -> Cancelled
+  | "closed" -> Session_closed
+  | "shutdown" -> Shutting_down
+  | s -> error "bad error code %S" s
+
+(* Result sets flatten into one line: column count, column names, row
+   count, then each row as arity-prefixed value fields — the same
+   count-prefixed shape the WAL uses for tuples. *)
+let response_to_line ({ id; payload } : response) =
+  let fields =
+    match payload with
+    | Hello_ok { session } -> [ "hello"; string_of_int session ]
+    | Ok_msg m -> [ "ok"; escape m ]
+    | Result_set { columns; rows } ->
+        ("rows" :: string_of_int (List.length columns)
+        :: List.map escape columns)
+        @ (string_of_int (List.length rows)
+          :: List.concat_map
+               (fun row ->
+                 string_of_int (Array.length row)
+                 :: List.map value_to_field (Array.to_list row))
+               rows)
+    | Affected n -> [ "affected"; string_of_int n ]
+    | Explained text -> [ "explained"; escape text ]
+    | Failed { code; message } ->
+        [ "error"; code_to_field code; escape message ]
+    | Rejected { retry_after_ms } ->
+        [ "rejected"; string_of_int retry_after_ms ]
+    | Pong -> [ "pong" ]
+    | Bye -> [ "bye" ]
+  in
+  join (("R" ^ string_of_int id) :: fields)
+
+let take n fields =
+  let rec go n acc fields =
+    if n = 0 then (List.rev acc, fields)
+    else
+      match fields with
+      | [] -> error "truncated frame"
+      | f :: tl -> go (n - 1) (f :: acc) tl
+  in
+  go n [] fields
+
+let take_row fields =
+  match fields with
+  | [] -> error "truncated row"
+  | n :: rest ->
+      let n = int_field n in
+      let cells, rest = take n rest in
+      (Array.of_list (List.map value_of_field cells), rest)
+
+let response_of_line line : response =
+  match split line with
+  | head :: fields when String.length head > 1 && head.[0] = 'R' ->
+      let id = int_field (String.sub head 1 (String.length head - 1)) in
+      let payload =
+        match fields with
+        | [ "hello"; session ] -> Hello_ok { session = int_field session }
+        | [ "ok"; m ] -> Ok_msg (unescape m)
+        | "rows" :: ncols :: rest ->
+            let cols, rest = take (int_field ncols) rest in
+            let columns = List.map unescape cols in
+            let nrows, rest =
+              match rest with
+              | n :: tl -> (int_field n, tl)
+              | [] -> error "truncated result set"
+            in
+            let rows = ref [] in
+            let rest = ref rest in
+            for _ = 1 to nrows do
+              let row, tl = take_row !rest in
+              rows := row :: !rows;
+              rest := tl
+            done;
+            if !rest <> [] then error "trailing fields in result set";
+            Result_set { columns; rows = List.rev !rows }
+        | [ "affected"; n ] -> Affected (int_field n)
+        | [ "explained"; text ] -> Explained (unescape text)
+        | [ "error"; code; message ] ->
+            Failed { code = code_of_field code; message = unescape message }
+        | [ "rejected"; ms ] -> Rejected { retry_after_ms = int_field ms }
+        | [ "pong" ] -> Pong
+        | [ "bye" ] -> Bye
+        | _ -> error "bad response %S" line
+      in
+      { id; payload }
+  | _ -> error "bad response frame %S" line
+
+(* ---- pretty-printing ------------------------------------------------------ *)
+
+let pp_error_code ppf c = Fmt.string ppf (code_to_field c)
+
+let pp_request ppf ({ id; payload } : request) =
+  match payload with
+  | Hello { client } -> Fmt.pf ppf "#%d hello %s" id client
+  | Statement sql -> Fmt.pf ppf "#%d stmt %s" id sql
+  | Prepare { handle; sql } -> Fmt.pf ppf "#%d prepare %s: %s" id handle sql
+  | Execute { handle } -> Fmt.pf ppf "#%d execute %s" id handle
+  | Begin_txn -> Fmt.pf ppf "#%d begin" id
+  | Commit_txn -> Fmt.pf ppf "#%d commit" id
+  | Rollback_txn -> Fmt.pf ppf "#%d rollback" id
+  | Set { key; value } -> Fmt.pf ppf "#%d set %s=%s" id key value
+  | Cancel { target } -> Fmt.pf ppf "#%d cancel #%d" id target
+  | Ping -> Fmt.pf ppf "#%d ping" id
+  | Quit -> Fmt.pf ppf "#%d quit" id
+
+let pp_response ppf ({ id; payload } : response) =
+  match payload with
+  | Hello_ok { session } -> Fmt.pf ppf "#%d session %d" id session
+  | Ok_msg m -> Fmt.pf ppf "#%d ok %s" id m
+  | Result_set { columns; rows } ->
+      Fmt.pf ppf "#%d rows %d x %d" id (List.length rows)
+        (List.length columns)
+  | Affected n -> Fmt.pf ppf "#%d affected %d" id n
+  | Explained _ -> Fmt.pf ppf "#%d explained" id
+  | Failed { code; message } ->
+      Fmt.pf ppf "#%d error [%a] %s" id pp_error_code code message
+  | Rejected { retry_after_ms } ->
+      Fmt.pf ppf "#%d rejected retry-after=%dms" id retry_after_ms
+  | Pong -> Fmt.pf ppf "#%d pong" id
+  | Bye -> Fmt.pf ppf "#%d bye" id

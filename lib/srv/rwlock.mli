@@ -1,0 +1,37 @@
+(** The single-writer rule, as a lock.
+
+    Read-only queries share the lock; mutations (data, schema, SC
+    catalog, WAL appends) are exclusive.  The write side is owned by a
+    {e session} rather than a thread: a transaction holds it from BEGIN
+    to COMMIT across jobs that may land on different worker domains, and
+    the owning session's nested acquisitions (reads or writes) are
+    reentrant.  Waiting writers block new readers, so transactions are
+    not starved.  Acquisition is deadline-bounded ([deadline] is an
+    absolute Unix time; omitted means wait forever). *)
+
+type t
+
+val create : unit -> t
+
+val holds_write : t -> session:int -> bool
+
+val acquire_read : ?deadline:float -> t -> session:int -> bool
+(** False iff the deadline passed.  If [session] already holds the write
+    lock this is a no-op success (covered by its own exclusivity). *)
+
+val release_read : t -> session:int -> unit
+
+val acquire_write : ?deadline:float -> t -> session:int -> bool
+(** Reentrant for the owning session (depth-counted). *)
+
+val release_write : t -> session:int -> unit
+
+val forfeit_write : t -> session:int -> unit
+(** Drop the session's ownership whatever the depth — session teardown,
+    where an abandoned transaction must not wedge the engine. *)
+
+val read_locked : ?deadline:float -> t -> session:int -> (unit -> 'a) -> 'a option
+(** Run under the read lock; [None] iff the deadline passed. *)
+
+val write_locked : ?deadline:float -> t -> session:int -> (unit -> 'a) -> 'a option
+(** Run under the write lock (acquire/release around the thunk). *)

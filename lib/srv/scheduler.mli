@@ -1,0 +1,58 @@
+(** A bounded job queue feeding a pool of OCaml 5 domains.
+
+    [submit] applies admission control: a full queue rejects immediately
+    with a retry-after hint scaled to the backlog.  Deadlines and
+    cancellation are checked when a worker dequeues a job — an expired
+    or cancelled job never starts, and [expired] is invoked instead of
+    [run] so the client still gets an answer.  The scheduler is
+    lock-agnostic: jobs do their own locking ({!Rwlock}), the pool is a
+    pure execution resource.
+
+    Metrics (into the registry passed at creation): srv.jobs_admitted /
+    srv.jobs_rejected / srv.jobs_completed / srv.jobs_expired /
+    srv.jobs_cancelled / srv.jobs_requeued / srv.job_errors counters,
+    the srv.queue_depth gauge, and srv.queue_wait / srv.query_latency
+    wall-clock timings. *)
+
+exception Would_block
+(** Raised by a job's [run] to yield its worker: the job returns to the
+    queue tail and is retried later (deadline and cancellation
+    re-checked at each dequeue).  {!Session} raises it when a lock
+    cannot be taken within a short slice — blocking the worker instead
+    would let a burst of transactions convoy the whole pool behind the
+    write lock. *)
+
+type job = {
+  session : int;
+  req_id : int;
+  enqueued_at : float;
+  deadline : float option;  (** absolute Unix time *)
+  cancelled : unit -> bool;  (** checked at dequeue *)
+  run : unit -> unit;
+  expired : Proto.error_code -> unit;
+      (** called instead of [run] on deadline / cancel / shutdown *)
+}
+
+type t
+
+val default_workers : unit -> int
+(** [max 2 (min 4 (recommended_domain_count - 1))]. *)
+
+val create : ?workers:int -> ?queue_capacity:int -> Obs.Metrics.t -> t
+(** Spawns the worker domains ([default_workers] when unspecified;
+    queue capacity 64).  Raises [Invalid_argument] on capacity < 1. *)
+
+val workers : t -> int
+val queue_depth : t -> int
+
+val domains_used : t -> int
+(** Distinct domains that have executed at least one job — the
+    fan-out witness the concurrency tests assert on. *)
+
+val submit :
+  t -> job -> [ `Admitted | `Rejected of int | `Shutting_down ]
+(** [`Rejected retry_after_ms] when the queue is at capacity. *)
+
+val shutdown : t -> unit
+(** Stop admitting, expire whatever is still queued (each job's
+    [expired] runs with {!Proto.Shutting_down}), join the domains. *)

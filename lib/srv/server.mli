@@ -1,0 +1,53 @@
+(** The multi-session server.
+
+    Wraps one shared {!Core.Softdb.t} with a {!Scheduler} (domain worker
+    pool + admission control), the single-writer {!Rwlock}, a shared
+    LRU-bounded {!Core.Plan_cache}, and a session registry surfaced as
+    the sys.sessions virtual table.
+
+    Connections speak the {!Proto} wire protocol over any {!Transport}.
+    Each connection's reader loop decodes frames, answers
+    Hello/Ping/Cancel/Quit inline, and submits everything else to the
+    scheduler; responses are sent from whichever worker domain ran the
+    job, interleaving freely on the wire (correlation ids order them). *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?plan_cache_capacity:int ->
+  ?default_deadline_ms:int ->
+  Core.Softdb.t ->
+  t
+(** Spawns the worker domains immediately.  [default_deadline_ms]
+    (default 10s) bounds each request's queue wait + execution; a
+    session overrides it with [SET deadline_ms <n>] ([<= 0] disables).
+    Registers the sys.sessions virtual table on the database. *)
+
+val serve_connection : t -> Transport.t -> unit
+(** Serve one connection to completion (blocking): opens a session,
+    loops on [recv], tears the session down on Quit/EOF — rolling back
+    an open transaction and surrendering write ownership, so a dropped
+    client never wedges the engine. *)
+
+val serve_connection_async : t -> Transport.t -> Thread.t
+(** [serve_connection] on its own thread. *)
+
+val listen_tcp : ?host:string -> t -> port:int -> int * (unit -> unit)
+(** [listen_tcp t ~port] binds (port 0 picks an ephemeral one) and
+    returns [(actual_port, accept_loop)].  Run [accept_loop ()] on the
+    thread that should block accepting connections; it returns when
+    {!shutdown} closes the listener. *)
+
+val shutdown : t -> unit
+(** Stop accepting, close the listener, drain the scheduler (queued
+    jobs answer [Shutting_down]) and join the worker domains. *)
+
+(** {1 Introspection (tests, bench, CLI)} *)
+
+val scheduler : t -> Scheduler.t
+val rwlock : t -> Rwlock.t
+val plan_cache : t -> Core.Plan_cache.t
+val sessions : t -> Session.t list
+val softdb : t -> Core.Softdb.t

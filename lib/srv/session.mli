@@ -1,0 +1,49 @@
+(** A server session: one client's private state over the shared engine.
+
+    Each session owns its transaction state, prepared-statement handles,
+    settings and traffic counters; sessions share the {!Core.Softdb.t},
+    the plan cache, and the metrics registry.  A session's pipelined
+    requests are serialized by a per-session mutex (statements of one
+    session run in admission order; sessions interleave freely), and
+    every request follows the single-writer discipline: reads take the
+    shared side of the {!Rwlock}, mutations the exclusive side, and
+    BEGIN holds the exclusive side until COMMIT/ROLLBACK.
+
+    Prepared plans are shared across sessions, keyed by SQL text: a
+    handle prepared by one session binds later sessions to the same
+    cache entry (ticking plan_cache.shared_hits instead of
+    re-optimizing). *)
+
+type state = Idle | Active | Closed
+
+type t
+
+val make :
+  id:int -> sdb:Core.Softdb.t -> cache:Core.Plan_cache.t ->
+  metrics:Obs.Metrics.t -> t
+
+val id : t -> int
+val name : t -> string
+val in_txn : t -> bool
+val setting : t -> string -> string option
+
+val mark_cancelled : t -> int -> unit
+(** Flag a queued request id; the scheduler skips it at dequeue. *)
+
+val is_cancelled : t -> int -> bool
+
+val handle :
+  rwlock:Rwlock.t -> deadline:float option -> t ->
+  Proto.request_payload -> Proto.response_payload
+(** Execute one request on a worker domain.  Engine exceptions fold to
+    {!Proto.Failed}; a lock wait past [deadline] folds to
+    [Deadline_exceeded].  [Cancel]/[Ping]/[Quit] never reach here — the
+    connection loop answers them inline. *)
+
+val close : rwlock:Rwlock.t -> t -> unit
+(** Teardown after Quit or EOF: roll back an open transaction, surrender
+    write ownership, mark closed (still-queued jobs answer
+    [Session_closed]). *)
+
+val sys_row : t -> Rel.Tuple.t
+(** This session's sys.sessions row. *)

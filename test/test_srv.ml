@@ -1,0 +1,921 @@
+(* The serving subsystem: wire-protocol round-trips, the single-writer
+   reader/writer lock, the domain-pool scheduler (admission control,
+   deadlines, cancellation, multi-domain fan-out), the LRU-bounded plan
+   cache, metrics thread-safety, and whole-server concurrency tests
+   driven through the in-memory pipe transport — many client sessions,
+   interleaved reads/writes/transactions, session isolation, admission
+   rejections, and an SC overturned mid-flight falling back to the
+   guarded backup plan. *)
+
+open Rel
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* ---- proto: exact round-trips -------------------------------------------- *)
+
+let nasty = "tab\there|and\nnewline\\backslash\teven|more"
+
+let nasty_row =
+  [|
+    Value.Int 42;
+    Value.Null;
+    Value.String nasty;
+    Value.Float 0.1;
+    Value.Bool true;
+    Value.Date (Date.of_ymd 1999 6 15);
+  |]
+
+let all_requests : Srv.Proto.request list =
+  List.mapi
+    (fun i (payload : Srv.Proto.request_payload) ->
+      ({ id = i * 7; payload } : Srv.Proto.request))
+    [
+      Srv.Proto.Hello { client = nasty };
+      Srv.Proto.Statement ("SELECT * FROM t WHERE s = '" ^ nasty ^ "'");
+      Srv.Proto.Prepare { handle = "h\t1"; sql = "SELECT 1" };
+      Srv.Proto.Execute { handle = "h\t1" };
+      Srv.Proto.Begin_txn;
+      Srv.Proto.Commit_txn;
+      Srv.Proto.Rollback_txn;
+      Srv.Proto.Set { key = "deadline_ms"; value = "250" };
+      Srv.Proto.Cancel { target = 12 };
+      Srv.Proto.Ping;
+      Srv.Proto.Quit;
+    ]
+
+let all_responses : Srv.Proto.response list =
+  List.mapi
+    (fun i (payload : Srv.Proto.response_payload) ->
+      ({ id = i * 13; payload } : Srv.Proto.response))
+    [
+      Srv.Proto.Hello_ok { session = 3 };
+      Srv.Proto.Ok_msg nasty;
+      Srv.Proto.Result_set
+        {
+          columns = [ "a"; "weird\tcol"; "c" ];
+          rows = [ nasty_row; [||]; [| Value.Int 1 |] ];
+        };
+      Srv.Proto.Result_set { columns = []; rows = [] };
+      Srv.Proto.Affected 17;
+      Srv.Proto.Explained "Scan(purchase)\n  cost=42";
+      Srv.Proto.Failed
+        { code = Srv.Proto.Deadline_exceeded; message = nasty };
+      Srv.Proto.Rejected { retry_after_ms = 35 };
+      Srv.Proto.Pong;
+      Srv.Proto.Bye;
+    ]
+
+let test_request_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Srv.Proto.request_to_line r in
+      check tbool "no newline in frame" false (String.contains line '\n');
+      check tbool
+        (Fmt.str "request round-trips: %a" Srv.Proto.pp_request r)
+        true
+        (Srv.Proto.request_of_line line = r))
+    all_requests
+
+let test_response_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Srv.Proto.response_to_line r in
+      check tbool "no newline in frame" false (String.contains line '\n');
+      check tbool
+        (Fmt.str "response round-trips: %a" Srv.Proto.pp_response r)
+        true
+        (Srv.Proto.response_of_line line = r))
+    all_responses
+
+let test_bad_frames_rejected () =
+  let bad l =
+    match Srv.Proto.request_of_line l with
+    | exception Srv.Proto.Protocol_error _ -> true
+    | _ -> false
+  in
+  check tbool "empty" true (bad "");
+  check tbool "no id" true (bad "stmt\tSELECT 1");
+  check tbool "bad id" true (bad "Qx\tping");
+  check tbool "unknown verb" true (bad "Q1\tfrobnicate");
+  check tbool "truncated" true (bad "Q1\tprepare\tonly_handle");
+  check tbool "response frame" true (bad "R1\tpong")
+
+let prop_statement_round_trips =
+  QCheck.Test.make ~count:200 ~name:"any statement text round-trips"
+    QCheck.(pair small_nat printable_string)
+    (fun (id, sql) ->
+      let r : Srv.Proto.request = { id; payload = Statement sql } in
+      Srv.Proto.request_of_line (Srv.Proto.request_to_line r) = r)
+
+(* ---- rwlock: the single-writer rule --------------------------------------- *)
+
+let soon () = Unix.gettimeofday () +. 0.05
+
+let test_rwlock_readers_share () =
+  let l = Srv.Rwlock.create () in
+  check tbool "r1" true (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:1);
+  check tbool "r2" true (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:2);
+  check tbool "writer blocked by readers" false
+    (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:3);
+  Srv.Rwlock.release_read l ~session:1;
+  Srv.Rwlock.release_read l ~session:2;
+  check tbool "writer after release" true
+    (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:3);
+  Srv.Rwlock.release_write l ~session:3
+
+let test_rwlock_writer_excludes () =
+  let l = Srv.Rwlock.create () in
+  check tbool "w" true (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:1);
+  check tbool "other reader blocked" false
+    (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:2);
+  check tbool "other writer blocked" false
+    (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:2);
+  (* the owner's own reads and writes are covered by its exclusivity —
+     that is what lets a transaction's statements arrive as separate
+     jobs on different domains *)
+  check tbool "own read ok" true
+    (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:1);
+  Srv.Rwlock.release_read l ~session:1;
+  check tbool "reentrant write ok" true
+    (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:1);
+  Srv.Rwlock.release_write l ~session:1;
+  check tbool "still held at depth 1" true (Srv.Rwlock.holds_write l ~session:1);
+  Srv.Rwlock.release_write l ~session:1;
+  check tbool "released" true
+    (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:2);
+  Srv.Rwlock.release_read l ~session:2
+
+let test_rwlock_waiting_writer_blocks_new_readers () =
+  let l = Srv.Rwlock.create () in
+  check tbool "r1" true (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:1);
+  let writer_got_it = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        writer_got_it :=
+          Srv.Rwlock.acquire_write
+            ~deadline:(Unix.gettimeofday () +. 5.0)
+            l ~session:2)
+      ()
+  in
+  (* give the writer time to register as waiting *)
+  Unix.sleepf 0.05;
+  check tbool "new reader blocked behind waiting writer" false
+    (Srv.Rwlock.acquire_read ~deadline:(soon ()) l ~session:3);
+  Srv.Rwlock.release_read l ~session:1;
+  Thread.join th;
+  check tbool "writer got the lock" true !writer_got_it;
+  Srv.Rwlock.release_write l ~session:2
+
+let test_rwlock_forfeit () =
+  let l = Srv.Rwlock.create () in
+  check tbool "w" true (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:1);
+  check tbool "w again" true
+    (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:1);
+  Srv.Rwlock.forfeit_write l ~session:1;
+  check tbool "gone whatever the depth" false
+    (Srv.Rwlock.holds_write l ~session:1);
+  check tbool "free for others" true
+    (Srv.Rwlock.acquire_write ~deadline:(soon ()) l ~session:2);
+  Srv.Rwlock.release_write l ~session:2
+
+(* ---- a tiny latch + barrier for deterministic concurrency ----------------- *)
+
+type latch = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable open_ : bool;
+  mutable waiters : int;
+}
+
+let latch () =
+  { m = Mutex.create (); c = Condition.create (); open_ = false; waiters = 0 }
+
+let latch_wait l =
+  Mutex.lock l.m;
+  l.waiters <- l.waiters + 1;
+  while not l.open_ do
+    Condition.wait l.c l.m
+  done;
+  Mutex.unlock l.m
+
+let latch_open l =
+  Mutex.lock l.m;
+  l.open_ <- true;
+  Condition.broadcast l.c;
+  Mutex.unlock l.m
+
+let latch_waiters l =
+  Mutex.lock l.m;
+  let n = l.waiters in
+  Mutex.unlock l.m;
+  n
+
+(* Spin until [cond ()] holds; fail the test after [timeout_s]. *)
+let eventually ?(timeout_s = 30.0) what cond =
+  let d = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if cond () then ()
+    else if Unix.gettimeofday () > d then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.002;
+      go ()
+    end
+  in
+  go ()
+
+(* A 2-party barrier: both parties must be inside [barrier_wait]
+   simultaneously before either returns — the witness that two jobs
+   really ran on two domains at the same time. *)
+type barrier = { bm : Mutex.t; mutable arrived : int }
+
+let barrier () = { bm = Mutex.create (); arrived = 0 }
+
+let barrier_wait ?(timeout_s = 30.0) b =
+  Mutex.lock b.bm;
+  b.arrived <- b.arrived + 1;
+  Mutex.unlock b.bm;
+  let d = Unix.gettimeofday () +. timeout_s in
+  let rec spin () =
+    Mutex.lock b.bm;
+    let n = b.arrived in
+    Mutex.unlock b.bm;
+    if n >= 2 then ()
+    else if Unix.gettimeofday () > d then failwith "barrier timed out"
+    else begin
+      Unix.sleepf 0.001;
+      spin ()
+    end
+  in
+  spin ()
+
+(* ---- scheduler: admission, deadlines, cancellation, fan-out --------------- *)
+
+let mk_job ?deadline ?(cancelled = fun () -> false) ~on_done ~on_expired run =
+  {
+    Srv.Scheduler.session = 0;
+    req_id = 0;
+    enqueued_at = Unix.gettimeofday ();
+    deadline;
+    cancelled;
+    run =
+      (fun () ->
+        run ();
+        on_done ());
+    expired = on_expired;
+  }
+
+let test_scheduler_admission_control () =
+  let metrics = Obs.Metrics.create () in
+  let s = Srv.Scheduler.create ~workers:1 ~queue_capacity:1 metrics in
+  let l = latch () in
+  let done_count = ref 0 in
+  let bump () = incr done_count in
+  let no_expire _ = Alcotest.fail "unexpected expiry" in
+  (* job 1 occupies the single worker on the latch *)
+  check tbool "job1 admitted" true
+    (Srv.Scheduler.submit s
+       (mk_job ~on_done:bump ~on_expired:no_expire (fun () -> latch_wait l))
+    = `Admitted);
+  eventually "worker on the latch" (fun () -> latch_waiters l = 1);
+  (* job 2 fills the queue *)
+  check tbool "job2 admitted" true
+    (Srv.Scheduler.submit s
+       (mk_job ~on_done:bump ~on_expired:no_expire (fun () -> ()))
+    = `Admitted);
+  (* job 3 is deterministically rejected, with a positive retry hint *)
+  (match
+     Srv.Scheduler.submit s
+       (mk_job ~on_done:bump ~on_expired:no_expire (fun () -> ()))
+   with
+  | `Rejected ms -> check tbool "positive retry-after" true (ms >= 1)
+  | _ -> Alcotest.fail "expected rejection");
+  check tint "rejection counted" 1
+    (Obs.Metrics.counter metrics "srv.jobs_rejected");
+  latch_open l;
+  eventually "both jobs complete" (fun () -> !done_count = 2);
+  Srv.Scheduler.shutdown s;
+  check tint "admitted" 2 (Obs.Metrics.counter metrics "srv.jobs_admitted");
+  check tint "completed" 2 (Obs.Metrics.counter metrics "srv.jobs_completed")
+
+let test_scheduler_uses_two_domains () =
+  let metrics = Obs.Metrics.create () in
+  let s = Srv.Scheduler.create ~workers:2 ~queue_capacity:8 metrics in
+  let b = barrier () in
+  let done_count = ref 0 in
+  let no_expire _ = Alcotest.fail "unexpected expiry" in
+  for _ = 1 to 2 do
+    check tbool "barrier job admitted" true
+      (Srv.Scheduler.submit s
+         (mk_job
+            ~on_done:(fun () -> incr done_count)
+            ~on_expired:no_expire
+            (fun () -> barrier_wait b))
+      = `Admitted)
+  done;
+  (* each barrier job blocks until the other runs: completing both
+     proves two jobs executed simultaneously on two domains *)
+  eventually "both barrier jobs complete" (fun () -> !done_count = 2);
+  check tbool "two domains executed jobs" true
+    (Srv.Scheduler.domains_used s >= 2);
+  Srv.Scheduler.shutdown s
+
+let test_scheduler_deadline_and_cancel () =
+  let metrics = Obs.Metrics.create () in
+  let s = Srv.Scheduler.create ~workers:1 ~queue_capacity:8 metrics in
+  let l = latch () in
+  let no_expire _ = Alcotest.fail "unexpected expiry" in
+  let expired_with = ref [] in
+  let note code = expired_with := code :: !expired_with in
+  ignore
+    (Srv.Scheduler.submit s
+       (mk_job ~on_done:(fun () -> ()) ~on_expired:no_expire (fun () ->
+            latch_wait l)));
+  eventually "worker on the latch" (fun () -> latch_waiters l = 1);
+  (* queued with an already-expired deadline: must never run *)
+  ignore
+    (Srv.Scheduler.submit s
+       (mk_job
+          ~deadline:(Unix.gettimeofday () -. 1.0)
+          ~on_done:(fun () -> Alcotest.fail "expired job ran")
+          ~on_expired:note
+          (fun () -> ())));
+  (* queued already-cancelled: must never run *)
+  ignore
+    (Srv.Scheduler.submit s
+       (mk_job
+          ~cancelled:(fun () -> true)
+          ~on_done:(fun () -> Alcotest.fail "cancelled job ran")
+          ~on_expired:note
+          (fun () -> ())));
+  latch_open l;
+  eventually "both expiries delivered" (fun () ->
+      List.length !expired_with = 2);
+  check tbool "deadline code delivered" true
+    (List.mem Srv.Proto.Deadline_exceeded !expired_with);
+  check tbool "cancel code delivered" true
+    (List.mem Srv.Proto.Cancelled !expired_with);
+  check tint "expired counted" 1 (Obs.Metrics.counter metrics "srv.jobs_expired");
+  check tint "cancelled counted" 1
+    (Obs.Metrics.counter metrics "srv.jobs_cancelled");
+  Srv.Scheduler.shutdown s
+
+let test_scheduler_shutdown_expires_queue () =
+  let metrics = Obs.Metrics.create () in
+  let s = Srv.Scheduler.create ~workers:1 ~queue_capacity:8 metrics in
+  let l = latch () in
+  let saw = ref [] in
+  ignore
+    (Srv.Scheduler.submit s
+       (mk_job ~on_done:(fun () -> ()) ~on_expired:(fun _ -> ()) (fun () ->
+            latch_wait l)));
+  eventually "worker on the latch" (fun () -> latch_waiters l = 1);
+  ignore
+    (Srv.Scheduler.submit s
+       (mk_job
+          ~on_done:(fun () -> Alcotest.fail "ran after shutdown")
+          ~on_expired:(fun c -> saw := c :: !saw)
+          (fun () -> ())));
+  (* release the latch only after stop is flagged: shutdown must drain
+     the queued job as Shutting_down, not run it *)
+  let th = Thread.create (fun () -> Srv.Scheduler.shutdown s) () in
+  eventually "submissions refused" (fun () ->
+      Srv.Scheduler.submit s
+        (mk_job ~on_done:(fun () -> ()) ~on_expired:(fun _ -> ()) (fun () -> ()))
+      = `Shutting_down);
+  latch_open l;
+  Thread.join th;
+  check tbool "queued job drained as Shutting_down" true
+    (!saw = [ Srv.Proto.Shutting_down ])
+
+(* ---- plan cache: capacity + LRU ------------------------------------------- *)
+
+let small_purchase_sdb ?(rows = 1500) () =
+  let sdb = Core.Softdb.create () in
+  Workload.Purchase.load
+    ~config:{ Workload.Purchase.default_config with rows; late_fraction = 0.0 }
+    (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let test_plan_cache_lru_eviction () =
+  let sdb = small_purchase_sdb () in
+  let cache = Core.Plan_cache.create ~capacity:2 sdb in
+  let sql_of_day d = Workload.Queries.purchase_ship_eq (Date.of_ymd 1999 6 d) in
+  ignore (Core.Plan_cache.prepare cache ~name:"a" (sql_of_day 1));
+  ignore (Core.Plan_cache.prepare cache ~name:"b" (sql_of_day 2));
+  (* touch a so b is the least recently used *)
+  ignore (Core.Plan_cache.execute cache "a");
+  ignore (Core.Plan_cache.prepare cache ~name:"c" (sql_of_day 3));
+  check tbool "a survives (recently used)" true
+    (Core.Plan_cache.find cache "a" <> None);
+  check tbool "b evicted (LRU)" true (Core.Plan_cache.find cache "b" = None);
+  check tbool "c present" true (Core.Plan_cache.find cache "c" <> None);
+  let st = Core.Plan_cache.stats cache in
+  check tint "entries at capacity" 2 st.Core.Plan_cache.entries;
+  check tint "capacity reported" 2 st.Core.Plan_cache.capacity;
+  check tint "eviction counted" 1 st.Core.Plan_cache.evictions;
+  check tint "eviction metric" 1
+    (Obs.Metrics.counter (Core.Softdb.metrics sdb) "plan_cache.evictions");
+  (* sys.plan_cache exposes the recency stamps *)
+  let r =
+    Core.Softdb.query_baseline sdb
+      "SELECT name, last_used FROM sys.plan_cache"
+  in
+  check tint "two sys.plan_cache rows" 2 (List.length r.Exec.Executor.rows)
+
+let test_plan_cache_rejects_bad_capacity () =
+  let sdb = small_purchase_sdb ~rows:50 () in
+  check tbool "capacity 0 refused" true
+    (match Core.Plan_cache.create ~capacity:0 sdb with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- metrics: thread-safety across domains -------------------------------- *)
+
+let test_metrics_parallel_updates () =
+  let m = Obs.Metrics.create () in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Metrics.incr m "par.counter";
+              Obs.Metrics.add_gauge m "par.gauge" 1.0;
+              Obs.Metrics.observe m "par.sample" (float_of_int ((d * i) mod 7));
+              (* snapshotting is O(samples): keep it concurrent with the
+                 updates but off the hot path *)
+              if i mod 500 = 0 then ignore (Obs.Metrics.snapshot m)
+            done))
+  in
+  List.iter Domain.join domains;
+  check tint "no lost counter increments" (4 * per_domain)
+    (Obs.Metrics.counter m "par.counter");
+  check tbool "no lost gauge adjustments" true
+    (Obs.Metrics.gauge m "par.gauge" = Some (float_of_int (4 * per_domain)));
+  check tint "no lost samples" (4 * per_domain)
+    (List.length (Obs.Metrics.samples m "par.sample"))
+
+(* ---- whole-server tests over the pipe transport --------------------------- *)
+
+type client = { conn : Srv.Transport.t; mutable next_id : int }
+
+let connect server =
+  let client_end, server_end = Srv.Transport.pipe () in
+  ignore (Srv.Server.serve_connection_async server server_end);
+  { conn = client_end; next_id = 0 }
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then false
+    else if String.sub haystack i n = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let send cl payload =
+  cl.next_id <- cl.next_id + 1;
+  cl.conn.Srv.Transport.send
+    (Srv.Proto.request_to_line { Srv.Proto.id = cl.next_id; payload });
+  cl.next_id
+
+let recv cl =
+  match cl.conn.Srv.Transport.recv () with
+  | None -> Alcotest.fail "connection closed unexpectedly"
+  | Some line -> Srv.Proto.response_of_line line
+
+(* Synchronous call: send, await the matching response. *)
+let rpc cl payload =
+  let id = send cl payload in
+  let r = recv cl in
+  check tint "response correlates" id r.Srv.Proto.id;
+  r.Srv.Proto.payload
+
+(* Synchronous call with retry on admission rejection. *)
+let rec rpc_retry cl payload =
+  match rpc cl payload with
+  | Srv.Proto.Rejected { retry_after_ms } ->
+      Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
+      rpc_retry cl payload
+  | p -> p
+
+let quit cl =
+  (match rpc cl Srv.Proto.Quit with
+  | Srv.Proto.Bye -> ()
+  | p -> Alcotest.failf "expected bye, got %a" Srv.Proto.pp_response
+           { Srv.Proto.id = 0; payload = p });
+  cl.conn.Srv.Transport.close ()
+
+let scalar_int = function
+  | Srv.Proto.Result_set { rows = [ [| Value.Int n |] ]; _ } -> n
+  | p ->
+      Alcotest.failf "expected a single int, got %a" Srv.Proto.pp_response
+        { Srv.Proto.id = 0; payload = p }
+
+let is_ok = function
+  | Srv.Proto.Ok_msg _ | Srv.Proto.Hello_ok _ -> true
+  | _ -> false
+
+let count_purchases cl =
+  scalar_int (rpc_retry cl (Srv.Proto.Statement "SELECT COUNT(*) FROM purchase"))
+
+(* Eight clients hammer one server through pipes: point reads, range
+   reads, prepared executes, and rollback-only write transactions.  Two
+   of the clients additionally meet on a barrier inside a virtual-table
+   generator, which can only resolve if their two queries execute
+   simultaneously on two worker domains. *)
+let test_concurrent_sessions () =
+  let sdb = small_purchase_sdb () in
+  let b = barrier () in
+  Database.register_virtual (Core.Softdb.db sdb) ~name:"sys.rendezvous"
+    ~schema:
+      (Schema.make "sys.rendezvous"
+         [ Schema.column ~nullable:false "arrived" Value.TInt ])
+    (fun () ->
+      barrier_wait b;
+      [ Tuple.make [ Value.Int 2 ] ]);
+  let server = Srv.Server.create ~workers:2 ~queue_capacity:64 sdb in
+  let n_clients = 8 and n_rounds = 12 in
+  let failures = Array.make n_clients None in
+  let run_client c () =
+    try
+      let cl = connect server in
+      (match rpc cl (Srv.Proto.Hello { client = Printf.sprintf "c%d" c }) with
+      | Srv.Proto.Hello_ok _ -> ()
+      | _ -> failwith "hello failed");
+      let hot = Workload.Queries.purchase_ship_eq (Date.of_ymd 1999 3 5) in
+      if not (is_ok (rpc_retry cl (Srv.Proto.Prepare { handle = "hot"; sql = hot })))
+      then failwith "prepare failed";
+      (* clients 0 and 1 must overlap on two domains *)
+      if c < 2 then
+        if
+          scalar_int (rpc_retry cl (Srv.Proto.Statement "SELECT arrived FROM sys.rendezvous"))
+          <> 2
+        then failwith "rendezvous failed";
+      for round = 1 to n_rounds do
+        (match
+           rpc_retry cl
+             (Srv.Proto.Statement
+                (Workload.Queries.purchase_ship_eq
+                   (Date.of_ymd 1999 ((round mod 12) + 1) ((c mod 27) + 1))))
+         with
+        | Srv.Proto.Result_set _ -> ()
+        | _ -> failwith "point read failed");
+        (match rpc_retry cl (Srv.Proto.Execute { handle = "hot" }) with
+        | Srv.Proto.Result_set _ -> ()
+        | _ -> failwith "prepared execute failed");
+        if round mod 4 = 0 then begin
+          (* write transaction, rolled back so the data stays fixed *)
+          if not (is_ok (rpc_retry cl Srv.Proto.Begin_txn)) then
+            failwith "begin failed";
+          (match
+             rpc_retry cl
+               (Srv.Proto.Statement
+                  (Printf.sprintf
+                     "INSERT INTO purchase VALUES (%d, 1, DATE '1999-01-05', \
+                      DATE '1999-01-15', 9.0, 1, 'north')"
+                     (800_000 + (c * 100) + round)))
+           with
+          | Srv.Proto.Affected 1 -> ()
+          | _ -> failwith "txn insert failed");
+          if not (is_ok (rpc_retry cl Srv.Proto.Rollback_txn)) then
+            failwith "rollback failed"
+        end
+      done;
+      quit cl
+    with e -> failures.(c) <- Some (Printexc.to_string e)
+  in
+  let threads = List.init n_clients (fun c -> Thread.create (run_client c) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun c f ->
+      match f with
+      | Some msg -> Alcotest.failf "client %d: %s" c msg
+      | None -> ())
+    failures;
+  (* every rolled-back transaction left no trace *)
+  let cl = connect server in
+  check tint "all writes rolled back" 1500 (count_purchases cl);
+  (* the server reports its own traffic: sys.sessions over the wire *)
+  (match
+     rpc_retry cl
+       (Srv.Proto.Statement
+          "SELECT session_id, queries, writes FROM sys.sessions")
+   with
+  | Srv.Proto.Result_set { rows; _ } ->
+      check tbool "at least 9 sessions listed" true (List.length rows >= 9);
+      let busy =
+        List.filter
+          (fun row ->
+            match (Tuple.get row 1, Tuple.get row 2) with
+            | Value.Int q, Value.Int w -> q >= n_rounds * 2 && w >= 9
+            | _ -> false)
+          rows
+      in
+      check tint "eight sessions saw full traffic" 8 (List.length busy)
+  | _ -> Alcotest.fail "sys.sessions query failed");
+  quit cl;
+  check tbool "queries ran on >= 2 domains" true
+    (Srv.Scheduler.domains_used (Srv.Server.scheduler server) >= 2);
+  let m = Core.Softdb.metrics sdb in
+  check tbool "jobs completed metric saw the traffic" true
+    (Obs.Metrics.counter m "srv.jobs_completed" > n_clients * n_rounds);
+  check tint "all sessions opened" 9 (Obs.Metrics.counter m "srv.sessions_opened");
+  check tbool "prepared plan shared across sessions" true
+    (Obs.Metrics.counter m "plan_cache.shared_hits" >= n_clients - 1);
+  Srv.Server.shutdown server
+
+(* Session state is private: prepared handles don't leak, transactions
+   are per-session, writes serialize behind the single-writer lock. *)
+let test_session_isolation () =
+  let sdb = small_purchase_sdb ~rows:200 () in
+  let server = Srv.Server.create ~workers:2 sdb in
+  let a = connect server and bclient = connect server in
+  ignore (rpc a (Srv.Proto.Hello { client = "a" }));
+  ignore (rpc bclient (Srv.Proto.Hello { client = "b" }));
+  let sql = Workload.Queries.purchase_ship_eq (Date.of_ymd 1999 3 5) in
+  check tbool "a prepares" true
+    (is_ok (rpc_retry a (Srv.Proto.Prepare { handle = "mine"; sql })));
+  (* the handle is session-private even though the plan is shared *)
+  (match rpc_retry bclient (Srv.Proto.Execute { handle = "mine" }) with
+  | Srv.Proto.Failed { code = Srv.Proto.Exec_error; _ } -> ()
+  | _ -> Alcotest.fail "b must not see a's handle");
+  (* commit in b is an error while b has no transaction, whatever a does *)
+  check tbool "a begins" true (is_ok (rpc_retry a Srv.Proto.Begin_txn));
+  (match rpc_retry bclient Srv.Proto.Commit_txn with
+  | Srv.Proto.Failed { code = Srv.Proto.Txn_error; _ } -> ()
+  | _ -> Alcotest.fail "b has no transaction to commit");
+  (* a's in-transaction insert, then b's autocommit insert: b's write
+     must wait out a's exclusive lock, then land after the rollback *)
+  (match
+     rpc_retry a
+       (Srv.Proto.Statement
+          "INSERT INTO purchase VALUES (810001, 1, DATE '1999-01-05', DATE \
+           '1999-01-15', 9.0, 1, 'north')")
+   with
+  | Srv.Proto.Affected 1 -> ()
+  | _ -> Alcotest.fail "a's txn insert failed");
+  let b_insert =
+    send bclient
+      (Srv.Proto.Statement
+         "INSERT INTO purchase VALUES (820001, 1, DATE '1999-01-05', DATE \
+          '1999-01-15', 9.0, 1, 'north')")
+  in
+  check tbool "a rolls back" true (is_ok (rpc_retry a Srv.Proto.Rollback_txn));
+  let rb = recv bclient in
+  check tint "b's insert answered" b_insert rb.Srv.Proto.id;
+  (match rb.Srv.Proto.payload with
+  | Srv.Proto.Affected 1 -> ()
+  | _ -> Alcotest.fail "b's autocommit insert failed");
+  (* an exception guard_engine's explicit list misses (here
+     Binding.Unresolved from a bad column name) must still answer the
+     request — a silently swallowed job leaves the client waiting
+     forever *)
+  (match
+     rpc_retry a (Srv.Proto.Statement "SELECT nosuchcol FROM purchase")
+   with
+  | Srv.Proto.Failed { code = Srv.Proto.Exec_error; message } ->
+      check tbool "names the column" true
+        (contains_substring message "nosuchcol")
+  | _ -> Alcotest.fail "bad column must answer with an exec error");
+  check tint "only b's row committed" 201 (count_purchases a);
+  quit a;
+  quit bclient;
+  Srv.Server.shutdown server
+
+(* A request whose deadline passes while another session holds the
+   write lock answers Deadline_exceeded instead of stalling forever. *)
+let test_deadline_under_lock_contention () =
+  let sdb = small_purchase_sdb ~rows:200 () in
+  let server = Srv.Server.create ~workers:2 sdb in
+  let a = connect server and bclient = connect server in
+  check tbool "a begins" true (is_ok (rpc_retry a Srv.Proto.Begin_txn));
+  check tbool "b sets a tight deadline" true
+    (is_ok (rpc bclient (Srv.Proto.Set { key = "deadline_ms"; value = "80" })));
+  (match
+     rpc_retry bclient
+       (Srv.Proto.Statement
+          "INSERT INTO purchase VALUES (830001, 1, DATE '1999-01-05', DATE \
+           '1999-01-15', 9.0, 1, 'north')")
+   with
+  | Srv.Proto.Failed { code = Srv.Proto.Deadline_exceeded; _ } -> ()
+  | p ->
+      Alcotest.failf "expected deadline failure, got %a" Srv.Proto.pp_response
+        { Srv.Proto.id = 0; payload = p });
+  check tbool "a commits fine afterwards" true
+    (is_ok (rpc_retry a Srv.Proto.Commit_txn));
+  quit a;
+  quit bclient;
+  Srv.Server.shutdown server
+
+(* Admission rejection and queue-time cancellation, end to end: a latch
+   inside a virtual table pins the single worker, a queued request gets
+   cancelled, an overflowing one gets rejected with a retry hint. *)
+let test_admission_and_cancel_through_server () =
+  let sdb = small_purchase_sdb ~rows:50 () in
+  let l = latch () in
+  Database.register_virtual (Core.Softdb.db sdb) ~name:"sys.latch"
+    ~schema:
+      (Schema.make "sys.latch"
+         [ Schema.column ~nullable:false "ok" Value.TBool ])
+    (fun () ->
+      latch_wait l;
+      [ Tuple.make [ Value.Bool true ] ]);
+  let server = Srv.Server.create ~workers:1 ~queue_capacity:1 sdb in
+  let a = connect server and bclient = connect server in
+  let a_latch = send a (Srv.Proto.Statement "SELECT ok FROM sys.latch") in
+  eventually "worker pinned on the latch" (fun () -> latch_waiters l = 1);
+  (* fills the queue's one slot *)
+  let b_queued = send bclient (Srv.Proto.Statement "SELECT COUNT(*) FROM purchase") in
+  eventually "queue holds b's query" (fun () ->
+      Srv.Scheduler.queue_depth (Srv.Server.scheduler server) = 1);
+  (* overflow: deterministic rejection, answered inline *)
+  let b_over = send bclient (Srv.Proto.Statement "SELECT COUNT(*) FROM purchase") in
+  let r = recv bclient in
+  check tint "rejection answers the overflowing id" b_over r.Srv.Proto.id;
+  (match r.Srv.Proto.payload with
+  | Srv.Proto.Rejected { retry_after_ms } ->
+      check tbool "positive retry hint" true (retry_after_ms >= 1)
+  | p ->
+      Alcotest.failf "expected rejection, got %a" Srv.Proto.pp_response
+        { Srv.Proto.id = 0; payload = p });
+  (* cancel the queued query: inline ack now, Cancelled verdict at dequeue *)
+  let c_id = send bclient (Srv.Proto.Cancel { target = b_queued }) in
+  let r = recv bclient in
+  check tint "cancel acked inline" c_id r.Srv.Proto.id;
+  latch_open l;
+  let r = recv bclient in
+  check tint "cancelled query answered" b_queued r.Srv.Proto.id;
+  (match r.Srv.Proto.payload with
+  | Srv.Proto.Failed { code = Srv.Proto.Cancelled; _ } -> ()
+  | p ->
+      Alcotest.failf "expected cancelled, got %a" Srv.Proto.pp_response
+        { Srv.Proto.id = 0; payload = p });
+  let r = recv a in
+  check tint "latched query finally answers" a_latch r.Srv.Proto.id;
+  quit a;
+  quit bclient;
+  Srv.Server.shutdown server
+
+(* The paper's §4.1 story under concurrency: session a executes through
+   a prepared fast plan predicated on an absolute soft constraint;
+   session b's insert overturns the ASC mid-flight; a's next execute
+   must flag-and-revert to the guarded backup plan and see b's row. *)
+let test_sc_overturn_falls_back_across_sessions () =
+  let sdb = Core.Softdb.create () in
+  Workload.Purchase.load
+    ~config:
+      { Workload.Purchase.default_config with rows = 3000; late_fraction = 0.0 }
+    (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  let db = Core.Softdb.db sdb in
+  let tbl = Database.table_exn db "purchase" in
+  let d =
+    Option.get
+      (Mining.Diff_band.mine tbl ~col_hi:"ship_date" ~col_lo:"order_date")
+  in
+  let b100 = Option.get (Mining.Diff_band.band_with d ~confidence:1.0) in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name:"cache_band" ~table:"purchase"
+       ~kind:Core.Soft_constraint.Absolute
+       ~installed_at_mutations:(Table.mutations tbl)
+       (Core.Soft_constraint.Diff_stmt (d, b100)));
+  let server = Srv.Server.create ~workers:2 sdb in
+  let a = connect server and bclient = connect server in
+  let day = Date.of_ymd 1999 6 15 in
+  let sql = Workload.Queries.purchase_ship_eq day in
+  check tbool "a prepares the hot query" true
+    (is_ok (rpc_retry a (Srv.Proto.Prepare { handle = "hot"; sql })));
+  let rows_before =
+    match rpc_retry a (Srv.Proto.Execute { handle = "hot" }) with
+    | Srv.Proto.Result_set { rows; _ } -> List.length rows
+    | _ -> Alcotest.fail "first execute failed"
+  in
+  let entry () =
+    Option.get
+      (Core.Plan_cache.find (Srv.Server.plan_cache server) ("sql:" ^ sql))
+  in
+  check tint "first run used the fast plan" 1 (entry ()).Core.Plan_cache.fast_runs;
+  check tbool "fast plan depends on the band" true
+    (List.mem "cache_band" (entry ()).Core.Plan_cache.deps);
+  (* b overturns the ASC with a violating row shipped on the probe day *)
+  (match
+     rpc_retry bclient
+       (Srv.Proto.Statement
+          "INSERT INTO purchase VALUES (900001, 1, DATE '1999-01-05', DATE \
+           '1999-06-15', 100.0, 3, 'north')")
+   with
+  | Srv.Proto.Affected 1 -> ()
+  | _ -> Alcotest.fail "violating insert failed");
+  let sc =
+    Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "cache_band")
+  in
+  check tbool "asc overturned mid-flight" true
+    (sc.Core.Soft_constraint.state = Core.Soft_constraint.Violated);
+  (* a executes again through the same handle: guarded fallback *)
+  (match rpc_retry a (Srv.Proto.Execute { handle = "hot" }) with
+  | Srv.Proto.Result_set { rows; _ } ->
+      check tint "backup sees the new row" (rows_before + 1) (List.length rows);
+      check tbool "new row in the answer" true
+        (List.exists (fun row -> Tuple.get row 0 = Value.Int 900001) rows)
+  | _ -> Alcotest.fail "post-overturn execute failed");
+  check tint "backup plan ran" 1 (entry ()).Core.Plan_cache.backup_runs;
+  quit a;
+  quit bclient;
+  Srv.Server.shutdown server
+
+(* A dropped connection mid-transaction must roll back and free the
+   write lock for everyone else. *)
+let test_dropped_connection_releases_lock () =
+  let sdb = small_purchase_sdb ~rows:200 () in
+  let server = Srv.Server.create ~workers:2 sdb in
+  let a = connect server and bclient = connect server in
+  check tbool "a begins" true (is_ok (rpc_retry a Srv.Proto.Begin_txn));
+  (match
+     rpc_retry a
+       (Srv.Proto.Statement
+          "INSERT INTO purchase VALUES (840001, 1, DATE '1999-01-05', DATE \
+           '1999-01-15', 9.0, 1, 'north')")
+   with
+  | Srv.Proto.Affected 1 -> ()
+  | _ -> Alcotest.fail "a's insert failed");
+  (* a vanishes without commit or rollback *)
+  a.conn.Srv.Transport.close ();
+  (* b's write goes through once the server tears a's session down *)
+  (match
+     rpc_retry bclient
+       (Srv.Proto.Statement
+          "INSERT INTO purchase VALUES (850001, 1, DATE '1999-01-05', DATE \
+           '1999-01-15', 9.0, 1, 'north')")
+   with
+  | Srv.Proto.Affected 1 -> ()
+  | _ -> Alcotest.fail "b blocked behind a dead session");
+  check tint "a's orphan txn rolled back, b's row in" 201
+    (count_purchases bclient);
+  quit bclient;
+  Srv.Server.shutdown server
+
+let () =
+  Alcotest.run "srv"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_round_trip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_response_round_trip;
+          Alcotest.test_case "bad frames rejected" `Quick
+            test_bad_frames_rejected;
+          QCheck_alcotest.to_alcotest prop_statement_round_trips;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "readers share" `Quick test_rwlock_readers_share;
+          Alcotest.test_case "writer excludes, owner reenters" `Quick
+            test_rwlock_writer_excludes;
+          Alcotest.test_case "waiting writer blocks new readers" `Quick
+            test_rwlock_waiting_writer_blocks_new_readers;
+          Alcotest.test_case "forfeit clears any depth" `Quick
+            test_rwlock_forfeit;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "admission control" `Quick
+            test_scheduler_admission_control;
+          Alcotest.test_case "fans out to two domains" `Quick
+            test_scheduler_uses_two_domains;
+          Alcotest.test_case "deadline + cancellation at dequeue" `Quick
+            test_scheduler_deadline_and_cancel;
+          Alcotest.test_case "shutdown drains the queue" `Quick
+            test_scheduler_shutdown_expires_queue;
+        ] );
+      ( "plan_cache_lru",
+        [
+          Alcotest.test_case "LRU eviction at capacity" `Quick
+            test_plan_cache_lru_eviction;
+          Alcotest.test_case "capacity must be positive" `Quick
+            test_plan_cache_rejects_bad_capacity;
+        ] );
+      ( "metrics_mt",
+        [
+          Alcotest.test_case "parallel updates lose nothing" `Quick
+            test_metrics_parallel_updates;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "eight concurrent sessions" `Quick
+            test_concurrent_sessions;
+          Alcotest.test_case "session isolation" `Quick test_session_isolation;
+          Alcotest.test_case "deadline under lock contention" `Quick
+            test_deadline_under_lock_contention;
+          Alcotest.test_case "admission + cancel through the server" `Quick
+            test_admission_and_cancel_through_server;
+          Alcotest.test_case "SC overturned mid-flight falls back" `Quick
+            test_sc_overturn_falls_back_across_sessions;
+          Alcotest.test_case "dropped connection releases the lock" `Quick
+            test_dropped_connection_releases_lock;
+        ] );
+    ]
