@@ -1,4 +1,5 @@
-.PHONY: all build test check faultcheck servecheck bench fmt clean
+.PHONY: all build test check faultcheck servecheck bench benchcheck \
+	benchbaseline fmt clean
 
 all: build
 
@@ -25,6 +26,21 @@ servecheck:
 
 bench:
 	dune exec bench/main.exe
+
+# the plan-quality gate: run the quick scenario registry, fold in a small
+# loadgen summary, and diff the result against the committed baseline —
+# deterministic metrics (rows scanned, q-error, rewrite counts, plan-cache
+# hits, WAL bytes) gate hard; wall-clock drift is report-only
+benchcheck: build
+	dune exec bench/benchrun.exe -- --quick --label ci --out BENCH.json
+	dune exec bench/loadgen.exe -- --clients 4 --requests 32 --json BENCH.json
+	dune exec bin/softdb.exe -- benchdiff bench/baseline.json BENCH.json
+
+# refresh the committed baseline after an intentional plan-quality change;
+# review the diff of bench/baseline.json like any other code change
+benchbaseline: build
+	dune exec bench/benchrun.exe -- --quick --label baseline \
+	  --out bench/baseline.json
 
 fmt:
 	dune fmt

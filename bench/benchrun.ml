@@ -1,0 +1,69 @@
+(* The deterministic benchmark runner: execute the scenario registry and
+   serialize a schema-versioned measurement report.
+
+     dune exec bench/benchrun.exe -- --quick --out BENCH.json
+     dune exec bench/benchrun.exe -- --list
+     dune exec bench/benchrun.exe -- --scenario purchase/asc --scenario tpcd/asc
+
+   The deterministic sections of the output are byte-identical across
+   runs of the same commit (pinned seeds, no wall clock); compare two
+   reports with `softdb benchdiff OLD NEW`. *)
+
+let list_scenarios () =
+  print_endline "scenarios:";
+  List.iter
+    (fun (s : Benchkit.Scenario.t) ->
+      Printf.printf "  %-18s %s\n" s.Benchkit.Scenario.name
+        s.Benchkit.Scenario.descr)
+    Benchkit.Scenario.all
+
+let () =
+  let scale = ref Benchkit.Scenario.Quick in
+  let out = ref "BENCH.json" in
+  let label = ref "" in
+  let only = ref [] in
+  let list_only = ref false in
+  let spec =
+    [
+      ( "--quick",
+        Arg.Unit (fun () -> scale := Benchkit.Scenario.Quick),
+        " small fixtures, the CI gate subset (default)" );
+      ( "--full",
+        Arg.Unit (fun () -> scale := Benchkit.Scenario.Full),
+        " full-size fixtures" );
+      ("--out", Arg.Set_string out, "FILE report path (BENCH.json)");
+      ( "--label",
+        Arg.Set_string label,
+        "TEXT free-form run label recorded in the report (not gated)" );
+      ( "--scenario",
+        Arg.String (fun s -> only := s :: !only),
+        "NAME run one scenario (repeatable); default: all" );
+      ("--list", Arg.Set list_only, " list scenarios and exit");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "benchrun [--quick|--full] [--out FILE] [--scenario NAME]...";
+  if !list_only then list_scenarios ()
+  else begin
+    let only = match List.rev !only with [] -> None | l -> Some l in
+    let t0 = Unix.gettimeofday () in
+    let run =
+      try Benchkit.Scenario.run ?only ~scale:!scale ~label:!label ()
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        list_scenarios ();
+        exit 2
+    in
+    Benchkit.Measure.save !out run;
+    Printf.printf "benchrun: %d scenarios (%s scale) -> %s in %.1fs\n"
+      (List.length run.Benchkit.Measure.scenarios)
+      run.Benchkit.Measure.scale !out
+      (Unix.gettimeofday () -. t0);
+    List.iter
+      (fun (r : Benchkit.Measure.scenario_result) ->
+        Printf.printf "  %-18s %d deterministic metrics\n"
+          r.Benchkit.Measure.scenario
+          (List.length r.Benchkit.Measure.deterministic))
+      run.Benchkit.Measure.scenarios
+  end

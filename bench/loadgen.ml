@@ -24,9 +24,11 @@ type stats = {
   mutable affected : int;
   mutable errors : int;
   mutable rejected : int; (* admission rejections, before retry *)
+  mutable latencies : float list; (* per-submit seconds, newest first *)
 }
 
-let new_stats () = { ok = 0; rows = 0; affected = 0; errors = 0; rejected = 0 }
+let new_stats () =
+  { ok = 0; rows = 0; affected = 0; errors = 0; rejected = 0; latencies = [] }
 
 (* One synchronous request/response exchange.  Responses can interleave
    across a session's pipelined requests, but this client awaits each
@@ -41,15 +43,22 @@ let roundtrip conn (req : Srv.Proto.request) =
          req.Srv.Proto.id);
   Some resp.Srv.Proto.payload
 
-(* Submit with retry: honor the retry-after hint on admission rejects. *)
-let rec submit stats conn req =
-  match roundtrip conn req with
-  | None -> None
-  | Some (Srv.Proto.Rejected { retry_after_ms }) ->
-      stats.rejected <- stats.rejected + 1;
-      Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
-      submit stats conn req
-  | Some payload -> Some payload
+(* Submit with retry: honor the retry-after hint on admission rejects.
+   Latency is measured across retries — the client-perceived wait. *)
+let submit stats conn req =
+  let rec go () =
+    match roundtrip conn req with
+    | None -> None
+    | Some (Srv.Proto.Rejected { retry_after_ms }) ->
+        stats.rejected <- stats.rejected + 1;
+        Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
+        go ()
+    | Some payload -> Some payload
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = go () in
+  stats.latencies <- (Unix.gettimeofday () -. t0) :: stats.latencies;
+  r
 
 let count stats = function
   | Srv.Proto.Result_set _ -> stats.rows <- stats.rows + 1
@@ -144,7 +153,52 @@ let print_sessions_view ~port =
   ignore (roundtrip conn { Srv.Proto.id = 2; payload = Srv.Proto.Quit });
   conn.Srv.Transport.close ()
 
-let run ~port ~clients ~requests =
+(* Fold a summary of this run into a benchkit report.  The counters that
+   depend only on the (seeded) request mix go in the deterministic
+   section; latency percentiles, throughput and admission retries are
+   load-dependent and stay in the report-only wallclock section. *)
+let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed =
+  let reg = Obs.Metrics.create () in
+  List.iter (fun l -> Obs.Metrics.observe reg "latency_s" l) total.latencies;
+  let pct q =
+    match Obs.Metrics.percentile reg "latency_s" q with
+    | Some v -> v *. 1000.0
+    | None -> 0.0
+  in
+  let result =
+    Benchkit.Measure.make_result ~scenario:"purchase/serve" ~workload:"purchase"
+      ~mode:"serve"
+      ~deterministic:
+        [
+          ("clients", float_of_int clients);
+          ("requests_per_client", float_of_int requests);
+          ("requests_completed", float_of_int completed);
+          ("result_sets", float_of_int total.rows);
+          ("affected", float_of_int total.affected);
+          ("errors", float_of_int total.errors);
+        ]
+      ~wallclock:
+        [
+          ("elapsed_s", elapsed);
+          ("req_per_s", float_of_int completed /. elapsed);
+          ("latency_p50_ms", pct 0.50);
+          ("latency_p95_ms", pct 0.95);
+          ("latency_p99_ms", pct 0.99);
+          ("admission_retries", float_of_int total.rejected);
+        ]
+  in
+  let run =
+    if Sys.file_exists path then
+      let base = Benchkit.Measure.load path in
+      Benchkit.Measure.merge base
+        (Benchkit.Measure.make_run ~label:base.Benchkit.Measure.label
+           ~scale:base.Benchkit.Measure.scale [ result ])
+    else Benchkit.Measure.make_run ~label:"loadgen" ~scale:"quick" [ result ]
+  in
+  Benchkit.Measure.save path run;
+  Fmt.pr "wrote %s@." path
+
+let run ~port ~clients ~requests ~seed ~json =
   (* in-process server when no port is given: load the purchase
      workload and listen on an ephemeral port *)
   let server =
@@ -152,7 +206,8 @@ let run ~port ~clients ~requests =
     | Some _ -> None
     | None ->
         let sdb = Core.Softdb.create () in
-        Workload.Purchase.load (Core.Softdb.db sdb);
+        let config = { Workload.Purchase.default_config with seed } in
+        Workload.Purchase.load ~config (Core.Softdb.db sdb);
         Core.Softdb.runstats sdb;
         let server = Srv.Server.create sdb in
         Some server
@@ -187,6 +242,7 @@ let run ~port ~clients ~requests =
       total.affected <- total.affected + s.affected;
       total.errors <- total.errors + s.errors;
       total.rejected <- total.rejected + s.rejected;
+      total.latencies <- List.rev_append s.latencies total.latencies;
       Fmt.pr "client %2d: %4d requests in %6.2fs (%7.1f req/s)%s@." c n dt
         (float_of_int n /. dt)
         (if s.rejected > 0 then Printf.sprintf "  [%d retries]" s.rejected
@@ -198,6 +254,10 @@ let run ~port ~clients ~requests =
      admission retries in %.2fs (%.1f req/s)@."
     !completed total.rows total.affected total.errors total.rejected elapsed
     (float_of_int !completed /. elapsed);
+  (match json with
+  | Some path ->
+      write_json ~path ~clients ~requests ~completed:!completed ~total ~elapsed
+  | None -> ());
   print_sessions_view ~port;
   match server with
   | None -> ()
@@ -208,7 +268,11 @@ let run ~port ~clients ~requests =
       Srv.Server.shutdown server
 
 let () =
-  let port = ref None and clients = ref 8 and requests = ref 64 in
+  let port = ref None
+  and clients = ref 8
+  and requests = ref 64
+  and seed = ref Workload.Purchase.default_config.Workload.Purchase.seed
+  and json = ref None in
   let spec =
     [
       ( "--port",
@@ -216,9 +280,16 @@ let () =
         "PORT attack a running server instead of an in-process one" );
       ("--clients", Arg.Set_int clients, "N concurrent client threads (8)");
       ("--requests", Arg.Set_int requests, "N requests per client (64)");
+      ( "--seed",
+        Arg.Set_int seed,
+        "N RNG seed for the in-process data load (7)" );
+      ( "--json",
+        Arg.String (fun p -> json := Some p),
+        "FILE fold a p50/p95/p99 summary into FILE (merged if it exists)" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "loadgen [--port PORT] [--clients N] [--requests N]";
-  run ~port:!port ~clients:!clients ~requests:!requests
+    "loadgen [--port PORT] [--clients N] [--requests N] [--seed N] [--json \
+     FILE]";
+  run ~port:!port ~clients:!clients ~requests:!requests ~seed:!seed ~json:!json

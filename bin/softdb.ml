@@ -192,6 +192,29 @@ let serve ?wal_link sdb ~port ~workers ~queue ~demo =
   Srv.Server.shutdown server;
   Option.iter Core.Recovery.detach wal_link
 
+(* softdb benchdiff OLD NEW: the plan-quality regression gate.  Compares
+   two benchrun reports (BENCH.json) under the per-metric thresholds —
+   deterministic metrics gate hard, wall clock is report-only — and
+   exits 1 on regression, 2 on unreadable/incompatible input. *)
+let benchdiff old_path new_path =
+  match
+    let old_run = Benchkit.Measure.load old_path in
+    let new_run = Benchkit.Measure.load new_path in
+    Benchkit.Diff.compare_runs ~old_run ~new_run ()
+  with
+  | outcome ->
+      Fmt.pr "%a" Benchkit.Diff.render outcome;
+      if not (Benchkit.Diff.passed outcome) then exit 1
+  | exception Benchkit.Measure.Schema_error m ->
+      Fmt.epr "benchdiff: schema error: %s@." m;
+      exit 2
+  | exception Benchkit.Json.Parse_error (m, off) ->
+      Fmt.epr "benchdiff: malformed JSON (offset %d): %s@." off m;
+      exit 2
+  | exception Sys_error m ->
+      Fmt.epr "benchdiff: %s@." m;
+      exit 2
+
 (* ---- cmdliner wiring --------------------------------------------------- *)
 
 open Cmdliner
@@ -279,6 +302,20 @@ let serve_cmd =
               serve ?wal_link:link sdb ~port ~workers ~queue ~demo))
       $ wal_arg $ port $ workers $ queue $ demo)
 
+let benchdiff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let doc =
+    "compare two benchmark reports (deterministic metrics gate hard, \
+     wall-clock is report-only); exit 1 on regression"
+  in
+  Cmd.v (Cmd.info "benchdiff" ~doc)
+    Term.(const benchdiff $ old_arg $ new_arg)
+
 let main =
   let doc = "soft constraints in a relational query optimizer" in
   Cmd.group
@@ -287,6 +324,6 @@ let main =
         const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb))
         $ wal_arg)
     (Cmd.info "softdb" ~doc)
-    [ repl_cmd; run_cmd; demo_cmd; serve_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; serve_cmd; benchdiff_cmd ]
 
 let () = exit (Cmd.eval main)

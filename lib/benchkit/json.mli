@@ -1,0 +1,43 @@
+(** A minimal, dependency-free JSON codec for the benchmark harness.
+
+    The printer is {e canonical}: object member order is preserved as
+    constructed, floats that carry an integral value print without a
+    fraction, and all other floats print with round-trip precision
+    ([%.17g]) — so serializing the same value twice yields byte-identical
+    text, the property the deterministic sections of [BENCH.json] are
+    gated on.  The parser accepts standard JSON (objects, arrays,
+    strings, numbers, booleans, null) and raises {!Parse_error} with a
+    character offset on malformed input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string * int
+(** Message and character offset. *)
+
+val to_string : ?indent:int -> t -> string
+(** [indent] > 0 pretty-prints with that step; 0 (default) is compact. *)
+
+val of_string : string -> t
+(** Raises {!Parse_error}. *)
+
+(** {1 Accessors} — raise {!Parse_error} (offset 0) on shape mismatch,
+    so decoding errors surface with a message rather than [Match_failure]. *)
+
+val member : string -> t -> t
+(** Object member; {!Null} when absent. *)
+
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string
+val to_list : t -> t list
+val to_obj : t -> (string * t) list
+
+val float_to_string : float -> string
+(** The canonical number rendering used by {!to_string}, exported so
+    fingerprints and JSON text agree on every digit. *)

@@ -1,0 +1,462 @@
+(* The scenario registry: workloads × soft-constraint modes, each
+   producing one measurement record through the full pipeline.
+
+   Determinism discipline: every generator seed is pinned HERE (never
+   left to a default, never derived from the clock), every gated metric
+   comes from instrumented execution or the deterministic metrics
+   snapshot, and wall clock is confined to the wallclock section. *)
+
+open Rel
+
+type scale = Quick | Full
+
+let scale_name = function Quick -> "quick" | Full -> "full"
+
+let scale_of_name = function
+  | "quick" -> Some Quick
+  | "full" -> Some Full
+  | _ -> None
+
+(* ---- pinned seeds ------------------------------------------------------- *)
+
+let purchase_seed = 7
+let project_seed = 11
+let tpcd_seed = 23
+let apb_seed = 51
+let stream_seed = 97 (* the guarded scenario's violating insert *)
+
+(* ---- fixtures ----------------------------------------------------------- *)
+
+let purchase_config ?(late = 0.01) scale =
+  {
+    Workload.Purchase.default_config with
+    rows = (match scale with Quick -> 6_000 | Full -> 60_000);
+    late_fraction = late;
+    seed = purchase_seed;
+  }
+
+let purchase_sdb ?late scale =
+  let sdb = Core.Softdb.create () in
+  Workload.Purchase.load ~config:(purchase_config ?late scale)
+    (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let project_config scale =
+  {
+    Workload.Project.default_config with
+    rows = (match scale with Quick -> 4_000 | Full -> 10_000);
+    seed = project_seed;
+  }
+
+let project_sdb scale =
+  let sdb = Core.Softdb.create () in
+  Workload.Project.load ~config:(project_config scale) (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let tpcd_config scale =
+  match scale with
+  | Quick ->
+      {
+        Workload.Tpcd.default_config with
+        customers = 200;
+        orders = 1_000;
+        sales_rows = 150;
+        seed = tpcd_seed;
+      }
+  | Full -> { Workload.Tpcd.default_config with seed = tpcd_seed }
+
+let tpcd_sdb scale =
+  let sdb = Core.Softdb.create () in
+  let config = tpcd_config scale in
+  Workload.Tpcd.load ~config (Core.Softdb.db sdb);
+  Workload.Tpcd.create_sales ~config (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let apb_config scale =
+  match scale with
+  | Quick ->
+      {
+        Workload.Apb.skus = 400;
+        classes = 50;
+        groups = 10;
+        days = 120;
+        customers = 100;
+        facts = 6_000;
+        seed = apb_seed;
+      }
+  | Full -> { Workload.Apb.default_config with seed = apb_seed }
+
+let apb_sdb scale =
+  let sdb = Core.Softdb.create () in
+  Workload.Apb.load ~config:(apb_config scale) (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  sdb
+
+let install_purchase_band sdb ~name ~confidence =
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "purchase" in
+  let d =
+    Option.get
+      (Mining.Diff_band.mine tbl ~col_hi:"ship_date" ~col_lo:"order_date")
+  in
+  let band = Option.get (Mining.Diff_band.band_with d ~confidence) in
+  let kind =
+    if band.Mining.Diff_band.confidence >= 1.0 then
+      Core.Soft_constraint.Absolute
+    else Core.Soft_constraint.Statistical band.Mining.Diff_band.confidence
+  in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name ~table:"purchase" ~kind
+       ~installed_at_mutations:(Table.mutations tbl)
+       (Core.Soft_constraint.Diff_stmt (d, band)))
+
+let install_project_band sdb ~confidence =
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "project" in
+  let d =
+    Option.get
+      (Mining.Diff_band.mine tbl ~col_hi:"end_date" ~col_lo:"start_date")
+  in
+  let band = Option.get (Mining.Diff_band.band_with d ~confidence) in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name:"proj_band" ~table:"project"
+       ~kind:(Core.Soft_constraint.Statistical band.Mining.Diff_band.confidence)
+       ~installed_at_mutations:(Table.mutations tbl)
+       (Core.Soft_constraint.Diff_stmt (d, band)))
+
+(* the APB hierarchies are exact FDs by construction *)
+let install_apb_fds sdb =
+  let db = Core.Softdb.db sdb in
+  List.iter
+    (fun (name, table, lhs, rhs) ->
+      let tbl = Database.table_exn db table in
+      Core.Softdb.install_sc sdb
+        (Core.Soft_constraint.make ~name ~table
+           ~kind:Core.Soft_constraint.Absolute
+           ~installed_at_mutations:(Table.mutations tbl)
+           (Core.Soft_constraint.Fd_stmt { Mining.Fd_mine.table; lhs; rhs })))
+    [
+      ("apb_class_group", "product", [ "class" ], "pgroup");
+      ("apb_group_family", "product", [ "pgroup" ], "family");
+      ("apb_month_quarter", "timedim", [ "month" ], "quarter");
+    ]
+
+(* ---- query suites ------------------------------------------------------- *)
+
+let purchase_queries =
+  List.map Workload.Queries.purchase_ship_eq
+    [ Date.of_ymd 1999 3 15; Date.of_ymd 1999 6 15; Date.of_ymd 1999 11 2 ]
+  @ [
+      Workload.Queries.purchase_ship_range (Date.of_ymd 1999 7 1)
+        (Date.of_ymd 1999 7 7);
+    ]
+
+(* a twin only helps when predicates exist on both band columns
+   (Opt.Rewrite), so the SSC suite constrains order_date AND ship_date *)
+let purchase_twin_queries =
+  List.map
+    (fun (lo, hi, ship) ->
+      Printf.sprintf
+        "SELECT * FROM purchase WHERE order_date BETWEEN DATE '%s' AND DATE \
+         '%s' AND ship_date <= DATE '%s'"
+        (Date.to_string lo) (Date.to_string hi) (Date.to_string ship))
+    [
+      (Date.of_ymd 1999 3 1, Date.of_ymd 1999 3 31, Date.of_ymd 1999 4 10);
+      (Date.of_ymd 1999 6 1, Date.of_ymd 1999 6 30, Date.of_ymd 1999 7 5);
+      (Date.of_ymd 1999 10 1, Date.of_ymd 1999 10 14, Date.of_ymd 1999 10 21);
+    ]
+
+let project_queries =
+  List.map Workload.Queries.project_active_on
+    [
+      Date.of_ymd 1998 6 1; Date.of_ymd 1998 11 1; Date.of_ymd 1999 3 1;
+      Date.of_ymd 1999 9 1;
+    ]
+  @ [ Workload.Queries.project_completed_within 7 ]
+
+let tpcd_queries =
+  Workload.Queries.join_elimination_suite
+  @ [
+      Workload.Queries.join_elimination_negative;
+      Workload.Tpcd.sales_union_sql ~date_lo:(Date.of_ymd 1999 1 10)
+        ~date_hi:(Date.of_ymd 1999 3 20);
+      Workload.Tpcd.sales_union_sql ~date_lo:(Date.of_ymd 1999 5 5)
+        ~date_hi:(Date.of_ymd 1999 5 25);
+    ]
+
+let apb_queries = Workload.Apb.queries
+
+(* ---- suite execution ---------------------------------------------------- *)
+
+(* Run every query through EXPLAIN ANALYZE, folding the instrumented
+   actuals into the deterministic section. *)
+let run_suite ?flags sdb sqls =
+  let module E = Opt.Explain in
+  let module C = Exec.Operators.Counters in
+  let queries = ref 0
+  and rows = ref 0
+  and scanned = ref 0
+  and pages = ref 0
+  and probes = ref 0 in
+  let rewrites = ref [] in
+  let bump rule n =
+    let seen = try List.assoc rule !rewrites with Not_found -> 0 in
+    rewrites := (rule, seen + n) :: List.remove_assoc rule !rewrites
+  in
+  let q_total_max = ref 1.0
+  and q_total_log = ref 0.0
+  and q_node_max = ref 1.0
+  and q_node_log = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun sql ->
+      let a = Core.Softdb.analyze ?flags sdb (Workload.Queries.parse sql) in
+      incr queries;
+      rows := !rows + List.length a.E.result.Exec.Executor.rows;
+      let c = a.E.result.Exec.Executor.counters in
+      scanned := !scanned + c.C.rows_scanned;
+      pages := !pages + c.C.pages_read;
+      probes := !probes + c.C.index_probes;
+      List.iter (fun (rule, n) -> bump rule n)
+        (E.rewrite_counts a.E.a_report);
+      q_total_max := Float.max !q_total_max a.E.total_q_error;
+      q_total_log := !q_total_log +. Float.log (Float.max 1.0 a.E.total_q_error);
+      q_node_max := Float.max !q_node_max (E.node_q_error_max a);
+      q_node_log := !q_node_log +. Float.log (E.node_q_error_geomean a))
+    sqls;
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let n = float_of_int (max 1 !queries) in
+  let deterministic =
+    [
+      ("queries", float_of_int !queries);
+      ("rows_returned", float_of_int !rows);
+      ("rows_scanned", float_of_int !scanned);
+      ("pages_read", float_of_int !pages);
+      ("index_probes", float_of_int !probes);
+      ("q_error.total_max", !q_total_max);
+      ("q_error.total_geomean", Float.exp (!q_total_log /. n));
+      ("q_error.node_max", !q_node_max);
+      ("q_error.node_geomean", Float.exp (!q_node_log /. n));
+      ( "rewrites.total",
+        float_of_int (List.fold_left (fun a (_, n) -> a + n) 0 !rewrites) );
+    ]
+    @ List.map (fun (rule, n) -> ("rewrites." ^ rule, float_of_int n))
+        !rewrites
+  in
+  (deterministic, [ ("elapsed_ms", elapsed_ms) ])
+
+let suite_result ~scenario ~workload ~mode ?flags sdb sqls =
+  let deterministic, wallclock = run_suite ?flags sdb sqls in
+  Measure.make_result ~scenario ~workload ~mode ~deterministic ~wallclock
+
+(* ---- the guarded-fallback scenario -------------------------------------- *)
+
+(* Prepared plans whose ASC is overturned mid-stream: the plan cache
+   serves fast plans, then backup plans after a violating insert; LRU
+   eviction is exercised by over-preparing. *)
+let guarded_result scale =
+  let sdb = purchase_sdb ~late:0.0 scale in
+  install_purchase_band sdb ~name:"band" ~confidence:1.0;
+  let cache = Core.Plan_cache.create ~capacity:4 sdb in
+  let t0 = Unix.gettimeofday () in
+  let dates = List.init 6 (fun i -> Date.of_ymd 1999 (1 + i) 15) in
+  List.iteri
+    (fun i day ->
+      ignore
+        (Core.Plan_cache.prepare cache
+           ~name:(Printf.sprintf "q%d" i)
+           (Workload.Queries.purchase_ship_eq day)))
+    dates;
+  let rows = ref 0 in
+  let execute_resident () =
+    List.iteri
+      (fun i _ ->
+        let name = Printf.sprintf "q%d" i in
+        match Core.Plan_cache.find cache name with
+        | None -> () (* evicted *)
+        | Some _ ->
+            let r = Core.Plan_cache.execute cache name in
+            rows := !rows + List.length r.Exec.Executor.rows)
+      dates
+  in
+  execute_resident ();
+  (* one violating insert overturns the 100% band (drop policy) *)
+  Workload.Purchase.insert_batch ~violating:1.0
+    ~rng:(Stats.Rng.create stream_seed) ~start_id:9_000_000 ~count:1
+    (Core.Softdb.db sdb);
+  execute_resident ();
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let s = Core.Plan_cache.stats cache in
+  let fallbacks =
+    Obs.Metrics.counter (Core.Softdb.metrics sdb) "sc_guard_fallbacks"
+  in
+  Measure.make_result ~scenario:"purchase/guarded" ~workload:"purchase"
+    ~mode:"guarded"
+    ~deterministic:
+      [
+        ("rows_returned", float_of_int !rows);
+        ("plan_cache.entries", float_of_int s.Core.Plan_cache.entries);
+        ("plan_cache.valid", float_of_int s.Core.Plan_cache.valid);
+        ("plan_cache.fast_runs", float_of_int s.Core.Plan_cache.fast_runs);
+        ("plan_cache.backup_runs", float_of_int s.Core.Plan_cache.backup_runs);
+        ("plan_cache.evictions", float_of_int s.Core.Plan_cache.evictions);
+        ("sc_guard_fallbacks", float_of_int fallbacks);
+      ]
+    ~wallclock:[ ("elapsed_ms", elapsed_ms) ]
+
+(* ---- the durability scenario -------------------------------------------- *)
+
+let wal_result scale =
+  let sdb = Core.Softdb.create () in
+  let wal = Wal.create_memory () in
+  let link = Core.Recovery.attach sdb wal in
+  let t0 = Unix.gettimeofday () in
+  let n = match scale with Quick -> 200 | Full -> 2_000 in
+  ignore
+    (Core.Softdb.exec sdb
+       "CREATE TABLE wal_bench (id INT PRIMARY KEY, v INT NOT NULL, note \
+        VARCHAR)");
+  for i = 1 to n do
+    ignore
+      (Core.Softdb.exec sdb
+         (Printf.sprintf "INSERT INTO wal_bench VALUES (%d, %d, 'row%04d')" i
+            (i * 37 mod 1_000) i))
+  done;
+  ignore
+    (Core.Softdb.exec sdb
+       (Printf.sprintf "UPDATE wal_bench SET v = 0 WHERE id <= %d" (n / 10)));
+  ignore
+    (Core.Softdb.exec sdb
+       (Printf.sprintf "DELETE FROM wal_bench WHERE id > %d" (n - (n / 10))));
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE wal_bench ADD CONSTRAINT v_small CHECK (v BETWEEN 0 AND \
+        999) SOFT");
+  let log_size records =
+    List.fold_left
+      (fun acc r -> acc + String.length (Wal.record_to_line r) + 1)
+      0 records
+  in
+  let records = Wal.records wal in
+  let bytes = log_size records in
+  Core.Recovery.checkpoint link;
+  let records' = Wal.records wal in
+  let bytes' = log_size records' in
+  Core.Recovery.detach link;
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  Measure.make_result ~scenario:"purchase/wal" ~workload:"purchase"
+    ~mode:"wal"
+    ~deterministic:
+      [
+        ("wal.records", float_of_int (List.length records));
+        ("wal.bytes", float_of_int bytes);
+        ("wal.records_after_checkpoint", float_of_int (List.length records'));
+        ("wal.bytes_after_checkpoint", float_of_int bytes');
+      ]
+    ~wallclock:[ ("elapsed_ms", elapsed_ms) ]
+
+(* ---- registry ----------------------------------------------------------- *)
+
+type t = {
+  name : string;
+  workload : string;
+  mode : string;
+  descr : string;
+  exec : scale -> Measure.scenario_result;
+}
+
+let suite_scenario ~workload ~mode ~descr ?flags setup queries =
+  let name = workload ^ "/" ^ mode in
+  {
+    name;
+    workload;
+    mode;
+    descr;
+    exec =
+      (fun scale ->
+        let sdb = setup scale in
+        suite_result ~scenario:name ~workload ~mode ?flags sdb queries);
+  }
+
+let all =
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    [
+      suite_scenario ~workload:"purchase" ~mode:"off"
+        ~descr:"ship-date point/range queries, every rewrite disabled"
+        ~flags:Opt.Rewrite.all_off purchase_sdb purchase_queries;
+      suite_scenario ~workload:"purchase" ~mode:"asc"
+        ~descr:"mined 100% diff band drives predicate introduction"
+        (fun scale ->
+          let sdb = purchase_sdb scale in
+          install_purchase_band sdb ~name:"ship_band_asc" ~confidence:1.0;
+          sdb)
+        purchase_queries;
+      suite_scenario ~workload:"purchase" ~mode:"ssc"
+        ~descr:"99% diff band drives twinned cardinality estimation"
+        (fun scale ->
+          let sdb = purchase_sdb scale in
+          install_purchase_band sdb ~name:"ship_band_ssc" ~confidence:0.99;
+          sdb)
+        purchase_twin_queries;
+      {
+        name = "purchase/guarded";
+        workload = "purchase";
+        mode = "guarded";
+        descr =
+          "prepared plans under ASC overturn: backup fallback + LRU eviction";
+        exec = guarded_result;
+      };
+      {
+        name = "purchase/wal";
+        workload = "purchase";
+        mode = "wal";
+        descr = "durability path: logged bytes before/after checkpoint";
+        exec = wal_result;
+      };
+      suite_scenario ~workload:"project" ~mode:"off"
+        ~descr:"correlated-date queries under the independence assumption"
+        ~flags:Opt.Rewrite.all_off project_sdb project_queries;
+      suite_scenario ~workload:"project" ~mode:"ssc"
+        ~descr:"90% duration band twins the correlated date predicates"
+        (fun scale ->
+          let sdb = project_sdb scale in
+          install_project_band sdb ~confidence:0.9;
+          sdb)
+        project_queries;
+      suite_scenario ~workload:"tpcd" ~mode:"off"
+        ~descr:"FK joins + 12-way union, every rewrite disabled"
+        ~flags:Opt.Rewrite.all_off tpcd_sdb tpcd_queries;
+      suite_scenario ~workload:"tpcd" ~mode:"asc"
+        ~descr:"RI join elimination + CHECK-driven union-all pruning"
+        tpcd_sdb tpcd_queries;
+      suite_scenario ~workload:"apb" ~mode:"off"
+        ~descr:"hierarchy rollups, every rewrite disabled"
+        ~flags:Opt.Rewrite.all_off apb_sdb apb_queries;
+      suite_scenario ~workload:"apb" ~mode:"asc"
+        ~descr:"hierarchy FDs simplify GROUP BY / ORDER BY lists"
+        (fun scale ->
+          let sdb = apb_sdb scale in
+          install_apb_fds sdb;
+          sdb)
+        apb_queries;
+    ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+let names = List.map (fun s -> s.name) all
+
+let run ?only ~scale ~label () =
+  let selected =
+    match only with
+    | None -> all
+    | Some names ->
+        List.map
+          (fun n ->
+            match find n with
+            | Some s -> s
+            | None -> invalid_arg ("unknown scenario " ^ n))
+          names
+  in
+  Measure.make_run ~label ~scale:(scale_name scale)
+    (List.map (fun s -> s.exec scale) selected)

@@ -1,0 +1,39 @@
+(** The benchmark scenario registry: workloads × soft-constraint modes,
+    each executing through the full parse → rewrite → plan → execute
+    pipeline with per-node instrumentation ({!Opt.Explain.analyze}) and
+    producing one {!Measure.scenario_result}.
+
+    Modes follow the paper's machinery: [off] (every rewrite disabled —
+    the oracle baseline), [asc] (absolute soft constraints driving
+    result-changing rewrites), [ssc] (statistical constraints driving
+    twinned cardinality estimation), [guarded] (prepared plans whose ASC
+    is overturned mid-stream, exercising backup-plan fallback and the
+    plan cache), and [wal] (the durability path, measuring logged bytes).
+
+    Every data generator is seeded explicitly here — never from a
+    default or the clock — so two runs of the same commit produce
+    byte-identical deterministic sections. *)
+
+type scale = Quick | Full
+
+val scale_name : scale -> string
+val scale_of_name : string -> scale option
+
+type t = {
+  name : string;  (** unique id: ["workload/mode"] *)
+  workload : string;
+  mode : string;
+  descr : string;
+  exec : scale -> Measure.scenario_result;
+}
+
+val all : t list
+(** The registry, sorted by name. *)
+
+val find : string -> t option
+val names : string list
+
+val run :
+  ?only:string list -> scale:scale -> label:string -> unit -> Measure.run
+(** Execute the registry (or the [only] subset, by name — unknown names
+    raise [Invalid_argument]) and package the results. *)

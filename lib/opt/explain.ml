@@ -368,6 +368,27 @@ let analyze (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
         ~actual:(List.length rows);
   }
 
+let rewrite_counts r =
+  List.fold_left
+    (fun acc (a : Rewrite.applied) ->
+      let n = try List.assoc a.Rewrite.rule acc with Not_found -> 0 in
+      (a.Rewrite.rule, n + 1) :: List.remove_assoc a.Rewrite.rule acc)
+    [] r.applied
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let node_q_error_max a =
+  List.fold_left (fun m n -> Float.max m n.node_q_error) 1.0 a.nodes
+
+let node_q_error_geomean a =
+  match a.nodes with
+  | [] -> 1.0
+  | nodes ->
+      let log_sum =
+        List.fold_left (fun s n -> s +. Float.log (max n.node_q_error 1.0))
+          0.0 nodes
+      in
+      Float.exp (log_sum /. float_of_int (List.length nodes))
+
 let pp_analysis ppf a =
   pp_header ppf a.a_report;
   Fmt.pf ppf "est. rows: %.1f  actual rows: %d  q-error: %.2f@."

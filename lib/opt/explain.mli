@@ -50,5 +50,19 @@ type analysis = {
 
 val analyze : Rewrite.ctx -> Planner.env -> Sqlfe.Ast.query -> analysis
 
+(** {1 Programmatic summaries}
+
+    The benchmark harness gates on these numbers, so they are exposed as
+    values rather than only via the rendered EXPLAIN ANALYZE text. *)
+
+val rewrite_counts : report -> (string * int) list
+(** Fired-rule counts of a report, sorted by rule name. *)
+
+val node_q_error_max : analysis -> float
+(** Worst per-node q-error; 1.0 for an empty node list. *)
+
+val node_q_error_geomean : analysis -> float
+(** Geometric mean of the per-node q-errors; 1.0 for an empty list. *)
+
 val pp_analysis : Format.formatter -> analysis -> unit
 val analysis_to_string : analysis -> string
