@@ -1,4 +1,4 @@
-.PHONY: all build test check faultcheck servecheck bench benchcheck \
+.PHONY: all build test check lint faultcheck servecheck bench benchcheck \
 	benchbaseline fmt clean
 
 all: build
@@ -11,6 +11,13 @@ test:
 
 # the CI gate: everything compiles and every suite passes
 check: build test
+
+# the static-analysis gate: rewrite-certificate soundness over the
+# scenario fixtures, the SC-catalog linter, declared lock-order analysis
+# over lib/srv + friends, and interface coverage — exits non-zero on any
+# error and leaves the full report in check-report.txt
+lint: build
+	dune exec bin/softdb.exe -- check --root . --report check-report.txt
 
 # the crash matrix: a simulated crash at every registered fault point,
 # recovery must land on exactly the pre- or post-transaction state

@@ -215,6 +215,46 @@ let benchdiff old_path new_path =
       Fmt.epr "benchdiff: %s@." m;
       exit 2
 
+(* softdb check: the static soundness verifier.  Builds every query-suite
+   fixture at the given scale, checks rewrite certificates and twin
+   isolation against each fixture's catalog, lints the catalogs, and —
+   when a source root is given (default: cwd if it holds dune-project) —
+   runs the lock-order and interface-coverage lints.  Exits 1 on any
+   error diagnostic; warnings are report-only. *)
+let check ~root ~scale ~explain ~report_file =
+  let scale =
+    match Benchkit.Scenario.scale_of_name scale with
+    | Some s -> s
+    | None ->
+        Fmt.epr "check: unknown scale %S (quick|full)@." scale;
+        exit 2
+  in
+  let root =
+    match root with
+    | Some r -> Some r
+    | None ->
+        if Sys.file_exists (Filename.concat (Sys.getcwd ()) "dune-project")
+        then Some (Sys.getcwd ())
+        else None
+  in
+  let fixtures =
+    List.map
+      (fun (f : Benchkit.Scenario.fixture) ->
+        {
+          Check.Driver.fx_name = f.Benchkit.Scenario.fixture_name;
+          fx_sdb = f.Benchkit.Scenario.fixture_setup scale;
+          fx_queries = f.Benchkit.Scenario.fixture_queries;
+        })
+      Benchkit.Scenario.fixtures
+  in
+  let report, diags = Check.Driver.run ~explain ?root fixtures in
+  print_string report;
+  Option.iter
+    (fun path -> Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc report))
+    report_file;
+  if Check.Diag.has_errors diags then exit 1
+
 (* ---- cmdliner wiring --------------------------------------------------- *)
 
 open Cmdliner
@@ -316,6 +356,46 @@ let benchdiff_cmd =
   Cmd.v (Cmd.info "benchdiff" ~doc)
     Term.(const benchdiff $ old_arg $ new_arg)
 
+let check_cmd =
+  let root =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Source root for the lock-order and interface-coverage lints \
+             (default: the working directory when it holds dune-project; \
+             otherwise the source lints are skipped).")
+  in
+  let scale =
+    Arg.(
+      value & opt string "quick"
+      & info [ "scale" ] ~docv:"SCALE"
+          ~doc:"Fixture scale (quick|full) for the certificate checks.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print each fixture query's rewrite certificates.")
+  in
+  let report_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the check report to $(docv).")
+  in
+  let doc =
+    "statically verify rewrite certificates, lint the SC catalog, and check \
+     lock ordering and interface coverage; exit 1 on any error"
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const (fun root scale explain report_file ->
+          check ~root ~scale ~explain ~report_file)
+      $ root $ scale $ explain $ report_file)
+
 let main =
   let doc = "soft constraints in a relational query optimizer" in
   Cmd.group
@@ -324,6 +404,6 @@ let main =
         const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb))
         $ wal_arg)
     (Cmd.info "softdb" ~doc)
-    [ repl_cmd; run_cmd; demo_cmd; serve_cmd; benchdiff_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; serve_cmd; benchdiff_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -142,6 +142,27 @@ let install_apb_fds sdb =
       ("apb_month_quarter", "timedim", [ "month" ], "quarter");
     ]
 
+(* the suite setups, named so the static checker can reuse them *)
+let purchase_asc_sdb scale =
+  let sdb = purchase_sdb scale in
+  install_purchase_band sdb ~name:"ship_band_asc" ~confidence:1.0;
+  sdb
+
+let purchase_ssc_sdb scale =
+  let sdb = purchase_sdb scale in
+  install_purchase_band sdb ~name:"ship_band_ssc" ~confidence:0.99;
+  sdb
+
+let project_ssc_sdb scale =
+  let sdb = project_sdb scale in
+  install_project_band sdb ~confidence:0.9;
+  sdb
+
+let apb_fd_sdb scale =
+  let sdb = apb_sdb scale in
+  install_apb_fds sdb;
+  sdb
+
 (* ---- query suites ------------------------------------------------------- *)
 
 let purchase_queries =
@@ -388,18 +409,10 @@ let all =
         ~flags:Opt.Rewrite.all_off purchase_sdb purchase_queries;
       suite_scenario ~workload:"purchase" ~mode:"asc"
         ~descr:"mined 100% diff band drives predicate introduction"
-        (fun scale ->
-          let sdb = purchase_sdb scale in
-          install_purchase_band sdb ~name:"ship_band_asc" ~confidence:1.0;
-          sdb)
-        purchase_queries;
+        purchase_asc_sdb purchase_queries;
       suite_scenario ~workload:"purchase" ~mode:"ssc"
         ~descr:"99% diff band drives twinned cardinality estimation"
-        (fun scale ->
-          let sdb = purchase_sdb scale in
-          install_purchase_band sdb ~name:"ship_band_ssc" ~confidence:0.99;
-          sdb)
-        purchase_twin_queries;
+        purchase_ssc_sdb purchase_twin_queries;
       {
         name = "purchase/guarded";
         workload = "purchase";
@@ -420,11 +433,7 @@ let all =
         ~flags:Opt.Rewrite.all_off project_sdb project_queries;
       suite_scenario ~workload:"project" ~mode:"ssc"
         ~descr:"90% duration band twins the correlated date predicates"
-        (fun scale ->
-          let sdb = project_sdb scale in
-          install_project_band sdb ~confidence:0.9;
-          sdb)
-        project_queries;
+        project_ssc_sdb project_queries;
       suite_scenario ~workload:"tpcd" ~mode:"off"
         ~descr:"FK joins + 12-way union, every rewrite disabled"
         ~flags:Opt.Rewrite.all_off tpcd_sdb tpcd_queries;
@@ -436,12 +445,69 @@ let all =
         ~flags:Opt.Rewrite.all_off apb_sdb apb_queries;
       suite_scenario ~workload:"apb" ~mode:"asc"
         ~descr:"hierarchy FDs simplify GROUP BY / ORDER BY lists"
-        (fun scale ->
-          let sdb = apb_sdb scale in
-          install_apb_fds sdb;
-          sdb)
-        apb_queries;
+        apb_fd_sdb apb_queries;
     ]
+
+(* ---- static-check fixtures ---------------------------------------------- *)
+
+(* The suite scenarios as (name, database, workload) triples for the
+   certificate checker and the differential rewrite check.  The guarded
+   and wal scenarios are stateful pipelines rather than query suites, so
+   they are exercised by their own tests instead. *)
+type fixture = {
+  fixture_name : string;
+  fixture_setup : scale -> Core.Softdb.t;
+  fixture_queries : string list;
+}
+
+let fixtures =
+  [
+    {
+      fixture_name = "purchase/off";
+      fixture_setup = (fun scale -> purchase_sdb scale);
+      fixture_queries = purchase_queries;
+    };
+    {
+      fixture_name = "purchase/asc";
+      fixture_setup = purchase_asc_sdb;
+      fixture_queries = purchase_queries;
+    };
+    {
+      fixture_name = "purchase/ssc";
+      fixture_setup = purchase_ssc_sdb;
+      fixture_queries = purchase_twin_queries;
+    };
+    {
+      fixture_name = "project/off";
+      fixture_setup = project_sdb;
+      fixture_queries = project_queries;
+    };
+    {
+      fixture_name = "project/ssc";
+      fixture_setup = project_ssc_sdb;
+      fixture_queries = project_queries;
+    };
+    {
+      fixture_name = "tpcd/off";
+      fixture_setup = tpcd_sdb;
+      fixture_queries = tpcd_queries;
+    };
+    {
+      fixture_name = "tpcd/asc";
+      fixture_setup = tpcd_sdb;
+      fixture_queries = tpcd_queries;
+    };
+    {
+      fixture_name = "apb/off";
+      fixture_setup = apb_sdb;
+      fixture_queries = apb_queries;
+    };
+    {
+      fixture_name = "apb/asc";
+      fixture_setup = apb_fd_sdb;
+      fixture_queries = apb_queries;
+    };
+  ]
 
 let find name = List.find_opt (fun s -> s.name = name) all
 let names = List.map (fun s -> s.name) all

@@ -33,6 +33,18 @@ val all : t list
 val find : string -> t option
 val names : string list
 
+type fixture = {
+  fixture_name : string;  (** matches the scenario name *)
+  fixture_setup : scale -> Core.Softdb.t;
+  fixture_queries : string list;
+}
+
+val fixtures : fixture list
+(** The query-suite scenarios as (name, database, workload) triples for
+    the static certificate checker ([softdb check]) and the differential
+    rewrite check.  The stateful [guarded] and [wal] scenarios are not
+    query suites and are exercised by their own tests. *)
+
 val run :
   ?only:string list -> scale:scale -> label:string -> unit -> Measure.run
 (** Execute the registry (or the [only] subset, by name — unknown names

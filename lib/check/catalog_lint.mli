@@ -1,0 +1,10 @@
+(** The catalog linter (tentpole pass 2): contradictory SCs (errors),
+    duplicate / subsumed soft FDs, SSCs at or below the planner's use
+    threshold, and exception tables grown past the rewrite-profitability
+    bound (warnings). *)
+
+val exception_growth_bound : float
+(** Exception-table rows beyond this fraction of the base table make the
+    exception-union rewrite unprofitable (default 0.1). *)
+
+val lint : Core.Softdb.t -> Diag.t list

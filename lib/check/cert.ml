@@ -1,0 +1,229 @@
+(* The independent certificate checker (tentpole pass 1).
+
+   The rewriter emits, for every fired transformation, a certificate
+   naming its SC premises and the structural plan delta
+   ({!Opt.Rewrite.applied}).  This module re-derives soundness from the
+   live catalog without trusting the rewriter:
+
+   - every premise must resolve to a declared IC or a currently-valid
+     catalog SC;
+   - a result-changing delta may not rest on a statistical SC — only
+     twins (estimation-only) may, and their payload must carry a
+     confidence in (0, 1];
+   - every overturnable (soft absolute) premise of a result-changing
+     rewrite must appear in the report's guard set, and such a plan must
+     carry a backup plan (§4.1 flag-and-revert);
+   - the delta's shape must match the rule that claims it;
+   - twin predicates must be marked estimation-only and must not appear
+     among the executable predicates of the physical plan (or backup). *)
+
+open Rel
+
+let pass = "cert"
+
+(* What a premise name resolves to, from the checker's point of view. *)
+type basis =
+  | Hard  (* declared (hard or informational) IC: needs no guard *)
+  | Soft_absolute  (* overturnable ASC: must be guarded *)
+  | Soft_statistical  (* SSC: estimation-only basis *)
+  | Invalid of string  (* reason it is no valid basis *)
+
+let basis_of sdb name =
+  match Database.find_constraint (Core.Softdb.db sdb) name with
+  | Some _ -> Hard
+  | None -> (
+      match Core.Sc_catalog.find (Core.Softdb.catalog sdb) name with
+      | None -> Invalid "names no declared IC or catalog SC"
+      | Some sc ->
+          (* guard_ok admits usable SCs and exception-backed ASCs whose
+             exception table still exists — the same validity the guarded
+             executor re-checks at open *)
+          if not (Core.Softdb.guard_ok sdb name) then
+            Invalid "is not usable (overturned, on probation, or dropped)"
+          else if Core.Soft_constraint.is_absolute sc then Soft_absolute
+          else Soft_statistical)
+
+(* Which delta shapes a rule may legitimately claim. *)
+let shape_ok rule (delta : Opt.Rewrite.delta) =
+  match (rule, delta) with
+  | "join_elimination", Opt.Rewrite.Source_removed _
+  | ( ("predicate_introduction" | "equality_transitivity"),
+      Opt.Rewrite.Pred_added _ )
+  | "hole_trimming", (Opt.Rewrite.Pred_added _ | Opt.Rewrite.Block_falsified)
+  | "exception_union", Opt.Rewrite.Union_split _
+  | ( "fd_simplification",
+      (Opt.Rewrite.Order_key_dropped _ | Opt.Rewrite.Group_key_dropped _) )
+  | "unsatisfiable", Opt.Rewrite.Block_falsified
+  | "unionall_pruning", Opt.Rewrite.Branch_pruned
+  | "twinning", Opt.Rewrite.Pred_twinned _ ->
+      true
+  | _ -> false
+
+(* Rules whose soundness argument always rests on at least one named
+   constraint.  (FD simplification can be carried by declared keys alone,
+   and an unsatisfiability proof by the query's own predicates, so those
+   may legitimately name none.) *)
+let premises_required = function
+  | "join_elimination" | "predicate_introduction" | "exception_union"
+  | "twinning" ->
+      true
+  | _ -> false
+
+let check_certificate sdb ~guards ~has_backup (c : Opt.Explain.certificate) =
+  let subject = c.Opt.Explain.cert_rule in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if not (shape_ok c.Opt.Explain.cert_rule c.Opt.Explain.cert_delta) then
+    add
+      (Diag.error ~pass ~subject "delta {%s} does not match the rule"
+         (Fmt.str "%a" Opt.Rewrite.pp_delta c.Opt.Explain.cert_delta));
+  if
+    c.Opt.Explain.cert_result_changing
+    <> Opt.Rewrite.delta_changes_results c.Opt.Explain.cert_delta
+  then
+    add
+      (Diag.error ~pass ~subject
+         "result-changing flag disagrees with the delta");
+  if
+    premises_required c.Opt.Explain.cert_rule
+    && c.Opt.Explain.cert_premises = []
+  then
+    add
+      (Diag.error ~pass ~subject
+         "names no premise but the rule requires a constraint basis");
+  List.iter
+    (fun name ->
+      match basis_of sdb name with
+      | Invalid reason ->
+          add (Diag.error ~pass ~subject "premise %s %s" name reason)
+      | Hard -> ()
+      | Soft_absolute ->
+          if c.Opt.Explain.cert_result_changing then begin
+            if not (List.mem name guards) then
+              add
+                (Diag.error ~pass ~subject
+                   "result-changing rewrite premised on overturnable ASC %s \
+                    is not in the plan's guard set"
+                   name);
+            if not has_backup then
+              add
+                (Diag.error ~pass ~subject
+                   "premised on overturnable ASC %s but the plan carries no \
+                    backup"
+                   name)
+          end
+      | Soft_statistical ->
+          if c.Opt.Explain.cert_result_changing then
+            add
+              (Diag.error ~pass ~subject
+                 "result-changing rewrite rests on statistical SC %s \
+                  (estimation-only basis)"
+                 name))
+    c.Opt.Explain.cert_premises;
+  (match c.Opt.Explain.cert_delta with
+  | Opt.Rewrite.Pred_twinned { confidence; _ } ->
+      if not (confidence > 0.0 && confidence <= 1.0) then
+        add
+          (Diag.error ~pass ~subject "twin confidence %.3f outside (0, 1]"
+             confidence)
+  | _ -> ());
+  List.rev !diags
+
+(* ---- twin isolation -------------------------------------------------------- *)
+
+let rec twin_items acc (l : Opt.Logical.t) =
+  match l with
+  | Opt.Logical.Block b ->
+      List.fold_left
+        (fun acc (p : Opt.Logical.pred_item) ->
+          match p.Opt.Logical.origin with
+          | Opt.Logical.Twin _ -> p :: acc
+          | _ -> acc)
+        acc b.Opt.Logical.preds
+  | Opt.Logical.Union ts -> List.fold_left twin_items acc ts
+
+(* Every predicate the physical plan will actually evaluate. *)
+let rec plan_preds acc (p : Exec.Plan.t) =
+  match p with
+  | Exec.Plan.Seq_scan { filter; _ } -> filter :: acc
+  | Exec.Plan.Index_scan { filter; _ } -> filter :: acc
+  | Exec.Plan.Filter { input; pred } -> plan_preds (pred :: acc) input
+  | Exec.Plan.Project { input; _ }
+  | Exec.Plan.Sort { input; _ }
+  | Exec.Plan.Group { input; _ }
+  | Exec.Plan.Limit { input; _ } ->
+      plan_preds acc input
+  | Exec.Plan.Distinct input -> plan_preds acc input
+  | Exec.Plan.Nested_loop_join { left; right; pred } ->
+      plan_preds (plan_preds (pred :: acc) left) right
+  | Exec.Plan.Hash_join { left; right; residual; _ }
+  | Exec.Plan.Merge_join { left; right; residual; _ } ->
+      plan_preds (plan_preds (residual :: acc) left) right
+  | Exec.Plan.Union_all inputs -> List.fold_left plan_preds acc inputs
+
+let twin_diags (report : Opt.Explain.report) =
+  let twins = twin_items [] report.Opt.Explain.rewritten in
+  let flag_diags =
+    List.filter_map
+      (fun (p : Opt.Logical.pred_item) ->
+        if p.Opt.Logical.estimation_only then None
+        else
+          Some
+            (Diag.error ~pass ~subject:"twin"
+               "twin predicate %s is not marked estimation-only"
+               (Expr.to_string_pred p.Opt.Logical.pred)))
+      twins
+  in
+  let exec_conjuncts =
+    let preds =
+      plan_preds [] report.Opt.Explain.plan
+      @
+      match report.Opt.Explain.backup_plan with
+      | Some b -> plan_preds [] b
+      | None -> []
+    in
+    List.concat_map Expr.conjuncts preds
+  in
+  let leak_diags =
+    List.filter_map
+      (fun (p : Opt.Logical.pred_item) ->
+        let leaked =
+          List.exists
+            (fun c -> List.mem c exec_conjuncts)
+            (Expr.conjuncts p.Opt.Logical.pred)
+        in
+        if leaked then
+          Some
+            (Diag.error ~pass ~subject:"twin"
+               "twin predicate %s appears among the plan's executable \
+                predicates"
+               (Expr.to_string_pred p.Opt.Logical.pred))
+        else None)
+      twins
+  in
+  flag_diags @ leak_diags
+
+let check_report sdb (report : Opt.Explain.report) =
+  let certs = Opt.Explain.certificates report in
+  let guards = report.Opt.Explain.guards in
+  let has_backup = report.Opt.Explain.backup_plan <> None in
+  let backup_diag =
+    (* §4.1: any plan that rests on overturnable SCs (guards <> []) must
+       carry the conservative backup the executor reverts to.  A plan
+       rewritten purely from hard ICs legitimately has neither. *)
+    if guards <> [] && not has_backup then
+      [
+        Diag.error ~pass ~subject:"plan"
+          "plan is guarded by %s but no backup plan was compiled"
+          (String.concat ", " guards);
+      ]
+    else []
+  in
+  backup_diag
+  @ List.concat_map (check_certificate sdb ~guards ~has_backup) certs
+  @ twin_diags report
+
+let check_query ?flags sdb sql =
+  let q = Sqlfe.Parser.parse_query_string sql in
+  let report = Core.Softdb.optimize ?flags sdb q in
+  (report, check_report sdb report)

@@ -1,0 +1,39 @@
+(* Diagnostics shared by every static-analysis pass: a severity, the
+   pass that produced it, the subject (file, constraint, certificate),
+   and a message.  The CLI exit code is derived from [has_errors]. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  pass : string;
+  subject : string;
+  message : string;
+}
+
+let make severity ~pass ~subject fmt =
+  Printf.ksprintf (fun message -> { severity; pass; subject; message }) fmt
+
+let error ~pass ~subject fmt = make Error ~pass ~subject fmt
+let warning ~pass ~subject fmt = make Warning ~pass ~subject fmt
+let is_error d = d.severity = Error
+let has_errors diags = List.exists is_error diags
+let errors diags = List.filter is_error diags
+
+let pp ppf d =
+  Fmt.pf ppf "%s [%s] %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.pass d.subject d.message
+
+(* The check report: one line per diagnostic plus a pass/fail summary —
+   written to the CLI report file and uploaded as a CI artifact. *)
+let render diags =
+  let buf = Buffer.create 256 in
+  List.iter (fun d -> Buffer.add_string buf (Fmt.str "%a\n" pp d)) diags;
+  let errs = List.length (errors diags) in
+  let warns = List.length diags - errs in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d error(s), %d warning(s)\n"
+       (if errs = 0 then "PASS" else "FAIL")
+       errs warns);
+  Buffer.contents buf

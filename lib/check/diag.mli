@@ -1,0 +1,27 @@
+(** Diagnostics shared by every static-analysis pass: a severity, the
+    pass that produced it, the subject (file, constraint, certificate),
+    and a message.  The CLI exit code is derived from {!has_errors}. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  pass : string;
+  subject : string;
+  message : string;
+}
+
+val error :
+  pass:string -> subject:string -> ('a, unit, string, t) format4 -> 'a
+
+val warning :
+  pass:string -> subject:string -> ('a, unit, string, t) format4 -> 'a
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+val errors : t list -> t list
+val pp : Format.formatter -> t -> unit
+
+val render : t list -> string
+(** One line per diagnostic plus a PASS/FAIL summary — the check report
+    uploaded as a CI artifact. *)

@@ -1,0 +1,35 @@
+(* Interface-coverage lint: every lib/**/*.ml must publish a matching
+   .mli.  Interfaces are the abstraction boundary the rest of the tree
+   compiles against; a missing one silently exports every helper. *)
+
+let pass = "iface"
+
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path acc
+          else if Filename.check_suffix entry ".ml" then path :: acc
+          else acc)
+        acc entries
+
+let ml_files ~root =
+  let lib = Filename.concat root "lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then
+    List.sort String.compare (walk lib [])
+  else []
+
+let lint ~root =
+  List.filter_map
+    (fun ml ->
+      let mli = ml ^ "i" in
+      if Sys.file_exists mli then None
+      else
+        Some
+          (Diag.error ~pass ~subject:ml
+             "implementation has no matching interface (%s)"
+             (Filename.basename mli)))
+    (ml_files ~root)

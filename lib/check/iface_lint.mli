@@ -1,0 +1,7 @@
+(** Interface-coverage lint: flags any [lib/**/*.ml] without a matching
+    [.mli]. *)
+
+val ml_files : root:string -> string list
+(** All [.ml] files under [root]/lib, sorted. *)
+
+val lint : root:string -> Diag.t list

@@ -1,0 +1,16 @@
+(** Static lock-order analysis (tentpole pass 3): checks every mutex /
+    condition / rwlock acquisition site against declared
+    [@lock-order <name> rank=<int> [reentrant]] ranks and per-site
+    [@acquires <name> [while <held> ...]] / [@waits <name>] annotations.
+    Unannotated acquisition tokens, undeclared locks, conflicting
+    declarations, and rank inversions are all errors. *)
+
+val tokens : string list
+(** The raw source tokens treated as lock acquisitions. *)
+
+val lint_sources : (string * string) list -> Diag.t list
+(** [lint_sources [(filename, contents); ...]] lints in-memory sources;
+    declarations are aggregated across all of them. *)
+
+val lint_files : string list -> Diag.t list
+(** Read the given files and lint them. *)

@@ -51,6 +51,7 @@ exception No_such_plan of string
 let default_capacity = 64
 
 let locked t f =
+  (* @acquires core.plan_cache while srv.session db.rwlock *)
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
@@ -195,9 +196,16 @@ let execute t name =
           entry.report.Opt.Explain.plan
         end
         else begin
-          entry.invalidated <- true;
+          (* count the fallback once, on the valid→invalidated transition:
+             re-running an already-overturned entry is not a new fallback
+             event, and per-run increments would multiply-count one
+             guarded statement (cf. Softdb.execute_report: one increment
+             per statement, however many guards failed) *)
+          if not entry.invalidated then begin
+            entry.invalidated <- true;
+            Obs.Metrics.incr (Softdb.metrics t.sdb) "sc_guard_fallbacks"
+          end;
           entry.backup_runs <- entry.backup_runs + 1;
-          Obs.Metrics.incr (Softdb.metrics t.sdb) "sc_guard_fallbacks";
           entry.backup
         end)
   in

@@ -119,6 +119,11 @@ let rows_of db table =
   | Some tbl -> Table.cardinality tbl
   | None -> 0
 
+(* The planner ignores SSCs whose decayed confidence is at or below this
+   bound; the catalog linter flags them so the operator can refresh or
+   drop them. *)
+let use_threshold = 0.0
+
 (* Confidence usable now, after currency decay (§3.3). *)
 let current_confidence db (sc : Soft_constraint.t) =
   let base = Soft_constraint.confidence sc in
@@ -174,7 +179,7 @@ let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
         if Soft_constraint.is_absolute sc then None
         else
           let conf = current_confidence db sc in
-          if conf <= 0.0 then None
+          if conf <= use_threshold then None
           else
             match sc.Soft_constraint.statement with
             | Soft_constraint.Diff_stmt (d, band) ->
@@ -203,7 +208,8 @@ let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
       (fun (sc : Soft_constraint.t) ->
         match sc.Soft_constraint.statement with
         | Soft_constraint.Fd_stmt fd when Soft_constraint.is_absolute sc ->
-            Some fd
+            Some
+              { Opt.Rewrite.fd_sc = Some sc.Soft_constraint.name; fd }
         | _ -> None)
       usable
   in
@@ -212,7 +218,11 @@ let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
       (fun (sc : Soft_constraint.t) ->
         match sc.Soft_constraint.statement with
         | Soft_constraint.Holes_stmt h when Soft_constraint.is_absolute sc ->
-            Some h
+            Some
+              {
+                Opt.Rewrite.holes_sc = Some sc.Soft_constraint.name;
+                holes = h;
+              }
         | _ -> None)
       usable
   in

@@ -74,6 +74,10 @@ val exception_tables : t -> (string * string) list
 val mutations_of : Database.t -> string -> int
 val rows_of : Database.t -> string -> int
 
+val use_threshold : float
+(** SSCs whose decayed confidence is at or below this bound are ignored
+    by {!rewrite_ctx}; the catalog linter flags them. *)
+
 val current_confidence : Database.t -> Soft_constraint.t -> float
 (** Confidence usable {e now}: the base confidence decayed by
     {!Currency.usable_confidence} over the mutations since the anchor. *)

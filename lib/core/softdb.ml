@@ -255,9 +255,26 @@ let class_guards t (applied : Opt.Rewrite.applied list) =
     of_class (fun _ -> true)
   else []
 
+(* Certificate premises that are catalog SCs must also be guarded: a
+   result-changing rewrite can rest on more constraints than the one it
+   logged as [sc] (e.g. the key witness behind a join elimination may
+   itself be an overturnable ASC). *)
+let premise_guards t (applied : Opt.Rewrite.applied list) =
+  List.concat_map
+    (fun (a : Opt.Rewrite.applied) ->
+      if Opt.Rewrite.delta_changes_results a.Opt.Rewrite.delta then
+        List.filter
+          (fun name -> Sc_catalog.find t.catalog name <> None)
+          a.Opt.Rewrite.premises
+      else [])
+    applied
+
 let optimize ?flags t (q : Sqlfe.Ast.query) =
   let report = Opt.Explain.optimize (rewrite_ctx ?flags t) (planner_env t) q in
-  match class_guards t report.Opt.Explain.applied with
+  match
+    class_guards t report.Opt.Explain.applied
+    @ premise_guards t report.Opt.Explain.applied
+  with
   | [] -> report
   | extra ->
       {
@@ -312,6 +329,7 @@ let observe_twin t sc_name =
               with
               | Obs.Feedback.Keep -> None
               | Obs.Feedback.Adjust { confidence; refresh } ->
+                  (* @acquires core.recalibration while srv.session db.rwlock *)
                   Mutex.lock recalibration_lock;
                   Fun.protect
                     ~finally:(fun () -> Mutex.unlock recalibration_lock)

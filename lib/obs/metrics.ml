@@ -38,6 +38,9 @@ let create () =
   }
 
 let locked t f =
+  (* leaf lock: callers tick metrics from under most other subsystems'
+     locks, so nothing may be acquired while this is held *)
+  (* @acquires obs.metrics while srv.session db.rwlock srv.server.registry core.plan_cache core.recalibration *)
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 

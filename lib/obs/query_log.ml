@@ -35,6 +35,8 @@ let create ?(capacity = 256) () =
   { capacity; lock = Mutex.create (); next_seq = 1; entries = [] }
 
 let locked t f =
+  (* leaf lock, like obs.metrics *)
+  (* @acquires obs.query_log while srv.session db.rwlock *)
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 

@@ -53,6 +53,47 @@ let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
     backup_plan;
   }
 
+(* ---- rewrite certificates ------------------------------------------------- *)
+
+(* A certificate is the per-rewrite view [softdb check] re-derives
+   soundness from: the rule, its SC premises, the structural delta, and
+   whether the delta can change results.  It is a projection of
+   [report.applied] — kept as a separate type so the checker does not
+   depend on how the rewriter logs. *)
+type certificate = {
+  cert_rule : string;
+  cert_detail : string;
+  cert_premises : string list;
+  cert_delta : Rewrite.delta;
+  cert_result_changing : bool;
+}
+
+let certificate_of (a : Rewrite.applied) =
+  {
+    cert_rule = a.Rewrite.rule;
+    cert_detail = a.Rewrite.detail;
+    cert_premises = a.Rewrite.premises;
+    cert_delta = a.Rewrite.delta;
+    cert_result_changing = Rewrite.delta_changes_results a.Rewrite.delta;
+  }
+
+let certificates r = List.map certificate_of r.applied
+
+let pp_certificate ppf c =
+  Fmt.pf ppf "%s [%s] {%a} premises: %s" c.cert_rule
+    (if c.cert_result_changing then "result-changing" else "estimation-only")
+    Rewrite.pp_delta c.cert_delta
+    (match c.cert_premises with
+    | [] -> "(none)"
+    | ps -> String.concat ", " ps)
+
+let pp_certificates ppf r =
+  match certificates r with
+  | [] -> Fmt.pf ppf "certificates: (none)@."
+  | certs ->
+      Fmt.pf ppf "certificates:@.";
+      List.iter (fun c -> Fmt.pf ppf "  - %a@." pp_certificate c) certs
+
 (* Everything shown by EXPLAIN except the plan tree itself; shared with
    EXPLAIN ANALYZE, which renders its own annotated tree. *)
 let pp_header ppf r =

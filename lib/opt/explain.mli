@@ -25,6 +25,28 @@ val optimize : Rewrite.ctx -> Planner.env -> Sqlfe.Ast.query -> report
 val pp : Format.formatter -> report -> unit
 val to_string : report -> string
 
+(** {1 Rewrite certificates}
+
+    The per-rewrite view [softdb check] re-derives soundness from: the
+    rule, its SC premises, the structural delta, and whether the delta
+    can change results.  A projection of [report.applied], kept as a
+    separate type so the checker does not depend on how the rewriter
+    logs. *)
+
+type certificate = {
+  cert_rule : string;
+  cert_detail : string;
+  cert_premises : string list;
+  cert_delta : Rewrite.delta;
+  cert_result_changing : bool;
+}
+
+val certificate_of : Rewrite.applied -> certificate
+val certificates : report -> certificate list
+
+val pp_certificate : Format.formatter -> certificate -> unit
+val pp_certificates : Format.formatter -> report -> unit
+
 (** {1 EXPLAIN ANALYZE}
 
     Optimize {e and execute} the query with per-node instrumentation,

@@ -64,6 +64,12 @@ type exception_info = {
   exc_check : Expr.pred;
 }
 
+(* Mined artifacts keep the name of the catalog constraint they came from
+   (None for artifacts fed in directly, e.g. by unit tests), so the
+   certificates emitted below can name their premises precisely. *)
+type named_fd = { fd_sc : string option; fd : Mining.Fd_mine.fd }
+type named_holes = { holes_sc : string option; holes : Mining.Join_holes.t }
+
 type ctx = {
   db : Database.t;
   flags : flags;
@@ -72,8 +78,8 @@ type ctx = {
     (* the same ASCs in typed mined form (bands valid at 100%), enabling
        *range* propagation where generic check folding needs an equality *)
   sscs : ssc list;
-  fds : Mining.Fd_mine.fd list; (* valid (ASC-class) FDs *)
-  holes : Mining.Join_holes.t list; (* valid hole sets *)
+  fds : named_fd list; (* valid (ASC-class) FDs *)
+  holes : named_holes list; (* valid hole sets *)
   exceptions : exception_info list;
 }
 
@@ -81,17 +87,45 @@ let make_ctx ?(flags = all_on) ?(ascs = []) ?(asc_shapes = []) ?(sscs = [])
     ?(fds = []) ?(holes = []) ?(exceptions = []) db =
   { db; flags; ascs; asc_shapes; sscs; fds; holes; exceptions }
 
+(* The structural change a rewrite made to the plan — one constructor per
+   way a transformation can alter semantics (or, for twins, estimation).
+   Together with [premises] this is the machine-checkable certificate
+   that {!Check.Cert} re-derives soundness from, independent of the code
+   that fired the rule. *)
+type delta =
+  | Source_removed of { alias : string; table : string }
+  | Pred_added of Expr.pred (* executable conjunct appended to WHERE *)
+  | Pred_twinned of { pred : Expr.pred; confidence : float }
+      (* estimation-only: must never reach the physical plan *)
+  | Order_key_dropped of { alias : string; col : string }
+  | Group_key_dropped of string
+  | Union_split of { fast_pred : Expr.pred; exc_table : string }
+  | Branch_pruned
+  | Block_falsified
+
+(* Twins are the one delta that cannot change results; everything else
+   alters the executable plan and therefore needs an absolute basis. *)
+let delta_changes_results = function Pred_twinned _ -> false | _ -> true
+
 type applied = {
   rule : string;
   detail : string;
   sc : string option;
       (* the soft constraint (or IC) this rewrite relied on, for
          plan-cache dependency tracking (paper §4.1) *)
+  premises : string list;
+      (* every constraint name the soundness argument rests on: [sc]
+         plus secondary witnesses (the key behind a join elimination,
+         the checks behind an unsatisfiability proof, ...) *)
+  delta : delta;
 }
 
-let log ?sc applied rule fmt =
+let log ?sc ?(premises = []) ~delta applied rule fmt =
+  let premises =
+    List.sort_uniq String.compare (Option.to_list sc @ premises)
+  in
   Printf.ksprintf
-    (fun detail -> applied := { rule; detail; sc } :: !applied)
+    (fun detail -> applied := { rule; detail; sc; premises; delta } :: !applied)
     fmt
 
 (* ---- constraint lookup helpers ----------------------------------------- *)
@@ -121,9 +155,11 @@ let usable_fks ctx =
       | _ -> None)
     (Database.constraints ctx.db @ ctx.ascs)
 
-let key_like ctx table cols =
+(* The key (or unique) constraint making [cols] a key of [table], if any —
+   returned whole so certificates can name it as a premise. *)
+let key_witness ctx table cols =
   let want = List.sort String.compare (List.map norm cols) in
-  List.exists
+  List.find_opt
     (fun ic ->
       match ic.Icdef.body with
       | Icdef.Primary_key ks | Icdef.Unique ks ->
@@ -329,13 +365,17 @@ let join_elimination_step ctx applied (block : Logical.block) :
       let same_pairs =
         List.sort compare col_pairs = List.sort compare fk_pairs
       in
-      if
-        same_pairs
-        && key_like ctx ref_table ref_cols
-        && not
-             (Logical.alias_used_outside ctx.db block parent.Logical.alias
-                ~except:(List.map (fun (p, _, _) -> p) pair_items))
-      then begin
+      let witness =
+        if
+          same_pairs
+          && not
+               (Logical.alias_used_outside ctx.db block parent.Logical.alias
+                  ~except:(List.map (fun (p, _, _) -> p) pair_items))
+        then key_witness ctx ref_table ref_cols
+        else None
+      in
+      match witness with
+      | Some key_ic ->
         let keep =
           List.filter
             (fun (p : Logical.pred_item) ->
@@ -354,9 +394,12 @@ let join_elimination_step ctx applied (block : Logical.block) :
                            { Expr.rel = Some child.Logical.alias; col = c }))))
             fk_cols
         in
-        log ~sc:fk_ic.Icdef.name applied "join_elimination"
-          "eliminated %s (%s) via FK %s" parent.Logical.alias
-          parent.Logical.table fk_ic.Icdef.name;
+        log ~sc:fk_ic.Icdef.name ~premises:[ key_ic.Icdef.name ]
+          ~delta:
+            (Source_removed
+               { alias = parent.Logical.alias; table = parent.Logical.table })
+          applied "join_elimination" "eliminated %s (%s) via FK %s"
+          parent.Logical.alias parent.Logical.table fk_ic.Icdef.name;
         Some
           {
             block with
@@ -367,8 +410,7 @@ let join_elimination_step ctx applied (block : Logical.block) :
                 block.Logical.from;
             preds = keep @ not_nulls;
           }
-      end
-      else None
+      | None -> None
     in
     List.find_map try_pair candidates
   in
@@ -419,8 +461,9 @@ let equality_transitivity ctx applied (block : Logical.block) =
                                   it.Logical.pred = pred)
                                 !additions)
                       then begin
-                        log applied "equality_transitivity"
-                          "derived %s" (Expr.to_string_pred pred);
+                        log ~delta:(Pred_added pred) applied
+                          "equality_transitivity" "derived %s"
+                          (Expr.to_string_pred pred);
                         additions :=
                           Logical.introduced_pred
                             ~rule:"equality_transitivity" pred
@@ -486,9 +529,9 @@ let predicate_introduction ctx applied (block : Logical.block) =
                 && cols_all_not_nullable ctx block c
                 && introduction_gain ctx block c <> None
               then begin
-                log ~sc:name applied "predicate_introduction"
-                  "from %s on %s: %s" name s.Logical.alias
-                  (Expr.to_string_pred c);
+                log ~sc:name ~delta:(Pred_added c) applied
+                  "predicate_introduction" "from %s on %s: %s" name
+                  s.Logical.alias (Expr.to_string_pred c);
                 new_items :=
                   Logical.introduced_pred ~rule:("check:" ^ name) c
                   :: !new_items
@@ -550,7 +593,11 @@ let exception_union ctx applied (block : Logical.block) : Logical.t option =
           in
           if not (gainful && cols_all_not_nullable ctx block folded) then None
           else begin
-            log ~sc:info.exc_constraint applied "exception_union"
+            log ~sc:info.exc_constraint
+              ~delta:
+                (Union_split
+                   { fast_pred = folded; exc_table = info.exc_table })
+              applied "exception_union"
               "split %s via exception table %s (constraint %s)"
               s.Logical.alias info.exc_table info.exc_constraint;
             let branch1 =
@@ -679,7 +726,9 @@ let hole_trimming ctx applied (block : Logical.block) =
   let result = ref block in
   let falsified = ref false in
   List.iter
-    (fun (h : Mining.Join_holes.t) ->
+    (fun (nh : named_holes) ->
+      let h = nh.holes in
+      let h_premises = Option.to_list nh.holes_sc in
       if not !falsified then begin
         let block = !result in
         let find_src table =
@@ -739,7 +788,8 @@ let hole_trimming ctx applied (block : Logical.block) =
                            ~hi:r.Mining.Join_holes.b_hi
                        with
                        | Some `Empty ->
-                           log applied "hole_trimming"
+                           log ~premises:h_premises ~delta:Block_falsified
+                             applied "hole_trimming"
                              "query range falls entirely in a hole: empty";
                            falsified := true
                        | Some (`Tightened iv') ->
@@ -749,7 +799,9 @@ let hole_trimming ctx applied (block : Logical.block) =
                                col = h.Mining.Join_holes.right_col;
                              }
                            in
-                           log applied "hole_trimming" "tightened %s.%s"
+                           let tp = Interval.to_pred ref_ iv' in
+                           log ~premises:h_premises ~delta:(Pred_added tp)
+                             applied "hole_trimming" "tightened %s.%s"
                              sr.Logical.alias h.Mining.Join_holes.right_col;
                            result :=
                              {
@@ -758,8 +810,7 @@ let hole_trimming ctx applied (block : Logical.block) =
                                  !result.Logical.preds
                                  @ [
                                      Logical.introduced_pred
-                                       ~rule:"hole_trimming"
-                                       (Interval.to_pred ref_ iv');
+                                       ~rule:"hole_trimming" tp;
                                    ];
                              }
                        | None -> ());
@@ -778,7 +829,8 @@ let hole_trimming ctx applied (block : Logical.block) =
                           ~hi:r.Mining.Join_holes.a_hi
                       with
                       | Some `Empty ->
-                          log applied "hole_trimming"
+                          log ~premises:h_premises ~delta:Block_falsified
+                            applied "hole_trimming"
                             "query range falls entirely in a hole: empty";
                           falsified := true
                       | Some (`Tightened iv') ->
@@ -788,7 +840,9 @@ let hole_trimming ctx applied (block : Logical.block) =
                               col = h.Mining.Join_holes.left_col;
                             }
                           in
-                          log applied "hole_trimming" "tightened %s.%s"
+                          let tp = Interval.to_pred ref_ iv' in
+                          log ~premises:h_premises ~delta:(Pred_added tp)
+                            applied "hole_trimming" "tightened %s.%s"
                             sl.Logical.alias h.Mining.Join_holes.left_col;
                           result :=
                             {
@@ -797,8 +851,7 @@ let hole_trimming ctx applied (block : Logical.block) =
                                 !result.Logical.preds
                                 @ [
                                     Logical.introduced_pred
-                                      ~rule:"hole_trimming"
-                                      (Interval.to_pred ref_ iv');
+                                      ~rule:"hole_trimming" tp;
                                   ];
                             }
                       | None -> ()
@@ -823,10 +876,12 @@ let hole_trimming ctx applied (block : Logical.block) =
 let fds_for ctx table =
   let mined =
     List.filter
-      (fun (f : Mining.Fd_mine.fd) -> norm f.Mining.Fd_mine.table = norm table)
+      (fun (nf : named_fd) ->
+        norm nf.fd.Mining.Fd_mine.table = norm table)
       ctx.fds
-    |> List.map (fun f ->
-           (List.map norm f.Mining.Fd_mine.lhs, norm f.Mining.Fd_mine.rhs))
+    |> List.map (fun nf ->
+           ( List.map norm nf.fd.Mining.Fd_mine.lhs,
+             norm nf.fd.Mining.Fd_mine.rhs ))
   in
   let from_keys =
     match Database.find_table ctx.db table with
@@ -845,6 +900,15 @@ let fds_for ctx table =
           (usable_constraints ctx table)
   in
   mined @ from_keys
+
+(* Names of the catalog FDs backing a simplification on [table] — a
+   table-scoped over-approximation of the exact closure trace (declared
+   keys also feed the closure but need no guard, being enforced). *)
+let fd_premises ctx table =
+  List.filter_map
+    (fun (nf : named_fd) ->
+      if norm nf.fd.Mining.Fd_mine.table = norm table then nf.fd_sc else None)
+    ctx.fds
 
 let fd_closure fds start =
   let closure = ref start in
@@ -895,7 +959,12 @@ let fd_simplification ctx applied (block : Logical.block) =
                   fd_closure (fds_for ctx s.Logical.table) known
                 in
                 if List.mem (norm r.Expr.col) closure then begin
-                  log applied "fd_simplification"
+                  log
+                    ~premises:(fd_premises ctx s.Logical.table)
+                    ~delta:
+                      (Order_key_dropped
+                         { alias = s.Logical.alias; col = r.Expr.col })
+                    applied "fd_simplification"
                     "dropped redundant ORDER BY key %s.%s" s.Logical.alias
                     r.Expr.col;
                   false
@@ -947,6 +1016,14 @@ let fd_simplification ctx applied (block : Logical.block) =
     | Some k ->
         changed := true;
         group := List.filter (fun k' -> not (k' == k)) !group;
+        let k_premises =
+          match k with
+          | Expr.Col r -> (
+              match resolve_source ctx block r with
+              | Some s -> fd_premises ctx s.Logical.table
+              | None -> [])
+          | _ -> []
+        in
         (* a select item equal to the dropped key becomes MIN(key): the FD
            guarantees a single value per group, so MIN is value-preserving *)
         items :=
@@ -962,7 +1039,9 @@ let fd_simplification ctx applied (block : Logical.block) =
                         | Expr.Col r -> Some r.Expr.col
                         | _ -> None)
                   in
-                  log applied "fd_simplification"
+                  log ~premises:k_premises
+                    ~delta:(Group_key_dropped (Fmt.str "%a" Expr.pp e))
+                    applied "fd_simplification"
                     "GROUP BY key %s dropped; select item rewritten as MIN"
                     (Fmt.str "%a" Expr.pp e);
                   Sqlfe.Ast.Aggregate (Sqlfe.Ast.Min, Some e, name)
@@ -1045,8 +1124,10 @@ let twinning ctx applied (block : Logical.block) =
     if not (Interval.is_full iv || Interval.is_empty iv) then begin
       let r = { Expr.rel = Some alias; col = target_col } in
       let pred = Interval.to_pred r iv in
-      log ~sc applied "twinning" "%s: twinned %s.%s from %s.%s (conf %.2f)"
-        sc alias target_col alias source_col confidence;
+      log ~sc
+        ~delta:(Pred_twinned { pred; confidence })
+        applied "twinning" "%s: twinned %s.%s from %s.%s (conf %.2f)" sc alias
+        target_col alias source_col confidence;
       twins :=
         Logical.twin_pred ~sc ~confidence
           ~replaces:{ Expr.rel = Some alias; col = source_col }
@@ -1127,7 +1208,7 @@ let shape_introduction ctx applied (block : Logical.block) =
                 (fun (it : Logical.pred_item) -> it.Logical.pred = pred)
                 !new_items)
       then begin
-        log ~sc applied "predicate_introduction"
+        log ~sc ~delta:(Pred_added pred) applied "predicate_introduction"
           "range propagation via %s: %s" rule (Expr.to_string_pred pred);
         new_items := Logical.introduced_pred ~rule pred :: !new_items
       end
@@ -1195,6 +1276,15 @@ let shape_introduction ctx applied (block : Logical.block) =
 
 (* ---- driver ---------------------------------------------------------------- *)
 
+(* Names of every usable check on a block's sources: the (superset of)
+   premises behind an unsatisfiability proof — a premise superset is
+   sound for guarding purposes. *)
+let check_premises ctx (block : Logical.block) =
+  List.concat_map
+    (fun (s : Logical.source) ->
+      List.map fst (usable_checks ctx s.Logical.table))
+    block.Logical.from
+
 let falsify block =
   {
     block with
@@ -1206,7 +1296,10 @@ let falsify block =
 let rewrite_block_phase1 ctx applied block =
   let block =
     if ctx.flags.unionall_pruning && block_unsatisfiable ctx block then begin
-      log applied "unsatisfiable" "block contradicts its constraints";
+      log
+        ~premises:(check_premises ctx block)
+        ~delta:Block_falsified applied "unsatisfiable"
+        "block contradicts its constraints";
       falsify block
     end
     else block
@@ -1246,7 +1339,10 @@ let rec rewrite_query ctx applied (q : Logical.t) : Logical.t =
             | Logical.Block blk ->
                 if ctx.flags.unionall_pruning && block_unsatisfiable ctx blk
                 then begin
-                  log applied "unionall_pruning" "pruned a branch";
+                  log
+                    ~premises:(check_premises ctx blk)
+                    ~delta:Branch_pruned applied "unionall_pruning"
+                    "pruned a branch";
                   false
                 end
                 else true
@@ -1275,3 +1371,18 @@ let rewrite ctx (q : Logical.t) : Logical.t * applied list =
   (q', List.rev !applied)
 
 let pp_applied ppf a = Fmt.pf ppf "%s: %s" a.rule a.detail
+
+let pp_delta ppf = function
+  | Source_removed { alias; table } ->
+      Fmt.pf ppf "source %s (%s) removed" alias table
+  | Pred_added p -> Fmt.pf ppf "added %s" (Expr.to_string_pred p)
+  | Pred_twinned { pred; confidence } ->
+      Fmt.pf ppf "twin %s (conf %.2f)" (Expr.to_string_pred pred) confidence
+  | Order_key_dropped { alias; col } ->
+      Fmt.pf ppf "ORDER BY key %s.%s dropped" alias col
+  | Group_key_dropped k -> Fmt.pf ppf "GROUP BY key %s dropped" k
+  | Union_split { fast_pred; exc_table } ->
+      Fmt.pf ppf "split into (fast: %s) UNION ALL (exceptions: %s)"
+        (Expr.to_string_pred fast_pred) exc_table
+  | Branch_pruned -> Fmt.pf ppf "UNION ALL branch pruned"
+  | Block_falsified -> Fmt.pf ppf "block proven empty"

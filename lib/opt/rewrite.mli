@@ -56,6 +56,13 @@ type exception_info = {
   exc_check : Expr.pred;
 }
 
+type named_fd = { fd_sc : string option; fd : Mining.Fd_mine.fd }
+(** A mined FD tagged with the catalog constraint it came from (None for
+    artifacts fed in directly, e.g. by unit tests), so certificates can
+    name their premises. *)
+
+type named_holes = { holes_sc : string option; holes : Mining.Join_holes.t }
+
 type ctx = {
   db : Database.t;
   flags : flags;
@@ -65,16 +72,37 @@ type ctx = {
           enabling range propagation where generic folding needs an
           equality *)
   sscs : ssc list;
-  fds : Mining.Fd_mine.fd list;  (** valid (ASC-class) FDs *)
-  holes : Mining.Join_holes.t list;
+  fds : named_fd list;  (** valid (ASC-class) FDs *)
+  holes : named_holes list;
   exceptions : exception_info list;
 }
 
 val make_ctx :
   ?flags:flags -> ?ascs:Icdef.t list -> ?asc_shapes:ssc list ->
-  ?sscs:ssc list -> ?fds:Mining.Fd_mine.fd list ->
-  ?holes:Mining.Join_holes.t list -> ?exceptions:exception_info list ->
+  ?sscs:ssc list -> ?fds:named_fd list ->
+  ?holes:named_holes list -> ?exceptions:exception_info list ->
   Database.t -> ctx
+
+(** The structural change a rewrite made to the plan — together with the
+    premise list this forms the machine-checkable certificate that
+    {!Check.Cert} re-derives soundness from, independent of the rule
+    implementation that fired. *)
+type delta =
+  | Source_removed of { alias : string; table : string }
+  | Pred_added of Expr.pred
+      (** executable conjunct appended to WHERE *)
+  | Pred_twinned of { pred : Expr.pred; confidence : float }
+      (** estimation-only: must never reach the physical plan *)
+  | Order_key_dropped of { alias : string; col : string }
+  | Group_key_dropped of string
+  | Union_split of { fast_pred : Expr.pred; exc_table : string }
+  | Branch_pruned
+  | Block_falsified
+
+val delta_changes_results : delta -> bool
+(** [false] only for {!Pred_twinned}: every other delta alters the
+    executable plan and therefore needs an absolute (or enforced)
+    basis. *)
 
 type applied = {
   rule : string;
@@ -82,9 +110,14 @@ type applied = {
   sc : string option;
       (** the soft constraint (or IC) the rewrite relied on, for
           plan-cache dependency tracking (paper §4.1) *)
+  premises : string list;
+      (** every constraint name the soundness argument rests on: [sc]
+          plus secondary witnesses (the key behind a join elimination,
+          the checks behind an unsatisfiability proof, ...) *)
+  delta : delta;
 }
-(** One fired rewrite, for EXPLAIN, the experiment logs, and plan-cache
-    dependencies. *)
+(** One fired rewrite — certificate included — for EXPLAIN, the
+    experiment logs, plan-cache dependencies, and [softdb check]. *)
 
 val rewrite : ctx -> Logical.t -> Logical.t * applied list
 (** Run the full pipeline: pruning and join elimination and predicate
@@ -94,3 +127,4 @@ val rewrite : ctx -> Logical.t -> Logical.t * applied list
 val block_unsatisfiable : ctx -> Logical.block -> bool
 
 val pp_applied : Format.formatter -> applied -> unit
+val pp_delta : Format.formatter -> delta -> unit

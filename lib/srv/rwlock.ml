@@ -37,6 +37,9 @@ let create () =
   }
 
 let locked t f =
+  (* the short internal state mutex; callers hold the session mutex and
+     may logically hold the rwlock itself (reentrant re-acquire paths) *)
+  (* @acquires srv.rwlock.state while srv.session db.rwlock *)
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 

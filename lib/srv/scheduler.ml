@@ -48,6 +48,7 @@ type t = {
 let default_workers () = max 2 (min 4 (Domain.recommended_domain_count () - 1))
 
 let locked t f =
+  (* @acquires srv.scheduler.queue *)
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
@@ -80,8 +81,10 @@ let requeue t job =
       job.expired Proto.Shutting_down
 
 let rec worker_loop t =
+  (* @acquires srv.scheduler.queue *)
   Mutex.lock t.m;
   while Queue.is_empty t.queue && not t.stopping do
+    (* @waits srv.scheduler.queue *)
     Condition.wait t.nonempty t.m
   done;
   if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.m

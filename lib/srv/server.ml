@@ -38,6 +38,9 @@ type t = {
 }
 
 let locked t f =
+  (* held during query execution too: the sys.sessions generator runs
+     under the executing session's locks *)
+  (* @acquires srv.server.registry while srv.session db.rwlock *)
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 

@@ -21,6 +21,25 @@
    transitions stay serialized while plain reads fan out between
    transactions.
 
+   Canonical lock-rank table, machine-read by the static lock-order
+   lint (Check.Lock_lint; see DESIGN.md §6).  Locks may only be
+   acquired in strictly increasing rank order; every acquisition site
+   declares what it takes and what is held with an [@acquires] (or
+   [@waits]) annotation, and the lint fails the build on a rank
+   inversion or an unannotated acquisition.
+
+   @lock-order srv.scheduler.queue rank=5
+   @lock-order srv.transport.chan rank=10
+   @lock-order srv.transport.write rank=12
+   @lock-order srv.session rank=20
+   @lock-order db.rwlock rank=30 reentrant
+   @lock-order srv.rwlock.state rank=40
+   @lock-order srv.server.registry rank=50
+   @lock-order core.plan_cache rank=60
+   @lock-order core.recalibration rank=70
+   @lock-order obs.metrics rank=80
+   @lock-order obs.query_log rank=85
+
    Prepared statements share plans across sessions: the cache key is the
    SQL text itself, so when session B prepares a query session A already
    compiled, B's handle binds to the same entry (a shared-hit metric
@@ -64,6 +83,7 @@ let make ~id ~sdb ~cache ~metrics =
   }
 
 let locked t f =
+  (* @acquires srv.session *)
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
@@ -167,6 +187,7 @@ let lock_timed_out ~deadline ~write =
 let under_lock ~rwlock ~deadline t ~write f =
   let attempt = slice_deadline deadline in
   let locked_run =
+    (* @acquires db.rwlock while srv.session *)
     if write then Rwlock.write_locked ~deadline:attempt rwlock ~session:t.id f
     else Rwlock.read_locked ~deadline:attempt rwlock ~session:t.id f
   in
@@ -233,6 +254,7 @@ let execute_prepared ~rwlock ~deadline t handle =
 let begin_txn ~rwlock ~deadline t =
   if t.txn <> None then failed Proto.Txn_error "already in a transaction"
   else if
+    (* @acquires db.rwlock while srv.session *)
     not
       (Rwlock.acquire_write ~deadline:(slice_deadline deadline) rwlock
          ~session:t.id)

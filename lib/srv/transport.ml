@@ -45,6 +45,7 @@ let chan () =
   }
 
 let chan_send c line =
+  (* @acquires srv.transport.chan *)
   Mutex.lock c.m;
   let closed = c.closed in
   if not closed then begin
@@ -55,8 +56,10 @@ let chan_send c line =
   if closed then raise Closed
 
 let chan_recv c =
+  (* @acquires srv.transport.chan *)
   Mutex.lock c.m;
   while Queue.is_empty c.q && not c.closed do
+    (* @waits srv.transport.chan *)
     Condition.wait c.nonempty c.m
   done;
   let r = if Queue.is_empty c.q then None else Some (Queue.pop c.q) in
@@ -64,6 +67,7 @@ let chan_recv c =
   r
 
 let chan_close c =
+  (* @acquires srv.transport.chan *)
   Mutex.lock c.m;
   c.closed <- true;
   Condition.broadcast c.nonempty;
@@ -104,6 +108,7 @@ let of_fd fd ~peer =
   let wm = Mutex.create () in
   let closed = ref false in
   let send line =
+    (* @acquires srv.transport.write *)
     Mutex.lock wm;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock wm)
@@ -117,6 +122,7 @@ let of_fd fd ~peer =
   in
   let recv () = try Some (input_line ic) with End_of_file | Sys_error _ -> None in
   let close () =
+    (* @acquires srv.transport.write *)
     Mutex.lock wm;
     if not !closed then begin
       closed := true;

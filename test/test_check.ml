@@ -1,0 +1,431 @@
+(* Tests for the static-analysis subsystem (lib/check): the certificate
+   checker rejects deliberately unsound certificates and accepts every
+   certificate the rewriter actually emits; the catalog linter flags a
+   contradictory SC pair, duplicate FDs, and dead SSCs; the lock-order
+   lint catches rank inversions and unannotated sites in synthetic
+   sources and passes on the real tree; the interface-coverage lint
+   passes on the real tree; the differential check re-runs every
+   query-suite scenario with rewrites on vs off and demands identical
+   result sets; and sc_guard_fallbacks counts exactly once per guarded
+   statement (multi-guard plans, re-executed invalidated cache entries). *)
+
+open Rel
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let errors_of diags = List.length (Check.Diag.errors diags)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let has_error_containing diags sub =
+  List.exists
+    (fun (d : Check.Diag.t) ->
+      Check.Diag.is_error d && contains d.Check.Diag.message sub)
+    diags
+
+let has_diag_containing diags sub =
+  List.exists
+    (fun (d : Check.Diag.t) -> contains d.Check.Diag.message sub)
+    diags
+
+(* ---- fixtures -------------------------------------------------------------- *)
+
+(* [late = 0.0] mines the band as absolute; a positive late fraction
+   leaves violations so a sub-1.0 band stays statistical. *)
+let purchase_banded ?(confidence = 1.0) ?(name = "band") ?(late = 0.0) () =
+  let sdb = Core.Softdb.create () in
+  Workload.Purchase.load
+    ~config:
+      {
+        Workload.Purchase.default_config with
+        rows = 3_000;
+        late_fraction = late;
+        seed = 7;
+      }
+    (Core.Softdb.db sdb);
+  Core.Softdb.runstats sdb;
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "purchase" in
+  let d =
+    Option.get
+      (Mining.Diff_band.mine tbl ~col_hi:"ship_date" ~col_lo:"order_date")
+  in
+  let band = Option.get (Mining.Diff_band.band_with d ~confidence) in
+  let kind =
+    if band.Mining.Diff_band.confidence >= 1.0 then
+      Core.Soft_constraint.Absolute
+    else Core.Soft_constraint.Statistical band.Mining.Diff_band.confidence
+  in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name ~table:"purchase" ~kind
+       ~installed_at_mutations:(Table.mutations tbl)
+       (Core.Soft_constraint.Diff_stmt (d, band)));
+  sdb
+
+let ship_eq = "SELECT * FROM purchase WHERE ship_date = DATE '1999-06-15'"
+
+let violating_insert sdb =
+  Workload.Purchase.insert_batch ~violating:1.0 ~rng:(Stats.Rng.create 97)
+    ~start_id:9_000_000 ~count:1 (Core.Softdb.db sdb)
+
+(* ---- certificate checker --------------------------------------------------- *)
+
+(* The rewriter's own certificate on the banded fixture is sound... *)
+let test_cert_sound () =
+  let sdb = purchase_banded () in
+  let report, diags = Check.Cert.check_query sdb ship_eq in
+  check tbool "predicate_introduction fired" true
+    (Opt.Explain.certificates report <> []);
+  check tint "no diagnostics" 0 (List.length diags)
+
+(* ...and hand-tampered variants of it are each rejected. *)
+let test_cert_unsound () =
+  let sdb = purchase_banded () in
+  let report =
+    Core.Softdb.optimize sdb (Sqlfe.Parser.parse_query_string ship_eq)
+  in
+  let c =
+    match Opt.Explain.certificates report with
+    | c :: _ -> c
+    | [] -> Alcotest.fail "expected a certificate"
+  in
+  let guards = report.Opt.Explain.guards in
+  let recheck ?(guards = guards) ?(has_backup = true) c =
+    Check.Cert.check_certificate sdb ~guards ~has_backup c
+  in
+  check tint "sound as emitted" 0 (List.length (recheck c));
+  check tbool "unknown premise is rejected" true
+    (has_error_containing
+       (recheck { c with Opt.Explain.cert_premises = [ "no_such_sc" ] })
+       "no declared IC or catalog SC");
+  check tbool "ASC premise outside the guard set is rejected" true
+    (has_error_containing (recheck ~guards:[] c) "not in the plan's guard set");
+  check tbool "guarded plan without backup is rejected" true
+    (has_error_containing (recheck ~has_backup:false c) "no backup");
+  check tbool "flag/delta disagreement is rejected" true
+    (has_error_containing
+       (recheck { c with Opt.Explain.cert_result_changing = false })
+       "disagrees with the delta");
+  check tbool "delta shape must match the rule" true
+    (has_error_containing
+       (recheck { c with Opt.Explain.cert_rule = "twinning" })
+       "does not match the rule");
+  check tbool "rule requiring premises may not name none" true
+    (has_error_containing
+       (recheck { c with Opt.Explain.cert_premises = [] })
+       "requires a constraint basis");
+  (* an overturned SC is no longer a valid basis *)
+  violating_insert sdb;
+  check tbool "overturned premise is rejected" true
+    (has_error_containing (recheck c) "not usable")
+
+let test_cert_statistical_basis () =
+  let sdb = purchase_banded ~confidence:0.99 ~name:"band_ssc" ~late:0.01 () in
+  let report =
+    Core.Softdb.optimize sdb (Sqlfe.Parser.parse_query_string ship_eq)
+  in
+  (* forge a result-changing certificate resting on the statistical band *)
+  let forged =
+    {
+      Opt.Explain.cert_rule = "predicate_introduction";
+      cert_detail = "forged";
+      cert_premises = [ "band_ssc" ];
+      cert_delta = Opt.Rewrite.Pred_added Expr.Ptrue;
+      cert_result_changing = true;
+    }
+  in
+  let diags =
+    Check.Cert.check_certificate sdb ~guards:report.Opt.Explain.guards
+      ~has_backup:true forged
+  in
+  check tbool "statistical basis for result-changing rewrite rejected" true
+    (has_error_containing diags "estimation-only basis")
+
+(* Twins stay estimation-only: the SSC fixture's twinned query produces a
+   clean report, and the checker would catch a twin leaked into the plan. *)
+let test_twin_isolation () =
+  let sdb = purchase_banded ~confidence:0.99 ~name:"band_ssc" ~late:0.01 () in
+  let sql =
+    "SELECT * FROM purchase WHERE order_date BETWEEN DATE '1999-06-01' AND \
+     DATE '1999-06-30' AND ship_date <= DATE '1999-07-05'"
+  in
+  let report, diags = Check.Cert.check_query sdb sql in
+  check tbool "twinning fired" true
+    (List.exists
+       (fun (c : Opt.Explain.certificate) ->
+         c.Opt.Explain.cert_rule = "twinning")
+       (Opt.Explain.certificates report));
+  check tint "twinned report is clean" 0 (List.length diags);
+  (* graft the twin into the executable plan: the checker must object *)
+  let twin_pred =
+    List.find_map
+      (fun (c : Opt.Explain.certificate) ->
+        match c.Opt.Explain.cert_delta with
+        | Opt.Rewrite.Pred_twinned { pred; _ } -> Some pred
+        | _ -> None)
+      (Opt.Explain.certificates report)
+  in
+  let twin_pred = Option.get twin_pred in
+  let leaked =
+    {
+      report with
+      Opt.Explain.plan =
+        Exec.Plan.Filter { input = report.Opt.Explain.plan; pred = twin_pred };
+    }
+  in
+  check tbool "leaked twin predicate is caught" true
+    (has_error_containing
+       (Check.Cert.check_report sdb leaked)
+       "appears among the plan's executable predicates")
+
+(* ---- catalog linter -------------------------------------------------------- *)
+
+let test_catalog_contradiction () =
+  let sdb = Core.Softdb.create () in
+  ignore (Core.Softdb.exec sdb "CREATE TABLE t (v INT)");
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE t ADD CONSTRAINT c_lo CHECK (v >= 10) SOFT");
+  check tint "single check is fine" 0
+    (errors_of (Check.Catalog_lint.lint sdb));
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE t ADD CONSTRAINT c_hi CHECK (v <= 5) SOFT");
+  let diags = Check.Catalog_lint.lint sdb in
+  check tbool "contradictory pair is an error" true
+    (has_error_containing diags "contradictory")
+
+let test_catalog_fd_dupes () =
+  let sdb = Core.Softdb.create () in
+  ignore (Core.Softdb.exec sdb "CREATE TABLE p (a INT, b INT, c INT)");
+  let install name lhs =
+    Core.Softdb.install_sc sdb
+      (Core.Soft_constraint.make ~name ~table:"p" ~installed_at_mutations:0
+         (Core.Soft_constraint.Fd_stmt
+            { Mining.Fd_mine.table = "p"; lhs; rhs = "c" }))
+  in
+  install "fd_wide" [ "a"; "b" ];
+  install "fd_narrow" [ "a" ];
+  install "fd_narrow2" [ "a" ];
+  let diags = Check.Catalog_lint.lint sdb in
+  check tbool "subsumed FD flagged" true (has_diag_containing diags "subsumed");
+  check tbool "duplicate FD flagged" true
+    (has_diag_containing diags "duplicates");
+  check tint "lint warnings are not errors" 0 (errors_of diags)
+
+let test_catalog_dead_ssc () =
+  let sdb = purchase_banded ~confidence:0.99 ~name:"band_ssc" ~late:0.01 () in
+  check tint "live SSC is clean" 0 (List.length (Check.Catalog_lint.lint sdb));
+  (* push the currency anchor far into the past: the §3.3 decay drives
+     the usable confidence to the floor and the linter calls it dead *)
+  let sc =
+    Option.get (Core.Sc_catalog.find (Core.Softdb.catalog sdb) "band_ssc")
+  in
+  sc.Core.Soft_constraint.installed_at_mutations <- -1_000_000;
+  let diags = Check.Catalog_lint.lint sdb in
+  check tbool "decayed SSC flagged as dead weight" true
+    (List.exists
+       (fun (d : Check.Diag.t) ->
+         d.Check.Diag.severity = Check.Diag.Warning
+         && d.Check.Diag.pass = "catalog")
+       diags)
+
+(* ---- lock-order lint ------------------------------------------------------- *)
+
+let decls =
+  "(* @lock-order lk.a rank=10 *)\n\
+   (* @lock-order lk.b rank=20 *)\n\
+   (* @lock-order lk.r rank=30 reentrant *)\n"
+
+let test_lock_lint_synthetic () =
+  let lint body = Check.Lock_lint.lint_sources [ ("good.ml", decls ^ body) ] in
+  check tint "ordered acquisition passes" 0
+    (errors_of
+       (lint "(* @acquires lk.b while lk.a *)\nlet f m = Mutex.lock m\n"));
+  check tbool "rank inversion fails" true
+    (has_error_containing
+       (lint "(* @acquires lk.a while lk.b *)\nlet f m = Mutex.lock m\n")
+       "lock-order violation");
+  check tbool "unannotated acquisition fails" true
+    (has_error_containing (lint "let f m = Mutex.lock m\n") "unannotated");
+  check tbool "undeclared lock fails" true
+    (has_error_containing
+       (lint "(* @acquires lk.zzz *)\nlet f m = Mutex.lock m\n")
+       "undeclared");
+  check tint "reentrant self-acquisition passes" 0
+    (errors_of
+       (lint "(* @acquires lk.r while lk.r *)\nlet f m = Mutex.lock m\n"));
+  check tbool "non-reentrant self-acquisition fails" true
+    (has_error_containing
+       (lint "(* @acquires lk.a while lk.a *)\nlet f m = Mutex.lock m\n")
+       "re-acquires");
+  check tbool "waiting on an undeclared lock fails" true
+    (has_error_containing
+       (lint "(* @waits lk.zzz *)\nlet f c = Condition.wait c\n")
+       "undeclared");
+  check tint "lock-ignore suppresses" 0
+    (errors_of (lint "(* @lock-ignore *)\nlet f m = Mutex.lock m\n"));
+  check tbool "conflicting declarations fail" true
+    (has_error_containing
+       (Check.Lock_lint.lint_sources
+          [ ("a.ml", "(* @lock-order lk.x rank=1 *)\n");
+            ("b.ml", "(* @lock-order lk.x rank=2 *)\n") ])
+       "conflicting")
+
+(* ---- the real tree --------------------------------------------------------- *)
+
+let find_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_real_tree_lints () =
+  match find_root () with
+  | None -> () (* not running from a build tree; covered by `softdb check` *)
+  | Some root ->
+      let files = Check.Driver.lock_scan_files ~root in
+      check tbool "lock lint scans the srv sources" true
+        (List.exists
+           (fun f -> Filename.basename f = "scheduler.ml")
+           files);
+      check tint "real tree is lock-clean" 0
+        (errors_of (Check.Lock_lint.lint_files files));
+      check tint "every lib module has an interface" 0
+        (errors_of (Check.Iface_lint.lint ~root))
+
+(* ---- differential rewrite check -------------------------------------------- *)
+
+(* Every query-suite scenario, rewrites on vs off, identical result sets
+   — the dynamic complement of the certificate checker. *)
+let test_differential_registry () =
+  List.iter
+    (fun (f : Benchkit.Scenario.fixture) ->
+      let sdb = f.Benchkit.Scenario.fixture_setup Benchkit.Scenario.Quick in
+      List.iter
+        (fun sql ->
+          let on = Core.Softdb.query ~flags:Opt.Rewrite.all_on sdb sql in
+          let off = Core.Softdb.query_baseline sdb sql in
+          check tbool
+            (Printf.sprintf "%s: rewrites preserve results for %s"
+               f.Benchkit.Scenario.fixture_name sql)
+            true
+            (Exec.Executor.same_rows on off))
+        f.Benchkit.Scenario.fixture_queries)
+    Benchkit.Scenario.fixtures
+
+(* ...and the certificate checker is clean across the same registry. *)
+let test_registry_certificates () =
+  let fixtures =
+    List.map
+      (fun (f : Benchkit.Scenario.fixture) ->
+        {
+          Check.Driver.fx_name = f.Benchkit.Scenario.fixture_name;
+          fx_sdb = f.Benchkit.Scenario.fixture_setup Benchkit.Scenario.Quick;
+          fx_queries = f.Benchkit.Scenario.fixture_queries;
+        })
+      Benchkit.Scenario.fixtures
+  in
+  let report, diags = Check.Driver.run fixtures in
+  check tint "registry certificates are clean" 0 (errors_of diags);
+  check tbool "report renders a PASS line" true (contains report "PASS")
+
+(* ---- sc_guard_fallbacks accounting ----------------------------------------- *)
+
+let fallbacks sdb =
+  Obs.Metrics.counter (Core.Softdb.metrics sdb) "sc_guard_fallbacks"
+
+(* One guarded statement with several failed guards still counts once. *)
+let test_fallback_once_per_statement () =
+  let sdb = purchase_banded () in
+  let tbl = Database.table_exn (Core.Softdb.db sdb) "purchase" in
+  let d =
+    Option.get
+      (Mining.Diff_band.mine tbl ~col_hi:"ship_date" ~col_lo:"order_date")
+  in
+  let band = Option.get (Mining.Diff_band.band_with d ~confidence:1.0) in
+  Core.Softdb.install_sc sdb
+    (Core.Soft_constraint.make ~name:"band2" ~table:"purchase"
+       ~installed_at_mutations:(Table.mutations tbl)
+       (Core.Soft_constraint.Diff_stmt (d, band)));
+  let report =
+    Core.Softdb.optimize sdb (Sqlfe.Parser.parse_query_string ship_eq)
+  in
+  check tbool "plan carries several guards" true
+    (List.length (List.sort_uniq String.compare report.Opt.Explain.guards) >= 2);
+  let _, fell_back = Core.Softdb.execute_report sdb report in
+  check tbool "fresh plan does not fall back" false fell_back;
+  check tint "no fallback counted" 0 (fallbacks sdb);
+  violating_insert sdb;
+  (* both bands are now overturned; the statement falls back once *)
+  let _, fell_back = Core.Softdb.execute_report sdb report in
+  check tbool "stale plan falls back" true fell_back;
+  check tint "one fallback per guarded statement" 1 (fallbacks sdb);
+  let _, _ = Core.Softdb.execute_report sdb report in
+  check tint "each guarded execution counts once" 2 (fallbacks sdb)
+
+(* A cached plan that went invalid counts its fallback once, at the
+   transition — not on every later execution of the backup. *)
+let test_fallback_once_per_cache_entry () =
+  let sdb = purchase_banded () in
+  let cache = Core.Plan_cache.create ~capacity:4 sdb in
+  ignore (Core.Plan_cache.prepare cache ~name:"q" ship_eq);
+  ignore (Core.Plan_cache.execute cache "q");
+  check tint "valid entry: no fallback" 0 (fallbacks sdb);
+  violating_insert sdb;
+  for _ = 1 to 3 do
+    ignore (Core.Plan_cache.execute cache "q")
+  done;
+  let s = Core.Plan_cache.stats cache in
+  check tint "backup ran every time" 3 s.Core.Plan_cache.backup_runs;
+  check tint "fallback counted once, at invalidation" 1 (fallbacks sdb)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "cert",
+        [
+          Alcotest.test_case "sound certificate accepted" `Quick
+            test_cert_sound;
+          Alcotest.test_case "unsound certificates rejected" `Quick
+            test_cert_unsound;
+          Alcotest.test_case "statistical basis rejected" `Quick
+            test_cert_statistical_basis;
+          Alcotest.test_case "twin isolation" `Quick test_twin_isolation;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "contradictory SC pair" `Quick
+            test_catalog_contradiction;
+          Alcotest.test_case "duplicate and subsumed FDs" `Quick
+            test_catalog_fd_dupes;
+          Alcotest.test_case "dead SSC" `Quick test_catalog_dead_ssc;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "synthetic orderings" `Quick
+            test_lock_lint_synthetic;
+          Alcotest.test_case "real tree" `Quick test_real_tree_lints;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "rewrites preserve results" `Slow
+            test_differential_registry;
+          Alcotest.test_case "registry certificates" `Slow
+            test_registry_certificates;
+        ] );
+      ( "fallbacks",
+        [
+          Alcotest.test_case "once per guarded statement" `Quick
+            test_fallback_once_per_statement;
+          Alcotest.test_case "once per cache entry" `Quick
+            test_fallback_once_per_cache_entry;
+        ] );
+    ]
