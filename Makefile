@@ -1,5 +1,5 @@
 .PHONY: all build test check lint faultcheck servecheck bench benchcheck \
-	benchbaseline fmt clean
+	benchbaseline partcheck partbaseline fmt clean
 
 all: build
 
@@ -48,6 +48,23 @@ benchcheck: build
 benchbaseline: build
 	dune exec bench/benchrun.exe -- --quick --label baseline \
 	  --out bench/baseline.json
+
+# the partition gate: the purchase id-range suite at 1, 4 and 8 range
+# segments; the 4/8-way runs must return the same rows as the baseline
+# and every pruned segment must report zero rows_scanned / pages_read —
+# the per-partition counters gate with zero absolute slack
+partcheck: build
+	dune exec bench/benchrun.exe -- --quick --label partcheck \
+	  --out PARTBENCH.json --scenario purchase/part1 \
+	  --scenario purchase/part4 --scenario purchase/part8
+	dune exec bin/softdb.exe -- benchdiff bench/part_baseline.json PARTBENCH.json
+
+# refresh the partition baseline after an intentional change to the
+# partitioned scenarios or the pruning planner
+partbaseline: build
+	dune exec bench/benchrun.exe -- --quick --label baseline \
+	  --out bench/part_baseline.json --scenario purchase/part1 \
+	  --scenario purchase/part4 --scenario purchase/part8
 
 fmt:
 	dune fmt

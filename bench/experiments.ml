@@ -497,7 +497,11 @@ let e8 () =
       | Exec.Plan.Nested_loop_join { left; right; _ } ->
           go left + go right
       | Exec.Plan.Union_all l -> List.fold_left (fun a p -> a + go p) 0 l
-      | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _ -> 0
+      | Exec.Plan.Scatter_gather { children; _ } ->
+          List.fold_left (fun a (_, p) -> a + go p) 0 children
+      | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _
+      | Exec.Plan.Partition_scan _ ->
+          0
     in
     go report.Opt.Explain.plan
   in

@@ -29,6 +29,12 @@ let default_thresholds =
     { prefix = "sc_guard_fallbacks"; direction = Exact; rel_slack = 0.0;
       abs_slack = 0.0 };
     { prefix = "wal."; direction = Exact; rel_slack = 0.0; abs_slack = 0.0 };
+    (* per-partition scan counters: zero abs slack, so a pruned segment
+       that starts contributing any work at all fails the gate *)
+    { prefix = "partition."; direction = Higher_worse; rel_slack = 0.05;
+      abs_slack = 0.0 };
+    { prefix = "partitions"; direction = Exact; rel_slack = 0.0;
+      abs_slack = 0.0 };
     { prefix = "rows_returned"; direction = Exact; rel_slack = 0.0;
       abs_slack = 0.0 };
     { prefix = "queries"; direction = Exact; rel_slack = 0.0;

@@ -211,8 +211,11 @@ let apb_queries = Workload.Apb.queries
 (* ---- suite execution ---------------------------------------------------- *)
 
 (* Run every query through EXPLAIN ANALYZE, folding the instrumented
-   actuals into the deterministic section. *)
-let run_suite ?flags sdb sqls =
+   actuals into the deterministic section.  With [partitions:n] the
+   per-partition scan counters ({!Exec.Operators.Counters.partition_counts})
+   are folded in as [partition.<i>.rows_scanned] / [partition.<i>.pages_read]
+   — zero for a segment every query pruned, which the bench gate holds. *)
+let run_suite ?flags ?partitions sdb sqls =
   let module E = Opt.Explain in
   let module C = Exec.Operators.Counters in
   let queries = ref 0
@@ -220,6 +223,11 @@ let run_suite ?flags sdb sqls =
   and scanned = ref 0
   and pages = ref 0
   and probes = ref 0 in
+  let part_rows, part_pages =
+    match partitions with
+    | Some n -> (Array.make n 0, Array.make n 0)
+    | None -> ([||], [||])
+  in
   let rewrites = ref [] in
   let bump rule n =
     let seen = try List.assoc rule !rewrites with Not_found -> 0 in
@@ -239,6 +247,13 @@ let run_suite ?flags sdb sqls =
       scanned := !scanned + c.C.rows_scanned;
       pages := !pages + c.C.pages_read;
       probes := !probes + c.C.index_probes;
+      List.iter
+        (fun (_table, p, r, pg) ->
+          if p >= 0 && p < Array.length part_rows then begin
+            part_rows.(p) <- part_rows.(p) + r;
+            part_pages.(p) <- part_pages.(p) + pg
+          end)
+        (C.partition_counts c);
       List.iter (fun (rule, n) -> bump rule n)
         (E.rewrite_counts a.E.a_report);
       q_total_max := Float.max !q_total_max a.E.total_q_error;
@@ -264,11 +279,23 @@ let run_suite ?flags sdb sqls =
     ]
     @ List.map (fun (rule, n) -> ("rewrites." ^ rule, float_of_int n))
         !rewrites
+    @ (match partitions with
+      | None -> []
+      | Some n ->
+          ("partitions", float_of_int n)
+          :: List.concat
+               (List.init n (fun i ->
+                    [
+                      ( Printf.sprintf "partition.%d.rows_scanned" i,
+                        float_of_int part_rows.(i) );
+                      ( Printf.sprintf "partition.%d.pages_read" i,
+                        float_of_int part_pages.(i) );
+                    ])))
   in
   (deterministic, [ ("elapsed_ms", elapsed_ms) ])
 
-let suite_result ~scenario ~workload ~mode ?flags sdb sqls =
-  let deterministic, wallclock = run_suite ?flags sdb sqls in
+let suite_result ~scenario ~workload ~mode ?flags ?partitions sdb sqls =
+  let deterministic, wallclock = run_suite ?flags ?partitions sdb sqls in
   Measure.make_result ~scenario ~workload ~mode ~deterministic ~wallclock
 
 (* ---- the guarded-fallback scenario -------------------------------------- *)
@@ -377,6 +404,43 @@ let wal_result scale =
       ]
     ~wallclock:[ ("elapsed_ms", elapsed_ms) ]
 
+(* ---- the partitioned scenarios ------------------------------------------ *)
+
+(* Purchase partitioned by RANGE (id) into [parts] even segments, each
+   segment's observed id band mined as an overturnable domain SC.  The
+   1-segment variant is the same suite unpartitioned — the scatter-gather
+   baseline the 4/8-way runs are read against. *)
+
+let partition_bounds ~parts ~rows =
+  List.init (parts - 1) (fun i -> rows * (i + 1) / parts)
+
+let partitioned_purchase_sdb ~parts scale =
+  let sdb = purchase_sdb scale in
+  if parts > 1 then begin
+    let rows = (purchase_config scale).Workload.Purchase.rows in
+    ignore
+      (Core.Softdb.exec sdb
+         (Printf.sprintf
+            "ALTER TABLE purchase PARTITION BY RANGE (id) BOUNDS (%s)"
+            (String.concat ", "
+               (List.map string_of_int (partition_bounds ~parts ~rows)))));
+    ignore (Core.Softdb.mine_partition_domains sdb ~table:"purchase")
+  end;
+  sdb
+
+(* Every predicate keys on the bottom eighth of the id domain — plus one
+   probe past the maximum — so at 4 and 8 segments everything beyond the
+   first segment or two is pruned, by routing alone or by the mined
+   domain SCs, and must report zero in the per-partition section. *)
+let partition_queries ~rows =
+  [
+    Printf.sprintf "SELECT * FROM purchase WHERE id < %d" (rows / 8);
+    Printf.sprintf "SELECT id, amount FROM purchase WHERE id BETWEEN %d AND %d"
+      (rows / 16) (rows / 10);
+    Printf.sprintf "SELECT id, region FROM purchase WHERE id = %d" (rows / 12);
+    Printf.sprintf "SELECT id FROM purchase WHERE id > %d" (rows + 50);
+  ]
+
 (* ---- registry ----------------------------------------------------------- *)
 
 type t = {
@@ -398,6 +462,30 @@ let suite_scenario ~workload ~mode ~descr ?flags setup queries =
       (fun scale ->
         let sdb = setup scale in
         suite_result ~scenario:name ~workload ~mode ?flags sdb queries);
+  }
+
+let part_scenario parts =
+  let mode = Printf.sprintf "part%d" parts in
+  let name = "purchase/" ^ mode in
+  {
+    name;
+    workload = "purchase";
+    mode;
+    descr =
+      (if parts = 1 then
+         "the id-range pruning suite unpartitioned: scatter-gather baseline"
+       else
+         Printf.sprintf
+           "id-range pruning over %d range segments with mined domain SCs"
+           parts);
+    exec =
+      (fun scale ->
+        let sdb = partitioned_purchase_sdb ~parts scale in
+        let rows = (purchase_config scale).Workload.Purchase.rows in
+        suite_result ~scenario:name ~workload:"purchase" ~mode
+          ?partitions:(if parts > 1 then Some parts else None)
+          sdb
+          (partition_queries ~rows));
   }
 
 let all =
@@ -428,6 +516,9 @@ let all =
         descr = "durability path: logged bytes before/after checkpoint";
         exec = wal_result;
       };
+      part_scenario 1;
+      part_scenario 4;
+      part_scenario 8;
       suite_scenario ~workload:"project" ~mode:"off"
         ~descr:"correlated-date queries under the independence assumption"
         ~flags:Opt.Rewrite.all_off project_sdb project_queries;
@@ -476,6 +567,14 @@ let fixtures =
       fixture_name = "purchase/ssc";
       fixture_setup = purchase_ssc_sdb;
       fixture_queries = purchase_twin_queries;
+    };
+    {
+      (* queries pinned to the quick-scale id domain: the checker
+         re-derives every partition prune from the query + catalog it is
+         given, so the fixed bounds stay sound at any scale *)
+      fixture_name = "purchase/part4";
+      fixture_setup = partitioned_purchase_sdb ~parts:4;
+      fixture_queries = partition_queries ~rows:6_000;
     };
     {
       fixture_name = "project/off";

@@ -8,7 +8,11 @@
     result-changing rewrites), [ssc] (statistical constraints driving
     twinned cardinality estimation), [guarded] (prepared plans whose ASC
     is overturned mid-stream, exercising backup-plan fallback and the
-    plan cache), and [wal] (the durability path, measuring logged bytes).
+    plan cache), [wal] (the durability path, measuring logged bytes), and
+    [part1]/[part4]/[part8] (purchase partitioned by RANGE (id) into 1, 4
+    or 8 segments: partition pruning + scatter-gather, with per-partition
+    scan counters in the deterministic section — pruned segments must
+    report zero).
 
     Every data generator is seeded explicitly here — never from a
     default or the clock — so two runs of the same commit produce

@@ -55,6 +55,7 @@ let shape_ok rule (delta : Opt.Rewrite.delta) =
       (Opt.Rewrite.Order_key_dropped _ | Opt.Rewrite.Group_key_dropped _) )
   | "unsatisfiable", Opt.Rewrite.Block_falsified
   | "unionall_pruning", Opt.Rewrite.Branch_pruned
+  | "partition_pruning", Opt.Rewrite.Partition_pruned _
   | "twinning", Opt.Rewrite.Pred_twinned _ ->
       true
   | _ -> false
@@ -160,6 +161,9 @@ let rec plan_preds acc (p : Exec.Plan.t) =
   | Exec.Plan.Merge_join { left; right; residual; _ } ->
       plan_preds (plan_preds (residual :: acc) left) right
   | Exec.Plan.Union_all inputs -> List.fold_left plan_preds acc inputs
+  | Exec.Plan.Partition_scan { filter; _ } -> filter :: acc
+  | Exec.Plan.Scatter_gather { children; _ } ->
+      List.fold_left (fun acc (_, p) -> plan_preds acc p) acc children
 
 let twin_diags (report : Opt.Explain.report) =
   let twins = twin_items [] report.Opt.Explain.rewritten in
@@ -203,6 +207,140 @@ let twin_diags (report : Opt.Explain.report) =
   in
   flag_diags @ leak_diags
 
+(* ---- partition-prune re-derivation ---------------------------------------- *)
+
+(* Re-derive every [Partition_pruned] certificate without trusting the
+   rewriter: the pruned segment's constraint — its routing bounds,
+   tightened by whichever premises are partition-domain SCs of that
+   segment — must contradict the block's executable predicates, and the
+   contradiction must be anchored by a query predicate on the same column
+   (a constraint interval alone proves nothing about rows the query has
+   not already confined to non-NULL; CHECK semantics pass on UNKNOWN).
+   Hash segments carry no interval constraint, so a hash prune is only
+   sound when an equality on the partition column routes elsewhere. *)
+
+let norm = String.lowercase_ascii
+
+let rec strip_null_arms = function
+  | Expr.Or (p, Expr.Is_null _) -> strip_null_arms p
+  | p -> p
+
+let requalify alias p =
+  Expr.map_cols_pred
+    (fun r ->
+      match r.Expr.rel with
+      | None -> { r with Expr.rel = Some alias }
+      | Some _ -> r)
+    p
+
+let partition_diags sdb (report : Opt.Explain.report) =
+  let db = Core.Softdb.db sdb in
+  let catalog = Core.Softdb.catalog sdb in
+  let rec blocks acc = function
+    | Opt.Logical.Block b -> b :: acc
+    | Opt.Logical.Union ts -> List.fold_left blocks acc ts
+  in
+  let blks = blocks [] report.Opt.Explain.rewritten in
+  let check_prune (c : Opt.Explain.certificate) ~table ~alias ~partition =
+    let subject = c.Opt.Explain.cert_rule in
+    let fail fmt = Diag.error ~pass ~subject fmt in
+    match Database.partitioning db table with
+    | None -> [ fail "%s is not partitioned but a prune names it" table ]
+    | Some part when partition < 0 || partition >= Partition.count part ->
+        [ fail "pruned partition %d out of range for %s" partition table ]
+    | Some part -> (
+        let block =
+          List.find_opt
+            (fun (b : Opt.Logical.block) ->
+              List.exists
+                (fun (s : Opt.Logical.source) ->
+                  norm s.Opt.Logical.alias = norm alias
+                  && norm s.Opt.Logical.table = norm table)
+                b.Opt.Logical.from)
+            blks
+        in
+        match block with
+        | None ->
+            [ fail "pruned source %s (%s) not found in the rewritten query"
+                alias table ]
+        | Some block ->
+            let key_of (r : Expr.col_ref) =
+              match Opt.Logical.sources_of_col db block r with
+              | [ s ] ->
+                  Some (norm s.Opt.Logical.alias ^ "." ^ norm r.Expr.col)
+              | _ -> None
+            in
+            let query_preds =
+              List.map
+                (fun (p : Opt.Logical.pred_item) -> p.Opt.Logical.pred)
+                (Opt.Logical.executable_preds block)
+            in
+            (* premises that are partition-domain SCs of this segment
+               tighten the constraint (their validity was already checked
+               by [check_certificate]) *)
+            let sc_preds =
+              List.filter_map
+                (fun name ->
+                  match Core.Sc_catalog.find catalog name with
+                  | Some
+                      ({
+                         Core.Soft_constraint.statement =
+                           Core.Soft_constraint.Part_stmt { partition = i; pred };
+                         _;
+                       } as sc)
+                    when i = partition
+                         && norm sc.Core.Soft_constraint.table = norm table ->
+                      Some pred
+                  | _ -> None)
+                c.Opt.Explain.cert_premises
+            in
+            let part_preds =
+              List.map (requalify alias)
+                (strip_null_arms (Partition.constraint_pred part partition)
+                :: sc_preds)
+            in
+            let interval_contradiction =
+              let q_entries, _ =
+                Opt.Interval.summarize ~key_of query_preds
+              in
+              let all_entries, _ =
+                Opt.Interval.summarize ~key_of (query_preds @ part_preds)
+              in
+              List.exists
+                (fun (key, (_, iv)) ->
+                  Opt.Interval.is_empty iv && List.mem_assoc key q_entries)
+                all_entries
+            in
+            let hash_exclusion =
+              match Partition.spec part with
+              | Partition.Range _ -> false
+              | Partition.Hash _ -> (
+                  let col = Partition.column part in
+                  match key_of { Expr.rel = Some alias; col } with
+                  | None -> false
+                  | Some key ->
+                      Opt.Interval.const_bindings query_preds
+                      |> List.exists (fun (r, v) ->
+                             key_of r = Some key
+                             && Partition.route_value part v <> partition))
+            in
+            if interval_contradiction || hash_exclusion then []
+            else
+              [
+                fail
+                  "partition %d of %s: constraint does not contradict the \
+                   query predicates"
+                  partition table;
+              ])
+  in
+  List.concat_map
+    (fun (c : Opt.Explain.certificate) ->
+      match c.Opt.Explain.cert_delta with
+      | Opt.Rewrite.Partition_pruned { table; alias; partition } ->
+          check_prune c ~table ~alias ~partition
+      | _ -> [])
+    (Opt.Explain.certificates report)
+
 let check_report sdb (report : Opt.Explain.report) =
   let certs = Opt.Explain.certificates report in
   let guards = report.Opt.Explain.guards in
@@ -221,6 +359,7 @@ let check_report sdb (report : Opt.Explain.report) =
   in
   backup_diag
   @ List.concat_map (check_certificate sdb ~guards ~has_backup) certs
+  @ partition_diags sdb report
   @ twin_diags report
 
 let check_query ?flags sdb sql =

@@ -97,13 +97,37 @@ let build_fd_state db (sc : Soft_constraint.t) (fd : Mining.Fd_mine.fd) =
 (* ---- violation detection per statement ---------------------------------- *)
 
 let row_violates db (sc : Soft_constraint.t) row =
-  match Soft_constraint.check_pred sc with
-  | Some p -> (
-      match Database.find_table db sc.Soft_constraint.table with
-      | Some tbl ->
-          Expr.check_violated (Expr.Binding.of_schema (Table.schema tbl)) p row
+  match sc.Soft_constraint.statement with
+  | Soft_constraint.Part_stmt { partition; pred } -> (
+      (* partition-local: a row that routes to a sibling segment cannot
+         violate this SC, so one hot shard's churn never overturns the
+         other shards' domain constraints *)
+      match
+        ( Database.find_table db sc.Soft_constraint.table,
+          Database.partitioning db sc.Soft_constraint.table )
+      with
+      | Some tbl, Some part when Partition.route part row = partition ->
+          Expr.check_violated
+            (Expr.Binding.of_schema (Table.schema tbl))
+            pred row
+      | _ -> false)
+  | _ -> (
+      match Soft_constraint.check_pred sc with
+      | Some p -> (
+          match Database.find_table db sc.Soft_constraint.table with
+          | Some tbl ->
+              Expr.check_violated
+                (Expr.Binding.of_schema (Table.schema tbl))
+                p row
+          | None -> false)
       | None -> false)
-  | None -> false
+
+(* Statements testable one row at a time by [row_violates]: check shapes
+   plus partition-domain statements (whose test routes first). *)
+let row_checkable (sc : Soft_constraint.t) =
+  match sc.Soft_constraint.statement with
+  | Soft_constraint.Part_stmt _ -> true
+  | _ -> Soft_constraint.check_pred sc <> None
 
 (* ---- repairs -------------------------------------------------------------- *)
 
@@ -181,6 +205,26 @@ let sync_repair t (sc : Soft_constraint.t) row =
                 true
               end
           | _ -> false)
+      | Soft_constraint.Part_stmt { partition; pred } -> (
+          (* widenable like a check when the partition-domain statement is
+             a single-column BETWEEN *)
+          match pred with
+          | Expr.Between (Expr.Col r, Expr.Const lo, Expr.Const hi) ->
+              let v = value r.Expr.col in
+              if Value.is_null v then true
+              else begin
+                let lo' = if Value.compare_total v lo < 0 then v else lo
+                and hi' = if Value.compare_total v hi > 0 then v else hi in
+                Sc_catalog.set_statement t.catalog sc
+                  (Soft_constraint.Part_stmt
+                     {
+                       partition;
+                       pred =
+                         Expr.Between (Expr.Col r, Expr.Const lo', Expr.Const hi');
+                     });
+                true
+              end
+          | _ -> false)
       | Soft_constraint.Ic_stmt _ | Soft_constraint.Fd_stmt _
       | Soft_constraint.Holes_stmt _ ->
           false)
@@ -206,7 +250,7 @@ let handle_violation t (sc : Soft_constraint.t) row =
   | Sync_repair ->
       if sync_repair t sc row then begin
         Sc_catalog.set_anchor t.catalog sc
-          (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
+          (Sc_catalog.drift_counter t.db sc);
         record t sc.Soft_constraint.name "repaired synchronously (widened)"
       end
       else begin
@@ -230,21 +274,16 @@ let on_row_arrival t table row =
         sc.Soft_constraint.state = Soft_constraint.Probation
         && Soft_constraint.is_absolute sc
       then begin
-        match Soft_constraint.check_pred sc with
-        | Some _ ->
-            if row_violates t.db sc row then begin
-              Sc_catalog.set_violations t.catalog sc
-                (sc.Soft_constraint.violation_count + 1);
-              record t sc.Soft_constraint.name "violation during probation"
-            end
-        | None -> ()
+        if row_checkable sc && row_violates t.db sc row then begin
+          Sc_catalog.set_violations t.catalog sc
+            (sc.Soft_constraint.violation_count + 1);
+          record t sc.Soft_constraint.name "violation during probation"
+        end
       end;
       if Soft_constraint.is_usable sc && Soft_constraint.is_absolute sc then begin
-        (* check-shaped statements: direct row test *)
-        (match Soft_constraint.check_pred sc with
-        | Some _ ->
-            if row_violates t.db sc row then handle_violation t sc row
-        | None -> ());
+        (* check-shaped and partition-domain statements: direct row test *)
+        if row_checkable sc && row_violates t.db sc row then
+          handle_violation t sc row;
         (* FD statements: incremental map *)
         match sc.Soft_constraint.statement with
         | Soft_constraint.Fd_stmt _ -> (
@@ -413,7 +452,20 @@ let remine t (sc : Soft_constraint.t) =
                     (Soft_constraint.Holes_stmt h');
                   true
               | None -> false)
-          | _ -> false))
+          | _ -> false)
+      | Soft_constraint.Part_stmt { partition; pred } -> (
+          (* re-verify the statement against the segment's current rows;
+             siblings are never read *)
+          match Database.partitioning t.db sc.Soft_constraint.table with
+          | None -> false
+          | Some part ->
+              let binding = Expr.Binding.of_schema (Table.schema tbl) in
+              List.for_all
+                (fun rid ->
+                  match Table.get tbl rid with
+                  | None -> true
+                  | Some row -> not (Expr.check_violated binding pred row))
+                (Partition.members part partition)))
 
 let run_repairs t =
   let queue = t.repair_queue in
@@ -427,7 +479,7 @@ let run_repairs t =
           if remine t sc then begin
             Sc_catalog.set_state t.catalog sc Soft_constraint.Active;
             Sc_catalog.set_anchor t.catalog sc
-              (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
+              (Sc_catalog.drift_counter t.db sc);
             record t name "asynchronously repaired (re-mined)"
           end
           else begin
@@ -506,7 +558,7 @@ let refresh_statistics t =
         | Some c ->
             Sc_catalog.set_kind t.catalog sc (Soft_constraint.Statistical c);
             Sc_catalog.set_anchor t.catalog sc
-              (Sc_catalog.mutations_of t.db sc.Soft_constraint.table);
+              (Sc_catalog.drift_counter t.db sc);
             record t sc.Soft_constraint.name
               (Printf.sprintf "statistics refreshed: confidence %.4f" c)
         | None -> ()

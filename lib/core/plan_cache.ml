@@ -203,7 +203,8 @@ let execute t name =
              per statement, however many guards failed) *)
           if not entry.invalidated then begin
             entry.invalidated <- true;
-            Obs.Metrics.incr (Softdb.metrics t.sdb) "sc_guard_fallbacks"
+            Softdb.note_guard_fallback t.sdb
+              (List.filter (fun d -> not (dep_valid t d)) entry.deps)
           end;
           entry.backup_runs <- entry.backup_runs + 1;
           entry.backup

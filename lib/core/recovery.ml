@@ -43,6 +43,10 @@ type t = {
   mutable frame : frame;
   mutable suppress : bool; (* a DDL statement is executing *)
   mutable dead : bool;
+  shards : (string * Table.rid, int) Hashtbl.t;
+      (* birth shard of each live partitioned row: every record of a rid
+         is tagged with the shard its insert routed to, even if updates
+         later moved the row, so one rid's records stay in one stream *)
 }
 
 let softdb link = link.sdb
@@ -87,16 +91,32 @@ let snapshot_of (sc : Soft_constraint.t) =
     sc_repr = Sc_codec.statement_repr sc.Soft_constraint.statement;
   }
 
+let shard_key table rid = (String.lowercase_ascii table, rid)
+
+(* Birth-shard lookup with a routing fallback: rows inserted before the
+   link attached (or before the table was partitioned) have no map
+   entry, so their current routing is the best available tag. *)
+let shard_of link ~table ~rid row =
+  match Hashtbl.find_opt link.shards (shard_key table rid) with
+  | Some s -> s
+  | None -> Database.route_rid (Softdb.db link.sdb) table row
+
 let on_mutation link m =
   if alive link && not link.suppress then begin
     let txn = ensure_frame link in
     let record =
       match m with
       | Database.Inserted { table; rid; row } ->
-          Wal.Insert { txn; table; rid; row = Tuple.copy row }
+          let shard = Database.route_rid (Softdb.db link.sdb) table row in
+          if shard >= 0 then
+            Hashtbl.replace link.shards (shard_key table rid) shard;
+          Wal.Insert { txn; table; rid; row = Tuple.copy row; shard }
       | Database.Deleted { table; rid; row } ->
-          Wal.Delete { txn; table; rid; row = Tuple.copy row }
+          let shard = shard_of link ~table ~rid row in
+          Hashtbl.remove link.shards (shard_key table rid);
+          Wal.Delete { txn; table; rid; row = Tuple.copy row; shard }
       | Database.Updated { table; rid; before; after } ->
+          let shard = shard_of link ~table ~rid before in
           Wal.Update
             {
               txn;
@@ -104,6 +124,7 @@ let on_mutation link m =
               rid;
               before = Tuple.copy before;
               after = Tuple.copy after;
+              shard;
             }
     in
     Wal.append link.wal record
@@ -168,7 +189,8 @@ let is_ddl (stmt : Sqlfe.Ast.statement) =
   match stmt with
   | Sqlfe.Ast.Create_table _ | Sqlfe.Ast.Drop_table _ | Sqlfe.Ast.Drop_index _
   | Sqlfe.Ast.Create_index _ | Sqlfe.Ast.Alter_add_constraint _
-  | Sqlfe.Ast.Drop_constraint _ | Sqlfe.Ast.Create_exception_table _ ->
+  | Sqlfe.Ast.Alter_partition_by _ | Sqlfe.Ast.Drop_constraint _
+  | Sqlfe.Ast.Create_exception_table _ ->
       true
   | Sqlfe.Ast.Query _ | Sqlfe.Ast.Explain _ | Sqlfe.Ast.Explain_analyze _
   | Sqlfe.Ast.Insert _ | Sqlfe.Ast.Delete _ | Sqlfe.Ast.Update _
@@ -205,7 +227,31 @@ let attach sdb wal =
   Obs.Fault.install ();
   List.iter Obs.Fault.declare Txn.fault_points;
   List.iter Obs.Fault.declare Maintenance.fault_points;
-  let link = { sdb; wal; frame = Closed; suppress = false; dead = false } in
+  let link =
+    {
+      sdb;
+      wal;
+      frame = Closed;
+      suppress = false;
+      dead = false;
+      shards = Hashtbl.create 256;
+    }
+  in
+  (* seed the birth-shard map from current segment membership (rows that
+     predate this link: a recovered log, or a freshly declared
+     partitioning over existing data) *)
+  let db = Softdb.db sdb in
+  List.iter
+    (fun tname ->
+      match Database.partitioning db tname with
+      | None -> ()
+      | Some part ->
+          for i = 0 to Partition.count part - 1 do
+            List.iter
+              (fun rid -> Hashtbl.replace link.shards (shard_key tname rid) i)
+              (Partition.members part i)
+          done)
+    (Database.partitioned_tables db);
   Database.on_mutation (Softdb.db sdb) (on_mutation link);
   Sc_catalog.on_change (Softdb.catalog sdb) (on_sc_change link);
   Txn.on_event (on_txn link);
@@ -276,6 +322,17 @@ let checkpoint link =
                };
            }))
     (Database.constraints db);
+  (* partitioning before the data inserts, so replay routes rows as it
+     applies them *)
+  List.iter
+    (fun tname ->
+      match Database.partitioning db tname with
+      | Some part ->
+          ddl
+            (Sqlfe.Ast.Alter_partition_by
+               { table = tname; spec = Partition.spec part })
+      | None -> ())
+    (Database.partitioned_tables db);
   let auto_key_indexes =
     List.filter_map
       (fun (ic : Icdef.t) ->
@@ -303,11 +360,18 @@ let checkpoint link =
                  }))
         (Database.indexes_on db tname))
     tables;
+  (* data records re-tag to current routing: the checkpoint inserts are
+     the rows' new births, so the birth-shard map resets with them *)
+  Hashtbl.reset link.shards;
   List.iter
     (fun tname ->
       let tbl = Database.table_exn db tname in
       Table.iteri tbl ~f:(fun rid row ->
-          emit (Wal.Insert { txn; table = tname; rid; row = Tuple.copy row })))
+          let shard = Database.route_rid db tname row in
+          if shard >= 0 then
+            Hashtbl.replace link.shards (shard_key tname rid) shard;
+          emit
+            (Wal.Insert { txn; table = tname; rid; row = Tuple.copy row; shard })))
     tables;
   List.iter
     (fun sc -> emit (Wal.Sc { txn; change = Wal.Sc_installed (snapshot_of sc) }))
@@ -372,30 +436,75 @@ let apply_sc_change sdb change =
           Sc_catalog.register_exception_table catalog ~constraint_name:name
             ~table)
 
+let apply_record sdb r =
+  let db = Softdb.db sdb in
+  match r with
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ()
+  | Wal.Insert { table; rid; row; _ } ->
+      Database.replay_insert db ~table rid (Tuple.copy row)
+  | Wal.Delete { table; rid; _ } -> Database.replay_delete db ~table rid
+  | Wal.Update { table; rid; after; _ } ->
+      Database.replay_update db ~table rid (Tuple.copy after)
+  | Wal.Ddl { sql; _ } -> (
+      (* only successful statements were logged; a replay failure means
+         the log and the engine disagree — surface it *)
+      try ignore (Softdb.exec sdb sql)
+      with e ->
+        raise
+          (Recovery_error
+             (Printf.sprintf "replaying %S failed: %s" sql
+                (Printexc.to_string e))))
+  | Wal.Sc { change; _ } -> apply_sc_change sdb change
+
 let recover records =
   let sdb = Softdb.create () in
-  let db = Softdb.db sdb in
   List.iter
     (fun r ->
-      if Wal.committed_txns records (Wal.txn_of r) then
+      if Wal.committed_txns records (Wal.txn_of r) then apply_record sdb r)
+    records;
+  sdb
+
+(* Sharded replay: committed data records are buffered into per-shard
+   streams (shard [-1] collects unpartitioned tables) and each stream is
+   replayed as an independent unit, in ascending shard order.  Schema
+   and catalog records are barriers — they flush the pending streams —
+   so DDL and SC transitions keep their place relative to the data.
+
+   This is equivalent to the sequential [recover] because (a) all of one
+   rid's records carry the same birth-shard tag, so their relative order
+   survives, and (b) between barriers, records of *different* rids
+   commute: inserts are rid-faithful and deletes/updates address rids
+   directly. *)
+let recover_sharded records =
+  let sdb = Softdb.create () in
+  let committed = Wal.committed_txns records in
+  let streams : (int, Wal.record list ref) Hashtbl.t = Hashtbl.create 8 in
+  let buffer shard r =
+    match Hashtbl.find_opt streams shard with
+    | Some q -> q := r :: !q
+    | None -> Hashtbl.add streams shard (ref [ r ])
+  in
+  let flush () =
+    Hashtbl.fold (fun shard _ acc -> shard :: acc) streams []
+    |> List.sort compare
+    |> List.iter (fun shard ->
+           let q = Hashtbl.find streams shard in
+           List.iter (apply_record sdb) (List.rev !q));
+    Hashtbl.reset streams
+  in
+  List.iter
+    (fun r ->
+      if committed (Wal.txn_of r) then
         match r with
         | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> ()
-        | Wal.Insert { table; rid; row; _ } ->
-            Database.replay_insert db ~table rid (Tuple.copy row)
-        | Wal.Delete { table; rid; _ } -> Database.replay_delete db ~table rid
-        | Wal.Update { table; rid; after; _ } ->
-            Database.replay_update db ~table rid (Tuple.copy after)
-        | Wal.Ddl { sql; _ } -> (
-            (* only successful statements were logged; a replay failure
-               means the log and the engine disagree — surface it *)
-            try ignore (Softdb.exec sdb sql)
-            with e ->
-              raise
-                (Recovery_error
-                   (Printf.sprintf "replaying %S failed: %s" sql
-                      (Printexc.to_string e))))
-        | Wal.Sc { change; _ } -> apply_sc_change sdb change)
+        | Wal.Insert { shard; _ } | Wal.Delete { shard; _ }
+        | Wal.Update { shard; _ } ->
+            buffer shard r
+        | Wal.Ddl _ | Wal.Sc _ ->
+            flush ();
+            apply_record sdb r)
     records;
+  flush ();
   sdb
 
 (* Recover from a log file and reopen it for appending — the CLI's

@@ -50,6 +50,14 @@ val recover : Wal.record list -> Softdb.t
 (** Replay the committed frames into a fresh database.  Raises
     {!Recovery_error} if a logged DDL statement fails to re-execute. *)
 
+val recover_sharded : Wal.record list -> Softdb.t
+(** Like {!recover}, but data records are regrouped into per-partition
+    shard streams (via their WAL shard tags) and each stream replays as
+    an independent unit in ascending shard order; DDL and catalog
+    records act as barriers.  Equivalent to {!recover} because one rid's
+    records always share a tag and distinct rids commute between
+    barriers. *)
+
 val resume : string -> Softdb.t * t
 (** [resume path] recovers from the log file at [path] (empty or absent
     is fine), reopens it for appending, and attaches — the CLI's

@@ -124,15 +124,34 @@ let rows_of db table =
    drop them. *)
 let use_threshold = 0.0
 
+(* The drift counter a soft constraint's currency anchor compares
+   against.  Partition-domain statements use their home segment's local
+   counter — one hot shard's churn must not age its siblings' SCs. *)
+let drift_counter db (sc : Soft_constraint.t) =
+  match sc.Soft_constraint.statement with
+  | Soft_constraint.Part_stmt { partition; _ } -> (
+      match Database.partitioning db sc.Soft_constraint.table with
+      | Some part when partition >= 0 && partition < Partition.count part ->
+          Partition.seg_mutations part partition
+      | _ -> mutations_of db sc.Soft_constraint.table)
+  | _ -> mutations_of db sc.Soft_constraint.table
+
 (* Confidence usable now, after currency decay (§3.3). *)
 let current_confidence db (sc : Soft_constraint.t) =
   let base = Soft_constraint.confidence sc in
   let updates_since =
-    mutations_of db sc.Soft_constraint.table
-    - sc.Soft_constraint.installed_at_mutations
+    drift_counter db sc - sc.Soft_constraint.installed_at_mutations
   in
-  Currency.usable_confidence ~base ~updates_since
-    ~table_rows:(rows_of db sc.Soft_constraint.table)
+  let table_rows =
+    match sc.Soft_constraint.statement with
+    | Soft_constraint.Part_stmt { partition; _ } -> (
+        match Database.partitioning db sc.Soft_constraint.table with
+        | Some part when partition >= 0 && partition < Partition.count part ->
+            Partition.rows part partition
+        | _ -> rows_of db sc.Soft_constraint.table)
+    | _ -> rows_of db sc.Soft_constraint.table
+  in
+  Currency.usable_confidence ~base ~updates_since ~table_rows
 
 let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
   let usable = usable t in
@@ -199,7 +218,7 @@ let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
                         (c, { band with Mining.Correlation.confidence = conf });
                   }
             | Soft_constraint.Ic_stmt _ | Soft_constraint.Fd_stmt _
-            | Soft_constraint.Holes_stmt _ ->
+            | Soft_constraint.Holes_stmt _ | Soft_constraint.Part_stmt _ ->
                 None)
       usable
   in
@@ -226,6 +245,24 @@ let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
         | _ -> None)
       usable
   in
+  (* valid absolute partition-domain SCs: the premises partition pruning
+     names in its certificates *)
+  let parts =
+    List.filter_map
+      (fun (sc : Soft_constraint.t) ->
+        match sc.Soft_constraint.statement with
+        | Soft_constraint.Part_stmt { partition; pred }
+          when Soft_constraint.is_absolute sc ->
+            Some
+              {
+                Opt.Rewrite.part_sc_name = Some sc.Soft_constraint.name;
+                part_table = sc.Soft_constraint.table;
+                part_index = partition;
+                part_pred = pred;
+              }
+        | _ -> None)
+      usable
+  in
   let exceptions =
     List.filter_map
       (fun (name, table) ->
@@ -245,7 +282,7 @@ let rewrite_ctx ?(flags = Opt.Rewrite.all_on) t db : Opt.Rewrite.ctx =
       t.exception_tables
   in
   Opt.Rewrite.make_ctx ~flags ~ascs ~asc_shapes ~sscs ~fds ~holes ~exceptions
-    db
+    ~parts db
 
 let pp ppf t =
   Fmt.pf ppf "soft-constraint catalog (%d entries):@." (List.length t.scs);

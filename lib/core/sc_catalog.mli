@@ -74,6 +74,13 @@ val exception_tables : t -> (string * string) list
 val mutations_of : Database.t -> string -> int
 val rows_of : Database.t -> string -> int
 
+val drift_counter : Database.t -> Soft_constraint.t -> int
+(** The counter this SC's currency anchor compares against: its home
+    segment's local mutation counter for partition-domain statements
+    (one hot shard must not age its siblings' SCs), the whole table's
+    otherwise.  Anchor writers ({!set_anchor} callers) must use this
+    same counter. *)
+
 val use_threshold : float
 (** SSCs whose decayed confidence is at or below this bound are ignored
     by {!rewrite_ctx}; the catalog linter flags them. *)

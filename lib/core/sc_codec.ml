@@ -148,6 +148,11 @@ let statement_repr (stmt : Soft_constraint.statement) =
           string_of_int h.Mining.Join_holes.join_rows;
           semis rect h.Mining.Join_holes.rects;
         ]
+  (* the predicate rides the same SQL round-trip as IC bodies; it goes
+     last because the SQL text may itself contain '|' *)
+  | Soft_constraint.Part_stmt { partition; pred } ->
+      String.concat "|"
+        [ "part"; string_of_int partition; ic_repr (Icdef.Check pred) ]
 
 let statement_of_repr s =
   match String.index_opt s '|' with
@@ -220,4 +225,14 @@ let statement_of_repr s =
                   join_rows = iparse join_rows;
                 }
           | _ -> err "bad holes repr %S" s)
+      | "part" -> (
+          match String.index_opt rest '|' with
+          | None -> err "bad part repr %S" s
+          | Some j -> (
+              let partition = iparse (String.sub rest 0 j) in
+              let sql = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match ic_parse sql with
+              | Icdef.Check pred ->
+                  Soft_constraint.Part_stmt { partition; pred }
+              | _ -> err "part statement is not a check predicate %S" s))
       | _ -> err "unknown statement tag %S" tag)

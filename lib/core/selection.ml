@@ -31,6 +31,8 @@ let upkeep_weight (sc : Soft_constraint.t) =
   | Soft_constraint.Diff_stmt _ | Soft_constraint.Corr_stmt _ -> 1.0
   | Soft_constraint.Fd_stmt _ -> 2.0
   | Soft_constraint.Holes_stmt _ -> 5.0
+  (* a partition-domain check only fires for rows routing to its segment *)
+  | Soft_constraint.Part_stmt _ -> 1.0
 
 let maintenance_cost ?(mutations_per_workload = 100.0) sc =
   let base = upkeep_weight sc in

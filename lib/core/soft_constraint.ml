@@ -20,6 +20,7 @@ type statement =
   | Corr_stmt of Mining.Correlation.t * Mining.Correlation.band
   | Diff_stmt of Mining.Diff_band.t * Mining.Diff_band.band
   | Holes_stmt of Mining.Join_holes.t
+  | Part_stmt of { partition : int; pred : Expr.pred }
 
 type kind = Absolute | Statistical of float
 
@@ -65,6 +66,9 @@ let check_pred t =
   | Ic_stmt (Icdef.Primary_key _ | Icdef.Unique _ | Icdef.Foreign_key _) ->
       None
   | Fd_stmt _ | Holes_stmt _ -> None
+  (* partition-conditional, not a table-wide row check: rows of sibling
+     partitions need not satisfy it (see {!Maintenance.row_violates}) *)
+  | Part_stmt _ -> None
   | Corr_stmt (c, band) ->
       Some (Mining.Correlation.to_check_pred c ~eps:band.Mining.Correlation.eps)
   | Diff_stmt (d, band) -> Some (Mining.Diff_band.to_check_pred d band)
@@ -95,6 +99,8 @@ let pp_statement ppf = function
         d.Mining.Diff_band.col_lo band.Mining.Diff_band.d_min
         band.Mining.Diff_band.d_max
   | Holes_stmt h -> Mining.Join_holes.pp ppf h
+  | Part_stmt { partition; pred } ->
+      Fmt.pf ppf "partition %d: %s" partition (Expr.to_string_pred pred)
 
 let state_to_string = function
   | Probation -> "probation"

@@ -15,6 +15,12 @@ type statement =
   | Corr_stmt of Mining.Correlation.t * Mining.Correlation.band
   | Diff_stmt of Mining.Diff_band.t * Mining.Diff_band.band
   | Holes_stmt of Mining.Join_holes.t
+  | Part_stmt of { partition : int; pred : Expr.pred }
+      (** Per-partition domain constraint: every row of [table] that
+          routes to segment [partition] satisfies [pred] — the partition
+          flavour backing pruning certificates ({!Part.Catalog}).
+          Partition-conditional, so {!check_pred} is [None]; violation
+          detection routes the row first ({!Maintenance}). *)
 
 type kind = Absolute | Statistical of float
 

@@ -29,6 +29,27 @@ type t = {
          for autocommit boundaries and DDL capture *)
 }
 
+(* Cumulative per-partition execution counters live in the metrics
+   registry under one key scheme, so sys.partitions, record_feedback and
+   the fallback attribution all agree on the spelling. *)
+let part_metric what table partition =
+  Printf.sprintf "exec.partition.%s.%s.%d" what
+    (String.lowercase_ascii table)
+    partition
+
+(* The domain SC of segment [i], whatever its current name: any
+   [Part_stmt] in the catalog for this (table, partition). *)
+let find_partition_sc t ~table ~partition =
+  List.find_opt
+    (fun (sc : Soft_constraint.t) ->
+      String.lowercase_ascii sc.Soft_constraint.table
+      = String.lowercase_ascii table
+      &&
+      match sc.Soft_constraint.statement with
+      | Soft_constraint.Part_stmt p -> p.partition = partition
+      | _ -> false)
+    (Sc_catalog.all t.catalog)
+
 (* The sys.* views: read-only virtual tables over the live registries, so
    the repl can SELECT against its own observability state. *)
 let register_sys_tables t =
@@ -61,7 +82,44 @@ let register_sys_tables t =
                  sc.Soft_constraint.statement))
         (Sc_catalog.all t.catalog));
   Database.register_virtual t.db ~name:"sys.plan_cache"
-    ~schema:Obs.Sys_tables.plan_cache_schema (fun () -> t.plan_cache_rows ())
+    ~schema:Obs.Sys_tables.plan_cache_schema (fun () -> t.plan_cache_rows ());
+  Database.register_virtual t.db ~name:"sys.partitions"
+    ~schema:Obs.Sys_tables.partitions_schema (fun () ->
+      List.concat_map
+        (fun table ->
+          match Database.partitioning t.db table with
+          | None -> []
+          | Some part ->
+              let spec = Partition.spec_to_string (Partition.spec part) in
+              List.init (Partition.count part) (fun i ->
+                  let sc = find_partition_sc t ~table ~partition:i in
+                  Obs.Sys_tables.partition_row ~table_name:table ~partition:i
+                    ~spec
+                    ~bounds:
+                      (Fmt.str "%a" Expr.pp_pred
+                         (Partition.constraint_pred part i))
+                    ~rows:(Partition.rows part i)
+                    ~sc_name:
+                      (Option.map
+                         (fun (sc : Soft_constraint.t) ->
+                           sc.Soft_constraint.name)
+                         sc)
+                    ~sc_state:
+                      (Option.map
+                         (fun (sc : Soft_constraint.t) ->
+                           Fmt.str "%a" Soft_constraint.pp_state
+                             sc.Soft_constraint.state)
+                         sc)
+                    ~rows_scanned:
+                      (Obs.Metrics.counter t.metrics
+                         (part_metric "rows_scanned" table i))
+                    ~pages_read:
+                      (Obs.Metrics.counter t.metrics
+                         (part_metric "pages_read" table i))
+                    ~fallbacks:
+                      (Obs.Metrics.counter t.metrics
+                         (part_metric "fallbacks" table i))))
+        (Database.partitioned_tables t.db))
 
 let create ?(flags = Opt.Rewrite.all_on) () =
   let db = Database.create () in
@@ -166,6 +224,38 @@ let install_soft_declaration t ~name ~table ~(body : Icdef.body)
                 "constraint %s does not hold (%d violations) and its class \
                  cannot be statistical"
                 name (List.length violations)))
+
+(* Mine and install per-segment partition-domain SCs ({!Part.Mine}):
+   each non-empty segment's observed band over the partition column
+   becomes an absolute, overturnable [Part_stmt].  Anchored on the
+   segment's *local* mutation counter, so churn in a sibling shard never
+   ages it.  Existing SCs under the same generated names are replaced —
+   re-mining refreshes the bands. *)
+let mine_partition_domains t ~table =
+  match Database.partitioning t.db table with
+  | None -> error "table %s is not partitioned" table
+  | Some part ->
+      let installed =
+        List.map
+          (fun (c : Part.Mine.candidate) ->
+            let name = Printf.sprintf "%s_p%d_domain" table c.Part.Mine.partition in
+            if Sc_catalog.find t.catalog name <> None then
+              Sc_catalog.drop t.catalog name;
+            let sc =
+              Soft_constraint.make ~name ~table ~kind:Soft_constraint.Absolute
+                ~installed_at_mutations:
+                  (Partition.seg_mutations part c.Part.Mine.partition)
+                (Soft_constraint.Part_stmt
+                   {
+                     partition = c.Part.Mine.partition;
+                     pred = c.Part.Mine.pred;
+                   })
+            in
+            install_sc t sc;
+            sc)
+          (Part.Mine.domains t.db ~table)
+      in
+      installed
 
 (* ---- statement execution --------------------------------------------------- *)
 
@@ -364,6 +454,11 @@ let record_feedback ?(fell_back = false) t (report : Opt.Explain.report)
     "exec.index_probes";
   Obs.Metrics.incr ~by:c.Exec.Operators.Counters.rows_output m
     "exec.rows_output";
+  List.iter
+    (fun (table, partition, rows, pages) ->
+      Obs.Metrics.incr ~by:rows m (part_metric "rows_scanned" table partition);
+      Obs.Metrics.incr ~by:pages m (part_metric "pages_read" table partition))
+    (Exec.Operators.Counters.partition_counts c);
   let rewrites =
     List.sort_uniq String.compare
       (List.map
@@ -401,6 +496,24 @@ let guard_ok t name =
           | Some table -> Database.find_table t.db table <> None
           | None -> false))
 
+(* One guarded fallback happened on the strength of [failed] guard
+   names: count it, and attribute it to every partition whose domain SC
+   is among them.  Shared with {!Plan_cache}, whose prepared plans fall
+   back through their own validity check. *)
+let note_guard_fallback t failed =
+  Obs.Metrics.incr t.metrics "sc_guard_fallbacks";
+  List.iter
+    (fun name ->
+      match Sc_catalog.find t.catalog name with
+      | Some sc -> (
+          match sc.Soft_constraint.statement with
+          | Soft_constraint.Part_stmt p ->
+              Obs.Metrics.incr t.metrics
+                (part_metric "fallbacks" sc.Soft_constraint.table p.partition)
+          | _ -> ())
+      | None -> ())
+    failed
+
 (* Execute an optimized report with its guards checked at open: if an SC
    a rewrite relied on was overturned since planning, degrade to the
    rewrite-free backup plan (§4.1's flag-and-revert). *)
@@ -411,7 +524,11 @@ let execute_report t (report : Opt.Explain.report) =
           ~guard_ok:(guard_ok t) ~backup:report.Opt.Explain.backup_plan
           report.Opt.Explain.plan)
   in
-  if fell_back then Obs.Metrics.incr t.metrics "sc_guard_fallbacks";
+  if fell_back then
+    note_guard_fallback t
+      (List.filter
+         (fun name -> not (guard_ok t name))
+         report.Opt.Explain.guards);
   (result, fell_back)
 
 let run_query ?flags t (q : Sqlfe.Ast.query) =
@@ -465,6 +582,14 @@ let exec_statement_inner t (stmt : Sqlfe.Ast.statement) : outcome =
       back_key_with_index t ~table con;
       add_table_constraint t ~table con;
       Done "constraint added"
+  | Sqlfe.Ast.Alter_partition_by { table; spec } ->
+      (* Declaration only: partition-domain SCs are data-dependent, so
+         they are installed separately ({!mine_partition_domains}) and
+         logged as catalog transitions, never regenerated by DDL replay. *)
+      ignore (Database.declare_partitioning t.db ~table spec);
+      Done
+        (Printf.sprintf "partitioned %s by %s" table
+           (Partition.spec_to_string spec))
   | Sqlfe.Ast.Drop_constraint { table = _; name } -> (
       match Database.find_constraint t.db name with
       | Some _ ->

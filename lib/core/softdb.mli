@@ -73,6 +73,13 @@ val install_soft_declaration :
     SSC at the measured confidence for check-shaped statements, an
     {!Error} otherwise. *)
 
+val mine_partition_domains : t -> table:string -> Soft_constraint.t list
+(** Mine each segment's observed partition-column band ({!Part.Mine})
+    and install it as an absolute, overturnable [Part_stmt] SC named
+    [<table>_p<i>_domain], anchored on the segment's local mutation
+    counter.  Replaces same-named SCs from a previous mining pass.
+    Raises {!Error} if [table] is not partitioned. *)
+
 type outcome =
   | Rows of Exec.Executor.result
   | Affected of int
@@ -89,6 +96,12 @@ val optimize : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
 
 val run_query : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
   Exec.Executor.result
+
+val note_guard_fallback : t -> string list -> unit
+(** Record one guarded-plan fallback whose failed guards are the given
+    constraint names: bumps [sc_guard_fallbacks] and, for every failed
+    guard that is a partition-domain SC, the per-partition fallback
+    counter [sys.partitions] reports. *)
 
 val guard_ok : t -> string -> bool
 (** Is the named constraint still a valid basis for a compiled plan?

@@ -9,25 +9,66 @@
 open Rel
 
 module Counters = struct
+  type part = { mutable part_rows : int; mutable part_pages : int }
+
   type t = {
     mutable rows_scanned : int; (* rows fetched from base tables *)
     mutable pages_read : int;
     mutable index_probes : int;
     mutable rows_output : int; (* rows produced at the plan root *)
+    mutable partitions : ((string * int) * part) list;
+        (* per-(table, partition) slice of rows/pages; only partition
+           scans contribute *)
   }
 
   let create () =
-    { rows_scanned = 0; pages_read = 0; index_probes = 0; rows_output = 0 }
+    { rows_scanned = 0; pages_read = 0; index_probes = 0; rows_output = 0;
+      partitions = [] }
 
   let reset t =
     t.rows_scanned <- 0;
     t.pages_read <- 0;
     t.index_probes <- 0;
-    t.rows_output <- 0
+    t.rows_output <- 0;
+    t.partitions <- []
+
+  let partition_counter t ~table ~partition =
+    let key = (table, partition) in
+    match List.assoc_opt key t.partitions with
+    | Some p -> p
+    | None ->
+        let p = { part_rows = 0; part_pages = 0 } in
+        t.partitions <- (key, p) :: t.partitions;
+        p
+
+  let partition_counts t =
+    List.sort compare
+      (List.map
+         (fun ((table, partition), p) ->
+           (table, partition, p.part_rows, p.part_pages))
+         t.partitions)
+
+  (* Fold [from] into [into] — how a scatter-gather folds its children's
+     private counters back in deterministic child order. *)
+  let merge ~into from =
+    into.rows_scanned <- into.rows_scanned + from.rows_scanned;
+    into.pages_read <- into.pages_read + from.pages_read;
+    into.index_probes <- into.index_probes + from.index_probes;
+    into.rows_output <- into.rows_output + from.rows_output;
+    List.iter
+      (fun ((table, partition), p) ->
+        let dst = partition_counter into ~table ~partition in
+        dst.part_rows <- dst.part_rows + p.part_rows;
+        dst.part_pages <- dst.part_pages + p.part_pages)
+      (List.rev from.partitions)
 
   let pp ppf t =
     Fmt.pf ppf "scanned=%d pages=%d probes=%d out=%d" t.rows_scanned
-      t.pages_read t.index_probes t.rows_output
+      t.pages_read t.index_probes t.rows_output;
+    List.iter
+      (fun (table, partition, rows, pages) ->
+        Fmt.pf ppf " %s[%d]=%d/%dp" table partition rows pages)
+      (partition_counts t)
 end
 
 type cursor = unit -> Tuple.t option
@@ -48,6 +89,21 @@ let cursor_of_list rows =
 let drain (c : cursor) =
   let rec go acc = match c () with None -> List.rev acc | Some r -> go (r :: acc) in
   go []
+
+(* ---- scatter-gather runner --------------------------------------------- *)
+
+exception Scatter_abandoned of string
+
+(* How a [Scatter_gather] node runs its per-partition thunks.  The
+   default executes them sequentially in place; [Srv] installs a runner
+   that fans them across its domain worker pool.  A runner returns one
+   outcome per task; a task that raised yields its exception.  Raising
+   [Scatter_abandoned] (deadline passed, query cancelled) marks the task
+   as not retryable.  This is a ref, not a parameter, because [Exec] must
+   not depend on [Srv] — injection keeps the layering acyclic. *)
+let scatter_runner : ((unit -> unit) array -> exn option array) ref =
+  ref (fun tasks ->
+      Array.map (fun f -> try f (); None with e -> Some e) tasks)
 
 (* ---- aggregation accumulators ----------------------------------------- *)
 
@@ -149,6 +205,42 @@ and open_raw wrap db (counters : Counters.t) (plan : Plan.t) : cursor =
             | Some r ->
                 counters.Counters.rows_scanned <-
                   counters.Counters.rows_scanned + 1;
+                if keep r then Some r else next ())
+      in
+      next
+  | Plan.Partition_scan { table; alias = _; partition; filter } ->
+      let tbl = Database.table_exn db table in
+      let part =
+        match Database.partitioning db table with
+        | Some p -> p
+        | None -> error "table %s is not partitioned" table
+      in
+      if partition < 0 || partition >= Partition.count part then
+        error "partition %d out of range for %s (%d segments)" partition
+          table (Partition.count part);
+      let binding = Plan.binding db plan in
+      let keep = Expr.compile_filter binding filter in
+      (* only the segment's pages are charged — a pruned sibling
+         contributes zero I/O, which BENCH.json asserts *)
+      let pages =
+        Partition.pages part partition
+          ~rows_per_page:(Table.rows_per_page tbl)
+      in
+      counters.Counters.pages_read <- counters.Counters.pages_read + pages;
+      let pc = Counters.partition_counter counters ~table ~partition in
+      pc.Counters.part_pages <- pc.Counters.part_pages + pages;
+      let rows = ref (Partition.members part partition) in
+      let rec next () =
+        match !rows with
+        | [] -> None
+        | rid :: tl -> (
+            rows := tl;
+            match Table.get tbl rid with
+            | None -> next ()
+            | Some r ->
+                counters.Counters.rows_scanned <-
+                  counters.Counters.rows_scanned + 1;
+                pc.Counters.part_rows <- pc.Counters.part_rows + 1;
                 if keep r then Some r else next ())
       in
       next
@@ -415,14 +507,57 @@ and open_raw wrap db (counters : Counters.t) (plan : Plan.t) : cursor =
   | Plan.Limit { input; n } ->
       let c = open_node wrap db counters input in
       let emitted = ref 0 in
-      fun () ->
+      (fun () ->
         if !emitted >= n then None
         else
           match c () with
           | None -> None
           | Some r ->
               incr emitted;
-              Some r
+              Some r)
+  | Plan.Scatter_gather { table; alias = _; children } ->
+      let n = List.length children in
+      let buffers = Array.make n [] in
+      let subcounters = Array.init n (fun _ -> Counters.create ()) in
+      (* Each child drains into a private buffer with private counters:
+         tasks may run on arbitrary domains in arbitrary order, so
+         nothing below this node may share mutable state.  The children
+         are opened inside the task (not here), so their I/O happens on
+         the executing domain; [wrap] is not applied below this node —
+         per-node instrumentation stays single-domain. *)
+      let task idx child () =
+        Counters.reset subcounters.(idx) (* retry restarts the slice *);
+        buffers.(idx) <- [];
+        buffers.(idx) <-
+          drain (open_raw (fun _ c -> c) db subcounters.(idx) child)
+      in
+      let tasks =
+        Array.of_list (List.mapi (fun i (_, child) -> task i child) children)
+      in
+      let outcomes = !scatter_runner tasks in
+      (* graceful degradation: retry a failed partition once in place,
+         then fail the whole query with partition attribution *)
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | None -> ()
+          | Some (Scatter_abandoned why) ->
+              let part = fst (List.nth children i) in
+              error "partition %d of %s abandoned: %s" part table why
+          | Some first -> (
+              match tasks.(i) () with
+              | () -> ()
+              | exception e ->
+                  let part = fst (List.nth children i) in
+                  error
+                    "partition %d of %s failed after retry: %s (first: %s)"
+                    part table (Printexc.to_string e)
+                    (Printexc.to_string first)))
+        outcomes;
+      (* deterministic merge: buffers and counters fold in child order,
+         whatever order the tasks actually completed in *)
+      Array.iter (fun sub -> Counters.merge ~into:counters sub) subcounters;
+      cursor_of_list (List.concat (Array.to_list buffers))
 
 let no_wrap _plan cursor = cursor
 

@@ -49,6 +49,17 @@ type t =
   | Distinct of t
   | Union_all of t list
   | Limit of { input : t; n : int }
+  | Partition_scan of {
+      table : string;
+      alias : string;
+      partition : int;
+      filter : Expr.pred;
+    }
+  | Scatter_gather of {
+      table : string;
+      alias : string;
+      children : (int * t) list; (* (partition, subplan), ascending *)
+    }
 
 let agg_fn_name = function
   | Count -> "count"
@@ -60,7 +71,12 @@ let agg_fn_name = function
 (* The output layout of each node. [db] supplies table schemas. *)
 let rec binding (db : Database.t) plan : Expr.Binding.t =
   match plan with
-  | Seq_scan { table; alias; _ } | Index_scan { table; alias; _ } ->
+  | Seq_scan { table; alias; _ }
+  | Index_scan { table; alias; _ }
+  | Partition_scan { table; alias; _ }
+  (* the gather output has the scan layout even with zero children
+     (all partitions pruned) *)
+  | Scatter_gather { table; alias; _ } ->
       Expr.Binding.of_schema ~alias (Table.schema (Database.table_exn db table))
   | Filter { input; _ } | Limit { input; _ } | Sort { input; _ }
   | Distinct input ->
@@ -155,6 +171,15 @@ let rec pp ?(indent = 0) ppf plan =
   | Limit { input; n } ->
       Fmt.pf ppf "%sLimit %d@." pad n;
       pp ~indent:child ppf input
+  | Partition_scan { table; alias; partition; filter } ->
+      Fmt.pf ppf "%sPartitionScan %s%s partition %d%a@." pad table
+        (if alias = table then "" else " as " ^ alias)
+        partition pp_filter filter
+  | Scatter_gather { table; alias; children } ->
+      Fmt.pf ppf "%sScatterGather %s%s (%d partitions)@." pad table
+        (if alias = table then "" else " as " ^ alias)
+        (List.length children);
+      List.iter (fun (_, p) -> pp ~indent:child ppf p) children
 
 and pp_filter ppf = function
   | Expr.Ptrue -> ()

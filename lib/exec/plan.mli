@@ -49,6 +49,24 @@ type t =
   | Distinct of t
   | Union_all of t list
   | Limit of { input : t; n : int }
+  | Partition_scan of {
+      table : string;
+      alias : string;
+      partition : int;
+      filter : Expr.pred;
+    }
+      (** Scan one segment of a partitioned table: only member rids are
+          fetched, and only the segment's pages are charged. *)
+  | Scatter_gather of {
+      table : string;
+      alias : string;
+      children : (int * t) list;
+          (** [(partition, subplan)] pairs, ascending by partition *)
+    }
+      (** Fan the children out through {!Operators.scatter_runner}
+          (sequential by default; {!Srv} installs a pool-backed runner)
+          and merge their buffered outputs in child order — the ordering
+          is deterministic whatever the completion order. *)
 
 val agg_fn_name : agg_fn -> string
 

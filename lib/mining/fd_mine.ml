@@ -7,6 +7,9 @@
    already determines a).  Keys are excluded when [exclude_keys] names
    them, since key FDs are already known to the optimizer. *)
 
+(* [Refine] is this library's TANE attribute-partition module; the alias
+   keeps it visible past [open Rel], whose Partition is table sharding. *)
+module Refine = Partition
 open Rel
 
 type fd = { table : string; lhs : string list; rhs : string }
@@ -32,9 +35,9 @@ let mine ?(max_lhs = 2) ?(exclude_keys = []) table =
       (Schema.column_names schema)
   in
   let pos = List.map (fun c -> (c, Schema.index_exn schema c)) cols in
-  let part1 = List.map (fun (c, p) -> (c, Partition.of_column table p)) pos in
+  let part1 = List.map (fun (c, p) -> (c, Refine.of_column table p)) pos in
   let partition_of cols_sorted =
-    Partition.of_columns table
+    Refine.of_columns table
       (List.map (fun c -> List.assoc c pos) cols_sorted)
   in
   let found = ref [] in
@@ -45,7 +48,7 @@ let mine ?(max_lhs = 2) ?(exclude_keys = []) table =
         (fun (a, _) ->
           if a <> x then
             let pxa = partition_of [ x; a ] in
-            if Partition.refines ~lhs:px ~lhs_with_rhs:pxa then
+            if Refine.refines ~lhs:px ~lhs_with_rhs:pxa then
               found := { table = Table.name table; lhs = [ x ]; rhs = a }
                        :: !found)
         part1)
@@ -74,7 +77,7 @@ let mine ?(max_lhs = 2) ?(exclude_keys = []) table =
                       !found)
             then
               let p_all = partition_of (lhs @ [ a ]) in
-              if Partition.refines ~lhs:p_lhs ~lhs_with_rhs:p_all then
+              if Refine.refines ~lhs:p_lhs ~lhs_with_rhs:p_all then
                 found := { table = Table.name table; lhs; rhs = a } :: !found)
           part1)
       (combos size cols)

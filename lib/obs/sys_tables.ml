@@ -119,6 +119,43 @@ let plan_cache_row ~name ~sql ~valid ~dependencies ~fast_runs ~backup_runs
       int last_used;
     ]
 
+(* ---- sys.partitions ------------------------------------------------------ *)
+
+let partitions_schema =
+  Schema.make "sys.partitions"
+    [
+      Schema.column ~nullable:false "table_name" Value.TString;
+      (* [part_index], not [partition]: PARTITION is a keyword *)
+      Schema.column ~nullable:false "part_index" Value.TInt;
+      Schema.column ~nullable:false "spec" Value.TString;
+      (* [part_bounds]: BOUNDS is a keyword, like PARTITION above *)
+      Schema.column ~nullable:false "part_bounds" Value.TString;
+      Schema.column ~nullable:false "rows" Value.TInt;
+      Schema.column "sc_name" Value.TString;
+      Schema.column "sc_state" Value.TString;
+      Schema.column ~nullable:false "rows_scanned" Value.TInt;
+      Schema.column ~nullable:false "pages_read" Value.TInt;
+      Schema.column ~nullable:false "fallbacks" Value.TInt;
+    ]
+
+let opt_str = function Some s -> Value.String s | None -> Value.Null
+
+let partition_row ~table_name ~partition ~spec ~bounds ~rows ~sc_name
+    ~sc_state ~rows_scanned ~pages_read ~fallbacks =
+  Tuple.make
+    [
+      str table_name;
+      int partition;
+      str spec;
+      str bounds;
+      int rows;
+      opt_str sc_name;
+      opt_str sc_state;
+      int rows_scanned;
+      int pages_read;
+      int fallbacks;
+    ]
+
 (* ---- sys.sessions -------------------------------------------------------- *)
 
 let sessions_schema =

@@ -36,6 +36,20 @@ val plan_cache_row :
   name:string -> sql:string -> valid:bool -> dependencies:string list ->
   fast_runs:int -> backup_runs:int -> last_used:int -> Tuple.t
 
+val partitions_schema : Schema.t
+(** sys.partitions(table_name, part_index, spec, part_bounds, rows,
+    sc_name, sc_state, rows_scanned, pages_read, fallbacks) — one row
+    per partition segment of every partitioned table.  [part_index] and
+    [part_bounds] dodge the PARTITION/BOUNDS keywords.
+    [sc_name]/[sc_state] are NULL until a domain SC has been mined for
+    the segment; [rows_scanned]/[pages_read]/[fallbacks] read the
+    cumulative per-partition counters out of {!Metrics}. *)
+
+val partition_row :
+  table_name:string -> partition:int -> spec:string -> bounds:string ->
+  rows:int -> sc_name:string option -> sc_state:string option ->
+  rows_scanned:int -> pages_read:int -> fallbacks:int -> Tuple.t
+
 val sessions_schema : Schema.t
 (** sys.sessions(session_id, name, state, in_txn, queries, writes,
     errors, prepared) — one row per server session, registered by

@@ -149,7 +149,10 @@ let rec alias_estimates senv (l : Logical.t) acc =
 (* the scans visible below a node: alias -> table *)
 let rec scans_below plan acc =
   match plan with
-  | Plan.Seq_scan { table; alias; _ } | Plan.Index_scan { table; alias; _ } ->
+  | Plan.Seq_scan { table; alias; _ }
+  | Plan.Index_scan { table; alias; _ }
+  | Plan.Partition_scan { table; alias; _ }
+  | Plan.Scatter_gather { table; alias; _ } ->
       (norm alias, table) :: acc
   | Plan.Filter { input; _ }
   | Plan.Project { input; _ }
@@ -225,6 +228,39 @@ let rec estimate senv alias_est (plan : Plan.t) =
       scan_estimate senv alias_est ~table ~alias ~filter
   | Plan.Index_scan { table; alias; filter; _ } ->
       scan_estimate senv alias_est ~table ~alias ~filter
+  | Plan.Scatter_gather { table; alias; children; _ } -> (
+      (* the gather of all surviving partitions re-produces the blended
+         per-alias estimate; a partial gather scales it by the surviving
+         row fraction *)
+      let whole = scan_estimate senv alias_est ~table ~alias ~filter:Rel.Expr.Ptrue in
+      match Rel.Database.partitioning senv.Selectivity.db table with
+      | None -> whole
+      | Some part ->
+          let total =
+            List.init (Rel.Partition.count part) (Rel.Partition.rows part)
+            |> List.fold_left ( + ) 0
+          in
+          let surviving =
+            List.fold_left
+              (fun acc (i, _) -> acc + Rel.Partition.rows part i)
+              0 children
+          in
+          if total = 0 then 0.0
+          else whole *. (float_of_int surviving /. float_of_int total))
+  | Plan.Partition_scan { table; alias; filter; partition } -> (
+      let whole = scan_estimate senv alias_est ~table ~alias ~filter in
+      match Rel.Database.partitioning senv.Selectivity.db table with
+      | None -> whole
+      | Some part ->
+          let total =
+            List.init (Rel.Partition.count part) (Rel.Partition.rows part)
+            |> List.fold_left ( + ) 0
+          in
+          if total = 0 then 0.0
+          else
+            whole
+            *. (float_of_int (Rel.Partition.rows part partition)
+               /. float_of_int total))
   | Plan.Filter { input; pred } ->
       estimate senv alias_est input
       *. pred_sel senv (scans_below input []) pred
@@ -329,10 +365,19 @@ let node_label (plan : Plan.t) =
   | Plan.Union_all inputs ->
       Fmt.str "UnionAll (%d branches)" (List.length inputs)
   | Plan.Limit { n; _ } -> Fmt.str "Limit %d" n
+  | Plan.Partition_scan { table; alias; partition; filter } ->
+      Fmt.str "PartitionScan %s%s partition %d%a" table
+        (if alias = table then "" else " as " ^ alias)
+        partition Plan.pp_filter filter
+  | Plan.Scatter_gather { table; alias; children } ->
+      Fmt.str "ScatterGather %s%s (%d partitions)" table
+        (if alias = table then "" else " as " ^ alias)
+        (List.length children)
 
 let children (plan : Plan.t) =
   match plan with
-  | Plan.Seq_scan _ | Plan.Index_scan _ -> []
+  | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Partition_scan _ -> []
+  | Plan.Scatter_gather { children; _ } -> List.map snd children
   | Plan.Filter { input; _ }
   | Plan.Project { input; _ }
   | Plan.Sort { input; _ }

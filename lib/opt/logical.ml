@@ -37,7 +37,12 @@ let introduced_pred ~rule pred =
 let twin_pred ~sc ~confidence ?replaces pred =
   { pred; origin = Twin sc; estimation_only = true; confidence; replaces }
 
-type source = { table : string; alias : string }
+type source = {
+  table : string;
+  alias : string;
+  partitions : int list option;
+      (* surviving partitions of a partitioned table; [None] = all *)
+}
 
 type block = {
   distinct : bool;
@@ -63,7 +68,9 @@ let of_select (s : Sqlfe.Ast.select) : block =
   let from =
     List.map
       (fun (r : Sqlfe.Ast.table_ref) ->
-        { table = r.table; alias = Option.value r.alias ~default:r.table })
+        { table = r.table;
+          alias = Option.value r.alias ~default:r.table;
+          partitions = None })
       s.from
   in
   (if from = [] then unsupported "query with empty FROM");

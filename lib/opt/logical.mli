@@ -33,7 +33,14 @@ val twin_pred :
   sc:string -> confidence:float -> ?replaces:Expr.col_ref -> Expr.pred ->
   pred_item
 
-type source = { table : string; alias : string }
+type source = {
+  table : string;
+  alias : string;
+  partitions : int list option;
+      (** surviving partitions of a partitioned table after pruning
+          ({!Rewrite}), ascending; [None] means all (or the table is not
+          partitioned) *)
+}
 
 type block = {
   distinct : bool;

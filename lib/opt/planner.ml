@@ -93,6 +93,52 @@ let access_path env (block : Logical.block) (s : Logical.source) local_preds
   let pages = float_of_int (Table.pages table) in
   let filter = Expr.conjoin local_preds in
   let out_card = rows *. blended_sel in
+  match Database.partitioning env.db s.Logical.table with
+  | Some part ->
+      (* partitioned source: scatter the surviving segments (all of them
+         unless {!Rewrite} pruned) and gather in segment order.  Access
+         within a segment is sequential — the heap indexes span the
+         whole table, so a segment-local probe would not be honest about
+         I/O. *)
+      let surviving =
+        match s.Logical.partitions with
+        | Some ps ->
+            List.filter (fun i -> i >= 0 && i < Partition.count part) ps
+        | None -> List.init (Partition.count part) Fun.id
+      in
+      let rpp = Table.rows_per_page table in
+      let seg_pages =
+        List.fold_left
+          (fun acc i -> acc + Partition.pages part i ~rows_per_page:rpp)
+          0 surviving
+      in
+      let seg_rows =
+        List.fold_left (fun acc i -> acc + Partition.rows part i) 0 surviving
+      in
+      let children =
+        List.map
+          (fun i ->
+            ( i,
+              Plan.Partition_scan
+                {
+                  table = s.Logical.table;
+                  alias = s.Logical.alias;
+                  partition = i;
+                  filter;
+                } ))
+          surviving
+      in
+      let plan =
+        Plan.Scatter_gather
+          { table = s.Logical.table; alias = s.Logical.alias; children }
+      in
+      let cost =
+        Cost.seq_scan env.params
+          ~pages:(float_of_int seg_pages)
+          ~rows:(float_of_int seg_rows)
+      in
+      (plan, cost, max 1.0 (float_of_int seg_rows *. blended_sel))
+  | None ->
   let seq_plan =
     Plan.Seq_scan { table = s.Logical.table; alias = s.Logical.alias; filter }
   in
@@ -167,6 +213,52 @@ let join_selectivity env block (_, ka, _, kb, _) =
   in
   1.0 /. float_of_int (max (ndv_of ka) (ndv_of kb))
 
+(* Partition-constraint join bound (paper §2: constraints as
+   characterizations feeding the estimator).  When both sides are base
+   sources of tables partitioned the same way and the equi-join keys are
+   their partition columns, matches are confined to same-numbered
+   segments, so [Σᵢ lᵢ·rᵢ] caps the join output. *)
+let aligned_cap env (block : Logical.block) left right eqs =
+  match (left.aliases, right.aliases) with
+  | [ la ], [ ra ] -> (
+      let source a =
+        List.find_opt
+          (fun (s : Logical.source) -> norm s.Logical.alias = a)
+          block.Logical.from
+      in
+      match (source la, source ra) with
+      | Some ls, Some rs -> (
+          match
+            ( Database.partitioning env.db ls.Logical.table,
+              Database.partitioning env.db rs.Logical.table )
+          with
+          | Some lp, Some rp when Partition.aligned lp rp ->
+              let is_part_col part k =
+                match k with
+                | Expr.Col r -> norm r.Expr.col = norm (Partition.column part)
+                | _ -> false
+              in
+              let keyed =
+                List.exists
+                  (fun (a1, k1, a2, k2, _) ->
+                    (a1 = la && a2 = ra && is_part_col lp k1
+                   && is_part_col rp k2)
+                    || (a1 = ra && a2 = la && is_part_col rp k1
+                      && is_part_col lp k2))
+                  eqs
+              in
+              if keyed then
+                let seg_rows p =
+                  Array.init (Partition.count p) (Partition.rows p)
+                in
+                Some
+                  (Part_stats.aligned_join_cap ~left:(seg_rows lp)
+                     ~right:(seg_rows rp))
+              else None
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
 let order_joins env (block : Logical.block) (cls : classified) base_rels =
   match base_rels with
   | [] -> unplannable "no relations"
@@ -205,6 +297,11 @@ let order_joins env (block : Logical.block) (cls : classified) base_rels =
                   1.0 eqs
               in
               let out = !current.card *. cand.card *. sel in
+              let out =
+                match aligned_cap env block !current cand eqs with
+                | Some cap -> Float.min out cap
+                | None -> out
+              in
               (cand, eqs, out))
             !remaining
         in

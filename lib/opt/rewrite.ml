@@ -23,6 +23,7 @@ type flags = {
   fd_simplification : bool;
   exception_union : bool;
   twinning : bool;
+  partition_pruning : bool;
 }
 
 let all_on =
@@ -34,6 +35,7 @@ let all_on =
     fd_simplification = true;
     exception_union = true;
     twinning = true;
+    partition_pruning = true;
   }
 
 let all_off =
@@ -45,6 +47,7 @@ let all_off =
     fd_simplification = false;
     exception_union = false;
     twinning = false;
+    partition_pruning = false;
   }
 
 (* Statistical soft constraints usable for twinning come in the shapes our
@@ -70,6 +73,16 @@ type exception_info = {
 type named_fd = { fd_sc : string option; fd : Mining.Fd_mine.fd }
 type named_holes = { holes_sc : string option; holes : Mining.Join_holes.t }
 
+(* A valid absolute partition-domain SC: every row of [part_table] that
+   routes to segment [part_index] satisfies [part_pred] — usually tighter
+   than the routing bounds, which is what makes it worth guarding. *)
+type part_sc = {
+  part_sc_name : string option;
+  part_table : string;
+  part_index : int;
+  part_pred : Expr.pred;
+}
+
 type ctx = {
   db : Database.t;
   flags : flags;
@@ -81,11 +94,12 @@ type ctx = {
   fds : named_fd list; (* valid (ASC-class) FDs *)
   holes : named_holes list; (* valid hole sets *)
   exceptions : exception_info list;
+  parts : part_sc list; (* valid partition-domain SCs *)
 }
 
 let make_ctx ?(flags = all_on) ?(ascs = []) ?(asc_shapes = []) ?(sscs = [])
-    ?(fds = []) ?(holes = []) ?(exceptions = []) db =
-  { db; flags; ascs; asc_shapes; sscs; fds; holes; exceptions }
+    ?(fds = []) ?(holes = []) ?(exceptions = []) ?(parts = []) db =
+  { db; flags; ascs; asc_shapes; sscs; fds; holes; exceptions; parts }
 
 (* The structural change a rewrite made to the plan — one constructor per
    way a transformation can alter semantics (or, for twins, estimation).
@@ -102,6 +116,7 @@ type delta =
   | Union_split of { fast_pred : Expr.pred; exc_table : string }
   | Branch_pruned
   | Block_falsified
+  | Partition_pruned of { table : string; alias : string; partition : int }
 
 (* Twins are the one delta that cannot change results; everything else
    alters the executable plan and therefore needs an absolute basis. *)
@@ -1293,6 +1308,115 @@ let falsify block =
       @ [ Logical.introduced_pred ~rule:"unsatisfiable" Expr.Pfalse ];
   }
 
+(* ---- rule: partition pruning -------------------------------------------- *)
+
+(* Eliminate partitions of a partitioned source whose partition
+   constraint — the routing bounds, optionally tightened by valid
+   partition-domain SCs — contradicts the block's query predicates.  The
+   same NULL discipline as [block_unsatisfiable] applies: a contradiction
+   only counts when anchored by a query predicate on the same column,
+   because a query range or equality predicate excludes NULL rows while a
+   partition constraint (CHECK semantics) passes on them.  That anchoring
+   is also what makes it sound to strip the IS NULL arm that segment 0 of
+   a range partitioning carries (NULLs route there). *)
+
+let rec strip_null_arms = function
+  | Expr.Or (p, Expr.Is_null _) -> strip_null_arms p
+  | p -> p
+
+let partition_scs_of ctx (s : Logical.source) i =
+  List.filter
+    (fun p -> norm p.part_table = norm s.Logical.table && p.part_index = i)
+    ctx.parts
+
+let partition_contradicts ctx block (s : Logical.source) part_preds =
+  let kf = key_of ctx block in
+  let query_preds = exec_pred_list block in
+  let part_preds = List.map (requalify s.Logical.alias) part_preds in
+  let q_entries, _ = Interval.summarize ~key_of:kf query_preds in
+  let all_entries, _ =
+    Interval.summarize ~key_of:kf (query_preds @ part_preds)
+  in
+  List.exists
+    (fun (key, (_, iv)) ->
+      Interval.is_empty iv && List.mem_assoc key q_entries)
+    all_entries
+
+(* A hash partition survives only the bucket an equality on the partition
+   column routes to — routing-hard, so such a prune needs no SC premise. *)
+let hash_exclusion ctx block (s : Logical.source) part i =
+  match Partition.spec part with
+  | Partition.Range _ -> false
+  | Partition.Hash _ ->
+      let col = Partition.column part in
+      let want =
+        match key_of ctx block { Expr.rel = Some s.Logical.alias; col } with
+        | Some key -> Some key
+        | None -> None
+      in
+      (match want with
+      | None -> false
+      | Some key ->
+          Interval.const_bindings (exec_pred_list block)
+          |> List.exists (fun (r, v) ->
+                 key_of ctx block r = Some key
+                 && Partition.route_value part v <> i))
+
+let partition_pruning_step ctx applied (block : Logical.block) =
+  let prune_source (s : Logical.source) =
+    match Database.partitioning ctx.db s.Logical.table with
+    | None -> s
+    | Some part ->
+        let candidates =
+          match s.Logical.partitions with
+          | Some ps -> ps
+          | None -> List.init (Partition.count part) Fun.id
+        in
+        let survivors =
+          List.filter
+            (fun i ->
+              let hard = strip_null_arms (Partition.constraint_pred part i) in
+              if
+                hash_exclusion ctx block s part i
+                || partition_contradicts ctx block s [ hard ]
+              then begin
+                log ~delta:(Partition_pruned
+                              { table = s.Logical.table;
+                                alias = s.Logical.alias; partition = i })
+                  applied "partition_pruning"
+                  "partition %d of %s contradicts the query predicates" i
+                  s.Logical.table;
+                false
+              end
+              else
+                let scs = partition_scs_of ctx s i in
+                let sc_preds = List.map (fun p -> p.part_pred) scs in
+                if
+                  sc_preds <> []
+                  && partition_contradicts ctx block s (hard :: sc_preds)
+                then begin
+                  let names = List.filter_map (fun p -> p.part_sc_name) scs in
+                  log
+                    ?sc:(match names with n :: _ -> Some n | [] -> None)
+                    ~premises:names
+                    ~delta:(Partition_pruned
+                              { table = s.Logical.table;
+                                alias = s.Logical.alias; partition = i })
+                    applied "partition_pruning"
+                    "partition %d of %s: domain SC contradicts the query \
+                     predicates"
+                    i s.Logical.table;
+                  false
+                end
+                else true)
+            candidates
+        in
+        if List.length survivors < List.length candidates then
+          { s with Logical.partitions = Some survivors }
+        else s
+  in
+  { block with Logical.from = List.map prune_source block.Logical.from }
+
 let rewrite_block_phase1 ctx applied block =
   let block =
     if ctx.flags.unionall_pruning && block_unsatisfiable ctx block then begin
@@ -1302,6 +1426,10 @@ let rewrite_block_phase1 ctx applied block =
         "block contradicts its constraints";
       falsify block
     end
+    else block
+  in
+  let block =
+    if ctx.flags.partition_pruning then partition_pruning_step ctx applied block
     else block
   in
   let block =
@@ -1386,3 +1514,5 @@ let pp_delta ppf = function
         (Expr.to_string_pred fast_pred) exc_table
   | Branch_pruned -> Fmt.pf ppf "UNION ALL branch pruned"
   | Block_falsified -> Fmt.pf ppf "block proven empty"
+  | Partition_pruned { table; alias; partition } ->
+      Fmt.pf ppf "partition %d of %s (%s) pruned" partition table alias

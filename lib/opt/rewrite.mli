@@ -34,6 +34,7 @@ type flags = {
   fd_simplification : bool;
   exception_union : bool;
   twinning : bool;
+  partition_pruning : bool;
 }
 
 val all_on : flags
@@ -63,6 +64,17 @@ type named_fd = { fd_sc : string option; fd : Mining.Fd_mine.fd }
 
 type named_holes = { holes_sc : string option; holes : Mining.Join_holes.t }
 
+type part_sc = {
+  part_sc_name : string option;
+  part_table : string;
+  part_index : int;
+  part_pred : Expr.pred;
+}
+(** A valid absolute partition-domain SC: every row of [part_table] that
+    routes to segment [part_index] satisfies [part_pred].  Usually
+    tighter than the routing bounds — the overturnable premise behind a
+    guarded partition prune. *)
+
 type ctx = {
   db : Database.t;
   flags : flags;
@@ -75,13 +87,14 @@ type ctx = {
   fds : named_fd list;  (** valid (ASC-class) FDs *)
   holes : named_holes list;
   exceptions : exception_info list;
+  parts : part_sc list;  (** valid partition-domain SCs *)
 }
 
 val make_ctx :
   ?flags:flags -> ?ascs:Icdef.t list -> ?asc_shapes:ssc list ->
   ?sscs:ssc list -> ?fds:named_fd list ->
   ?holes:named_holes list -> ?exceptions:exception_info list ->
-  Database.t -> ctx
+  ?parts:part_sc list -> Database.t -> ctx
 
 (** The structural change a rewrite made to the plan — together with the
     premise list this forms the machine-checkable certificate that
@@ -98,6 +111,10 @@ type delta =
   | Union_split of { fast_pred : Expr.pred; exc_table : string }
   | Branch_pruned
   | Block_falsified
+  | Partition_pruned of { table : string; alias : string; partition : int }
+      (** the named partition was eliminated from the named source;
+          sound iff its partition constraint contradicts the query
+          predicates ({!Check.Cert} re-derives this) *)
 
 val delta_changes_results : delta -> bool
 (** [false] only for {!Pred_twinned}: every other delta alters the

@@ -1,0 +1,34 @@
+(** The scatter-batch protocol: claim-flag work distribution for
+    partition-parallel subtasks.
+
+    A batch is a fixed array of subtasks, each run exactly once by
+    whoever claims it.  The intended use ({!Srv.Scatter}) is: the
+    submitter offers helper jobs to the worker pool, then calls
+    {!drain} — stealing unclaimed subtasks onto its own domain — and
+    finally {!wait}s for the claims still running elsewhere.  That order
+    makes the protocol deadlock-free under pool saturation: a helper
+    job that never runs just leaves its subtask for the submitter.
+
+    The batch mutex ([srv.scatter.batch] in the lock-order table) only
+    guards claim/outcome bookkeeping; subtasks run outside it. *)
+
+type t
+
+val create : (unit -> unit) array -> t
+val size : t -> int
+
+val claim : t -> int option
+(** Hand out the next unclaimed subtask index, [None] when all are
+    claimed. *)
+
+val run : t -> int -> unit
+(** Execute a claimed subtask, recording its outcome ([Some exn] if it
+    raised); the last finisher releases {!wait}. Call exactly once per
+    claimed index. *)
+
+val drain : t -> unit
+(** Claim and run subtasks until none are unclaimed. *)
+
+val wait : t -> exn option array
+(** Block until every subtask has finished; per-index outcomes
+    ([None] = completed normally). *)

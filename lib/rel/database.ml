@@ -25,6 +25,7 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   indexes : (string, Index.t) Hashtbl.t; (* by index name *)
   virtuals : (string, virtual_def) Hashtbl.t;
+  partitions : (string, Partition.t) Hashtbl.t; (* by table name *)
   mutable constraints : Icdef.t list;
   mutable listeners : (mutation -> unit) list;
 }
@@ -38,6 +39,7 @@ let create () =
     tables = Hashtbl.create 16;
     indexes = Hashtbl.create 16;
     virtuals = Hashtbl.create 8;
+    partitions = Hashtbl.create 4;
     constraints = [];
     listeners = [];
   }
@@ -97,8 +99,65 @@ let drop_table t name =
       t.indexes []
   in
   List.iter (Hashtbl.remove t.indexes) stale;
+  Hashtbl.remove t.partitions key;
   t.constraints <-
     List.filter (fun ic -> norm ic.Icdef.table <> key) t.constraints
+
+(* ---- partitioning ----------------------------------------------------- *)
+
+(* Declaring a partitioning routes every existing row into its segment;
+   from then on the mutation paths below keep segment membership exact.
+   The heap is untouched — rids, indexes and scans all keep working —
+   so partitioning is purely additive metadata plus bookkeeping. *)
+let declare_partitioning t ~table spec =
+  let key = norm table in
+  if Hashtbl.mem t.virtuals key then
+    error "cannot partition virtual table %s" table;
+  let tbl = table_exn t table in
+  if Hashtbl.mem t.partitions key then
+    error "table %s is already partitioned" table;
+  let part =
+    try Partition.make (Table.schema tbl) spec
+    with Invalid_argument m -> error "cannot partition %s: %s" table m
+  in
+  Table.iteri tbl ~f:(fun rid row -> Partition.add part (Partition.route part row) rid);
+  Hashtbl.replace t.partitions key part;
+  part
+
+let partitioning t table = Hashtbl.find_opt t.partitions (norm table)
+
+let partitioned_tables t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.partitions []
+  |> List.sort String.compare
+
+let route_rid t table row =
+  match partitioning t table with
+  | None -> -1
+  | Some part -> Partition.route part row
+
+let seg_insert t table rid row =
+  match partitioning t table with
+  | None -> ()
+  | Some part -> Partition.add part (Partition.route part row) rid
+
+let seg_delete t table rid row =
+  match partitioning t table with
+  | None -> ()
+  | Some part -> Partition.remove part (Partition.route part row) rid
+
+let seg_update t table rid ~before ~after =
+  match partitioning t table with
+  | None -> ()
+  | Some part ->
+      let src = Partition.route part before
+      and dst = Partition.route part after in
+      if src <> dst then begin
+        Partition.remove part src rid;
+        Partition.add part dst rid
+      end
+      else
+        (* in-place churn still ages the segment's currency anchor *)
+        Partition.touch part src
 
 (* ---- indexes ---------------------------------------------------------- *)
 
@@ -220,6 +279,7 @@ let insert t ~table row =
      (* roll the heap insert back so storage and indexes agree *)
      ignore (Table.delete tbl rid);
      raise e);
+  seg_insert t table rid row;
   notify t (Inserted { table = Table.name tbl; rid; row });
   rid
 
@@ -236,6 +296,7 @@ let delete t ~table rid =
       | None -> ());
       ignore (Table.delete tbl rid);
       List.iter (fun idx -> Index.on_delete idx rid row) (indexes_on t table);
+      seg_delete t table rid row;
       notify t (Deleted { table = Table.name tbl; rid; row });
       true
 
@@ -279,6 +340,7 @@ let update t ~table rid row =
   List.iter
     (fun idx -> Index.on_update idx rid ~before ~after)
     (indexes_on t table);
+  seg_update t table rid ~before ~after:(Table.get_exn tbl rid);
   notify t (Updated { table = Table.name tbl; rid; before; after })
 
 (* Bulk load: validates rows against the schema and enforced constraints
@@ -294,6 +356,7 @@ let restore t ~table rid row =
   Table.restore tbl rid row;
   let row = Table.get_exn tbl rid in
   List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table);
+  seg_insert t table rid row;
   notify t (Inserted { table = Table.name tbl; rid; row })
 
 (* ---- log replay ------------------------------------------------------- *)
@@ -309,7 +372,8 @@ let replay_insert t ~table rid row =
   let tbl = table_exn t table in
   Table.place tbl rid row;
   let row = Table.get_exn tbl rid in
-  List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table)
+  List.iter (fun idx -> Index.on_insert idx rid row) (indexes_on t table);
+  seg_insert t table rid row
 
 let replay_delete t ~table rid =
   let tbl = table_exn t table in
@@ -317,7 +381,8 @@ let replay_delete t ~table rid =
   | None -> ()
   | Some row ->
       ignore (Table.delete tbl rid);
-      List.iter (fun idx -> Index.on_delete idx rid row) (indexes_on t table)
+      List.iter (fun idx -> Index.on_delete idx rid row) (indexes_on t table);
+      seg_delete t table rid row
 
 let replay_update t ~table rid row =
   let tbl = table_exn t table in
@@ -326,7 +391,8 @@ let replay_update t ~table rid row =
   let after = Table.get_exn tbl rid in
   List.iter
     (fun idx -> Index.on_update idx rid ~before ~after)
-    (indexes_on t table)
+    (indexes_on t table);
+  seg_update t table rid ~before ~after
 
 let pp ppf t =
   Fmt.pf ppf "database: %d tables, %d indexes, %d constraints"

@@ -70,6 +70,28 @@ val find_index_on : t -> string -> string list -> Index.t option
 val find_index_on_column : t -> string -> string -> Index.t option
 (** A single-column index on this column (access-path selection). *)
 
+(** {1 Partitioning}
+
+    A table may carry one horizontal partitioning ({!Partition}).  The
+    heap stays single — rids, indexes and existing scans are untouched —
+    while the mutation paths below keep per-segment rid membership,
+    row counts, and partition-local mutation counters exact (including
+    updates that move a row between segments, and rid-faithful replay). *)
+
+val declare_partitioning : t -> table:string -> Partition.spec -> Partition.t
+(** Routes every existing row into its segment and installs the
+    bookkeeping.  Raises {!Catalog_error} on a virtual table, an already
+    partitioned table, or an invalid spec. *)
+
+val partitioning : t -> string -> Partition.t option
+
+val partitioned_tables : t -> string list
+(** Normalized names of partitioned base tables, sorted. *)
+
+val route_rid : t -> string -> Tuple.t -> int
+(** The segment this row routes to, [-1] when the table is not
+    partitioned — the WAL shard tag ({!Core.Recovery}). *)
+
 (** {1 Constraints} *)
 
 val checker_env : t -> Checker.env

@@ -1,0 +1,186 @@
+(* Horizontal partitioning: routing spec + per-segment bookkeeping.
+
+   The heap stays single (rids stable); a partitioning overlays it with
+   disjoint rid sets.  Everything here must be deterministic across runs
+   and across crash/replay, which is why hashing is structural and
+   hand-rolled rather than [Hashtbl.hash] (whose behaviour we do not
+   want to depend on) and why [Null] has a fixed home (segment 0 for
+   range, bucket of hash 0 for hash). *)
+
+type spec =
+  | Range of { column : string; bounds : Value.t list }
+  | Hash of { column : string; buckets : int }
+
+type segment = {
+  rids : (Table.rid, unit) Hashtbl.t;
+  mutable seg_mutations : int;
+}
+
+type t = {
+  spec : spec;
+  column : string;
+  column_index : int;
+  segments : segment array;
+}
+
+let invalid fmt = Printf.ksprintf invalid_arg fmt
+
+let spec_column = function
+  | Range { column; _ } -> column
+  | Hash { column; _ } -> column
+
+let spec_count = function
+  | Range { bounds; _ } -> List.length bounds + 1
+  | Hash { buckets; _ } -> buckets
+
+let validate schema spec =
+  let column = spec_column spec in
+  (match Schema.find_index schema column with
+  | Some _ -> ()
+  | None ->
+      invalid "partition column %s does not exist in table %s" column
+        schema.Schema.table);
+  match spec with
+  | Range { bounds = []; _ } ->
+      invalid "range partitioning needs at least one bound"
+  | Range { bounds; _ } ->
+      List.iter
+        (fun b ->
+          if Value.is_null b then invalid "partition bounds may not be NULL")
+        bounds;
+      let rec ascending = function
+        | a :: (b :: _ as rest) ->
+            if Value.compare_total a b >= 0 then
+              invalid "partition bounds must be strictly ascending";
+            ascending rest
+        | _ -> ()
+      in
+      ascending bounds
+  | Hash { buckets; _ } ->
+      if buckets < 2 then invalid "hash partitioning needs at least 2 buckets"
+
+let make schema spec =
+  validate schema spec;
+  {
+    spec;
+    column = spec_column spec;
+    column_index = Schema.index_exn schema (spec_column spec);
+    segments =
+      Array.init (spec_count spec) (fun _ ->
+          { rids = Hashtbl.create 64; seg_mutations = 0 });
+  }
+
+let spec t = t.spec
+let column t = t.column
+let count t = Array.length t.segments
+
+(* A fixed structural hash: stable across processes, unlike the
+   runtime's randomized-seed [Hashtbl.hash] configurations.  FNV-1a over
+   a tag byte plus the value's canonical bytes. *)
+let hash_value v =
+  let fnv_prime = 0x01000193 in
+  let h = ref 0x811c9dc5 in
+  let feed byte = h := (!h lxor (byte land 0xff)) * fnv_prime land 0x3FFFFFFF in
+  let feed_int i =
+    feed i; feed (i asr 8); feed (i asr 16); feed (i asr 24)
+  in
+  (match v with
+  | Value.Null -> feed 0
+  | Value.Int i -> feed 1; feed_int i
+  | Value.Float f -> feed 2; feed_int (Int64.to_int (Int64.bits_of_float f))
+  | Value.String s -> feed 3; String.iter (fun c -> feed (Char.code c)) s
+  | Value.Bool b -> feed 4; feed (if b then 1 else 0)
+  | Value.Date d -> feed 5; feed_int (Date.diff_days d Date.epoch));
+  !h
+
+let route_value t v =
+  match t.spec with
+  | Hash { buckets; _ } -> hash_value v mod buckets
+  | Range { bounds; _ } ->
+      if Value.is_null v then 0
+      else
+        (* number of bounds at or below the value = segment index *)
+        List.fold_left
+          (fun seg b -> if Value.compare_total v b >= 0 then seg + 1 else seg)
+          0 bounds
+
+let route t row = route_value t (Tuple.get row t.column_index)
+
+let seg t i =
+  if i < 0 || i >= Array.length t.segments then
+    invalid "partition %d out of range (%d segments)" i
+      (Array.length t.segments);
+  t.segments.(i)
+
+let add t i rid =
+  let s = seg t i in
+  Hashtbl.replace s.rids rid ();
+  s.seg_mutations <- s.seg_mutations + 1
+
+let remove t i rid =
+  let s = seg t i in
+  Hashtbl.remove s.rids rid;
+  s.seg_mutations <- s.seg_mutations + 1
+
+let touch t i =
+  let s = seg t i in
+  s.seg_mutations <- s.seg_mutations + 1
+
+let mem t i rid = Hashtbl.mem (seg t i).rids rid
+
+let members t i =
+  (* ascending rid order: segment scans must be deterministic whatever
+     insertion order built the hashtable *)
+  Hashtbl.fold (fun rid () acc -> rid :: acc) (seg t i).rids []
+  |> List.sort compare
+
+let rows t i = Hashtbl.length (seg t i).rids
+let seg_mutations t i = (seg t i).seg_mutations
+
+let pages t i ~rows_per_page =
+  let n = rows t i in
+  if n = 0 then 0 else ((n + rows_per_page - 1) / rows_per_page)
+
+let constraint_pred t i =
+  ignore (seg t i);
+  match t.spec with
+  | Hash _ -> Expr.Ptrue
+  | Range { column; bounds } ->
+      let c = Expr.column column in
+      let k = List.length bounds in
+      let bound n = Expr.const (List.nth bounds n) in
+      if i = 0 then
+        (* NULLs route to segment 0, so its constraint must admit them *)
+        Expr.Or (Expr.Cmp (Expr.Lt, c, bound 0), Expr.Is_null c)
+      else if i = k then Expr.Cmp (Expr.Ge, c, bound (k - 1))
+      else
+        Expr.And
+          ( Expr.Cmp (Expr.Ge, c, bound (i - 1)),
+            Expr.Cmp (Expr.Lt, c, bound i) )
+
+let aligned a b =
+  match (a.spec, b.spec) with
+  | Range { bounds = ba; _ }, Range { bounds = bb; _ } ->
+      List.length ba = List.length bb
+      && List.for_all2 (fun x y -> Value.compare_total x y = 0) ba bb
+  | Hash { buckets = x; _ }, Hash { buckets = y; _ } -> x = y
+  | _ -> false
+
+let value_to_string = function
+  | Value.Null -> "NULL"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.String s -> Printf.sprintf "'%s'" s
+  | Value.Bool b -> if b then "TRUE" else "FALSE"
+  | Value.Date d -> Printf.sprintf "'%s'" (Date.to_string d)
+
+let spec_to_string = function
+  | Range { column; bounds } ->
+      Printf.sprintf "RANGE (%s) BOUNDS (%s)" column
+        (String.concat ", " (List.map value_to_string bounds))
+  | Hash { column; buckets } ->
+      Printf.sprintf "HASH (%s) BUCKETS %d" column buckets
+
+let pp ppf t =
+  Fmt.pf ppf "partitioning %s into %d segments" (spec_to_string t.spec)
+    (count t)

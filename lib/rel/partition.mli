@@ -1,0 +1,92 @@
+(** Horizontal partitioning: a table's rows split into disjoint segments
+    by a range or hash function of one column.
+
+    A partitioning is declarative metadata plus live bookkeeping: the
+    {e spec} fixes how rows route, and each {e segment} tracks the rid
+    membership, row count, and a partition-local mutation counter.  The
+    heap ({!Table}) stays single — rids remain stable and every existing
+    access path keeps working — while the segments give the executor
+    honest per-partition I/O accounting and give the soft-constraint
+    currency model (paper §3.3) a partition-local drift anchor, so one
+    hot shard's churn does not age its siblings' statistics.
+
+    Routing is total and deterministic: range partitioning sends [Null]
+    and everything below the first bound to segment 0; hash partitioning
+    uses a fixed structural hash (never the runtime's randomized one), so
+    two runs — or a crash and its replay — agree on every row's home. *)
+
+type spec =
+  | Range of { column : string; bounds : Value.t list }
+      (** [k] ascending bounds cut the column's domain into [k+1]
+          segments: segment [i] holds [bounds.(i-1) <= v < bounds.(i)]
+          (with the open ends at 0 and [k]). *)
+  | Hash of { column : string; buckets : int }
+
+type t
+
+val make : Schema.t -> spec -> t
+(** Validates the spec against the schema: the column must exist, range
+    bounds must be non-null, strictly ascending, and non-empty, hash
+    buckets must be at least 2.  Raises [Invalid_argument] otherwise. *)
+
+val spec : t -> spec
+val column : t -> string
+val count : t -> int
+(** Number of segments. *)
+
+val route_value : t -> Value.t -> int
+(** The segment a column value routes to. *)
+
+val route : t -> Tuple.t -> int
+(** The segment a full row routes to (reads the partition column). *)
+
+val hash_value : Value.t -> int
+(** The fixed structural hash behind hash routing, exposed so the
+    planner can prune hash partitions for equality predicates. *)
+
+(** {1 Segment membership}
+
+    Maintained by {!Database} on every mutation; each call bumps the
+    touched segment's local mutation counter. *)
+
+val add : t -> int -> Table.rid -> unit
+val remove : t -> int -> Table.rid -> unit
+val mem : t -> int -> Table.rid -> bool
+
+val members : t -> int -> Table.rid list
+(** A segment's rids in ascending order — the deterministic scan order
+    of {!Exec.Plan.Partition_scan}. *)
+
+val touch : t -> int -> unit
+(** Bump a segment's mutation counter without changing membership — an
+    in-place update that did not move the row. *)
+
+val rows : t -> int -> int
+(** Live rows in a segment. *)
+
+val seg_mutations : t -> int -> int
+(** Mutations that touched this segment since declaration (an update
+    that moves a row counts on both sides). *)
+
+val pages : t -> int -> rows_per_page:int -> int
+(** Fixed-width page count of a segment under the shared page model:
+    [ceil (rows / rows_per_page)], 0 when empty. *)
+
+val constraint_pred : t -> int -> Expr.pred
+(** The partition constraint as a predicate on the bare column: what
+    routing guarantees of every row in the segment.  For range
+    partitioning this is the bound interval (segment 0 also admits
+    [NULL], which routes there); hash segments have no interval shape,
+    so their constraint is [Ptrue]. *)
+
+val aligned : t -> t -> bool
+(** Do two partitionings route equal values to equal segment numbers?
+    True for range specs with identical bounds and hash specs with equal
+    bucket counts (the structural hash is shared) — the precondition of
+    the aligned-join cardinality cap ({!Stats.Part_stats}). *)
+
+val spec_to_string : spec -> string
+(** SQL-ish rendering, e.g. ["RANGE (c) BOUNDS (10, 20)"] — the form the
+    DDL printer and [sys.partitions] both show. *)
+
+val pp : Format.formatter -> t -> unit

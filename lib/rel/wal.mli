@@ -47,6 +47,13 @@ type sc_change =
   | Sc_dropped of { name : string }
   | Sc_exception of { name : string; table : string }
 
+(** Data records carry a {e shard tag}: the partition segment whose
+    per-partition stream the record belongs to, [-1] for unpartitioned
+    tables.  Tags are assigned at row birth and inherited by the row's
+    later records, so one rid's records always live in one stream and
+    {!Core.Recovery.recover_sharded} can replay shards independently.
+    On disk the tag is a trailing optional field — records of
+    unpartitioned tables keep the historical line shape. *)
 type record =
   | Begin of { txn : int }
   | Commit of { txn : int }
@@ -56,12 +63,14 @@ type record =
       table : string;
       rid : Table.rid;
       row : Value.t array;
+      shard : int;
     }
   | Delete of {
       txn : int;
       table : string;
       rid : Table.rid;
       row : Value.t array;
+      shard : int;
     }
   | Update of {
       txn : int;
@@ -69,6 +78,7 @@ type record =
       rid : Table.rid;
       before : Value.t array;
       after : Value.t array;
+      shard : int;
     }
   | Ddl of { txn : int; sql : string }
       (** A schema statement, logged as its printed SQL and re-executed

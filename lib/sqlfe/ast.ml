@@ -74,6 +74,7 @@ type statement =
       unique : bool;
     }
   | Alter_add_constraint of { table : string; con : table_constraint }
+  | Alter_partition_by of { table : string; spec : Partition.spec }
   | Drop_constraint of { table : string; name : string }
   | Create_exception_table of { name : string; constraint_name : string }
   | Insert of { table : string; columns : string list option;

@@ -74,6 +74,9 @@ type statement =
       unique : bool;
     }
   | Alter_add_constraint of { table : string; con : table_constraint }
+  | Alter_partition_by of { table : string; spec : Partition.spec }
+      (** [ALTER TABLE t PARTITION BY RANGE (c) BOUNDS (…)] /
+          [… HASH (c) BUCKETS n] *)
   | Drop_constraint of { table : string; name : string }
   | Create_exception_table of { name : string; constraint_name : string }
       (** the ASC-as-AST declaration of §4.4 *)

@@ -38,7 +38,7 @@ let keywords =
     "TEXT"; "BOOLEAN"; "BOOL"; "DATE"; "TRUE"; "FALSE";
     "ENFORCED"; "INFORMATIONAL"; "SOFT"; "CONFIDENCE"; "EXCEPTION"; "FOR";
     "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "VIEW"; "DAYS"; "EXPLAIN"; "RUNSTATS";
-    "ANALYZE";
+    "ANALYZE"; "PARTITION"; "RANGE"; "HASH"; "BOUNDS"; "BUCKETS";
   ]
 
 let keyword_set =

@@ -607,7 +607,48 @@ let parse_statement_inner st : Ast.statement =
         eat_kw st "CONSTRAINT";
         Ast.Drop_constraint { table; name = ident st }
       end
-      else fail "expected ADD or DROP after ALTER TABLE"
+      else if accept_kw st "PARTITION" then begin
+        eat_kw st "BY";
+        let part_column () =
+          eat st LPAREN;
+          let c = ident st in
+          eat st RPAREN;
+          c
+        in
+        let literal () =
+          match parse_literal st with
+          | Some v -> v
+          | None ->
+              fail "expected a literal, found %s" (string_of_token (peek st))
+        in
+        if accept_kw st "RANGE" then begin
+          let column = part_column () in
+          eat_kw st "BOUNDS";
+          eat st LPAREN;
+          let rec bounds acc =
+            let v = literal () in
+            if accept st COMMA then bounds (v :: acc)
+            else begin
+              eat st RPAREN;
+              List.rev (v :: acc)
+            end
+          in
+          Ast.Alter_partition_by
+            { table; spec = Partition.Range { column; bounds = bounds [] } }
+        end
+        else if accept_kw st "HASH" then begin
+          let column = part_column () in
+          eat_kw st "BUCKETS";
+          match peek st with
+          | INT_LIT buckets ->
+              advance st;
+              Ast.Alter_partition_by
+                { table; spec = Partition.Hash { column; buckets } }
+          | t -> fail "expected a bucket count, found %s" (string_of_token t)
+        end
+        else fail "expected RANGE or HASH after PARTITION BY"
+      end
+      else fail "expected ADD, DROP or PARTITION after ALTER TABLE"
   | KW "INSERT" ->
       advance st;
       parse_insert st

@@ -95,6 +95,18 @@ let pp_statement ppf = function
         columns
   | Ast.Alter_add_constraint { table; con } ->
       Fmt.pf ppf "ALTER TABLE %s ADD %a" table pp_table_constraint con
+  | Ast.Alter_partition_by { table; spec } -> (
+      (* [Value.pp] prints SQL-lexable literals (dates as [DATE '…']),
+         so the statement round-trips through the parser for WAL replay *)
+      match spec with
+      | Partition.Range { column; bounds } ->
+          Fmt.pf ppf "ALTER TABLE %s PARTITION BY RANGE (%s) BOUNDS (%a)"
+            table column
+            Fmt.(list ~sep:(any ", ") Value.pp)
+            bounds
+      | Partition.Hash { column; buckets } ->
+          Fmt.pf ppf "ALTER TABLE %s PARTITION BY HASH (%s) BUCKETS %d" table
+            column buckets)
   | Ast.Drop_constraint { table; name } ->
       Fmt.pf ppf "ALTER TABLE %s DROP CONSTRAINT %s" table name
   | Ast.Create_exception_table { name; constraint_name } ->

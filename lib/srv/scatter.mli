@@ -1,0 +1,18 @@
+(** The pool-backed scatter runner (see DESIGN.md §7).
+
+    Installs a parallel implementation of
+    {!Exec.Operators.scatter_runner}: partition subtasks fan out across
+    the scheduler's worker pool as helper jobs, the submitting domain
+    work-steals unclaimed subtasks (so saturation degrades to
+    sequential execution, never deadlock), and the submitting query's
+    deadline/cancellation abandon not-yet-started subtasks with
+    {!Exec.Operators.Scatter_abandoned}. *)
+
+val run : Scheduler.t -> (unit -> unit) array -> exn option array
+(** Run one batch of subtasks on the pool, returning per-subtask
+    outcomes in index order. *)
+
+val install : Scheduler.t -> unit
+(** Point the executor's [scatter_runner] at [run pool].  Process-wide:
+    the last installed pool wins; after its shutdown the runner still
+    completes every batch on the submitting domain. *)

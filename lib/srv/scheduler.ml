@@ -47,8 +47,20 @@ type t = {
 
 let default_workers () = max 2 (min 4 (Domain.recommended_domain_count () - 1))
 
+(* Deadline and cancellation of the job currently running on this
+   domain, stashed in domain-local storage so nested fan-out — the
+   scatter runner submitting partition subtasks mid-query — inherits
+   them without threading context through the executor. *)
+let job_ctx_key : (float option * (unit -> bool)) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (None, fun () -> false))
+
+let current_deadline () = fst (Domain.DLS.get job_ctx_key)
+let current_cancelled () = snd (Domain.DLS.get job_ctx_key)
+
 let locked t f =
-  (* @acquires srv.scheduler.queue *)
+  (* the scatter runner submits helper jobs mid-query, so this mutex can
+     be taken while the submitting session's locks are held *)
+  (* @acquires srv.scheduler.queue while srv.session db.rwlock *)
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
@@ -111,7 +123,13 @@ let rec worker_loop t =
          job.expired Proto.Deadline_exceeded
        end
        else begin
-         match job.run () with
+         Domain.DLS.set job_ctx_key (job.deadline, job.cancelled);
+         match
+           Fun.protect
+             ~finally:(fun () ->
+               Domain.DLS.set job_ctx_key (None, fun () -> false))
+             job.run
+         with
          | () ->
              Obs.Metrics.record_time t.metrics "srv.queue_wait"
                (now -. job.enqueued_at);
@@ -177,6 +195,29 @@ let submit t job =
   | `Rejected _ -> Obs.Metrics.incr t.metrics "srv.jobs_rejected"
   | `Shutting_down -> ());
   verdict
+
+(* Enqueue pool-assisted work the server generates for itself — scatter
+   helper jobs fanning a query's partition subtasks across the pool.
+   Admission control is deliberately skipped: the submitting query
+   already passed it and is occupying a worker; bouncing its subtasks
+   would deadlock progress against the very backlog the query is part
+   of.  [false] when the pool is shutting down — the submitter then
+   runs every subtask itself. *)
+let submit_internal t job =
+  let admitted =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          Queue.push job t.queue;
+          Condition.signal t.nonempty;
+          true
+        end)
+  in
+  if admitted then begin
+    Obs.Metrics.incr t.metrics "srv.scatter_helpers";
+    Obs.Metrics.add_gauge t.metrics "srv.queue_depth" 1.0
+  end;
+  admitted
 
 let shutdown t =
   let domains =

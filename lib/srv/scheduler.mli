@@ -53,6 +53,18 @@ val submit :
   t -> job -> [ `Admitted | `Rejected of int | `Shutting_down ]
 (** [`Rejected retry_after_ms] when the queue is at capacity. *)
 
+val submit_internal : t -> job -> bool
+(** Enqueue server-generated work (scatter helper jobs), skipping
+    admission control — the submitting query already passed it and
+    holds a worker.  [false] when shutting down; the caller must then
+    run the work itself. *)
+
+val current_deadline : unit -> float option
+val current_cancelled : unit -> unit -> bool
+(** Deadline / cancellation of the job currently running on this
+    domain ([None] / const-false outside a worker) — how the scatter
+    runner inherits the submitting query's limits. *)
+
 val shutdown : t -> unit
 (** Stop admitting, expire whatever is still queued (each job's
     [expired] runs with {!Proto.Shutting_down}), join the domains. *)

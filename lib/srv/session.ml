@@ -28,11 +28,20 @@
    [@waits]) annotation, and the lint fails the build on a rank
    inversion or an unannotated acquisition.
 
-   @lock-order srv.scheduler.queue rank=5
+   [srv.scheduler.queue] ranks *above* [db.rwlock]: the scatter runner
+   ({!Scatter}) submits partition subtasks to the pool from inside a
+   running query, i.e. while the session and read locks are held.
+   Nothing acquires session or engine locks while holding the queue
+   mutex (workers release it before running a job), so the high rank is
+   free.  [srv.scatter.batch] sits just above it: batch bookkeeping
+   happens under the same held set plus nothing else.
+
    @lock-order srv.transport.chan rank=10
    @lock-order srv.transport.write rank=12
    @lock-order srv.session rank=20
    @lock-order db.rwlock rank=30 reentrant
+   @lock-order srv.scheduler.queue rank=35
+   @lock-order srv.scatter.batch rank=37
    @lock-order srv.rwlock.state rank=40
    @lock-order srv.server.registry rank=50
    @lock-order core.plan_cache rank=60

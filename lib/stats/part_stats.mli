@@ -1,0 +1,20 @@
+(** Partition-constraint cardinality bounds (paper §2: constraint-like
+    characterizations feeding the estimator).
+
+    For an equi-join whose two sides are partitioned identically on the
+    join columns, only same-numbered segments can produce matches, so
+    the output is at most [Σᵢ left(i) · right(i)] — the {e aligned join
+    cap}.  The planner feeds this to join ordering as an upper bound on
+    the estimated output cardinality. *)
+
+val aligned_join_cap : left:int array -> right:int array -> float
+(** [Σᵢ left.(i) * right.(i)] over the common prefix of the two
+    per-segment row-count arrays. *)
+
+val cross_product : left:int array -> right:int array -> float
+(** [Σ left · Σ right]: the cap's trivial upper bound. *)
+
+val alignment_gain : left:int array -> right:int array -> float
+(** [aligned_join_cap / cross_product] in [0, 1] — how much the
+    partition constraints shrink the worst case (1.0 when either side is
+    empty). *)

@@ -576,7 +576,11 @@ let test_linear_correlation_opens_index () =
         | Exec.Plan.Hash_join { left; right; _ }
         | Exec.Plan.Merge_join { left; right; _ } ->
             uses_index left || uses_index right
-        | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _ -> false
+        | Exec.Plan.Scatter_gather { children; _ } ->
+            List.exists (fun (_, p) -> uses_index p) children
+        | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _
+        | Exec.Plan.Partition_scan _ ->
+            false
       in
       check tbool ("index on a used: " ^ sql) true
         (uses_index report.Opt.Explain.plan);

@@ -259,7 +259,11 @@ let test_predicate_introduction () =
   (* plan must now use the order_date index *)
   let rec uses_index = function
     | Exec.Plan.Index_scan { index = "purchase_order_date_idx"; _ } -> true
-    | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _ -> false
+    | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _
+    | Exec.Plan.Partition_scan _ ->
+        false
+    | Exec.Plan.Scatter_gather { children; _ } ->
+        List.exists (fun (_, p) -> uses_index p) children
     | Exec.Plan.Filter { input; _ }
     | Exec.Plan.Limit { input; _ }
     | Exec.Plan.Sort { input; _ }

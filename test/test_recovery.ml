@@ -41,8 +41,8 @@ let codec_records =
   in
   [
     Wal.Begin { txn = 7 };
-    Wal.Insert { txn = 7; table = "t"; rid = 3; row = nasty_row };
-    Wal.Delete { txn = 7; table = "t"; rid = 0; row = nasty_row };
+    Wal.Insert { txn = 7; table = "t"; rid = 3; row = nasty_row; shard = -1 };
+    Wal.Delete { txn = 7; table = "t"; rid = 0; row = nasty_row; shard = 2 };
     Wal.Update
       {
         txn = 7;
@@ -50,6 +50,7 @@ let codec_records =
         rid = 1;
         before = nasty_row;
         after = [| Value.Int 1; Value.Float (1.0 /. 3.0) |];
+        shard = 0;
       };
     Wal.Ddl { txn = 7; sql = "CREATE TABLE t (a INT)" };
     Wal.Sc { txn = 7; change = Wal.Sc_installed snap };

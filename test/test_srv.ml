@@ -828,6 +828,119 @@ let test_sc_overturn_falls_back_across_sessions () =
   quit bclient;
   Srv.Server.shutdown server
 
+(* ---- partitioned scatter-gather through the server ------------------------- *)
+
+(* Same generator seed + same partitioning ⇒ byte-identical result
+   ordering, run after run and server after server: the gather merges
+   its per-partition buffers in segment order, whatever the completion
+   order on the worker pool. *)
+let test_scatter_gather_deterministic () =
+  let mk_server () =
+    let sdb = small_purchase_sdb () in
+    ignore
+      (Core.Softdb.exec sdb
+         "ALTER TABLE purchase PARTITION BY RANGE (id) BOUNDS (500, 1000)");
+    Core.Softdb.runstats sdb;
+    (sdb, Srv.Server.create ~workers:4 ~queue_capacity:64 sdb)
+  in
+  (* server1 is created last: the executor's scatter runner is
+     process-global and the most recently installed pool wins, so the
+     helper-job metric must be read from server1's registry *)
+  let _, server2 = mk_server () in
+  let sdb1, server1 = mk_server () in
+  (* touches all three segments; enough rows to interleave completions *)
+  let sql = "SELECT id, amount FROM purchase WHERE quantity >= 1" in
+  (match (Core.Softdb.explain sdb1 sql).Opt.Explain.plan with
+  | Exec.Plan.Scatter_gather _ | Exec.Plan.Project { input = Exec.Plan.Scatter_gather _; _ } -> ()
+  | p ->
+      Alcotest.failf "expected a scatter-gather plan, got %s" (Exec.Plan.to_string p));
+  let run server =
+    let cl = connect server in
+    let lines =
+      List.init 3 (fun _ ->
+          let id = send cl (Srv.Proto.Statement sql) in
+          let r = recv cl in
+          check tint "response correlates" id r.Srv.Proto.id;
+          Srv.Proto.response_to_line { r with Srv.Proto.id = 0 })
+    in
+    quit cl;
+    lines
+  in
+  (match run server1 with
+  | [ a; b; c ] ->
+      check tbool "non-empty result" true (String.length a > 40);
+      check tbool "run-to-run byte-identical" true (a = b && b = c);
+      (match run server2 with
+      | d :: _ ->
+          check tbool "server-to-server byte-identical" true (a = d)
+      | [] -> Alcotest.fail "no responses from server2")
+  | _ -> Alcotest.fail "expected three responses");
+  (* the parallel path actually engaged: helper jobs were offered *)
+  check tbool "scatter helpers submitted" true
+    (Obs.Metrics.counter (Core.Softdb.metrics sdb1) "srv.scatter_helpers" > 0);
+  Srv.Server.shutdown server1;
+  Srv.Server.shutdown server2
+
+(* Mid-flight partition-SC overturn: session a's prepared plan prunes
+   segment 2 on the strength of its mined domain SC; session b inserts
+   a row outside the mined band, overturning the SC; a's next execute
+   must flag the failed guard, revert to the backup plan, and see b's
+   row.  The fallback is attributed to the overturned partition. *)
+let test_partition_sc_overturn_guarded_fallback () =
+  let sdb = small_purchase_sdb ~rows:1400 () in
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE purchase PARTITION BY RANGE (id) BOUNDS (500, 1000)");
+  let scs = Core.Softdb.mine_partition_domains sdb ~table:"purchase" in
+  check tint "three domain SCs mined" 3 (List.length scs);
+  Core.Softdb.runstats sdb;
+  let server = Srv.Server.create ~workers:2 sdb in
+  let a = connect server and bclient = connect server in
+  (* outside segment 2's observed band [1000, 1400] but inside its
+     open-ended routing bound: only the SC prunes it *)
+  let sql = "SELECT id FROM purchase WHERE id > 1450" in
+  check tbool "a prepares the pruned query" true
+    (is_ok (rpc_retry a (Srv.Proto.Prepare { handle = "pruned"; sql })));
+  (match rpc_retry a (Srv.Proto.Execute { handle = "pruned" }) with
+  | Srv.Proto.Result_set { rows = []; _ } -> ()
+  | _ -> Alcotest.fail "pruned query must start empty");
+  let entry () =
+    Option.get
+      (Core.Plan_cache.find (Srv.Server.plan_cache server) ("sql:" ^ sql))
+  in
+  check tbool "fast plan depends on the domain SC" true
+    (List.mem "purchase_p2_domain" (entry ()).Core.Plan_cache.deps);
+  (* b lands a row out of band; segment 2's SC overturns, siblings keep *)
+  (match
+     rpc_retry bclient
+       (Srv.Proto.Statement
+          "INSERT INTO purchase VALUES (1500, 1, DATE '1999-01-05', DATE \
+           '1999-01-15', 9.0, 1, 'north')")
+   with
+  | Srv.Proto.Affected 1 -> ()
+  | _ -> Alcotest.fail "out-of-band insert failed");
+  let find name = Core.Sc_catalog.find (Core.Softdb.catalog sdb) name in
+  check tbool "segment 2's SC overturned mid-flight" false
+    (Core.Soft_constraint.is_usable (Option.get (find "purchase_p2_domain")));
+  check tbool "sibling SCs untouched" true
+    (Core.Soft_constraint.is_usable (Option.get (find "purchase_p0_domain"))
+    && Core.Soft_constraint.is_usable (Option.get (find "purchase_p1_domain")));
+  (* a executes the same handle again: guarded fallback sees the row *)
+  (match rpc_retry a (Srv.Proto.Execute { handle = "pruned" }) with
+  | Srv.Proto.Result_set { rows = [ [| Value.Int 1500 |] ]; _ } -> ()
+  | p ->
+      Alcotest.failf "expected b's row via the backup plan, got %a"
+        Srv.Proto.pp_response { Srv.Proto.id = 0; payload = p });
+  check tint "backup plan ran" 1 (entry ()).Core.Plan_cache.backup_runs;
+  let m = Core.Softdb.metrics sdb in
+  check tbool "fallback counted" true
+    (Obs.Metrics.counter m "sc_guard_fallbacks" >= 1);
+  check tint "fallback attributed to (purchase, 2)" 1
+    (Obs.Metrics.counter m "exec.partition.fallbacks.purchase.2");
+  quit a;
+  quit bclient;
+  Srv.Server.shutdown server
+
 (* A dropped connection mid-transaction must roll back and free the
    write lock for everyone else. *)
 let test_dropped_connection_releases_lock () =
@@ -917,5 +1030,12 @@ let () =
             test_sc_overturn_falls_back_across_sessions;
           Alcotest.test_case "dropped connection releases the lock" `Quick
             test_dropped_connection_releases_lock;
+        ] );
+      ( "scatter",
+        [
+          Alcotest.test_case "scatter-gather is deterministic" `Quick
+            test_scatter_gather_deterministic;
+          Alcotest.test_case "partition SC overturn falls back" `Quick
+            test_partition_sc_overturn_guarded_fallback;
         ] );
     ]
