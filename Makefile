@@ -1,5 +1,5 @@
-.PHONY: all build test check lint faultcheck servecheck bench benchcheck \
-	benchbaseline partcheck partbaseline fmt clean
+.PHONY: all build test check lint faultcheck servecheck chaoscheck bench \
+	benchcheck benchbaseline partcheck partbaseline fmt clean
 
 all: build
 
@@ -30,6 +30,18 @@ faultcheck:
 # hanging the build
 servecheck:
 	timeout 300 dune exec test/test_srv.exe
+
+# the chaos gate: the torn-tail/bit-flip salvage matrix (part of the
+# recovery suite), then an overload burst — many clients against one
+# worker and a two-slot queue — that must trip the circuit breaker and
+# finish with zero queued jobs dying of deadline expiry; the breaker /
+# backoff counters land in CHAOS.json
+chaoscheck: build
+	timeout 300 dune exec test/test_recovery.exe -- test salvage
+	timeout 300 dune exec test/test_recovery.exe -- test edges
+	rm -f CHAOS.json
+	timeout 300 dune exec bench/loadgen.exe -- --clients 12 --workers 1 \
+	  --queue 2 --requests 6 --expect-breaker --json CHAOS.json
 
 bench:
 	dune exec bench/main.exe

@@ -25,10 +25,19 @@ type stats = {
   mutable errors : int;
   mutable rejected : int; (* admission rejections, before retry *)
   mutable latencies : float list; (* per-submit seconds, newest first *)
+  mutable backoffs : float list; (* per-retry sleep seconds, newest first *)
 }
 
 let new_stats () =
-  { ok = 0; rows = 0; affected = 0; errors = 0; rejected = 0; latencies = [] }
+  {
+    ok = 0;
+    rows = 0;
+    affected = 0;
+    errors = 0;
+    rejected = 0;
+    latencies = [];
+    backoffs = [];
+  }
 
 (* One synchronous request/response exchange.  Responses can interleave
    across a session's pipelined requests, but this client awaits each
@@ -43,20 +52,33 @@ let roundtrip conn (req : Srv.Proto.request) =
          req.Srv.Proto.id);
   Some resp.Srv.Proto.payload
 
-(* Submit with retry: honor the retry-after hint on admission rejects.
-   Latency is measured across retries — the client-perceived wait. *)
-let submit stats conn req =
-  let rec go () =
+(* Submit with retry: jittered exponential backoff seeded from the
+   server's retry-after hint.  The hint alone synchronizes every
+   rejected client onto the same retry instant (a thundering herd that
+   re-trips the breaker); doubling per attempt spreads sustained
+   overload out in time and the jitter factor (uniform in [0.5, 1.0])
+   decorrelates clients rejected together.  Latency is measured across
+   retries — the client-perceived wait. *)
+let backoff_cap_s = 2.0
+
+let submit stats rng conn req =
+  let rec go attempt =
     match roundtrip conn req with
     | None -> None
     | Some (Srv.Proto.Rejected { retry_after_ms }) ->
         stats.rejected <- stats.rejected + 1;
-        Unix.sleepf (float_of_int retry_after_ms /. 1000.0);
-        go ()
+        let hinted = float_of_int retry_after_ms /. 1000.0 in
+        let expo = hinted *. (2.0 ** float_of_int attempt) in
+        let sleep =
+          Float.min backoff_cap_s (expo *. (0.5 +. Random.State.float rng 0.5))
+        in
+        stats.backoffs <- sleep :: stats.backoffs;
+        Unix.sleepf sleep;
+        go (attempt + 1)
     | Some payload -> Some payload
   in
   let t0 = Unix.gettimeofday () in
-  let r = go () in
+  let r = go 0 in
   stats.latencies <- (Unix.gettimeofday () -. t0) :: stats.latencies;
   r
 
@@ -93,13 +115,14 @@ let nth_request client n : Srv.Proto.request_payload list =
       ]
   | _ -> [ Srv.Proto.Statement (Workload.Queries.purchase_ship_eq (nth_date n)) ]
 
-let client_loop ~port ~requests client =
+let client_loop ~port ~requests ~seed client =
   let conn = Srv.Transport.connect ~port () in
   let stats = new_stats () in
+  let rng = Random.State.make [| seed; client; 0x6261636b |] in
   let next_id = ref 0 in
   let send payload =
     incr next_id;
-    submit stats conn { Srv.Proto.id = !next_id; payload }
+    submit stats rng conn { Srv.Proto.id = !next_id; payload }
   in
   let t0 = Unix.gettimeofday () in
   ignore
@@ -157,14 +180,17 @@ let print_sessions_view ~port =
    depend only on the (seeded) request mix go in the deterministic
    section; latency percentiles, throughput and admission retries are
    load-dependent and stay in the report-only wallclock section. *)
-let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed =
+let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed
+    ~extra =
   let reg = Obs.Metrics.create () in
   List.iter (fun l -> Obs.Metrics.observe reg "latency_s" l) total.latencies;
-  let pct q =
-    match Obs.Metrics.percentile reg "latency_s" q with
+  List.iter (fun b -> Obs.Metrics.observe reg "backoff_s" b) total.backoffs;
+  let pct_of name q =
+    match Obs.Metrics.percentile reg name q with
     | Some v -> v *. 1000.0
     | None -> 0.0
   in
+  let pct q = pct_of "latency_s" q in
   let result =
     Benchkit.Measure.make_result ~scenario:"purchase/serve" ~workload:"purchase"
       ~mode:"serve"
@@ -178,14 +204,18 @@ let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed =
           ("errors", float_of_int total.errors);
         ]
       ~wallclock:
-        [
-          ("elapsed_s", elapsed);
-          ("req_per_s", float_of_int completed /. elapsed);
-          ("latency_p50_ms", pct 0.50);
-          ("latency_p95_ms", pct 0.95);
-          ("latency_p99_ms", pct 0.99);
-          ("admission_retries", float_of_int total.rejected);
-        ]
+        ([
+           ("elapsed_s", elapsed);
+           ("req_per_s", float_of_int completed /. elapsed);
+           ("latency_p50_ms", pct 0.50);
+           ("latency_p95_ms", pct 0.95);
+           ("latency_p99_ms", pct 0.99);
+           ("admission_retries", float_of_int total.rejected);
+           ("backoff_total_s", List.fold_left ( +. ) 0.0 total.backoffs);
+           ("backoff_p50_ms", pct_of "backoff_s" 0.50);
+           ("backoff_p95_ms", pct_of "backoff_s" 0.95);
+         ]
+        @ extra)
   in
   let run =
     if Sys.file_exists path then
@@ -198,7 +228,7 @@ let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed =
   Benchkit.Measure.save path run;
   Fmt.pr "wrote %s@." path
 
-let run ~port ~clients ~requests ~seed ~json =
+let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker =
   (* in-process server when no port is given: load the purchase
      workload and listen on an ephemeral port *)
   let server =
@@ -209,9 +239,13 @@ let run ~port ~clients ~requests ~seed ~json =
         let config = { Workload.Purchase.default_config with seed } in
         Workload.Purchase.load ~config (Core.Softdb.db sdb);
         Core.Softdb.runstats sdb;
-        let server = Srv.Server.create sdb in
+        let server = Srv.Server.create ?workers ?queue_capacity:queue sdb in
         Some server
   in
+  if expect_breaker && server = None then begin
+    Fmt.epr "--expect-breaker needs the in-process server (drop --port)@.";
+    exit 2
+  end;
   let port =
     match (port, server) with
     | Some p, _ -> p
@@ -227,7 +261,9 @@ let run ~port ~clients ~requests ~seed ~json =
   let slots = Array.make clients (new_stats (), 0, 0.0) in
   let threads =
     List.init clients (fun c ->
-        Thread.create (fun () -> slots.(c) <- client_loop ~port ~requests c) ())
+        Thread.create
+          (fun () -> slots.(c) <- client_loop ~port ~requests ~seed c)
+          ())
   in
   List.iter Thread.join threads;
   let results = Array.to_list slots in
@@ -243,36 +279,86 @@ let run ~port ~clients ~requests ~seed ~json =
       total.errors <- total.errors + s.errors;
       total.rejected <- total.rejected + s.rejected;
       total.latencies <- List.rev_append s.latencies total.latencies;
+      total.backoffs <- List.rev_append s.backoffs total.backoffs;
       Fmt.pr "client %2d: %4d requests in %6.2fs (%7.1f req/s)%s@." c n dt
         (float_of_int n /. dt)
-        (if s.rejected > 0 then Printf.sprintf "  [%d retries]" s.rejected
+        (if s.rejected > 0 then
+           Printf.sprintf "  [%d retries, %.2fs backing off]" s.rejected
+             (List.fold_left ( +. ) 0.0 s.backoffs)
          else ""))
     results;
   Fmt.pr "---@.";
   Fmt.pr
     "total: %d requests, %d result sets, %d affected, %d errors, %d \
-     admission retries in %.2fs (%.1f req/s)@."
-    !completed total.rows total.affected total.errors total.rejected elapsed
+     admission retries (%.2fs backing off) in %.2fs (%.1f req/s)@."
+    !completed total.rows total.affected total.errors total.rejected
+    (List.fold_left ( +. ) 0.0 total.backoffs)
+    elapsed
     (float_of_int !completed /. elapsed);
+  let extra =
+    match server with
+    | None -> []
+    | Some server ->
+        let m = Core.Softdb.metrics (Srv.Server.softdb server) in
+        let breaker = Srv.Server.breaker server in
+        [
+          ("breaker_opens", float_of_int (Srv.Breaker.opens breaker));
+          ( "breaker_fast_rejects",
+            float_of_int (Srv.Breaker.fast_rejects breaker) );
+          ( "deadline_kills",
+            float_of_int (Obs.Metrics.counter m "srv.jobs_deadline_killed") );
+        ]
+  in
   (match json with
   | Some path ->
       write_json ~path ~clients ~requests ~completed:!completed ~total ~elapsed
+        ~extra
   | None -> ());
   print_sessions_view ~port;
-  match server with
+  (match server with
   | None -> ()
   | Some server ->
       let sdb = Srv.Server.softdb server in
+      let breaker = Srv.Server.breaker server in
+      Fmt.pr "---@.breaker: %s, %d opens, %d fast rejects@."
+        (Srv.Breaker.state_name breaker)
+        (Srv.Breaker.opens breaker)
+        (Srv.Breaker.fast_rejects breaker);
       Fmt.pr "---@.server metrics:@.%a@." Obs.Metrics.pp
         (Core.Softdb.metrics sdb);
-      Srv.Server.shutdown server
+      Srv.Server.shutdown server);
+  (* overload-burst gate: the breaker must have tripped, and once it
+     does, overload turns into fast rejects instead of paid-for jobs
+     dying of deadline expiry in the queue *)
+  if expect_breaker then
+    match server with
+    | None -> ()
+    | Some server ->
+        let m = Core.Softdb.metrics (Srv.Server.softdb server) in
+        let opens = Srv.Breaker.opens (Srv.Server.breaker server) in
+        let kills = Obs.Metrics.counter m "srv.jobs_deadline_killed" in
+        if opens < 1 then begin
+          Fmt.epr "FAIL: burst did not open the breaker@.";
+          exit 1
+        end;
+        if kills > 0 then begin
+          Fmt.epr "FAIL: %d jobs died of queue deadline expiry@." kills;
+          exit 1
+        end;
+        Fmt.pr
+          "breaker gate: ok (%d opens, 0 deadline kills, %d fast rejects)@."
+          opens
+          (Srv.Breaker.fast_rejects (Srv.Server.breaker server))
 
 let () =
   let port = ref None
   and clients = ref 8
   and requests = ref 64
   and seed = ref Workload.Purchase.default_config.Workload.Purchase.seed
-  and json = ref None in
+  and json = ref None
+  and workers = ref None
+  and queue = ref None
+  and expect_breaker = ref false in
   let spec =
     [
       ( "--port",
@@ -286,10 +372,21 @@ let () =
       ( "--json",
         Arg.String (fun p -> json := Some p),
         "FILE fold a p50/p95/p99 summary into FILE (merged if it exists)" );
+      ( "--workers",
+        Arg.Int (fun n -> workers := Some n),
+        "N worker domains for the in-process server (cpu count)" );
+      ( "--queue",
+        Arg.Int (fun n -> queue := Some n),
+        "N scheduler queue capacity for the in-process server (64)" );
+      ( "--expect-breaker",
+        Arg.Set expect_breaker,
+        " gate: exit 1 unless the run opened the circuit breaker and no \
+         queued job died of deadline expiry" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "loadgen [--port PORT] [--clients N] [--requests N] [--seed N] [--json \
-     FILE]";
+     FILE] [--workers N] [--queue N] [--expect-breaker]";
   run ~port:!port ~clients:!clients ~requests:!requests ~seed:!seed ~json:!json
+    ~workers:!workers ~queue:!queue ~expect_breaker:!expect_breaker

@@ -158,12 +158,24 @@ let run_script sdb ~stats path =
    Demo loads bulk-insert through the storage layer directly, so a
    checkpoint right after the load compacts the log into a coherent
    snapshot (schema + rows) the next startup can replay. *)
-let with_wal wal_path f =
+let with_wal ?(salvage = false) wal_path f =
   match wal_path with
   | None -> f (Core.Softdb.create ()) None
   | Some path ->
-      let sdb, link = Core.Recovery.resume path in
+      let mode =
+        if salvage then Core.Recovery.Salvage else Core.Recovery.Strict
+      in
+      let sdb, link, report = Core.Recovery.resume ~mode path in
       Fmt.pr "recovered state from %s@." path;
+      if report.Core.Recovery.torn_tail then
+        Fmt.pr "  torn tail: quarantined %d bytes to %s@."
+          report.Core.Recovery.quarantined_bytes
+          (Option.value ~default:"-" report.Core.Recovery.salvage_path);
+      (match report.Core.Recovery.dropped_txns with
+      | [] -> ()
+      | dropped ->
+          Fmt.pr "  interior corruption: dropped txns %s (see sys.recovery)@."
+            (String.concat "," (List.map string_of_int dropped)));
       f sdb (Some link)
 
 (* softdb serve --port PORT: the multi-session TCP server.  The accept
@@ -268,10 +280,23 @@ let wal_arg =
           "Write-ahead log: recover state from $(docv) at startup (absent or \
            empty is fine), then log every statement into it.")
 
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "Recover in salvage mode: interior WAL corruption drops only the \
+           affected transactions (quarantined to FILE.salvage, reported in \
+           sys.recovery) instead of refusing to start.  A torn tail is \
+           salvaged in either mode.")
+
 let repl_cmd =
   let doc = "interactive SQL shell" in
   Cmd.v (Cmd.info "repl" ~doc)
-    Term.(const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb)) $ wal_arg)
+    Term.(
+      const (fun wal salvage ->
+          with_wal ~salvage wal (fun sdb link -> repl ?link sdb))
+      $ wal_arg $ salvage_arg)
 
 let run_cmd =
   let file =
@@ -284,11 +309,11 @@ let run_cmd =
   let doc = "execute a SQL script" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun wal stats f ->
-          with_wal wal (fun sdb link ->
+      const (fun wal salvage stats f ->
+          with_wal ~salvage wal (fun sdb link ->
               run_script sdb ~stats f;
               Option.iter Core.Recovery.detach link))
-      $ wal_arg $ stats $ file)
+      $ wal_arg $ salvage_arg $ stats $ file)
 
 let demo_cmd =
   let which =
@@ -337,10 +362,10 @@ let serve_cmd =
   let doc = "serve SQL over TCP to concurrent sessions" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const (fun wal port workers queue demo ->
-          with_wal wal (fun sdb link ->
+      const (fun wal salvage port workers queue demo ->
+          with_wal ~salvage wal (fun sdb link ->
               serve ?wal_link:link sdb ~port ~workers ~queue ~demo))
-      $ wal_arg $ port $ workers $ queue $ demo)
+      $ wal_arg $ salvage_arg $ port $ workers $ queue $ demo)
 
 let benchdiff_cmd =
   let old_arg =
@@ -401,8 +426,9 @@ let main =
   Cmd.group
     ~default:
       Term.(
-        const (fun wal -> with_wal wal (fun sdb link -> repl ?link sdb))
-        $ wal_arg)
+        const (fun wal salvage ->
+            with_wal ~salvage wal (fun sdb link -> repl ?link sdb))
+        $ wal_arg $ salvage_arg)
     (Cmd.info "softdb" ~doc)
     [ repl_cmd; run_cmd; demo_cmd; serve_cmd; benchdiff_cmd; check_cmd ]
 

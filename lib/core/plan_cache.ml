@@ -85,27 +85,34 @@ let enforce_capacity t =
         Obs.Metrics.incr (Softdb.metrics t.sdb) "plan_cache.evictions"
   done
 
-let prepare t ~name sql =
+(* Compilation happens outside the cache lock — optimize is expensive
+   and takes engine-side locks of its own. *)
+let compile t sql =
   let query = Sqlfe.Parser.parse_query_string sql in
   let report = Softdb.optimize t.sdb query in
   let backup =
     (Softdb.optimize ~flags:Opt.Rewrite.all_off t.sdb query).Opt.Explain.plan
   in
+  (query, report, backup)
+
+let fresh_entry ~name ~sql ~query ~report ~backup =
+  {
+    name;
+    sql;
+    query;
+    report;
+    deps = dependencies_of report;
+    backup;
+    invalidated = false;
+    fast_runs = 0;
+    backup_runs = 0;
+    last_used = 0;
+  }
+
+let prepare t ~name sql =
+  let query, report, backup = compile t sql in
   locked t (fun () ->
-      let entry =
-        {
-          name;
-          sql;
-          query;
-          report;
-          deps = dependencies_of report;
-          backup;
-          invalidated = false;
-          fast_runs = 0;
-          backup_runs = 0;
-          last_used = 0;
-        }
-      in
+      let entry = fresh_entry ~name ~sql ~query ~report ~backup in
       touch t entry;
       t.entries <- entry :: List.filter (fun e -> e.name <> name) t.entries;
       enforce_capacity t;
@@ -113,6 +120,27 @@ let prepare t ~name sql =
 
 let find t name =
   locked t (fun () -> List.find_opt (fun e -> e.name = name) t.entries)
+
+let find_or_prepare t ~name sql =
+  match find t name with
+  | Some e -> (e, false)
+  | None ->
+      let query, report, backup = compile t sql in
+      (* re-check under the lock: sessions prepare concurrently under a
+         shared read lock, so two of them can both miss above and both
+         compile — without this, the second insert would replace the
+         first and the sharing metric would undercount.  The loser's
+         compilation is discarded; the winner's entry is what everyone
+         binds to. *)
+      locked t (fun () ->
+          match List.find_opt (fun e -> e.name = name) t.entries with
+          | Some e -> (e, false)
+          | None ->
+              let entry = fresh_entry ~name ~sql ~query ~report ~backup in
+              touch t entry;
+              t.entries <- entry :: t.entries;
+              enforce_capacity t;
+              (entry, true))
 
 let find_exn t name =
   match find t name with Some e -> e | None -> raise (No_such_plan name)

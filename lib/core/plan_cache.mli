@@ -53,6 +53,14 @@ val prepare : t -> name:string -> string -> entry
 
 val find : t -> string -> entry option
 
+val find_or_prepare : t -> name:string -> string -> entry * bool
+(** The atomic find-then-prepare: [true] iff this call created the
+    entry.  Sessions prepare concurrently (under a shared read lock),
+    so the naive [find]-miss-then-[prepare] sequence lets two of them
+    both miss and both insert; here the insert re-checks under the
+    cache lock, so exactly one of N racing callers reports creation and
+    the rest bind to the winner's entry. *)
+
 val is_valid : t -> entry -> bool
 
 type cache_stats = {

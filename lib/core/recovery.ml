@@ -507,10 +507,292 @@ let recover_sharded records =
   flush ();
   sdb
 
+(* ---- salvage-aware recovery ---------------------------------------------- *)
+
+(* The strict replayers above trust their input; this section is the
+   path that faces real, possibly-damaged log files.  Classification
+   rule (the torn-tail rule):
+
+   - every unparsable / checksum-failing / LSN-regressing line is
+     *corrupt*;
+   - if no committed frame appears at or after the first corrupt line,
+     the damage is a {e torn tail}: everything from that line on is
+     provably uncommitted, so the tail is quarantined to
+     [<wal>.salvage], the file truncated at the tear, and recovery
+     proceeds — in both modes, as every production WAL does;
+   - otherwise the damage is {e interior}: a committed frame follows
+     the corruption, so data loss is possible.  [Strict] refuses;
+     [Salvage] drops exactly the transactions that were open across a
+     corrupt line (their replay would be partial), reports them, and
+     applies the rest. *)
+
+type mode = Strict | Salvage
+
+let mode_name = function Strict -> "strict" | Salvage -> "salvage"
+
+type corrupt_line = { lineno : int; reason : string }
+
+type report = {
+  mode : mode;
+  scanned_lines : int;
+  applied_records : int;  (* non-frame records actually replayed *)
+  committed_txns : int;  (* distinct committed transactions replayed *)
+  dropped_txns : int list;  (* affected by interior corruption, dropped *)
+  torn_tail : bool;
+  quarantined_bytes : int;
+  salvage_path : string option;
+  corrupt : corrupt_line list;
+}
+
+type analysis = {
+  keep : Wal.record list;  (* what the replayer gets *)
+  bad : Wal.scanned list;  (* corrupt physical lines, in order *)
+  truncate_at : int option;  (* torn tail: byte offset of the tear *)
+  partial : report;  (* quarantine fields zeroed; file layer fills them *)
+}
+
+let is_commit = function Wal.Commit _ -> true | _ -> false
+
+let analyze ~mode scanned =
+  (* one pass: classify each line, checking LSN monotonicity across the
+     valid ones (a regression means a stale or spliced line) *)
+  let last_lsn = ref 0 in
+  let classified =
+    List.map
+      (fun (s : Wal.scanned) ->
+        match s.Wal.parsed with
+        | Error reason -> (s, Error reason)
+        | Ok r -> (
+            match s.Wal.lsn with
+            | Some lsn when lsn <= !last_lsn ->
+                ( s,
+                  Error
+                    (Printf.sprintf "LSN regression (%d after %d)" lsn
+                       !last_lsn) )
+            | Some lsn ->
+                last_lsn := lsn;
+                (s, Ok r)
+            | None -> (s, Ok r)))
+      scanned
+  in
+  let bad =
+    List.filter_map
+      (fun (s, c) -> match c with Error _ -> Some s | Ok _ -> None)
+      classified
+  in
+  let corrupt =
+    List.filter_map
+      (fun ((s : Wal.scanned), c) ->
+        match c with
+        | Error reason -> Some { lineno = s.Wal.lineno; reason }
+        | Ok _ -> None)
+      classified
+  in
+  let keep, truncate_at, dropped =
+    match bad with
+    | [] ->
+        ( List.filter_map
+            (fun (_, c) -> match c with Ok r -> Some r | Error _ -> None)
+            classified,
+          None,
+          [] )
+    | first :: _ ->
+        let commit_after =
+          List.exists
+            (fun ((s : Wal.scanned), c) ->
+              s.Wal.lineno > first.Wal.lineno
+              && match c with Ok r -> is_commit r | Error _ -> false)
+            classified
+        in
+        if not commit_after then
+          (* torn tail: the clean prefix is the whole truth *)
+          ( List.filter_map
+              (fun ((s : Wal.scanned), c) ->
+                match c with
+                | Ok r when s.Wal.lineno < first.Wal.lineno -> Some r
+                | Ok _ | Error _ -> None)
+              classified,
+            Some first.Wal.offset,
+            [] )
+        else begin
+          (match mode with
+          | Strict ->
+              let { lineno; reason } = List.hd corrupt in
+              raise
+                (Recovery_error
+                   (Printf.sprintf
+                      "interior corruption at log line %d (%s); a later \
+                       frame committed — rerun in salvage mode to drop \
+                       the affected transactions"
+                      lineno reason))
+          | Salvage -> ());
+          (* affected = transactions open across any corrupt line: the
+             corrupt line may be one of their records (or their commit),
+             so replaying them would be partial *)
+          let affected = Hashtbl.create 8 in
+          let open_txns = Hashtbl.create 8 in
+          List.iter
+            (fun (_, c) ->
+              match c with
+              | Ok (Wal.Begin { txn }) -> Hashtbl.replace open_txns txn ()
+              | Ok (Wal.Commit { txn } | Wal.Abort { txn }) ->
+                  Hashtbl.remove open_txns txn
+              | Ok _ -> ()
+              | Error _ ->
+                  Hashtbl.iter
+                    (fun txn () -> Hashtbl.replace affected txn ())
+                    open_txns)
+            classified;
+          ( List.filter_map
+              (fun (_, c) ->
+                match c with
+                | Ok r when not (Hashtbl.mem affected (Wal.txn_of r)) ->
+                    Some r
+                | Ok _ | Error _ -> None)
+              classified,
+            None,
+            Hashtbl.fold (fun txn () acc -> txn :: acc) affected []
+            |> List.sort compare )
+        end
+  in
+  let committed = Wal.committed_txns keep in
+  let applied_records =
+    List.length
+      (List.filter
+         (fun r ->
+           committed (Wal.txn_of r)
+           &&
+           match r with
+           | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ -> false
+           | _ -> true)
+         keep)
+  in
+  let committed_txns =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r -> match r with Wal.Commit { txn } -> Some txn | _ -> None)
+         keep)
+    |> List.length
+  in
+  {
+    keep;
+    bad;
+    truncate_at;
+    partial =
+      {
+        mode;
+        scanned_lines = List.length scanned;
+        applied_records;
+        committed_txns;
+        dropped_txns = dropped;
+        torn_tail = truncate_at <> None;
+        quarantined_bytes = 0;
+        salvage_path = None;
+        corrupt;
+      };
+  }
+
+let register_report sdb (r : report) =
+  Database.register_virtual (Softdb.db sdb) ~name:"sys.recovery"
+    ~schema:Obs.Sys_tables.recovery_schema (fun () ->
+      [
+        Obs.Sys_tables.recovery_row ~mode:(mode_name r.mode)
+          ~torn_tail:r.torn_tail ~scanned_lines:r.scanned_lines
+          ~applied_records:r.applied_records ~committed_txns:r.committed_txns
+          ~dropped_txns:r.dropped_txns
+          ~corrupt_lines:(List.length r.corrupt)
+          ~quarantined_bytes:r.quarantined_bytes
+          ~salvage_path:r.salvage_path;
+      ])
+
+let recover_scan ?(mode = Strict) scanned =
+  let a = analyze ~mode scanned in
+  let sdb = recover a.keep in
+  register_report sdb a.partial;
+  (sdb, a.partial)
+
+let recover_sharded_scan ?(mode = Strict) scanned =
+  let a = analyze ~mode scanned in
+  let sdb = recover_sharded a.keep in
+  register_report sdb a.partial;
+  (sdb, a.partial)
+
+(* Quarantine and repair the physical file.  [core] does not link unix,
+   so truncation is a rewrite: clean prefix to a sibling file, renamed
+   over the log (crash-safe, like the checkpoint). *)
+let quarantine path chunks =
+  let salvage = path ^ ".salvage" in
+  let total = List.fold_left (fun n c -> n + String.length c) 0 chunks in
+  Out_channel.with_open_gen
+    [ Open_append; Open_creat; Open_binary ]
+    0o644 salvage
+    (fun oc ->
+      Printf.fprintf oc "# quarantined %d bytes from %s\n" total path;
+      List.iter (Out_channel.output_string oc) chunks;
+      match List.rev chunks with
+      | last :: _
+        when String.length last > 0 && last.[String.length last - 1] <> '\n'
+        ->
+          Out_channel.output_char oc '\n'
+      | _ -> ());
+  (salvage, total)
+
+let rewrite_file path contents =
+  let tmp = path ^ ".salvtmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc contents);
+  Sys.rename tmp path
+
+let recover_file ?(mode = Strict) path =
+  let raw, scanned = Wal.scan_file path in
+  let a = analyze ~mode scanned in
+  let report =
+    match a.truncate_at with
+    | Some off when off < String.length raw ->
+        (* torn tail: quarantine everything from the tear, truncate *)
+        let tail = String.sub raw off (String.length raw - off) in
+        let salvage, total = quarantine path [ tail ] in
+        rewrite_file path (String.sub raw 0 off);
+        {
+          a.partial with
+          quarantined_bytes = total;
+          salvage_path = Some salvage;
+        }
+    | Some _ | None ->
+        if a.bad = [] then a.partial
+        else begin
+          (* interior corruption, salvage mode: quarantine the corrupt
+             lines and rewrite the log from the surviving records, so
+             the repaired file replays to exactly the recovered state *)
+          let chunks =
+            List.map
+              (fun (s : Wal.scanned) -> String.sub raw s.Wal.offset s.Wal.bytes)
+              a.bad
+          in
+          let salvage, total = quarantine path chunks in
+          let buf = Buffer.create (String.length raw) in
+          List.iteri
+            (fun i r ->
+              Buffer.add_string buf (Wal.line_of_record ~lsn:(i + 1) r);
+              Buffer.add_char buf '\n')
+            a.keep;
+          rewrite_file path (Buffer.contents buf);
+          {
+            a.partial with
+            quarantined_bytes = total;
+            salvage_path = Some salvage;
+          }
+        end
+  in
+  let sdb = recover a.keep in
+  register_report sdb report;
+  (sdb, report)
+
 (* Recover from a log file and reopen it for appending — the CLI's
-   [--wal] startup path. *)
-let resume path =
-  let sdb = recover (Wal.load_file path) in
+   [--wal] startup path.  The file has been salvaged by the time
+   {!Wal.open_file} re-reads it, so the strict load cannot trip. *)
+let resume ?(mode = Strict) path =
+  let sdb, report = recover_file ~mode path in
   let wal = Wal.open_file path in
   let link = attach sdb wal in
-  (sdb, link)
+  (sdb, link, report)

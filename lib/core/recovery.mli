@@ -58,7 +58,61 @@ val recover_sharded : Wal.record list -> Softdb.t
     records always share a tag and distinct rids commute between
     barriers. *)
 
-val resume : string -> Softdb.t * t
-(** [resume path] recovers from the log file at [path] (empty or absent
-    is fine), reopens it for appending, and attaches — the CLI's
-    [--wal] startup path. *)
+(** {1 Salvage-aware recovery}
+
+    The strict replayers above trust their input; this is the path that
+    faces real, possibly-damaged log files.  Every unparsable,
+    checksum-failing or LSN-regressing line is {e corrupt}.  If no
+    committed frame appears at or after the first corrupt line, the
+    damage is a {e torn tail}: everything from the tear on is provably
+    uncommitted, so it is quarantined to [<wal>.salvage], the file is
+    truncated, and recovery proceeds — in both modes.  Otherwise the
+    damage is {e interior}: [Strict] raises {!Recovery_error}, while
+    [Salvage] drops exactly the transactions open across a corrupt line
+    (their replay would be partial), reports them, and applies the
+    rest.  The outcome is a {!report}, also registered on the recovered
+    database as the [sys.recovery] virtual table. *)
+
+type mode = Strict | Salvage
+
+type corrupt_line = { lineno : int; reason : string }
+
+type report = {
+  mode : mode;
+  scanned_lines : int;
+  applied_records : int;  (** non-frame records actually replayed *)
+  committed_txns : int;  (** distinct committed transactions replayed *)
+  dropped_txns : int list;
+      (** transactions interior corruption forced [Salvage] to drop *)
+  torn_tail : bool;
+  quarantined_bytes : int;
+  salvage_path : string option;
+  corrupt : corrupt_line list;
+}
+
+val mode_name : mode -> string
+(** ["strict"] / ["salvage"], as shown in sys.recovery. *)
+
+val recover_scan : ?mode:mode -> Wal.scanned list -> Softdb.t * report
+(** Classify a {!Wal.scan_string}/{!Wal.scan_file} image and replay the
+    surviving committed frames sequentially (default mode [Strict]).
+    Pure: no file is touched, so [quarantined_bytes]/[salvage_path]
+    stay zero even for a torn tail. *)
+
+val recover_sharded_scan :
+  ?mode:mode -> Wal.scanned list -> Softdb.t * report
+(** {!recover_scan} with the sharded replayer — identical salvage
+    semantics, identical report. *)
+
+val recover_file : ?mode:mode -> string -> Softdb.t * report
+(** {!recover_scan} over a real file, with the physical side effects: a
+    torn tail is appended to [<path>.salvage] and the log truncated at
+    the tear (rewrite + rename — [core] links no unix); interior
+    corruption in [Salvage] mode quarantines the corrupt lines and
+    rewrites the log from the surviving records, so the repaired file
+    replays to exactly the recovered state. *)
+
+val resume : ?mode:mode -> string -> Softdb.t * t * report
+(** [resume path] recovers from the log file at [path] (empty, absent,
+    or damaged — {!recover_file} semantics, default [Strict]), reopens
+    it for appending, and attaches — the CLI's [--wal] startup path. *)

@@ -83,6 +83,10 @@ let register_sys_tables t =
         (Sc_catalog.all t.catalog));
   Database.register_virtual t.db ~name:"sys.plan_cache"
     ~schema:Obs.Sys_tables.plan_cache_schema (fun () -> t.plan_cache_rows ());
+  (* empty until a WAL recovery replaces the generator ({!Recovery}) —
+     registering it here keeps the table queryable on every database *)
+  Database.register_virtual t.db ~name:"sys.recovery"
+    ~schema:Obs.Sys_tables.recovery_schema (fun () -> []);
   Database.register_virtual t.db ~name:"sys.partitions"
     ~schema:Obs.Sys_tables.partitions_schema (fun () ->
       List.concat_map

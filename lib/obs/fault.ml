@@ -5,7 +5,12 @@
    layer would infect interfaces that otherwise know nothing about
    testing.  [reset] restores a clean slate between test cases. *)
 
-type mode = Crash | Io_error | Latency of float
+type mode =
+  | Crash
+  | Io_error
+  | Latency of float
+  | Torn_write of int
+  | Bit_flip of int
 
 exception Injected_crash of string
 exception Injected_io_error of string
@@ -40,13 +45,44 @@ let hits name =
 
 let crash_pending () = !crashed
 
-(* Busy-wait rather than Unix.sleepf: [rel]/[obs] do not link unix, and
-   injected latencies are fractions of a second in tests. *)
+(* Busy-wait rather than Unix.sleepf: [rel]/[obs] do not link unix.
+   Sys.time is *process CPU time*, which races ahead of the wall clock
+   whenever other domains burn CPU — under the server's domain pool an
+   injected latency would end far too early.  So the clock calibrates a
+   spin counter once (single-threaded enough in practice: tests arm
+   latencies before spinning up load) and waits by iteration count,
+   which a concurrent domain cannot shrink.  The residual drift — CPU
+   frequency scaling between calibration and use — is bounded and
+   acceptable for sub-second test latencies. *)
+let spins_per_second =
+  lazy
+    (let block = 100_000 in
+     let spin n =
+       for _ = 1 to n do
+         ignore (Sys.opaque_identity ())
+       done
+     in
+     let t0 = Sys.time () in
+     let blocks = ref 0 in
+     while Sys.time () -. t0 < 0.01 do
+       spin block;
+       incr blocks
+     done;
+     let elapsed = Sys.time () -. t0 in
+     let rate = float_of_int (!blocks * block) /. elapsed in
+     (* clamp: a wildly off calibration (preempted mid-measurement) must
+        not turn a 10ms latency into minutes of spinning *)
+     Float.max 1e6 (Float.min 1e10 rate))
+
 let busy_wait seconds =
-  let until = Sys.time () +. seconds in
-  while Sys.time () < until do
-    ignore (Sys.opaque_identity ())
-  done
+  if seconds > 0.0 then begin
+    let iters =
+      int_of_float (Float.min 1e12 (seconds *. Lazy.force spins_per_second))
+    in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity ())
+    done
+  end
 
 let point name =
   declare name;
@@ -55,19 +91,62 @@ let point name =
   | None -> Hashtbl.add hit_counts name (ref 1));
   match Hashtbl.find_opt armed name with
   | None -> ()
-  | Some a ->
-      if a.remaining > 0 then a.remaining <- a.remaining - 1
+  | Some a -> (
+      match a.mode with
+      | Torn_write _ | Bit_flip _ ->
+          (* corruption modes fire at the physical write, not at the
+             point pass — [write_point] consumes them *)
+          ()
+      | Crash | Io_error | Latency _ ->
+          if a.remaining > 0 then a.remaining <- a.remaining - 1
+          else begin
+            match a.mode with
+            | Crash ->
+                Hashtbl.remove armed name;
+                crashed := true;
+                raise (Injected_crash name)
+            | Io_error ->
+                Hashtbl.remove armed name;
+                raise (Injected_io_error name)
+            | Latency s -> busy_wait s
+            | Torn_write _ | Bit_flip _ -> assert false
+          end)
+
+(* The WAL file sink routes every physical write through here (see
+   {!Rel.Wal.set_write_hook}); the corruption modes act on the byte
+   string itself. *)
+let write_point ~point:name ~write s =
+  match Hashtbl.find_opt armed name with
+  | Some a when (match a.mode with Torn_write _ | Bit_flip _ -> true | _ -> false)
+    ->
+      if a.remaining > 0 then begin
+        a.remaining <- a.remaining - 1;
+        write s
+      end
       else begin
+        Hashtbl.remove armed name;
         match a.mode with
-        | Crash ->
-            Hashtbl.remove armed name;
+        | Torn_write n ->
+            (* the disk got only a prefix, then the process died *)
+            let n = max 0 (min n (String.length s)) in
+            if n > 0 then write (String.sub s 0 n);
             crashed := true;
             raise (Injected_crash name)
-        | Io_error ->
-            Hashtbl.remove armed name;
-            raise (Injected_io_error name)
-        | Latency s -> busy_wait s
+        | Bit_flip i ->
+            (* silent corruption: one bit of one byte, no crash — the
+               write "succeeds" and the process sails on *)
+            if String.length s = 0 then write s
+            else begin
+              let b = Bytes.of_string s in
+              let len = Bytes.length b in
+              let pos = ((i mod len) + len) mod len in
+              Bytes.set b pos
+                (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+              write (Bytes.to_string b)
+            end
+        | Crash | Io_error | Latency _ -> assert false
       end
+  | _ -> write s
 
 let installed = ref false
 
@@ -75,5 +154,6 @@ let install () =
   if not !installed then begin
     installed := true;
     List.iter declare Rel.Wal.fault_points;
-    Rel.Wal.set_fault_hook point
+    Rel.Wal.set_fault_hook point;
+    Rel.Wal.set_write_hook write_point
   end

@@ -13,14 +13,27 @@
     - [Io_error] raises {!Injected_io_error} once, simulating a failed
       write without stopping the world;
     - [Latency s] busy-waits [s] seconds on every pass, for timeout
-      testing.
+      testing;
+    - [Torn_write n] lets the next physical write at the point emit
+      only its first [n] bytes, then simulates process death (the
+      classic torn tail).  Fires at the WAL file sink's write hook, not
+      at the point pass — arming it elsewhere is a no-op;
+    - [Bit_flip i] silently flips one bit of byte [i mod length] of the
+      next physical write at the point — the write "succeeds", the
+      process sails on, and only recovery's checksums can tell.  Also
+      write-hook only.
 
     Points self-register on first execution and can also be declared up
     front, so the crash-matrix test can iterate {!registered} without
     hard-coding the list.  The harness is global (like the faults it
     simulates); {!reset} restores a clean slate between test cases. *)
 
-type mode = Crash | Io_error | Latency of float
+type mode =
+  | Crash
+  | Io_error
+  | Latency of float
+  | Torn_write of int
+  | Bit_flip of int
 
 exception Injected_crash of string
 (** Carries the point name.  Treat as process death: the WAL link stops
@@ -37,8 +50,8 @@ val registered : unit -> string list
 val arm : ?after:int -> string -> mode -> unit
 (** Arm [point] with a failure mode, implicitly declaring it.  [after]
     skips that many passes first (default 0: fire on the next pass).
-    [Crash] and [Io_error] disarm themselves after firing once;
-    [Latency] persists until {!disarm}. *)
+    [Crash], [Io_error], [Torn_write] and [Bit_flip] disarm themselves
+    after firing once; [Latency] persists until {!disarm}. *)
 
 val disarm : string -> unit
 
@@ -57,6 +70,14 @@ val crash_pending : unit -> bool
 (** True from the moment a [Crash] fires until {!reset} — the simulated
     process is dead and must not produce further durable writes. *)
 
+val busy_wait : float -> unit
+(** Spin for approximately the given number of wall-clock seconds
+    without linking unix: a spin counter calibrated once against
+    [Sys.time] (clamped against wild calibrations), then iterated —
+    immune to the CPU-time-vs-wall-time drift that a [Sys.time] loop
+    suffers when other domains burn CPU concurrently. *)
+
 val install : unit -> unit
-(** Wire {!point} into {!Rel.Wal.set_fault_hook} and declare the WAL's
-    points (idempotent; called by {!arm} and by {!Core.Recovery.attach}). *)
+(** Wire {!point} into {!Rel.Wal.set_fault_hook}, the corruption modes
+    into {!Rel.Wal.set_write_hook}, and declare the WAL's points
+    (idempotent; called by {!arm} and by {!Core.Recovery.attach}). *)

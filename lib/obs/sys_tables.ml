@@ -156,6 +156,38 @@ let partition_row ~table_name ~partition ~spec ~bounds ~rows ~sc_name
       int fallbacks;
     ]
 
+(* ---- sys.recovery -------------------------------------------------------- *)
+
+let recovery_schema =
+  Schema.make "sys.recovery"
+    [
+      Schema.column ~nullable:false "mode" Value.TString;
+      Schema.column ~nullable:false "torn_tail" Value.TBool;
+      Schema.column ~nullable:false "scanned_lines" Value.TInt;
+      Schema.column ~nullable:false "applied_records" Value.TInt;
+      Schema.column ~nullable:false "committed_txns" Value.TInt;
+      Schema.column ~nullable:false "dropped_txns" Value.TString;
+      Schema.column ~nullable:false "corrupt_lines" Value.TInt;
+      Schema.column ~nullable:false "quarantined_bytes" Value.TInt;
+      Schema.column "salvage_path" Value.TString;
+    ]
+
+let recovery_row ~mode ~torn_tail ~scanned_lines ~applied_records
+    ~committed_txns ~dropped_txns ~corrupt_lines ~quarantined_bytes
+    ~salvage_path =
+  Tuple.make
+    [
+      str mode;
+      boolean torn_tail;
+      int scanned_lines;
+      int applied_records;
+      int committed_txns;
+      str (String.concat "," (List.map string_of_int dropped_txns));
+      int corrupt_lines;
+      int quarantined_bytes;
+      opt_str salvage_path;
+    ]
+
 (* ---- sys.sessions -------------------------------------------------------- *)
 
 let sessions_schema =

@@ -50,6 +50,21 @@ val partition_row :
   rows:int -> sc_name:string option -> sc_state:string option ->
   rows_scanned:int -> pages_read:int -> fallbacks:int -> Tuple.t
 
+val recovery_schema : Schema.t
+(** sys.recovery(mode, torn_tail, scanned_lines, applied_records,
+    committed_txns, dropped_txns, corrupt_lines, quarantined_bytes,
+    salvage_path) — one row describing the last WAL recovery of this
+    database: Strict/Salvage mode, whether a torn tail was truncated
+    and how many bytes were quarantined (to [salvage_path]), and which
+    committed transactions interior corruption forced Salvage mode to
+    drop ([dropped_txns] is a comma-joined id list). *)
+
+val recovery_row :
+  mode:string -> torn_tail:bool -> scanned_lines:int ->
+  applied_records:int -> committed_txns:int -> dropped_txns:int list ->
+  corrupt_lines:int -> quarantined_bytes:int -> salvage_path:string option ->
+  Tuple.t
+
 val sessions_schema : Schema.t
 (** sys.sessions(session_id, name, state, in_txn, queries, writes,
     errors, prepared) — one row per server session, registered by

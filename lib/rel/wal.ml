@@ -66,12 +66,22 @@ exception Wal_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Wal_error s)) fmt
 
-(* ---- fault hook --------------------------------------------------------- *)
+(* ---- fault hooks -------------------------------------------------------- *)
 
 (* [rel] sits below [obs], so the fault harness installs itself here. *)
 let fault_hook : (string -> unit) ref = ref (fun _ -> ())
 let set_fault_hook f = fault_hook := f
 let point name = !fault_hook name
+
+(* The physical-write indirection: every byte the file sink emits goes
+   through this hook, so {!Obs.Fault} can tear a write short
+   ([Torn_write]) or flip a byte ([Bit_flip]) at the exact point the
+   bytes would hit the OS.  The default is a pass-through. *)
+let write_hook : (point:string -> write:(string -> unit) -> string -> unit) ref
+    =
+  ref (fun ~point:_ ~write s -> write s)
+
+let set_write_hook f = write_hook := f
 
 let fault_points =
   [ "wal.append"; "wal.io"; "wal.pre_commit"; "wal.post_commit";
@@ -328,6 +338,105 @@ let record_of_line line =
       Sc { txn = int_field txn; change = sc_change_of_fields rest }
   | _ -> error "corrupt log line: %S" line
 
+(* ---- v2 line codec: LSN + CRC32 ----------------------------------------- *)
+
+(* Format v2 wraps the v1 payload in an integrity header:
+
+     L<lsn> \t <crc32-hex8> \t <v1 payload>
+
+   The LSN increases by one per line within a file (checkpoints rewrite
+   the whole file and restart at 1), and the checksum covers
+   "<lsn>\t<payload>", so a torn, bit-flipped, or spliced line is
+   detected rather than misparsed.  The head field "L<digits>" cannot
+   collide with a v1 head tag (single letters B/C/A/I/D/U/Q/S), so v1
+   logs remain readable line-by-line. *)
+
+let line_of_record ~lsn r =
+  let payload = record_to_line r in
+  let lsn_s = string_of_int lsn in
+  let crc = Crc32.string (lsn_s ^ "\t" ^ payload) in
+  "L" ^ lsn_s ^ "\t" ^ Crc32.to_hex crc ^ "\t" ^ payload
+
+let parse_line line =
+  let v1 () =
+    match record_of_line line with
+    | r -> Ok (None, r)
+    | exception Wal_error m -> Error m
+  in
+  let n = String.length line in
+  if n = 0 then Error "empty line"
+  else if n >= 2 && line.[0] = 'L' && line.[1] >= '0' && line.[1] <= '9' then begin
+    match String.index_opt line '\t' with
+    | None -> Error "v2 line truncated before checksum"
+    | Some t1 -> (
+        match String.index_from_opt line (t1 + 1) '\t' with
+        | None -> Error "v2 line truncated before payload"
+        | Some t2 -> (
+            let lsn_s = String.sub line 1 (t1 - 1) in
+            let crc_s = String.sub line (t1 + 1) (t2 - t1 - 1) in
+            let payload = String.sub line (t2 + 1) (n - t2 - 1) in
+            match (int_of_string_opt lsn_s, Crc32.of_hex crc_s) with
+            | None, _ -> Error (Printf.sprintf "bad LSN field %S" lsn_s)
+            | _, None -> Error (Printf.sprintf "bad checksum field %S" crc_s)
+            | Some lsn, Some stored ->
+                let computed = Crc32.string (lsn_s ^ "\t" ^ payload) in
+                if computed <> stored then
+                  Error
+                    (Printf.sprintf
+                       "checksum mismatch (stored %s, computed %s)"
+                       (Crc32.to_hex stored) (Crc32.to_hex computed))
+                else begin
+                  match record_of_line payload with
+                  | r -> Ok (Some lsn, r)
+                  | exception Wal_error m -> Error m
+                end))
+  end
+  else v1 ()
+
+type scanned = {
+  lineno : int;  (* 1-based, blank lines counted *)
+  offset : int;  (* byte offset of the line start *)
+  bytes : int;  (* line length including the newline, if present *)
+  lsn : int option;  (* None for v1 lines and unparsable ones *)
+  parsed : (record, string) result;
+}
+
+let scan_string contents =
+  let n = String.length contents in
+  let rec loop acc lineno off =
+    if off >= n then List.rev acc
+    else begin
+      let nl =
+        match String.index_from_opt contents off '\n' with
+        | Some i -> i
+        | None -> n
+      in
+      let line = String.sub contents off (nl - off) in
+      let bytes = min n (nl + 1) - off in
+      let acc =
+        if line = "" then acc (* blank separators tolerated, as in load *)
+        else begin
+          let lsn, parsed =
+            match parse_line line with
+            | Ok (lsn, r) -> (lsn, Ok r)
+            | Error m -> (None, Error m)
+          in
+          { lineno; offset = off; bytes; lsn; parsed } :: acc
+        end
+      in
+      loop acc (lineno + 1) (nl + 1)
+    end
+  in
+  loop [] 1 0
+
+let read_file_bytes fpath =
+  if not (Sys.file_exists fpath) then ""
+  else In_channel.with_open_bin fpath In_channel.input_all
+
+let scan_file fpath =
+  let contents = read_file_bytes fpath in
+  (contents, scan_string contents)
+
 let txn_of = function
   | Begin { txn }
   | Commit { txn }
@@ -354,27 +463,43 @@ type sink =
   | Memory of record list ref (* newest first *)
   | File of { fpath : string; mutable oc : out_channel option }
 
-type t = { sink : sink; mutable next_txn : int; mutable closed : bool }
+type t = {
+  sink : sink;
+  mutable next_txn : int;
+  mutable next_lsn : int;
+  mutable closed : bool;
+}
 
+(* Strict load: any unparsable or checksum-failing line raises.  The
+   salvage-aware path ({!scan_file} + {!Core.Recovery}) classifies
+   instead of raising. *)
 let load_file fpath =
-  if not (Sys.file_exists fpath) then []
-  else
-    In_channel.with_open_text fpath (fun ic ->
-        let rec loop acc =
-          match In_channel.input_line ic with
-          | None -> List.rev acc
-          | Some "" -> loop acc
-          | Some line -> loop (record_of_line line :: acc)
-        in
-        loop [])
+  let _, scanned = scan_file fpath in
+  List.map
+    (fun s ->
+      match s.parsed with
+      | Ok r -> r
+      | Error m -> error "corrupt log line %d: %s" s.lineno m)
+    scanned
 
 let max_txn records =
   List.fold_left (fun acc r -> max acc (txn_of r)) 0 records
 
-let create_memory () = { sink = Memory (ref []); next_txn = 1; closed = false }
+let create_memory () =
+  { sink = Memory (ref []); next_txn = 1; next_lsn = 1; closed = false }
 
 let open_file fpath =
-  let existing = load_file fpath in
+  let _, scanned = scan_file fpath in
+  let existing, max_lsn =
+    List.fold_left
+      (fun (acc, lsn) s ->
+        match s.parsed with
+        | Ok r ->
+            (r :: acc, match s.lsn with Some l -> max lsn l | None -> lsn)
+        | Error m -> error "corrupt log line %d: %s" s.lineno m)
+      ([], 0) scanned
+  in
+  let existing = List.rev existing in
   let oc =
     try Some (open_out_gen [ Open_append; Open_creat ] 0o644 fpath)
     with Sys_error m -> error "cannot open log %s: %s" fpath m
@@ -382,6 +507,7 @@ let open_file fpath =
   {
     sink = File { fpath; oc };
     next_txn = max_txn existing + 1;
+    next_lsn = max_lsn + 1;
     closed = false;
   }
 
@@ -407,9 +533,10 @@ let append t r =
   | File f -> (
       point "wal.io";
       let oc = file_oc f.fpath f.oc in
-      try
-        output_string oc (record_to_line r);
-        output_char oc '\n'
+      let lsn = t.next_lsn in
+      t.next_lsn <- lsn + 1;
+      let line = line_of_record ~lsn r ^ "\n" in
+      try !write_hook ~point:"wal.io" ~write:(fun s -> output_string oc s) line
       with Sys_error m -> error "write to %s failed: %s" f.fpath m)
 
 let flush t =
@@ -450,11 +577,16 @@ let truncate_with t new_records =
       records := List.rev new_records
   | File f ->
       let tmp = f.fpath ^ ".ckpt" in
+      (* the rewritten file restarts the LSN sequence at 1: monotonicity
+         is a per-file invariant, and the rename makes this a new file *)
+      let lsn = ref 0 in
       Out_channel.with_open_text tmp (fun oc ->
           List.iter
             (fun r ->
-              output_string oc (record_to_line r);
-              output_char oc '\n')
+              incr lsn;
+              !write_hook ~point:"wal.checkpoint"
+                ~write:(fun s -> output_string oc s)
+                (line_of_record ~lsn:!lsn r ^ "\n"))
             new_records);
       point "wal.checkpoint";
       (match f.oc with
@@ -463,7 +595,8 @@ let truncate_with t new_records =
           f.oc <- None
       | None -> ());
       Sys.rename tmp f.fpath;
-      f.oc <- Some (open_out_gen [ Open_append; Open_creat ] 0o644 f.fpath));
+      f.oc <- Some (open_out_gen [ Open_append; Open_creat ] 0o644 f.fpath);
+      t.next_lsn <- !lsn + 1);
   t.next_txn <- max t.next_txn (max_txn new_records + 1)
 
 let close t =

@@ -122,7 +122,9 @@ val records : t -> record list
 (** Every record, oldest first (file sinks are flushed and re-read). *)
 
 val load_file : string -> record list
-(** Read a log file without opening it as a sink; [[]] if absent. *)
+(** Read a log file without opening it as a sink; [[]] if absent.
+    Strict: raises {!Wal_error} on the first corrupt line — the
+    salvage-aware path is {!scan_file} + {!Core.Recovery}. *)
 
 val truncate_with : t -> record list -> unit
 (** Atomically replace the log's contents — the checkpoint primitive.
@@ -137,10 +139,50 @@ val committed_txns : record list -> int -> bool
 val txn_of : record -> int
 
 val record_to_line : record -> string
-(** One line, no trailing newline; the file-sink format. *)
+(** One line, no trailing newline; the {e v1} (headerless) payload
+    format.  The file sink wraps it in the v2 integrity header — see
+    {!line_of_record}. *)
 
 val record_of_line : string -> record
-(** Raises {!Wal_error} on corrupt input. *)
+(** Parse a v1 payload.  Raises {!Wal_error} on corrupt input. *)
+
+(** {1 Format v2: LSN + CRC32}
+
+    Every line the file sink writes carries an integrity header:
+
+    {v L<lsn> \t <crc32-hex8> \t <v1 payload> v}
+
+    The LSN increases by one per line within a file (a checkpoint
+    rewrites the file and restarts at 1) and the CRC-32 covers
+    ["<lsn>\t<payload>"], so torn, bit-flipped or spliced lines are
+    detected rather than misparsed.  The head field [L<digits>] cannot
+    collide with a v1 head tag, so v1 logs remain readable. *)
+
+val line_of_record : lsn:int -> record -> string
+(** The v2 encoding, no trailing newline. *)
+
+val parse_line : string -> (int option * record, string) result
+(** Parse one line of either version: [Some lsn] for v2 (checksum
+    verified), [None] for v1.  [Error reason] instead of an exception —
+    the salvage path classifies corrupt lines, it does not die on
+    them. *)
+
+type scanned = {
+  lineno : int;  (** 1-based; blank lines counted but not reported *)
+  offset : int;  (** byte offset of the line start *)
+  bytes : int;  (** line length including the newline, if present *)
+  lsn : int option;  (** [None] for v1 and unparsable lines *)
+  parsed : (record, string) result;
+}
+(** One physical log line with enough location information to truncate
+    a torn tail byte-exactly. *)
+
+val scan_string : string -> scanned list
+(** Classify every non-blank line of a raw log image, never raising. *)
+
+val scan_file : string -> string * scanned list
+(** Read the file raw (binary, [""] if absent) and {!scan_string} it;
+    returns the raw bytes alongside so salvage can quarantine them. *)
 
 (** {1 Text codec}
 
@@ -161,6 +203,16 @@ val value_of_field : string -> Value.t
 val set_fault_hook : (string -> unit) -> unit
 (** Install the fault-injection callback invoked at each named point
     (see {!Obs.Fault}); the default is a no-op. *)
+
+val set_write_hook :
+  (point:string -> write:(string -> unit) -> string -> unit) -> unit
+(** Install the physical-write indirection: every byte string the file
+    sink emits passes through the hook (with the fault-point name of
+    the site: [wal.io] for appends, [wal.checkpoint] for the checkpoint
+    rewrite), which may write it whole, truncated ([Torn_write]), or
+    corrupted ([Bit_flip]) via the supplied [write].  The default
+    writes the string unchanged.  The memory sink is durable-at-append
+    and bypasses the hook. *)
 
 val fault_points : string list
 (** The named fault points this module fires, for harness registration:

@@ -1,0 +1,62 @@
+(** Overload circuit breaker: closed → open → half-open → closed.
+
+    The {!Scheduler} rejects individual jobs when its queue is full,
+    but sustained overload still makes every request travel the full
+    admission path, and many admitted jobs die of deadline expiry in
+    the queue — paid-for work the server throws away.  The breaker
+    watches the failure stream ({!record_failure}: admission rejections
+    and queue deadline kills) and, after
+    [config.failure_threshold] consecutive failures, {e opens}:
+    {!admit} turns requests away at the door with an honest
+    [retry_after_ms] equal to the remaining cooldown.  After
+    [config.cooldown_s] it goes {e half-open} and lets probes through
+    one at a time; [config.half_open_probes] consecutive probe
+    successes close it, any probe failure re-opens it.
+
+    Metrics: srv.breaker.failures / srv.breaker.opened /
+    srv.breaker.closed / srv.breaker.fast_rejects counters and the
+    srv.breaker.state gauge (0 closed, 1 open, 2 half-open).
+
+    Thread-safe behind one leaf-level mutex ([srv.breaker] in the rank
+    table): nothing is acquired while it is held, and it is only taken
+    with no other lock held. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip it *)
+  cooldown_s : float;  (** open → half-open delay *)
+  half_open_probes : int;  (** probe successes that close it *)
+}
+
+val default_config : config
+(** 8 consecutive failures, 250ms cooldown, 3 probes. *)
+
+type t
+
+val create : ?config:config -> ?clock:(unit -> float) -> Obs.Metrics.t -> t
+(** [clock] (default [Unix.gettimeofday]) is injectable so tests drive
+    the cooldown deterministically.  Raises [Invalid_argument] on a
+    threshold or probe count < 1. *)
+
+val admit : t -> [ `Proceed | `Reject of int ]
+(** The door check, before the scheduler sees the job.  [`Reject
+    retry_after_ms] is the fast path: answer Rejected immediately.
+    When the cooldown has elapsed this transitions open → half-open and
+    admits the caller as the probe. *)
+
+val record_failure : t -> unit
+(** An admission rejection or a queue deadline kill.  Trips closed →
+    open at the threshold; any half-open probe failure re-opens. *)
+
+val record_success : t -> unit
+(** An admitted job ran to completion.  Resets the failure run; in
+    half-open, counts toward closing. *)
+
+val state_name : t -> string
+(** ["closed"] / ["open"] / ["half_open"], as surfaced in sys.sessions
+    summaries and tests. *)
+
+val opens : t -> int
+(** Times the breaker tripped open since creation. *)
+
+val fast_rejects : t -> int
+(** Requests turned away at the door since creation. *)

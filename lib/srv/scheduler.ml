@@ -120,6 +120,10 @@ let rec worker_loop t =
          match job.deadline with Some d -> now > d | None -> false
        then begin
          Obs.Metrics.incr t.metrics "srv.jobs_expired";
+         (* distinct from jobs_expired (which shutdown drains also
+            tick): admitted work that died of queue wait — the overload
+            signal the circuit breaker and chaoscheck gate watch *)
+         Obs.Metrics.incr t.metrics "srv.jobs_deadline_killed";
          job.expired Proto.Deadline_exceeded
        end
        else begin

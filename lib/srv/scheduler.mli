@@ -10,9 +10,10 @@
 
     Metrics (into the registry passed at creation): srv.jobs_admitted /
     srv.jobs_rejected / srv.jobs_completed / srv.jobs_expired /
-    srv.jobs_cancelled / srv.jobs_requeued / srv.job_errors counters,
-    the srv.queue_depth gauge, and srv.queue_wait / srv.query_latency
-    wall-clock timings. *)
+    srv.jobs_deadline_killed (the subset of expiries caused by queue
+    wait, the overload signal {!Breaker} watches) / srv.jobs_cancelled /
+    srv.jobs_requeued / srv.job_errors counters, the srv.queue_depth
+    gauge, and srv.queue_wait / srv.query_latency wall-clock timings. *)
 
 exception Would_block
 (** Raised by a job's [run] to yield its worker: the job returns to the

@@ -29,6 +29,7 @@ type t = {
   rwlock : Rwlock.t;
   cache : Core.Plan_cache.t;
   metrics : Obs.Metrics.t;
+  breaker : Breaker.t;
   default_deadline_ms : int;
   m : Mutex.t;
   mutable sessions : Session.t list; (* newest first, closed ones kept *)
@@ -45,7 +46,7 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let create ?workers ?(queue_capacity = 64) ?plan_cache_capacity
-    ?(default_deadline_ms = 10_000) sdb =
+    ?(default_deadline_ms = 10_000) ?breaker_config sdb =
   let metrics = Core.Softdb.metrics sdb in
   let t =
     {
@@ -54,6 +55,7 @@ let create ?workers ?(queue_capacity = 64) ?plan_cache_capacity
       rwlock = Rwlock.create ();
       cache = Core.Plan_cache.create ?capacity:plan_cache_capacity sdb;
       metrics;
+      breaker = Breaker.create ?config:breaker_config metrics;
       default_deadline_ms;
       m = Mutex.create ();
       sessions = [];
@@ -74,6 +76,7 @@ let create ?workers ?(queue_capacity = 64) ?plan_cache_capacity
   t
 
 let scheduler t = t.scheduler
+let breaker t = t.breaker
 let rwlock t = t.rwlock
 let plan_cache t = t.cache
 let sessions t = locked t (fun () -> List.rev t.sessions)
@@ -141,6 +144,7 @@ let submit_job t cs (req : Proto.request) =
           let payload =
             Session.handle ~rwlock:t.rwlock ~deadline session req.Proto.payload
           in
+          Breaker.record_success t.breaker;
           send_response cs { Proto.id = req.Proto.id; payload });
       expired =
         (fun code ->
@@ -151,6 +155,10 @@ let submit_job t cs (req : Proto.request) =
             | Proto.Shutting_down -> "server shutting down"
             | _ -> "not executed"
           in
+          (* an admitted job that died of queue wait is the overload
+             signal; cancel and shutdown say nothing about load *)
+          if code = Proto.Deadline_exceeded then
+            Breaker.record_failure t.breaker;
           send_response cs
             {
               Proto.id = req.Proto.id;
@@ -158,19 +166,33 @@ let submit_job t cs (req : Proto.request) =
             });
     }
   in
-  match Scheduler.submit t.scheduler job with
-  | `Admitted -> ()
-  | `Rejected retry_after_ms ->
+  (* the breaker is the outer door: when open it answers without the
+     job ever reaching the scheduler's queue *)
+  match Breaker.admit t.breaker with
+  | `Reject retry_after_ms ->
       send_response cs
         { Proto.id = req.Proto.id; payload = Proto.Rejected { retry_after_ms } }
-  | `Shutting_down ->
-      send_response cs
-        {
-          Proto.id = req.Proto.id;
-          payload =
-            Proto.Failed
-              { code = Proto.Shutting_down; message = "server shutting down" };
-        }
+  | `Proceed -> (
+      match Scheduler.submit t.scheduler job with
+      | `Admitted -> ()
+      | `Rejected retry_after_ms ->
+          Breaker.record_failure t.breaker;
+          send_response cs
+            {
+              Proto.id = req.Proto.id;
+              payload = Proto.Rejected { retry_after_ms };
+            }
+      | `Shutting_down ->
+          send_response cs
+            {
+              Proto.id = req.Proto.id;
+              payload =
+                Proto.Failed
+                  {
+                    code = Proto.Shutting_down;
+                    message = "server shutting down";
+                  };
+            })
 
 (* Serve one connection to completion: decode, dispatch, tear down.
    Blocking — run it on its own thread ([serve_connection_async]). *)
@@ -184,12 +206,19 @@ let serve_connection t conn =
       | Some line ->
           (match Proto.request_of_line line with
           | exception Proto.Protocol_error m ->
+              (* a malformed frame means this client's stream is out of
+                 sync — continuing to parse it would misattribute every
+                 later frame.  Final error frame, then disconnect this
+                 session only; siblings are untouched (each connection
+                 has its own reader loop and session). *)
+              Obs.Metrics.incr t.metrics "srv.protocol_errors";
               send_response cs
                 {
                   Proto.id = 0;
                   payload =
                     Proto.Failed { code = Proto.Parse_error; message = m };
-                }
+                };
+              cs.open_ <- false
           | req -> (
               match req.Proto.payload with
               | Proto.Ping | Proto.Hello _ | Proto.Cancel _ | Proto.Quit ->

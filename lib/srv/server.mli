@@ -18,18 +18,26 @@ val create :
   ?queue_capacity:int ->
   ?plan_cache_capacity:int ->
   ?default_deadline_ms:int ->
+  ?breaker_config:Breaker.config ->
   Core.Softdb.t ->
   t
 (** Spawns the worker domains immediately.  [default_deadline_ms]
     (default 10s) bounds each request's queue wait + execution; a
     session overrides it with [SET deadline_ms <n>] ([<= 0] disables).
-    Registers the sys.sessions virtual table on the database. *)
+    [breaker_config] tunes the overload circuit breaker
+    ({!Breaker.default_config} otherwise), which fronts the scheduler:
+    when open, requests are answered [Rejected] with an honest
+    retry_after_ms without ever touching the queue.  Registers the
+    sys.sessions virtual table on the database. *)
 
 val serve_connection : t -> Transport.t -> unit
 (** Serve one connection to completion (blocking): opens a session,
     loops on [recv], tears the session down on Quit/EOF — rolling back
     an open transaction and surrendering write ownership, so a dropped
-    client never wedges the engine. *)
+    client never wedges the engine.  A malformed frame
+    ({!Proto.Protocol_error}) gets a final [Failed Parse_error] frame
+    and disconnects {e this} session only — the stream is out of sync,
+    but sibling connections are untouched. *)
 
 val serve_connection_async : t -> Transport.t -> Thread.t
 (** [serve_connection] on its own thread. *)
@@ -47,6 +55,7 @@ val shutdown : t -> unit
 (** {1 Introspection (tests, bench, CLI)} *)
 
 val scheduler : t -> Scheduler.t
+val breaker : t -> Breaker.t
 val rwlock : t -> Rwlock.t
 val plan_cache : t -> Core.Plan_cache.t
 val sessions : t -> Session.t list

@@ -36,8 +36,13 @@
    free.  [srv.scatter.batch] sits just above it: batch bookkeeping
    happens under the same held set plus nothing else.
 
+   [srv.breaker] is a leaf: the circuit breaker ({!Breaker}) decides
+   admit/reject with nothing else held and acquires nothing while held
+   (its metrics tick after the mutex is released).
+
    @lock-order srv.transport.chan rank=10
    @lock-order srv.transport.write rank=12
+   @lock-order srv.breaker rank=15
    @lock-order srv.session rank=20
    @lock-order db.rwlock rank=30 reentrant
    @lock-order srv.scheduler.queue rank=35
@@ -226,9 +231,11 @@ let prepare ~rwlock ~deadline t ~handle sql =
       let payload =
         under_lock ~rwlock ~deadline t ~write:false (fun () ->
             guard_engine (fun () ->
-                (match Core.Plan_cache.find t.cache key with
-                | Some _ -> Obs.Metrics.incr t.metrics "plan_cache.shared_hits"
-                | None -> ignore (Core.Plan_cache.prepare t.cache ~name:key sql));
+                let _, created =
+                  Core.Plan_cache.find_or_prepare t.cache ~name:key sql
+                in
+                if not created then
+                  Obs.Metrics.incr t.metrics "plan_cache.shared_hits";
                 Hashtbl.replace t.prepared handle key;
                 Proto.Ok_msg (Printf.sprintf "prepared %s" handle)))
       in

@@ -361,7 +361,7 @@ let test_file_resume () =
   Obs.Fault.reset ();
   let path = Filename.temp_file "softdb_resume" ".wal" in
   Sys.remove path;
-  let sdb, link = Core.Recovery.resume path in
+  let sdb, link, _ = Core.Recovery.resume path in
   ignore (Core.Softdb.exec sdb "CREATE TABLE t (a INT, b INT)");
   ignore (Core.Softdb.exec sdb "INSERT INTO t VALUES (1, 2)");
   ignore
@@ -369,7 +369,7 @@ let test_file_resume () =
        "ALTER TABLE t ADD CONSTRAINT asc_b CHECK (b < 100) SOFT");
   Core.Recovery.detach link;
   Wal.close (Core.Recovery.wal link);
-  let sdb2, link2 = Core.Recovery.resume path in
+  let sdb2, link2, _ = Core.Recovery.resume path in
   check tbool "state recovered" true
     (rows_of sdb2 = [ [ Value.Int 1; Value.Int 2 ] ]);
   check tbool "ASC recovered" true
@@ -377,7 +377,7 @@ let test_file_resume () =
   ignore (Core.Softdb.exec sdb2 "INSERT INTO t VALUES (2, 4)");
   Core.Recovery.detach link2;
   Wal.close (Core.Recovery.wal link2);
-  let sdb3, link3 = Core.Recovery.resume path in
+  let sdb3, link3, _ = Core.Recovery.resume path in
   check tint "appended across sessions" 2
     (List.length (rows_of sdb3));
   Core.Recovery.detach link3;
@@ -573,6 +573,295 @@ let test_rollback_incomplete_keeps_compensating () =
   check tint "u compensated anyway" 0
     (Table.cardinality (Database.table_exn (Core.Softdb.db sdb) "u"))
 
+(* ---- the salvage matrix (WAL v2: CRC + LSN, torn tails, bit flips) ------- *)
+
+let read_bytes p = In_channel.with_open_bin p In_channel.input_all
+
+let cleanup_wal path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".salvage"; path ^ ".ckpt"; path ^ ".salvtmp" ]
+
+(* a real file-sink WAL holding the shared fixture's committed state *)
+let file_fixture () =
+  Obs.Fault.reset ();
+  let path = Filename.temp_file "softdb_salvage" ".wal" in
+  Sys.remove path;
+  let sdb, link, _ = Core.Recovery.resume path in
+  ignore (Core.Softdb.exec sdb "CREATE TABLE t (a INT, b INT)");
+  for i = 1 to 5 do
+    ignore
+      (Core.Softdb.exec sdb
+         (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * 2)))
+  done;
+  ignore
+    (Core.Softdb.exec sdb
+       "ALTER TABLE t ADD CONSTRAINT asc_b CHECK (b < 100) SOFT");
+  Core.Recovery.flush link;
+  (sdb, link, path)
+
+(* run the overturning probe with a write fault armed at [point]; freeze
+   the log at the crash instant (partial bytes included) and return the
+   path *)
+let torn_probe ~point ~after mode =
+  let sdb, link, path = file_fixture () in
+  Obs.Fault.arm ~after point mode;
+  (try probe_commit sdb with Obs.Fault.Injected_crash _ -> ());
+  Core.Txn.abandon_current ();
+  Core.Recovery.kill link;
+  Wal.close (Core.Recovery.wal link);
+  Obs.Fault.reset ();
+  path
+
+let recovery_row sdb =
+  match
+    (Core.Softdb.query_baseline sdb
+       "SELECT mode, torn_tail, dropped_txns, corrupt_lines FROM sys.recovery")
+      .Exec.Executor.rows
+  with
+  | [ row ] -> Tuple.to_list row
+  | rows -> Alcotest.failf "sys.recovery has %d rows" (List.length rows)
+
+let test_v2_line_codec () =
+  List.iteri
+    (fun i r ->
+      let line = Wal.line_of_record ~lsn:(i + 1) r in
+      (match Wal.parse_line line with
+      | Ok (Some lsn, r') ->
+          check tint "lsn roundtrip" (i + 1) lsn;
+          check tbool "record roundtrip" true (r' = r)
+      | Ok (None, _) -> Alcotest.fail "v2 line parsed as v1"
+      | Error m -> Alcotest.failf "v2 line rejected: %s" m);
+      (* v1 payloads still parse *)
+      (match Wal.parse_line (Wal.record_to_line r) with
+      | Ok (None, r') -> check tbool "v1 still readable" true (r' = r)
+      | Ok (Some _, _) | Error _ -> Alcotest.fail "v1 line misparsed");
+      (* any single corrupted byte must be caught *)
+      let b = Bytes.of_string line in
+      let pos = String.length line / 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      match Wal.parse_line (Bytes.to_string b) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "flipped byte accepted in %S" line)
+    codec_records
+
+let test_torn_tail_mid_record () =
+  (* the tear hits the probe's first data record: everything before the
+     tear replays byte-identically, the tail is quarantined *)
+  let path = torn_probe ~point:"wal.io" ~after:1 (Obs.Fault.Torn_write 10) in
+  let untorn = Core.Recovery.recover (Wal.scan_string (read_bytes path)
+                                      |> List.filter_map (fun (s : Wal.scanned) ->
+                                             match s.Wal.parsed with
+                                             | Ok r -> Some r
+                                             | Error _ -> None)) in
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tbool "pre state (probe txn torn away)" true (rows_of sdb2 = pre_rows);
+  check tbool "identical to clean-prefix replay" true
+    (rows_of sdb2 = rows_of untorn);
+  check tbool "torn tail flagged" true report.Core.Recovery.torn_tail;
+  check tbool "bytes quarantined" true
+    (report.Core.Recovery.quarantined_bytes > 0);
+  check tbool "salvage file written" true
+    (Sys.file_exists (path ^ ".salvage"));
+  check tbool "no dropped txns (tail was uncommitted)" true
+    (report.Core.Recovery.dropped_txns = []);
+  (* the truncated log is clean: a second, strict pass replays equal *)
+  let sdb3 = Core.Recovery.recover (Wal.load_file path) in
+  check tbool "repaired log replays equal" true (rows_of sdb3 = rows_of sdb2);
+  (match recovery_row sdb2 with
+  | [ Value.String "strict"; Value.Bool true; _; Value.Int c ] ->
+      check tbool "corrupt line counted" true (c >= 1)
+  | row ->
+      Alcotest.failf "unexpected sys.recovery row: %s"
+        (String.concat "," (List.map Value.to_string row)));
+  cleanup_wal path
+
+let test_torn_tail_mid_commit () =
+  (* Begin + both inserts land; the commit record itself is torn: the
+     frame never committed, recovery lands on pre-state *)
+  let path = torn_probe ~point:"wal.io" ~after:3 (Obs.Fault.Torn_write 7) in
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tbool "pre state" true (rows_of sdb2 = pre_rows);
+  check tbool "torn tail flagged" true report.Core.Recovery.torn_tail;
+  check tbool "ASC re-instated" true
+    (Core.Soft_constraint.is_usable (Option.get (find_sc sdb2 "asc_b")));
+  (* the quarantine holds the torn bytes *)
+  let salvaged = read_bytes (path ^ ".salvage") in
+  check tbool "quarantine non-empty" true (String.length salvaged > 0);
+  cleanup_wal path
+
+let test_torn_checkpoint_preserves_log () =
+  (* a torn write inside the checkpoint rewrite dies before the rename:
+     the original log survives untouched *)
+  let sdb, link, path = file_fixture () in
+  probe_commit sdb;
+  Core.Recovery.flush link;
+  let before = read_bytes path in
+  Obs.Fault.arm "wal.checkpoint" (Obs.Fault.Torn_write 12);
+  (match Core.Recovery.checkpoint link with
+  | exception Obs.Fault.Injected_crash _ -> ()
+  | () -> Alcotest.fail "expected the torn checkpoint to crash");
+  Core.Recovery.kill link;
+  Wal.close (Core.Recovery.wal link);
+  Obs.Fault.reset ();
+  check tbool "log bytes untouched" true (read_bytes path = before);
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tbool "post state recovered" true (rows_of sdb2 = post_rows);
+  check tbool "no tear in the log itself" false report.Core.Recovery.torn_tail;
+  cleanup_wal path
+
+let test_bit_flip_before_last_commit () =
+  (* silent corruption of a mid-transaction record, then the commit
+     lands: interior corruption.  Strict refuses; salvage drops exactly
+     that transaction and reports it. *)
+  let sdb, link, path = file_fixture () in
+  Obs.Fault.arm ~after:1 "wal.io" (Obs.Fault.Bit_flip 5);
+  probe_commit sdb;
+  Core.Recovery.detach link;
+  Wal.close (Core.Recovery.wal link);
+  Obs.Fault.reset ();
+  (match Core.Recovery.recover_file path with
+  | exception Core.Recovery.Recovery_error _ -> ()
+  | _ -> Alcotest.fail "strict mode accepted interior corruption");
+  let sdb2, report =
+    Core.Recovery.recover_file ~mode:Core.Recovery.Salvage path
+  in
+  check tbool "affected txn dropped" true
+    (List.length report.Core.Recovery.dropped_txns = 1);
+  check tbool "pre state (probe dropped whole)" true (rows_of sdb2 = pre_rows);
+  check tbool "interior, not torn" false report.Core.Recovery.torn_tail;
+  check tbool "corrupt line quarantined" true
+    (Sys.file_exists (path ^ ".salvage"));
+  (* the rewritten log replays to exactly the salvaged state, strictly *)
+  let sdb3 = Core.Recovery.recover (Wal.load_file path) in
+  check tbool "repaired log replays equal" true (rows_of sdb3 = rows_of sdb2);
+  (match recovery_row sdb2 with
+  | [ Value.String "salvage"; Value.Bool false; Value.String dropped; _ ] ->
+      check tbool "dropped txn listed" true (String.length dropped > 0)
+  | row ->
+      Alcotest.failf "unexpected sys.recovery row: %s"
+        (String.concat "," (List.map Value.to_string row)));
+  cleanup_wal path
+
+let test_bit_flip_after_last_commit () =
+  (* the flipped record belongs to a transaction that never committed:
+     corruption strictly after the last committed frame is a torn tail,
+     salvaged even in strict mode *)
+  let sdb, link, path = file_fixture () in
+  Obs.Fault.arm ~after:1 "wal.io" (Obs.Fault.Bit_flip 9);
+  let t = Core.Txn.begin_ sdb in
+  ignore (Core.Softdb.exec sdb "INSERT INTO t VALUES (10, 500)");
+  ignore t;
+  Core.Txn.abandon_current ();
+  Core.Recovery.kill link;
+  Wal.close (Core.Recovery.wal link);
+  Obs.Fault.reset ();
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tbool "pre state" true (rows_of sdb2 = pre_rows);
+  check tbool "classified as torn tail" true report.Core.Recovery.torn_tail;
+  check tbool "nothing dropped" true (report.Core.Recovery.dropped_txns = []);
+  cleanup_wal path
+
+let test_lsn_regression_detected () =
+  (* a stale line spliced onto the tail (duplicated LSN) is corruption
+     even though its checksum is fine *)
+  let _, link, path = file_fixture () in
+  Core.Recovery.detach link;
+  Wal.close (Core.Recovery.wal link);
+  let raw = read_bytes path in
+  let lines = String.split_on_char '\n' raw in
+  let dup = List.nth lines 2 in
+  Out_channel.with_open_gen
+    [ Open_append; Open_binary ] 0o644 path
+    (fun oc -> Out_channel.output_string oc (dup ^ "\n"));
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tbool "spliced line cut as torn tail" true
+    report.Core.Recovery.torn_tail;
+  check tbool "fixture state intact" true (rows_of sdb2 = pre_rows);
+  check tbool "reason names the regression" true
+    (List.exists
+       (fun (c : Core.Recovery.corrupt_line) ->
+         String.length c.Core.Recovery.reason >= 3)
+       report.Core.Recovery.corrupt);
+  cleanup_wal path
+
+let test_sharded_salvage_equivalent () =
+  (* the sharded replayer must make the identical salvage decisions *)
+  let sdb, link, path = file_fixture () in
+  Obs.Fault.arm ~after:1 "wal.io" (Obs.Fault.Bit_flip 5);
+  probe_commit sdb;
+  ignore (Core.Softdb.exec sdb "INSERT INTO t VALUES (20, 40)");
+  Core.Recovery.detach link;
+  Wal.close (Core.Recovery.wal link);
+  Obs.Fault.reset ();
+  let scanned = Wal.scan_string (read_bytes path) in
+  let seq, seq_report =
+    Core.Recovery.recover_scan ~mode:Core.Recovery.Salvage scanned
+  in
+  let shd, shd_report =
+    Core.Recovery.recover_sharded_scan ~mode:Core.Recovery.Salvage scanned
+  in
+  check tbool "same rows" true (rows_of seq = rows_of shd);
+  check tbool "same report" true (seq_report = shd_report);
+  check tbool "later autocommit survives the drop" true
+    (List.mem [ Value.Int 20; Value.Int 40 ] (rows_of seq));
+  cleanup_wal path
+
+(* ---- recovery edge cases -------------------------------------------------- *)
+
+let test_zero_length_log () =
+  let path = Filename.temp_file "softdb_empty" ".wal" in
+  let sdb, report = Core.Recovery.recover_file path in
+  check tint "nothing scanned" 0 report.Core.Recovery.scanned_lines;
+  check tbool "no tear" false report.Core.Recovery.torn_tail;
+  check tbool "fresh database" true
+    (Database.table_names (Core.Softdb.db sdb) = []);
+  (* resume on the same empty file works and can write *)
+  let sdb2, link, _ = Core.Recovery.resume path in
+  ignore (Core.Softdb.exec sdb2 "CREATE TABLE t (a INT)");
+  Core.Recovery.detach link;
+  Wal.close (Core.Recovery.wal link);
+  cleanup_wal path
+
+let test_log_ends_at_commit_boundary () =
+  (* the file's last line is a commit record: nothing to salvage, every
+     committed frame replays *)
+  let sdb, link, path = file_fixture () in
+  probe_commit sdb;
+  Core.Recovery.flush link;
+  Core.Recovery.detach link;
+  Wal.close (Core.Recovery.wal link);
+  let raw = read_bytes path in
+  check tbool "fixture ends in newline" true
+    (raw.[String.length raw - 1] = '\n');
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tbool "post state" true (rows_of sdb2 = post_rows);
+  check tbool "clean" true
+    ((not report.Core.Recovery.torn_tail)
+    && report.Core.Recovery.corrupt = []);
+  check tbool "commit count positive" true
+    (report.Core.Recovery.committed_txns > 0);
+  cleanup_wal path
+
+let test_ckpt_present_empty_tail () =
+  (* a leftover .ckpt sibling (crashed checkpoint) next to a log
+     truncated to zero: recovery of the log itself succeeds empty and
+     never reads the sibling *)
+  let _, link, path = file_fixture () in
+  Core.Recovery.detach link;
+  Wal.close (Core.Recovery.wal link);
+  let raw = read_bytes path in
+  Out_channel.with_open_bin (path ^ ".ckpt") (fun oc ->
+      Out_channel.output_string oc raw);
+  Out_channel.with_open_bin path (fun _ -> ());
+  let sdb2, report = Core.Recovery.recover_file path in
+  check tint "empty tail scanned" 0 report.Core.Recovery.scanned_lines;
+  check tbool "sibling ignored" true
+    (Database.table_names (Core.Softdb.db sdb2) = []);
+  check tbool "ckpt sibling still on disk" true
+    (Sys.file_exists (path ^ ".ckpt"));
+  cleanup_wal path
+
 (* -------------------------------------------------------------------------- *)
 
 let () =
@@ -632,5 +921,31 @@ let () =
         [
           Alcotest.test_case "rollback incomplete keeps compensating" `Quick
             test_rollback_incomplete_keeps_compensating;
+        ] );
+      ( "salvage",
+        [
+          Alcotest.test_case "v2 line codec" `Quick test_v2_line_codec;
+          Alcotest.test_case "torn tail mid-record" `Quick
+            test_torn_tail_mid_record;
+          Alcotest.test_case "torn tail mid-commit" `Quick
+            test_torn_tail_mid_commit;
+          Alcotest.test_case "torn checkpoint preserves log" `Quick
+            test_torn_checkpoint_preserves_log;
+          Alcotest.test_case "bit flip before last commit" `Quick
+            test_bit_flip_before_last_commit;
+          Alcotest.test_case "bit flip after last commit" `Quick
+            test_bit_flip_after_last_commit;
+          Alcotest.test_case "lsn regression" `Quick
+            test_lsn_regression_detected;
+          Alcotest.test_case "sharded salvage equivalent" `Quick
+            test_sharded_salvage_equivalent;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "zero-length log" `Quick test_zero_length_log;
+          Alcotest.test_case "log ends at commit boundary" `Quick
+            test_log_ends_at_commit_boundary;
+          Alcotest.test_case "ckpt sibling, empty tail" `Quick
+            test_ckpt_present_empty_tail;
         ] );
     ]

@@ -972,6 +972,264 @@ let test_dropped_connection_releases_lock () =
   quit bclient;
   Srv.Server.shutdown server
 
+(* ---- overload circuit breaker -------------------------------------------- *)
+
+let tstr = Alcotest.string
+
+let test_breaker_state_machine () =
+  let now = ref 0.0 in
+  let m = Obs.Metrics.create () in
+  let cfg =
+    { Srv.Breaker.failure_threshold = 3; cooldown_s = 1.0; half_open_probes = 2 }
+  in
+  let b = Srv.Breaker.create ~config:cfg ~clock:(fun () -> !now) m in
+  check tstr "starts closed" "closed" (Srv.Breaker.state_name b);
+  Srv.Breaker.record_failure b;
+  Srv.Breaker.record_failure b;
+  check tstr "below threshold" "closed" (Srv.Breaker.state_name b);
+  Srv.Breaker.record_success b;
+  Srv.Breaker.record_failure b;
+  Srv.Breaker.record_failure b;
+  check tstr "a success resets the run" "closed" (Srv.Breaker.state_name b);
+  Srv.Breaker.record_failure b;
+  check tstr "threshold trips it" "open" (Srv.Breaker.state_name b);
+  check tint "one open" 1 (Srv.Breaker.opens b);
+  (match Srv.Breaker.admit b with
+  | `Reject ms -> check tbool "honest cooldown hint" true (ms >= 1 && ms <= 1000)
+  | `Proceed -> Alcotest.fail "open breaker admitted a request");
+  check tint "fast reject counted" 1 (Srv.Breaker.fast_rejects b);
+  check tint "fast reject metric" 1 (Obs.Metrics.counter m "srv.breaker.fast_rejects");
+  (* cooldown elapses: the next caller becomes the probe *)
+  now := 1.25;
+  (match Srv.Breaker.admit b with
+  | `Proceed -> ()
+  | `Reject _ -> Alcotest.fail "probe refused after cooldown");
+  check tstr "half open" "half_open" (Srv.Breaker.state_name b);
+  (* one probe at a time: a second caller is turned away *)
+  (match Srv.Breaker.admit b with
+  | `Reject _ -> ()
+  | `Proceed -> Alcotest.fail "two probes in flight");
+  Srv.Breaker.record_success b;
+  (match Srv.Breaker.admit b with
+  | `Proceed -> ()
+  | `Reject _ -> Alcotest.fail "second probe refused");
+  Srv.Breaker.record_success b;
+  check tstr "probe run closes it" "closed" (Srv.Breaker.state_name b);
+  check tint "close metric" 1 (Obs.Metrics.counter m "srv.breaker.closed");
+  check (Alcotest.option (Alcotest.float 0.01)) "state gauge back to closed"
+    (Some 0.0)
+    (Obs.Metrics.gauge m "srv.breaker.state")
+
+let test_breaker_probe_failure_reopens () =
+  let now = ref 0.0 in
+  let m = Obs.Metrics.create () in
+  let cfg =
+    { Srv.Breaker.failure_threshold = 1; cooldown_s = 1.0; half_open_probes = 2 }
+  in
+  let b = Srv.Breaker.create ~config:cfg ~clock:(fun () -> !now) m in
+  Srv.Breaker.record_failure b;
+  check tstr "tripped" "open" (Srv.Breaker.state_name b);
+  now := 1.5;
+  (match Srv.Breaker.admit b with
+  | `Proceed -> ()
+  | `Reject _ -> Alcotest.fail "probe refused");
+  Srv.Breaker.record_failure b;
+  check tstr "failed probe reopens" "open" (Srv.Breaker.state_name b);
+  check tint "two opens" 2 (Srv.Breaker.opens b);
+  (* a wedged probe (cancelled, never reported) does not stick half-open:
+     after a cooldown's worth of silence the next caller takes over *)
+  now := 3.0;
+  (match Srv.Breaker.admit b with
+  | `Proceed -> ()
+  | `Reject _ -> Alcotest.fail "probe refused");
+  (match Srv.Breaker.admit b with
+  | `Reject _ -> ()
+  | `Proceed -> Alcotest.fail "second probe while first in flight");
+  now := 4.5;
+  (match Srv.Breaker.admit b with
+  | `Proceed -> ()
+  | `Reject _ -> Alcotest.fail "stale probe wedged the breaker");
+  Srv.Breaker.record_success b;
+  Srv.Breaker.record_success b;
+  check tstr "closes again" "closed" (Srv.Breaker.state_name b)
+
+(* End to end: pin the single worker, fill the one queue slot, and let a
+   run of admission rejections open the breaker; while open, requests
+   answer Rejected without touching the scheduler; once the load drains
+   and the cooldown passes, a probe closes it again. *)
+let test_breaker_opens_through_server () =
+  let sdb = small_purchase_sdb ~rows:50 () in
+  let l = latch () in
+  Database.register_virtual (Core.Softdb.db sdb) ~name:"sys.latch"
+    ~schema:
+      (Schema.make "sys.latch"
+         [ Schema.column ~nullable:false "ok" Value.TBool ])
+    (fun () ->
+      latch_wait l;
+      [ Tuple.make [ Value.Bool true ] ]);
+  let server =
+    Srv.Server.create ~workers:1 ~queue_capacity:1
+      ~breaker_config:
+        {
+          Srv.Breaker.failure_threshold = 3;
+          cooldown_s = 0.2;
+          half_open_probes = 1;
+        }
+      sdb
+  in
+  let breaker = Srv.Server.breaker server in
+  let a = connect server and b = connect server and c = connect server in
+  let a_latch = send a (Srv.Proto.Statement "SELECT ok FROM sys.latch") in
+  eventually "worker pinned on the latch" (fun () -> latch_waiters l = 1);
+  let b_queued =
+    send b (Srv.Proto.Statement "SELECT COUNT(*) FROM purchase")
+  in
+  eventually "queue holds b's query" (fun () ->
+      Srv.Scheduler.queue_depth (Srv.Server.scheduler server) = 1);
+  (* three straight admission rejections trip the breaker *)
+  for i = 1 to 3 do
+    match rpc c (Srv.Proto.Statement "SELECT COUNT(*) FROM purchase") with
+    | Srv.Proto.Rejected _ -> ()
+    | p ->
+        Alcotest.failf "overflow %d not rejected: %a" i Srv.Proto.pp_response
+          { Srv.Proto.id = 0; payload = p }
+  done;
+  check tstr "breaker open after the run" "open" (Srv.Breaker.state_name breaker);
+  (* open breaker: fast rejection at the door, scheduler untouched *)
+  (match rpc c (Srv.Proto.Statement "SELECT COUNT(*) FROM purchase") with
+  | Srv.Proto.Rejected { retry_after_ms } ->
+      check tbool "retry hint within the cooldown" true
+        (retry_after_ms >= 1 && retry_after_ms <= 200)
+  | p ->
+      Alcotest.failf "open breaker answered %a" Srv.Proto.pp_response
+        { Srv.Proto.id = 0; payload = p });
+  check tbool "rejected at the door, not the queue" true
+    (Srv.Breaker.fast_rejects breaker >= 1);
+  check tint "queue never saw the fast-rejected job" 1
+    (Srv.Scheduler.queue_depth (Srv.Server.scheduler server));
+  (* drain the load, wait out the cooldown, and recover via the probe *)
+  latch_open l;
+  let r = recv a in
+  check tint "latched query answers" a_latch r.Srv.Proto.id;
+  let r = recv b in
+  check tint "queued query answers" b_queued r.Srv.Proto.id;
+  Unix.sleepf 0.25;
+  check tint "probe succeeds through the reopened door" 50
+    (count_purchases c);
+  check tstr "breaker closed again" "closed" (Srv.Breaker.state_name breaker);
+  check tint "exactly one open" 1 (Srv.Breaker.opens breaker);
+  quit a;
+  quit b;
+  quit c;
+  Srv.Server.shutdown server
+
+(* ---- malformed-frame handling -------------------------------------------- *)
+
+(* A malformed frame must kill only the session that sent it: final
+   Failed {Parse_error} frame, then disconnect; siblings keep working. *)
+let test_malformed_frame_disconnects_one_session () =
+  let sdb = small_purchase_sdb ~rows:50 () in
+  let server = Srv.Server.create ~workers:2 sdb in
+  let healthy = connect server in
+  List.iter
+    (fun bad ->
+      let cl = connect server in
+      cl.conn.Srv.Transport.send bad;
+      (match cl.conn.Srv.Transport.recv () with
+      | None -> Alcotest.failf "no final error frame for %S" bad
+      | Some line ->
+          let r = Srv.Proto.response_of_line line in
+          check tint "error frame carries id 0" 0 r.Srv.Proto.id;
+          (match r.Srv.Proto.payload with
+          | Srv.Proto.Failed { code = Srv.Proto.Parse_error; _ } -> ()
+          | p ->
+              Alcotest.failf "expected parse error for %S, got %a" bad
+                Srv.Proto.pp_response
+                { Srv.Proto.id = 0; payload = p }));
+      (match cl.conn.Srv.Transport.recv () with
+      | None -> ()
+      | Some _ -> Alcotest.failf "session survived malformed frame %S" bad);
+      cl.conn.Srv.Transport.close ())
+    [
+      "";
+      "Z\t1";
+      "Q\t";
+      "Qx\tstmt\tSELECT 1";
+      "Q1\tnosuchkind\tfoo";
+      (* oversized id field: overflows int parsing *)
+      "Q99999999999999999999999999\tstmt\tSELECT 1";
+      "Q1\tstmt";
+      "\x00\x01\xfe\xff binary junk";
+    ];
+  check tbool "protocol errors counted" true
+    (Obs.Metrics.counter (Core.Softdb.metrics sdb) "srv.protocol_errors" >= 8);
+  check tint "sibling session unharmed" 50 (count_purchases healthy);
+  quit healthy;
+  Srv.Server.shutdown server
+
+(* Seeded random fuzz: arbitrary byte strings and truncated frames must
+   never crash the server — each fuzzed session either gets normal
+   responses (the line happened to parse) or the final-error-then-close
+   treatment, and a healthy sibling stays functional throughout. *)
+let test_malformed_frame_fuzz () =
+  let sdb = small_purchase_sdb ~rows:50 () in
+  let server = Srv.Server.create ~workers:2 sdb in
+  let healthy = connect server in
+  let st = Random.State.make [| 0x5eed |] in
+  let sanitize s =
+    String.map (function '\n' | '\r' -> 'x' | ch -> ch) s
+  in
+  let random_garbage () =
+    sanitize
+      (String.init
+         (1 + Random.State.int st 64)
+         (fun _ -> Char.chr (Random.State.int st 256)))
+  in
+  let truncated () =
+    let line =
+      Srv.Proto.request_to_line
+        {
+          Srv.Proto.id = 1 + Random.State.int st 1000;
+          payload = Srv.Proto.Statement "SELECT COUNT(*) FROM purchase";
+        }
+    in
+    String.sub line 0 (1 + Random.State.int st (String.length line - 1))
+  in
+  let oversized () =
+    "Q" ^ string_of_int (1 + Random.State.int st 100) ^ "\tstmt\t"
+    ^ String.make (1 lsl (10 + Random.State.int st 6)) 'x'
+  in
+  for i = 1 to 60 do
+    let frame =
+      match i mod 3 with
+      | 0 -> random_garbage ()
+      | 1 -> truncated ()
+      | _ -> oversized ()
+    in
+    let cl = connect server in
+    cl.conn.Srv.Transport.send frame;
+    (match cl.conn.Srv.Transport.recv () with
+    | None -> ()
+    | Some line -> (
+        let r = Srv.Proto.response_of_line line in
+        match r.Srv.Proto.payload with
+        | Srv.Proto.Failed { code = Srv.Proto.Parse_error; _ }
+          when r.Srv.Proto.id = 0 -> (
+            (* the protocol-level error frame: the session must close *)
+            match cl.conn.Srv.Transport.recv () with
+            | None -> ()
+            | Some _ -> Alcotest.fail "session survived a parse error")
+        | _ ->
+            (* the bytes happened to parse as a frame: a normal answer
+               (including a SQL-level failure on that id) is fine *)
+            ()));
+    cl.conn.Srv.Transport.close ()
+  done;
+  check tint "healthy session survives the fuzzing" 50
+    (count_purchases healthy);
+  quit healthy;
+  Srv.Server.shutdown server
+
 let () =
   Alcotest.run "srv"
     [
@@ -1037,5 +1295,20 @@ let () =
             test_scatter_gather_deterministic;
           Alcotest.test_case "partition SC overturn falls back" `Quick
             test_partition_sc_overturn_guarded_fallback;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "state machine" `Quick test_breaker_state_machine;
+          Alcotest.test_case "probe failure reopens" `Quick
+            test_breaker_probe_failure_reopens;
+          Alcotest.test_case "opens through the server" `Quick
+            test_breaker_opens_through_server;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "malformed frame disconnects one session" `Quick
+            test_malformed_frame_disconnects_one_session;
+          Alcotest.test_case "malformed frame fuzz" `Quick
+            test_malformed_frame_fuzz;
         ] );
     ]
