@@ -1,5 +1,6 @@
 .PHONY: all build test check lint faultcheck servecheck chaoscheck bench \
-	benchcheck benchbaseline partcheck partbaseline fmt clean
+	benchcheck benchbaseline partcheck partbaseline idxcheck idxbaseline \
+	fmt clean
 
 all: build
 
@@ -77,6 +78,25 @@ partbaseline: build
 	dune exec bench/benchrun.exe -- --quick --label baseline \
 	  --out bench/part_baseline.json --scenario purchase/part1 \
 	  --scenario purchase/part4 --scenario purchase/part8
+
+# the index gate: the online-build crash matrix (a simulated crash at
+# every idx.backfill.* fault point must leave the index consistent or
+# cleanly demoted), the full lib/idx suite, and the purchase/idx
+# scenario diffed against its committed baseline — the index-only scan
+# must keep its pages_read / rows_scanned reduction and its rewrite
+# count, with zero rewrite slack
+idxcheck: build
+	timeout 300 dune exec test/test_idx.exe -- test crash
+	timeout 300 dune exec test/test_idx.exe
+	dune exec bench/benchrun.exe -- --quick --label idxcheck \
+	  --out IDXBENCH.json --scenario purchase/idx
+	dune exec bin/softdb.exe -- benchdiff bench/idx_baseline.json IDXBENCH.json
+
+# refresh the index baseline after an intentional change to the covering
+# scenario, the index-only planner, or the page-cost model
+idxbaseline: build
+	dune exec bench/benchrun.exe -- --quick --label baseline \
+	  --out bench/idx_baseline.json --scenario purchase/idx
 
 fmt:
 	dune fmt

@@ -500,7 +500,7 @@ let e8 () =
       | Exec.Plan.Scatter_gather { children; _ } ->
           List.fold_left (fun a (_, p) -> a + go p) 0 children
       | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _
-      | Exec.Plan.Partition_scan _ ->
+      | Exec.Plan.Index_only_scan _ | Exec.Plan.Partition_scan _ ->
           0
     in
     go report.Opt.Explain.plan

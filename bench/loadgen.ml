@@ -150,6 +150,36 @@ let client_loop ~port ~requests ~seed client =
   conn.Srv.Transport.close ();
   (stats, !n, Unix.gettimeofday () -. t0)
 
+(* --ddl-online: one more session issues CREATE INDEX ... ONLINE while
+   the clients hammer — the online-build promise under real load.  The
+   server drives the backfill in db-write-lock slices, so the reader
+   traffic interleaves with it; the build duration and the server's
+   build/demotion counters are folded into the report.  A deadline-
+   expired or unique-violated build demotes instead of erroring, so the
+   statement answers Ok_msg either way — the counters tell which. *)
+let ddl_online_sql =
+  "CREATE INDEX purchase_ship_online ON purchase (ship_date) ONLINE"
+
+let ddl_client ~port ~seed result =
+  let conn = Srv.Transport.connect ~port () in
+  let stats = new_stats () in
+  let rng = Random.State.make [| seed; 0xdd1 |] in
+  ignore
+    (submit stats rng conn
+       { Srv.Proto.id = 1; payload = Srv.Proto.Hello { client = "loadgen-ddl" } });
+  let t0 = Unix.gettimeofday () in
+  (match
+     submit stats rng conn
+       { Srv.Proto.id = 2; payload = Srv.Proto.Statement ddl_online_sql }
+   with
+  | Some (Srv.Proto.Ok_msg msg) ->
+      result := Some (Unix.gettimeofday () -. t0, msg)
+  | Some (Srv.Proto.Failed { message; _ }) ->
+      result := Some (Unix.gettimeofday () -. t0, "FAILED: " ^ message)
+  | _ -> result := None);
+  ignore (submit stats rng conn { Srv.Proto.id = 3; payload = Srv.Proto.Quit });
+  conn.Srv.Transport.close ()
+
 (* Ask the server about itself over its own protocol. *)
 let print_sessions_view ~port =
   let conn = Srv.Transport.connect ~port () in
@@ -228,7 +258,8 @@ let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed
   Benchkit.Measure.save path run;
   Fmt.pr "wrote %s@." path
 
-let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker =
+let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker
+    ~ddl_online =
   (* in-process server when no port is given: load the purchase
      workload and listen on an ephemeral port *)
   let server =
@@ -244,6 +275,10 @@ let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker =
   in
   if expect_breaker && server = None then begin
     Fmt.epr "--expect-breaker needs the in-process server (drop --port)@.";
+    exit 2
+  end;
+  if ddl_online && server = None then begin
+    Fmt.epr "--ddl-online needs the in-process server (drop --port)@.";
     exit 2
   end;
   let port =
@@ -265,7 +300,14 @@ let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker =
           (fun () -> slots.(c) <- client_loop ~port ~requests ~seed c)
           ())
   in
+  let ddl_result = ref None in
+  let ddl_thread =
+    if ddl_online then
+      Some (Thread.create (fun () -> ddl_client ~port ~seed ddl_result) ())
+    else None
+  in
   List.iter Thread.join threads;
+  Option.iter Thread.join ddl_thread;
   let results = Array.to_list slots in
   let elapsed = Unix.gettimeofday () -. t0 in
   let total = new_stats () in
@@ -308,7 +350,26 @@ let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker =
           ( "deadline_kills",
             float_of_int (Obs.Metrics.counter m "srv.jobs_deadline_killed") );
         ]
+        @
+        if not ddl_online then []
+        else
+          let build_ms =
+            match !ddl_result with
+            | Some (dt, _) -> dt *. 1000.0
+            | None -> Float.nan
+          in
+          [
+            ("ddl.online_build_ms", build_ms);
+            ( "ddl.online_builds",
+              float_of_int (Obs.Metrics.counter m "idx.online_builds") );
+            ( "ddl.online_demotions",
+              float_of_int (Obs.Metrics.counter m "idx.online_demotions") );
+          ]
   in
+  (match !ddl_result with
+  | Some (dt, msg) -> Fmt.pr "online DDL: %s (%.1f ms under load)@." msg
+                        (dt *. 1000.0)
+  | None -> if ddl_online then Fmt.pr "online DDL: no response@.");
   (match json with
   | Some path ->
       write_json ~path ~clients ~requests ~completed:!completed ~total ~elapsed
@@ -358,7 +419,8 @@ let () =
   and json = ref None
   and workers = ref None
   and queue = ref None
-  and expect_breaker = ref false in
+  and expect_breaker = ref false
+  and ddl_online = ref false in
   let spec =
     [
       ( "--port",
@@ -382,11 +444,16 @@ let () =
         Arg.Set expect_breaker,
         " gate: exit 1 unless the run opened the circuit breaker and no \
          queued job died of deadline expiry" );
+      ( "--ddl-online",
+        Arg.Set ddl_online,
+        " run CREATE INDEX ... ONLINE from an extra session mid-load; \
+         build duration and build/demotion counters go into the report" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "loadgen [--port PORT] [--clients N] [--requests N] [--seed N] [--json \
-     FILE] [--workers N] [--queue N] [--expect-breaker]";
+     FILE] [--workers N] [--queue N] [--expect-breaker] [--ddl-online]";
   run ~port:!port ~clients:!clients ~requests:!requests ~seed:!seed ~json:!json
     ~workers:!workers ~queue:!queue ~expect_breaker:!expect_breaker
+    ~ddl_online:!ddl_online

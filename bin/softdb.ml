@@ -4,6 +4,8 @@
      softdb run FILE.sql              execute a script
      softdb demo (purchase|project|tpcd|all)
                                       preload a workload, then drop to a repl
+     softdb advise FILE.sql           run a workload, then rank candidate
+                                      secondary indexes for it
 
    Every command takes --wal FILE: state is recovered from the log at
    startup and every statement is logged, so a crash (or plain exit)
@@ -13,6 +15,7 @@
      \catalog        show the soft-constraint catalog
      \constraints    show the (hard/informational) integrity constraints
      \advise SQL;... mine + select soft constraints for the given workload
+     \iadvise        rank candidate indexes for the logged queries so far
      \off SQL        run one query with all soft-constraint machinery off
      \stats          dump the metrics registry and query-log summary
      \checkpoint     compact the WAL to a snapshot of the current state
@@ -96,6 +99,29 @@ let advise sdb args =
         outcome.Core.Advisor.assessed;
       Fmt.pr "%d installed@." (List.length outcome.Core.Advisor.installed)
 
+(* The index advisor: rank candidate secondary indexes for the queries
+   accumulated in sys.query_log, folding in what the SC catalog knows
+   (band-bounded columns, FDs that make covering extensions free), and
+   print each as a ready-to-run CREATE INDEX ... ONLINE statement. *)
+let advise_indexes sdb =
+  match Core.Softdb.advise sdb with
+  | [] ->
+      Fmt.pr
+        "no index candidates — the query log is empty or every candidate \
+         is already indexed@."
+  | cands ->
+      List.iteri
+        (fun i (c : Idx.Advisor.candidate) ->
+          Fmt.pr "%2d. %s(%s)%s  score %.2f  (%d quer%s) — %s@." (i + 1)
+            c.Idx.Advisor.cand_table
+            (String.concat ", " c.Idx.Advisor.cand_columns)
+            (if c.Idx.Advisor.cand_covering then " covering" else "")
+            c.Idx.Advisor.cand_score c.Idx.Advisor.cand_queries
+            (if c.Idx.Advisor.cand_queries = 1 then "y" else "ies")
+            c.Idx.Advisor.cand_reason;
+          Fmt.pr "      %s;@." (Core.Softdb.advice_statement c))
+        cands
+
 let exec_line ?link sdb line =
   let line = String.trim line in
   if line = "" then ()
@@ -114,6 +140,7 @@ let exec_line ?link sdb line =
           (fun ic -> Fmt.pr "  %a@." Rel.Icdef.pp ic)
           (Rel.Database.constraints (Core.Softdb.db sdb))
     | "\\advise" -> handle_error (fun () -> advise sdb rest)
+    | "\\iadvise" -> handle_error (fun () -> advise_indexes sdb)
     | "\\off" ->
         handle_error (fun () ->
             print_outcome
@@ -367,6 +394,33 @@ let serve_cmd =
               serve ?wal_link:link sdb ~port ~workers ~queue ~demo))
       $ wal_arg $ salvage_arg $ port $ workers $ queue $ demo)
 
+let advise_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.sql")
+  in
+  let demo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "demo" ] ~docv:"WORKLOAD"
+          ~doc:"Preload a demo workload (purchase|project|tpcd|all) first.")
+  in
+  let doc =
+    "rank candidate secondary indexes for a workload: recover state \
+     (--wal) and/or preload a demo and/or run a SQL script, then mine \
+     sys.query_log against the soft-constraint catalog and print one \
+     CREATE INDEX ... ONLINE statement per candidate"
+  in
+  Cmd.v (Cmd.info "advise" ~doc)
+    Term.(
+      const (fun wal salvage demo file ->
+          with_wal ~salvage wal (fun sdb link ->
+              Option.iter (load_demo sdb) demo;
+              Option.iter (fun f -> run_script sdb ~stats:false f) file;
+              handle_error (fun () -> advise_indexes sdb);
+              Option.iter Core.Recovery.detach link))
+      $ wal_arg $ salvage_arg $ demo $ file)
+
 let benchdiff_cmd =
   let old_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
@@ -430,6 +484,7 @@ let main =
             with_wal ~salvage wal (fun sdb link -> repl ?link sdb))
         $ wal_arg $ salvage_arg)
     (Cmd.info "softdb" ~doc)
-    [ repl_cmd; run_cmd; demo_cmd; serve_cmd; benchdiff_cmd; check_cmd ]
+    [ repl_cmd; run_cmd; demo_cmd; advise_cmd; serve_cmd; benchdiff_cmd;
+      check_cmd ]
 
 let () = exit (Cmd.eval main)

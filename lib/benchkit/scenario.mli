@@ -8,7 +8,10 @@
     result-changing rewrites), [ssc] (statistical constraints driving
     twinned cardinality estimation), [guarded] (prepared plans whose ASC
     is overturned mid-stream, exercising backup-plan fallback and the
-    plan cache), [wal] (the durability path, measuring logged bytes), and
+    plan cache), [wal] (the durability path, measuring logged bytes),
+    [idx] (a covering secondary index answers the suite index-only — the
+    indexed pages_read/rows_scanned and the rewrites.index_only count
+    gate, with the unindexed run alongside under the noindex prefix), and
     [part1]/[part4]/[part8] (purchase partitioned by RANGE (id) into 1, 4
     or 8 segments: partition pruning + scatter-gather, with per-partition
     scan counters in the deterministic section — pruned segments must

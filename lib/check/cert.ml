@@ -29,6 +29,18 @@ type basis =
   | Invalid of string  (* reason it is no valid basis *)
 
 let basis_of sdb name =
+  if String.length name > 4 && String.sub name 0 4 = "idx:" then
+    (* index-backed rewrite premise: sound while the named index exists
+       and is readable — the same condition guard_ok re-checks at open *)
+    let index = String.sub name 4 (String.length name - 4) in
+    match Database.find_index_by_name (Core.Softdb.db sdb) index with
+    | Some idx when Index.is_readable idx -> Soft_absolute
+    | Some idx ->
+        Invalid
+          (Printf.sprintf "names index %s in non-readable state %s" index
+             (Index.state_to_string (Index.state idx)))
+    | None -> Invalid "names no index in the catalog"
+  else
   match Database.find_constraint (Core.Softdb.db sdb) name with
   | Some _ -> Hard
   | None -> (
@@ -56,6 +68,7 @@ let shape_ok rule (delta : Opt.Rewrite.delta) =
   | "unsatisfiable", Opt.Rewrite.Block_falsified
   | "unionall_pruning", Opt.Rewrite.Branch_pruned
   | "partition_pruning", Opt.Rewrite.Partition_pruned _
+  | "index_only", Opt.Rewrite.Index_access _
   | "twinning", Opt.Rewrite.Pred_twinned _ ->
       true
   | _ -> false
@@ -66,7 +79,7 @@ let shape_ok rule (delta : Opt.Rewrite.delta) =
    may legitimately name none.) *)
 let premises_required = function
   | "join_elimination" | "predicate_introduction" | "exception_union"
-  | "twinning" ->
+  | "index_only" | "twinning" ->
       true
   | _ -> false
 
@@ -148,6 +161,7 @@ let rec plan_preds acc (p : Exec.Plan.t) =
   match p with
   | Exec.Plan.Seq_scan { filter; _ } -> filter :: acc
   | Exec.Plan.Index_scan { filter; _ } -> filter :: acc
+  | Exec.Plan.Index_only_scan { filter; _ } -> filter :: acc
   | Exec.Plan.Filter { input; pred } -> plan_preds (pred :: acc) input
   | Exec.Plan.Project { input; _ }
   | Exec.Plan.Sort { input; _ }

@@ -30,7 +30,9 @@ type entry = {
   query : Sqlfe.Ast.query;
   mutable report : Opt.Explain.report;
   mutable deps : string list; (* SCs whose validity the plan relies on *)
-  backup : Exec.Plan.t; (* soft-constraint-free alternative *)
+  mutable backup : Exec.Plan.t; (* soft-constraint-free alternative *)
+  mutable obj_tables : string list; (* tables any compiled plan opens *)
+  mutable obj_indexes : string list; (* indexes any compiled plan probes *)
   mutable invalidated : bool;
   mutable fast_runs : int;
   mutable backup_runs : int;
@@ -95,7 +97,23 @@ let compile t sql =
   in
   (query, report, backup)
 
+(* Catalog objects any of the entry's compiled plans dereference at
+   open: fast plan, SC-free backup, and the report's own guarded backup.
+   DDL against one of them — DROP TABLE, DROP INDEX, an index demotion —
+   makes the compiled plans unrunnable (not merely sub-optimal, as SC
+   invalidation does), so execution must re-prepare from SQL first. *)
+let plan_objects (report : Opt.Explain.report) backup =
+  let plans =
+    report.Opt.Explain.plan :: backup
+    :: Option.to_list report.Opt.Explain.backup_plan
+  in
+  ( List.sort_uniq String.compare
+      (List.concat_map Exec.Plan.referenced_tables plans),
+    List.sort_uniq String.compare
+      (List.concat_map Exec.Plan.referenced_indexes plans) )
+
 let fresh_entry ~name ~sql ~query ~report ~backup =
+  let obj_tables, obj_indexes = plan_objects report backup in
   {
     name;
     sql;
@@ -103,6 +121,8 @@ let fresh_entry ~name ~sql ~query ~report ~backup =
     report;
     deps = dependencies_of report;
     backup;
+    obj_tables;
+    obj_indexes;
     invalidated = false;
     fast_runs = 0;
     backup_runs = 0;
@@ -214,8 +234,42 @@ let stats t =
    ASC-free backup once overturned (the §4.1 flag-and-revert tactic).
    Validity is checked and counters stamped under the lock; the plan
    itself runs outside it. *)
+(* DDL staleness: a referenced table/index no longer exists, or a
+   referenced index is no longer readable.  Distinct from SC-dependency
+   invalidation — a stale plan cannot run at all. *)
+let ddl_stale t entry =
+  let db = Softdb.db t.sdb in
+  List.exists
+    (fun tbl -> Rel.Database.find_table db tbl = None)
+    entry.obj_tables
+  || List.exists
+       (fun name ->
+         match Rel.Database.find_index_by_name db name with
+         | Some idx -> not (Rel.Index.is_readable idx)
+         | None -> true)
+       entry.obj_indexes
+
+(* Recompile an entry from its SQL (outside the lock — compile takes
+   engine-side locks of its own) and swap its compiled state in place. *)
+let recompile_entry t entry =
+  let _, report, backup = compile t entry.sql in
+  locked t (fun () ->
+      entry.report <- report;
+      entry.backup <- backup;
+      entry.deps <- dependencies_of report;
+      let obj_tables, obj_indexes = plan_objects report backup in
+      entry.obj_tables <- obj_tables;
+      entry.obj_indexes <- obj_indexes;
+      entry.invalidated <- false)
+
 let execute t name =
   let entry = find_exn t name in
+  (if ddl_stale t entry then begin
+     (* re-prepare from the SQL (a dropped table still fails here, as it
+        must — no plan can answer it) rather than run a stale plan *)
+     recompile_entry t entry;
+     Obs.Metrics.incr (Softdb.metrics t.sdb) "plan_cache.ddl_repreparations"
+   end);
   let plan =
     locked t (fun () ->
         touch t entry;
@@ -240,18 +294,18 @@ let execute t name =
   in
   Exec.Executor.run (Softdb.db t.sdb) plan
 
-(* Re-optimize every invalidated entry against the current catalog. *)
+(* Re-optimize every invalidated or DDL-stale entry against the current
+   catalog.  An entry whose recompilation fails (e.g. its table was
+   dropped) is left as is: execution surfaces the real error when the
+   plan is next asked for. *)
 let reprepare t =
   let entries = locked t (fun () -> t.entries) in
   List.iter
     (fun entry ->
-      if entry.invalidated || not (List.for_all (dep_valid t) entry.deps)
-      then begin
-        let report = Softdb.optimize t.sdb entry.query in
-        entry.report <- report;
-        entry.deps <- dependencies_of report;
-        entry.invalidated <- false
-      end)
+      if
+        entry.invalidated || ddl_stale t entry
+        || not (List.for_all (dep_valid t) entry.deps)
+      then try recompile_entry t entry with _ -> ())
     entries
 
 let pp_entry ppf e =

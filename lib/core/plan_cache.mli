@@ -24,7 +24,12 @@ type entry = {
   query : Sqlfe.Ast.query;
   mutable report : Opt.Explain.report;
   mutable deps : string list;
-  backup : Exec.Plan.t;
+  mutable backup : Exec.Plan.t;
+  mutable obj_tables : string list;
+      (** tables any compiled plan opens — DDL-staleness tracking *)
+  mutable obj_indexes : string list;
+      (** indexes any compiled plan probes; a dropped or demoted one
+          forces re-preparation from SQL before the next run *)
   mutable invalidated : bool;
   mutable fast_runs : int;
   mutable backup_runs : int;
@@ -77,10 +82,17 @@ val stats : t -> cache_stats
     capacity bound and total evictions. *)
 
 val execute : t -> string -> Exec.Executor.result
-(** Fast plan while valid, backup plan once a dependency is overturned. *)
+(** Fast plan while valid, backup plan once a dependency is overturned.
+    If DDL made the compiled plans stale first (a referenced table or
+    index dropped, a referenced index demoted), the entry is re-prepared
+    from its SQL before running — counted in the
+    [plan_cache.ddl_repreparations] metric — so a stale plan is never
+    opened. *)
 
 val reprepare : t -> unit
-(** Re-optimize every invalidated entry against the current catalog —
-    the "recompiled before they can be used again" path. *)
+(** Re-optimize every invalidated or DDL-stale entry against the current
+    catalog — the "recompiled before they can be used again" path.
+    Entries whose recompilation fails (table dropped) are left for
+    {!execute} to surface the error. *)
 
 val pp_entry : Format.formatter -> entry -> unit

@@ -172,6 +172,30 @@ let on_sc_change link c =
     Wal.append link.wal (Wal.Sc { txn; change })
   end
 
+(* Index lifecycle transitions are logged as [Idx_state] records.  They
+   arrive outside statement framing (the backfill runs between
+   statements), so each transition autocommits as its own mini-frame
+   unless an explicit transaction is open: a promotion to [Readable]
+   that reached the log survives a crash on its own.  Suppressed while a
+   DDL statement executes — an eager CREATE INDEX transitions the fresh
+   index internally, and the replayed statement regenerates that. *)
+let on_index_state link idx =
+  if alive link && not link.suppress then begin
+    let txn = ensure_frame link in
+    Wal.append link.wal
+      (Wal.Idx_state
+         {
+           txn;
+           name = Index.name idx;
+           state = Index.state_to_string (Index.state idx);
+         });
+    match link.frame with
+    | Open { explicit_ = false; _ } ->
+        link.frame <- Closed;
+        Wal.commit link.wal txn
+    | Open { explicit_ = true; _ } | Closed -> ()
+  end
+
 let on_txn link ev =
   if alive link then
     match ev with
@@ -253,6 +277,7 @@ let attach sdb wal =
           done)
     (Database.partitioned_tables db);
   Database.on_mutation (Softdb.db sdb) (on_mutation link);
+  Database.on_index_state (Softdb.db sdb) (on_index_state link);
   Sc_catalog.on_change (Softdb.catalog sdb) (on_sc_change link);
   Txn.on_event (on_txn link);
   Softdb.on_statement sdb (on_statement link);
@@ -349,7 +374,12 @@ let checkpoint link =
       List.iter
         (fun idx ->
           let iname = Index.name idx in
-          if not (List.mem iname auto_key_indexes) then
+          if not (List.mem iname auto_key_indexes) then begin
+            (* a readable index replays as an eager create (rebuilt from
+               the checkpointed rows, consistent by construction); any
+               other lifecycle state replays as an ONLINE shell plus an
+               Idx_state record pinning the state *)
+            let state = Index.state idx in
             ddl
               (Sqlfe.Ast.Create_index
                  {
@@ -357,7 +387,15 @@ let checkpoint link =
                    table = tname;
                    columns = Index.columns idx;
                    unique = Index.is_unique idx;
-                 }))
+                   online = state <> Index.Readable;
+                 });
+            match state with
+            | Index.Readable | Index.Write_only -> ()
+            | Index.Backfilling | Index.Demoted ->
+                emit
+                  (Wal.Idx_state
+                     { txn; name = iname; state = Index.state_to_string state })
+          end)
         (Database.indexes_on db tname))
     tables;
   (* data records re-tag to current routing: the checkpoint inserts are
@@ -447,14 +485,43 @@ let apply_record sdb r =
       Database.replay_update db ~table rid (Tuple.copy after)
   | Wal.Ddl { sql; _ } -> (
       (* only successful statements were logged; a replay failure means
-         the log and the engine disagree — surface it *)
-      try ignore (Softdb.exec sdb sql)
+         the log and the engine disagree — surface it.  Statement-level
+         execution, not [Softdb.exec]: an ONLINE create must replay as
+         just the write-only shell, because the build that followed it
+         is in the log as Idx_state transitions, never a second
+         backfill. *)
+      try
+        ignore (Softdb.exec_statement sdb (Sqlfe.Parser.parse_statement sql))
       with e ->
         raise
           (Recovery_error
              (Printf.sprintf "replaying %S failed: %s" sql
                 (Printexc.to_string e))))
+  | Wal.Idx_state { name; state; _ } -> (
+      match (Database.find_index_by_name db name, Index.state_of_string state)
+      with
+      | Some _, Some Index.Readable ->
+          (* promote by rebuilding: the log carries no tree image, and a
+             rebuild from the recovered heap is consistent by
+             construction *)
+          ignore (Database.rebuild_index db name : Index.t)
+      | Some idx, Some s -> Database.set_index_state db idx s
+      | None, _ | _, None -> ())
   | Wal.Sc { change; _ } -> apply_sc_change sdb change
+
+(* An index still [Backfilling] when the log ends was mid-build at the
+   crash: its promotion never committed, so the tree's completeness
+   cannot be promised.  Demote it — the post-crash invariant is that
+   every index is either consistent ([Readable], rebuilt) or demoted,
+   never silently half-built. *)
+let demote_unfinished_builds sdb =
+  let db = Softdb.db sdb in
+  List.iter
+    (fun idx ->
+      match Index.state idx with
+      | Index.Backfilling -> Database.set_index_state db idx Index.Demoted
+      | Index.Write_only | Index.Readable | Index.Demoted -> ())
+    (Database.all_indexes db)
 
 let recover records =
   let sdb = Softdb.create () in
@@ -462,6 +529,7 @@ let recover records =
     (fun r ->
       if Wal.committed_txns records (Wal.txn_of r) then apply_record sdb r)
     records;
+  demote_unfinished_builds sdb;
   sdb
 
 (* Sharded replay: committed data records are buffered into per-shard
@@ -500,11 +568,15 @@ let recover_sharded records =
         | Wal.Insert { shard; _ } | Wal.Delete { shard; _ }
         | Wal.Update { shard; _ } ->
             buffer shard r
-        | Wal.Ddl _ | Wal.Sc _ ->
+        | Wal.Ddl _ | Wal.Sc _ | Wal.Idx_state _ ->
+            (* barriers: index state depends on the rows applied so far
+               (a Readable promotion rebuilds from the heap), so pending
+               data streams must land first *)
             flush ();
             apply_record sdb r)
     records;
   flush ();
+  demote_unfinished_builds sdb;
   sdb
 
 (* ---- salvage-aware recovery ---------------------------------------------- *)

@@ -50,6 +50,66 @@ let find_partition_sc t ~table ~partition =
       | _ -> false)
     (Sc_catalog.all t.catalog)
 
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let rewrite_ctx ?flags t =
+  Sc_catalog.rewrite_ctx
+    ~flags:(Option.value flags ~default:t.flags)
+    t.catalog t.db
+
+(* ---- index advisor -------------------------------------------------------- *)
+
+(* Distill the SC catalog into the advisor's hint language: diff/corr
+   bands become [Band] hints on the constrained column (range predicates
+   on a banded column select contiguous key runs), valid FDs become
+   covering-extension hints (dependent columns ride along for free). *)
+let advisor_hints t =
+  let ctx = rewrite_ctx t in
+  let of_ssc (s : Opt.Rewrite.ssc) =
+    match s.Opt.Rewrite.shape with
+    | Opt.Rewrite.Diff_band (d, band) ->
+        Idx.Advisor.Band
+          {
+            table = d.Mining.Diff_band.table;
+            column = d.Mining.Diff_band.col_hi;
+            width = band.Mining.Diff_band.d_max -. band.Mining.Diff_band.d_min;
+          }
+    | Opt.Rewrite.Corr_band (corr, band) ->
+        Idx.Advisor.Band
+          {
+            table = corr.Mining.Correlation.table;
+            column = corr.Mining.Correlation.col_a;
+            width = 2.0 *. band.Mining.Correlation.eps;
+          }
+  in
+  List.map of_ssc (ctx.Opt.Rewrite.asc_shapes @ ctx.Opt.Rewrite.sscs)
+  @ List.map
+      (fun (nf : Opt.Rewrite.named_fd) ->
+        Idx.Advisor.Fd
+          {
+            table = nf.Opt.Rewrite.fd.Mining.Fd_mine.table;
+            determinant = nf.Opt.Rewrite.fd.Mining.Fd_mine.lhs;
+            dependents = [ nf.Opt.Rewrite.fd.Mining.Fd_mine.rhs ];
+          })
+      ctx.Opt.Rewrite.fds
+
+let advise t =
+  let queries =
+    List.map
+      (fun (e : Obs.Query_log.entry) -> e.Obs.Query_log.sql)
+      (Obs.Query_log.entries t.query_log)
+  in
+  Idx.Advisor.advise t.db ~queries ~hints:(advisor_hints t)
+
+let advice_statement (c : Idx.Advisor.candidate) =
+  Printf.sprintf "CREATE INDEX %s_idx_%s ON %s (%s) ONLINE"
+    c.Idx.Advisor.cand_table
+    (String.concat "_" c.Idx.Advisor.cand_columns)
+    c.Idx.Advisor.cand_table
+    (String.concat ", " c.Idx.Advisor.cand_columns)
+
 (* The sys.* views: read-only virtual tables over the live registries, so
    the repl can SELECT against its own observability state. *)
 let register_sys_tables t =
@@ -83,6 +143,29 @@ let register_sys_tables t =
         (Sc_catalog.all t.catalog));
   Database.register_virtual t.db ~name:"sys.plan_cache"
     ~schema:Obs.Sys_tables.plan_cache_schema (fun () -> t.plan_cache_rows ());
+  Database.register_virtual t.db ~name:"sys.indexes"
+    ~schema:Obs.Sys_tables.indexes_schema (fun () ->
+      List.map
+        (fun idx ->
+          Obs.Sys_tables.index_row ~name:(Index.name idx)
+            ~table_name:(Index.table_name idx)
+            ~columns:(Index.columns idx) ~is_unique:(Index.is_unique idx)
+            ~state:(Index.state_to_string (Index.state idx))
+            ~entries:(Index.entries idx)
+            ~distinct_keys:(Index.distinct_keys idx))
+        (Database.all_indexes t.db));
+  Database.register_virtual t.db ~name:"sys.index_advisor"
+    ~schema:Obs.Sys_tables.index_advisor_schema (fun () ->
+      List.mapi
+        (fun i (c : Idx.Advisor.candidate) ->
+          Obs.Sys_tables.index_advisor_row ~rank:(i + 1)
+            ~table_name:c.Idx.Advisor.cand_table
+            ~columns:c.Idx.Advisor.cand_columns
+            ~covering:c.Idx.Advisor.cand_covering
+            ~score:c.Idx.Advisor.cand_score
+            ~queries:c.Idx.Advisor.cand_queries ~reason:c.Idx.Advisor.cand_reason
+            ~statement:(advice_statement c))
+        (advise t));
   (* empty until a WAL recovery replaces the generator ({!Recovery}) —
      registering it here keeps the table queryable on every database *)
   Database.register_virtual t.db ~name:"sys.recovery"
@@ -162,15 +245,6 @@ let set_plan_cache_source t rows = t.plan_cache_rows <- rows
 
 let on_statement t f = t.stmt_listeners <- f :: t.stmt_listeners
 let notify_stmt t ev = List.iter (fun f -> f ev) t.stmt_listeners
-
-exception Error of string
-
-let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
-
-let rewrite_ctx ?flags t =
-  Sc_catalog.rewrite_ctx
-    ~flags:(Option.value flags ~default:t.flags)
-    t.catalog t.db
 
 let planner_env t =
   Opt.Planner.make_env ~params:t.cost_params t.db t.stats
@@ -486,8 +560,20 @@ let record_feedback ?(fell_back = false) t (report : Opt.Explain.report)
 (* A guard holds at execution time if the constraint it names is still a
    declared hard/informational IC, or a usable soft constraint, or an
    exception-backed ASC whose exception table still exists (violations
-   are stored there, so the exception-union rewrite stays exact). *)
+   are stored there, so the exception-union rewrite stays exact).
+
+   Guards in the "idx:<name>" namespace protect index-backed rewrites
+   instead: they hold while the named index still exists and is readable,
+   so DROP INDEX or a mid-flight demotion degrades the plan to its
+   index-free backup rather than probing a stale or half-built tree. *)
 let guard_ok t name =
+  match String.length name > 4 && String.sub name 0 4 = "idx:" with
+  | true -> (
+      let index = String.sub name 4 (String.length name - 4) in
+      match Database.find_index_by_name t.db index with
+      | Some idx -> Index.is_readable idx
+      | None -> false)
+  | false -> (
   match Database.find_constraint t.db name with
   | Some _ -> true
   | None -> (
@@ -498,7 +584,7 @@ let guard_ok t name =
           ||
           match Sc_catalog.exception_table_for t.catalog name with
           | Some table -> Database.find_table t.db table <> None
-          | None -> false))
+          | None -> false)))
 
 (* One guarded fallback happened on the strength of [failed] guard
    names: count it, and attribute it to every partition whose domain SC
@@ -578,10 +664,21 @@ let exec_statement_inner t (stmt : Sqlfe.Ast.statement) : outcome =
   | Sqlfe.Ast.Drop_index name ->
       Database.drop_index t.db name;
       Done (Printf.sprintf "dropped index %s" name)
-  | Sqlfe.Ast.Create_index { index_name; table; columns; unique } ->
-      ignore
-        (Database.create_index t.db ~name:index_name ~table ~columns ~unique ());
-      Done (Printf.sprintf "created index %s" index_name)
+  | Sqlfe.Ast.Create_index { index_name; table; columns; unique; online } ->
+      if online then (
+        (* only the write-only shell: the statement never blocks readers.
+           The caller drives the backfill — Idx.Lifecycle.step under the
+           session write lock, or synchronously via the string APIs. *)
+        ignore
+          (Database.create_index_shell t.db ~name:index_name ~table ~columns
+             ~unique ());
+        Done (Printf.sprintf "created index %s (online, backfill pending)"
+                index_name))
+      else (
+        ignore
+          (Database.create_index t.db ~name:index_name ~table ~columns ~unique
+             ());
+        Done (Printf.sprintf "created index %s" index_name))
   | Sqlfe.Ast.Alter_add_constraint { table; con } ->
       back_key_with_index t ~table con;
       add_table_constraint t ~table con;
@@ -675,10 +772,35 @@ let exec_statement t (stmt : Sqlfe.Ast.statement) : outcome =
       notify_stmt t (Stmt_finished (stmt, false));
       raise e
 
-let exec t sql = exec_statement t (Sqlfe.Parser.parse_statement sql)
+(* The string APIs have no session loop to drive an online backfill, so
+   a [CREATE INDEX ... ONLINE] finishes synchronously after the statement:
+   the DDL itself (and its WAL record) covers only the shell, then the
+   build runs to completion and its lifecycle transitions surface through
+   {!Database.on_index_state} — which is exactly what the WAL's Idx_state
+   records capture, so replay reproduces shell + transitions, never a
+   second backfill. *)
+let finish_online_build t (stmt : Sqlfe.Ast.statement) =
+  match stmt with
+  | Sqlfe.Ast.Create_index { index_name; online = true; _ } -> (
+      match Database.find_index_by_name t.db index_name with
+      | Some idx when Index.state idx = Index.Write_only ->
+          ignore (Idx.Lifecycle.run t.db idx : Idx.Lifecycle.outcome)
+      | _ -> ())
+  | _ -> ()
+
+let exec t sql =
+  let stmt = Sqlfe.Parser.parse_statement sql in
+  let outcome = exec_statement t stmt in
+  finish_online_build t stmt;
+  outcome
 
 let exec_script t sql =
-  List.map (exec_statement t) (Sqlfe.Parser.parse_script sql)
+  List.map
+    (fun stmt ->
+      let outcome = exec_statement t stmt in
+      finish_online_build t stmt;
+      outcome)
+    (Sqlfe.Parser.parse_script sql)
 
 (* Run a query string and return the rows. *)
 let query ?flags t sql =

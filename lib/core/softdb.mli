@@ -88,8 +88,25 @@ type outcome =
   | Done of string
 
 val exec_statement : t -> Sqlfe.Ast.statement -> outcome
+(** One statement, framed by the {!on_statement} hooks.  A
+    [CREATE INDEX ... ONLINE] registers only the write-only shell — the
+    caller owns the backfill ({!Idx.Lifecycle}). *)
+
 val exec : t -> string -> outcome
+(** Parse and execute one statement.  Unlike {!exec_statement}, a
+    pending ONLINE index build is finished synchronously afterwards
+    (there is no session loop to drive it). *)
+
 val exec_script : t -> string -> outcome list
+(** Like {!exec}, per statement — ONLINE builds finish before the next
+    statement runs. *)
+
+val advise : t -> Idx.Advisor.candidate list
+(** Mine sys.query_log plus the SC catalog for ranked index candidates —
+    the generator behind sys.index_advisor and [softdb advise]. *)
+
+val advice_statement : Idx.Advisor.candidate -> string
+(** The ready-to-run [CREATE INDEX ... ONLINE] text for a candidate. *)
 
 val optimize : ?flags:Opt.Rewrite.flags -> t -> Sqlfe.Ast.query ->
   Opt.Explain.report

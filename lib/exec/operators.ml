@@ -208,6 +208,45 @@ and open_raw wrap db (counters : Counters.t) (plan : Plan.t) : cursor =
                 if keep r then Some r else next ())
       in
       next
+  | Plan.Index_only_scan { table; alias = _; index; columns; lo; hi; filter }
+    ->
+      ignore (Database.table_exn db table : Table.t);
+      let idx =
+        match Database.find_index_by_name db index with
+        | Some i -> i
+        | None -> error "no such index: %s" index
+      in
+      (* The guard layer is supposed to catch a demotion before we get
+         here; refusing to probe anyway keeps a stale cached plan from
+         silently reading an unmaintained tree. *)
+      if not (Index.is_readable idx) then
+        error "index %s is not readable (state %s)" index
+          (Index.state_to_string (Index.state idx));
+      counters.Counters.index_probes <- counters.Counters.index_probes + 1;
+      let binding = Plan.binding db plan in
+      let keep = Expr.compile_filter binding filter in
+      (* one output row per (key, rid) entry — bag semantics, matching
+         what a heap scan projected onto the key columns would emit *)
+      let entries = ref 0 in
+      let rows =
+        Index.fold_entries idx ~lo ~hi ~init:[] ~f:(fun acc key rids ->
+            let n = List.length rids in
+            entries := !entries + n;
+            let rec rep k acc = if k = 0 then acc else rep (k - 1) (key :: acc)
+            in
+            rep n acc)
+        |> List.rev
+      in
+      counters.Counters.rows_scanned <-
+        counters.Counters.rows_scanned + !entries;
+      (* page model: index leaf pages hold narrow key entries, not full
+         rows — this is where the index-only I/O saving comes from *)
+      let entry_width = Table.bytes_per_value * List.length columns in
+      let entries_per_page = max 1 (Table.page_size / max 1 entry_width) in
+      counters.Counters.pages_read <-
+        counters.Counters.pages_read
+        + ((!entries + entries_per_page - 1) / entries_per_page);
+      cursor_of_list (List.filter keep rows)
   | Plan.Partition_scan { table; alias = _; partition; filter } ->
       let tbl = Database.table_exn db table in
       let part =

@@ -27,6 +27,19 @@ type t =
       hi : Index.bound;
       filter : Expr.pred; (* residual, applied after the probe *)
     }
+  | Index_only_scan of {
+      table : string;
+      alias : string;
+      index : string;
+      columns : string list; (* the index key columns — the output layout *)
+      lo : Index.bound;
+      hi : Index.bound;
+      filter : Expr.pred; (* over the key columns only *)
+    }
+    (* Answer the block from the index alone: emit one key tuple per
+       indexed rid, never touching the heap.  Sound only when the index
+       is Readable and its key covers every column the block needs —
+       the planner certifies both (see Opt.Rewrite.Index_access). *)
   | Filter of { input : t; pred : Expr.pred }
   | Project of { input : t; exprs : (Expr.t * string) list }
   | Nested_loop_join of { left : t; right : t; pred : Expr.pred }
@@ -78,6 +91,20 @@ let rec binding (db : Database.t) plan : Expr.Binding.t =
      (all partitions pruned) *)
   | Scatter_gather { table; alias; _ } ->
       Expr.Binding.of_schema ~alias (Table.schema (Database.table_exn db table))
+  | Index_only_scan { table; alias; columns; _ } ->
+      let schema = Table.schema (Database.table_exn db table) in
+      Array.of_list
+        (List.map
+           (fun name ->
+             {
+               Expr.Binding.qualifier = Some alias;
+               name;
+               dtype =
+                 Option.map
+                   (fun i -> (Schema.column_at schema i).Schema.dtype)
+                   (Schema.find_index schema name);
+             })
+           columns)
   | Filter { input; _ } | Limit { input; _ } | Sort { input; _ }
   | Distinct input ->
       binding db input
@@ -104,6 +131,40 @@ let rec binding (db : Database.t) plan : Expr.Binding.t =
   | Union_all [] -> [||]
   | Union_all (p :: _) -> binding db p
 
+(* Catalog objects a plan dereferences at open — what the plan cache
+   checks to detect DDL staleness (a dropped table/index, a demoted
+   index) before running a compiled plan. *)
+let rec referenced acc plan =
+  let tables, indexes = acc in
+  match plan with
+  | Seq_scan { table; _ } | Partition_scan { table; _ } ->
+      (table :: tables, indexes)
+  | Index_scan { table; index; _ } | Index_only_scan { table; index; _ } ->
+      (table :: tables, index :: indexes)
+  | Scatter_gather { table; children; _ } ->
+      List.fold_left
+        (fun acc (_, p) -> referenced acc p)
+        (table :: tables, indexes)
+        children
+  | Filter { input; _ }
+  | Project { input; _ }
+  | Sort { input; _ }
+  | Group { input; _ }
+  | Limit { input; _ }
+  | Distinct input ->
+      referenced acc input
+  | Nested_loop_join { left; right; _ }
+  | Hash_join { left; right; _ }
+  | Merge_join { left; right; _ } ->
+      referenced (referenced acc left) right
+  | Union_all inputs -> List.fold_left referenced acc inputs
+
+let referenced_tables plan =
+  List.sort_uniq String.compare (fst (referenced ([], []) plan))
+
+let referenced_indexes plan =
+  List.sort_uniq String.compare (snd (referenced ([], []) plan))
+
 (* Structural pretty-printer (EXPLAIN-style). *)
 let rec pp ?(indent = 0) ppf plan =
   let pad = String.make indent ' ' in
@@ -117,6 +178,12 @@ let rec pp ?(indent = 0) ppf plan =
       Fmt.pf ppf "%sIndexScan %s%s using %s [%a, %a]%a@." pad table
         (if alias = table then "" else " as " ^ alias)
         index pp_bound lo pp_bound hi pp_filter filter
+  | Index_only_scan { table; alias; index; columns; lo; hi; filter } ->
+      Fmt.pf ppf "%sIndexOnlyScan %s%s using %s (%s) [%a, %a]%a@." pad table
+        (if alias = table then "" else " as " ^ alias)
+        index
+        (String.concat ", " columns)
+        pp_bound lo pp_bound hi pp_filter filter
   | Filter { input; pred } ->
       Fmt.pf ppf "%sFilter %a@." pad Expr.pp_pred pred;
       pp ~indent:child ppf input

@@ -27,6 +27,20 @@ type t =
       hi : Index.bound;
       filter : Expr.pred;  (** residual, applied after the probe *)
     }
+  | Index_only_scan of {
+      table : string;
+      alias : string;
+      index : string;
+      columns : string list;  (** the index key columns — the output layout *)
+      lo : Index.bound;
+      hi : Index.bound;
+      filter : Expr.pred;  (** over the key columns only *)
+    }
+      (** Answer the block from the index alone: one key tuple per
+          indexed rid, never touching the heap.  Sound only when the
+          index is [Readable] and its key covers every column the block
+          needs — the planner certifies both
+          ({!Opt.Rewrite.Index_access}). *)
   | Filter of { input : t; pred : Expr.pred }
   | Project of { input : t; exprs : (Expr.t * string) list }
   | Nested_loop_join of { left : t; right : t; pred : Expr.pred }
@@ -72,6 +86,14 @@ val agg_fn_name : agg_fn -> string
 
 val binding : Database.t -> t -> Expr.Binding.t
 (** Output layout of a node ([db] supplies table schemas). *)
+
+val referenced_tables : t -> string list
+(** Tables the plan dereferences at open, sorted, deduplicated. *)
+
+val referenced_indexes : t -> string list
+(** Indexes the plan probes at open — with {!referenced_tables}, what
+    the plan cache checks to detect DDL staleness (dropped table or
+    index, demoted index) before running a compiled plan. *)
 
 val pp : ?indent:int -> Format.formatter -> t -> unit
 

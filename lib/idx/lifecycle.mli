@@ -1,0 +1,60 @@
+(** Online index build: the lifecycle driver behind
+    [CREATE INDEX ... ONLINE].
+
+    Protocol: the caller registers a [Write_only] shell in the catalog
+    ({!Rel.Database.create_index_shell}) so maintenance covers every row
+    born from that point on, then {!start}s a build — which snapshots
+    the rid watermark and transitions the index to [Backfilling] — and
+    calls {!step} repeatedly, each step under the owner's exclusive
+    lock, until it returns [false]; {!finish} promotes to [Readable].
+    Readers interleave between steps, which is the whole point.
+
+    Failure is demotion, not error propagation: a unique violation
+    found mid-backfill leaves the index [Demoted] and the build's
+    {!outcome} records why.  {!finish} on a demoted build returns the
+    demotion instead of promoting. *)
+
+open Rel
+
+type t
+(** One in-flight build. *)
+
+type outcome = Built | Demoted_build of string
+
+type progress = {
+  p_cursor : int;  (** next rid the backfill will visit *)
+  p_watermark : int;  (** first rid the backfill will {e not} visit *)
+  p_scanned : int;  (** live rows examined so far *)
+  p_inserted : int;  (** rows the backfill actually added *)
+  p_state : Index.state;
+}
+
+exception Lifecycle_error of string
+(** Protocol violations: starting from a non-[Write_only] state,
+    finishing before the backfill is complete, non-positive batch. *)
+
+val start : ?batch:int -> Database.t -> Index.t -> t
+(** Snapshot the watermark and transition [Write_only] → [Backfilling].
+    [batch] (default 256) bounds the rids visited per {!step}. *)
+
+val step : t -> bool
+(** Backfill one batch; [true] while more work remains.  Run each call
+    under the same exclusive lock as table writes; the driver record
+    itself is additionally guarded by an internal mutex (lock rank
+    [idx.lifecycle]) so {!progress}/{!outcome} may be read from another
+    domain mid-build.  A unique violation demotes the index and ends
+    the build. *)
+
+val finish : t -> outcome
+(** Promote [Backfilling] → [Readable], or report the demotion. *)
+
+val run : ?batch:int -> Database.t -> Index.t -> outcome
+(** [start] + drain [step] + [finish] in one call, for contexts with no
+    concurrent readers (scripts, WAL replay, the string [exec] API). *)
+
+val demote : t -> string -> unit
+(** Abandon the build, leaving the index [Demoted]. *)
+
+val index : t -> Index.t
+val outcome : t -> outcome option
+val progress : t -> progress

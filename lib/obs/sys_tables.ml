@@ -156,6 +156,63 @@ let partition_row ~table_name ~partition ~spec ~bounds ~rows ~sc_name
       int fallbacks;
     ]
 
+(* ---- sys.indexes --------------------------------------------------------- *)
+
+let indexes_schema =
+  Schema.make "sys.indexes"
+    [
+      Schema.column ~nullable:false "name" Value.TString;
+      Schema.column ~nullable:false "table_name" Value.TString;
+      Schema.column ~nullable:false "columns" Value.TString;
+      (* [is_unique], not [unique]: UNIQUE is a keyword *)
+      Schema.column ~nullable:false "is_unique" Value.TBool;
+      Schema.column ~nullable:false "state" Value.TString;
+      Schema.column ~nullable:false "entries" Value.TInt;
+      Schema.column ~nullable:false "distinct_keys" Value.TInt;
+    ]
+
+let index_row ~name ~table_name ~columns ~is_unique ~state ~entries
+    ~distinct_keys =
+  Tuple.make
+    [
+      str name;
+      str table_name;
+      str (String.concat "," columns);
+      boolean is_unique;
+      str state;
+      int entries;
+      int distinct_keys;
+    ]
+
+(* ---- sys.index_advisor --------------------------------------------------- *)
+
+let index_advisor_schema =
+  Schema.make "sys.index_advisor"
+    [
+      Schema.column ~nullable:false "rank" Value.TInt;
+      Schema.column ~nullable:false "table_name" Value.TString;
+      Schema.column ~nullable:false "columns" Value.TString;
+      Schema.column ~nullable:false "covering" Value.TBool;
+      Schema.column ~nullable:false "score" Value.TFloat;
+      Schema.column ~nullable:false "queries" Value.TInt;
+      Schema.column ~nullable:false "reason" Value.TString;
+      Schema.column ~nullable:false "statement" Value.TString;
+    ]
+
+let index_advisor_row ~rank ~table_name ~columns ~covering ~score ~queries
+    ~reason ~statement =
+  Tuple.make
+    [
+      int rank;
+      str table_name;
+      str (String.concat "," columns);
+      boolean covering;
+      flt score;
+      int queries;
+      str reason;
+      str statement;
+    ]
+
 (* ---- sys.recovery -------------------------------------------------------- *)
 
 let recovery_schema =

@@ -50,6 +50,27 @@ val partition_row :
   rows:int -> sc_name:string option -> sc_state:string option ->
   rows_scanned:int -> pages_read:int -> fallbacks:int -> Tuple.t
 
+val indexes_schema : Schema.t
+(** sys.indexes(name, table_name, columns, is_unique, state, entries,
+    distinct_keys) — one row per secondary index with its lifecycle
+    state (write-only / backfilling / readable / demoted).  [is_unique]
+    dodges the UNIQUE keyword. *)
+
+val index_row :
+  name:string -> table_name:string -> columns:string list ->
+  is_unique:bool -> state:string -> entries:int -> distinct_keys:int ->
+  Tuple.t
+
+val index_advisor_schema : Schema.t
+(** sys.index_advisor(rank, table_name, columns, covering, score,
+    queries, reason, statement) — ranked index candidates mined from
+    sys.query_log and the SC catalog by {!Idx.Advisor}; [statement] is
+    the ready-to-run CREATE INDEX ... ONLINE text. *)
+
+val index_advisor_row :
+  rank:int -> table_name:string -> columns:string list -> covering:bool ->
+  score:float -> queries:int -> reason:string -> statement:string -> Tuple.t
+
 val recovery_schema : Schema.t
 (** sys.recovery(mode, torn_tail, scanned_lines, applied_records,
     committed_txns, dropped_txns, corrupt_lines, quarantined_bytes,

@@ -28,6 +28,15 @@ let index_scan p ~pages ~rows ~match_rows =
   let frac = if rows <= 0.0 then 0.0 else min 1.0 (match_rows /. rows) in
   p.index_probe +. (p.io_page *. frac *. pages) +. (p.cpu_tuple *. match_rows)
 
+(* Index-only scan emitting [match_rows] key entries packed
+   [entries_per_page] to the leaf page: probe + leaf I/O + CPU.  The
+   leaves hold narrow keys, not rows, which is the whole advantage. *)
+let index_only_scan p ~entries_per_page ~match_rows =
+  let epp = max 1.0 entries_per_page in
+  p.index_probe
+  +. (p.io_page *. Float.of_int (int_of_float (ceil (match_rows /. epp))))
+  +. (p.cpu_tuple *. match_rows)
+
 let hash_join p ~left_rows ~right_rows ~out_rows =
   (p.hash_build_tuple *. right_rows)
   +. (p.cpu_tuple *. left_rows)

@@ -19,6 +19,11 @@ val index_scan : params -> pages:float -> rows:float -> match_rows:float ->
 (** Probe + matching fraction of the pages (clustered assumption) +
     CPU. *)
 
+val index_only_scan :
+  params -> entries_per_page:float -> match_rows:float -> float
+(** Probe + leaf pages of narrow key entries + CPU; never touches the
+    heap. *)
+
 val hash_join :
   params -> left_rows:float -> right_rows:float -> out_rows:float -> float
 

@@ -23,11 +23,53 @@ let result_changing applied =
   List.filter (fun (a : Rewrite.applied) -> a.Rewrite.rule <> "twinning")
     applied
 
+(* Index-only access is decided inside the planner, not the rewriter;
+   collect each such scan so it can be surfaced as an applied
+   "index_only" entry — with a certificate, a guard, and a backup —
+   like any other result-changing transformation. *)
+let rec index_only_accesses (plan : Plan.t) acc =
+  match plan with
+  | Plan.Index_only_scan { table; alias; index; _ } ->
+      (index, table, alias) :: acc
+  | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Partition_scan _ -> acc
+  | Plan.Scatter_gather { children; _ } ->
+      List.fold_left
+        (fun acc (_, p) -> index_only_accesses p acc)
+        acc children
+  | Plan.Filter { input; _ }
+  | Plan.Project { input; _ }
+  | Plan.Sort { input; _ }
+  | Plan.Group { input; _ }
+  | Plan.Limit { input; _ } ->
+      index_only_accesses input acc
+  | Plan.Distinct input -> index_only_accesses input acc
+  | Plan.Nested_loop_join { left; right; _ }
+  | Plan.Hash_join { left; right; _ }
+  | Plan.Merge_join { left; right; _ } ->
+      index_only_accesses left (index_only_accesses right acc)
+  | Plan.Union_all inputs ->
+      List.fold_left (fun acc p -> index_only_accesses p acc) acc inputs
+
 let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
     report =
   let logical = Logical.of_query q in
   let rewritten, applied = Rewrite.rewrite ctx logical in
   let plan, cost = Planner.plan_query penv rewritten in
+  let idx_applied =
+    List.map
+      (fun (index, table, alias) ->
+        {
+          Rewrite.rule = "index_only";
+          detail =
+            Printf.sprintf "%s (%s) answered from index %s alone" alias
+              table index;
+          sc = Some ("idx:" ^ index);
+          premises = [ "idx:" ^ index ];
+          delta = Rewrite.Index_access { index; table; alias };
+        })
+      (List.rev (index_only_accesses plan []))
+  in
+  let applied = applied @ idx_applied in
   let changing = result_changing applied in
   let guards =
     List.sort_uniq String.compare
@@ -36,9 +78,16 @@ let optimize (ctx : Rewrite.ctx) (penv : Planner.env) (q : Sqlfe.Ast.query) :
   let backup_plan =
     (* only needed when a rewrite actually changed the query: the backup
        is the plan of the unrewritten logical form (§4.1's "'backup' plan
-       which is ASC-free") *)
+       which is ASC-free") — and, when the primary leans on an index,
+       planned with indexes disabled entirely, so a demotion mid-flight
+       can never invalidate the fallback too *)
     if changing = [] then None
-    else Some (fst (Planner.plan_query penv logical))
+    else
+      let bpenv =
+        if idx_applied <> [] then { penv with Planner.use_indexes = false }
+        else penv
+      in
+      Some (fst (Planner.plan_query bpenv logical))
   in
   {
     original = q;
@@ -151,6 +200,7 @@ let rec scans_below plan acc =
   match plan with
   | Plan.Seq_scan { table; alias; _ }
   | Plan.Index_scan { table; alias; _ }
+  | Plan.Index_only_scan { table; alias; _ }
   | Plan.Partition_scan { table; alias; _ }
   | Plan.Scatter_gather { table; alias; _ } ->
       (norm alias, table) :: acc
@@ -226,7 +276,8 @@ let rec estimate senv alias_est (plan : Plan.t) =
   match plan with
   | Plan.Seq_scan { table; alias; filter } ->
       scan_estimate senv alias_est ~table ~alias ~filter
-  | Plan.Index_scan { table; alias; filter; _ } ->
+  | Plan.Index_scan { table; alias; filter; _ }
+  | Plan.Index_only_scan { table; alias; filter; _ } ->
       scan_estimate senv alias_est ~table ~alias ~filter
   | Plan.Scatter_gather { table; alias; children; _ } -> (
       (* the gather of all surviving partitions re-produces the blended
@@ -325,6 +376,12 @@ let node_label (plan : Plan.t) =
       Fmt.str "IndexScan %s%s using %s [%a, %a]%a" table
         (if alias = table then "" else " as " ^ alias)
         index Plan.pp_bound lo Plan.pp_bound hi Plan.pp_filter filter
+  | Plan.Index_only_scan { table; alias; index; columns; lo; hi; filter } ->
+      Fmt.str "IndexOnlyScan %s%s using %s (%s) [%a, %a]%a" table
+        (if alias = table then "" else " as " ^ alias)
+        index
+        (String.concat ", " columns)
+        Plan.pp_bound lo Plan.pp_bound hi Plan.pp_filter filter
   | Plan.Filter { pred; _ } -> Fmt.str "Filter %a" Expr.pp_pred pred
   | Plan.Project { exprs; _ } ->
       Fmt.str "Project %a"
@@ -376,7 +433,9 @@ let node_label (plan : Plan.t) =
 
 let children (plan : Plan.t) =
   match plan with
-  | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Partition_scan _ -> []
+  | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Index_only_scan _
+  | Plan.Partition_scan _ ->
+      []
   | Plan.Scatter_gather { children; _ } -> List.map snd children
   | Plan.Filter { input; _ }
   | Plan.Project { input; _ }

@@ -8,9 +8,16 @@ open Rel
 open Stats
 open Exec
 
-type env = { db : Database.t; stats : Runstats.t; params : Cost.params }
+type env = {
+  db : Database.t;
+  stats : Runstats.t;
+  params : Cost.params;
+  use_indexes : bool;
+      (* false builds the index-free backup plan ({!Explain}) *)
+}
 
-let make_env ?(params = Cost.default_params) db stats = { db; stats; params }
+let make_env ?(params = Cost.default_params) ?(use_indexes = true) db stats =
+  { db; stats; params; use_indexes }
 
 let sel_env env = { Selectivity.db = env.db; stats = env.stats }
 
@@ -79,6 +86,36 @@ let bound_of_endpoint (e : Interval.endpoint option) =
   | None -> Index.Unbounded
   | Some { Interval.v; incl = true } -> Index.Incl v
   | Some { Interval.v; incl = false } -> Index.Excl v
+
+(* Every column the block needs from one source — predicates, select
+   items, grouping, ordering, join keys.  [None] means "all of them",
+   i.e. a SELECT-star block.  Ambiguous references are attributed conservatively to
+   every source they could belong to.  This is the coverage test for
+   index-only access: a readable index whose key ⊇ the needed set can
+   answer the alias without touching the heap. *)
+let needed_cols env (block : Logical.block) (s : Logical.source) =
+  match Logical.cols_outside_preds block with
+  | `Star -> None
+  | `Cols outside ->
+      let a = norm s.Logical.alias in
+      let pred_cols =
+        List.concat_map
+          (fun (p : Logical.pred_item) -> Expr.cols_of_pred p.Logical.pred)
+          (Logical.executable_preds block)
+      in
+      let mine =
+        List.filter_map
+          (fun (r : Expr.col_ref) ->
+            let srcs = Logical.sources_of_col env.db block r in
+            if
+              List.exists
+                (fun (src : Logical.source) -> norm src.Logical.alias = a)
+                srcs
+            then Some (norm r.Expr.col)
+            else None)
+          (outside @ pred_cols)
+      in
+      Some (List.sort_uniq String.compare mine)
 
 (* pick the cheapest access path for one source given its local preds;
    returns plan, estimated scan cost, and output cardinality *)
@@ -152,37 +189,116 @@ let access_path env (block : Logical.block) (s : Logical.source) local_preds
     | _ -> None
   in
   let entries, _ = Interval.summarize ~key_of local_preds in
+  (* only a Readable index may serve probes; Write_only / Backfilling /
+     Demoted indexes are maintenance-only (lib/idx lifecycle) *)
   let candidates =
-    List.filter_map
-      (fun (col_key, (r, iv)) ->
-        if Interval.is_full iv then None
-        else
-          match
-            Database.find_index_on_column env.db s.Logical.table r.Expr.col
-          with
-          | None -> None
-          | Some idx ->
-              let match_sel =
-                Selectivity.interval_selectivity (sel_env env)
-                  ~table:s.Logical.table ~column:r.Expr.col iv
-              in
-              let match_rows = rows *. match_sel in
-              let cost =
-                Cost.index_scan env.params ~pages ~rows ~match_rows
-              in
-              ignore col_key;
-              Some
-                ( Plan.Index_scan
-                    {
-                      table = s.Logical.table;
-                      alias = s.Logical.alias;
-                      index = Index.name idx;
-                      lo = bound_of_endpoint iv.Interval.lo;
-                      hi = bound_of_endpoint iv.Interval.hi;
-                      filter;
-                    },
-                  cost ))
-      entries
+    if not env.use_indexes then []
+    else
+      List.filter_map
+        (fun (col_key, (r, iv)) ->
+          if Interval.is_full iv then None
+          else
+            match
+              Database.find_index_on_column env.db s.Logical.table r.Expr.col
+            with
+            | None -> None
+            | Some idx when not (Index.is_readable idx) -> None
+            | Some idx ->
+                let match_sel =
+                  Selectivity.interval_selectivity (sel_env env)
+                    ~table:s.Logical.table ~column:r.Expr.col iv
+                in
+                let match_rows = rows *. match_sel in
+                let cost =
+                  Cost.index_scan env.params ~pages ~rows ~match_rows
+                in
+                ignore col_key;
+                Some
+                  ( Plan.Index_scan
+                      {
+                        table = s.Logical.table;
+                        alias = s.Logical.alias;
+                        index = Index.name idx;
+                        lo = bound_of_endpoint iv.Interval.lo;
+                        hi = bound_of_endpoint iv.Interval.hi;
+                        filter;
+                      },
+                    cost ))
+        entries
+  in
+  (* index-only alternatives: a readable index whose key covers every
+     column the block needs from this source answers it without heap
+     I/O.  Single-column keys take the summarized interval as probe
+     bounds; composite keys scan all entries and filter. *)
+  let candidates =
+    if not env.use_indexes then candidates
+    else
+      match needed_cols env block s with
+      | None -> candidates (* SELECT *: the heap is needed *)
+      | Some needed ->
+          let covering =
+            List.filter_map
+              (fun idx ->
+                if not (Index.is_readable idx) then None
+                else
+                  let key_cols = List.map norm (Index.columns idx) in
+                  if
+                    not
+                      (List.for_all (fun c -> List.mem c key_cols) needed)
+                  then None
+                  else
+                    (* the leading key column's summarized interval
+                       narrows the probe whatever the key arity:
+                       {!Index.fold_entries} applies leading-column
+                       bounds to composite keys too *)
+                    let lo, hi, match_sel =
+                      match key_cols with
+                      | [] -> (Index.Unbounded, Index.Unbounded, 1.0)
+                      | kc :: _ -> (
+                          match
+                            List.find_opt
+                              (fun (_, ((r : Expr.col_ref), iv)) ->
+                                norm r.Expr.col = kc
+                                && not (Interval.is_full iv))
+                              entries
+                          with
+                          | Some (_, (r, iv)) ->
+                              ( bound_of_endpoint iv.Interval.lo,
+                                bound_of_endpoint iv.Interval.hi,
+                                Selectivity.interval_selectivity
+                                  (sel_env env) ~table:s.Logical.table
+                                  ~column:r.Expr.col iv )
+                          | None ->
+                              (Index.Unbounded, Index.Unbounded, 1.0))
+                    in
+                    let entry_width =
+                      Table.bytes_per_value * List.length key_cols
+                    in
+                    let entries_per_page =
+                      float_of_int
+                        (max 1 (Table.page_size / max 1 entry_width))
+                    in
+                    let cost =
+                      Cost.index_only_scan env.params ~entries_per_page
+                        ~match_rows:(rows *. match_sel)
+                    in
+                    Some
+                      ( Plan.Index_only_scan
+                          {
+                            table = s.Logical.table;
+                            alias = s.Logical.alias;
+                            index = Index.name idx;
+                            columns = Index.columns idx;
+                            lo;
+                            hi;
+                            filter;
+                          },
+                        cost ))
+              (List.sort
+                 (fun a b -> String.compare (Index.name a) (Index.name b))
+                 (Database.indexes_on env.db s.Logical.table))
+          in
+          candidates @ covering
   in
   let best_plan, best_cost =
     List.fold_left

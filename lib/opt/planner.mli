@@ -9,9 +9,18 @@ open Rel
 open Stats
 open Exec
 
-type env = { db : Database.t; stats : Runstats.t; params : Cost.params }
+type env = {
+  db : Database.t;
+  stats : Runstats.t;
+  params : Cost.params;
+  use_indexes : bool;
+      (** when [false], access-path selection never considers indexes —
+          how {!Explain} builds the index-free backup plan *)
+}
 
-val make_env : ?params:Cost.params -> Database.t -> Runstats.t -> env
+val make_env :
+  ?params:Cost.params -> ?use_indexes:bool -> Database.t -> Runstats.t -> env
+(** [use_indexes] defaults to [true]. *)
 
 val sel_env : env -> Selectivity.env
 

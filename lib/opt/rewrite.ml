@@ -117,6 +117,11 @@ type delta =
   | Branch_pruned
   | Block_falsified
   | Partition_pruned of { table : string; alias : string; partition : int }
+  | Index_access of { index : string; table : string; alias : string }
+      (* the planner answered the alias from the index alone (index-only
+         scan): sound while the index is readable and its key covers
+         every column the block needs — guarded at execution by
+         "idx:<name>" *)
 
 (* Twins are the one delta that cannot change results; everything else
    alters the executable plan and therefore needs an absolute basis. *)
@@ -1516,3 +1521,5 @@ let pp_delta ppf = function
   | Block_falsified -> Fmt.pf ppf "block proven empty"
   | Partition_pruned { table; alias; partition } ->
       Fmt.pf ppf "partition %d of %s (%s) pruned" partition table alias
+  | Index_access { index; table; alias } ->
+      Fmt.pf ppf "%s (%s) answered from index %s alone" alias table index

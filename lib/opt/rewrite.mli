@@ -115,6 +115,11 @@ type delta =
       (** the named partition was eliminated from the named source;
           sound iff its partition constraint contradicts the query
           predicates ({!Check.Cert} re-derives this) *)
+  | Index_access of { index : string; table : string; alias : string }
+      (** the planner answered the alias from the index alone
+          (index-only scan): sound while the index is readable and its
+          key covers every column the block needs — guarded at
+          execution by ["idx:<name>"] *)
 
 val delta_changes_results : delta -> bool
 (** [false] only for {!Pred_twinned}: every other delta alters the

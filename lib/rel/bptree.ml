@@ -301,6 +301,35 @@ module Make (Ord : ORDERED) = struct
     in
     go init t.root
 
+  (* Descending-order twin of [fold_range]: same bounds, same pruning,
+     bindings delivered from the high end down. *)
+  let fold_range_rev t ~lo ~hi ~init ~f =
+    let rec go acc = function
+      | Leaf (keys, vals) ->
+          let acc = ref acc in
+          for i = Array.length keys - 1 downto 0 do
+            let k = keys.(i) in
+            if above lo k && below hi k then acc := f !acc k vals.(i)
+          done;
+          !acc
+      | Internal (seps, children) ->
+          let n = Array.length children in
+          let acc = ref acc in
+          for i = n - 1 downto 0 do
+            let child_min_ok = i = 0 || below hi seps.(i - 1) in
+            let child_max_ok =
+              i = n - 1 || above lo seps.(i)
+              ||
+              match lo with
+              | Unbounded -> true
+              | Incl b | Excl b -> Ord.compare seps.(i) b > 0
+            in
+            if child_min_ok && child_max_ok then acc := go !acc children.(i)
+          done;
+          !acc
+    in
+    go init t.root
+
   let fold t ~init ~f = fold_range t ~lo:Unbounded ~hi:Unbounded ~init ~f
 
   let iter t ~f = fold t ~init:() ~f:(fun () k v -> f k v)

@@ -41,6 +41,11 @@ module Make (Ord : ORDERED) : sig
   (** In-order fold over bindings within the bounds; subtrees entirely
       outside the range are skipped (O(log n + matches)). *)
 
+  val fold_range_rev :
+    'a t -> lo:bound -> hi:bound -> init:'b -> f:('b -> key -> 'a -> 'b) -> 'b
+  (** [fold_range] in descending key order: same bounds and pruning,
+      bindings delivered from the high end down. *)
+
   val fold : 'a t -> init:'b -> f:('b -> key -> 'a -> 'b) -> 'b
   val iter : 'a t -> f:(key -> 'a -> unit) -> unit
   val to_list : 'a t -> (key * 'a) list

@@ -28,6 +28,9 @@ type t = {
   partitions : (string, Partition.t) Hashtbl.t; (* by table name *)
   mutable constraints : Icdef.t list;
   mutable listeners : (mutation -> unit) list;
+  mutable index_listeners : (Index.t -> unit) list;
+      (* index lifecycle transitions (write-only/backfilling/readable/
+         demoted): the WAL link logs them for crash recovery *)
 }
 
 exception Catalog_error of string
@@ -42,6 +45,7 @@ let create () =
     partitions = Hashtbl.create 4;
     constraints = [];
     listeners = [];
+    index_listeners = [];
   }
 
 let norm = String.lowercase_ascii
@@ -169,7 +173,47 @@ let create_index t ~name ~table ~columns ?(unique = false) () =
   Hashtbl.replace t.indexes key idx;
   idx
 
+(* The online-build entry point: an empty write-only shell registered in
+   the catalog immediately, so every mutation from this moment on
+   maintains it; the backfill (lib/idx) covers the pre-existing rows. *)
+let create_index_shell t ~name ~table ~columns ?(unique = false) () =
+  let key = norm name in
+  if Hashtbl.mem t.indexes key then error "index %s already exists" name;
+  let tbl = table_exn t table in
+  let idx = Index.create_shell ~name ~table:tbl ~columns ~unique () in
+  Hashtbl.replace t.indexes key idx;
+  idx
+
 let find_index_by_name t name = Hashtbl.find_opt t.indexes (norm name)
+
+let all_indexes t =
+  Hashtbl.fold (fun _ idx acc -> idx :: acc) t.indexes []
+  |> List.sort (fun a b -> String.compare (Index.name a) (Index.name b))
+
+let on_index_state t f = t.index_listeners <- f :: t.index_listeners
+
+let set_index_state t idx state =
+  if Index.state idx <> state then begin
+    Index.set_state idx state;
+    List.iter (fun f -> f idx) t.index_listeners
+  end
+
+(* Discard and rebuild an index from the current heap contents; the
+   result is readable and consistent by construction.  Used by WAL
+   replay when a logged [Readable] transition is reached, and by an
+   explicit repair of a demoted index. *)
+let rebuild_index t name =
+  let key = norm name in
+  match Hashtbl.find_opt t.indexes key with
+  | None -> error "no such index: %s" name
+  | Some old ->
+      let tbl = table_exn t (Index.table_name old) in
+      let idx =
+        Index.create ~name:(Index.name old) ~table:tbl
+          ~columns:(Index.columns old) ~unique:(Index.is_unique old) ()
+      in
+      Hashtbl.replace t.indexes key idx;
+      idx
 
 let drop_index t name =
   let key = norm name in

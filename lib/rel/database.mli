@@ -59,7 +59,30 @@ val create_index :
   t -> name:string -> table:string -> columns:string list -> ?unique:bool ->
   unit -> Index.t
 
+val create_index_shell :
+  t -> name:string -> table:string -> columns:string list -> ?unique:bool ->
+  unit -> Index.t
+(** An empty [Write_only] index registered in the catalog immediately, so
+    every mutation from this moment on maintains it; the online backfill
+    ({!Idx.Lifecycle}) covers the pre-existing rows. *)
+
 val find_index_by_name : t -> string -> Index.t option
+
+val all_indexes : t -> Index.t list
+(** Every index in the catalog, sorted by name. *)
+
+val on_index_state : t -> (Index.t -> unit) -> unit
+(** Register a listener invoked after every index lifecycle transition
+    made through {!set_index_state} — the WAL link logs these. *)
+
+val set_index_state : t -> Index.t -> Index.state -> unit
+(** Transition an index's lifecycle state and notify the listeners
+    (no-op when the state is unchanged). *)
+
+val rebuild_index : t -> string -> Index.t
+(** Discard and rebuild an index from the current heap contents; the
+    result is readable and consistent by construction.  Raises
+    {!Catalog_error} when no such index exists. *)
 
 val drop_index : t -> string -> unit
 val indexes_on : t -> string -> Index.t list

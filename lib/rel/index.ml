@@ -1,13 +1,41 @@
 (* Secondary indexes over heap tables: a B+-tree keyed on the projected
    column values, mapping each distinct key to the sorted list of rids
    holding it.  Composite keys compare lexicographically via
-   {!Tuple.compare}. *)
+   {!Tuple.compare}.
+
+   An index is a lifecycle-managed object (fdb-record-layer shape):
+
+     Write_only --start--> Backfilling --finish--> Readable
+         ^                      |                      |
+         |                   demote                 demote
+         +------ Demoted <-----+----------------------+
+
+   In every state the maintenance hooks keep the tree current with table
+   mutations; only a [Readable] index may serve probes.  While an index
+   is not readable its insertions are idempotent per (key, rid): the
+   online backfill and the concurrent write path may both present the
+   same row, and the tree must record it exactly once. *)
 
 module Key_tree = Bptree.Make (struct
   type t = Tuple.t
 
   let compare = Tuple.compare
 end)
+
+type state = Write_only | Backfilling | Readable | Demoted
+
+let state_to_string = function
+  | Write_only -> "write_only"
+  | Backfilling -> "backfilling"
+  | Readable -> "readable"
+  | Demoted -> "demoted"
+
+let state_of_string = function
+  | "write_only" -> Some Write_only
+  | "backfilling" -> Some Backfilling
+  | "readable" -> Some Readable
+  | "demoted" -> Some Demoted
+  | _ -> None
 
 type t = {
   name : string;
@@ -16,27 +44,30 @@ type t = {
   positions : int array; (* their positions in the table schema *)
   unique : bool;
   tree : Table.rid list Key_tree.t;
+  mutable state : state;
 }
 
 exception Unique_violation of string
 
 let key_of t row = Tuple.project row t.positions
 
-let create ~name ~table ~columns ?(unique = false) () =
+let make ~name ~table ~columns ~unique ~state =
   let schema = Table.schema table in
   let positions =
     Array.of_list (List.map (Schema.index_exn schema) columns)
   in
-  let t =
-    {
-      name;
-      table = Table.name table;
-      columns;
-      positions;
-      unique;
-      tree = Key_tree.create ~b:32 ();
-    }
-  in
+  {
+    name;
+    table = Table.name table;
+    columns;
+    positions;
+    unique;
+    tree = Key_tree.create ~b:32 ();
+    state;
+  }
+
+let create ~name ~table ~columns ?(unique = false) () =
+  let t = make ~name ~table ~columns ~unique ~state:Readable in
   (* bulk-build from existing rows *)
   Table.iteri table ~f:(fun rid row ->
       let key = key_of t row in
@@ -51,25 +82,67 @@ let create ~name ~table ~columns ?(unique = false) () =
       ignore (Key_tree.insert t.tree key (rid :: existing)));
   t
 
+(* An empty shell for the online build path: registered in the catalog
+   immediately so every subsequent mutation maintains it, populated with
+   pre-existing rows by the backfill ({!Idx.Lifecycle}). *)
+let create_shell ~name ~table ~columns ?(unique = false) () =
+  make ~name ~table ~columns ~unique ~state:Write_only
+
 let name t = t.name
 let table_name t = t.table
 let columns t = t.columns
 let is_unique t = t.unique
+let state t = t.state
+let set_state t state = t.state <- state
+let is_readable t = t.state = Readable
 let distinct_keys t = Key_tree.length t.tree
 
-(* Maintenance hooks called by {!Database} on every table mutation. *)
+let entries t =
+  Key_tree.fold t.tree ~init:0 ~f:(fun acc _ rids ->
+      acc + List.length rids)
+
+(* Maintenance hooks called by {!Database} on every table mutation.
+   A Demoted index is abandoned — its contents are untrustworthy and the
+   only way back is a full rebuild, which discards them — so maintaining
+   it would be wasted work, and a demoted *unique* index must never veto
+   a foreground write on the strength of entries it cannot vouch for. *)
 
 let on_insert t rid row =
+  if t.state = Demoted then ()
+  else
   let key = key_of t row in
   let existing = Option.value (Key_tree.find t.tree key) ~default:[] in
-  if t.unique && existing <> [] then
-    raise
-      (Unique_violation
-         (Printf.sprintf "unique index %s: duplicate key %s" t.name
-            (Fmt.str "%a" Tuple.pp key)));
-  ignore (Key_tree.insert t.tree key (rid :: existing))
+  if List.mem rid existing then ()
+    (* already indexed: the backfill and a concurrent writer raced on
+       this row; recording it once is exactly the contract *)
+  else begin
+    if t.unique && existing <> [] then
+      raise
+        (Unique_violation
+           (Printf.sprintf "unique index %s: duplicate key %s" t.name
+              (Fmt.str "%a" Tuple.pp key)));
+    ignore (Key_tree.insert t.tree key (rid :: existing))
+  end
+
+(* The backfill's idempotent insertion: returns whether the row was new
+   to the tree, so the build can count real work. *)
+let backfill_insert t rid row =
+  let key = key_of t row in
+  let existing = Option.value (Key_tree.find t.tree key) ~default:[] in
+  if List.mem rid existing then false
+  else begin
+    if t.unique && existing <> [] then
+      raise
+        (Unique_violation
+           (Printf.sprintf "unique index %s: duplicate key %s" t.name
+              (Fmt.str "%a" Tuple.pp key)));
+    ignore (Key_tree.insert t.tree key (rid :: existing));
+    true
+  end
 
 let on_delete t rid row =
+  if t.state = Demoted then ()
+  else
   let key = key_of t row in
   match Key_tree.find t.tree key with
   | None -> ()
@@ -114,6 +187,41 @@ let fold_range t ~lo ~hi ~init ~f =
   Key_tree.fold_range t.tree ~lo:(to_tree_bound lo) ~hi:(to_tree_bound hi)
     ~init
     ~f:(fun acc key rids -> f acc (Tuple.get key 0) rids)
+
+(* Full-key iteration for index-only scans: yields each (key, rids)
+   binding in key order.  Bounds apply to the leading column.  On a
+   single-column index they map directly onto the tree.  On a composite
+   index the tree orders keys lexicographically, so a 1-tuple [lo] is a
+   sound seek point (every key whose leading value is >= lo sorts at or
+   after it) — but neither [Excl lo] nor any [hi] translates exactly to
+   a tuple bound, so those are enforced per binding on the leading
+   value. *)
+let fold_entries t ~lo ~hi ~init ~f =
+  if Array.length t.positions = 1 then
+    Key_tree.fold_range t.tree ~lo:(to_tree_bound lo) ~hi:(to_tree_bound hi)
+      ~init ~f
+  else
+    let seek =
+      match lo with
+      | Unbounded -> Key_tree.Unbounded
+      | Incl v | Excl v -> Key_tree.Incl (Tuple.of_array [| v |])
+    in
+    let lo_ok v =
+      match lo with
+      | Unbounded -> true
+      | Incl b -> Value.compare_total v b >= 0
+      | Excl b -> Value.compare_total v b > 0
+    in
+    let hi_ok v =
+      match hi with
+      | Unbounded -> true
+      | Incl b -> Value.compare_total v b <= 0
+      | Excl b -> Value.compare_total v b < 0
+    in
+    Key_tree.fold_range t.tree ~lo:seek ~hi:Key_tree.Unbounded ~init
+      ~f:(fun acc key rids ->
+        let v = Tuple.get key 0 in
+        if lo_ok v && hi_ok v then f acc key rids else acc)
 
 let min_key t = Option.map fst (Key_tree.min_binding t.tree)
 let max_key t = Option.map fst (Key_tree.max_binding t.tree)

@@ -61,6 +61,11 @@ type record =
     }
   | Ddl of { txn : int; sql : string }
   | Sc of { txn : int; change : sc_change }
+  | Idx_state of { txn : int; name : string; state : string }
+      (* an index lifecycle transition (write_only/backfilling/readable/
+         demoted): replay re-derives index consistency from these — a
+         [readable] transition triggers a rebuild, an index still
+         backfilling when the log ends is demoted *)
 
 exception Wal_error of string
 
@@ -293,6 +298,8 @@ let record_to_line r =
     | Ddl { txn; sql } -> [ "Q"; string_of_int txn; escape sql ]
     | Sc { txn; change } ->
         "S" :: string_of_int txn :: sc_change_fields change
+    | Idx_state { txn; name; state } ->
+        [ "X"; string_of_int txn; escape name; escape state ]
   in
   String.concat "\t" fields
 
@@ -336,6 +343,9 @@ let record_of_line line =
   | [ "Q"; txn; sql ] -> Ddl { txn = int_field txn; sql = unescape sql }
   | "S" :: txn :: rest ->
       Sc { txn = int_field txn; change = sc_change_of_fields rest }
+  | [ "X"; txn; name; state ] ->
+      Idx_state
+        { txn = int_field txn; name = unescape name; state = unescape state }
   | _ -> error "corrupt log line: %S" line
 
 (* ---- v2 line codec: LSN + CRC32 ----------------------------------------- *)
@@ -445,7 +455,8 @@ let txn_of = function
   | Delete { txn; _ }
   | Update { txn; _ }
   | Ddl { txn; _ }
-  | Sc { txn; _ } ->
+  | Sc { txn; _ }
+  | Idx_state { txn; _ } ->
       txn
 
 let committed_txns records =
@@ -639,3 +650,5 @@ let pp_record ppf = function
   | Sc { txn; change } ->
       Fmt.pf ppf "[%d] SC %s" txn
         (String.concat " " (sc_change_fields change))
+  | Idx_state { txn; name; state } ->
+      Fmt.pf ppf "[%d] IDX %s -> %s" txn name state

@@ -84,6 +84,13 @@ type record =
       (** A schema statement, logged as its printed SQL and re-executed
           deterministically at replay. *)
   | Sc of { txn : int; change : sc_change }
+  | Idx_state of { txn : int; name : string; state : string }
+      (** An index lifecycle transition
+          ([write_only]/[backfilling]/[readable]/[demoted], see
+          {!Index.state}).  Replay re-derives index consistency from
+          these: a committed [readable] transition rebuilds the index
+          from the recovered heap; an index left mid-backfill when the
+          log ends is demoted to write-only. *)
 
 type t
 

@@ -72,6 +72,9 @@ type statement =
       table : string;
       columns : string list;
       unique : bool;
+      online : bool;
+          (** ONLINE: register a write-only shell and backfill concurrently
+              with writes ({!Idx.Lifecycle}) instead of bulk-building *)
     }
   | Alter_add_constraint of { table : string; con : table_constraint }
   | Alter_partition_by of { table : string; spec : Partition.spec }

@@ -38,7 +38,7 @@ let keywords =
     "TEXT"; "BOOLEAN"; "BOOL"; "DATE"; "TRUE"; "FALSE";
     "ENFORCED"; "INFORMATIONAL"; "SOFT"; "CONFIDENCE"; "EXCEPTION"; "FOR";
     "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "VIEW"; "DAYS"; "EXPLAIN"; "RUNSTATS";
-    "ANALYZE"; "PARTITION"; "RANGE"; "HASH"; "BOUNDS"; "BUCKETS";
+    "ANALYZE"; "PARTITION"; "RANGE"; "HASH"; "BOUNDS"; "BUCKETS"; "ONLINE";
   ]
 
 let keyword_set =

@@ -572,14 +572,16 @@ let parse_statement_inner st : Ast.statement =
         eat_kw st "ON";
         let table = ident st in
         let columns = parse_column_list st in
-        Ast.Create_index { index_name; table; columns; unique = true }
+        let online = accept_kw st "ONLINE" in
+        Ast.Create_index { index_name; table; columns; unique = true; online }
       end
       else if accept_kw st "INDEX" then begin
         let index_name = ident st in
         eat_kw st "ON";
         let table = ident st in
         let columns = parse_column_list st in
-        Ast.Create_index { index_name; table; columns; unique = false }
+        let online = accept_kw st "ONLINE" in
+        Ast.Create_index { index_name; table; columns; unique = false; online }
       end
       else if accept_kw st "EXCEPTION" then begin
         eat_kw st "TABLE";

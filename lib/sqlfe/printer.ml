@@ -87,12 +87,13 @@ let pp_statement ppf = function
         constraints
   | Ast.Drop_table t -> Fmt.pf ppf "DROP TABLE %s" t
   | Ast.Drop_index i -> Fmt.pf ppf "DROP INDEX %s" i
-  | Ast.Create_index { index_name; table; columns; unique } ->
-      Fmt.pf ppf "CREATE %sINDEX %s ON %s (%a)"
+  | Ast.Create_index { index_name; table; columns; unique; online } ->
+      Fmt.pf ppf "CREATE %sINDEX %s ON %s (%a)%s"
         (if unique then "UNIQUE " else "")
         index_name table
         Fmt.(list ~sep:(any ", ") string)
         columns
+        (if online then " ONLINE" else "")
   | Ast.Alter_add_constraint { table; con } ->
       Fmt.pf ppf "ALTER TABLE %s ADD %a" table pp_table_constraint con
   | Ast.Alter_partition_by { table; spec } -> (

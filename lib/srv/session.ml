@@ -40,11 +40,17 @@
    admit/reject with nothing else held and acquires nothing while held
    (its metrics tick after the mutex is released).
 
+   [idx.lifecycle] guards one online index build's bookkeeping
+   ({!Idx.Lifecycle}): the builder takes it per batch while holding the
+   session and write locks, monitors take it with nothing else held to
+   read progress, so it sits just above [db.rwlock].
+
    @lock-order srv.transport.chan rank=10
    @lock-order srv.transport.write rank=12
    @lock-order srv.breaker rank=15
    @lock-order srv.session rank=20
    @lock-order db.rwlock rank=30 reentrant
+   @lock-order idx.lifecycle rank=32
    @lock-order srv.scheduler.queue rank=35
    @lock-order srv.scatter.batch rank=37
    @lock-order srv.rwlock.state rank=40
@@ -209,6 +215,54 @@ let under_lock ~rwlock ~deadline t ~write f =
   | Some payload -> payload
   | None -> lock_timed_out ~deadline ~write
 
+(* A successful CREATE INDEX ... ONLINE returned after registering only
+   the write-only shell; the session now drives the backfill itself —
+   one exclusive-lock acquisition per batch, so concurrent readers
+   interleave between batches, which is the ONLINE promise.  The request
+   deadline bounds the whole build: on expiry the index is demoted
+   (never an error — traffic continues against the write-only tree), and
+   a unique violation found mid-backfill demotes the same way. *)
+let drive_online_build ~rwlock ~deadline t index_name =
+  let db = Core.Softdb.db t.sdb in
+  match Rel.Database.find_index_by_name db index_name with
+  | Some idx when Rel.Index.state idx = Rel.Index.Write_only -> (
+      let build = Idx.Lifecycle.start db idx in
+      let expired () =
+        match deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false
+      in
+      let rec drain () =
+        if expired () then
+          Idx.Lifecycle.demote build "online build deadline exceeded"
+        else
+          let stepped =
+            (* @acquires db.rwlock while srv.session *)
+            Rwlock.write_locked ~deadline:(slice_deadline deadline) rwlock
+              ~session:t.id (fun () -> Idx.Lifecycle.step build)
+          in
+          match stepped with
+          | Some true -> drain ()
+          | Some false -> ()
+          | None -> drain () (* lock contention: retry this batch *)
+      in
+      drain ();
+      match Idx.Lifecycle.finish build with
+      | Idx.Lifecycle.Built ->
+          Obs.Metrics.incr t.metrics "idx.online_builds";
+          Proto.Ok_msg
+            (Printf.sprintf "created index %s online (%d rows backfilled)"
+               index_name
+               (Idx.Lifecycle.progress build).Idx.Lifecycle.p_inserted)
+      | Idx.Lifecycle.Demoted_build reason ->
+          Obs.Metrics.incr t.metrics "idx.online_demotions";
+          Proto.Ok_msg
+            (Printf.sprintf "index %s demoted during online build: %s"
+               index_name reason))
+  | Some _ | None ->
+      (* replayed/raced to another state: nothing left to drive *)
+      Proto.Ok_msg (Printf.sprintf "created index %s" index_name)
+
 let exec_sql ~rwlock ~deadline t sql =
   guard_engine (fun () ->
       let stmt = Sqlfe.Parser.parse_statement sql in
@@ -217,6 +271,14 @@ let exec_sql ~rwlock ~deadline t sql =
         under_lock ~rwlock ~deadline t ~write (fun () ->
             guard_engine (fun () ->
                 outcome_to_payload (Core.Softdb.exec_statement t.sdb stmt)))
+      in
+      let payload =
+        match (stmt, payload) with
+        | ( Sqlfe.Ast.Create_index { index_name; online = true; _ },
+            Proto.Ok_msg _ ) ->
+            guard_engine (fun () ->
+                drive_online_build ~rwlock ~deadline t index_name)
+        | _ -> payload
       in
       (match payload with
       | Proto.Failed _ -> t.errors <- t.errors + 1

@@ -579,7 +579,7 @@ let test_linear_correlation_opens_index () =
         | Exec.Plan.Scatter_gather { children; _ } ->
             List.exists (fun (_, p) -> uses_index p) children
         | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _
-        | Exec.Plan.Partition_scan _ ->
+        | Exec.Plan.Index_only_scan _ | Exec.Plan.Partition_scan _ ->
             false
       in
       check tbool ("index on a used: " ^ sql) true

@@ -260,7 +260,7 @@ let test_predicate_introduction () =
   let rec uses_index = function
     | Exec.Plan.Index_scan { index = "purchase_order_date_idx"; _ } -> true
     | Exec.Plan.Seq_scan _ | Exec.Plan.Index_scan _
-    | Exec.Plan.Partition_scan _ ->
+    | Exec.Plan.Index_only_scan _ | Exec.Plan.Partition_scan _ ->
         false
     | Exec.Plan.Scatter_gather { children; _ } ->
         List.exists (fun (_, p) -> uses_index p) children

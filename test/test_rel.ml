@@ -266,6 +266,99 @@ let bptree_range_vs_map =
       in
       got = expected)
 
+(* empty ranges: every way a scan can legitimately yield nothing *)
+let test_bptree_empty_ranges () =
+  let empty = Itree.create ~b:2 () in
+  check (Alcotest.list (Alcotest.pair tint tint)) "empty tree, unbounded" []
+    (Itree.range empty ~lo:Itree.Unbounded ~hi:Itree.Unbounded);
+  check tint "fold_range over empty tree" 0
+    (Itree.fold_range empty ~lo:(Itree.Incl 0) ~hi:(Itree.Incl 100) ~init:0
+       ~f:(fun n _ _ -> n + 1));
+  let t = Itree.create ~b:2 () in
+  List.iter (fun i -> ignore (Itree.insert t i i)) [ 10; 20; 30; 40; 50 ];
+  let keys lo hi = List.map fst (Itree.range t ~lo ~hi) in
+  check (Alcotest.list tint) "lo > hi" [] (keys (Itree.Incl 40) (Itree.Incl 20));
+  check (Alcotest.list tint) "entirely below min" []
+    (keys (Itree.Incl 1) (Itree.Incl 9));
+  check (Alcotest.list tint) "entirely above max" []
+    (keys (Itree.Incl 51) (Itree.Unbounded));
+  check (Alcotest.list tint) "excl/excl adjacent keys" []
+    (keys (Itree.Excl 20) (Itree.Excl 30));
+  check (Alcotest.list tint) "excl/excl same key" []
+    (keys (Itree.Excl 30) (Itree.Excl 30));
+  check (Alcotest.list tint) "incl/excl same key" [ 30 ]
+    (keys (Itree.Incl 30) (Itree.Excl 31))
+
+(* re-inserting (replacing) keys right at node-split boundaries: with
+   b:2 splits happen every few inserts, so the separator keys pushed up
+   into inner nodes are exactly the keys being replaced — a replace must
+   update the leaf binding without duplicating or re-splitting *)
+let test_bptree_duplicates_at_split_boundaries () =
+  let t = Itree.create ~b:2 () in
+  for i = 1 to 64 do
+    check tbool "fresh insert" false (Itree.insert t i i)
+  done;
+  Itree.validate t;
+  (* every key gets replaced, in an order that hammers the separators *)
+  for i = 64 downto 1 do
+    check tbool "replace reported" true (Itree.insert t i (i * 100))
+  done;
+  Itree.validate t;
+  check tint "length stable under replaces" 64 (Itree.length t);
+  for i = 1 to 64 do
+    check (Alcotest.option tint)
+      (Printf.sprintf "replaced %d" i)
+      (Some (i * 100)) (Itree.find t i)
+  done;
+  (* replace again while interleaving fresh inserts beyond the boundary *)
+  for i = 1 to 64 do
+    ignore (Itree.insert t i (i * 7));
+    ignore (Itree.insert t (i + 1000) i)
+  done;
+  Itree.validate t;
+  check tint "only the fresh keys grew the tree" 128 (Itree.length t)
+
+let test_bptree_reverse_iteration () =
+  let t = Itree.create ~b:3 () in
+  List.iter (fun i -> ignore (Itree.insert t i (i * 2)))
+    [ 5; 1; 9; 3; 7; 2; 8; 4; 6 ];
+  let fwd lo hi =
+    Itree.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+    |> List.rev
+  in
+  let rev lo hi =
+    Itree.fold_range_rev t ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc)
+    |> List.rev
+  in
+  let bounds =
+    [
+      (Itree.Unbounded, Itree.Unbounded);
+      (Itree.Incl 3, Itree.Incl 7);
+      (Itree.Excl 3, Itree.Excl 7);
+      (Itree.Incl 8, Itree.Unbounded);
+      (Itree.Unbounded, Itree.Excl 2);
+      (Itree.Incl 7, Itree.Incl 3) (* empty *);
+    ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      check
+        (Alcotest.list (Alcotest.pair tint tint))
+        "reverse = List.rev forward" (List.rev (fwd lo hi)) (rev lo hi))
+    bounds;
+  (* and on a deep tree, where descending traversal crosses many leaves *)
+  let big = Itree.create ~b:2 () in
+  for i = 1 to 200 do
+    ignore (Itree.insert big i i)
+  done;
+  let desc =
+    Itree.fold_range_rev big ~lo:(Itree.Incl 50) ~hi:(Itree.Excl 150) ~init:[]
+      ~f:(fun acc k _ -> k :: acc)
+  in
+  check (Alcotest.list tint) "descending window"
+    (List.init 100 (fun i -> i + 50))
+    desc
+
 (* ---- tables / indexes -------------------------------------------------------- *)
 
 let people_schema =
@@ -659,6 +752,11 @@ let () =
           Alcotest.test_case "basic" `Quick test_bptree_basic;
           Alcotest.test_case "delete" `Quick test_bptree_delete;
           Alcotest.test_case "range" `Quick test_bptree_range;
+          Alcotest.test_case "empty ranges" `Quick test_bptree_empty_ranges;
+          Alcotest.test_case "duplicate keys at split boundaries" `Quick
+            test_bptree_duplicates_at_split_boundaries;
+          Alcotest.test_case "reverse iteration" `Quick
+            test_bptree_reverse_iteration;
         ]
         @ qsuite [ bptree_vs_map; bptree_range_vs_map ] );
       ( "table",
