@@ -1,6 +1,6 @@
-.PHONY: all build test check lint faultcheck servecheck chaoscheck bench \
-	benchcheck benchbaseline partcheck partbaseline idxcheck idxbaseline \
-	fmt clean
+.PHONY: all build test check lint racecheck faultcheck servecheck chaoscheck \
+	bench benchcheck benchbaseline partcheck partbaseline idxcheck \
+	idxbaseline fmt clean
 
 all: build
 
@@ -19,6 +19,20 @@ check: build test
 # error and leaves the full report in check-report.txt
 lint: build
 	dune exec bin/softdb.exe -- check --root . --report check-report.txt
+
+# the concurrency-soundness gate: drive real TCP traffic (including an
+# online index build) with the runtime lock-order witness armed, dump
+# the observed acquisition-order edge graph, then cross-validate it
+# against the declared @lock-order rank table and the @guarded-by
+# annotations — red on any rank inversion, deadlock cycle, unannotated
+# shared mutable state, or a declared rank the traffic never exercised
+# (unless waived with a reason)
+racecheck: build
+	rm -f LOCKDEP.graph racecheck-report.txt
+	timeout 300 dune exec bench/loadgen.exe -- --clients 4 --requests 32 \
+	  --ddl-online --lockdep-dump LOCKDEP.graph
+	dune exec bin/softdb.exe -- check --concurrency --root . \
+	  --lockdep-graph LOCKDEP.graph --report racecheck-report.txt
 
 # the crash matrix: a simulated crash at every registered fault point,
 # recovery must land on exactly the pre- or post-transaction state
@@ -53,7 +67,8 @@ bench:
 # hits, WAL bytes) gate hard; wall-clock drift is report-only
 benchcheck: build
 	dune exec bench/benchrun.exe -- --quick --label ci --out BENCH.json
-	dune exec bench/loadgen.exe -- --clients 4 --requests 32 --json BENCH.json
+	dune exec bench/loadgen.exe -- --clients 4 --requests 32 --lockdep \
+	  --json BENCH.json
 	dune exec bin/softdb.exe -- benchdiff bench/baseline.json BENCH.json
 
 # refresh the committed baseline after an intentional plan-quality change;
@@ -61,6 +76,8 @@ benchcheck: build
 benchbaseline: build
 	dune exec bench/benchrun.exe -- --quick --label baseline \
 	  --out bench/baseline.json
+	dune exec bench/loadgen.exe -- --clients 4 --requests 32 --lockdep \
+	  --json bench/baseline.json
 
 # the partition gate: the purchase id-range suite at 1, 4 and 8 range
 # segments; the 4/8-way runs must return the same rows as the baseline

@@ -211,7 +211,7 @@ let print_sessions_view ~port =
    section; latency percentiles, throughput and admission retries are
    load-dependent and stay in the report-only wallclock section. *)
 let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed
-    ~extra =
+    ~det_extra ~extra =
   let reg = Obs.Metrics.create () in
   List.iter (fun l -> Obs.Metrics.observe reg "latency_s" l) total.latencies;
   List.iter (fun b -> Obs.Metrics.observe reg "backoff_s" b) total.backoffs;
@@ -225,14 +225,15 @@ let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed
     Benchkit.Measure.make_result ~scenario:"purchase/serve" ~workload:"purchase"
       ~mode:"serve"
       ~deterministic:
-        [
-          ("clients", float_of_int clients);
-          ("requests_per_client", float_of_int requests);
-          ("requests_completed", float_of_int completed);
-          ("result_sets", float_of_int total.rows);
-          ("affected", float_of_int total.affected);
-          ("errors", float_of_int total.errors);
-        ]
+        ([
+           ("clients", float_of_int clients);
+           ("requests_per_client", float_of_int requests);
+           ("requests_completed", float_of_int completed);
+           ("result_sets", float_of_int total.rows);
+           ("affected", float_of_int total.affected);
+           ("errors", float_of_int total.errors);
+         ]
+        @ det_extra)
       ~wallclock:
         ([
            ("elapsed_s", elapsed);
@@ -259,7 +260,11 @@ let write_json ~path ~clients ~requests ~completed ~(total : stats) ~elapsed
   Fmt.pr "wrote %s@." path
 
 let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker
-    ~ddl_online =
+    ~ddl_online ~lockdep ~lockdep_dump =
+  (* the lock-order witness must be armed before the server spins up so
+     the very first acquisitions are on record *)
+  let lockdep = lockdep || lockdep_dump <> None in
+  if lockdep then Obs.Lockdep.enable ();
   (* in-process server when no port is given: load the purchase
      workload and listen on an ephemeral port *)
   let server =
@@ -308,6 +313,20 @@ let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker
   in
   List.iter Thread.join threads;
   Option.iter Thread.join ddl_thread;
+  (* snapshot the witness here, with every client joined and before the
+     introspection connection below adds bookkeeping traffic: the dump
+     file and the BENCH metrics must describe the same instant.  The edge
+     SET and held depth are functions of the (seeded) request mix, so
+     they live in the deterministic section; per-edge counts vary with
+     scheduling and stay out. *)
+  let lockdep_snapshot =
+    if lockdep then
+      Some
+        ( Obs.Lockdep.dump (),
+          Obs.Lockdep.edges_observed (),
+          Obs.Lockdep.max_held_depth () )
+    else None
+  in
   let results = Array.to_list slots in
   let elapsed = Unix.gettimeofday () -. t0 in
   let total = new_stats () in
@@ -370,10 +389,32 @@ let run ~port ~clients ~requests ~seed ~json ~workers ~queue ~expect_breaker
   | Some (dt, msg) -> Fmt.pr "online DDL: %s (%.1f ms under load)@." msg
                         (dt *. 1000.0)
   | None -> if ddl_online then Fmt.pr "online DDL: no response@.");
+  (match lockdep_snapshot with
+  | Some (graph, edges, depth) ->
+      Fmt.pr "lockdep: %d ordered edges, max held depth %d, %d violation(s)@."
+        edges depth
+        (List.length (Obs.Lockdep.violations ()));
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc graph;
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+        lockdep_dump
+  | None -> ());
+  let det_extra =
+    match lockdep_snapshot with
+    | Some (_, edges, depth) ->
+        [
+          ("lockdep.edges_observed", float_of_int edges);
+          ("lockdep.max_held_depth", float_of_int depth);
+        ]
+    | None -> []
+  in
   (match json with
   | Some path ->
       write_json ~path ~clients ~requests ~completed:!completed ~total ~elapsed
-        ~extra
+        ~det_extra ~extra
   | None -> ());
   print_sessions_view ~port;
   (match server with
@@ -420,7 +461,9 @@ let () =
   and workers = ref None
   and queue = ref None
   and expect_breaker = ref false
-  and ddl_online = ref false in
+  and ddl_online = ref false
+  and lockdep = ref false
+  and lockdep_dump = ref None in
   let spec =
     [
       ( "--port",
@@ -448,12 +491,21 @@ let () =
         Arg.Set ddl_online,
         " run CREATE INDEX ... ONLINE from an extra session mid-load; \
          build duration and build/demotion counters go into the report" );
+      ( "--lockdep",
+        Arg.Set lockdep,
+        " arm the runtime lock-order witness; the observed edge count and \
+         max held depth go into the deterministic report section" );
+      ( "--lockdep-dump",
+        Arg.String (fun p -> lockdep_dump := Some p),
+        "FILE arm the witness and write its edge-graph dump to FILE (for \
+         softdb check --concurrency --lockdep-graph FILE)" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "loadgen [--port PORT] [--clients N] [--requests N] [--seed N] [--json \
-     FILE] [--workers N] [--queue N] [--expect-breaker] [--ddl-online]";
+     FILE] [--workers N] [--queue N] [--expect-breaker] [--ddl-online] \
+     [--lockdep] [--lockdep-dump FILE]";
   run ~port:!port ~clients:!clients ~requests:!requests ~seed:!seed ~json:!json
     ~workers:!workers ~queue:!queue ~expect_breaker:!expect_breaker
-    ~ddl_online:!ddl_online
+    ~ddl_online:!ddl_online ~lockdep:!lockdep ~lockdep_dump:!lockdep_dump

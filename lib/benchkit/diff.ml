@@ -35,6 +35,13 @@ let default_thresholds =
       abs_slack = 0.0 };
     { prefix = "partitions"; direction = Exact; rel_slack = 0.0;
       abs_slack = 0.0 };
+    (* concurrency-witness structure: a new acquisition-order edge means
+       a new lock-nesting pattern slipped in (review it, then rebaseline);
+       held depth deeper than the baseline means a longer lock chain *)
+    { prefix = "lockdep.edges_observed"; direction = Higher_worse;
+      rel_slack = 0.0; abs_slack = 0.0 };
+    { prefix = "lockdep.max_held_depth"; direction = Exact; rel_slack = 0.0;
+      abs_slack = 0.0 };
     { prefix = "rows_returned"; direction = Exact; rel_slack = 0.0;
       abs_slack = 0.0 };
     { prefix = "queries"; direction = Exact; rel_slack = 0.0;

@@ -1,0 +1,196 @@
+(* The concurrency annotation language, shared by every lint that reads
+   it (Lock_lint, Guard_lint, Lockdep_lint).  One parser, one grammar —
+   the annotations are a contract between humans and three analyses, and
+   a second parser would let the dialects drift apart.
+
+   Declarations (the canonical rank table lives in lib/srv/session.ml):
+
+     (* @lock-order <name> rank=<int> [reentrant] [lockdep-waive] *)
+
+   [reentrant] allows same-name re-acquisition (ownership-counted locks
+   such as db.rwlock); [lockdep-waive] exempts the lock from the
+   dynamic stale-rank check — for locks the racecheck traffic cannot
+   exercise (pipe-only transports, the witness's own mutex).
+
+   Site annotations, on the acquiring line or at most three lines above:
+
+     (* @acquires <name> [while <held> ...] *)   taking a lock
+     (* @waits <name> [while <held> ...] *)      Condition.wait on it
+     (* @lock-ignore *)                          suppress (test scaffolding)
+
+   State annotations, on the declaring line, at most three lines above
+   it, or above the record's opening brace (covering every field of the
+   record):
+
+     (* @guarded-by <lock> *)                    state guarded by <lock>
+     (* @guarded-by none: <why> *)               explicitly unguarded *)
+
+(* ---- tiny string utilities ------------------------------------------------ *)
+
+let contains_at s i sub =
+  i + String.length sub <= String.length s
+  && String.sub s i (String.length sub) = sub
+
+let index_of s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if contains_at s i sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = index_of s sub <> None
+
+let after s marker =
+  match index_of s marker with
+  | None -> None
+  | Some i ->
+      let j = i + String.length marker in
+      Some (String.sub s j (String.length s - j))
+
+(* whitespace-split words of an annotation tail, stopping at the comment
+   terminator *)
+let words s =
+  String.map (fun c -> if c = '\t' then ' ' else c) s
+  |> String.split_on_char ' '
+  |> List.filter_map (fun w ->
+         let w =
+           match index_of w "*)" with
+           | Some i -> String.sub w 0 i
+           | None -> w
+         in
+         if w = "" then None else Some w)
+  |> List.fold_left
+       (fun (acc, stop) w ->
+         if stop || w = "*)" then (acc, true) else (w :: acc, false))
+       ([], false)
+  |> fst |> List.rev
+
+let lines_of contents = String.split_on_char '\n' contents
+
+(* ---- declarations --------------------------------------------------------- *)
+
+type decl = {
+  d_name : string;
+  d_rank : int;
+  d_reentrant : bool;
+  d_waived : bool; (* lockdep-waive: exempt from the stale-rank check *)
+  d_file : string;
+  d_line : int; (* 1-based *)
+}
+
+let parse_decl line =
+  match after line "@lock-order" with
+  | None -> None
+  | Some tail -> (
+      match words tail with
+      | name :: rest ->
+          let rank =
+            List.find_map
+              (fun w ->
+                match after w "rank=" with
+                | Some v -> int_of_string_opt v
+                | None -> None)
+              rest
+          in
+          Option.map
+            (fun rank ->
+              ( name,
+                rank,
+                List.mem "reentrant" rest,
+                List.mem "lockdep-waive" rest ))
+            rank
+      | [] -> None)
+
+let collect_decls sources =
+  List.concat_map
+    (fun (file, contents) ->
+      List.mapi (fun i line -> (i, line)) (lines_of contents)
+      |> List.filter_map (fun (i, line) ->
+             Option.map
+               (fun (d_name, d_rank, d_reentrant, d_waived) ->
+                 { d_name; d_rank; d_reentrant; d_waived; d_file = file;
+                   d_line = i + 1 })
+               (parse_decl line)))
+    sources
+
+(* First declaration wins; conflict reporting is Lock_lint's job. *)
+let decl_table decls =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem tbl d.d_name) then Hashtbl.replace tbl d.d_name d)
+    decls;
+  tbl
+
+(* ---- site and state annotations ------------------------------------------- *)
+
+type ann =
+  | Acquires of string * string list
+  | Waits of string * string list
+  | Guarded_by of string (* "none" = explicitly unguarded *)
+  | Ignore
+
+let held_clause rest =
+  let rec go = function
+    | "while" :: hs -> hs
+    | _ :: tl -> go tl
+    | [] -> []
+  in
+  go rest
+
+let parse_ann line =
+  if contains line "@lock-ignore" then Some Ignore
+  else
+    match after line "@acquires" with
+    | Some tail -> (
+        match words tail with
+        | name :: rest -> Some (Acquires (name, held_clause rest))
+        | [] -> None)
+    | None -> (
+        match after line "@waits" with
+        | Some tail -> (
+            match words tail with
+            | name :: rest -> Some (Waits (name, held_clause rest))
+            | [] -> None)
+        | None -> (
+            match after line "@guarded-by" with
+            | Some tail -> (
+                match words tail with
+                | name :: _ ->
+                    (* strip the "none:" reason separator *)
+                    let name =
+                      match index_of name ":" with
+                      | Some i -> String.sub name 0 i
+                      | None -> name
+                    in
+                    Some (Guarded_by name)
+                | [] -> None)
+            | None -> None))
+
+(* Every lock name an annotation set references (acquired, waited-on,
+   held, guarding) — the liveness side of dead-rank detection. *)
+let referenced_locks sources =
+  let refs = Hashtbl.create 32 in
+  List.iter
+    (fun (_, contents) ->
+      List.iter
+        (fun line ->
+          match parse_ann line with
+          | Some (Acquires (name, held)) | Some (Waits (name, held)) ->
+              List.iter (fun l -> Hashtbl.replace refs l ()) (name :: held)
+          | Some (Guarded_by name) when name <> "none" ->
+              Hashtbl.replace refs name ()
+          | Some (Guarded_by _) | Some Ignore | None -> ())
+        (lines_of contents))
+    sources;
+  refs
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_sources paths = List.map (fun p -> (p, read_file p)) paths

@@ -1,14 +1,18 @@
-(* Assembles the three static-analysis passes behind [softdb check]:
+(* Assembles the static-analysis passes behind [softdb check]:
 
    1. certificate checking + twin isolation over a set of fixtures
       (name, database, query workload) — the caller supplies them, so
       this library does not depend on any particular scenario registry;
    2. the catalog linter over each fixture's SC catalog;
-   3. the source lints (lock order, interface coverage) over a source
-      root, when one is given.
+   3. the source lints (lock order, guarded-by, interface coverage)
+      over a source root, when one is given;
+   4. the lockdep cross-validation, when an {!Obs.Lockdep} edge-graph
+      dump from an instrumented run is given alongside the root.
 
    [run] returns the rendered report (the CI artifact) and the raw
-   diagnostics; the CLI derives its exit code from [Diag.has_errors]. *)
+   diagnostics; the CLI derives its exit code from [Diag.has_errors].
+   Diagnostics are sorted (pass, subject, message, severity) so the
+   report is deterministic and CI can diff the committed one. *)
 
 type fixture = {
   fx_name : string;
@@ -36,6 +40,21 @@ let lock_scan_files ~root =
     (fun p -> not (contains p (Filename.concat "lib" "check")))
     (Iface_lint.ml_files ~root)
 
+(* The guarded-by lint covers the concurrent subsystems — the libraries
+   whose state is shared across the server's domains and threads.  The
+   single-threaded front/mid layers (sqlfe, opt, exec, rel, …) keep
+   their mutability rules out of scope. *)
+let guard_dirs = [ "srv"; "core"; "obs"; "idx"; "part" ]
+
+let guard_scan_files ~root =
+  List.filter
+    (fun p ->
+      List.exists
+        (fun d ->
+          contains p (Filename.concat "lib" d ^ Filename.dir_sep))
+        guard_dirs)
+    (Iface_lint.ml_files ~root)
+
 let check_fixture ?(explain = false) buf fx =
   List.concat_map
     (fun sql ->
@@ -54,7 +73,16 @@ let check_fixture ?(explain = false) buf fx =
           prefix fx diags)
     fx.fx_queries
 
-let run ?(explain = false) ?root fixtures =
+(* deterministic report order: by pass, then subject, then message *)
+let sort_diags diags =
+  List.sort
+    (fun (a : Diag.t) (b : Diag.t) ->
+      compare
+        (a.Diag.pass, a.Diag.subject, a.Diag.message, a.Diag.severity)
+        (b.Diag.pass, b.Diag.subject, b.Diag.message, b.Diag.severity))
+    diags
+
+let run ?(explain = false) ?root ?lockdep_graph fixtures =
   let buf = Buffer.create 4096 in
   let cert_diags = List.concat_map (check_fixture ~explain buf) fixtures in
   let catalog_diags =
@@ -64,8 +92,25 @@ let run ?(explain = false) ?root fixtures =
     match root with
     | None -> []
     | Some root ->
-        Lock_lint.lint_files (lock_scan_files ~root) @ Iface_lint.lint ~root
+        Lock_lint.lint_files (lock_scan_files ~root)
+        @ Guard_lint.lint_files (guard_scan_files ~root)
+        @ Iface_lint.lint ~root
   in
-  let diags = cert_diags @ catalog_diags @ source_diags in
+  let lockdep_diags =
+    match (lockdep_graph, root) with
+    | None, _ -> []
+    | Some path, Some root ->
+        Lockdep_lint.lint_file
+          ~sources:(Ann.read_sources (lock_scan_files ~root))
+          path
+    | Some path, None ->
+        [
+          Diag.error ~pass:"lockdep" ~subject:path
+            "a lockdep graph needs a source root for the rank table";
+        ]
+  in
+  let diags =
+    sort_diags (cert_diags @ catalog_diags @ source_diags @ lockdep_diags)
+  in
   Buffer.add_string buf (Diag.render diags);
   (Buffer.contents buf, diags)

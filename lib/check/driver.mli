@@ -1,5 +1,6 @@
-(** Assembles the certificate, catalog, lock-order, and
-    interface-coverage passes behind [softdb check]. *)
+(** Assembles the certificate, catalog, lock-order, guarded-by,
+    interface-coverage, and lockdep cross-validation passes behind
+    [softdb check]. *)
 
 type fixture = {
   fx_name : string;
@@ -12,11 +13,19 @@ val lock_scan_files : root:string -> string list
     except lib/check itself (which spells the acquisition tokens as
     string literals). *)
 
+val guard_scan_files : root:string -> string list
+(** The [.ml] files the guarded-by lint scans: the concurrent
+    subsystems (lib/srv, lib/core, lib/obs, lib/idx, lib/part). *)
+
 val run :
   ?explain:bool ->
   ?root:string ->
+  ?lockdep_graph:string ->
   fixture list ->
   string * Diag.t list
-(** Run every pass; returns the rendered report and the diagnostics.
+(** Run every pass; returns the rendered report and the diagnostics,
+    sorted (pass, subject, message) so the report is deterministic.
     [explain] prepends each fixture query's certificates to the report;
-    [root] enables the source lints. *)
+    [root] enables the source lints; [lockdep_graph] names an
+    {!Obs.Lockdep} dump to cross-validate against the rank table
+    (requires [root]). *)

@@ -1,0 +1,15 @@
+(** Guarded-by analysis: every piece of shared mutable state in the
+    concurrent subsystems — [mutable] record fields, fields of mutable
+    container types ([Hashtbl.t]/[Queue.t]/[Atomic.t]), module-level
+    refs — must carry a [@guarded-by <lock>] annotation naming a lock
+    from the [@lock-order] table (or [@guarded-by none: <why>] to be
+    explicitly unguarded).  Also flags guards no annotated site can ever
+    hold, and dead [@lock-order] ranks nothing references.  Grammar in
+    {!Ann}; the dynamic counterpart is {!Obs.Lockdep} + {!Lockdep_lint}. *)
+
+val lint_sources : (string * string) list -> Diag.t list
+(** [lint_sources [(filename, contents); ...]] lints in-memory sources;
+    declarations and holdable-lock sets aggregate across all of them. *)
+
+val lint_files : string list -> Diag.t list
+(** Read the given files and lint them. *)

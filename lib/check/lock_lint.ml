@@ -1,27 +1,28 @@
-(* Static lock-order analysis (tentpole pass 3).
+(* Static lock-order analysis.
 
    The locking discipline is declared, not inferred: a canonical
    [@lock-order <name> rank=<int> [reentrant]] table (lib/srv/session.ml)
    assigns every lock a rank, and each acquisition site carries an
    annotation on its own line or at most three lines above the
-   acquiring call:
-
-     (* @acquires <name> [while <held> ...] *)   taking a lock
-     (* @waits <name> *)                         Condition.wait on it
-     (* @lock-ignore *)                          suppress (test scaffolding)
+   acquiring call (grammar in {!Ann}).
 
    The lint scans for the raw acquisition tokens (Mutex.lock,
    Condition.wait, and the Rwlock entry points) and fails on:
    - an acquisition token with no annotation in range;
-   - a reference to an undeclared lock (acquired or held);
+   - a reference to an undeclared lock (acquired, waited-on, or named
+     in a [while] held-clause — each with its own diagnostic);
    - conflicting rank declarations for one name;
+   - two distinct lock names declaring the same rank (a duplicate rank
+     makes "strictly increasing" ambiguous between them);
    - a rank inversion: acquiring a lock while holding one of equal or
      higher rank (same-name re-acquisition is allowed when the lock is
      declared reentrant).
 
    Rank ordering makes deadlock cycles impossible wherever the declared
    held-sets are accurate — the annotations are the contract reviewers
-   keep honest, and the lint keeps them from rotting silently. *)
+   keep honest, the lint keeps them from rotting silently, and the
+   runtime witness ({!Obs.Lockdep} + {!Lockdep_lint}) checks them
+   against the lock orders the server really exhibits. *)
 
 let pass = "lock"
 
@@ -35,137 +36,58 @@ let tokens =
     "Rwlock.write_locked";
   ]
 
-(* ---- tiny string utilities ------------------------------------------------ *)
-
-let contains_at s i sub =
-  i + String.length sub <= String.length s
-  && String.sub s i (String.length sub) = sub
-
-let index_of s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i =
-    if i + m > n then None
-    else if contains_at s i sub then Some i
-    else go (i + 1)
-  in
-  go 0
-
-let contains s sub = index_of s sub <> None
-
-let after s marker =
-  match index_of s marker with
-  | None -> None
-  | Some i ->
-      let j = i + String.length marker in
-      Some (String.sub s j (String.length s - j))
-
-(* whitespace-split words of an annotation tail, stopping at the comment
-   terminator *)
-let words s =
-  String.map (fun c -> if c = '\t' then ' ' else c) s
-  |> String.split_on_char ' '
-  |> List.filter_map (fun w ->
-         let w =
-           match index_of w "*)" with
-           | Some i -> String.sub w 0 i
-           | None -> w
-         in
-         if w = "" then None else Some w)
-  |> List.fold_left
-       (fun (acc, stop) w ->
-         if stop || w = "*)" then (acc, true) else (w :: acc, false))
-       ([], false)
-  |> fst |> List.rev
-
-let lines_of contents = String.split_on_char '\n' contents
-
-(* ---- annotation grammar --------------------------------------------------- *)
-
-type decl = { rank : int; reentrant : bool }
-type ann = Acquires of string * string list | Waits of string | Ignore
-
-let parse_decl line =
-  match after line "@lock-order" with
-  | None -> None
-  | Some tail -> (
-      match words tail with
-      | name :: rest ->
-          let rank =
-            List.find_map
-              (fun w ->
-                match after w "rank=" with
-                | Some v -> int_of_string_opt v
-                | None -> None)
-              rest
-          in
-          Option.map
-            (fun rank -> (name, { rank; reentrant = List.mem "reentrant" rest }))
-            rank
-      | [] -> None)
-
-let parse_ann line =
-  if contains line "@lock-ignore" then Some Ignore
-  else
-    match after line "@acquires" with
-    | Some tail -> (
-        match words tail with
-        | name :: rest ->
-            let rec held = function
-              | "while" :: hs -> hs
-              | _ :: tl -> held tl
-              | [] -> []
-            in
-            Some (Acquires (name, held rest))
-        | [] -> None)
-    | None -> (
-        match after line "@waits" with
-        | Some tail -> (
-            match words tail with name :: _ -> Some (Waits name) | [] -> None)
-        | None -> None)
-
-(* ---- the lint ------------------------------------------------------------- *)
-
 let loc file i = Printf.sprintf "%s:%d" file (i + 1)
 
 let lint_sources sources =
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  (* pass 1: aggregate declarations across every scanned file *)
-  let decls : (string, decl) Hashtbl.t = Hashtbl.create 16 in
+  (* pass 1: aggregate declarations across every scanned file; first
+     declaration wins, later disagreements are reported *)
+  let all_decls = Ann.collect_decls sources in
+  let decls : (string, Ann.decl) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun (file, contents) ->
-      List.iteri
-        (fun i line ->
-          match parse_decl line with
-          | None -> ()
-          | Some (name, d) -> (
-              match Hashtbl.find_opt decls name with
-              | Some d0 when d0 <> d ->
-                  add
-                    (Diag.error ~pass ~subject:(loc file i)
-                       "conflicting @lock-order declarations for %s (rank %d \
-                        vs %d)"
-                       name d0.rank d.rank)
-              | Some _ -> ()
-              | None -> Hashtbl.replace decls name d))
-        (lines_of contents))
-    sources;
+    (fun (d : Ann.decl) ->
+      match Hashtbl.find_opt decls d.Ann.d_name with
+      | Some d0
+        when d0.Ann.d_rank <> d.Ann.d_rank
+             || d0.Ann.d_reentrant <> d.Ann.d_reentrant ->
+          add
+            (Diag.error ~pass ~subject:(loc d.Ann.d_file (d.Ann.d_line - 1))
+               "conflicting @lock-order declarations for %s (rank %d vs %d)"
+               d.Ann.d_name d0.Ann.d_rank d.Ann.d_rank)
+      | Some _ -> ()
+      | None ->
+          (* a duplicate rank under a different name makes "strictly
+             increasing" ambiguous between the two locks *)
+          Hashtbl.iter
+            (fun other (o : Ann.decl) ->
+              if o.Ann.d_rank = d.Ann.d_rank then
+                add
+                  (Diag.error ~pass
+                     ~subject:(loc d.Ann.d_file (d.Ann.d_line - 1))
+                     "duplicate rank %d: %s and %s declare the same rank"
+                     d.Ann.d_rank other d.Ann.d_name))
+            decls;
+          Hashtbl.replace decls d.Ann.d_name d)
+    all_decls;
   let declared name = Hashtbl.find_opt decls name in
   (* pass 2: every acquisition site must be annotated and rank-ordered *)
   List.iter
     (fun (file, contents) ->
-      let lines = Array.of_list (lines_of contents) in
+      let lines = Array.of_list (Ann.lines_of contents) in
       Array.iteri
         (fun i line ->
-          match List.find_opt (fun tok -> contains line tok) tokens with
+          match List.find_opt (fun tok -> Ann.contains line tok) tokens with
           | None -> ()
           | Some tok -> (
+              (* state annotations don't annotate acquisitions: skip a
+                 @guarded-by sitting between the site and its @acquires *)
               let rec find_ann k =
                 if k > 3 || i - k < 0 then None
                 else
-                  match parse_ann lines.(i - k) with
+                  match Ann.parse_ann lines.(i - k) with
+                  | Some (Ann.Guarded_by _) | None -> find_ann (k + 1)
                   | Some a -> Some a
-                  | None -> find_ann (k + 1)
               in
               match find_ann 0 with
               | None ->
@@ -174,13 +96,20 @@ let lint_sources sources =
                        "unannotated lock acquisition (%s): add @acquires, \
                         @waits, or @lock-ignore"
                        tok)
-              | Some Ignore -> ()
-              | Some (Waits name) ->
+              | Some Ann.Ignore | Some (Ann.Guarded_by _) -> ()
+              | Some (Ann.Waits (name, held)) ->
                   if declared name = None then
                     add
                       (Diag.error ~pass ~subject:(loc file i)
-                         "@waits references undeclared lock %s" name)
-              | Some (Acquires (name, held)) -> (
+                         "@waits references undeclared lock %s" name);
+                  List.iter
+                    (fun h ->
+                      if declared h = None then
+                        add
+                          (Diag.error ~pass ~subject:(loc file i)
+                             "@waits while clause names undeclared lock %s" h))
+                    held
+              | Some (Ann.Acquires (name, held)) -> (
                   match declared name with
                   | None ->
                       add
@@ -193,31 +122,26 @@ let lint_sources sources =
                           | None ->
                               add
                                 (Diag.error ~pass ~subject:(loc file i)
-                                   "held lock %s is undeclared" h)
+                                   "held lock %s is undeclared (while clause \
+                                    of @acquires %s)"
+                                   h name)
                           | Some hd ->
                               if h = name then begin
-                                if not d.reentrant then
+                                if not d.Ann.d_reentrant then
                                   add
                                     (Diag.error ~pass ~subject:(loc file i)
                                        "re-acquires non-reentrant lock %s"
                                        name)
                               end
-                              else if hd.rank >= d.rank then
+                              else if hd.Ann.d_rank >= d.Ann.d_rank then
                                 add
                                   (Diag.error ~pass ~subject:(loc file i)
                                      "lock-order violation: acquiring %s \
                                       (rank %d) while holding %s (rank %d)"
-                                     name d.rank h hd.rank))
+                                     name d.Ann.d_rank h hd.Ann.d_rank))
                         held)))
         lines)
     sources;
   List.rev !diags
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let lint_files paths =
-  lint_sources (List.map (fun p -> (p, read_file p)) paths)
+let lint_files paths = lint_sources (Ann.read_sources paths)

@@ -1,9 +1,11 @@
-(** Static lock-order analysis (tentpole pass 3): checks every mutex /
-    condition / rwlock acquisition site against declared
+(** Static lock-order analysis: checks every mutex / condition / rwlock
+    acquisition site against declared
     [@lock-order <name> rank=<int> [reentrant]] ranks and per-site
-    [@acquires <name> [while <held> ...]] / [@waits <name>] annotations.
-    Unannotated acquisition tokens, undeclared locks, conflicting
-    declarations, and rank inversions are all errors. *)
+    [@acquires <name> [while <held> ...]] /
+    [@waits <name> [while <held> ...]] annotations (grammar in {!Ann}).
+    Unannotated acquisition tokens, undeclared locks (acquired,
+    waited-on, or held), conflicting declarations, duplicate ranks, and
+    rank inversions are all errors. *)
 
 val tokens : string list
 (** The raw source tokens treated as lock acquisitions. *)

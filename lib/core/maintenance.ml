@@ -31,12 +31,17 @@ type event = {
   at_mutations : int;
 }
 
+(* @guarded-by db.rwlock — mutated by FD maintenance inside write
+   statements only *)
 type fd_state = {
   map : (Tuple.t, (Value.t * int ref)) Hashtbl.t;
   lhs_pos : int list;
   rhs_pos : int;
 }
 
+(* @guarded-by db.rwlock — the single-writer rule; confidence
+   recalibration additionally funnels read-path event/queue appends
+   through core.recalibration *)
 type t = {
   db : Database.t;
   catalog : Sc_catalog.t;

@@ -24,6 +24,7 @@
    every server session (lib/srv); optimization itself runs outside the
    lock so a slow prepare never blocks another session's execute. *)
 
+(* @guarded-by core.plan_cache *)
 type entry = {
   name : string;
   sql : string;
@@ -39,6 +40,7 @@ type entry = {
   mutable last_used : int; (* recency stamp for LRU eviction *)
 }
 
+(* @guarded-by core.plan_cache *)
 type t = {
   sdb : Softdb.t;
   capacity : int;
@@ -54,8 +56,13 @@ let default_capacity = 64
 
 let locked t f =
   (* @acquires core.plan_cache while srv.session db.rwlock *)
+  Obs.Lockdep.acquire "core.plan_cache";
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.lock;
+      Obs.Lockdep.release "core.plan_cache")
+    f
 
 (* Rewrite-critical dependencies: every SC a non-estimation-only rewrite
    relied on.  Twins (estimation-only) are excluded.  The report's guard

@@ -37,6 +37,8 @@ exception Recovery_error of string
 
 type frame = Closed | Open of { txn : int; explicit_ : bool }
 
+(* @guarded-by db.rwlock — the WAL hooks fire inside write statements
+   under the exclusive lock; startup replay runs before the server *)
 type t = {
   sdb : Softdb.t;
   wal : Wal.t;

@@ -22,6 +22,9 @@ type change =
   | Statement_changed of Soft_constraint.t
   | Exception_registered of { constraint_name : string; table : string }
 
+(* @guarded-by db.rwlock — catalog structure changes ride the
+   single-writer path; read-path confidence recalibration serializes
+   behind core.recalibration before touching entries *)
 type t = {
   mutable scs : Soft_constraint.t list;
   mutable exception_tables : (string * string) list;

@@ -26,6 +26,8 @@ type kind = Absolute | Statistical of float
 
 type state = Probation | Active | Violated | Dropped
 
+(* @guarded-by db.rwlock — like the catalog that owns it; kind updates
+   from the read path serialize behind core.recalibration *)
 type t = {
   name : string;
   table : string; (* primary table (left table for hole sets) *)

@@ -10,6 +10,8 @@ type stmt_event =
   | Stmt_started of Sqlfe.Ast.statement
   | Stmt_finished of Sqlfe.Ast.statement * bool  (** success? *)
 
+(* @guarded-by db.rwlock — engine flags and hooks change via write
+   statements (or before the server starts); readers see them frozen *)
 type t = {
   db : Database.t;
   stats : Stats.Runstats.t;
@@ -170,6 +172,9 @@ let register_sys_tables t =
      registering it here keeps the table queryable on every database *)
   Database.register_virtual t.db ~name:"sys.recovery"
     ~schema:Obs.Sys_tables.recovery_schema (fun () -> []);
+  (* the lockdep witness's observed edges; empty unless enabled *)
+  Database.register_virtual t.db ~name:"sys.lockdep"
+    ~schema:Obs.Sys_tables.lockdep_schema Obs.Sys_tables.lockdep_rows;
   Database.register_virtual t.db ~name:"sys.partitions"
     ~schema:Obs.Sys_tables.partitions_schema (fun () ->
       List.concat_map
@@ -498,9 +503,12 @@ let observe_twin t sc_name =
               | Obs.Feedback.Keep -> None
               | Obs.Feedback.Adjust { confidence; refresh } ->
                   (* @acquires core.recalibration while srv.session db.rwlock *)
+                  Obs.Lockdep.acquire "core.recalibration";
                   Mutex.lock recalibration_lock;
                   Fun.protect
-                    ~finally:(fun () -> Mutex.unlock recalibration_lock)
+                    ~finally:(fun () ->
+                      Mutex.unlock recalibration_lock;
+                      Obs.Lockdep.release "core.recalibration")
                     (fun () ->
                       Sc_catalog.set_kind t.catalog sc
                         (Soft_constraint.Statistical confidence);

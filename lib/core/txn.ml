@@ -26,6 +26,8 @@ type sc_snapshot = {
   snap_violations : int;
 }
 
+(* @guarded-by db.rwlock — a transaction exists only while its session
+   owns the exclusive write lock (BEGIN..COMMIT) *)
 type t = {
   id : int;
   sdb : Softdb.t;
@@ -42,8 +44,14 @@ exception Rollback_incomplete of exn list
 
 let fault_points = [ "txn.begin"; "txn.pre_commit"; "txn.rollback" ]
 
+(* @guarded-by db.rwlock — only the write-lock owner begins, commits,
+   or rolls back *)
 let current : t option ref = ref None
+
+(* @guarded-by db.rwlock *)
 let next_id = ref 0
+
+(* @guarded-by db.rwlock *)
 let listeners : (event -> unit) list ref = ref []
 
 let on_event f = listeners := f :: !listeners
@@ -67,6 +75,7 @@ let snapshot_catalog catalog =
 
 (* one recording listener per database, routed through [current], so
    repeated transactions do not accumulate listeners *)
+(* @guarded-by db.rwlock *)
 let registered : Database.t list ref = ref []
 
 let ensure_listener sdb =

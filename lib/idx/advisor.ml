@@ -51,6 +51,8 @@ let base_table db name =
 (* --- workload mining ---------------------------------------------------- *)
 
 (* What one SELECT block wants from one base table. *)
+(* @guarded-by none: per-call mining accumulator, confined to the
+   advising thread *)
 type table_use = {
   use_table : string; (* normalized base-table name *)
   mutable eq_cols : string list;
@@ -193,6 +195,7 @@ let mine_statement db = function
 
 (* --- candidate construction -------------------------------------------- *)
 
+(* @guarded-by none: per-call candidate accumulator, like table_use *)
 type accum = {
   mutable freq : int;
   mutable needed_union : string list;

@@ -26,6 +26,7 @@ open Rel
 
 type outcome = Built | Demoted_build of string
 
+(* @guarded-by idx.lifecycle *)
 type t = {
   db : Database.t;
   index : Index.t;
@@ -43,8 +44,13 @@ type t = {
 
 let locked t f =
   (* @acquires idx.lifecycle while srv.session db.rwlock *)
+  Obs.Lockdep.acquire "idx.lifecycle";
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.lock;
+      Obs.Lockdep.release "idx.lifecycle")
+    f
 
 type progress = {
   p_cursor : int;

@@ -15,11 +15,20 @@ type mode =
 exception Injected_crash of string
 exception Injected_io_error of string
 
+(* @guarded-by none: fault points are armed, fired, and read by the
+   single-threaded test harness; the concurrent server never arms them *)
 type armed = { mode : mode; mutable remaining : int }
 
+(* @guarded-by none: harness-confined, as above *)
 let declared : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+(* @guarded-by none: harness-confined, as above *)
 let armed : (string, armed) Hashtbl.t = Hashtbl.create 8
+
+(* @guarded-by none: harness-confined, as above *)
 let hit_counts : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+(* @guarded-by none: harness-confined, as above *)
 let crashed = ref false
 
 let declare name =
@@ -148,6 +157,7 @@ let write_point ~point:name ~write s =
       end
   | _ -> write s
 
+(* @guarded-by none: harness-confined idempotent-install flag *)
 let installed = ref false
 
 let install () =

@@ -18,8 +18,10 @@
    Metric names are dotted paths ("exec.rows.scanned",
    "feedback.recalibrations"); the registry imposes no schema on them. *)
 
+(* @guarded-by obs.metrics *)
 type timing = { mutable calls : int; mutable elapsed_s : float }
 
+(* @guarded-by obs.metrics *)
 type t = {
   lock : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
@@ -41,8 +43,13 @@ let locked t f =
   (* leaf lock: callers tick metrics from under most other subsystems'
      locks, so nothing may be acquired while this is held *)
   (* @acquires obs.metrics while srv.session db.rwlock srv.server.registry core.plan_cache core.recalibration *)
+  Lockdep.acquire "obs.metrics";
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.lock;
+      Lockdep.release "obs.metrics")
+    f
 
 let reset t =
   locked t (fun () ->

@@ -24,6 +24,7 @@ type entry = {
 (* Sequence allocation and the entry list are guarded by one mutex: the
    log is shared across the server's worker domains, and two queries
    finishing simultaneously must still get distinct, dense seq numbers. *)
+(* @guarded-by obs.query_log *)
 type t = {
   capacity : int;
   lock : Mutex.t;
@@ -37,8 +38,13 @@ let create ?(capacity = 256) () =
 let locked t f =
   (* leaf lock, like obs.metrics *)
   (* @acquires obs.query_log while srv.session db.rwlock *)
+  Lockdep.acquire "obs.query_log";
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.lock;
+      Lockdep.release "obs.query_log")
+    f
 
 let rec take n = function
   | [] -> []

@@ -245,6 +245,25 @@ let recovery_row ~mode ~torn_tail ~scanned_lines ~applied_records
       opt_str salvage_path;
     ]
 
+(* ---- sys.lockdep --------------------------------------------------------- *)
+
+(* The runtime witness's observed acquisition-order edges: one row per
+   (held -> acquired) pair.  Empty unless lockdep is enabled. *)
+let lockdep_schema =
+  Schema.make "sys.lockdep"
+    [
+      Schema.column ~nullable:false "held_lock" Value.TString;
+      Schema.column ~nullable:false "acquired_lock" Value.TString;
+      (* [times_seen], not [count]: COUNT is a keyword *)
+      Schema.column ~nullable:false "times_seen" Value.TInt;
+    ]
+
+let lockdep_rows () =
+  List.map
+    (fun (held, acquired, count) ->
+      Tuple.make [ str held; str acquired; int count ])
+    (Lockdep.edge_list ())
+
 (* ---- sys.sessions -------------------------------------------------------- *)
 
 let sessions_schema =

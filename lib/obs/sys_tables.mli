@@ -86,6 +86,13 @@ val recovery_row :
   corrupt_lines:int -> quarantined_bytes:int -> salvage_path:string option ->
   Tuple.t
 
+val lockdep_schema : Schema.t
+(** sys.lockdep(held_lock, acquired_lock, times_seen) — the runtime
+    witness's observed acquisition-order edges; empty unless
+    {!Lockdep.enable}d. *)
+
+val lockdep_rows : unit -> Tuple.t list
+
 val sessions_schema : Schema.t
 (** sys.sessions(session_id, name, state, in_txn, queries, writes,
     errors, prepared) — one row per server session, registered by

@@ -14,6 +14,7 @@
    The mutex is only ever held for cursor/outcome bookkeeping, never
    while a subtask runs. *)
 
+(* @guarded-by srv.scatter.batch *)
 type t = {
   tasks : (unit -> unit) array;
   outcomes : exn option array;
@@ -37,8 +38,13 @@ let size t = Array.length t.tasks
 
 let locked t f =
   (* @acquires srv.scatter.batch while srv.session db.rwlock *)
+  Obs.Lockdep.acquire "srv.scatter.batch";
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.m;
+      Obs.Lockdep.release "srv.scatter.batch")
+    f
 
 let claim t =
   locked t (fun () ->

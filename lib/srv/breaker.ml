@@ -28,6 +28,7 @@ let default_config =
 
 type state = Closed | Open of { until : float } | Half_open
 
+(* @guarded-by srv.breaker *)
 type t = {
   config : config;
   metrics : Obs.Metrics.t;
@@ -63,8 +64,13 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) metrics =
 
 let locked t f =
   (* @acquires srv.breaker *)
+  Obs.Lockdep.acquire "srv.breaker";
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.m;
+      Obs.Lockdep.release "srv.breaker")
+    f
 
 (* 0 closed / 1 open / 2 half-open, the sys.metrics gauge encoding *)
 let state_code = function Closed -> 0 | Open _ -> 1 | Half_open -> 2

@@ -19,6 +19,7 @@
    correct.  Writers take priority — a waiting writer blocks new readers
    — so a transaction cannot be starved by a stream of reads. *)
 
+(* @guarded-by srv.rwlock.state *)
 type t = {
   m : Mutex.t;
   mutable readers : int;
@@ -40,8 +41,13 @@ let locked t f =
   (* the short internal state mutex; callers hold the session mutex and
      may logically hold the rwlock itself (reentrant re-acquire paths) *)
   (* @acquires srv.rwlock.state while srv.session db.rwlock *)
+  Obs.Lockdep.acquire "srv.rwlock.state";
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.m;
+      Obs.Lockdep.release "srv.rwlock.state")
+    f
 
 let poll_interval_s = 0.001
 
@@ -127,14 +133,32 @@ let forfeit_write t ~session =
         t.writer_depth <- 0
       end)
 
+(* The balanced wrappers are the lockdep instrumentation points: acquire
+   and release happen on one thread, so the per-thread witness stack
+   stays sound.  Reentrant by declaration — a session's reads inside its
+   own write section re-enter by design.  The unbalanced BEGIN..COMMIT
+   path (Session.begin_txn) records itself with Lockdep.pulse instead. *)
+
 let read_locked ?deadline t ~session f =
   if acquire_read ?deadline t ~session then begin
-    Fun.protect ~finally:(fun () -> release_read t ~session) f |> Option.some
+    Obs.Lockdep.acquire ~reentrant:true "db.rwlock";
+    Fun.protect
+      ~finally:(fun () ->
+        release_read t ~session;
+        Obs.Lockdep.release "db.rwlock")
+      f
+    |> Option.some
   end
   else None
 
 let write_locked ?deadline t ~session f =
   if acquire_write ?deadline t ~session then begin
-    Fun.protect ~finally:(fun () -> release_write t ~session) f |> Option.some
+    Obs.Lockdep.acquire ~reentrant:true "db.rwlock";
+    Fun.protect
+      ~finally:(fun () ->
+        release_write t ~session;
+        Obs.Lockdep.release "db.rwlock")
+      f
+    |> Option.some
   end
   else None

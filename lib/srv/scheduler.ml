@@ -33,6 +33,7 @@ type job = {
   expired : Proto.error_code -> unit; (* called instead of [run] *)
 }
 
+(* @guarded-by srv.scheduler.queue *)
 type t = {
   m : Mutex.t;
   nonempty : Condition.t;
@@ -61,8 +62,13 @@ let locked t f =
   (* the scatter runner submits helper jobs mid-query, so this mutex can
      be taken while the submitting session's locks are held *)
   (* @acquires srv.scheduler.queue while srv.session db.rwlock *)
+  Obs.Lockdep.acquire "srv.scheduler.queue";
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.m;
+      Obs.Lockdep.release "srv.scheduler.queue")
+    f
 
 let note_domain t =
   let id = (Domain.self () :> int) in

@@ -17,12 +17,14 @@
    whichever domain ran it.  Responses therefore interleave freely on
    the wire; the correlation id orders them for the client. *)
 
+(* @guarded-by none: owned by the connection's reader loop thread *)
 type conn_state = {
   conn : Transport.t;
   session : Session.t;
   mutable open_ : bool;
 }
 
+(* @guarded-by srv.server.registry *)
 type t = {
   sdb : Core.Softdb.t;
   scheduler : Scheduler.t;
@@ -42,8 +44,13 @@ let locked t f =
   (* held during query execution too: the sys.sessions generator runs
      under the executing session's locks *)
   (* @acquires srv.server.registry while srv.session db.rwlock *)
+  Obs.Lockdep.acquire "srv.server.registry";
   Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.m;
+      Obs.Lockdep.release "srv.server.registry")
+    f
 
 let create ?workers ?(queue_capacity = 64) ?plan_cache_capacity
     ?(default_deadline_ms = 10_000) ?breaker_config sdb =

@@ -22,11 +22,14 @@
    transactions.
 
    Canonical lock-rank table, machine-read by the static lock-order
-   lint (Check.Lock_lint; see DESIGN.md §6).  Locks may only be
+   lint (Check.Lock_lint; see DESIGN.md §6 and §10).  Locks may only be
    acquired in strictly increasing rank order; every acquisition site
    declares what it takes and what is held with an [@acquires] (or
    [@waits]) annotation, and the lint fails the build on a rank
-   inversion or an unannotated acquisition.
+   inversion or an unannotated acquisition.  The runtime witness
+   ({!Obs.Lockdep}) checks the same table against the acquisition
+   orders the server actually exhibits; a rank the racecheck traffic
+   cannot exercise carries [lockdep-waive] with the reason beside it.
 
    [srv.scheduler.queue] ranks *above* [db.rwlock]: the scatter runner
    ({!Scatter}) submits partition subtasks to the pool from inside a
@@ -45,20 +48,21 @@
    session and write locks, monitors take it with nothing else held to
    read progress, so it sits just above [db.rwlock].
 
-   @lock-order srv.transport.chan rank=10
+   @lock-order srv.transport.chan rank=10 lockdep-waive (in-memory pair transport; racecheck traffic is TCP)
    @lock-order srv.transport.write rank=12
    @lock-order srv.breaker rank=15
    @lock-order srv.session rank=20
    @lock-order db.rwlock rank=30 reentrant
    @lock-order idx.lifecycle rank=32
    @lock-order srv.scheduler.queue rank=35
-   @lock-order srv.scatter.batch rank=37
+   @lock-order srv.scatter.batch rank=37 lockdep-waive (scatter runs only against partitioned tables)
    @lock-order srv.rwlock.state rank=40
    @lock-order srv.server.registry rank=50
    @lock-order core.plan_cache rank=60
-   @lock-order core.recalibration rank=70
+   @lock-order core.recalibration rank=70 lockdep-waive (needs accumulated SSC feedback to fire)
    @lock-order obs.metrics rank=80
    @lock-order obs.query_log rank=85
+   @lock-order obs.lockdep rank=95 lockdep-waive (the witness's own mutex is not self-tracked)
 
    Prepared statements share plans across sessions: the cache key is the
    SQL text itself, so when session B prepares a query session A already
@@ -67,6 +71,8 @@
 
 type state = Idle | Active | Closed
 
+(* @guarded-by srv.session — the traffic counters are additionally read
+   lock-free by [sys_row], a deliberate stale-tolerant snapshot *)
 type t = {
   id : int;
   sdb : Core.Softdb.t;
@@ -104,8 +110,13 @@ let make ~id ~sdb ~cache ~metrics =
 
 let locked t f =
   (* @acquires srv.session *)
+  Obs.Lockdep.acquire "srv.session";
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.lock;
+      Obs.Lockdep.release "srv.session")
+    f
 
 let id t = t.id
 let name t = locked t (fun () -> t.name)
@@ -337,7 +348,10 @@ let begin_txn ~rwlock ~deadline t =
       (Rwlock.acquire_write ~deadline:(slice_deadline deadline) rwlock
          ~session:t.id)
   then lock_timed_out ~deadline ~write:true
-  else
+  else begin
+    (* the hold spans BEGIN..COMMIT across worker threads, so the
+       witness records the acquisition without a per-thread hold *)
+    Obs.Lockdep.pulse "db.rwlock";
     match guard_engine (fun () ->
         let txn = Core.Txn.begin_ t.sdb in
         t.txn <- Some txn;
@@ -350,6 +364,7 @@ let begin_txn ~rwlock ~deadline t =
     | ok ->
         t.writes <- t.writes + 1;
         ok
+  end
 
 let end_txn ~rwlock t ~commit =
   match t.txn with

@@ -29,6 +29,7 @@ exception Closed
    layer's job — the scheduler's bounded queue is where the server
    pushes back (with an explicit Rejected), so a transport that
    silently stalls producers would only hide the signal. *)
+(* @guarded-by srv.transport.chan *)
 type chan = {
   m : Mutex.t;
   nonempty : Condition.t;
@@ -46,6 +47,7 @@ let chan () =
 
 let chan_send c line =
   (* @acquires srv.transport.chan *)
+  Obs.Lockdep.acquire "srv.transport.chan";
   Mutex.lock c.m;
   let closed = c.closed in
   if not closed then begin
@@ -53,10 +55,12 @@ let chan_send c line =
     Condition.signal c.nonempty
   end;
   Mutex.unlock c.m;
+  Obs.Lockdep.release "srv.transport.chan";
   if closed then raise Closed
 
 let chan_recv c =
   (* @acquires srv.transport.chan *)
+  Obs.Lockdep.acquire "srv.transport.chan";
   Mutex.lock c.m;
   while Queue.is_empty c.q && not c.closed do
     (* @waits srv.transport.chan *)
@@ -64,14 +68,17 @@ let chan_recv c =
   done;
   let r = if Queue.is_empty c.q then None else Some (Queue.pop c.q) in
   Mutex.unlock c.m;
+  Obs.Lockdep.release "srv.transport.chan";
   r
 
 let chan_close c =
   (* @acquires srv.transport.chan *)
+  Obs.Lockdep.acquire "srv.transport.chan";
   Mutex.lock c.m;
   c.closed <- true;
   Condition.broadcast c.nonempty;
-  Mutex.unlock c.m
+  Mutex.unlock c.m;
+  Obs.Lockdep.release "srv.transport.chan"
 
 let pipe () =
   let c2s = chan () (* client -> server *) and s2c = chan () in
@@ -109,9 +116,12 @@ let of_fd fd ~peer =
   let closed = ref false in
   let send line =
     (* @acquires srv.transport.write *)
+    Obs.Lockdep.acquire "srv.transport.write";
     Mutex.lock wm;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock wm)
+      ~finally:(fun () ->
+        Mutex.unlock wm;
+        Obs.Lockdep.release "srv.transport.write")
       (fun () ->
         if !closed then raise Closed;
         try
@@ -123,13 +133,15 @@ let of_fd fd ~peer =
   let recv () = try Some (input_line ic) with End_of_file | Sys_error _ -> None in
   let close () =
     (* @acquires srv.transport.write *)
+    Obs.Lockdep.acquire "srv.transport.write";
     Mutex.lock wm;
     if not !closed then begin
       closed := true;
       (try flush oc with Sys_error _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ())
     end;
-    Mutex.unlock wm
+    Mutex.unlock wm;
+    Obs.Lockdep.release "srv.transport.write"
   in
   { send; recv; close; peer }
 

@@ -241,6 +241,28 @@ let decls =
    (* @lock-order lk.b rank=20 *)\n\
    (* @lock-order lk.r rank=30 reentrant *)\n"
 
+(* Satellite hardening: a [while <held>] clause naming an undeclared
+   lock is its own error (not silently treated as rank 0), and two locks
+   declaring the same rank is ambiguous. *)
+let test_lock_lint_hardening () =
+  let lint body = Check.Lock_lint.lint_sources [ ("hard.ml", decls ^ body) ] in
+  check tbool "@acquires while-clause naming undeclared lock fails" true
+    (has_error_containing
+       (lint "(* @acquires lk.b while lk.zzz *)\nlet f m = Mutex.lock m\n")
+       "while clause of @acquires");
+  check tbool "@waits while-clause naming undeclared lock fails" true
+    (has_error_containing
+       (lint
+          "(* @waits lk.b while lk.zzz *)\nlet f c = Condition.wait c m\n")
+       "@waits while clause names undeclared lock");
+  check tbool "duplicate rank under two names fails" true
+    (has_error_containing
+       (Check.Lock_lint.lint_sources
+          [ ( "d.ml",
+              "(* @lock-order lk.x rank=7 *)\n\
+               (* @lock-order lk.y rank=7 *)\n" ) ])
+       "duplicate rank")
+
 let test_lock_lint_synthetic () =
   let lint body = Check.Lock_lint.lint_sources [ ("good.ml", decls ^ body) ] in
   check tint "ordered acquisition passes" 0
@@ -276,6 +298,198 @@ let test_lock_lint_synthetic () =
             ("b.ml", "(* @lock-order lk.x rank=2 *)\n") ])
        "conflicting")
 
+(* ---- guarded-by lint ------------------------------------------------------- *)
+
+(* Sites that reference every declared rank, so none is dead and lk.a /
+   lk.b are holdable guards. *)
+let guard_site =
+  "(* @acquires lk.b while lk.a *)\n\
+   let f m = Mutex.lock m\n\
+   (* @acquires lk.r while lk.r *)\n\
+   let g m = Mutex.lock m\n"
+
+let guard_lint body =
+  Check.Guard_lint.lint_sources [ ("g.ml", decls ^ guard_site ^ body) ]
+
+let test_guard_lint_synthetic () =
+  check tint "guarded mutable field passes" 0
+    (errors_of
+       (guard_lint
+          "type t = {\n  (* @guarded-by lk.a *)\n  mutable x : int;\n}\n"));
+  check tint "block annotation covers every field of the record" 0
+    (errors_of
+       (guard_lint
+          "(* @guarded-by lk.a *)\n\
+           type t = {\n\
+          \  mutable x : int;\n\
+          \  mutable y : int;\n\
+           }\n"));
+  check tint "confinement waiver passes" 0
+    (errors_of
+       (guard_lint
+          "type t = {\n\
+          \  (* @guarded-by none: confined to the owner thread *)\n\
+          \  mutable x : int;\n\
+           }\n"));
+  check tbool "unannotated mutable field fails" true
+    (has_error_containing
+       (guard_lint "type t = {\n  mutable x : int;\n}\n")
+       "no @guarded-by annotation");
+  check tbool "unannotated global ref fails" true
+    (has_error_containing (guard_lint "let cache = ref 0\n")
+       "no @guarded-by annotation");
+  check tint "annotated global ref passes" 0
+    (errors_of (guard_lint "(* @guarded-by lk.a *)\nlet cache = ref 0\n"));
+  check tbool "unannotated mutable container field fails" true
+    (has_error_containing
+       (guard_lint "type t = {\n  tbl : (string, int) Hashtbl.t;\n}\n")
+       "no @guarded-by annotation");
+  check tbool "guard naming an undeclared lock fails" true
+    (has_error_containing
+       (guard_lint
+          "type t = {\n  (* @guarded-by lk.zzz *)\n  mutable x : int;\n}\n")
+       "undeclared lock");
+  (* lk.c is declared and guards the field, but no @acquires/@waits site
+     ever holds it: the guard is unenforceable *)
+  check tbool "guard never held by any site fails" true
+    (has_error_containing
+       (Check.Guard_lint.lint_sources
+          [ ( "g.ml",
+              decls ^ "(* @lock-order lk.c rank=40 *)\n" ^ guard_site
+              ^ "type t = {\n  (* @guarded-by lk.c *)\n  mutable x : int;\n}\n"
+            ) ])
+       "ever holds this lock");
+  check tbool "rank referenced by nothing is dead" true
+    (has_error_containing
+       (Check.Guard_lint.lint_sources
+          [ ("g.ml", decls ^ "(* @lock-order lk.dead rank=99 *)\n" ^ guard_site)
+          ])
+       "dead @lock-order rank")
+
+(* ---- lockdep witness (runtime) --------------------------------------------- *)
+
+let test_lockdep_witness () =
+  Obs.Lockdep.enable ();
+  Obs.Lockdep.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Lockdep.reset ();
+      Obs.Lockdep.disable ())
+  @@ fun () ->
+  Obs.Lockdep.acquire "w.a";
+  Obs.Lockdep.acquire "w.b";
+  check tint "depth tracks distinct held locks" 2
+    (Obs.Lockdep.max_held_depth ());
+  Obs.Lockdep.release "w.b";
+  Obs.Lockdep.release "w.a";
+  check tbool "ordered acquisition is violation-free" true
+    (Obs.Lockdep.violations () = []);
+  check tbool "edge recorded" true
+    (List.exists
+       (fun (h, a, _) -> h = "w.a" && a = "w.b")
+       (Obs.Lockdep.edge_list ()));
+  (* the reverse nesting closes a cycle in the edge graph *)
+  Obs.Lockdep.acquire "w.b";
+  Obs.Lockdep.acquire "w.a";
+  check tbool "cycle detected live" true
+    (List.exists
+       (fun v -> contains v "lock-order cycle")
+       (Obs.Lockdep.violations ()));
+  (* re-acquiring a lock this thread already holds *)
+  Obs.Lockdep.acquire "w.a";
+  check tbool "non-reentrant re-acquisition detected" true
+    (List.exists
+       (fun v -> contains v "re-acquired non-reentrant lock w.a")
+       (Obs.Lockdep.violations ()));
+  let before = List.length (Obs.Lockdep.violations ()) in
+  Obs.Lockdep.acquire ~reentrant:true "w.a";
+  check tint "reentrant re-acquisition adds no violation" before
+    (List.length (Obs.Lockdep.violations ()));
+  (* the dump round-trips through the parser *)
+  match Obs.Lockdep.parse (Obs.Lockdep.dump ()) with
+  | None -> Alcotest.fail "dump did not parse"
+  | Some g ->
+      check tint "parsed edge count matches" (Obs.Lockdep.edges_observed ())
+        (List.length g.Obs.Lockdep.g_edges);
+      check tint "parsed depth matches" (Obs.Lockdep.max_held_depth ())
+        g.Obs.Lockdep.g_max_depth;
+      check tint "parsed violations match"
+        (List.length (Obs.Lockdep.violations ()))
+        (List.length g.Obs.Lockdep.g_violations)
+
+let test_lockdep_disabled_is_inert () =
+  Obs.Lockdep.disable ();
+  Obs.Lockdep.reset ();
+  Obs.Lockdep.acquire "w.z";
+  Obs.Lockdep.acquire "w.y";
+  check tint "disabled witness records nothing" 0
+    (Obs.Lockdep.edges_observed ());
+  check tbool "disabled witness has no coverage" true
+    (Obs.Lockdep.lock_list () = [])
+
+(* ---- lockdep cross-validation lint ------------------------------------------ *)
+
+(* Shared rank table for the synthetic graphs: lk.a 10, lk.b 20,
+   lk.r 30 reentrant (from [decls]). *)
+let ld_sources = [ ("decls.ml", decls) ]
+
+let ld_graph ?(cover = [ "lk.a"; "lk.b"; "lk.r" ]) ?(violations = []) edges =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "lockdep edges=%d max_held_depth=2 violations=%d\n"
+       (List.length edges)
+       (List.length violations));
+  List.iter (fun l -> Buffer.add_string b (Printf.sprintf "lock %s\n" l)) cover;
+  List.iter
+    (fun (h, a, n) ->
+      Buffer.add_string b (Printf.sprintf "edge %s %s %d\n" h a n))
+    edges;
+  List.iter
+    (fun v -> Buffer.add_string b (Printf.sprintf "violation %s\n" v))
+    violations;
+  Buffer.contents b
+
+let ld_lint ?cover ?violations edges =
+  Check.Lockdep_lint.lint_dump ~sources:ld_sources
+    (ld_graph ?cover ?violations edges)
+
+let test_lockdep_lint_synthetic () =
+  check tint "rank-ordered edge set passes" 0
+    (errors_of (ld_lint [ ("lk.a", "lk.b", 3); ("lk.b", "lk.r", 1) ]));
+  check tbool "observed inversion contradicts the rank table" true
+    (has_error_containing
+       (ld_lint [ ("lk.b", "lk.a", 2) ])
+       "lock-order inversion");
+  check tbool "edge naming an undeclared lock fails" true
+    (has_error_containing
+       (ld_lint [ ("lk.a", "lk.zzz", 1) ])
+       "undeclared lock lk.zzz");
+  check tbool "observed self-edge on a non-reentrant lock fails" true
+    (has_error_containing
+       (ld_lint [ ("lk.a", "lk.a", 1) ])
+       "re-acquisition of non-reentrant lock lk.a");
+  check tint "observed self-edge on a reentrant lock passes" 0
+    (errors_of (ld_lint [ ("lk.r", "lk.r", 4) ]));
+  check tbool "runtime violations surface verbatim" true
+    (has_error_containing
+       (ld_lint ~violations:[ "lock-order cycle: x -> y -> x" ] [])
+       "runtime witness violation: lock-order cycle");
+  check tbool "unexercised rank is stale" true
+    (has_error_containing
+       (ld_lint ~cover:[ "lk.a"; "lk.b" ] [ ("lk.a", "lk.b", 1) ])
+       "stale rank: lk.r");
+  check tint "a waived rank may stay unexercised" 0
+    (errors_of
+       (Check.Lockdep_lint.lint_dump
+          ~sources:
+            [ ( "decls.ml",
+                "(* @lock-order lk.a rank=10 *)\n\
+                 (* @lock-order lk.w rank=50 lockdep-waive *)\n" ) ]
+          (ld_graph ~cover:[ "lk.a" ] [])));
+  check tbool "garbage input is not a dump" true
+    (has_error_containing
+       (Check.Lockdep_lint.lint_dump ~sources:ld_sources "hello\nworld\n")
+       "missing 'lockdep' header")
+
 (* ---- the real tree --------------------------------------------------------- *)
 
 let find_root () =
@@ -298,6 +512,9 @@ let test_real_tree_lints () =
            files);
       check tint "real tree is lock-clean" 0
         (errors_of (Check.Lock_lint.lint_files files));
+      check tint "real tree is guard-clean" 0
+        (errors_of
+           (Check.Guard_lint.lint_files (Check.Driver.guard_scan_files ~root)));
       check tint "every lib module has an interface" 0
         (errors_of (Check.Iface_lint.lint ~root))
 
@@ -412,7 +629,21 @@ let () =
         [
           Alcotest.test_case "synthetic orderings" `Quick
             test_lock_lint_synthetic;
+          Alcotest.test_case "hardening" `Quick test_lock_lint_hardening;
           Alcotest.test_case "real tree" `Quick test_real_tree_lints;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "synthetic guarded-by" `Quick
+            test_guard_lint_synthetic;
+        ] );
+      ( "lockdep",
+        [
+          Alcotest.test_case "runtime witness" `Quick test_lockdep_witness;
+          Alcotest.test_case "disabled is inert" `Quick
+            test_lockdep_disabled_is_inert;
+          Alcotest.test_case "graph cross-validation" `Quick
+            test_lockdep_lint_synthetic;
         ] );
       ( "differential",
         [
